@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for E10: linking/fusion throughput and the
+//! blocking ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saga_construct::blocking::{block_payloads, generate_pairs};
+use saga_construct::{BlockingStrategy, Linker, LinkerConfig, RuleMatcher};
+use saga_core::{intern, EntityPayload, FactMeta, IdGenerator, KnowledgeGraph, SourceId, Value};
+
+fn payloads(n: usize) -> Vec<EntityPayload> {
+    (0..n)
+        .map(|i| {
+            let mut p =
+                EntityPayload::new(SourceId(1), format!("e{i}"), intern("music_artist"));
+            let meta = FactMeta::from_source(SourceId(1), 0.9);
+            p.push_simple(intern("type"), Value::str("music_artist"), meta.clone());
+            p.push_simple(
+                intern("name"),
+                Value::str(format!("Artist Number {i} Of Session {}", i % 13)),
+                meta,
+            );
+            p
+        })
+        .collect()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let ps = payloads(500);
+    let mut group = c.benchmark_group("construction");
+    for strategy in [BlockingStrategy::NameTokens, BlockingStrategy::NameQGrams(3)] {
+        group.bench_function(format!("blocking_{strategy:?}"), |b| {
+            b.iter(|| {
+                let blocks = block_payloads(&ps, strategy);
+                generate_pairs(&blocks, 64).len()
+            })
+        });
+    }
+    group.bench_function("link_500_payloads", |b| {
+        b.iter(|| {
+            let kg = KnowledgeGraph::new();
+            let gen = IdGenerator::starting_at(1);
+            Linker::new(LinkerConfig::default())
+                .link(&kg, &gen, ps.clone(), &RuleMatcher::default())
+                .new_entities
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_construction
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for E8/E9 kernels: string similarities
+//! (deterministic vs learned), encoder training step, embedding SGD, and
+//! vector search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saga_ml::embeddings::{train_in_memory, EdgeList, EmbeddingConfig};
+use saga_ml::simlib::{jaro_winkler, levenshtein, qgram_jaccard};
+use saga_ml::StringEncoder;
+use saga_vector::{IvfIndex, Metric, VectorStore};
+
+fn bench_ml(c: &mut Criterion) {
+    let a = "Katherine Lindqvist";
+    let b = "Kate Lindqvist";
+    let encoder = StringEncoder::new(32, 4096, 3, 7);
+
+    let mut group = c.benchmark_group("string_sim");
+    group.bench_function("levenshtein", |bch| bch.iter(|| levenshtein(a, b)));
+    group.bench_function("jaro_winkler", |bch| bch.iter(|| jaro_winkler(a, b)));
+    group.bench_function("qgram_jaccard", |bch| bch.iter(|| qgram_jaccard(a, b, 3)));
+    group.bench_function("learned_encoder", |bch| bch.iter(|| encoder.similarity(a, b)));
+    group.finish();
+
+    let mut group = c.benchmark_group("embeddings");
+    // A small dense edge list.
+    let mut el = EdgeList::default();
+    el.relations.push(saga_core::intern("related_to"));
+    for i in 0..200u32 {
+        el.entities.push(saga_core::EntityId(u64::from(i) + 1));
+    }
+    for i in 0..800u32 {
+        el.edges.push((i % 200, 0, (i * 7 + 3) % 200));
+    }
+    group.bench_function("transe_epoch_200n_800e", |bch| {
+        let cfg = EmbeddingConfig { epochs: 1, dim: 16, ..Default::default() };
+        bch.iter(|| train_in_memory(&el, &cfg).1.steps)
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("vector_search");
+    let mut store = VectorStore::new(32, Metric::Cosine);
+    let mut seedv = vec![0.0f32; 32];
+    for i in 0..5_000u64 {
+        for (j, x) in seedv.iter_mut().enumerate() {
+            *x = ((i as f32) * 0.37 + j as f32 * 1.13).sin();
+        }
+        store.upsert(saga_core::EntityId(i), &seedv, None);
+    }
+    let query = store.get(saga_core::EntityId(123)).unwrap().to_vec();
+    group.bench_function("exact_5k", |bch| bch.iter(|| store.search(&query, 10, None)));
+    let ivf = IvfIndex::build(&store, 32, 4, 5);
+    group.bench_function("ivf_5k_nprobe4", |bch| bch.iter(|| ivf.search(&query, 10, 4)));
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ml
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks for Fig. 8 (E2): per-view computation on the
+//! columnar analytics store vs the legacy row engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saga_bench::workload::{media_world, MediaWorldConfig};
+use saga_graph::production_views::ProductionView;
+use saga_graph::{AnalyticsStore, LegacyEngine};
+
+fn bench_views(c: &mut Criterion) {
+    // Small scale keeps bench wall-time reasonable; fig8_views runs the
+    // full-scale comparison.
+    let kg = media_world(&MediaWorldConfig {
+        persons: 400,
+        artists: 120,
+        songs_per_artist: 6,
+        playlists: 80,
+        tracks_per_playlist: 8,
+        movies: 150,
+        cast_per_movie: 5,
+        seed: 9,
+    });
+    let store = AnalyticsStore::build(&kg);
+    let legacy = LegacyEngine::build(&kg);
+
+    let mut group = c.benchmark_group("fig8_views");
+    for view in [ProductionView::Songs, ProductionView::People, ProductionView::MediaPeople] {
+        group.bench_with_input(
+            BenchmarkId::new("graph_engine", view.label()),
+            &view,
+            |b, v| b.iter(|| v.compute_analytics(&store)),
+        );
+        group.bench_with_input(BenchmarkId::new("legacy", view.label()), &view, |b, v| {
+            b.iter(|| v.compute_legacy(&legacy))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_views
+}
+criterion_main!(benches);

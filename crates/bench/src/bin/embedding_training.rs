@@ -1,0 +1,84 @@
+//! Experiment E9 — §5.3: external-memory (Marius-style partition-buffer)
+//! embedding training vs in-memory, plus the bucket-ordering ablation.
+//!
+//! The paper's claim: with a bounded buffer and a swap-minimizing ordering,
+//! external-memory training matches in-memory quality while bounding
+//! memory, whereas naive scheduling ("low utilization", as in the systems
+//! the paper compares against) wastes time on IO.
+
+use std::time::Instant;
+
+use saga_bench::workload::{media_world, MediaWorldConfig};
+use saga_ml::embeddings::{
+    train_in_memory, BucketOrdering, EdgeList, EmbeddingConfig, PartitionedTrainer,
+};
+use saga_ml::embeddings::train::evaluate;
+
+fn main() {
+    let kg = media_world(&MediaWorldConfig::standard(21));
+    let edges = EdgeList::from_kg(&kg);
+    eprintln!(
+        "relationship view: {} entities, {} relations, {} edges",
+        edges.num_entities(),
+        edges.num_relations(),
+        edges.edges.len()
+    );
+    let cfg = EmbeddingConfig { dim: 32, epochs: 8, ..Default::default() };
+    let test: Vec<(u32, u32, u32)> = edges.edges.iter().copied().step_by(37).take(200).collect();
+
+    println!("# §5.3 — embedding training: in-memory vs partition buffer (TransE, dim=32)");
+    println!(
+        "{:<26} {:>9} {:>9} {:>8} {:>10} {:>8}",
+        "trainer", "time_ms", "loads", "gb_io", "mem_rows", "mrr"
+    );
+
+    // In-memory baseline.
+    let t0 = Instant::now();
+    let (mem_table, _) = train_in_memory(&edges, &cfg);
+    let mem_ms = t0.elapsed().as_millis();
+    let mem_eval = evaluate(&mem_table, cfg.kind, &edges, &test, 50, 7);
+    println!(
+        "{:<26} {:>9} {:>9} {:>8} {:>10} {:>8.3}",
+        "in-memory",
+        mem_ms,
+        0,
+        "0.000",
+        edges.num_entities(),
+        mem_eval.mrr
+    );
+
+    // Partition buffer, both orderings.
+    for (label, ordering) in [
+        ("buffer(16p/4) elementwise", BucketOrdering::Elementwise),
+        ("buffer(16p/4) row-major", BucketOrdering::RowMajor),
+    ] {
+        let trainer = PartitionedTrainer {
+            config: cfg,
+            num_partitions: 16,
+            buffer_capacity: 4,
+            ordering,
+        };
+        let dir = std::env::temp_dir().join(format!("saga_e9_{}", label.replace(['(', ')', '/', ' '], "_")));
+        let _ = std::fs::remove_dir_all(&dir);
+        let t0 = Instant::now();
+        let (table, _losses, stats) = trainer.train(&edges, &dir).expect("training succeeds");
+        let ms = t0.elapsed().as_millis();
+        let eval = evaluate(&table, cfg.kind, &edges, &test, 50, 7);
+        let resident_rows = edges.num_entities().div_ceil(16) * 4;
+        println!(
+            "{:<26} {:>9} {:>9} {:>8.3} {:>10} {:>8.3}",
+            label,
+            ms,
+            stats.loads,
+            (stats.bytes_read + stats.bytes_written) as f64 / 1e9,
+            resident_rows,
+            eval.mrr
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    println!("\nshape to verify (paper §5.3):");
+    println!("  • buffered training bounds resident embeddings (mem_rows ≪ total) at comparable MRR;");
+    println!("  • the swap-minimizing (elementwise) ordering does far less IO than naive scheduling —");
+    println!("    the utilization gap behind 'Marius: 1 day vs DGL-KE/PBG: multiple days'.");
+}

@@ -1,0 +1,73 @@
+//! Experiment E5 — Figure 14(a): NERD vs the deployed baseline for text
+//! annotations, across confidence cutoffs.
+//!
+//! The paper reports, relative to a popularity-prior disambiguator: ~70%
+//! recall improvement at confidence 0.9 (diminishing at lower cutoffs) and
+//! precision improvements up to 3.4% at cutoffs ≥ 0.8.
+
+use saga_bench::measure::Stats;
+use saga_bench::nerdworld::ambiguous_world;
+use saga_ml::nerd::retrieve_candidates;
+use saga_ml::{
+    ContextualDisambiguator, DistantSupervision, NerdEntityView, PopularityBaseline, StringEncoder,
+    TrainConfig, TripletTrainer,
+};
+use saga_ontology::default_ontology;
+
+fn main() {
+    let world = ambiguous_world(11, 60);
+    eprintln!(
+        "world: {} entities, {} text cases ({} tail)",
+        world.kg.entity_count(),
+        world.text_cases.len(),
+        world.text_cases.iter().filter(|c| c.tail).count()
+    );
+    let ont = default_ontology();
+    let view = NerdEntityView::build(&world.kg, None);
+    // Train the learned string encoder by distant supervision (§5.1).
+    let mut encoder = StringEncoder::new(24, 2048, 3, 5);
+    let triplets = DistantSupervision::default().triplets(&world.kg);
+    TripletTrainer::new(TrainConfig::default()).train(&mut encoder, &triplets);
+    let model = ContextualDisambiguator::default();
+    let baseline = PopularityBaseline::default();
+
+    println!("# Figure 14(a) — NERD vs deployed baseline, text annotations");
+    println!(
+        "{:>7} {:>8} {:>8} {:>8} {:>8} {:>12} {:>12}",
+        "cutoff", "nerd_P", "nerd_R", "base_P", "base_R", "P_improv", "R_improv"
+    );
+    for cutoff in [0.9, 0.8, 0.7, 0.6] {
+        let mut nerd_stats = Stats::default();
+        let mut base_stats = Stats::default();
+        for case in &world.text_cases {
+            let candidates =
+                retrieve_candidates(&view, ont.types(), &case.mention, 16, None, Some(&encoder));
+            let nerd_pred = model
+                .disambiguate(&view, &encoder, &case.mention, &case.context, &candidates, None, cutoff)
+                .map(|(id, _)| id);
+            nerd_stats.record(nerd_pred, case.truth);
+            // The deployed baseline has no learned encoder: it retrieves
+            // with deterministic similarity only.
+            let base_candidates =
+                retrieve_candidates(&view, ont.types(), &case.mention, 16, None, None);
+            let base_pred = baseline.disambiguate(&base_candidates, cutoff).map(|(id, _)| id);
+            base_stats.record(base_pred, case.truth);
+        }
+        let p_improv = 100.0 * (nerd_stats.precision() - base_stats.precision())
+            / base_stats.precision().max(1e-9);
+        let r_improv =
+            100.0 * (nerd_stats.recall() - base_stats.recall()) / base_stats.recall().max(1e-9);
+        println!(
+            "{:>7.1} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>11.1}% {:>11.1}%",
+            cutoff,
+            100.0 * nerd_stats.precision(),
+            100.0 * nerd_stats.recall(),
+            100.0 * base_stats.precision(),
+            100.0 * base_stats.recall(),
+            p_improv,
+            r_improv
+        );
+    }
+    println!("\npaper: recall improvement ≈70% at cutoff 0.9, diminishing at lower cutoffs;");
+    println!("       precision improvement up to 3.4% at cutoffs ≥ 0.8");
+}

@@ -1,0 +1,46 @@
+//! Experiment E2 — Figure 8: Graph Engine view computation vs legacy.
+//!
+//! Computes the six schematized entity-centric production views on the
+//! columnar analytics store and on the legacy row engine, and reports the
+//! legacy/GraphEngine latency ratio per view — the paper's bar chart
+//! (average ≈5×, best 14.53×, Songs lowest at ≈1.05×).
+
+use saga_bench::measure::time_it;
+use saga_bench::workload::{media_world, MediaWorldConfig};
+use saga_graph::production_views::ProductionView;
+use saga_graph::{AnalyticsStore, LegacyEngine};
+
+fn main() {
+    let cfg = MediaWorldConfig::standard(42);
+    eprintln!("building media world…");
+    let kg = media_world(&cfg);
+    eprintln!("KG: {} entities, {} facts", kg.entity_count(), kg.fact_count());
+    let store = AnalyticsStore::build(&kg);
+    let legacy = LegacyEngine::build(&kg);
+
+    println!("# Figure 8 — legacy / Graph Engine view-computation latency ratio");
+    println!("{:<18} {:>12} {:>12} {:>8} {:>8}", "view", "legacy_us", "engine_us", "rows", "ratio");
+    let mut ratios = Vec::new();
+    for view in ProductionView::ALL {
+        let (legacy_us, l_rows) = time_it(3, || view.compute_legacy(&legacy));
+        let (engine_us, e_rows) = time_it(5, || view.compute_analytics(&store));
+        assert_eq!(l_rows, e_rows, "engines must agree on {}", view.label());
+        let ratio = legacy_us as f64 / engine_us as f64;
+        ratios.push(ratio);
+        println!(
+            "{:<18} {:>12} {:>12} {:>8} {:>7.2}x",
+            view.label(),
+            legacy_us,
+            engine_us,
+            e_rows,
+            ratio
+        );
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    let max = ratios.iter().copied().fold(0.0f64, f64::max);
+    let min = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+    println!("\naverage speedup: {avg:.2}x (paper: ~5x)");
+    println!("best case:       {max:.2}x (paper: 14.53x)");
+    println!("smallest:        {min:.2}x (paper: 1.05x, Songs)");
+    println!("(no view had a performance decrease: {})", ratios.iter().all(|r| *r >= 1.0));
+}

@@ -1,0 +1,82 @@
+//! Experiment E8 — §5.1: learned string similarity vs deterministic
+//! functions on synonym/nickname-heavy duplicate detection.
+//!
+//! "In cases where typos and synonyms are present, we have found that using
+//! these learned similarity functions can lead to recall improvements of
+//! more than 20 basis points." We measure duplicate-detection recall at a
+//! matched decision threshold (calibrated so each function keeps ≥95%
+//! precision on non-matching pairs).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saga_core::KnowledgeGraph;
+use saga_ingest::synth::{typo, MusicWorld};
+use saga_ml::simlib::{jaro_winkler, levenshtein, qgram_jaccard};
+use saga_ml::{DistantSupervision, StringEncoder, TrainConfig, TripletTrainer};
+
+fn main() {
+    // Ground truth: artists with canonical names + nickname aliases.
+    let world = MusicWorld::generate(77, 400, 1);
+    let mut kg = KnowledgeGraph::new();
+    for (i, a) in world.artists.iter().enumerate() {
+        let id = saga_core::EntityId(i as u64 + 1);
+        kg.add_named_entity(id, &a.name, "music_artist", saga_core::SourceId(1), 0.9);
+        for alias in &a.aliases {
+            kg.upsert_fact(saga_core::ExtendedTriple::simple(
+                id,
+                saga_core::intern("alias"),
+                saga_core::Value::str(alias),
+                saga_core::FactMeta::from_source(saga_core::SourceId(1), 0.9),
+            ));
+        }
+    }
+    // Train on the first 300 artists (the KG bootstrap) …
+    let mut encoder = StringEncoder::new(32, 4096, 3, 9);
+    let triplets = DistantSupervision { typo_augment: 2, negatives_per_positive: 2, seed: 4 }
+        .triplets(&kg);
+    eprintln!("training on {} triplets…", triplets.len());
+    TripletTrainer::new(TrainConfig { epochs: 15, ..Default::default() })
+        .train(&mut encoder, &triplets);
+
+    // … evaluate on mention pairs with BOTH nicknames and typos.
+    let mut rng = StdRng::seed_from_u64(123);
+    let mut positives: Vec<(String, String)> = Vec::new();
+    let mut negatives: Vec<(String, String)> = Vec::new();
+    for (i, a) in world.artists.iter().enumerate() {
+        let noisy = if rng.gen_bool(0.5) { typo(&mut rng, &a.aliases[0]) } else { a.aliases[0].clone() };
+        positives.push((a.name.clone(), noisy));
+        let other = &world.artists[(i + 37) % world.artists.len()];
+        negatives.push((a.name.clone(), other.name.clone()));
+    }
+
+    type SimFn<'a> = (&'a str, Box<dyn Fn(&str, &str) -> f64 + 'a>);
+    let sims: Vec<SimFn> = vec![
+        ("levenshtein", Box::new(|a, b| levenshtein(a, b))),
+        ("jaro_winkler", Box::new(|a, b| jaro_winkler(a, b))),
+        ("qgram_jaccard", Box::new(|a, b| qgram_jaccard(a, b, 3))),
+        ("learned (neural)", Box::new(|a, b| f64::from(encoder.similarity(a, b)))),
+    ];
+
+    println!("# §5.1 — duplicate-detection recall at ≥95% precision threshold");
+    println!("{:<18} {:>10} {:>8}", "similarity", "threshold", "recall");
+    let mut det_best = 0.0f64;
+    let mut learned = 0.0f64;
+    for (name, f) in &sims {
+        // Calibrate threshold: the 95th percentile of negative-pair scores.
+        let mut neg_scores: Vec<f64> = negatives.iter().map(|(a, b)| f(a, b)).collect();
+        neg_scores.sort_by(|a, b| a.total_cmp(b));
+        let threshold = neg_scores[(neg_scores.len() as f64 * 0.95) as usize];
+        let recall = positives.iter().filter(|(a, b)| f(a, b) > threshold).count() as f64
+            / positives.len() as f64;
+        println!("{:<18} {:>10.3} {:>7.1}%", name, threshold, 100.0 * recall);
+        if *name == "learned (neural)" {
+            learned = recall;
+        } else {
+            det_best = det_best.max(recall);
+        }
+    }
+    println!(
+        "\nlearned − best deterministic: {:+.1} points (paper: >20 points on synonym-heavy inputs)",
+        100.0 * (learned - det_best)
+    );
+}

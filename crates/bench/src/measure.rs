@@ -1,0 +1,118 @@
+//! Tiny measurement helpers shared by the experiment binaries.
+
+use std::time::Instant;
+
+/// Run `f` `iters` times, returning the best (minimum) wall time in
+/// microseconds — minimum-of-N is the standard noise filter for
+//  single-process benchmarking.
+pub fn time_it<T>(iters: usize, mut f: impl FnMut() -> T) -> (u128, T) {
+    assert!(iters > 0);
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_micros());
+        out = Some(v);
+    }
+    (best.max(1), out.expect("ran at least once"))
+}
+
+/// The `q`-th percentile (0–100) of a latency sample, nearest-rank.
+pub fn percentile(samples: &mut [u128], q: f64) -> u128 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((q / 100.0) * samples.len() as f64).ceil().max(1.0) as usize;
+    samples[rank.min(samples.len()) - 1]
+}
+
+/// Simple accumulator for precision/recall experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Stats {
+    /// Record one prediction against truth.
+    pub fn record(&mut self, predicted: Option<saga_core::EntityId>, truth: saga_core::EntityId) {
+        match predicted {
+            Some(p) if p == truth => self.tp += 1,
+            Some(_) => {
+                self.fp += 1;
+                self.fn_ += 1;
+            }
+            None => self.fn_ += 1,
+        }
+    }
+
+    /// Precision.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F1.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::EntityId;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut s: Vec<u128> = (1..=100).collect();
+        assert_eq!(percentile(&mut s, 50.0), 50);
+        assert_eq!(percentile(&mut s, 95.0), 95);
+        assert_eq!(percentile(&mut s, 100.0), 100);
+        let mut one = vec![7u128];
+        assert_eq!(percentile(&mut one, 99.0), 7);
+        assert_eq!(percentile(&mut [], 50.0), 0);
+    }
+
+    #[test]
+    fn stats_precision_recall() {
+        let mut s = Stats::default();
+        s.record(Some(EntityId(1)), EntityId(1)); // tp
+        s.record(Some(EntityId(2)), EntityId(3)); // fp + fn
+        s.record(None, EntityId(4)); // fn
+        assert!((s.precision() - 0.5).abs() < 1e-9);
+        assert!((s.recall() - 1.0 / 3.0).abs() < 1e-9);
+        assert!(s.f1() > 0.0);
+    }
+
+    #[test]
+    fn time_it_returns_result_and_positive_time() {
+        let (us, v) = time_it(3, || (0..1000).sum::<u64>());
+        assert_eq!(v, 499_500);
+        assert!(us >= 1);
+    }
+}

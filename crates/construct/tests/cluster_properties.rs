@@ -1,0 +1,104 @@
+//! Property-based tests for correlation clustering: resolution safety
+//! invariants must hold for arbitrary linkage graphs (§2.3 step 5).
+
+use proptest::prelude::*;
+use saga_construct::{correlation_cluster, ClusterNode, LinkageGraph};
+use saga_core::EntityId;
+
+fn build_graph(
+    n_source: usize,
+    n_kg: usize,
+    edges: &[(u8, u8)],
+) -> (LinkageGraph, usize) {
+    let mut g = LinkageGraph::new();
+    for i in 0..n_source {
+        g.add_node(ClusterNode::Source(i));
+    }
+    for k in 0..n_kg {
+        g.add_node(ClusterNode::Kg(EntityId(k as u64)));
+    }
+    let total = n_source + n_kg;
+    let node = |i: usize| -> ClusterNode {
+        if i < n_source {
+            ClusterNode::Source(i)
+        } else {
+            ClusterNode::Kg(EntityId((i - n_source) as u64))
+        }
+    };
+    for &(a, b) in edges {
+        let (a, b) = (a as usize % total.max(1), b as usize % total.max(1));
+        g.add_positive(node(a), node(b));
+    }
+    (g, total)
+}
+
+proptest! {
+    /// Every node lands in exactly one cluster; no cluster holds two
+    /// existing-KG entities; results are deterministic per seed.
+    #[test]
+    fn clustering_invariants(
+        n_source in 1usize..12,
+        n_kg in 0usize..6,
+        edges in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..40),
+        seed in any::<u64>(),
+    ) {
+        let (g, total) = build_graph(n_source, n_kg, &edges);
+        let clusters = correlation_cluster(&g, seed);
+
+        // Partition: every node exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for c in &clusters {
+            prop_assert!(!c.is_empty(), "no empty clusters");
+            for n in c {
+                prop_assert!(seen.insert(*n), "node {n:?} in two clusters");
+            }
+        }
+        prop_assert_eq!(seen.len(), total);
+
+        // At most one KG entity per cluster (the §2.3 resolution constraint).
+        for c in &clusters {
+            let kg_nodes = c.iter().filter(|n| matches!(n, ClusterNode::Kg(_))).count();
+            prop_assert!(kg_nodes <= 1, "cluster {c:?} holds {kg_nodes} KG entities");
+        }
+
+        // Determinism under the same seed.
+        prop_assert_eq!(correlation_cluster(&g, seed), clusters);
+    }
+
+    /// Only positively-connected nodes may share a cluster: clustering
+    /// never invents links (it may split, never join strangers).
+    #[test]
+    fn clusters_respect_positive_edges(
+        n_source in 2usize..10,
+        edges in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..25),
+        seed in any::<u64>(),
+    ) {
+        let (g, _) = build_graph(n_source, 0, &edges);
+        let positive: std::collections::HashSet<(usize, usize)> = edges
+            .iter()
+            .map(|&(a, b)| {
+                let (a, b) = (a as usize % n_source, b as usize % n_source);
+                (a.min(b), a.max(b))
+            })
+            .collect();
+        for c in correlation_cluster(&g, seed) {
+            let ids: Vec<usize> = c
+                .iter()
+                .map(|n| match n {
+                    ClusterNode::Source(i) => *i,
+                    ClusterNode::Kg(_) => unreachable!("no KG nodes added"),
+                })
+                .collect();
+            // Pivot clustering joins a pivot with its *direct* neighbours:
+            // every member must share a positive edge with some member.
+            if ids.len() > 1 {
+                for &m in &ids {
+                    let connected = ids
+                        .iter()
+                        .any(|&o| o != m && positive.contains(&(m.min(o), m.max(o))));
+                    prop_assert!(connected, "member {m} has no edge into its cluster");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Unified error type for the platform.
+
+use std::fmt;
+
+/// Result alias used across all Saga crates.
+pub type Result<T> = std::result::Result<T, SagaError>;
+
+/// Errors surfaced by the Saga platform.
+#[derive(Debug)]
+pub enum SagaError {
+    /// A source payload violated a data-transformer integrity check (§2.2).
+    Integrity(String),
+    /// Ontology alignment referenced an unknown type or predicate.
+    Ontology(String),
+    /// An importer could not parse upstream data.
+    Import(String),
+    /// A KGQ query failed to parse or compile.
+    Query(String),
+    /// A view definition or the view manager failed.
+    View(String),
+    /// The operation log or an orchestration agent failed.
+    Storage(String),
+    /// An ML component was misconfigured or fed invalid shapes.
+    Model(String),
+    /// Underlying IO error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SagaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SagaError::Integrity(m) => write!(f, "integrity violation: {m}"),
+            SagaError::Ontology(m) => write!(f, "ontology error: {m}"),
+            SagaError::Import(m) => write!(f, "import error: {m}"),
+            SagaError::Query(m) => write!(f, "query error: {m}"),
+            SagaError::View(m) => write!(f, "view error: {m}"),
+            SagaError::Storage(m) => write!(f, "storage error: {m}"),
+            SagaError::Model(m) => write!(f, "model error: {m}"),
+            SagaError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SagaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SagaError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SagaError {
+    fn from(e: std::io::Error) -> Self {
+        SagaError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = SagaError::Integrity("duplicate entity id".into());
+        assert_eq!(e.to_string(), "integrity violation: duplicate entity id");
+        let q = SagaError::Query("unexpected token".into());
+        assert!(q.to_string().starts_with("query error"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SagaError = io.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-fact metadata: provenance, trust and locale (§2.1 of the paper).
+//!
+//! Every KG record carries an array of source references and an aligned
+//! array of per-source trustworthiness scores. The arrays are updated
+//! non-destructively as facts from multiple sources are fused into one
+//! record, which is what lets Saga (a) attribute every fact, (b) serve
+//! license-conformant views, and (c) honour on-demand deletion.
+
+use crate::{intern, SourceId, Symbol};
+
+/// One provenance entry: the contributing source and its trust score.
+#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SourceTrust {
+    /// The contributing source.
+    pub source: SourceId,
+    /// Source trustworthiness in `[0, 1]`, from truth-discovery (§2.3 Fusion).
+    pub trust: f32,
+}
+
+/// Metadata attached to every [`ExtendedTriple`](crate::ExtendedTriple).
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct FactMeta {
+    /// Aligned provenance + trust entries, one per contributing source.
+    pub provenance: Vec<SourceTrust>,
+    /// Locale of literal/string objects (e.g. `en`, `fr`), for multi-lingual
+    /// knowledge; `None` for locale-independent facts.
+    pub locale: Option<Symbol>,
+}
+
+impl FactMeta {
+    /// Metadata for a fact first observed in `source` with trust `trust`.
+    pub fn from_source(source: SourceId, trust: f32) -> FactMeta {
+        FactMeta { provenance: vec![SourceTrust { source, trust }], locale: None }
+    }
+
+    /// Same as [`from_source`](Self::from_source) with a locale tag.
+    pub fn localized(source: SourceId, trust: f32, locale: &str) -> FactMeta {
+        FactMeta {
+            provenance: vec![SourceTrust { source, trust }],
+            locale: Some(intern(locale)),
+        }
+    }
+
+    /// All contributing sources, in insertion order.
+    pub fn sources(&self) -> impl Iterator<Item = SourceId> + '_ {
+        self.provenance.iter().map(|st| st.source)
+    }
+
+    /// Whether `source` contributed to this fact.
+    pub fn has_source(&self, source: SourceId) -> bool {
+        self.provenance.iter().any(|st| st.source == source)
+    }
+
+    /// Record that `source` (re-)asserted this fact with trust `trust`.
+    ///
+    /// If the source is already present its trust is refreshed (sources can
+    /// recalibrate over time); otherwise it is appended. This is the
+    /// non-destructive merge used by fusion's outer join (§2.3).
+    pub fn merge_source(&mut self, source: SourceId, trust: f32) {
+        match self.provenance.iter_mut().find(|st| st.source == source) {
+            Some(st) => st.trust = trust,
+            None => self.provenance.push(SourceTrust { source, trust }),
+        }
+    }
+
+    /// Merge all provenance entries of `other` into `self`.
+    pub fn merge(&mut self, other: &FactMeta) {
+        for st in &other.provenance {
+            self.merge_source(st.source, st.trust);
+        }
+        if self.locale.is_none() {
+            self.locale = other.locale;
+        }
+    }
+
+    /// Remove a source's attribution. Returns `true` if the fact is now
+    /// orphaned (no remaining sources) and should be dropped from the KG —
+    /// the mechanism behind on-demand data deletion.
+    pub fn retract_source(&mut self, source: SourceId) -> bool {
+        self.provenance.retain(|st| st.source != source);
+        self.provenance.is_empty()
+    }
+
+    /// Aggregated confidence that the fact is correct, combining independent
+    /// source trusts with a noisy-OR: `1 - Π (1 - trust_i)`.
+    ///
+    /// The paper stores a per-record confidence used for accuracy SLAs and
+    /// fact-auditing decisions; noisy-OR is the standard independence
+    /// combiner for "at least one source is right".
+    pub fn confidence(&self) -> f32 {
+        let mut not_p = 1.0f32;
+        for st in &self.provenance {
+            not_p *= 1.0 - st.trust.clamp(0.0, 1.0);
+        }
+        1.0 - not_p
+    }
+
+    /// Number of distinct contributing sources (the "number of identities"
+    /// structural signal used by entity importance, §3.3).
+    pub fn source_count(&self) -> usize {
+        self.provenance.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_source_records_single_provenance() {
+        let m = FactMeta::from_source(SourceId(1), 0.9);
+        assert_eq!(m.source_count(), 1);
+        assert!(m.has_source(SourceId(1)));
+        assert!(!m.has_source(SourceId(2)));
+        assert!(m.locale.is_none());
+    }
+
+    #[test]
+    fn localized_interns_locale() {
+        let m = FactMeta::localized(SourceId(1), 0.9, "en");
+        assert_eq!(m.locale, Some(intern("en")));
+    }
+
+    #[test]
+    fn merge_source_appends_or_refreshes() {
+        let mut m = FactMeta::from_source(SourceId(1), 0.9);
+        m.merge_source(SourceId(2), 0.8);
+        assert_eq!(m.source_count(), 2);
+        m.merge_source(SourceId(1), 0.5); // refresh, not duplicate
+        assert_eq!(m.source_count(), 2);
+        assert_eq!(m.provenance[0].trust, 0.5);
+    }
+
+    #[test]
+    fn retract_source_signals_orphaned_fact() {
+        let mut m = FactMeta::from_source(SourceId(1), 0.9);
+        m.merge_source(SourceId(2), 0.8);
+        assert!(!m.retract_source(SourceId(1)));
+        assert!(m.retract_source(SourceId(2)), "last source removed → orphan");
+    }
+
+    #[test]
+    fn confidence_is_noisy_or() {
+        let mut m = FactMeta::from_source(SourceId(1), 0.9);
+        assert!((m.confidence() - 0.9).abs() < 1e-6);
+        m.merge_source(SourceId(2), 0.8);
+        // 1 - 0.1*0.2 = 0.98
+        assert!((m.confidence() - 0.98).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confidence_clamps_out_of_range_trust() {
+        let m = FactMeta::from_source(SourceId(1), 1.5);
+        assert!((m.confidence() - 1.0).abs() < 1e-6);
+        let m2 = FactMeta::from_source(SourceId(1), -0.5);
+        assert!(m2.confidence().abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_unions_provenance_and_keeps_first_locale() {
+        let mut a = FactMeta::localized(SourceId(1), 0.9, "en");
+        let b = FactMeta::localized(SourceId(2), 0.7, "fr");
+        a.merge(&b);
+        assert_eq!(a.source_count(), 2);
+        assert_eq!(a.locale, Some(intern("en")));
+
+        let mut c = FactMeta::from_source(SourceId(3), 0.5);
+        c.merge(&b);
+        assert_eq!(c.locale, Some(intern("fr")), "missing locale adopted from other");
+    }
+}

@@ -1,0 +1,287 @@
+//! The object side of a triple.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::EntityId;
+
+/// A literal value or entity reference stored in a triple's `object` field.
+///
+/// §2.1: "object can either be a literal value or a reference to another
+/// entity". Before subject linking / object resolution, references coming
+/// from a source are still in the *source namespace* and are represented by
+/// [`Value::SourceRef`]; knowledge construction rewrites them into
+/// [`Value::Entity`] (or mints new entities).
+///
+/// `Value` implements `Eq`/`Hash`/`Ord` with a total order (floats compare
+/// by their bit pattern through [`f64::total_cmp`]) so it can key hash maps
+/// and sort columns in the analytics store.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub enum Value {
+    /// Absent / explicit null (source schemas may carry empty predicates).
+    Null,
+    /// A boolean literal.
+    Bool(bool),
+    /// A 64-bit integer literal.
+    Int(i64),
+    /// A 64-bit float literal.
+    Float(f64),
+    /// A string literal (shared; strings are cloned constantly on ingest paths).
+    Str(Arc<str>),
+    /// A resolved reference to a KG entity.
+    Entity(EntityId),
+    /// An unresolved reference in an upstream source's own namespace.
+    SourceRef(Arc<str>),
+}
+
+impl Value {
+    /// Shorthand for a string literal value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Shorthand for an unresolved source-namespace reference.
+    pub fn source_ref(s: impl AsRef<str>) -> Value {
+        Value::SourceRef(Arc::from(s.as_ref()))
+    }
+
+    /// True if this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The string payload, if this is a string literal.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer literal.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float payload; integers are widened for convenience.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean literal.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The KG entity reference, if resolved.
+    pub fn as_entity(&self) -> Option<EntityId> {
+        match self {
+            Value::Entity(e) => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// The source-namespace reference, if unresolved.
+    pub fn as_source_ref(&self) -> Option<&str> {
+        match self {
+            Value::SourceRef(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A small integer identifying the variant, used for cross-variant
+    /// ordering and by the columnar store's type dispatch.
+    pub fn kind_tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+            Value::Entity(_) => 5,
+            Value::SourceRef(_) => 6,
+        }
+    }
+
+    /// Render the value the way the paper's Table 1 renders objects.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Null => "∅".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f}"),
+            Value::Str(s) => s.to_string(),
+            Value::Entity(e) => e.to_string(),
+            Value::SourceRef(s) => format!("ref:{s}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Entity(a), Entity(b)) => a.cmp(b),
+            (SourceRef(a), SourceRef(b)) => a.cmp(b),
+            _ => self.kind_tag().cmp(&other.kind_tag()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u8(self.kind_tag());
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => f.to_bits().hash(state),
+            Value::Str(s) => s.hash(state),
+            Value::Entity(e) => e.hash(state),
+            Value::SourceRef(s) => s.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<EntityId> for Value {
+    fn from(v: EntityId) -> Value {
+        Value::Entity(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equality_and_hash_agree_for_floats() {
+        let a = Value::Float(1.5);
+        let b = Value::Float(1.5);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        // NaN equals itself under total ordering, so it can key maps.
+        let n1 = Value::Float(f64::NAN);
+        let n2 = Value::Float(f64::NAN);
+        assert_eq!(n1, n2);
+        assert_eq!(hash_of(&n1), hash_of(&n2));
+    }
+
+    #[test]
+    fn cross_variant_ordering_is_total_and_consistent() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(3),
+            Value::Float(2.0),
+            Value::str("abc"),
+            Value::Entity(EntityId(7)),
+            Value::source_ref("m1"),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(a.cmp(b), i.cmp(&j), "kind order must follow tag order");
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_return_expected_payloads() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Int(4).as_float(), Some(4.0));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Entity(EntityId(1)).as_entity(), Some(EntityId(1)));
+        assert_eq!(Value::source_ref("a").as_source_ref(), Some("a"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::str("x").as_int(), None);
+    }
+
+    #[test]
+    fn from_impls_produce_the_right_variants() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("hi"), Value::str("hi"));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(EntityId(9)), Value::Entity(EntityId(9)));
+    }
+
+    #[test]
+    fn render_matches_table1_style() {
+        assert_eq!(Value::str("J. Smith").render(), "J. Smith");
+        assert_eq!(Value::Entity(EntityId(12)).render(), "AKG:12");
+        assert_eq!(Value::Null.render(), "∅");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the core data model invariants.
+
+use proptest::prelude::*;
+use saga_core::{
+    intern, EntityId, ExtendedTriple, FactMeta, KnowledgeGraph, SourceId, Value,
+};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,24}".prop_map(|s| Value::str(&s)),
+        (0u64..1000).prop_map(|i| Value::Entity(EntityId(i))),
+        "[a-z0-9_]{1,12}".prop_map(|s| Value::source_ref(&s)),
+    ]
+}
+
+proptest! {
+    /// `Value`'s ordering is a total order: reflexive-equal, antisymmetric,
+    /// transitive — required for it to key maps and sort columns.
+    #[test]
+    fn value_ordering_is_total(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.cmp(&a), Ordering::Equal);
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+    }
+
+    /// Equal values hash equal (the map-key contract), including floats.
+    #[test]
+    fn value_eq_implies_hash_eq(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        if a == b {
+            prop_assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    /// Noisy-OR confidence stays in [0,1] and never decreases as sources merge.
+    #[test]
+    fn confidence_is_bounded_and_monotone(
+        trusts in proptest::collection::vec(0.0f32..=1.0, 1..8)
+    ) {
+        let mut meta = FactMeta::from_source(SourceId(0), trusts[0]);
+        let mut last = meta.confidence();
+        prop_assert!((0.0..=1.0).contains(&last));
+        for (i, t) in trusts.iter().enumerate().skip(1) {
+            meta.merge_source(SourceId(i as u32), *t);
+            let c = meta.confidence();
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&c));
+            prop_assert!(c >= last - 1e-6, "merging a source never reduces confidence");
+            last = c;
+        }
+    }
+
+    /// Upserting the same facts twice never grows the KG (fusion idempotence),
+    /// and provenance survives merging.
+    #[test]
+    fn kg_upsert_is_idempotent(
+        facts in proptest::collection::vec(
+            ((0u64..20), "[a-z]{1,6}", arb_value()),
+            1..40,
+        )
+    ) {
+        let mut kg = KnowledgeGraph::new();
+        let mk = |(s, p, v): &(u64, String, Value)| {
+            ExtendedTriple::simple(
+                EntityId(*s),
+                intern(p),
+                v.clone(),
+                FactMeta::from_source(SourceId(1), 0.9),
+            )
+        };
+        for f in &facts {
+            kg.upsert_fact(mk(f));
+        }
+        let entities = kg.entity_count();
+        let count = kg.fact_count();
+        for f in &facts {
+            kg.upsert_fact(mk(f));
+        }
+        prop_assert_eq!(kg.fact_count(), count);
+        prop_assert_eq!(kg.entity_count(), entities);
+    }
+
+    /// Retracting a source removes every trace of it, and retracting an
+    /// unknown source is a no-op.
+    #[test]
+    fn retract_source_is_complete(
+        facts in proptest::collection::vec(
+            ((0u64..10), "[a-z]{1,4}", 0u32..3),
+            1..30,
+        )
+    ) {
+        let mut kg = KnowledgeGraph::new();
+        for (s, p, src) in &facts {
+            kg.upsert_fact(ExtendedTriple::simple(
+                EntityId(*s),
+                intern(p),
+                Value::Int(*s as i64),
+                FactMeta::from_source(SourceId(*src), 0.8),
+            ));
+        }
+        let before = kg.stats();
+        kg.retract_source(SourceId(99));
+        prop_assert_eq!(kg.stats(), before, "unknown source retraction is a no-op");
+
+        kg.retract_source(SourceId(0));
+        for t in kg.triples() {
+            prop_assert!(!t.meta.has_source(SourceId(0)), "no fact may still cite src0");
+        }
+    }
+}

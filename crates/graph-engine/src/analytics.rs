@@ -1,0 +1,564 @@
+//! The read-optimized columnar analytics engine (§3.1.1).
+//!
+//! "The analytics engine is a relational data warehouse that stores the KG
+//! extended triples … The engine is read optimized." Storage is
+//! predicate-partitioned: for each predicate, parallel column vectors of
+//! `(subject, value)` pairs, typed by the value kind (entity refs as dense
+//! `u64`, strings interned behind `Arc`, ints/floats unboxed). Composite
+//! facets are flattened to `predicate.facet` columns — exactly the
+//! extended-triples trick that avoids self-joins (§2.1).
+//!
+//! Queries compose through [`Frame`], a small columnar relational algebra
+//! (hash join / semi join / group-count / project) whose join keys are
+//! unboxed ids hashed with Fx — the "optimized join processing" behind the
+//! Fig. 8 comparison.
+
+use std::sync::Arc;
+
+use saga_core::{intern, EntityId, FxHashMap, KnowledgeGraph, Symbol, Value};
+
+/// One predicate's columnar partition.
+#[derive(Clone, Debug, Default)]
+pub struct PredTable {
+    /// `(subject, object-entity)` rows.
+    pub ent_rows: (Vec<u64>, Vec<u64>),
+    /// `(subject, string)` rows.
+    pub str_rows: (Vec<u64>, Vec<Arc<str>>),
+    /// `(subject, int)` rows.
+    pub int_rows: (Vec<u64>, Vec<i64>),
+    /// `(subject, float)` rows.
+    pub float_rows: (Vec<u64>, Vec<f64>),
+    /// Lazily-built dictionary snapshot of the string column, shared by
+    /// dictionary-encoded frames (reset on mutation).
+    str_dict: std::sync::OnceLock<Arc<Vec<Arc<str>>>>,
+}
+
+impl PredTable {
+    fn push(&mut self, subject: u64, value: &Value) {
+        match value {
+            Value::Entity(e) => {
+                self.ent_rows.0.push(subject);
+                self.ent_rows.1.push(e.0);
+            }
+            Value::Str(s) => {
+                self.str_rows.0.push(subject);
+                self.str_rows.1.push(Arc::clone(s));
+                self.str_dict = std::sync::OnceLock::new();
+            }
+            Value::Int(i) => {
+                self.int_rows.0.push(subject);
+                self.int_rows.1.push(*i);
+            }
+            Value::Float(f) => {
+                self.float_rows.0.push(subject);
+                self.float_rows.1.push(*f);
+            }
+            // Unresolved refs, bools and nulls are not analytics-relevant.
+            _ => {}
+        }
+    }
+
+    fn retain_subjects(&mut self, keep: impl Fn(u64) -> bool) {
+        retain_pair(&mut self.ent_rows, &keep);
+        retain_pair(&mut self.str_rows, &keep);
+        retain_pair(&mut self.int_rows, &keep);
+        retain_pair(&mut self.float_rows, &keep);
+        self.str_dict = std::sync::OnceLock::new();
+    }
+
+    /// The shared dictionary snapshot of this partition's string column.
+    pub fn str_dict(&self) -> Arc<Vec<Arc<str>>> {
+        Arc::clone(self.str_dict.get_or_init(|| Arc::new(self.str_rows.1.clone())))
+    }
+
+    /// Total rows across value kinds.
+    pub fn len(&self) -> usize {
+        self.ent_rows.0.len() + self.str_rows.0.len() + self.int_rows.0.len()
+            + self.float_rows.0.len()
+    }
+
+    /// True if the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn retain_pair<T: Clone>(pair: &mut (Vec<u64>, Vec<T>), keep: &impl Fn(u64) -> bool) {
+    let (subs, vals) = pair;
+    let mut w = 0;
+    for i in 0..subs.len() {
+        if keep(subs[i]) {
+            subs.swap(w, i);
+            vals.swap(w, i);
+            w += 1;
+        }
+    }
+    subs.truncate(w);
+    vals.truncate(w);
+}
+
+/// The columnar analytics store.
+#[derive(Clone, Debug, Default)]
+pub struct AnalyticsStore {
+    tables: FxHashMap<Symbol, PredTable>,
+    by_type: FxHashMap<Symbol, Vec<u64>>,
+}
+
+impl AnalyticsStore {
+    /// Build the store from a KG snapshot.
+    pub fn build(kg: &KnowledgeGraph) -> Self {
+        let mut store = AnalyticsStore::default();
+        for record in kg.entities() {
+            store.index_entity(record);
+        }
+        store
+    }
+
+    fn index_entity(&mut self, record: &saga_core::EntityRecord) {
+        let subject = record.id.0;
+        for t in &record.triples {
+            let pred = match t.rel {
+                None => t.predicate,
+                Some(rel) => intern(&format!("{}.{}", t.predicate, rel.rel_predicate)),
+            };
+            self.tables.entry(pred).or_default().push(subject, &t.object);
+        }
+        for ty in record.types() {
+            self.by_type.entry(ty).or_default().push(subject);
+        }
+    }
+
+    /// Incrementally refresh `changed` entities (§3.2's update-by-changed-ids
+    /// procedure): their old rows are dropped and current rows re-indexed.
+    pub fn update(&mut self, kg: &KnowledgeGraph, changed: &[EntityId]) {
+        let changed_set: saga_core::FxHashSet<u64> = changed.iter().map(|e| e.0).collect();
+        for table in self.tables.values_mut() {
+            table.retain_subjects(|s| !changed_set.contains(&s));
+        }
+        for subjects in self.by_type.values_mut() {
+            subjects.retain(|s| !changed_set.contains(s));
+        }
+        for &id in changed {
+            if let Some(record) = kg.entity(id) {
+                self.index_entity(record);
+            }
+        }
+    }
+
+    /// The columnar partition of a predicate (empty table if absent).
+    pub fn table(&self, predicate: Symbol) -> Option<&PredTable> {
+        self.tables.get(&predicate)
+    }
+
+    /// Subjects having ontology type `ty`.
+    pub fn entities_of_type(&self, ty: Symbol) -> &[u64] {
+        self.by_type.get(&ty).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total rows across all partitions.
+    pub fn row_count(&self) -> usize {
+        self.tables.values().map(PredTable::len).sum()
+    }
+
+    /// `Frame[subject, <name>]` over a predicate's entity-ref rows.
+    pub fn frame_ents(&self, predicate: Symbol, value_name: &str) -> Frame {
+        match self.tables.get(&predicate) {
+            Some(t) => Frame::new(vec![
+                ("subject".into(), FrameCol::Ids(t.ent_rows.0.clone())),
+                (value_name.into(), FrameCol::Ids(t.ent_rows.1.clone())),
+            ]),
+            None => Frame::empty2("subject", value_name),
+        }
+    }
+
+    /// `Frame[subject, <name>]` over a predicate's string rows
+    /// (dictionary-encoded: the frame shares the partition's dictionary).
+    pub fn frame_strs(&self, predicate: Symbol, value_name: &str) -> Frame {
+        match self.tables.get(&predicate) {
+            Some(t) => Frame::new(vec![
+                ("subject".into(), FrameCol::Ids(t.str_rows.0.clone())),
+                (
+                    value_name.into(),
+                    FrameCol::DictStrs {
+                        codes: (0..t.str_rows.1.len() as u32).collect(),
+                        dict: t.str_dict(),
+                    },
+                ),
+            ]),
+            None => Frame::empty2("subject", value_name),
+        }
+    }
+
+    /// `Frame[subject, <name>]` over a predicate's int rows.
+    pub fn frame_ints(&self, predicate: Symbol, value_name: &str) -> Frame {
+        match self.tables.get(&predicate) {
+            Some(t) => Frame::new(vec![
+                ("subject".into(), FrameCol::Ids(t.int_rows.0.clone())),
+                (value_name.into(), FrameCol::Ints(t.int_rows.1.clone())),
+            ]),
+            None => Frame::empty2("subject", value_name),
+        }
+    }
+
+    /// `Frame[subject]` of entities of one type.
+    pub fn frame_type(&self, ty: Symbol) -> Frame {
+        Frame::new(vec![(
+            "subject".into(),
+            FrameCol::Ids(self.entities_of_type(ty).to_vec()),
+        )])
+    }
+}
+
+/// A prebuilt hash index over one of a frame's id columns (see
+/// [`Frame::index_on`]).
+#[derive(Clone, Debug)]
+pub struct JoinIndex {
+    on: String,
+    first: FxHashMap<u64, u32>,
+    overflow: FxHashMap<u64, Vec<u32>>,
+}
+
+/// A column of a [`Frame`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FrameCol {
+    /// Entity ids (join keys).
+    Ids(Vec<u64>),
+    /// Strings (small, materialized).
+    Strs(Vec<Arc<str>>),
+    /// Dictionary-encoded strings: per-row codes into a shared dictionary.
+    /// Gathers copy only the `u32` codes — no per-row refcount traffic —
+    /// which is what makes string-carrying join chains cheap.
+    DictStrs {
+        /// Per-row dictionary codes.
+        codes: Vec<u32>,
+        /// The shared dictionary.
+        dict: Arc<Vec<Arc<str>>>,
+    },
+    /// Integers.
+    Ints(Vec<i64>),
+    /// Floats.
+    Floats(Vec<f64>),
+}
+
+impl FrameCol {
+    fn len(&self) -> usize {
+        match self {
+            FrameCol::Ids(v) => v.len(),
+            FrameCol::Strs(v) => v.len(),
+            FrameCol::DictStrs { codes, .. } => codes.len(),
+            FrameCol::Ints(v) => v.len(),
+            FrameCol::Floats(v) => v.len(),
+        }
+    }
+
+    fn gather(&self, idx: &[usize]) -> FrameCol {
+        match self {
+            FrameCol::Ids(v) => FrameCol::Ids(idx.iter().map(|&i| v[i]).collect()),
+            FrameCol::Strs(v) => FrameCol::Strs(idx.iter().map(|&i| Arc::clone(&v[i])).collect()),
+            FrameCol::DictStrs { codes, dict } => FrameCol::DictStrs {
+                codes: idx.iter().map(|&i| codes[i]).collect(),
+                dict: Arc::clone(dict),
+            },
+            FrameCol::Ints(v) => FrameCol::Ints(idx.iter().map(|&i| v[i]).collect()),
+            FrameCol::Floats(v) => FrameCol::Floats(idx.iter().map(|&i| v[i]).collect()),
+        }
+    }
+
+    /// The ids, if this is an id column.
+    pub fn as_ids(&self) -> Option<&[u64]> {
+        match self {
+            FrameCol::Ids(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Row `i` as a string, for string-typed columns.
+    pub fn str_at(&self, i: usize) -> Option<&str> {
+        match self {
+            FrameCol::Strs(v) => v.get(i).map(|s| &**s),
+            FrameCol::DictStrs { codes, dict } => {
+                codes.get(i).map(|&c| &*dict[c as usize])
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A small columnar relation: named columns of equal length.
+#[derive(Clone, Debug, Default)]
+pub struct Frame {
+    cols: Vec<(String, FrameCol)>,
+    len: usize,
+}
+
+impl Frame {
+    /// Build from named columns (must agree on length).
+    pub fn new(cols: Vec<(String, FrameCol)>) -> Frame {
+        let len = cols.first().map(|(_, c)| c.len()).unwrap_or(0);
+        for (name, c) in &cols {
+            assert_eq!(c.len(), len, "column {name} length mismatch");
+        }
+        Frame { cols, len }
+    }
+
+    fn empty2(a: &str, b: &str) -> Frame {
+        Frame::new(vec![
+            (a.into(), FrameCol::Ids(Vec::new())),
+            (b.into(), FrameCol::Ids(Vec::new())),
+        ])
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Column by name.
+    pub fn col(&self, name: &str) -> Option<&FrameCol> {
+        self.cols.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.cols.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Rename a column in place (returns self for chaining).
+    #[must_use]
+    pub fn rename(mut self, from: &str, to: &str) -> Frame {
+        for (n, _) in &mut self.cols {
+            if n == from {
+                *n = to.to_string();
+            }
+        }
+        self
+    }
+
+    /// Build a reusable hash index over an id column — the dimension-table
+    /// pattern: build once, probe from many joins (the view definitions
+    /// reuse one `name` index across all their name lookups).
+    pub fn index_on(&self, on: &str) -> JoinIndex {
+        let keys = self
+            .col(on)
+            .and_then(FrameCol::as_ids)
+            .unwrap_or_else(|| panic!("index column {on} must be ids"));
+        // Unique keys are stored inline; duplicates spill into per-key
+        // overflow vectors, keeping the common case allocation-free.
+        let mut first: FxHashMap<u64, u32> = FxHashMap::default();
+        first.reserve(keys.len());
+        let mut overflow: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        for (i, &k) in keys.iter().enumerate() {
+            if first.contains_key(&k) {
+                overflow.entry(k).or_default().push(i as u32);
+            } else {
+                first.insert(k, i as u32);
+            }
+        }
+        JoinIndex { on: on.to_string(), first, overflow }
+    }
+
+    /// Inner hash join on id columns `self.left_on == other.right_on`.
+    ///
+    /// The build side is `other`; probe is `self`. Output columns: all of
+    /// `self`, then all of `other` except its join column. Name collisions
+    /// on the right get a `r_` prefix.
+    pub fn hash_join(&self, left_on: &str, other: &Frame, right_on: &str) -> Frame {
+        let index = other.index_on(right_on);
+        self.hash_join_with(left_on, other, &index)
+    }
+
+    /// Inner hash join probing a prebuilt [`JoinIndex`] over `other`.
+    pub fn hash_join_with(&self, left_on: &str, other: &Frame, index: &JoinIndex) -> Frame {
+        let left_keys = self
+            .col(left_on)
+            .and_then(FrameCol::as_ids)
+            .unwrap_or_else(|| panic!("left join column {left_on} must be ids"));
+        let mut left_idx = Vec::new();
+        let mut right_idx = Vec::new();
+        for (i, &k) in left_keys.iter().enumerate() {
+            if let Some(&f) = index.first.get(&k) {
+                left_idx.push(i);
+                right_idx.push(f as usize);
+                if let Some(extra) = index.overflow.get(&k) {
+                    for &j in extra {
+                        left_idx.push(i);
+                        right_idx.push(j as usize);
+                    }
+                }
+            }
+        }
+        let mut cols: Vec<(String, FrameCol)> = self
+            .cols
+            .iter()
+            .map(|(n, c)| (n.clone(), c.gather(&left_idx)))
+            .collect();
+        for (n, c) in &other.cols {
+            if n == &index.on {
+                continue;
+            }
+            let name = if self.col(n).is_some() { format!("r_{n}") } else { n.clone() };
+            cols.push((name, c.gather(&right_idx)));
+        }
+        Frame::new(cols)
+    }
+
+    /// Semi join: keep rows of `self` whose `on` id appears in `keys`.
+    #[must_use]
+    pub fn semi_join(&self, on: &str, keys: &[u64]) -> Frame {
+        let key_set: saga_core::FxHashSet<u64> = keys.iter().copied().collect();
+        let col = self.col(on).and_then(FrameCol::as_ids).expect("semi join needs id column");
+        let idx: Vec<usize> =
+            col.iter().enumerate().filter(|(_, k)| key_set.contains(k)).map(|(i, _)| i).collect();
+        Frame::new(self.cols.iter().map(|(n, c)| (n.clone(), c.gather(&idx))).collect())
+    }
+
+    /// Group by an id column, counting rows: returns `Frame[<by>, count]`.
+    pub fn group_count(&self, by: &str) -> Frame {
+        let keys = self.col(by).and_then(FrameCol::as_ids).expect("group_count needs id column");
+        let mut counts: FxHashMap<u64, i64> = FxHashMap::default();
+        for &k in keys {
+            *counts.entry(k).or_insert(0) += 1;
+        }
+        let mut pairs: Vec<(u64, i64)> = counts.into_iter().collect();
+        pairs.sort_unstable();
+        Frame::new(vec![
+            (by.into(), FrameCol::Ids(pairs.iter().map(|(k, _)| *k).collect())),
+            ("count".into(), FrameCol::Ints(pairs.iter().map(|(_, c)| *c).collect())),
+        ])
+    }
+
+    /// Keep only the named columns (projection).
+    #[must_use]
+    pub fn project(&self, names: &[&str]) -> Frame {
+        Frame::new(
+            names
+                .iter()
+                .map(|n| {
+                    let c = self.col(n).unwrap_or_else(|| panic!("no column {n}"));
+                    ((*n).to_string(), c.clone())
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::{ExtendedTriple, FactMeta, RelId, SourceId};
+
+    fn meta() -> FactMeta {
+        FactMeta::from_source(SourceId(1), 0.9)
+    }
+
+    fn kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_named_entity(EntityId(1), "Artist A", "music_artist", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(2), "Song X", "song", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(3), "Song Y", "song", SourceId(1), 0.9);
+        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), intern("performed_by"), Value::Entity(EntityId(1)), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(EntityId(3), intern("performed_by"), Value::Entity(EntityId(1)), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), intern("duration_s"), Value::Int(194), meta()));
+        kg.upsert_fact(ExtendedTriple::composite(
+            EntityId(1), intern("educated_at"), RelId(1), intern("school"), Value::str("UW"), meta(),
+        ));
+        kg
+    }
+
+    #[test]
+    fn build_partitions_by_predicate_and_type() {
+        let store = AnalyticsStore::build(&kg());
+        assert_eq!(store.table(intern("performed_by")).unwrap().ent_rows.0.len(), 2);
+        assert_eq!(store.table(intern("duration_s")).unwrap().int_rows.0.len(), 1);
+        assert_eq!(store.entities_of_type(intern("song")).len(), 2);
+        // Composite facet flattened to predicate.facet.
+        let edu = store.table(intern("educated_at.school")).unwrap();
+        assert_eq!(edu.str_rows.1[0].as_ref(), "UW");
+    }
+
+    #[test]
+    fn hash_join_produces_expected_rows() {
+        let store = AnalyticsStore::build(&kg());
+        let songs = store.frame_ents(intern("performed_by"), "artist");
+        let names = store.frame_strs(intern("name"), "artist_name");
+        let joined = songs.hash_join("artist", &names, "subject");
+        assert_eq!(joined.len(), 2, "both songs join to the artist's name");
+        let col = joined.col("artist_name").unwrap();
+        for i in 0..joined.len() {
+            assert_eq!(col.str_at(i), Some("Artist A"));
+        }
+    }
+
+    #[test]
+    fn group_count_and_semi_join() {
+        let store = AnalyticsStore::build(&kg());
+        let per_artist = store.frame_ents(intern("performed_by"), "artist").group_count("artist");
+        assert_eq!(per_artist.len(), 1);
+        assert_eq!(per_artist.col("count").unwrap(), &FrameCol::Ints(vec![2]));
+
+        let names = store.frame_strs(intern("name"), "n");
+        let only_songs = names.semi_join("subject", store.entities_of_type(intern("song")));
+        assert_eq!(only_songs.len(), 2);
+    }
+
+    #[test]
+    fn incremental_update_reflects_kg_changes() {
+        let mut g = kg();
+        let mut store = AnalyticsStore::build(&g);
+        // New song appears; an old one is deleted.
+        g.add_named_entity(EntityId(4), "Song Z", "song", SourceId(1), 0.9);
+        g.upsert_fact(ExtendedTriple::simple(
+            EntityId(4), intern("performed_by"), Value::Entity(EntityId(1)), meta(),
+        ));
+        g.retract_source_entity(SourceId(1), "nonexistent"); // no-op
+        store.update(&g, &[EntityId(4)]);
+        assert_eq!(store.table(intern("performed_by")).unwrap().ent_rows.0.len(), 3);
+        assert_eq!(store.entities_of_type(intern("song")).len(), 3);
+
+        // Simulate deletion of entity 2.
+        let mut g2 = g.clone();
+        g2.record_link(SourceId(1), "s2", EntityId(2));
+        g2.retract_source_entity(SourceId(1), "s2");
+        store.update(&g2, &[EntityId(2)]);
+        assert_eq!(store.entities_of_type(intern("song")).len(), 2);
+        assert_eq!(store.table(intern("performed_by")).unwrap().ent_rows.0.len(), 2);
+    }
+
+    #[test]
+    fn join_name_collisions_get_prefixed() {
+        let a = Frame::new(vec![
+            ("k".into(), FrameCol::Ids(vec![1, 2])),
+            ("v".into(), FrameCol::Ints(vec![10, 20])),
+        ]);
+        let b = Frame::new(vec![
+            ("k".into(), FrameCol::Ids(vec![1, 2])),
+            ("v".into(), FrameCol::Ints(vec![100, 200])),
+        ]);
+        let j = a.hash_join("k", &b, "k");
+        assert_eq!(j.names(), vec!["k", "v", "r_v"]);
+    }
+
+    #[test]
+    fn one_to_many_join_fans_out() {
+        let left = Frame::new(vec![("k".into(), FrameCol::Ids(vec![7]))]);
+        let right = Frame::new(vec![
+            ("k".into(), FrameCol::Ids(vec![7, 7, 8])),
+            ("x".into(), FrameCol::Ints(vec![1, 2, 3])),
+        ]);
+        let j = left.hash_join("k", &right, "k");
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn missing_predicate_yields_empty_frame() {
+        let store = AnalyticsStore::build(&kg());
+        let f = store.frame_ents(intern("never_used"), "x");
+        assert!(f.is_empty());
+        assert_eq!(f.names(), vec!["subject", "x"]);
+    }
+}

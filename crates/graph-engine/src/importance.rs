@@ -1,0 +1,214 @@
+//! Entity importance (§3.3).
+//!
+//! "We incorporate four structural metrics to score the importance of an
+//! entity in the graph: in-degree, out-degree, number of identities, and
+//! PageRank … We then aggregate these metrics into a single score."
+//! Registered as a view so it is automatically maintained as the graph
+//! changes (see [`ImportanceView`]).
+
+use saga_core::{EntityId, FxHashMap, KnowledgeGraph, Result};
+
+use crate::views::{View, ViewContext, ViewData};
+
+/// Weights and PageRank parameters for the aggregate score.
+#[derive(Clone, Copy, Debug)]
+pub struct ImportanceConfig {
+    /// PageRank damping factor.
+    pub damping: f64,
+    /// PageRank iterations.
+    pub iterations: usize,
+    /// Weight of (log) in-degree.
+    pub w_in: f64,
+    /// Weight of (log) out-degree.
+    pub w_out: f64,
+    /// Weight of identity count (distinct contributing sources).
+    pub w_identities: f64,
+    /// Weight of normalized PageRank.
+    pub w_pagerank: f64,
+}
+
+impl Default for ImportanceConfig {
+    fn default() -> Self {
+        ImportanceConfig {
+            damping: 0.85,
+            iterations: 30,
+            w_in: 0.25,
+            w_out: 0.15,
+            w_identities: 0.2,
+            w_pagerank: 0.4,
+        }
+    }
+}
+
+/// Per-entity structural metrics and the aggregate score.
+#[derive(Clone, Debug, Default)]
+pub struct ImportanceScores {
+    /// In-degree per entity.
+    pub in_degree: FxHashMap<EntityId, usize>,
+    /// Out-degree per entity.
+    pub out_degree: FxHashMap<EntityId, usize>,
+    /// Identity (source) count per entity.
+    pub identities: FxHashMap<EntityId, usize>,
+    /// PageRank per entity.
+    pub pagerank: FxHashMap<EntityId, f64>,
+    /// The aggregate importance score.
+    pub score: FxHashMap<EntityId, f64>,
+}
+
+/// Compute all four structural metrics plus the aggregate score.
+pub fn compute_importance(kg: &KnowledgeGraph, config: &ImportanceConfig) -> ImportanceScores {
+    let adjacency = kg.adjacency();
+    let n = adjacency.len().max(1);
+
+    let mut scores = ImportanceScores::default();
+    for (src, dsts) in &adjacency {
+        scores.out_degree.insert(*src, dsts.len());
+        for d in dsts {
+            *scores.in_degree.entry(*d).or_insert(0) += 1;
+        }
+    }
+    for record in kg.entities() {
+        scores.identities.insert(record.id, record.identity_count());
+        scores.in_degree.entry(record.id).or_insert(0);
+        scores.out_degree.entry(record.id).or_insert(0);
+    }
+
+    // PageRank with dangling-mass redistribution.
+    let ids: Vec<EntityId> = adjacency.keys().copied().collect();
+    let mut rank: FxHashMap<EntityId, f64> =
+        ids.iter().map(|&id| (id, 1.0 / n as f64)).collect();
+    for _ in 0..config.iterations {
+        let mut next: FxHashMap<EntityId, f64> =
+            ids.iter().map(|&id| (id, (1.0 - config.damping) / n as f64)).collect();
+        let mut dangling = 0.0;
+        for (&src, dsts) in &adjacency {
+            let r = rank[&src];
+            // Only edges to entities that still exist carry rank.
+            let live: Vec<EntityId> =
+                dsts.iter().copied().filter(|d| rank.contains_key(d)).collect();
+            if live.is_empty() {
+                dangling += r;
+            } else {
+                let share = config.damping * r / live.len() as f64;
+                for d in live {
+                    *next.get_mut(&d).expect("dst exists") += share;
+                }
+            }
+        }
+        let dangle_share = config.damping * dangling / n as f64;
+        for v in next.values_mut() {
+            *v += dangle_share;
+        }
+        rank = next;
+    }
+    scores.pagerank = rank;
+
+    // Aggregate: weighted sum of log-degrees, identities and normalized PR.
+    let max_pr = scores.pagerank.values().copied().fold(f64::MIN_POSITIVE, f64::max);
+    for &id in scores.in_degree.keys() {
+        // Dangling references (edges to retracted entities) appear in
+        // in-degree only; every lookup tolerates them.
+        let pr = scores.pagerank.get(&id).copied().unwrap_or(0.0) / max_pr;
+        let ind = (1.0 + scores.in_degree.get(&id).copied().unwrap_or(0) as f64).ln();
+        let outd = (1.0 + scores.out_degree.get(&id).copied().unwrap_or(0) as f64).ln();
+        let idents = scores.identities.get(&id).copied().unwrap_or(0) as f64;
+        let s = config.w_in * ind
+            + config.w_out * outd
+            + config.w_identities * idents
+            + config.w_pagerank * pr;
+        scores.score.insert(id, s);
+    }
+    scores
+}
+
+/// The entity-importance view registered with the view automation (§3.3:
+/// "The computation of entity importance is modelled as a view over the
+/// KG … and is automatically maintained as the graph changes").
+pub struct ImportanceView {
+    /// Score configuration.
+    pub config: ImportanceConfig,
+}
+
+impl View for ImportanceView {
+    fn name(&self) -> &str {
+        "entity_importance"
+    }
+
+    fn create(&self, ctx: &ViewContext<'_>) -> Result<ViewData> {
+        Ok(ViewData::Scores(compute_importance(ctx.kg, &self.config).score))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::{intern, ExtendedTriple, FactMeta, SourceId, Value};
+
+    /// A star graph: hub ← spokes, plus an isolated node.
+    fn star_kg(spokes: u64) -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        let meta = || FactMeta::from_source(SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(1), "Hub", "person", SourceId(1), 0.9);
+        for i in 0..spokes {
+            let id = EntityId(10 + i);
+            kg.add_named_entity(id, &format!("Spoke{i}"), "person", SourceId(1), 0.9);
+            kg.upsert_fact(ExtendedTriple::simple(id, intern("member_of"), Value::Entity(EntityId(1)), meta()));
+        }
+        kg.add_named_entity(EntityId(99), "Loner", "person", SourceId(1), 0.9);
+        kg
+    }
+
+    #[test]
+    fn hub_dominates_every_metric_that_matters() {
+        let kg = star_kg(8);
+        let s = compute_importance(&kg, &ImportanceConfig::default());
+        assert_eq!(s.in_degree[&EntityId(1)], 8);
+        assert_eq!(s.out_degree[&EntityId(1)], 0);
+        assert!(s.pagerank[&EntityId(1)] > s.pagerank[&EntityId(10)] * 3.0);
+        assert!(s.score[&EntityId(1)] > s.score[&EntityId(10)]);
+        assert!(s.score[&EntityId(1)] > s.score[&EntityId(99)]);
+    }
+
+    #[test]
+    fn pagerank_mass_is_conserved() {
+        let kg = star_kg(5);
+        let s = compute_importance(&kg, &ImportanceConfig::default());
+        let total: f64 = s.pagerank.values().sum();
+        assert!((total - 1.0).abs() < 1e-6, "PR sums to 1: {total}");
+    }
+
+    #[test]
+    fn identities_count_contributing_sources() {
+        let mut kg = star_kg(2);
+        // A second source corroborates the hub's name.
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("name"),
+            Value::str("Hub"),
+            FactMeta::from_source(SourceId(2), 0.8),
+        ));
+        let s = compute_importance(&kg, &ImportanceConfig::default());
+        assert_eq!(s.identities[&EntityId(1)], 2);
+        assert_eq!(s.identities[&EntityId(10)], 1);
+    }
+
+    #[test]
+    fn importance_view_registers_and_computes() {
+        use crate::views::ViewManager;
+        let kg = star_kg(4);
+        let store = crate::analytics::AnalyticsStore::build(&kg);
+        let mut vm = ViewManager::new();
+        vm.register(Box::new(ImportanceView { config: ImportanceConfig::default() }), 1).unwrap();
+        vm.refresh_all(&kg, &store).unwrap();
+        let data = vm.get("entity_importance").unwrap();
+        let scores = data.as_scores().unwrap();
+        assert!(scores[&EntityId(1)] > scores[&EntityId(99)]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let kg = KnowledgeGraph::new();
+        let s = compute_importance(&kg, &ImportanceConfig::default());
+        assert!(s.score.is_empty());
+    }
+}

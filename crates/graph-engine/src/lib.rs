@@ -1,0 +1,43 @@
+//! # saga-graph
+//!
+//! The Knowledge Graph Query Engine ("Graph Engine", §3, Fig. 6): the
+//! primary store for the KG, the machinery that computes knowledge views
+//! over it, and the query APIs graph consumers use.
+//!
+//! A federated polystore: specialized engines per workload, kept consistent
+//! by a shared durable operation log.
+//!
+//! * [`oplog`] — the distributed shared log: ordered, durable ingest
+//!   operations addressed by [`Lsn`](saga_core::Lsn).
+//! * [`metastore`] — replay progress per store; freshness queries.
+//! * [`orchestration`] — the extensible orchestration-agent framework; all
+//!   store-specific logic lives in agents, the framework stays generic.
+//! * [`analytics`] — the read-optimized columnar analytics engine over
+//!   extended triples (predicate-partitioned columns, Fx hash joins,
+//!   group-bys): the engine whose optimized join processing produces the
+//!   Fig. 8 speedups.
+//! * [`legacy`] — the row-at-a-time baseline view executor standing in for
+//!   the paper's legacy Spark jobs (DESIGN.md §2).
+//! * [`views`] — the view catalog, dependency DAG and View Manager with
+//!   incremental maintenance and dependency reuse (§3.2, Fig. 7).
+//! * [`production_views`] — the six schematized entity-centric views of
+//!   Fig. 8, implemented on both engines.
+//! * [`importance`] — entity importance: in/out-degree, identities and
+//!   PageRank aggregated into one score, registered as a view (§3.3).
+
+pub mod analytics;
+pub mod importance;
+pub mod legacy;
+pub mod metastore;
+pub mod oplog;
+pub mod orchestration;
+pub mod production_views;
+pub mod views;
+
+pub use analytics::{AnalyticsStore, Frame, FrameCol};
+pub use importance::{compute_importance, ImportanceConfig, ImportanceScores};
+pub use legacy::{LegacyEngine, RowTable};
+pub use metastore::MetadataStore;
+pub use oplog::{IngestOp, OpKind, OperationLog};
+pub use orchestration::{AgentRunner, EntityIndexAgent, OrchestrationAgent, TextIndexAgent};
+pub use views::{View, ViewData, ViewManager, ViewRegistration};

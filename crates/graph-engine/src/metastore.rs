@@ -1,0 +1,95 @@
+//! The metadata store: per-store replay progress and freshness (§3.1).
+//!
+//! "Orchestration agents track their replay progress in a meta-data store,
+//! updating the LSN of the latest operation which has successfully been
+//! replayed on that store. This information allows a consumer to determine
+//! the freshness of a store, ie., that a store is serving at least some
+//! minimum version of the KG."
+
+use parking_lot::RwLock;
+use saga_core::{FxHashMap, Lsn};
+
+/// Replay progress per orchestration agent / store.
+#[derive(Default)]
+pub struct MetadataStore {
+    progress: RwLock<FxHashMap<String, Lsn>>,
+}
+
+impl MetadataStore {
+    /// An empty metadata store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `store` has replayed everything up to `lsn`.
+    ///
+    /// Progress is monotone: attempts to move backwards are ignored (a
+    /// retried replay must not make a store look staler than it is).
+    pub fn record_progress(&self, store: &str, lsn: Lsn) {
+        let mut map = self.progress.write();
+        let entry = map.entry(store.to_string()).or_insert(Lsn::ZERO);
+        if lsn > *entry {
+            *entry = lsn;
+        }
+    }
+
+    /// The newest LSN `store` has fully replayed.
+    pub fn progress_of(&self, store: &str) -> Lsn {
+        self.progress.read().get(store).copied().unwrap_or(Lsn::ZERO)
+    }
+
+    /// Freshness check: is `store` serving at least KG version `min_lsn`?
+    pub fn is_fresh(&self, store: &str, min_lsn: Lsn) -> bool {
+        self.progress_of(store) >= min_lsn
+    }
+
+    /// The minimum progress across `stores` — the KG version a cross-store
+    /// query can rely on.
+    pub fn consistent_lsn(&self, stores: &[&str]) -> Lsn {
+        stores.iter().map(|s| self.progress_of(s)).min().unwrap_or(Lsn::ZERO)
+    }
+
+    /// All registered stores with their progress.
+    pub fn snapshot(&self) -> Vec<(String, Lsn)> {
+        let mut v: Vec<(String, Lsn)> =
+            self.progress.read().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_is_monotone() {
+        let m = MetadataStore::new();
+        m.record_progress("analytics", Lsn(5));
+        m.record_progress("analytics", Lsn(3)); // ignored
+        assert_eq!(m.progress_of("analytics"), Lsn(5));
+        m.record_progress("analytics", Lsn(9));
+        assert_eq!(m.progress_of("analytics"), Lsn(9));
+    }
+
+    #[test]
+    fn freshness_and_unknown_stores() {
+        let m = MetadataStore::new();
+        m.record_progress("text", Lsn(4));
+        assert!(m.is_fresh("text", Lsn(4)));
+        assert!(m.is_fresh("text", Lsn(2)));
+        assert!(!m.is_fresh("text", Lsn(5)));
+        assert!(!m.is_fresh("never-seen", Lsn(1)));
+        assert_eq!(m.progress_of("never-seen"), Lsn::ZERO);
+    }
+
+    #[test]
+    fn consistent_lsn_is_the_minimum() {
+        let m = MetadataStore::new();
+        m.record_progress("analytics", Lsn(10));
+        m.record_progress("text", Lsn(7));
+        m.record_progress("vector", Lsn(9));
+        assert_eq!(m.consistent_lsn(&["analytics", "text", "vector"]), Lsn(7));
+        assert_eq!(m.consistent_lsn(&[]), Lsn::ZERO);
+    }
+}

@@ -1,0 +1,180 @@
+//! The durable operation log (§3.1).
+//!
+//! "A distributed shared log is used to coordinate continuous ingest,
+//! ensuring that all stores eventually index the same KG updates in the
+//! same order. … Log sequence numbers (LSN) are used as a distributed
+//! synchronization primitive."
+//!
+//! The log is append-only; every operation gets the next LSN. An optional
+//! file sink makes operations durable (JSON-lines) so a restarted process
+//! can replay.
+
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+use saga_core::{EntityId, Lsn, Result, SagaError, SourceId};
+
+/// What happened in one ingest operation.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum OpKind {
+    /// Entities were created or had facts fused (the changed-id list drives
+    /// incremental view maintenance).
+    Upsert,
+    /// Entities were deleted.
+    Delete,
+    /// A whole source was retracted (license revocation / data deletion).
+    RetractSource(SourceId),
+    /// A source's volatile partition was overwritten.
+    VolatileOverwrite(SourceId),
+}
+
+/// One entry of the operation log.
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct IngestOp {
+    /// Sequence number (assigned by the log).
+    pub lsn: Lsn,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// The entities whose derived state must be refreshed.
+    pub changed: Vec<EntityId>,
+}
+
+struct LogInner {
+    entries: Vec<IngestOp>,
+    sink: Option<fs::File>,
+}
+
+/// The append-only, optionally durable operation log.
+pub struct OperationLog {
+    inner: Mutex<LogInner>,
+    path: Option<PathBuf>,
+}
+
+impl OperationLog {
+    /// An in-memory log (tests, benchmarks).
+    pub fn in_memory() -> Self {
+        OperationLog { inner: Mutex::new(LogInner { entries: Vec::new(), sink: None }), path: None }
+    }
+
+    /// A file-backed log at `path` (appends if the file exists).
+    pub fn durable(path: &Path) -> Result<Self> {
+        let mut entries = Vec::new();
+        if path.exists() {
+            let reader = BufReader::new(fs::File::open(path)?);
+            for (i, line) in reader.lines().enumerate() {
+                let line = line?;
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let op: IngestOp = serde_json::from_str(&line).map_err(|e| {
+                    SagaError::Storage(format!("corrupt log line {}: {e}", i + 1))
+                })?;
+                entries.push(op);
+            }
+        }
+        let sink = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(OperationLog {
+            inner: Mutex::new(LogInner { entries, sink: Some(sink) }),
+            path: Some(path.to_path_buf()),
+        })
+    }
+
+    /// Append an operation; returns its assigned LSN.
+    pub fn append(&self, kind: OpKind, changed: Vec<EntityId>) -> Result<Lsn> {
+        let mut inner = self.inner.lock();
+        let lsn = Lsn(inner.entries.len() as u64 + 1);
+        let op = IngestOp { lsn, kind, changed };
+        if let Some(sink) = inner.sink.as_mut() {
+            let line = serde_json::to_string(&op)
+                .map_err(|e| SagaError::Storage(format!("serialize op: {e}")))?;
+            writeln!(sink, "{line}")?;
+        }
+        inner.entries.push(op);
+        Ok(lsn)
+    }
+
+    /// The LSN of the newest operation (`Lsn::ZERO` when empty).
+    pub fn head(&self) -> Lsn {
+        Lsn(self.inner.lock().entries.len() as u64)
+    }
+
+    /// All operations with `lsn > after`, in order — what an agent replays.
+    pub fn read_after(&self, after: Lsn) -> Vec<IngestOp> {
+        let inner = self.inner.lock();
+        inner.entries.iter().filter(|op| op.lsn > after).cloned().collect()
+    }
+
+    /// The backing file, if durable.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsns_are_dense_and_ordered() {
+        let log = OperationLog::in_memory();
+        let a = log.append(OpKind::Upsert, vec![EntityId(1)]).unwrap();
+        let b = log.append(OpKind::Delete, vec![EntityId(2)]).unwrap();
+        assert_eq!(a, Lsn(1));
+        assert_eq!(b, Lsn(2));
+        assert_eq!(log.head(), Lsn(2));
+    }
+
+    #[test]
+    fn read_after_replays_exactly_the_suffix() {
+        let log = OperationLog::in_memory();
+        for i in 1..=5u64 {
+            log.append(OpKind::Upsert, vec![EntityId(i)]).unwrap();
+        }
+        let suffix = log.read_after(Lsn(3));
+        assert_eq!(suffix.len(), 2);
+        assert_eq!(suffix[0].lsn, Lsn(4));
+        assert_eq!(suffix[1].lsn, Lsn(5));
+        assert!(log.read_after(Lsn(5)).is_empty());
+        assert_eq!(log.read_after(Lsn::ZERO).len(), 5);
+    }
+
+    #[test]
+    fn durable_log_survives_reopen() {
+        let path = std::env::temp_dir().join(format!("saga_oplog_{}.jsonl", std::process::id()));
+        let _ = fs::remove_file(&path);
+        {
+            let log = OperationLog::durable(&path).unwrap();
+            log.append(OpKind::Upsert, vec![EntityId(1), EntityId(2)]).unwrap();
+            log.append(OpKind::RetractSource(SourceId(3)), vec![]).unwrap();
+        }
+        let reopened = OperationLog::durable(&path).unwrap();
+        assert_eq!(reopened.head(), Lsn(2));
+        let ops = reopened.read_after(Lsn::ZERO);
+        assert_eq!(ops[0].changed, vec![EntityId(1), EntityId(2)]);
+        assert_eq!(ops[1].kind, OpKind::RetractSource(SourceId(3)));
+        // Appending continues the sequence.
+        let next = reopened.append(OpKind::Upsert, vec![]).unwrap();
+        assert_eq!(next, Lsn(3));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_appends_get_unique_lsns() {
+        use std::sync::Arc;
+        let log = Arc::new(OperationLog::in_memory());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    (0..100).map(|_| log.append(OpKind::Upsert, vec![]).unwrap().0).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 400);
+    }
+}

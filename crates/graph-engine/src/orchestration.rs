@@ -1,0 +1,340 @@
+//! The extensible data-store orchestration-agent framework (§3.1).
+//!
+//! "Orchestration agents encapsulate all of the store specific logic, while
+//! the rest of the framework is generic and does not require modification
+//! to accommodate a new store type." Agents replay ingest operations from
+//! the shared log *in order*, each at its own pace, recording progress in
+//! the metadata store so consumers can reason about freshness.
+
+use std::sync::Arc;
+
+use saga_core::{EntityId, FxHashMap, KnowledgeGraph, Result, Symbol};
+
+use crate::metastore::MetadataStore;
+use crate::oplog::{IngestOp, OperationLog};
+
+/// A store-specific replay agent.
+pub trait OrchestrationAgent: Send {
+    /// Unique agent/store name (keys the metadata store).
+    fn name(&self) -> &str;
+
+    /// Replay one operation against the agent's store. `kg` is the base
+    /// data *after* the operation (agents derive, they do not re-execute).
+    fn apply(&mut self, kg: &KnowledgeGraph, op: &IngestOp) -> Result<()>;
+}
+
+/// Drives all registered agents from the shared log.
+pub struct AgentRunner {
+    log: Arc<OperationLog>,
+    meta: Arc<MetadataStore>,
+    agents: Vec<Box<dyn OrchestrationAgent>>,
+}
+
+impl AgentRunner {
+    /// A runner over a log and metadata store.
+    pub fn new(log: Arc<OperationLog>, meta: Arc<MetadataStore>) -> Self {
+        AgentRunner { log, meta, agents: Vec::new() }
+    }
+
+    /// Register a new store's agent — the "reasonably small engineering
+    /// effort" onboarding path.
+    pub fn register(&mut self, agent: Box<dyn OrchestrationAgent>) {
+        self.agents.push(agent);
+    }
+
+    /// Replay pending operations on every agent; returns ops replayed.
+    pub fn run_once(&mut self, kg: &KnowledgeGraph) -> Result<usize> {
+        let mut replayed = 0;
+        for agent in &mut self.agents {
+            let from = self.meta.progress_of(agent.name());
+            for op in self.log.read_after(from) {
+                agent.apply(kg, &op)?;
+                self.meta.record_progress(agent.name(), op.lsn);
+                replayed += 1;
+            }
+        }
+        Ok(replayed)
+    }
+
+    /// The shared metadata store (freshness queries).
+    pub fn metadata(&self) -> &MetadataStore {
+        &self.meta
+    }
+}
+
+/// Entity-retrieval store: low-latency point lookups of full entity records
+/// (the "Entity Index" of Fig. 6).
+#[derive(Default)]
+pub struct EntityIndexAgent {
+    records: FxHashMap<EntityId, saga_core::EntityRecord>,
+}
+
+impl EntityIndexAgent {
+    /// An empty entity index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Point lookup.
+    pub fn get(&self, id: EntityId) -> Option<&saga_core::EntityRecord> {
+        self.records.get(&id)
+    }
+
+    /// Number of indexed entities.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl OrchestrationAgent for EntityIndexAgent {
+    fn name(&self) -> &str {
+        "entity_index"
+    }
+
+    fn apply(&mut self, kg: &KnowledgeGraph, op: &IngestOp) -> Result<()> {
+        for &id in &op.changed {
+            match kg.entity(id) {
+                Some(rec) => {
+                    self.records.insert(id, rec.clone());
+                }
+                None => {
+                    self.records.remove(&id);
+                }
+            }
+        }
+        // Source retractions may drop entities not listed in `changed`.
+        if matches!(op.kind, crate::oplog::OpKind::RetractSource(_)) {
+            self.records.retain(|id, _| kg.contains(*id));
+        }
+        Ok(())
+    }
+}
+
+/// Full-text search store over entity names and descriptions (the "Text
+/// Index" of Fig. 6), with naive tf ranking.
+#[derive(Default)]
+pub struct TextIndexAgent {
+    postings: FxHashMap<String, Vec<EntityId>>,
+    indexed: FxHashMap<EntityId, Vec<String>>,
+}
+
+impl TextIndexAgent {
+    /// An empty text index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn tokens_of(kg: &KnowledgeGraph, id: EntityId) -> Vec<String> {
+        let Some(rec) = kg.entity(id) else { return Vec::new() };
+        let mut text: Vec<String> = rec.all_names().iter().map(|s| s.to_string()).collect();
+        if let Some(d) = rec.description() {
+            text.push(d.to_string());
+        }
+        let mut toks: Vec<String> = text
+            .iter()
+            .flat_map(|t| {
+                t.split(|c: char| !c.is_alphanumeric())
+                    .filter(|w| !w.is_empty())
+                    .map(|w| w.to_lowercase())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        toks.sort();
+        toks.dedup();
+        toks
+    }
+
+    fn unindex(&mut self, id: EntityId) {
+        if let Some(old) = self.indexed.remove(&id) {
+            for tok in old {
+                if let Some(v) = self.postings.get_mut(&tok) {
+                    v.retain(|&e| e != id);
+                    if v.is_empty() {
+                        self.postings.remove(&tok);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ranked search: entities matching the most query tokens first.
+    pub fn search(&self, query: &str, k: usize) -> Vec<(EntityId, usize)> {
+        let mut hits: FxHashMap<EntityId, usize> = FxHashMap::default();
+        for w in query.split(|c: char| !c.is_alphanumeric()).filter(|w| !w.is_empty()) {
+            if let Some(ids) = self.postings.get(&w.to_lowercase()) {
+                for &id in ids {
+                    *hits.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut out: Vec<(EntityId, usize)> = hits.into_iter().collect();
+        out.sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out.truncate(k);
+        out
+    }
+}
+
+impl OrchestrationAgent for TextIndexAgent {
+    fn name(&self) -> &str {
+        "text_index"
+    }
+
+    fn apply(&mut self, kg: &KnowledgeGraph, op: &IngestOp) -> Result<()> {
+        for &id in &op.changed {
+            self.unindex(id);
+            if kg.contains(id) {
+                let toks = Self::tokens_of(kg, id);
+                for t in &toks {
+                    self.postings.entry(t.clone()).or_default().push(id);
+                }
+                self.indexed.insert(id, toks);
+            }
+        }
+        if matches!(op.kind, crate::oplog::OpKind::RetractSource(_)) {
+            let stale: Vec<EntityId> =
+                self.indexed.keys().copied().filter(|id| !kg.contains(*id)).collect();
+            for id in stale {
+                self.unindex(id);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Analytics-store agent: applies changed-id updates to the columnar store.
+/// Updates are batched in production ("the engine is read optimized,
+/// therefore updates … are batched"); here a batch is one log replay.
+pub struct AnalyticsAgent {
+    /// The wrapped columnar store.
+    pub store: crate::analytics::AnalyticsStore,
+}
+
+impl OrchestrationAgent for AnalyticsAgent {
+    fn name(&self) -> &str {
+        "analytics"
+    }
+
+    fn apply(&mut self, kg: &KnowledgeGraph, op: &IngestOp) -> Result<()> {
+        self.store.update(kg, &op.changed);
+        Ok(())
+    }
+}
+
+/// Suppress unused warning for Symbol import used in docs.
+#[allow(dead_code)]
+fn _doc(_: Symbol) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oplog::OpKind;
+    use saga_core::{intern, ExtendedTriple, FactMeta, SourceId, Value};
+
+    fn setup() -> (KnowledgeGraph, Arc<OperationLog>, Arc<MetadataStore>) {
+        (KnowledgeGraph::new(), Arc::new(OperationLog::in_memory()), Arc::new(MetadataStore::new()))
+    }
+
+    #[test]
+    fn agents_replay_in_order_and_track_progress() {
+        let (mut kg, log, meta) = setup();
+        let mut runner = AgentRunner::new(Arc::clone(&log), Arc::clone(&meta));
+        runner.register(Box::new(EntityIndexAgent::new()));
+        runner.register(Box::new(TextIndexAgent::new()));
+
+        kg.add_named_entity(EntityId(1), "Billie Eilish", "music_artist", SourceId(1), 0.9);
+        log.append(OpKind::Upsert, vec![EntityId(1)]).unwrap();
+        let replayed = runner.run_once(&kg).unwrap();
+        assert_eq!(replayed, 2, "one op × two agents");
+        assert_eq!(meta.progress_of("entity_index"), log.head());
+        assert_eq!(meta.progress_of("text_index"), log.head());
+        assert!(meta.is_fresh("entity_index", log.head()));
+
+        // Nothing new → no replays.
+        assert_eq!(runner.run_once(&kg).unwrap(), 0);
+    }
+
+    #[test]
+    fn entity_index_serves_point_lookups_and_deletes() {
+        let (mut kg, log, meta) = setup();
+        let mut agent = EntityIndexAgent::new();
+        kg.add_named_entity(EntityId(1), "X", "person", SourceId(1), 0.9);
+        let op = IngestOp { lsn: saga_core::Lsn(1), kind: OpKind::Upsert, changed: vec![EntityId(1)] };
+        agent.apply(&kg, &op).unwrap();
+        assert_eq!(agent.get(EntityId(1)).unwrap().name(), Some("X"));
+
+        // Delete: KG no longer has the entity.
+        kg.record_link(SourceId(1), "x", EntityId(1));
+        kg.retract_source_entity(SourceId(1), "x");
+        let op2 = IngestOp { lsn: saga_core::Lsn(2), kind: OpKind::Delete, changed: vec![EntityId(1)] };
+        agent.apply(&kg, &op2).unwrap();
+        assert!(agent.get(EntityId(1)).is_none());
+        let _ = (log, meta);
+    }
+
+    #[test]
+    fn text_index_searches_names_and_descriptions() {
+        let (mut kg, ..) = setup();
+        let mut agent = TextIndexAgent::new();
+        kg.add_named_entity(EntityId(1), "Billie Eilish", "music_artist", SourceId(1), 0.9);
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("description"),
+            Value::str("American singer and songwriter"),
+            FactMeta::from_source(SourceId(1), 0.9),
+        ));
+        kg.add_named_entity(EntityId(2), "Billie Holiday", "music_artist", SourceId(1), 0.9);
+        let op = IngestOp {
+            lsn: saga_core::Lsn(1),
+            kind: OpKind::Upsert,
+            changed: vec![EntityId(1), EntityId(2)],
+        };
+        agent.apply(&kg, &op).unwrap();
+        let hits = agent.search("billie singer", 10);
+        assert_eq!(hits[0].0, EntityId(1), "two tokens beat one");
+        assert_eq!(hits[0].1, 2);
+        assert_eq!(hits.len(), 2);
+        assert!(agent.search("nothing", 5).is_empty());
+    }
+
+    #[test]
+    fn lagging_agent_catches_up_independently() {
+        let (mut kg, log, meta) = setup();
+        // Agent A replays first; agent B is registered later and catches up.
+        let mut runner = AgentRunner::new(Arc::clone(&log), Arc::clone(&meta));
+        runner.register(Box::new(EntityIndexAgent::new()));
+        kg.add_named_entity(EntityId(1), "A", "person", SourceId(1), 0.9);
+        log.append(OpKind::Upsert, vec![EntityId(1)]).unwrap();
+        runner.run_once(&kg).unwrap();
+
+        runner.register(Box::new(TextIndexAgent::new()));
+        kg.add_named_entity(EntityId(2), "B", "person", SourceId(1), 0.9);
+        log.append(OpKind::Upsert, vec![EntityId(2)]).unwrap();
+        let replayed = runner.run_once(&kg).unwrap();
+        // entity_index replays op2 only; text_index replays op1+op2.
+        assert_eq!(replayed, 3);
+        assert_eq!(meta.consistent_lsn(&["entity_index", "text_index"]), log.head());
+    }
+
+    #[test]
+    fn retract_source_cleans_derived_stores() {
+        let (mut kg, ..) = setup();
+        let mut idx = EntityIndexAgent::new();
+        let mut txt = TextIndexAgent::new();
+        kg.add_named_entity(EntityId(1), "Gone Soon", "person", SourceId(5), 0.9);
+        let up = IngestOp { lsn: saga_core::Lsn(1), kind: OpKind::Upsert, changed: vec![EntityId(1)] };
+        idx.apply(&kg, &up).unwrap();
+        txt.apply(&kg, &up).unwrap();
+
+        kg.retract_source(SourceId(5));
+        let op = IngestOp { lsn: saga_core::Lsn(2), kind: OpKind::RetractSource(SourceId(5)), changed: vec![] };
+        idx.apply(&kg, &op).unwrap();
+        txt.apply(&kg, &op).unwrap();
+        assert!(idx.is_empty());
+        assert!(txt.search("gone", 5).is_empty());
+    }
+}

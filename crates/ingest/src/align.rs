@@ -1,0 +1,443 @@
+//! Ontology alignment via Predicate Generation Functions (PGFs).
+//!
+//! §2.2: "Users specify both the source predicates and target predicates
+//! from the KG ontology in the configuration. Then, PGFs based on this
+//! specification are used to populate the target schema from the source
+//! data." Alignment is config-driven: an [`AlignmentConfig`] is plain data
+//! (serde-serializable, so it can live in a JSON configuration file) and is
+//! interpreted against each entity-centric row.
+//!
+//! Output entities follow KG-ontology predicates while subjects and object
+//! references remain in the source namespace — linking happens later in
+//! knowledge construction.
+
+use saga_core::{
+    intern, EntityPayload, FactMeta, RelId, Result, Row, SagaError, SourceId, Value,
+};
+use saga_ontology::{Ontology, ValueKind};
+use serde::{Deserialize, Serialize};
+
+/// One Predicate Generation Function: how to populate target predicates
+/// from source columns.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Pgf {
+    /// Copy a column into a (possibly renamed) target predicate
+    /// (`category` → `genre`).
+    Map {
+        /// Source column.
+        column: String,
+        /// Target KG predicate.
+        predicate: String,
+    },
+    /// Copy a column as an entity *reference* in the source namespace.
+    MapRef {
+        /// Source column holding a source-namespace id or a name.
+        column: String,
+        /// Target KG predicate.
+        predicate: String,
+    },
+    /// Concatenate several columns into one target predicate
+    /// (`<title, sequel_number>` → `full_title`).
+    Combine {
+        /// Source columns, in order.
+        columns: Vec<String>,
+        /// Join separator.
+        separator: String,
+        /// Target KG predicate.
+        predicate: String,
+    },
+    /// Explode a delimited multi-valued column into repeated facts.
+    Split {
+        /// Source column.
+        column: String,
+        /// Delimiter.
+        delimiter: String,
+        /// Target KG predicate.
+        predicate: String,
+    },
+    /// Populate a composite relationship node; one node per row.
+    Composite {
+        /// Target composite predicate.
+        predicate: String,
+        /// `(facet, source column, is_ref)` assignments.
+        facets: Vec<FacetSpec>,
+    },
+    /// Assert a constant fact on every entity (e.g. vertical tags).
+    Const {
+        /// Target KG predicate.
+        predicate: String,
+        /// String value asserted.
+        value: String,
+    },
+}
+
+/// One facet assignment inside a [`Pgf::Composite`].
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct FacetSpec {
+    /// Facet predicate inside the relationship node.
+    pub facet: String,
+    /// Source column providing the facet's value.
+    pub column: String,
+    /// Whether the value is a source-namespace entity reference.
+    #[serde(default)]
+    pub is_ref: bool,
+}
+
+/// Config-driven description of one source's ontology alignment.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct AlignmentConfig {
+    /// KG ontology type assigned to every entity of this source
+    /// ("Entity type specification is also part of this step").
+    pub entity_type: String,
+    /// Column holding the source-local id.
+    pub id_column: String,
+    /// Locale tag applied to produced string literals.
+    #[serde(default)]
+    pub locale: Option<String>,
+    /// Trust score this source's facts carry.
+    pub trust: f32,
+    /// The predicate generation functions.
+    pub pgfs: Vec<Pgf>,
+}
+
+impl AlignmentConfig {
+    /// Parse a JSON configuration file's contents.
+    pub fn from_json(json: &str) -> Result<AlignmentConfig> {
+        serde_json::from_str(json)
+            .map_err(|e| SagaError::Ontology(format!("bad alignment config: {e}")))
+    }
+
+    /// Serialize to a JSON configuration string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("alignment config serializes")
+    }
+
+    /// Coerce a raw imported value to the ontology-declared kind.
+    fn coerce(value: &Value, kind: ValueKind) -> Value {
+        match (kind, value) {
+            (_, Value::Null) => Value::Null,
+            (ValueKind::Int, Value::Str(s)) => {
+                s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null)
+            }
+            (ValueKind::Int, Value::Float(f)) => Value::Int(*f as i64),
+            (ValueKind::Float, Value::Str(s)) => {
+                s.trim().parse::<f64>().map(Value::Float).unwrap_or(Value::Null)
+            }
+            (ValueKind::Float, Value::Int(i)) => Value::Float(*i as f64),
+            (ValueKind::Bool, Value::Str(s)) => match s.trim() {
+                "true" | "TRUE" | "1" => Value::Bool(true),
+                "false" | "FALSE" | "0" => Value::Bool(false),
+                _ => Value::Null,
+            },
+            (ValueKind::Str, Value::Int(i)) => Value::str(i.to_string()),
+            (ValueKind::Str, Value::Float(f)) => Value::str(f.to_string()),
+            _ => value.clone(),
+        }
+    }
+
+    fn meta(&self, source: SourceId) -> FactMeta {
+        match &self.locale {
+            Some(loc) => FactMeta::localized(source, self.trust, loc),
+            None => FactMeta::from_source(source, self.trust),
+        }
+    }
+
+    /// Align one entity-centric row into an [`EntityPayload`] in the KG
+    /// ontology schema.
+    pub fn align_row(
+        &self,
+        ontology: &Ontology,
+        source: SourceId,
+        row: &Row,
+    ) -> Result<EntityPayload> {
+        let id_cell = row
+            .get(&self.id_column)
+            .ok_or_else(|| SagaError::Ontology(format!("id column {} missing", self.id_column)))?;
+        let local_id = match id_cell {
+            Value::Str(s) => s.to_string(),
+            Value::Int(i) => i.to_string(),
+            other => other.render(),
+        };
+        let ty = intern(&self.entity_type);
+        if ontology.types().id_of_symbol(ty).is_none() {
+            return Err(SagaError::Ontology(format!(
+                "entity type {} not in ontology",
+                self.entity_type
+            )));
+        }
+        let mut payload = EntityPayload::new(source, &local_id, ty);
+        // The entity's declared type is itself a fact.
+        payload.push_simple(intern("type"), Value::str(&self.entity_type), self.meta(source));
+
+        let mut next_rel = 1u32;
+        for pgf in &self.pgfs {
+            self.apply_pgf(ontology, source, row, pgf, &mut payload, &mut next_rel)?;
+        }
+        Ok(payload)
+    }
+
+    fn declared_kind(&self, ontology: &Ontology, predicate: &str) -> Result<ValueKind> {
+        ontology
+            .predicate_named(predicate)
+            .map(|d| d.kind)
+            .ok_or_else(|| SagaError::Ontology(format!("predicate {predicate} not in ontology")))
+    }
+
+    fn apply_pgf(
+        &self,
+        ontology: &Ontology,
+        source: SourceId,
+        row: &Row,
+        pgf: &Pgf,
+        payload: &mut EntityPayload,
+        next_rel: &mut u32,
+    ) -> Result<()> {
+        let col = |name: &str| -> Result<&Value> {
+            row.get(name)
+                .ok_or_else(|| SagaError::Ontology(format!("source column {name} missing")))
+        };
+        match pgf {
+            Pgf::Map { column, predicate } => {
+                let kind = self.declared_kind(ontology, predicate)?;
+                let v = Self::coerce(col(column)?, kind);
+                if !v.is_null() {
+                    payload.push_simple(intern(predicate), v, self.meta(source));
+                }
+            }
+            Pgf::MapRef { column, predicate } => {
+                self.declared_kind(ontology, predicate)?;
+                if let Some(s) = col(column)?.as_str() {
+                    payload.push_simple(
+                        intern(predicate),
+                        Value::source_ref(s),
+                        self.meta(source),
+                    );
+                }
+            }
+            Pgf::Combine { columns, separator, predicate } => {
+                self.declared_kind(ontology, predicate)?;
+                let mut parts = Vec::with_capacity(columns.len());
+                for c in columns {
+                    match col(c)? {
+                        Value::Null => {}
+                        v => parts.push(v.render()),
+                    }
+                }
+                if !parts.is_empty() {
+                    payload.push_simple(
+                        intern(predicate),
+                        Value::str(parts.join(separator)),
+                        self.meta(source),
+                    );
+                }
+            }
+            Pgf::Split { column, delimiter, predicate } => {
+                let kind = self.declared_kind(ontology, predicate)?;
+                if let Some(s) = col(column)?.as_str() {
+                    for part in s.split(delimiter.as_str()) {
+                        let part = part.trim();
+                        if part.is_empty() {
+                            continue;
+                        }
+                        let v = Self::coerce(&Value::str(part), kind);
+                        if !v.is_null() {
+                            payload.push_simple(intern(predicate), v, self.meta(source));
+                        }
+                    }
+                }
+            }
+            Pgf::Composite { predicate, facets } => {
+                let def = ontology.predicate_named(predicate).ok_or_else(|| {
+                    SagaError::Ontology(format!("predicate {predicate} not in ontology"))
+                })?;
+                if def.kind != ValueKind::Composite {
+                    return Err(SagaError::Ontology(format!(
+                        "predicate {predicate} is not composite"
+                    )));
+                }
+                let rel_id = RelId(*next_rel);
+                let mut produced = false;
+                for f in facets {
+                    let fk = def.facet_kind(intern(&f.facet)).ok_or_else(|| {
+                        SagaError::Ontology(format!("{predicate} has no facet {}", f.facet))
+                    })?;
+                    let raw = col(&f.column)?;
+                    let v = if f.is_ref {
+                        raw.as_str().map(Value::source_ref).unwrap_or(Value::Null)
+                    } else {
+                        Self::coerce(raw, fk)
+                    };
+                    if !v.is_null() {
+                        payload.push_composite(
+                            intern(predicate),
+                            rel_id,
+                            intern(&f.facet),
+                            v,
+                            self.meta(source),
+                        );
+                        produced = true;
+                    }
+                }
+                if produced {
+                    *next_rel += 1;
+                }
+            }
+            Pgf::Const { predicate, value } => {
+                self.declared_kind(ontology, predicate)?;
+                payload.push_simple(intern(predicate), Value::str(value), self.meta(source));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::Dataset;
+    use saga_ontology::default_ontology;
+
+    fn movie_row() -> Dataset {
+        let mut d = Dataset::with_schema(&[
+            "movie_id", "title", "sequel_number", "category", "director", "year",
+        ]);
+        d.push(vec![
+            Value::str("m7"),
+            Value::str("Knives Out"),
+            Value::str("2"),
+            Value::str("mystery|comedy"),
+            Value::str("dir_rj"),
+            Value::str("2022"),
+        ]);
+        d
+    }
+
+    fn movie_config() -> AlignmentConfig {
+        AlignmentConfig {
+            entity_type: "movie".into(),
+            id_column: "movie_id".into(),
+            locale: Some("en".into()),
+            trust: 0.85,
+            pgfs: vec![
+                Pgf::Combine {
+                    columns: vec!["title".into(), "sequel_number".into()],
+                    separator: " ".into(),
+                    predicate: "full_title".into(),
+                },
+                Pgf::Map { column: "title".into(), predicate: "name".into() },
+                Pgf::Split {
+                    column: "category".into(),
+                    delimiter: "|".into(),
+                    predicate: "genre".into(),
+                },
+                Pgf::MapRef { column: "director".into(), predicate: "directed_by".into() },
+                Pgf::Map { column: "year".into(), predicate: "release_year".into() },
+            ],
+        }
+    }
+
+    #[test]
+    fn paper_examples_category_to_genre_and_full_title() {
+        let ont = default_ontology();
+        let ds = movie_row();
+        let p = movie_config().align_row(&ont, SourceId(3), ds.row(0)).unwrap();
+        assert_eq!(p.local_id(), Some("m7"));
+        assert_eq!(p.entity_type, intern("movie"));
+        assert_eq!(p.first_str(intern("full_title")), Some("Knives Out 2"));
+        let genres: Vec<&Value> = p.values(intern("genre"));
+        assert_eq!(genres.len(), 2, "category split into two genre facts");
+        assert_eq!(
+            p.values(intern("directed_by"))[0].as_source_ref(),
+            Some("dir_rj"),
+            "references stay in the source namespace"
+        );
+        assert_eq!(p.values(intern("release_year"))[0], &Value::Int(2022), "coerced to int");
+    }
+
+    #[test]
+    fn alignment_config_roundtrips_through_json() {
+        let cfg = movie_config();
+        let json = cfg.to_json();
+        let back = AlignmentConfig::from_json(&json).unwrap();
+        assert_eq!(back, cfg);
+        assert!(AlignmentConfig::from_json("{nope").is_err());
+    }
+
+    #[test]
+    fn unknown_predicate_or_type_is_an_ontology_error() {
+        let ont = default_ontology();
+        let ds = movie_row();
+        let mut cfg = movie_config();
+        cfg.pgfs.push(Pgf::Map { column: "title".into(), predicate: "not_a_pred".into() });
+        assert!(cfg.align_row(&ont, SourceId(1), ds.row(0)).is_err());
+
+        let mut cfg2 = movie_config();
+        cfg2.entity_type = "spaceship".into();
+        assert!(cfg2.align_row(&ont, SourceId(1), ds.row(0)).is_err());
+    }
+
+    #[test]
+    fn composite_pgf_builds_relationship_nodes() {
+        let ont = default_ontology();
+        let mut d = Dataset::with_schema(&["pid", "school", "degree", "yr"]);
+        d.push(vec![
+            Value::str("p1"),
+            Value::str("uw_id"),
+            Value::str("PhD"),
+            Value::str("2005"),
+        ]);
+        let cfg = AlignmentConfig {
+            entity_type: "person".into(),
+            id_column: "pid".into(),
+            locale: None,
+            trust: 0.8,
+            pgfs: vec![Pgf::Composite {
+                predicate: "educated_at".into(),
+                facets: vec![
+                    FacetSpec { facet: "school".into(), column: "school".into(), is_ref: true },
+                    FacetSpec { facet: "degree".into(), column: "degree".into(), is_ref: false },
+                    FacetSpec { facet: "year".into(), column: "yr".into(), is_ref: false },
+                ],
+            }],
+        };
+        let p = cfg.align_row(&ont, SourceId(2), d.row(0)).unwrap();
+        let comps: Vec<_> = p.triples.iter().filter(|t| t.rel.is_some()).collect();
+        assert_eq!(comps.len(), 3);
+        let rel_id = comps[0].rel.unwrap().rel_id;
+        assert!(comps.iter().all(|t| t.rel.unwrap().rel_id == rel_id));
+        assert!(comps.iter().any(|t| t.object.as_source_ref() == Some("uw_id")));
+        assert!(comps.iter().any(|t| t.object == Value::Int(2005)));
+    }
+
+    #[test]
+    fn nulls_are_dropped_not_asserted() {
+        let ont = default_ontology();
+        let mut d = Dataset::with_schema(&["id", "name", "year"]);
+        d.push(vec![Value::str("x"), Value::Null, Value::str("not a year")]);
+        let cfg = AlignmentConfig {
+            entity_type: "movie".into(),
+            id_column: "id".into(),
+            locale: None,
+            trust: 0.5,
+            pgfs: vec![
+                Pgf::Map { column: "name".into(), predicate: "name".into() },
+                Pgf::Map { column: "year".into(), predicate: "release_year".into() },
+            ],
+        };
+        let p = cfg.align_row(&ont, SourceId(1), d.row(0)).unwrap();
+        // Only the `type` fact survives: name was null, year unparseable.
+        assert_eq!(p.triples.len(), 1);
+        assert_eq!(p.first_str(intern("type")), Some("movie"));
+    }
+
+    #[test]
+    fn locale_is_attached_to_facts() {
+        let ont = default_ontology();
+        let ds = movie_row();
+        let p = movie_config().align_row(&ont, SourceId(3), ds.row(0)).unwrap();
+        let name = p.triples.iter().find(|t| t.predicate == intern("name")).unwrap();
+        assert_eq!(name.meta.locale, Some(intern("en")));
+        assert_eq!(name.meta.provenance[0].trust, 0.85);
+    }
+}

@@ -1,0 +1,258 @@
+//! Eager delta computation (§2.2 "Delta Computation", §2.4).
+//!
+//! When an upstream provider publishes a new version, the difference against
+//! the snapshot already consumed by the KG is computed and materialized
+//! immediately so that knowledge construction only ever consumes diffs.
+//!
+//! For a source last consumed at `t0` and currently at `tn`, entities are
+//! split into:
+//!
+//! * **Added** — exist at `tn` but not `t0`;
+//! * **Deleted** — exist at `t0` but not `tn`;
+//! * **Updated** — exist at both and differ at `tn` (volatile predicates
+//!   excluded from the comparison);
+//! * plus a separate **full volatile dump** of volatile predicates of *all*
+//!   entities, so high-churn values (popularity…) never pollute the deltas.
+
+use saga_core::{EntityPayload, ExtendedTriple, FxHashMap, FxHashSet, Symbol};
+
+/// A consumed snapshot of a source: payloads keyed by source-local id.
+#[derive(Clone, Debug, Default)]
+pub struct SourceSnapshot {
+    entities: FxHashMap<String, EntityPayload>,
+}
+
+impl SourceSnapshot {
+    /// An empty snapshot (a source never consumed before).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build a snapshot from aligned payloads.
+    ///
+    /// # Panics
+    /// Panics if a payload has no source-local id (already linked payloads
+    /// cannot be snapshotted).
+    pub fn from_payloads(payloads: impl IntoIterator<Item = EntityPayload>) -> Self {
+        let mut entities = FxHashMap::default();
+        for p in payloads {
+            let id = p.local_id().expect("snapshot payloads must be unlinked").to_string();
+            entities.insert(id, p);
+        }
+        SourceSnapshot { entities }
+    }
+
+    /// Number of entities in the snapshot.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True if no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Look up a payload by local id.
+    pub fn get(&self, local_id: &str) -> Option<&EntityPayload> {
+        self.entities.get(local_id)
+    }
+
+    /// Iterate `(local id, payload)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &EntityPayload)> {
+        self.entities.iter()
+    }
+}
+
+/// The partitioned dump handed to knowledge construction.
+#[derive(Clone, Debug, Default)]
+pub struct SourceDelta {
+    /// Entities new at `tn`: need the full linking pipeline.
+    pub added: Vec<EntityPayload>,
+    /// Entities changed at `tn`: previously linked, id-lookup fast path.
+    pub updated: Vec<EntityPayload>,
+    /// Local ids of entities removed at `tn`.
+    pub deleted: Vec<String>,
+    /// Full dump of volatile-predicate triples for *all* current entities
+    /// (the `ToFuse` payload of Fig. 5).
+    pub volatile: Vec<ExtendedTriple>,
+}
+
+impl SourceDelta {
+    /// Total number of stable-entity changes.
+    pub fn change_count(&self) -> usize {
+        self.added.len() + self.updated.len() + self.deleted.len()
+    }
+
+    /// True if nothing changed (volatile dump may still be non-empty).
+    pub fn is_stable_noop(&self) -> bool {
+        self.change_count() == 0
+    }
+}
+
+/// Strip volatile triples out of a payload, returning `(stable, volatile)`.
+fn split_volatile(
+    payload: &EntityPayload,
+    volatile: &FxHashSet<Symbol>,
+) -> (EntityPayload, Vec<ExtendedTriple>) {
+    let mut stable = payload.clone();
+    let mut vol = Vec::new();
+    stable.triples.retain(|t| {
+        if volatile.contains(&t.predicate) {
+            vol.push(t.clone());
+            false
+        } else {
+            true
+        }
+    });
+    (stable, vol)
+}
+
+/// Triple multiset equality ignoring order (sources rarely guarantee row
+/// order across versions).
+fn same_facts(a: &EntityPayload, b: &EntityPayload) -> bool {
+    if a.triples.len() != b.triples.len() || a.entity_type != b.entity_type {
+        return false;
+    }
+    let mut remaining: Vec<&ExtendedTriple> = b.triples.iter().collect();
+    for t in &a.triples {
+        match remaining.iter().position(|r| {
+            r.predicate == t.predicate && r.rel == t.rel && r.object == t.object
+        }) {
+            Some(i) => {
+                remaining.swap_remove(i);
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Compute the Added/Updated/Deleted/volatile partitions between the last
+/// consumed snapshot and the current one.
+pub fn compute_delta(
+    previous: &SourceSnapshot,
+    current: &SourceSnapshot,
+    volatile_predicates: &FxHashSet<Symbol>,
+) -> SourceDelta {
+    let mut delta = SourceDelta::default();
+    for (id, cur) in current.iter() {
+        let (stable_cur, vol) = split_volatile(cur, volatile_predicates);
+        delta.volatile.extend(vol);
+        match previous.get(id) {
+            None => delta.added.push(stable_cur),
+            Some(prev) => {
+                let (stable_prev, _) = split_volatile(prev, volatile_predicates);
+                if !same_facts(&stable_cur, &stable_prev) {
+                    delta.updated.push(stable_cur);
+                }
+            }
+        }
+    }
+    for (id, _) in previous.iter() {
+        if current.get(id).is_none() {
+            delta.deleted.push(id.clone());
+        }
+    }
+    delta.deleted.sort_unstable();
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::{intern, FactMeta, SourceId, Value};
+
+    fn payload(id: &str, name: &str, pop: i64) -> EntityPayload {
+        let mut p = EntityPayload::new(SourceId(1), id, intern("song"));
+        let meta = FactMeta::from_source(SourceId(1), 0.9);
+        p.push_simple(intern("name"), Value::str(name), meta.clone());
+        p.push_simple(intern("popularity"), Value::Int(pop), meta);
+        p
+    }
+
+    fn volatile() -> FxHashSet<Symbol> {
+        let mut s = FxHashSet::default();
+        s.insert(intern("popularity"));
+        s
+    }
+
+    #[test]
+    fn first_consumption_is_all_added() {
+        let cur = SourceSnapshot::from_payloads(vec![payload("s1", "A", 5), payload("s2", "B", 6)]);
+        let d = compute_delta(&SourceSnapshot::empty(), &cur, &volatile());
+        assert_eq!(d.added.len(), 2);
+        assert!(d.updated.is_empty());
+        assert!(d.deleted.is_empty());
+        assert_eq!(d.volatile.len(), 2, "popularity of every entity in the volatile dump");
+        // Added payloads carry no volatile triples.
+        assert!(d.added.iter().all(|p| p.values(intern("popularity")).is_empty()));
+    }
+
+    #[test]
+    fn unchanged_entities_produce_no_delta() {
+        let prev = SourceSnapshot::from_payloads(vec![payload("s1", "A", 5)]);
+        let cur = SourceSnapshot::from_payloads(vec![payload("s1", "A", 5)]);
+        let d = compute_delta(&prev, &cur, &volatile());
+        assert!(d.is_stable_noop());
+        assert_eq!(d.volatile.len(), 1);
+    }
+
+    #[test]
+    fn volatile_churn_does_not_count_as_update() {
+        let prev = SourceSnapshot::from_payloads(vec![payload("s1", "A", 5)]);
+        let cur = SourceSnapshot::from_payloads(vec![payload("s1", "A", 99_999)]);
+        let d = compute_delta(&prev, &cur, &volatile());
+        assert!(d.updated.is_empty(), "popularity churn is factored out of deltas");
+        assert_eq!(d.volatile.len(), 1);
+        assert_eq!(d.volatile[0].object, Value::Int(99_999));
+    }
+
+    #[test]
+    fn stable_change_is_an_update() {
+        let prev = SourceSnapshot::from_payloads(vec![payload("s1", "A", 5)]);
+        let cur = SourceSnapshot::from_payloads(vec![payload("s1", "A (Remix)", 5)]);
+        let d = compute_delta(&prev, &cur, &volatile());
+        assert_eq!(d.updated.len(), 1);
+        assert_eq!(d.updated[0].name(), Some("A (Remix)"));
+    }
+
+    #[test]
+    fn removed_entities_are_deleted() {
+        let prev = SourceSnapshot::from_payloads(vec![payload("s1", "A", 5), payload("s2", "B", 6)]);
+        let cur = SourceSnapshot::from_payloads(vec![payload("s2", "B", 6)]);
+        let d = compute_delta(&prev, &cur, &volatile());
+        assert_eq!(d.deleted, vec!["s1".to_string()]);
+        assert!(d.added.is_empty());
+    }
+
+    #[test]
+    fn fact_order_does_not_matter() {
+        let mut a = EntityPayload::new(SourceId(1), "x", intern("song"));
+        let meta = FactMeta::from_source(SourceId(1), 0.9);
+        a.push_simple(intern("name"), Value::str("N"), meta.clone());
+        a.push_simple(intern("genre"), Value::str("pop"), meta.clone());
+        let mut b = EntityPayload::new(SourceId(1), "x", intern("song"));
+        b.push_simple(intern("genre"), Value::str("pop"), meta.clone());
+        b.push_simple(intern("name"), Value::str("N"), meta);
+        let prev = SourceSnapshot::from_payloads(vec![a]);
+        let cur = SourceSnapshot::from_payloads(vec![b]);
+        let d = compute_delta(&prev, &cur, &volatile());
+        assert!(d.is_stable_noop());
+    }
+
+    #[test]
+    fn duplicate_facts_are_multiset_compared() {
+        let meta = FactMeta::from_source(SourceId(1), 0.9);
+        let mut two = EntityPayload::new(SourceId(1), "x", intern("song"));
+        two.push_simple(intern("genre"), Value::str("pop"), meta.clone());
+        two.push_simple(intern("genre"), Value::str("pop"), meta.clone());
+        let mut one = EntityPayload::new(SourceId(1), "x", intern("song"));
+        one.push_simple(intern("genre"), Value::str("pop"), meta);
+        let d = compute_delta(
+            &SourceSnapshot::from_payloads(vec![two]),
+            &SourceSnapshot::from_payloads(vec![one]),
+            &volatile(),
+        );
+        assert_eq!(d.updated.len(), 1, "losing a duplicate fact is a change");
+    }
+}

@@ -1,0 +1,208 @@
+//! Entity transform: entity-centric views plus the §2.2 integrity checks.
+//!
+//! The transformer consumes the importers' uniform row representation and
+//! produces one row per source entity. It "does not add any new predicates"
+//! but may join multiple artifacts (e.g. raw artist info ⋈ artist
+//! popularity) and enforces these data integrity checks:
+//!
+//! * entity IDs are unique across all entities produced;
+//! * each entity has a (non-null) ID predicate;
+//! * predicate (column) names are non-empty;
+//! * every predicate in the source schema is present in the produced entity
+//!   (rectangularity — guaranteed structurally by [`Dataset`]);
+//! * predicate names are unique within the source entity.
+
+use saga_core::{Dataset, FxHashSet, Result, SagaError, Value};
+
+/// Declarative description of the transform stage for one source.
+#[derive(Clone, Debug)]
+pub struct TransformSpec {
+    /// Column holding the source-local entity id.
+    pub id_column: String,
+    /// Joins to enrich the primary artifact: `(artifact index, left column,
+    /// right column)`. Artifact 0 is the primary; joins apply in order.
+    pub joins: Vec<(usize, String, String)>,
+}
+
+impl TransformSpec {
+    /// A transform over a single artifact with id column `id_column`.
+    pub fn simple(id_column: impl Into<String>) -> Self {
+        TransformSpec { id_column: id_column.into(), joins: Vec::new() }
+    }
+
+    /// Add an enrichment join against artifact `artifact_idx`.
+    #[must_use]
+    pub fn join(
+        mut self,
+        artifact_idx: usize,
+        left_col: impl Into<String>,
+        right_col: impl Into<String>,
+    ) -> Self {
+        self.joins.push((artifact_idx, left_col.into(), right_col.into()));
+        self
+    }
+}
+
+/// The entity-transform stage.
+pub struct DataTransformer {
+    spec: TransformSpec,
+}
+
+impl DataTransformer {
+    /// Build a transformer from its spec.
+    pub fn new(spec: TransformSpec) -> Self {
+        DataTransformer { spec }
+    }
+
+    /// Produce the entity-centric view from imported artifacts.
+    ///
+    /// `artifacts[0]` is the primary dataset; others are joined per the
+    /// spec. Fails if any integrity check is violated.
+    pub fn transform(&self, artifacts: &[Dataset]) -> Result<Dataset> {
+        let primary = artifacts
+            .first()
+            .ok_or_else(|| SagaError::Integrity("no artifacts supplied".into()))?;
+        let mut current = primary.clone();
+        for (idx, left, right) in &self.spec.joins {
+            let other = artifacts.get(*idx).ok_or_else(|| {
+                SagaError::Integrity(format!("join references missing artifact {idx}"))
+            })?;
+            if !current.schema().iter().any(|c| c == left) {
+                return Err(SagaError::Integrity(format!("join column {left} missing on left")));
+            }
+            if !other.schema().iter().any(|c| c == right) {
+                return Err(SagaError::Integrity(format!("join column {right} missing on right")));
+            }
+            current = current.hash_join(other, left, right);
+        }
+        self.check_integrity(&current)?;
+        Ok(current)
+    }
+
+    fn check_integrity(&self, ds: &Dataset) -> Result<()> {
+        // Predicate (column) names must be non-empty and unique.
+        let mut seen: FxHashSet<&str> = FxHashSet::default();
+        for col in ds.schema() {
+            if col.is_empty() {
+                return Err(SagaError::Integrity("empty predicate name in schema".into()));
+            }
+            if !seen.insert(col) {
+                return Err(SagaError::Integrity(format!("duplicate predicate name: {col}")));
+            }
+        }
+        // The ID predicate must exist in the schema.
+        if !ds.schema().iter().any(|c| c == &self.spec.id_column) {
+            return Err(SagaError::Integrity(format!(
+                "id predicate {} missing from schema",
+                self.spec.id_column
+            )));
+        }
+        // Every entity must have a unique non-null id.
+        let mut ids: FxHashSet<String> = FxHashSet::default();
+        for (i, row) in ds.iter().enumerate() {
+            let id = row.get(&self.spec.id_column).expect("checked above");
+            let id_str = match id {
+                Value::Str(s) => s.to_string(),
+                Value::Int(n) => n.to_string(),
+                Value::Null => {
+                    return Err(SagaError::Integrity(format!("row {i}: null entity id")))
+                }
+                other => other.render(),
+            };
+            if !ids.insert(id_str.clone()) {
+                return Err(SagaError::Integrity(format!("duplicate entity id: {id_str}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artists() -> Dataset {
+        let mut d = Dataset::with_schema(&["id", "name"]);
+        d.push(vec![Value::str("a1"), Value::str("Billie Eilish")]);
+        d.push(vec![Value::str("a2"), Value::str("Jay-Z")]);
+        d
+    }
+
+    fn plays() -> Dataset {
+        let mut d = Dataset::with_schema(&["artist", "plays"]);
+        d.push(vec![Value::str("a1"), Value::Int(10)]);
+        d.push(vec![Value::str("a2"), Value::Int(20)]);
+        d
+    }
+
+    #[test]
+    fn simple_transform_passes_through() {
+        let t = DataTransformer::new(TransformSpec::simple("id"));
+        let out = t.transform(&[artists()]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.schema(), &["id", "name"]);
+    }
+
+    #[test]
+    fn join_enriches_entities() {
+        let t = DataTransformer::new(TransformSpec::simple("id").join(1, "id", "artist"));
+        let out = t.transform(&[artists(), plays()]).unwrap();
+        assert_eq!(out.schema(), &["id", "name", "plays"]);
+        assert_eq!(out.row(0).get("plays").unwrap().as_int(), Some(10));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let mut d = artists();
+        d.push(vec![Value::str("a1"), Value::str("Imposter")]);
+        let t = DataTransformer::new(TransformSpec::simple("id"));
+        let err = t.transform(&[d]).unwrap_err();
+        assert!(err.to_string().contains("duplicate entity id"));
+    }
+
+    #[test]
+    fn null_id_rejected() {
+        let mut d = Dataset::with_schema(&["id", "name"]);
+        d.push(vec![Value::Null, Value::str("ghost")]);
+        let t = DataTransformer::new(TransformSpec::simple("id"));
+        assert!(t.transform(&[d]).is_err());
+    }
+
+    #[test]
+    fn missing_id_column_rejected() {
+        let t = DataTransformer::new(TransformSpec::simple("uuid"));
+        assert!(t.transform(&[artists()]).is_err());
+    }
+
+    #[test]
+    fn empty_or_duplicate_predicate_names_rejected() {
+        let empty_col = Dataset::with_schema(&["id", ""]);
+        let t = DataTransformer::new(TransformSpec::simple("id"));
+        assert!(t.transform(&[empty_col]).is_err());
+        // Duplicate columns can only arise via joins that duplicate a name.
+        let mut left = Dataset::with_schema(&["id", "name"]);
+        left.push(vec![Value::str("a"), Value::str("x")]);
+        let mut right = Dataset::with_schema(&["rid", "name"]);
+        right.push(vec![Value::str("a"), Value::str("y")]);
+        let tj = DataTransformer::new(TransformSpec::simple("id").join(1, "id", "rid"));
+        let err = tj.transform(&[left, right]).unwrap_err();
+        assert!(err.to_string().contains("duplicate predicate name"));
+    }
+
+    #[test]
+    fn join_against_missing_artifact_or_column_fails() {
+        let t = DataTransformer::new(TransformSpec::simple("id").join(3, "id", "x"));
+        assert!(t.transform(&[artists()]).is_err());
+        let t2 = DataTransformer::new(TransformSpec::simple("id").join(1, "nope", "artist"));
+        assert!(t2.transform(&[artists(), plays()]).is_err());
+    }
+
+    #[test]
+    fn integer_ids_are_stringified_for_uniqueness() {
+        let mut d = Dataset::with_schema(&["id", "v"]);
+        d.push(vec![Value::Int(1), Value::str("a")]);
+        d.push(vec![Value::Int(2), Value::str("b")]);
+        let t = DataTransformer::new(TransformSpec::simple("id"));
+        assert!(t.transform(&[d]).is_ok());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for delta computation: the Added/Updated/Deleted
+//! partitions must exactly account for the difference between snapshots.
+
+use proptest::prelude::*;
+use saga_core::{intern, EntityPayload, FactMeta, FxHashSet, SourceId, Value};
+use saga_ingest::{compute_delta, SourceSnapshot};
+
+/// A miniature source version: entity id → (name value, popularity).
+type Version = Vec<(u8, u8, u8)>;
+
+fn payloads(version: &Version) -> Vec<EntityPayload> {
+    let mut seen = FxHashSet::default();
+    version
+        .iter()
+        .filter(|(id, _, _)| seen.insert(*id))
+        .map(|(id, name, pop)| {
+            let mut p = EntityPayload::new(SourceId(1), format!("e{id}"), intern("song"));
+            let meta = FactMeta::from_source(SourceId(1), 0.9);
+            p.push_simple(intern("name"), Value::str(format!("N{name}")), meta.clone());
+            p.push_simple(intern("popularity"), Value::Int(i64::from(*pop)), meta);
+            p
+        })
+        .collect()
+}
+
+fn volatile() -> FxHashSet<saga_core::Symbol> {
+    let mut s = FxHashSet::default();
+    s.insert(intern("popularity"));
+    s
+}
+
+proptest! {
+    /// Partition laws: Added ∪ Updated ⊆ current; Deleted ⊆ previous∖current;
+    /// the three partitions are disjoint; unchanged entities appear nowhere.
+    #[test]
+    fn delta_partitions_account_for_the_diff(prev in any::<Version>(), cur in any::<Version>()) {
+        let prev_snap = SourceSnapshot::from_payloads(payloads(&prev));
+        let cur_snap = SourceSnapshot::from_payloads(payloads(&cur));
+        let delta = compute_delta(&prev_snap, &cur_snap, &volatile());
+
+        let prev_ids: FxHashSet<String> =
+            prev_snap.iter().map(|(id, _)| id.clone()).collect();
+        let cur_ids: FxHashSet<String> = cur_snap.iter().map(|(id, _)| id.clone()).collect();
+
+        let added: FxHashSet<String> =
+            delta.added.iter().map(|p| p.local_id().unwrap().to_string()).collect();
+        let updated: FxHashSet<String> =
+            delta.updated.iter().map(|p| p.local_id().unwrap().to_string()).collect();
+        let deleted: FxHashSet<String> = delta.deleted.iter().cloned().collect();
+
+        // Added = current ∖ previous.
+        for id in &added {
+            prop_assert!(cur_ids.contains(id) && !prev_ids.contains(id));
+        }
+        for id in cur_ids.difference(&prev_ids) {
+            prop_assert!(added.contains(id), "missing added {id}");
+        }
+        // Deleted = previous ∖ current.
+        for id in &deleted {
+            prop_assert!(prev_ids.contains(id) && !cur_ids.contains(id));
+        }
+        for id in prev_ids.difference(&cur_ids) {
+            prop_assert!(deleted.contains(id), "missing deleted {id}");
+        }
+        // Updated ⊆ previous ∩ current, disjoint from both other partitions.
+        for id in &updated {
+            prop_assert!(prev_ids.contains(id) && cur_ids.contains(id));
+            prop_assert!(!added.contains(id) && !deleted.contains(id));
+        }
+    }
+
+    /// Volatile churn never lands in the stable partitions, and every
+    /// current entity's volatile facts appear in the full volatile dump.
+    #[test]
+    fn volatile_dump_is_full_and_separate(prev in any::<Version>(), cur in any::<Version>()) {
+        let prev_snap = SourceSnapshot::from_payloads(payloads(&prev));
+        let cur_snap = SourceSnapshot::from_payloads(payloads(&cur));
+        let delta = compute_delta(&prev_snap, &cur_snap, &volatile());
+        let pop = intern("popularity");
+        for p in delta.added.iter().chain(delta.updated.iter()) {
+            prop_assert!(p.values(pop).is_empty(), "volatile fact leaked into stable partition");
+        }
+        // One volatile fact per current entity (each payload has exactly one).
+        prop_assert_eq!(delta.volatile.len(), cur_snap.len());
+    }
+
+    /// Self-delta is a stable no-op: diffing a snapshot against itself
+    /// yields empty Added/Updated/Deleted.
+    #[test]
+    fn self_delta_is_noop(v in any::<Version>()) {
+        let a = SourceSnapshot::from_payloads(payloads(&v));
+        let b = SourceSnapshot::from_payloads(payloads(&v));
+        let delta = compute_delta(&a, &b, &volatile());
+        prop_assert!(delta.is_stable_noop());
+    }
+}

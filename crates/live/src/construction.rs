@@ -1,0 +1,291 @@
+//! Live Graph Construction (§4.1).
+//!
+//! "Live sources do not require the complex linking and fusion process of
+//! our full KG construction pipeline — sports games, stock prices, and
+//! flights are uniquely identifiable across sources … These sources do
+//! contain potentially ambiguous references to stable entities which we
+//! want to link to the stable graph" via the Entity Resolution service
+//! (NERD, §5.2). The result is a KG of continuously-updating streaming
+//! facts whose entity references point into the stable graph.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use saga_core::{
+    intern, EntityId, EntityRecord, ExtendedTriple, FactMeta, FxHashMap, SourceId, Value,
+};
+use saga_ml::NerdStack;
+use saga_ontology::TypeRegistry;
+
+use crate::store::LiveKg;
+
+/// Live entity ids live above this floor so they never collide with stable
+/// KG ids.
+pub const LIVE_ID_FLOOR: u64 = 1 << 40;
+
+/// One streaming update from a live source.
+#[derive(Clone, Debug)]
+pub struct LiveEvent {
+    /// The live source (scores feed, stocks feed…).
+    pub source: SourceId,
+    /// Unique event/entity key within the source — uniqueness across
+    /// updates is what lets live construction skip linking.
+    pub event_id: String,
+    /// Ontology type (e.g. `sports_game`).
+    pub entity_type: String,
+    /// Literal facts: `(predicate, value)`.
+    pub facts: Vec<(String, Value)>,
+    /// Text references to *stable* entities to resolve through NERD:
+    /// `(predicate, mention, optional type hint)`.
+    pub mentions: Vec<(String, String, Option<String>)>,
+    /// Source timestamp (monotone per event id; stale updates are dropped).
+    pub timestamp: u64,
+}
+
+/// Builds and continuously updates the live KG.
+pub struct LiveGraphBuilder {
+    live: LiveKg,
+    nerd: Option<Arc<NerdStack>>,
+    types: TypeRegistry,
+    next_id: AtomicU64,
+    known: parking_lot::Mutex<FxHashMap<(SourceId, String), (EntityId, u64)>>,
+}
+
+/// Counters from applying one batch of events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LiveIngestReport {
+    /// Events applied (new or updated).
+    pub applied: usize,
+    /// Events dropped because a newer update was already applied.
+    pub stale_dropped: usize,
+    /// Mentions resolved to stable entities.
+    pub mentions_resolved: usize,
+    /// Mentions left unresolved (kept as literals).
+    pub mentions_unresolved: usize,
+}
+
+impl LiveGraphBuilder {
+    /// A builder over a live KG; `nerd` enables stable-entity resolution.
+    pub fn new(live: LiveKg, types: TypeRegistry, nerd: Option<Arc<NerdStack>>) -> Self {
+        LiveGraphBuilder {
+            live,
+            nerd,
+            types,
+            next_id: AtomicU64::new(LIVE_ID_FLOOR),
+            known: parking_lot::Mutex::new(FxHashMap::default()),
+        }
+    }
+
+    /// The live KG being built.
+    pub fn live(&self) -> &LiveKg {
+        &self.live
+    }
+
+    /// Apply a batch of streaming events.
+    pub fn apply(&self, events: &[LiveEvent]) -> LiveIngestReport {
+        let mut report = LiveIngestReport::default();
+        for event in events {
+            self.apply_one(event, &mut report);
+        }
+        report
+    }
+
+    fn apply_one(&self, event: &LiveEvent, report: &mut LiveIngestReport) {
+        let key = (event.source, event.event_id.clone());
+        let id = {
+            let mut known = self.known.lock();
+            match known.get(&key) {
+                Some(&(_, ts)) if ts > event.timestamp => {
+                    report.stale_dropped += 1;
+                    return;
+                }
+                Some(&(id, _)) => {
+                    known.insert(key, (id, event.timestamp));
+                    id
+                }
+                None => {
+                    let id = EntityId(self.next_id.fetch_add(1, Ordering::Relaxed));
+                    known.insert(key, (id, event.timestamp));
+                    id
+                }
+            }
+        };
+
+        let meta = || FactMeta::from_source(event.source, 0.95);
+        let mut record = EntityRecord::new(id);
+        record.triples.push(ExtendedTriple::simple(
+            id,
+            intern("type"),
+            Value::str(&event.entity_type),
+            meta(),
+        ));
+        record.triples.push(ExtendedTriple::simple(
+            id,
+            intern("name"),
+            Value::str(&event.event_id),
+            meta(),
+        ));
+        for (pred, value) in &event.facts {
+            record.triples.push(ExtendedTriple::simple(id, intern(pred), value.clone(), meta()));
+        }
+        // Resolve text references against the stable graph.
+        let context: String = event
+            .mentions
+            .iter()
+            .map(|(_, m, _)| m.as_str())
+            .chain(std::iter::once(event.event_id.as_str()))
+            .collect::<Vec<_>>()
+            .join(" ");
+        for (pred, mention, hint) in &event.mentions {
+            let resolved = self.nerd.as_ref().and_then(|nerd| {
+                let hint_sym = hint.as_deref().map(intern);
+                nerd.resolve_mention(&self.types, mention, &context, hint_sym)
+            });
+            match resolved {
+                Some((stable_id, _conf)) => {
+                    report.mentions_resolved += 1;
+                    record.triples.push(ExtendedTriple::simple(
+                        id,
+                        intern(pred),
+                        Value::Entity(stable_id),
+                        meta(),
+                    ));
+                }
+                None => {
+                    report.mentions_unresolved += 1;
+                    record.triples.push(ExtendedTriple::simple(
+                        id,
+                        intern(pred),
+                        Value::str(mention),
+                        meta(),
+                    ));
+                }
+            }
+        }
+        self.live.upsert(record);
+        report.applied += 1;
+    }
+
+    /// The live entity id a source event maps to, if seen.
+    pub fn entity_of(&self, source: SourceId, event_id: &str) -> Option<EntityId> {
+        self.known.lock().get(&(source, event_id.to_string())).map(|&(id, _)| id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::KnowledgeGraph;
+    use saga_ml::{ContextualDisambiguator, NerdConfig, NerdEntityView, StringEncoder};
+    use saga_ontology::default_ontology;
+
+    fn stable_kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_named_entity(EntityId(1), "Golden State Warriors", "sports_team", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(2), "Los Angeles Lakers", "sports_team", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(3), "Chase Center", "venue", SourceId(1), 0.9);
+        kg
+    }
+
+    fn builder_with_nerd() -> LiveGraphBuilder {
+        let kg = stable_kg();
+        let live = LiveKg::new(4);
+        live.load_stable(&kg);
+        let nerd = NerdStack::new(
+            NerdEntityView::build(&kg, None),
+            StringEncoder::new(16, 512, 3, 2),
+            ContextualDisambiguator::default(),
+            NerdConfig { max_candidates: 8, confidence_threshold: 0.25 },
+        );
+        LiveGraphBuilder::new(live, default_ontology().types().clone(), Some(Arc::new(nerd)))
+    }
+
+    fn score_event(ts: u64, home: i64, away: i64) -> LiveEvent {
+        LiveEvent {
+            source: SourceId(50),
+            event_id: "gsw-lal-2026-06-11".into(),
+            entity_type: "sports_game".into(),
+            facts: vec![
+                ("status".into(), Value::str("Q3")),
+                ("home_score".into(), Value::Int(home)),
+                ("away_score".into(), Value::Int(away)),
+            ],
+            mentions: vec![
+                ("home_team".into(), "Golden State Warriors".into(), Some("sports_team".into())),
+                ("away_team".into(), "Los Angeles Lakers".into(), Some("sports_team".into())),
+                ("venue".into(), "Chase Center".into(), Some("venue".into())),
+            ],
+            timestamp: ts,
+        }
+    }
+
+    #[test]
+    fn events_create_live_entities_linked_to_stable_graph() {
+        let b = builder_with_nerd();
+        let report = b.apply(&[score_event(1, 55, 51)]);
+        assert_eq!(report.applied, 1);
+        assert_eq!(report.mentions_resolved, 3, "teams and venue resolved to stable ids");
+        let id = b.entity_of(SourceId(50), "gsw-lal-2026-06-11").unwrap();
+        assert!(id.0 >= LIVE_ID_FLOOR);
+        let rec = b.live().get(id).unwrap();
+        assert_eq!(rec.values(intern("home_team")), vec![&Value::Entity(EntityId(1))]);
+        assert_eq!(rec.values(intern("venue")), vec![&Value::Entity(EntityId(3))]);
+        // The game is findable through the edge index.
+        assert_eq!(b.live().index().by_edge(intern("home_team"), EntityId(1)), vec![id]);
+    }
+
+    #[test]
+    fn updates_replace_and_stale_events_are_dropped() {
+        let b = builder_with_nerd();
+        b.apply(&[score_event(1, 55, 51)]);
+        let id = b.entity_of(SourceId(50), "gsw-lal-2026-06-11").unwrap();
+        // Fresh update within seconds (the freshness SLA scenario).
+        let r2 = b.apply(&[score_event(2, 60, 58)]);
+        assert_eq!(r2.applied, 1);
+        assert_eq!(
+            b.live().get(id).unwrap().values(intern("home_score")),
+            vec![&Value::Int(60)]
+        );
+        // An out-of-order stale event must not regress the score.
+        let r3 = b.apply(&[score_event(1, 55, 51)]);
+        assert_eq!(r3.stale_dropped, 1);
+        assert_eq!(
+            b.live().get(id).unwrap().values(intern("home_score")),
+            vec![&Value::Int(60)]
+        );
+    }
+
+    #[test]
+    fn unresolvable_mentions_stay_literal() {
+        let b = builder_with_nerd();
+        let mut ev = score_event(1, 0, 0);
+        ev.mentions = vec![("home_team".into(), "Team Nobody Knows".into(), Some("sports_team".into()))];
+        let report = b.apply(&[ev]);
+        assert_eq!(report.mentions_unresolved, 1);
+        let id = b.entity_of(SourceId(50), "gsw-lal-2026-06-11").unwrap();
+        assert_eq!(
+            b.live().get(id).unwrap().values(intern("home_team")),
+            vec![&Value::str("Team Nobody Knows")]
+        );
+    }
+
+    #[test]
+    fn without_nerd_everything_is_literal() {
+        let live = LiveKg::new(2);
+        let b = LiveGraphBuilder::new(live, default_ontology().types().clone(), None);
+        let report = b.apply(&[score_event(1, 1, 1)]);
+        assert_eq!(report.mentions_resolved, 0);
+        assert_eq!(report.mentions_unresolved, 3);
+    }
+
+    #[test]
+    fn distinct_event_ids_get_distinct_live_entities() {
+        let b = builder_with_nerd();
+        let mut e2 = score_event(1, 0, 0);
+        e2.event_id = "another-game".into();
+        b.apply(&[score_event(1, 0, 0), e2]);
+        let a = b.entity_of(SourceId(50), "gsw-lal-2026-06-11").unwrap();
+        let c = b.entity_of(SourceId(50), "another-game").unwrap();
+        assert_ne!(a, c);
+    }
+}

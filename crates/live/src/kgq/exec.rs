@@ -1,0 +1,333 @@
+//! KGQ compilation and execution.
+//!
+//! Compilation expands virtual operators, resolves edge targets to entity
+//! ids, and lowers conditions to index probes. Execution orders probes by
+//! estimated selectivity (operator pushdown: cheapest index first), then
+//! intersects posting lists; `GET` paths walk the KV store.
+
+use saga_core::{intern, EntityId, Result, SagaError, Symbol, Value};
+
+use crate::kgq::parser::{Condition, Query, Target};
+use crate::kgq::QueryEngine;
+use crate::store::LiveKg;
+
+/// One lowered index probe.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Probe {
+    /// Full-phrase name posting.
+    Name(String),
+    /// Exact literal fact posting.
+    Literal(Symbol, Value),
+    /// Edge posting.
+    Edge(Symbol, EntityId),
+    /// Type posting.
+    Type(Symbol),
+    /// An edge whose target did not resolve — always empty.
+    Unsatisfiable,
+}
+
+/// A compiled physical plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plan {
+    /// Probe-intersection entity search.
+    Find {
+        /// Lowered probes (conjunctive).
+        probes: Vec<Probe>,
+        /// Result budget.
+        limit: usize,
+    },
+    /// Path walk.
+    Get {
+        /// Start selector.
+        start: Target,
+        /// Interned predicate path.
+        path: Vec<Symbol>,
+    },
+}
+
+/// Query results: entity hits or terminal values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResult {
+    /// Matching entities (FIND, or GET ending on an entity hop).
+    Entities(Vec<EntityId>),
+    /// Terminal literal values (GET ending on a literal predicate).
+    Values(Vec<Value>),
+}
+
+impl QueryResult {
+    /// The entity hits, if any.
+    pub fn entities(&self) -> &[EntityId] {
+        match self {
+            QueryResult::Entities(e) => e,
+            QueryResult::Values(_) => &[],
+        }
+    }
+
+    /// The terminal values, if any.
+    pub fn values(&self) -> &[Value] {
+        match self {
+            QueryResult::Values(v) => v,
+            QueryResult::Entities(_) => &[],
+        }
+    }
+
+    /// Total result cardinality.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResult::Entities(e) => e.len(),
+            QueryResult::Values(v) => v.len(),
+        }
+    }
+
+    /// True if nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn resolve_target(live: &LiveKg, target: &Target) -> Option<EntityId> {
+    match target {
+        Target::Id(id) => live.contains(*id).then_some(*id),
+        Target::Name(name) => {
+            let hits = live.index().by_name(&name.to_lowercase());
+            hits.first().copied()
+        }
+    }
+}
+
+/// Compile a parsed query against the engine (expands virtual operators,
+/// resolves edge targets).
+pub fn compile(engine: &QueryEngine, query: &Query) -> Result<Plan> {
+    match query {
+        Query::Get { start, path } => Ok(Plan::Get {
+            start: start.clone(),
+            path: path.iter().map(|p| intern(p)).collect(),
+        }),
+        Query::Find { entity_type, conditions, limit } => {
+            let mut probes = Vec::new();
+            if let Some(ty) = entity_type {
+                probes.push(Probe::Type(intern(ty)));
+            }
+            // Expand virtual operators to primitive conditions first.
+            let mut flat: Vec<Condition> = Vec::new();
+            for c in conditions {
+                match c {
+                    Condition::VirtualOp { name, args } => {
+                        let expanded = engine.expand_virtual(name, args)?;
+                        for e in &expanded {
+                            if matches!(e, Condition::VirtualOp { .. }) {
+                                return Err(SagaError::Query(
+                                    "virtual operators must expand to primitives".into(),
+                                ));
+                            }
+                        }
+                        flat.extend(expanded);
+                    }
+                    other => flat.push(other.clone()),
+                }
+            }
+            for c in flat {
+                match c {
+                    Condition::NameIs(n) => probes.push(Probe::Name(n.to_lowercase())),
+                    Condition::HasLiteral { pred, value } => {
+                        probes.push(Probe::Literal(intern(&pred), value))
+                    }
+                    Condition::RelTo { pred, target } => {
+                        match resolve_target(engine.live(), &target) {
+                            Some(id) => probes.push(Probe::Edge(intern(&pred), id)),
+                            None => probes.push(Probe::Unsatisfiable),
+                        }
+                    }
+                    Condition::VirtualOp { .. } => unreachable!("expanded above"),
+                }
+            }
+            Ok(Plan::Find { probes, limit: *limit })
+        }
+    }
+}
+
+fn probe_postings(live: &LiveKg, probe: &Probe) -> Vec<EntityId> {
+    match probe {
+        Probe::Name(n) => live.index().by_name(n),
+        Probe::Literal(p, v) => live.index().by_literal(*p, v),
+        Probe::Edge(p, t) => live.index().by_edge(*p, *t),
+        Probe::Type(t) => live.index().by_type(*t),
+        Probe::Unsatisfiable => Vec::new(),
+    }
+}
+
+/// Execute a compiled plan against the live KG.
+pub fn execute(live: &LiveKg, plan: &Plan) -> Result<QueryResult> {
+    match plan {
+        Plan::Find { probes, limit } => {
+            if probes.is_empty() {
+                return Err(SagaError::Query("unbounded FIND rejected".into()));
+            }
+            // Operator pushdown: evaluate the most selective probe first.
+            let mut lists: Vec<Vec<EntityId>> =
+                probes.iter().map(|p| probe_postings(live, p)).collect();
+            lists.sort_by_key(Vec::len);
+            let mut result = lists.remove(0);
+            for list in &lists {
+                let set: saga_core::FxHashSet<EntityId> = list.iter().copied().collect();
+                result.retain(|id| set.contains(id));
+                if result.is_empty() {
+                    break;
+                }
+            }
+            result.sort_unstable();
+            result.truncate(*limit);
+            Ok(QueryResult::Entities(result))
+        }
+        Plan::Get { start, path } => {
+            let Some(start_id) = resolve_target(live, start) else {
+                return Ok(QueryResult::Entities(Vec::new()));
+            };
+            let mut frontier = vec![start_id];
+            let mut terminal_values: Vec<Value> = Vec::new();
+            for (depth, &pred) in path.iter().enumerate() {
+                let last = depth + 1 == path.len();
+                let mut next = Vec::new();
+                terminal_values.clear();
+                for id in &frontier {
+                    let Some(record) = live.get(*id) else { continue };
+                    for v in record.values(pred) {
+                        match v {
+                            Value::Entity(e) => {
+                                next.push(*e);
+                                if last {
+                                    terminal_values.push(v.clone());
+                                }
+                            }
+                            other => {
+                                if last {
+                                    terminal_values.push(other.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                frontier = next;
+                if frontier.is_empty() && !last {
+                    return Ok(QueryResult::Values(Vec::new()));
+                }
+            }
+            if path.is_empty() {
+                return Ok(QueryResult::Entities(vec![start_id]));
+            }
+            // If every terminal value is an entity, surface entities.
+            if !terminal_values.is_empty()
+                && terminal_values.iter().all(|v| matches!(v, Value::Entity(_)))
+            {
+                let ids = terminal_values.iter().filter_map(Value::as_entity).collect();
+                return Ok(QueryResult::Entities(ids));
+            }
+            Ok(QueryResult::Values(terminal_values))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::{ExtendedTriple, FactMeta, KnowledgeGraph, SourceId};
+
+    fn demo_engine() -> QueryEngine {
+        let mut kg = KnowledgeGraph::new();
+        let meta = || FactMeta::from_source(SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(1), "Beyoncé", "music_artist", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(2), "Jay-Z", "music_artist", SourceId(1), 0.9);
+        kg.upsert_fact(ExtendedTriple::simple(EntityId(1), intern("spouse"), Value::Entity(EntityId(2)), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), intern("spouse"), Value::Entity(EntityId(1)), meta()));
+        kg.add_named_entity(EntityId(3), "Halo", "song", SourceId(1), 0.9);
+        kg.upsert_fact(ExtendedTriple::simple(EntityId(3), intern("performed_by"), Value::Entity(EntityId(1)), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(EntityId(3), intern("duration_s"), Value::Int(261), meta()));
+        kg.add_named_entity(EntityId(4), "Hollywood", "city", SourceId(1), 0.9);
+        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), intern("birthplace"), Value::Entity(EntityId(4)), meta()));
+        let live = LiveKg::new(4);
+        live.load_stable(&kg);
+        QueryEngine::new(live)
+    }
+
+    #[test]
+    fn find_by_name_and_type() {
+        let eng = demo_engine();
+        let r = eng.query(r#"FIND music_artist WHERE name = "Beyoncé""#).unwrap();
+        assert_eq!(r.entities(), &[EntityId(1)]);
+        // Type filter excludes the song even though names differ anyway.
+        let r2 = eng.query(r#"FIND song WHERE performed_by -> entity("Beyoncé")"#).unwrap();
+        assert_eq!(r2.entities(), &[EntityId(3)]);
+    }
+
+    #[test]
+    fn find_with_literal_and_edge_conjunction() {
+        let eng = demo_engine();
+        let r = eng
+            .query(r#"FIND song WHERE duration_s = 261 AND performed_by -> AKG:1"#)
+            .unwrap();
+        assert_eq!(r.entities(), &[EntityId(3)]);
+        let none = eng
+            .query(r#"FIND song WHERE duration_s = 100 AND performed_by -> AKG:1"#)
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn get_multi_hop_paths() {
+        let eng = demo_engine();
+        // GET "Beyoncé" . spouse → Jay-Z (entity result).
+        let r = eng.query(r#"GET "Beyoncé" . spouse"#).unwrap();
+        assert_eq!(r.entities(), &[EntityId(2)]);
+        // Two hops ending on a literal.
+        let r2 = eng.query(r#"GET "Beyoncé" . spouse . name"#).unwrap();
+        assert_eq!(r2.values(), &[Value::str("Jay-Z")]);
+        // Three hops: spouse → birthplace → name.
+        let r3 = eng.query(r#"GET AKG:1 . spouse . birthplace . name"#).unwrap();
+        assert_eq!(r3.values(), &[Value::str("Hollywood")]);
+    }
+
+    #[test]
+    fn unresolved_targets_yield_empty_not_error() {
+        let eng = demo_engine();
+        let r = eng.query(r#"FIND song WHERE performed_by -> entity("Nobody Here")"#).unwrap();
+        assert!(r.is_empty());
+        let r2 = eng.query(r#"GET "Nobody Here" . name"#).unwrap();
+        assert!(r2.is_empty());
+    }
+
+    #[test]
+    fn virtual_operators_expand_and_execute() {
+        let eng = demo_engine();
+        eng.register_virtual_op("ByArtist", |args| {
+            let artist = args
+                .first()
+                .ok_or_else(|| SagaError::Query("ByArtist needs an artist".into()))?;
+            Ok(vec![Condition::RelTo {
+                pred: "performed_by".into(),
+                target: Target::Name(artist.clone()),
+            }])
+        });
+        let r = eng.query(r#"FIND song WHERE ByArtist("Beyoncé")"#).unwrap();
+        assert_eq!(r.entities(), &[EntityId(3)]);
+        // Unknown operator is a query error.
+        assert!(eng.query(r#"FIND song WHERE Nope("x")"#).is_err());
+    }
+
+    #[test]
+    fn plan_cache_hits_and_invalidation() {
+        let eng = demo_engine();
+        assert_eq!(eng.cached_plans(), 0);
+        eng.query(r#"FIND song WHERE duration_s = 261"#).unwrap();
+        eng.query(r#"FIND song WHERE duration_s = 261"#).unwrap();
+        assert_eq!(eng.cached_plans(), 1, "identical text compiles once");
+        eng.invalidate_plans();
+        assert_eq!(eng.cached_plans(), 0);
+    }
+
+    #[test]
+    fn get_without_path_returns_the_entity() {
+        let eng = demo_engine();
+        let r = eng.query(r#"GET AKG:1"#).unwrap();
+        assert_eq!(r.entities(), &[EntityId(1)]);
+    }
+}

@@ -1,0 +1,103 @@
+//! KGQ: the live graph query language (§4.2).
+//!
+//! "Clients can specify queries using a specially designed graph query
+//! language called KGQ. KGQ is expressive enough to capture the semantics
+//! of natural language queries … while limiting expressiveness (compared
+//! to more general graph query languages) in order to bound query
+//! performance. The queries primarily express graph traversal constraints
+//! for entity search, including multi-hop traversals. KGQ is an extensible
+//! language, allowing users to implement virtual operators."
+//!
+//! Surface syntax (bounded by construction — no recursion, fixed-depth
+//! paths):
+//!
+//! ```text
+//! FIND city WHERE name = "Springfield" AND located_in -> entity("Illinois") LIMIT 5
+//! FIND sports_game WHERE home_team -> AKG:17
+//! FIND song WHERE ByArtist("Billie Eilish")          -- virtual operator
+//! GET AKG:12 . spouse . name                          -- multi-hop path
+//! GET "Beyoncé" . spouse . name
+//! ```
+//!
+//! Queries compile to physical plans (index probes ordered by selectivity
+//! + intersection — operator pushdown) that are cached per query text.
+
+pub mod exec;
+pub mod parser;
+
+pub use exec::{compile, execute, Plan, QueryResult};
+pub use parser::{parse, Condition, Query, Target};
+
+use parking_lot::RwLock;
+use saga_core::{FxHashMap, Result, SagaError};
+use std::sync::Arc;
+
+use crate::store::LiveKg;
+
+/// A virtual operator: expands `Op(args)` into primitive conditions at
+/// compile time, "facilitating easy reuse of complex expressions".
+pub type VirtualOp = Arc<dyn Fn(&[String]) -> Result<Vec<Condition>> + Send + Sync>;
+
+/// The Live KG Query Engine: parser + compiler + executor + plan cache.
+#[derive(Clone)]
+pub struct QueryEngine {
+    live: LiveKg,
+    virtual_ops: Arc<RwLock<FxHashMap<String, VirtualOp>>>,
+    plan_cache: Arc<RwLock<FxHashMap<String, Arc<Plan>>>>,
+}
+
+impl QueryEngine {
+    /// An engine over a live KG.
+    pub fn new(live: LiveKg) -> Self {
+        QueryEngine {
+            live,
+            virtual_ops: Arc::new(RwLock::new(FxHashMap::default())),
+            plan_cache: Arc::new(RwLock::new(FxHashMap::default())),
+        }
+    }
+
+    /// The underlying live KG.
+    pub fn live(&self) -> &LiveKg {
+        &self.live
+    }
+
+    /// Register a virtual operator under `name`.
+    pub fn register_virtual_op(
+        &self,
+        name: &str,
+        op: impl Fn(&[String]) -> Result<Vec<Condition>> + Send + Sync + 'static,
+    ) {
+        self.virtual_ops.write().insert(name.to_string(), Arc::new(op));
+    }
+
+    /// Expand a virtual operator (compiler hook).
+    pub(crate) fn expand_virtual(&self, name: &str, args: &[String]) -> Result<Vec<Condition>> {
+        let ops = self.virtual_ops.read();
+        let op = ops
+            .get(name)
+            .ok_or_else(|| SagaError::Query(format!("unknown virtual operator {name}")))?;
+        op(args)
+    }
+
+    /// Parse, compile (with plan caching) and execute a KGQ query.
+    pub fn query(&self, text: &str) -> Result<QueryResult> {
+        if let Some(plan) = self.plan_cache.read().get(text) {
+            return execute(&self.live, plan);
+        }
+        let ast = parse(text)?;
+        let plan = Arc::new(compile(self, &ast)?);
+        self.plan_cache.write().insert(text.to_string(), Arc::clone(&plan));
+        execute(&self.live, &plan)
+    }
+
+    /// Number of cached plans (observability/tests).
+    pub fn cached_plans(&self) -> usize {
+        self.plan_cache.read().len()
+    }
+
+    /// Invalidate the plan cache (after schema-affecting changes; edge
+    /// targets are resolved at compile time).
+    pub fn invalidate_plans(&self) {
+        self.plan_cache.write().clear();
+    }
+}

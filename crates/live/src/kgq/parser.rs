@@ -1,0 +1,461 @@
+//! KGQ lexer and recursive-descent parser.
+
+use saga_core::{EntityId, Result, SagaError, Value};
+
+/// A parsed KGQ query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// Entity search with traversal constraints.
+    Find {
+        /// Optional ontology-type restriction.
+        entity_type: Option<String>,
+        /// Conjunctive conditions.
+        conditions: Vec<Condition>,
+        /// Result budget (defaults to 10; hard language bound 1000).
+        limit: usize,
+    },
+    /// Multi-hop path retrieval from a start entity.
+    Get {
+        /// Start selector.
+        start: Target,
+        /// Predicate path (bounded depth enforced by the parser).
+        path: Vec<String>,
+    },
+}
+
+/// One conjunctive condition of a `FIND`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Condition {
+    /// `name = "..."` — full-phrase name equality.
+    NameIs(String),
+    /// `<pred> = <literal>`.
+    HasLiteral {
+        /// Predicate name.
+        pred: String,
+        /// Literal value compared for equality.
+        value: Value,
+    },
+    /// `<pred> -> entity("...")` or `<pred> -> AKG:n` — edge constraint.
+    RelTo {
+        /// Predicate name.
+        pred: String,
+        /// Edge target.
+        target: Target,
+    },
+    /// `Op(arg, ...)` — expanded by the engine's virtual-operator registry.
+    VirtualOp {
+        /// Operator name.
+        name: String,
+        /// String arguments.
+        args: Vec<String>,
+    },
+}
+
+/// An entity selector.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Target {
+    /// By canonical id (`AKG:n`).
+    Id(EntityId),
+    /// By (full-phrase) name.
+    Name(String),
+}
+
+/// Maximum `GET` path depth — part of KGQ's bounded-performance contract.
+pub const MAX_PATH_DEPTH: usize = 4;
+/// Maximum `LIMIT` a query may request.
+pub const MAX_LIMIT: usize = 1000;
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    Akg(u64),
+    Eq,
+    Arrow,
+    Dot,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(text: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '.' => {
+                toks.push(Tok::Dot);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '-' if chars.get(i + 1) == Some(&'>') => {
+                toks.push(Tok::Arrow);
+                i += 2;
+            }
+            '"' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '"' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(SagaError::Query("unterminated string".into()));
+                }
+                i += 1;
+                toks.push(Tok::Str(s));
+            }
+            c if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).map_or(false, |n| n.is_ascii_digit())) => {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    if chars[i] == '.' {
+                        // '.' followed by non-digit is a path dot.
+                        if !chars.get(i + 1).map_or(false, |n| n.is_ascii_digit()) {
+                            break;
+                        }
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    toks.push(Tok::Float(text.parse().map_err(|_| {
+                        SagaError::Query(format!("bad float literal {text}"))
+                    })?));
+                } else {
+                    toks.push(Tok::Int(text.parse().map_err(|_| {
+                        SagaError::Query(format!("bad int literal {text}"))
+                    })?));
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                let word: String = chars[start..i].iter().collect();
+                // AKG:17 — canonical id literal.
+                if word == "AKG" && chars.get(i) == Some(&':') {
+                    i += 1;
+                    let ns = i;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let num: String = chars[ns..i].iter().collect();
+                    let id = num
+                        .parse()
+                        .map_err(|_| SagaError::Query("bad AKG id".into()))?;
+                    toks.push(Tok::Akg(id));
+                } else {
+                    toks.push(Tok::Ident(word));
+                }
+            }
+            other => return Err(SagaError::Query(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SagaError::Query("unexpected end of query".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<()> {
+        let t = self.next()?;
+        if &t == tok {
+            Ok(())
+        } else {
+            Err(SagaError::Query(format!("expected {tok:?}, found {t:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next()? {
+            Tok::Ident(w) => Ok(w),
+            t => Err(SagaError::Query(format!("expected identifier, found {t:?}"))),
+        }
+    }
+
+    fn target(&mut self) -> Result<Target> {
+        match self.next()? {
+            Tok::Akg(n) => Ok(Target::Id(EntityId(n))),
+            Tok::Str(s) => Ok(Target::Name(s)),
+            Tok::Ident(w) if w.eq_ignore_ascii_case("entity") => {
+                self.expect(&Tok::LParen)?;
+                let name = match self.next()? {
+                    Tok::Str(s) => s,
+                    t => return Err(SagaError::Query(format!("entity() expects a string, got {t:?}"))),
+                };
+                self.expect(&Tok::RParen)?;
+                Ok(Target::Name(name))
+            }
+            t => Err(SagaError::Query(format!("expected entity target, found {t:?}"))),
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition> {
+        let head = self.ident()?;
+        match self.peek() {
+            Some(Tok::Eq) => {
+                self.pos += 1;
+                let value = match self.next()? {
+                    Tok::Str(s) => {
+                        if head == "name" {
+                            return Ok(Condition::NameIs(s));
+                        }
+                        Value::str(s)
+                    }
+                    Tok::Int(i) => Value::Int(i),
+                    Tok::Float(f) => Value::Float(f),
+                    Tok::Ident(w) if w.eq_ignore_ascii_case("true") => Value::Bool(true),
+                    Tok::Ident(w) if w.eq_ignore_ascii_case("false") => Value::Bool(false),
+                    t => return Err(SagaError::Query(format!("bad literal {t:?}"))),
+                };
+                Ok(Condition::HasLiteral { pred: head, value })
+            }
+            Some(Tok::Arrow) => {
+                self.pos += 1;
+                Ok(Condition::RelTo { pred: head, target: self.target()? })
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let mut args = Vec::new();
+                loop {
+                    match self.next()? {
+                        Tok::RParen => break,
+                        Tok::Str(s) => args.push(s),
+                        Tok::Int(i) => args.push(i.to_string()),
+                        Tok::Ident(w) => args.push(w),
+                        Tok::Comma => {}
+                        t => return Err(SagaError::Query(format!("bad operator arg {t:?}"))),
+                    }
+                }
+                Ok(Condition::VirtualOp { name: head, args })
+            }
+            _ => Err(SagaError::Query(format!("condition on {head} needs =, -> or (args)"))),
+        }
+    }
+}
+
+/// Parse KGQ text into a [`Query`].
+pub fn parse(text: &str) -> Result<Query> {
+    let mut p = Parser { toks: lex(text)?, pos: 0 };
+    if p.keyword("FIND") {
+        // Optional type restriction (an identifier not followed by a
+        // condition operator).
+        let mut entity_type = None;
+        if let Some(Tok::Ident(w)) = p.peek() {
+            let w = w.clone();
+            if !w.eq_ignore_ascii_case("WHERE") {
+                let is_cond_head = matches!(
+                    p.toks.get(p.pos + 1),
+                    Some(Tok::Eq) | Some(Tok::Arrow) | Some(Tok::LParen)
+                );
+                if !is_cond_head {
+                    entity_type = Some(w);
+                    p.pos += 1;
+                }
+            }
+        }
+        let mut conditions = Vec::new();
+        if p.keyword("WHERE") {
+            conditions.push(p.condition()?);
+            while p.keyword("AND") {
+                conditions.push(p.condition()?);
+            }
+        }
+        let mut limit = 10;
+        if p.keyword("LIMIT") {
+            match p.next()? {
+                Tok::Int(n) if n > 0 => limit = (n as usize).min(MAX_LIMIT),
+                t => return Err(SagaError::Query(format!("bad LIMIT {t:?}"))),
+            }
+        }
+        if p.peek().is_some() {
+            return Err(SagaError::Query("trailing tokens after query".into()));
+        }
+        if entity_type.is_none() && conditions.is_empty() {
+            return Err(SagaError::Query("FIND requires a type or conditions".into()));
+        }
+        Ok(Query::Find { entity_type, conditions, limit })
+    } else if p.keyword("GET") {
+        let start = p.target()?;
+        let mut path = Vec::new();
+        while let Some(Tok::Dot) = p.peek() {
+            p.pos += 1;
+            path.push(p.ident()?);
+        }
+        if p.peek().is_some() {
+            return Err(SagaError::Query("trailing tokens after query".into()));
+        }
+        if path.len() > MAX_PATH_DEPTH {
+            return Err(SagaError::Query(format!(
+                "path depth {} exceeds KGQ bound {MAX_PATH_DEPTH}",
+                path.len()
+            )));
+        }
+        Ok(Query::Get { start, path })
+    } else {
+        Err(SagaError::Query("query must start with FIND or GET".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_find_with_all_condition_kinds() {
+        let q = parse(
+            r#"FIND city WHERE name = "Springfield" AND located_in -> entity("Illinois") AND population = 120 LIMIT 5"#,
+        )
+        .unwrap();
+        match q {
+            Query::Find { entity_type, conditions, limit } => {
+                assert_eq!(entity_type.as_deref(), Some("city"));
+                assert_eq!(limit, 5);
+                assert_eq!(conditions.len(), 3);
+                assert_eq!(conditions[0], Condition::NameIs("Springfield".into()));
+                assert_eq!(
+                    conditions[1],
+                    Condition::RelTo { pred: "located_in".into(), target: Target::Name("Illinois".into()) }
+                );
+                assert_eq!(
+                    conditions[2],
+                    Condition::HasLiteral { pred: "population".into(), value: Value::Int(120) }
+                );
+            }
+            _ => panic!("expected FIND"),
+        }
+    }
+
+    #[test]
+    fn parses_akg_targets_and_virtual_ops() {
+        let q = parse(r#"FIND sports_game WHERE home_team -> AKG:17 AND Live("today")"#).unwrap();
+        match q {
+            Query::Find { conditions, .. } => {
+                assert_eq!(
+                    conditions[0],
+                    Condition::RelTo { pred: "home_team".into(), target: Target::Id(EntityId(17)) }
+                );
+                assert_eq!(
+                    conditions[1],
+                    Condition::VirtualOp { name: "Live".into(), args: vec!["today".into()] }
+                );
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_get_paths_by_id_and_name() {
+        assert_eq!(
+            parse("GET AKG:12 . spouse . name").unwrap(),
+            Query::Get { start: Target::Id(EntityId(12)), path: vec!["spouse".into(), "name".into()] }
+        );
+        assert_eq!(
+            parse(r#"GET "Beyoncé" . spouse"#).unwrap(),
+            Query::Get { start: Target::Name("Beyoncé".into()), path: vec!["spouse".into()] }
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse(r#"find song where name = "x""#).is_ok());
+        assert!(parse(r#"get "x" . name"#).is_ok());
+    }
+
+    #[test]
+    fn bounded_expressiveness_is_enforced() {
+        // Path depth bound.
+        let deep = "GET AKG:1 . a . b . c . d . e";
+        assert!(parse(deep).is_err());
+        // Limit clamp.
+        match parse(r#"FIND song WHERE name = "x" LIMIT 999999"#).unwrap() {
+            Query::Find { limit, .. } => assert_eq!(limit, MAX_LIMIT),
+            _ => panic!(),
+        }
+        // A bare FIND with nothing to search on is rejected.
+        assert!(parse("FIND").is_err());
+    }
+
+    #[test]
+    fn error_cases_are_reported() {
+        assert!(parse("").is_err());
+        assert!(parse("DELETE everything").is_err());
+        assert!(parse(r#"FIND song WHERE name = "unterminated"#).is_err());
+        assert!(parse("FIND song WHERE name ->").is_err());
+        assert!(parse(r#"FIND song WHERE name = "x" trailing"#).is_err());
+        assert!(parse("GET AKG:x").is_err());
+    }
+
+    #[test]
+    fn negative_and_float_literals() {
+        match parse(r#"FIND stock_quote WHERE price_usd = 12.5"#).unwrap() {
+            Query::Find { conditions, .. } => {
+                assert_eq!(
+                    conditions[0],
+                    Condition::HasLiteral { pred: "price_usd".into(), value: Value::Float(12.5) }
+                );
+            }
+            _ => panic!(),
+        }
+        match parse(r#"FIND x WHERE delta = -3"#).unwrap() {
+            Query::Find { conditions, .. } => {
+                assert_eq!(
+                    conditions[0],
+                    Condition::HasLiteral { pred: "delta".into(), value: Value::Int(-3) }
+                );
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! # saga-live
+//!
+//! The Live Knowledge Graph (§4, Fig. 9): the union of a view of the stable
+//! graph with real-time streaming sources (sports scores, stock prices,
+//! flight data), served through a low-latency query engine.
+//!
+//! * [`store`] — the serving substrate: a sharded graph KV store plus an
+//!   inverted graph index, both optimized for concurrent point reads.
+//! * [`construction`] — Live Graph Construction: streaming events are
+//!   uniquely identifiable (no linking/fusion needed) but their text
+//!   references to stable entities are resolved through the Entity
+//!   Resolution service (§4.1).
+//! * [`kgq`] — the KGQ query language: a deliberately *bounded* graph query
+//!   language (traversal constraints, no recursion) compiled to physical
+//!   plans over the indexes, with virtual operators and a plan cache
+//!   (§4.2).
+//! * [`intent`] — query-intent handling: the same intent routes to
+//!   different KGQ queries depending on entity semantics
+//!   (`HeadOfState(Canada)` → `prime_minister`, `HeadOfState(Chicago)` →
+//!   `mayor`).
+//! * [`context`] — the context graph for multi-turn interactions
+//!   ("How about Tom Hanks?", "Where is she from?").
+//! * [`curation`] — human-in-the-loop curation as a streaming hot-fix
+//!   source (§4.3), forwarded to stable construction.
+
+pub mod construction;
+pub mod context;
+pub mod curation;
+pub mod intent;
+pub mod kgq;
+pub mod store;
+
+pub use construction::{LiveEvent, LiveGraphBuilder};
+pub use context::ContextGraph;
+pub use curation::{CurationAction, CurationPipeline};
+pub use intent::{Intent, IntentHandler};
+pub use kgq::{compile, execute, parse, Plan, Query, QueryEngine, QueryResult};
+pub use store::{InvertedGraphIndex, LiveKg};

@@ -1,0 +1,321 @@
+//! The live serving substrate (§4.1): "The live KG is indexed using a
+//! scalable inverted index and key value store. Both indexes are optimized
+//! for low latency retrieval under high degrees of concurrent requests.
+//! The indexes are sharded and can be replicated to support scale-out."
+//!
+//! [`LiveKg`] shards entity records across lock-striped maps (point reads
+//! take one shard read-lock); [`InvertedGraphIndex`] maintains postings for
+//! name tokens, literal facts and graph edges, which is what KGQ plans
+//! intersect.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use saga_core::{EntityId, EntityRecord, FxHashMap, Symbol, Value};
+
+/// Posting keys of the inverted graph index.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum IndexKey {
+    /// Normalized name/alias token.
+    NameToken(String),
+    /// Exact `(predicate, literal)` fact.
+    Literal(Symbol, Value),
+    /// Edge `(predicate, target entity)` — supports `pred -> entity(X)`.
+    Edge(Symbol, EntityId),
+    /// Ontology type.
+    Type(Symbol),
+}
+
+/// The inverted graph index.
+#[derive(Default)]
+pub struct InvertedGraphIndex {
+    postings: RwLock<FxHashMap<IndexKey, Vec<EntityId>>>,
+}
+
+fn name_tokens(record: &EntityRecord) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in record.all_names() {
+        for tok in name.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty()) {
+            out.push(tok.to_lowercase());
+        }
+        out.push(name.to_lowercase());
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+impl InvertedGraphIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn keys_of(record: &EntityRecord) -> Vec<IndexKey> {
+        let mut keys: Vec<IndexKey> =
+            name_tokens(record).into_iter().map(IndexKey::NameToken).collect();
+        for t in &record.triples {
+            if t.rel.is_some() {
+                continue; // composite facets are served from the KV record
+            }
+            match &t.object {
+                Value::Entity(e) => keys.push(IndexKey::Edge(t.predicate, *e)),
+                Value::Null | Value::SourceRef(_) => {}
+                v => keys.push(IndexKey::Literal(t.predicate, v.clone())),
+            }
+        }
+        for ty in record.types() {
+            keys.push(IndexKey::Type(ty));
+        }
+        keys
+    }
+
+    /// (Re-)index an entity record.
+    pub fn index(&self, record: &EntityRecord) {
+        let keys = Self::keys_of(record);
+        let mut postings = self.postings.write();
+        for key in keys {
+            let list = postings.entry(key).or_default();
+            if !list.contains(&record.id) {
+                list.push(record.id);
+            }
+        }
+    }
+
+    /// Remove an entity's postings given its (old) record.
+    pub fn unindex(&self, record: &EntityRecord) {
+        let keys = Self::keys_of(record);
+        let mut postings = self.postings.write();
+        for key in keys {
+            if let Some(list) = postings.get_mut(&key) {
+                list.retain(|&e| e != record.id);
+                if list.is_empty() {
+                    postings.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Entities whose name contains token / exact phrase `needle` (lowercased).
+    pub fn by_name(&self, needle: &str) -> Vec<EntityId> {
+        self.postings
+            .read()
+            .get(&IndexKey::NameToken(needle.to_lowercase()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Entities asserting the literal fact `(pred, value)`.
+    pub fn by_literal(&self, pred: Symbol, value: &Value) -> Vec<EntityId> {
+        self.postings
+            .read()
+            .get(&IndexKey::Literal(pred, value.clone()))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Entities with an edge `(pred) -> target`.
+    pub fn by_edge(&self, pred: Symbol, target: EntityId) -> Vec<EntityId> {
+        self.postings.read().get(&IndexKey::Edge(pred, target)).cloned().unwrap_or_default()
+    }
+
+    /// Entities of a type.
+    pub fn by_type(&self, ty: Symbol) -> Vec<EntityId> {
+        self.postings.read().get(&IndexKey::Type(ty)).cloned().unwrap_or_default()
+    }
+
+    /// Posting-list length (selectivity estimation for plan ordering).
+    pub fn name_selectivity(&self, needle: &str) -> usize {
+        self.postings
+            .read()
+            .get(&IndexKey::NameToken(needle.to_lowercase()))
+            .map(Vec::len)
+            .unwrap_or(0)
+    }
+}
+
+/// The sharded live KG: KV store + inverted index, cheaply shareable.
+#[derive(Clone)]
+pub struct LiveKg {
+    shards: Arc<Vec<RwLock<FxHashMap<EntityId, EntityRecord>>>>,
+    index: Arc<InvertedGraphIndex>,
+    shard_count: usize,
+}
+
+impl LiveKg {
+    /// A live KG with `shards` lock stripes.
+    pub fn new(shards: usize) -> Self {
+        let n = shards.clamp(1, 1024);
+        LiveKg {
+            shards: Arc::new((0..n).map(|_| RwLock::new(FxHashMap::default())).collect()),
+            index: Arc::new(InvertedGraphIndex::new()),
+            shard_count: n,
+        }
+    }
+
+    fn shard_of(&self, id: EntityId) -> usize {
+        (id.0 as usize) % self.shard_count
+    }
+
+    /// Insert or replace an entity record (index maintained atomically with
+    /// respect to this entity).
+    pub fn upsert(&self, record: EntityRecord) {
+        let shard = self.shard_of(record.id);
+        let mut map = self.shards[shard].write();
+        if let Some(old) = map.get(&record.id) {
+            self.index.unindex(old);
+        }
+        self.index.index(&record);
+        map.insert(record.id, record);
+    }
+
+    /// Remove an entity.
+    pub fn remove(&self, id: EntityId) -> bool {
+        let shard = self.shard_of(id);
+        let mut map = self.shards[shard].write();
+        match map.remove(&id) {
+            Some(old) => {
+                self.index.unindex(&old);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Point lookup (clones the record; serving reads are snapshot-style).
+    pub fn get(&self, id: EntityId) -> Option<EntityRecord> {
+        self.shards[self.shard_of(id)].read().get(&id).cloned()
+    }
+
+    /// True if the entity exists.
+    pub fn contains(&self, id: EntityId) -> bool {
+        self.shards[self.shard_of(id)].read().contains_key(&id)
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The inverted index.
+    pub fn index(&self) -> &InvertedGraphIndex {
+        &self.index
+    }
+
+    /// Load a stable-KG view: bulk-upsert every entity of the snapshot
+    /// ("the live KG is the union of a view of the stable graph with
+    /// real-time live sources").
+    pub fn load_stable(&self, kg: &saga_core::KnowledgeGraph) {
+        for record in kg.entities() {
+            self.upsert(record.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::{intern, ExtendedTriple, FactMeta, KnowledgeGraph, SourceId};
+
+    fn record(id: u64, name: &str, ty: &str) -> EntityRecord {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_named_entity(EntityId(id), name, ty, SourceId(1), 0.9);
+        kg.entity(EntityId(id)).unwrap().clone()
+    }
+
+    #[test]
+    fn upsert_get_remove_roundtrip() {
+        let live = LiveKg::new(4);
+        live.upsert(record(1, "Warriors", "sports_team"));
+        assert!(live.contains(EntityId(1)));
+        assert_eq!(live.get(EntityId(1)).unwrap().name(), Some("Warriors"));
+        assert!(live.remove(EntityId(1)));
+        assert!(!live.remove(EntityId(1)));
+        assert!(live.get(EntityId(1)).is_none());
+        assert!(live.index().by_name("warriors").is_empty(), "index cleaned");
+    }
+
+    #[test]
+    fn name_index_tokenizes_and_keeps_full_phrase() {
+        let live = LiveKg::new(4);
+        live.upsert(record(1, "Golden State Warriors", "sports_team"));
+        assert_eq!(live.index().by_name("warriors"), vec![EntityId(1)]);
+        assert_eq!(live.index().by_name("golden state warriors"), vec![EntityId(1)]);
+        assert!(live.index().by_name("lakers").is_empty());
+    }
+
+    #[test]
+    fn literal_edge_and_type_postings() {
+        let live = LiveKg::new(2);
+        let mut rec = record(1, "Game 7", "sports_game");
+        rec.triples.push(ExtendedTriple::simple(
+            EntityId(1),
+            intern("home_team"),
+            Value::Entity(EntityId(50)),
+            FactMeta::from_source(SourceId(1), 0.9),
+        ));
+        rec.triples.push(ExtendedTriple::simple(
+            EntityId(1),
+            intern("carrier"),
+            Value::str("UA"),
+            FactMeta::from_source(SourceId(1), 0.9),
+        ));
+        live.upsert(rec);
+        assert_eq!(live.index().by_edge(intern("home_team"), EntityId(50)), vec![EntityId(1)]);
+        assert_eq!(live.index().by_literal(intern("carrier"), &Value::str("UA")), vec![EntityId(1)]);
+        assert_eq!(live.index().by_type(intern("sports_game")), vec![EntityId(1)]);
+    }
+
+    #[test]
+    fn replacing_a_record_reindexes() {
+        let live = LiveKg::new(2);
+        live.upsert(record(1, "Old Name", "person"));
+        live.upsert(record(1, "New Name", "person"));
+        assert!(live.index().by_name("old").is_empty());
+        assert_eq!(live.index().by_name("new"), vec![EntityId(1)]);
+        assert_eq!(live.len(), 1);
+    }
+
+    #[test]
+    fn load_stable_bulk_indexes_everything() {
+        let mut kg = KnowledgeGraph::new();
+        for i in 1..=20u64 {
+            kg.add_named_entity(EntityId(i), &format!("Team {i}"), "sports_team", SourceId(1), 0.9);
+        }
+        let live = LiveKg::new(8);
+        live.load_stable(&kg);
+        assert_eq!(live.len(), 20);
+        assert_eq!(live.index().by_type(intern("sports_team")).len(), 20);
+    }
+
+    #[test]
+    fn concurrent_reads_under_writes_are_safe() {
+        let live = LiveKg::new(8);
+        for i in 0..100u64 {
+            live.upsert(record(i, &format!("E{i}"), "person"));
+        }
+        let l2 = live.clone();
+        let reader = std::thread::spawn(move || {
+            let mut hits = 0;
+            for _ in 0..1000 {
+                for i in 0..100u64 {
+                    if l2.get(EntityId(i)).is_some() {
+                        hits += 1;
+                    }
+                }
+            }
+            hits
+        });
+        for i in 100..200u64 {
+            live.upsert(record(i, &format!("E{i}"), "person"));
+        }
+        let hits = reader.join().unwrap();
+        assert!(hits > 0);
+        assert_eq!(live.len(), 200);
+    }
+}

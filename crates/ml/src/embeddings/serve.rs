@@ -1,0 +1,191 @@
+//! Embedding serving: fact ranking, fact verification and missing-fact
+//! imputation unified by vector similarity search (§5.3).
+//!
+//! "Given a subject entity s and a predicate p … obtain a vector f(θ_s,θ_p)
+//! that can be used to find possible objects for this fact via vector-based
+//! similarity search." For TransE `f = θ_s + θ_r` under negative-L2; for
+//! DistMult `f = θ_s ⊙ θ_r` under dot product. Learned embeddings live in
+//! the Vector DB ([`saga_vector::VectorStore`]).
+
+use saga_core::{EntityId, FxHashMap, Symbol};
+use saga_vector::{Metric, SearchHit, VectorStore};
+
+use super::model::{EdgeList, EmbeddingTable, ModelKind};
+
+/// Serves a trained embedding model through the Vector DB.
+pub struct EmbeddingServer {
+    kind: ModelKind,
+    store: VectorStore,
+    rel_vectors: FxHashMap<Symbol, Vec<f32>>,
+    ent_vectors: FxHashMap<EntityId, Vec<f32>>,
+}
+
+impl EmbeddingServer {
+    /// Index a trained table into the Vector DB.
+    pub fn build(kind: ModelKind, edges: &EdgeList, table: &EmbeddingTable) -> Self {
+        let metric = match kind {
+            ModelKind::TransE => Metric::NegL2,
+            ModelKind::DistMult => Metric::Dot,
+        };
+        let mut store = VectorStore::new(table.dim, metric);
+        let mut ent_vectors = FxHashMap::default();
+        for (i, &id) in edges.entities.iter().enumerate() {
+            let v = table.ent(i as u32).to_vec();
+            store.upsert(id, &v, None);
+            ent_vectors.insert(id, v);
+        }
+        let mut rel_vectors = FxHashMap::default();
+        for (ri, &sym) in edges.relations.iter().enumerate() {
+            rel_vectors.insert(sym, table.rel(ri as u32).to_vec());
+        }
+        EmbeddingServer { kind, store, rel_vectors, ent_vectors }
+    }
+
+    /// The query vector `f(θ_s, θ_p)` for a subject/predicate pair.
+    pub fn query_vector(&self, subject: EntityId, predicate: Symbol) -> Option<Vec<f32>> {
+        let s = self.ent_vectors.get(&subject)?;
+        let r = self.rel_vectors.get(&predicate)?;
+        Some(match self.kind {
+            ModelKind::TransE => s.iter().zip(r).map(|(a, b)| a + b).collect(),
+            ModelKind::DistMult => s.iter().zip(r).map(|(a, b)| a * b).collect(),
+        })
+    }
+
+    /// Missing-fact imputation: top-`k` candidate objects for `<s, p, ?>`.
+    pub fn impute(&self, subject: EntityId, predicate: Symbol, k: usize) -> Vec<SearchHit> {
+        let Some(q) = self.query_vector(subject, predicate) else { return Vec::new() };
+        self.store
+            .search(&q, k + 1, None)
+            .into_iter()
+            .filter(|h| h.id != subject) // an entity is never its own object candidate
+            .take(k)
+            .collect()
+    }
+
+    /// Importance score of a *known* fact `<s, p, o>`: similarity between
+    /// `f(θ_s, θ_p)` and `θ_o`. Used for both fact ranking and verification.
+    pub fn fact_score(&self, subject: EntityId, predicate: Symbol, object: EntityId) -> Option<f32> {
+        let q = self.query_vector(subject, predicate)?;
+        let o = self.ent_vectors.get(&object)?;
+        Some(self.store.metric().score(&q, o))
+    }
+
+    /// Fact ranking: order candidate objects of one subject/predicate by
+    /// score, best first (the "dominant occupation" use case).
+    pub fn rank_facts(
+        &self,
+        subject: EntityId,
+        predicate: Symbol,
+        objects: &[EntityId],
+    ) -> Vec<(EntityId, f32)> {
+        let mut out: Vec<(EntityId, f32)> = objects
+            .iter()
+            .filter_map(|&o| self.fact_score(subject, predicate, o).map(|s| (o, s)))
+            .collect();
+        out.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Fact verification: facts whose score falls below `threshold` are
+    /// outliers to prioritize for auditing (§5.3).
+    pub fn flag_suspicious(
+        &self,
+        facts: &[(EntityId, Symbol, EntityId)],
+        threshold: f32,
+    ) -> Vec<(EntityId, Symbol, EntityId)> {
+        facts
+            .iter()
+            .filter(|(s, p, o)| self.fact_score(*s, *p, *o).map(|x| x < threshold).unwrap_or(true))
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embeddings::model::EmbeddingConfig;
+    use crate::embeddings::train::train_in_memory;
+    use saga_core::intern;
+
+    /// Train on the structured song→artist graph, then serve.
+    fn server() -> (EmbeddingServer, EdgeList) {
+        let el = crate::embeddings::train::tests::structured_edges(5, 6);
+        let cfg = EmbeddingConfig { epochs: 50, dim: 16, lr: 0.03, ..Default::default() };
+        let (table, _) = train_in_memory(&el, &cfg);
+        (EmbeddingServer::build(ModelKind::TransE, &el, &table), el)
+    }
+
+    #[test]
+    fn impute_recovers_known_structure() {
+        let (srv, el) = server();
+        let rel = el.relations[0];
+        // Pick a song (dense idx ≥ 5) and check its artist ranks highly.
+        let (h, _, t) = el.edges[0];
+        let song = el.entities[h as usize];
+        let artist = el.entities[t as usize];
+        let hits = srv.impute(song, rel, 5);
+        assert!(!hits.is_empty());
+        let pos = hits.iter().position(|x| x.id == artist);
+        assert!(pos.is_some() && pos.unwrap() < 5, "true artist in top-5: {hits:?}");
+    }
+
+    #[test]
+    fn true_facts_outscore_corrupted_facts_on_average() {
+        let (srv, el) = server();
+        let rel = el.relations[0];
+        let mut true_sum = 0.0;
+        let mut false_sum = 0.0;
+        let mut n = 0;
+        for &(h, _, t) in el.edges.iter().take(10) {
+            let s = el.entities[h as usize];
+            let o = el.entities[t as usize];
+            let wrong = el.entities[(t as usize + 1) % 5];
+            if wrong == o {
+                continue;
+            }
+            true_sum += srv.fact_score(s, rel, o).unwrap();
+            false_sum += srv.fact_score(s, rel, wrong).unwrap();
+            n += 1;
+        }
+        assert!(n > 0);
+        assert!(true_sum / n as f32 > false_sum / n as f32);
+    }
+
+    #[test]
+    fn rank_facts_orders_best_first() {
+        let (srv, el) = server();
+        let rel = el.relations[0];
+        let (h, _, t) = el.edges[0];
+        let s = el.entities[h as usize];
+        let objects: Vec<EntityId> = el.entities[..5].to_vec();
+        let ranked = srv.rank_facts(s, rel, &objects);
+        assert_eq!(ranked.len(), 5);
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert_eq!(ranked[0].0, el.entities[t as usize], "true artist ranks first");
+    }
+
+    #[test]
+    fn flag_suspicious_prefers_corrupted_facts() {
+        let (srv, el) = server();
+        let rel = el.relations[0];
+        let (h, _, t) = el.edges[0];
+        let s = el.entities[h as usize];
+        let o = el.entities[t as usize];
+        let wrong = el.entities[(t as usize + 2) % 5];
+        let true_score = srv.fact_score(s, rel, o).unwrap();
+        let facts = vec![(s, rel, o), (s, rel, wrong)];
+        let flagged = srv.flag_suspicious(&facts, true_score - 1e-3);
+        assert!(flagged.contains(&(s, rel, wrong)));
+        assert!(!flagged.contains(&(s, rel, o)));
+    }
+
+    #[test]
+    fn unknown_entities_are_handled_gracefully() {
+        let (srv, _) = server();
+        assert!(srv.impute(EntityId(9999), intern("performed_by"), 3).is_empty());
+        assert!(srv.fact_score(EntityId(9999), intern("x"), EntityId(1)).is_none());
+    }
+}

@@ -1,0 +1,194 @@
+//! Candidate retrieval (§5.2): the blocking analogue for entity linking.
+//!
+//! Given a mention, prune the (ever-growing) entity space to at most `k`
+//! candidates using: exact alias hits, q-gram fuzzy hits scored with
+//! deterministic + learned string similarity, optional entity-type
+//! filtering (type hints from object resolution), and importance
+//! prioritization under tight budgets — "we rely on entity importance to
+//! prioritize candidate comparison".
+
+use saga_core::{EntityId, FxHashMap, Symbol};
+use saga_ontology::TypeRegistry;
+
+use crate::encoder::StringEncoder;
+use crate::nerd::entity_view::NerdEntityView;
+use crate::simlib::jaro_winkler;
+use crate::text::{normalize, qgrams};
+
+/// A retrieved candidate for a mention.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Candidate {
+    /// Candidate entity.
+    pub id: EntityId,
+    /// Best string similarity between the mention and any candidate name.
+    pub name_sim: f64,
+    /// Importance score from the entity view.
+    pub importance: f64,
+}
+
+fn type_admissible(types: &TypeRegistry, candidate_types: &[Symbol], hint: Symbol) -> bool {
+    candidate_types.iter().any(|&t| types.is_subtype_by_name(t, hint))
+}
+
+/// Retrieve up to `k` candidates for `mention` from the entity view.
+///
+/// `type_hint` restricts candidates to entities whose type is a subtype of
+/// the hint (used by object resolution, where the ontology declares the
+/// expected range type). `encoder` blends learned similarity into name
+/// scoring when provided.
+pub fn retrieve_candidates(
+    view: &NerdEntityView,
+    types: &TypeRegistry,
+    mention: &str,
+    k: usize,
+    type_hint: Option<Symbol>,
+    encoder: Option<&StringEncoder>,
+) -> Vec<Candidate> {
+    let norm = normalize(mention);
+    if norm.is_empty() {
+        return Vec::new();
+    }
+
+    // Gather candidate ids: exact alias hits first, then q-gram postings
+    // ranked by shared-gram counts.
+    let mut gram_hits: FxHashMap<EntityId, usize> = FxHashMap::default();
+    for id in view.exact_matches(&norm) {
+        *gram_hits.entry(*id).or_insert(0) += 1_000_000; // exact hits dominate
+    }
+    let grams = qgrams(&norm, 3);
+    for g in &grams {
+        for id in view.gram_postings(g) {
+            *gram_hits.entry(*id).or_insert(0) += 1;
+        }
+    }
+    // Require a minimal gram overlap for fuzzy-only hits to bound cost.
+    let min_overlap = (grams.len() / 3).max(1);
+
+    let mut scored: Vec<Candidate> = Vec::new();
+    for (id, overlap) in gram_hits {
+        if overlap < min_overlap {
+            continue;
+        }
+        let Some(summary) = view.summary(id) else { continue };
+        if let Some(hint) = type_hint {
+            if !type_admissible(types, &summary.types, hint) {
+                continue;
+            }
+        }
+        let mut best = 0.0f64;
+        for name in &summary.names {
+            let det = jaro_winkler(&norm, &normalize(name));
+            let sim = match encoder {
+                Some(enc) => 0.5 * det + 0.5 * f64::from(enc.similarity(mention, name)),
+                None => det,
+            };
+            if sim > best {
+                best = sim;
+            }
+        }
+        scored.push(Candidate { id, name_sim: best, importance: summary.importance });
+    }
+
+    // Importance-prioritized ordering under the retrieval budget: primary
+    // key is name similarity, importance breaks ties / near-ties.
+    scored.sort_unstable_by(|a, b| {
+        let sa = a.name_sim + 0.01 * a.importance;
+        let sb = b.name_sim + 0.01 * b.importance;
+        sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.id.cmp(&b.id))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::{intern, KnowledgeGraph, SourceId};
+    use saga_ontology::default_ontology;
+
+    fn ambiguous_kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_named_entity(EntityId(1), "Hanover", "city", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(2), "Hanover", "city", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(3), "Dartmouth College", "school", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(4), "Hannover 96", "sports_team", SourceId(1), 0.9);
+        kg
+    }
+
+    #[test]
+    fn exact_match_retrieves_all_homonyms() {
+        let kg = ambiguous_kg();
+        let view = NerdEntityView::build(&kg, None);
+        let ont = default_ontology();
+        let c = retrieve_candidates(&view, ont.types(), "Hanover", 10, None, None);
+        let ids: Vec<EntityId> = c.iter().map(|x| x.id).collect();
+        assert!(ids.contains(&EntityId(1)));
+        assert!(ids.contains(&EntityId(2)));
+        assert!(c[0].name_sim > 0.99);
+    }
+
+    #[test]
+    fn fuzzy_match_finds_typos() {
+        let kg = ambiguous_kg();
+        let view = NerdEntityView::build(&kg, None);
+        let ont = default_ontology();
+        let c = retrieve_candidates(&view, ont.types(), "Dartmuth College", 10, None, None);
+        assert!(!c.is_empty());
+        assert_eq!(c[0].id, EntityId(3));
+        assert!(c[0].name_sim > 0.8);
+    }
+
+    #[test]
+    fn type_hint_filters_candidates() {
+        let kg = ambiguous_kg();
+        let view = NerdEntityView::build(&kg, None);
+        let ont = default_ontology();
+        // "Hannover 96" is close in grams, but only teams pass the hint.
+        let c = retrieve_candidates(
+            &view,
+            ont.types(),
+            "Hannover",
+            10,
+            Some(intern("sports_team")),
+            None,
+        );
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].id, EntityId(4));
+        // Hint at a supertype admits subtypes.
+        let c2 = retrieve_candidates(
+            &view,
+            ont.types(),
+            "Hanover",
+            10,
+            Some(intern("place")),
+            None,
+        );
+        assert_eq!(c2.len(), 2, "cities are places");
+    }
+
+    #[test]
+    fn k_budget_is_respected_with_importance_priority() {
+        let mut kg = KnowledgeGraph::new();
+        for i in 0..20u64 {
+            kg.add_named_entity(EntityId(i + 1), "Echo", "song", SourceId(1), 0.9);
+        }
+        let mut importance = FxHashMap::default();
+        for i in 0..20u64 {
+            importance.insert(EntityId(i + 1), i as f64);
+        }
+        let view = NerdEntityView::build(&kg, Some(&importance));
+        let ont = default_ontology();
+        let c = retrieve_candidates(&view, ont.types(), "Echo", 5, None, None);
+        assert_eq!(c.len(), 5);
+        // With identical name similarity, highest-importance entities win.
+        assert_eq!(c[0].id, EntityId(20));
+    }
+
+    #[test]
+    fn empty_mention_returns_nothing() {
+        let kg = ambiguous_kg();
+        let view = NerdEntityView::build(&kg, None);
+        let ont = default_ontology();
+        assert!(retrieve_candidates(&view, ont.types(), "  !! ", 5, None, None).is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Mention generation: find candidate entity spans in text.
+//!
+//! Dictionary-driven longest-match over the entity view's alias index —
+//! the "Mention Generation" box of Fig. 10. Operating from the controlled
+//! vocabulary keeps precision high; recall for unseen surface forms is the
+//! candidate-retrieval stage's job (fuzzy q-gram hits).
+
+use crate::nerd::entity_view::NerdEntityView;
+use crate::text::normalize;
+
+/// A mention span found in a passage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mention {
+    /// Surface text as matched (normalized form).
+    pub text: String,
+    /// Token offset where the mention starts.
+    pub token_start: usize,
+    /// Number of tokens covered.
+    pub token_len: usize,
+}
+
+/// Generate mentions by greedy longest-match (up to 4 tokens) against the
+/// entity view's exact alias index.
+pub fn generate_mentions(view: &NerdEntityView, text: &str) -> Vec<Mention> {
+    let toks: Vec<String> =
+        normalize(text).split(' ').filter(|t| !t.is_empty()).map(str::to_string).collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut matched = 0usize;
+        let max_len = 4.min(toks.len() - i);
+        for len in (1..=max_len).rev() {
+            let span = toks[i..i + len].join(" ");
+            if !view.exact_matches(&span).is_empty() {
+                out.push(Mention { text: span, token_start: i, token_len: len });
+                matched = len;
+                break;
+            }
+        }
+        i += matched.max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::{EntityId, KnowledgeGraph, SourceId};
+
+    fn kg() -> KnowledgeGraph {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_named_entity(EntityId(1), "Hanover", "city", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(2), "Dartmouth College", "school", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(3), "New Hampshire", "place", SourceId(1), 0.9);
+        kg
+    }
+
+    #[test]
+    fn finds_single_and_multi_token_mentions() {
+        let view = NerdEntityView::build(&kg(), None);
+        let m = generate_mentions(&view, "We visited Hanover and Dartmouth College today");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].text, "hanover");
+        assert_eq!(m[1].text, "dartmouth college");
+        assert_eq!(m[1].token_len, 2);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        let mut k = kg();
+        k.add_named_entity(EntityId(4), "Dartmouth", "school", SourceId(1), 0.9);
+        let view = NerdEntityView::build(&k, None);
+        let m = generate_mentions(&view, "at Dartmouth College in New Hampshire");
+        assert_eq!(m[0].text, "dartmouth college", "prefers the 2-token alias");
+        assert_eq!(m[1].text, "new hampshire");
+    }
+
+    #[test]
+    fn no_matches_yields_empty() {
+        let view = NerdEntityView::build(&kg(), None);
+        assert!(generate_mentions(&view, "nothing relevant here").is_empty());
+        assert!(generate_mentions(&view, "").is_empty());
+    }
+
+    #[test]
+    fn punctuation_and_case_are_normalized() {
+        let view = NerdEntityView::build(&kg(), None);
+        let m = generate_mentions(&view, "HANOVER, (really!)");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].token_start, 0);
+    }
+}

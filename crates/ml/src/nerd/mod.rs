@@ -1,0 +1,130 @@
+//! The NERD stack (§5.2): Named Entity Recognition and Disambiguation.
+//!
+//! NERD identifies text mentions of named entities in unstructured or
+//! semi-structured data and disambiguates them against the KG. It powers
+//! object resolution during KG construction (§2.3), live-graph linking
+//! (§4.1) and the semantic annotation service (§6.3).
+//!
+//! Pipeline (Fig. 10):
+//!
+//! 1. [`NerdEntityView`] — a discriminative summary of every KG entity
+//!    (names/aliases, types, description, salient relations, neighbour
+//!    types, importance), kept fresh by incremental updates.
+//! 2. Mention generation ([`mention`]) — find candidate spans in text.
+//! 3. Candidate retrieval ([`candidates`]) — blocking-like pruning of the
+//!    entity space per mention: exact alias hits, q-gram fuzzy hits, learned
+//!    string similarity, optional type filtering, importance-prioritized.
+//! 4. Contextual disambiguation ([`disambig`]) — one-vs-all classification
+//!    over the candidate set **with a rejection option** (NIL), scoring the
+//!    overlap between mention context and each candidate's entity summary.
+//!
+//! [`baseline`] implements the popularity-prior disambiguator standing in
+//! for the paper's "alternative, deployed Entity Disambiguation solution"
+//! (Fig. 14): strong on head entities, weak on tail entities, because it
+//! does not use the relational information in the KG.
+
+pub mod baseline;
+pub mod candidates;
+pub mod disambig;
+pub mod entity_view;
+pub mod mention;
+
+pub use baseline::PopularityBaseline;
+pub use candidates::{retrieve_candidates, Candidate};
+pub use disambig::{ContextualDisambiguator, DisambigExample, Features};
+pub use entity_view::{EntitySummary, NerdEntityView};
+pub use mention::{generate_mentions, Mention};
+
+use saga_core::{EntityId, Symbol};
+use saga_ontology::TypeRegistry;
+
+use crate::encoder::StringEncoder;
+
+/// Configuration for the assembled NERD stack.
+#[derive(Clone, Debug)]
+pub struct NerdConfig {
+    /// Candidate-retrieval budget per mention (`k` in §5.2).
+    pub max_candidates: usize,
+    /// Confidence threshold below which the stack predicts NIL.
+    pub confidence_threshold: f64,
+}
+
+impl Default for NerdConfig {
+    fn default() -> Self {
+        NerdConfig { max_candidates: 16, confidence_threshold: 0.5 }
+    }
+}
+
+/// The result of disambiguating one mention.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NerdOutcome {
+    /// The surface text span.
+    pub mention: Mention,
+    /// The predicted entity and its calibrated confidence, or `None` when
+    /// all candidates were rejected.
+    pub prediction: Option<(EntityId, f64)>,
+}
+
+/// The assembled NERD service: entity view + retrieval + disambiguation.
+pub struct NerdStack {
+    /// The entity-summary view.
+    pub view: NerdEntityView,
+    /// Learned string similarity used during retrieval and featurization.
+    pub encoder: StringEncoder,
+    /// The contextual disambiguation model.
+    pub model: ContextualDisambiguator,
+    /// Stack configuration.
+    pub config: NerdConfig,
+}
+
+impl NerdStack {
+    /// Assemble a stack from its parts.
+    pub fn new(
+        view: NerdEntityView,
+        encoder: StringEncoder,
+        model: ContextualDisambiguator,
+        config: NerdConfig,
+    ) -> Self {
+        NerdStack { view, encoder, model, config }
+    }
+
+    /// Disambiguate one already-extracted mention given its context and an
+    /// optional ontology type hint (object resolution supplies one, §5.2).
+    pub fn resolve_mention(
+        &self,
+        types: &TypeRegistry,
+        mention_text: &str,
+        context: &str,
+        type_hint: Option<Symbol>,
+    ) -> Option<(EntityId, f64)> {
+        let candidates = retrieve_candidates(
+            &self.view,
+            types,
+            mention_text,
+            self.config.max_candidates,
+            type_hint,
+            Some(&self.encoder),
+        );
+        self.model.disambiguate(
+            &self.view,
+            &self.encoder,
+            mention_text,
+            context,
+            &candidates,
+            type_hint,
+            self.config.confidence_threshold,
+        )
+    }
+
+    /// Annotate a whole text passage: generate mentions, then resolve each
+    /// against the KG (the §6.3 semantic-annotations use case).
+    pub fn annotate(&self, types: &TypeRegistry, text: &str) -> Vec<NerdOutcome> {
+        generate_mentions(&self.view, text)
+            .into_iter()
+            .map(|mention| {
+                let prediction = self.resolve_mention(types, &mention.text, text, None);
+                NerdOutcome { mention, prediction }
+            })
+            .collect()
+    }
+}

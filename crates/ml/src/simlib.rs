@@ -1,0 +1,214 @@
+//! Deterministic string similarity functions (§5.1).
+//!
+//! "Saga offers a wide array of both deterministic and machine
+//! learning-driven similarity functions that can be used to obtain features
+//! for these matching models." All functions return a similarity in
+//! `[0, 1]`, 1 meaning identical, so they can be used interchangeably as
+//! matching-model features.
+
+use saga_core::FxHashSet;
+
+use crate::text::{qgrams, tokens};
+
+/// Normalized Hamming similarity (equal-length prefix compare; length
+/// mismatch is counted as difference).
+pub fn hamming(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let max = ac.len().max(bc.len());
+    if max == 0 {
+        return 1.0;
+    }
+    let same = ac.iter().zip(&bc).filter(|(x, y)| x == y).count();
+    same as f64 / max as f64
+}
+
+/// Levenshtein edit distance (two-row DP).
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    if ac.is_empty() {
+        return bc.len();
+    }
+    if bc.is_empty() {
+        return ac.len();
+    }
+    let mut prev: Vec<usize> = (0..=bc.len()).collect();
+    let mut cur = vec![0usize; bc.len() + 1];
+    for (i, ca) in ac.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in bc.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[bc.len()]
+}
+
+/// Levenshtein similarity: `1 - dist / max_len`.
+pub fn levenshtein(a: &str, b: &str) -> f64 {
+    let max = a.chars().count().max(b.chars().count());
+    if max == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_distance(a, b) as f64 / max as f64
+}
+
+/// Jaro similarity.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    if ac.is_empty() && bc.is_empty() {
+        return 1.0;
+    }
+    if ac.is_empty() || bc.is_empty() {
+        return 0.0;
+    }
+    let window = (ac.len().max(bc.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; bc.len()];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::new();
+    for (i, ca) in ac.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(bc.len());
+        for j in lo..hi {
+            if !b_used[j] && bc[j] == *ca {
+                b_used[j] = true;
+                matches += 1;
+                a_matched.push((i, j));
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Transpositions: matched pairs out of relative order.
+    let mut b_seq: Vec<usize> = a_matched.iter().map(|&(_, j)| j).collect();
+    let mut transpositions = 0usize;
+    for w in 0..b_seq.len() {
+        for v in (w + 1)..b_seq.len() {
+            if b_seq[w] > b_seq[v] {
+                transpositions += 1;
+                b_seq.swap(w, v);
+            }
+        }
+    }
+    let m = matches as f64;
+    (m / ac.len() as f64 + m / bc.len() as f64 + (m - transpositions.min(matches) as f64) / m)
+        / 3.0
+}
+
+/// Jaro-Winkler similarity (prefix boost `p = 0.1`, max prefix 4).
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    (j + prefix as f64 * 0.1 * (1.0 - j)).min(1.0)
+}
+
+/// Jaccard similarity over word tokens.
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let sa: FxHashSet<String> = tokens(a).into_iter().collect();
+    let sb: FxHashSet<String> = tokens(b).into_iter().collect();
+    jaccard(&sa, &sb)
+}
+
+/// Jaccard similarity over q-grams (default blocking feature; §2.3 step 3
+/// groups movies by title q-gram overlap).
+pub fn qgram_jaccard(a: &str, b: &str, q: usize) -> f64 {
+    let sa: FxHashSet<String> = qgrams(a, q).into_iter().collect();
+    let sb: FxHashSet<String> = qgrams(b, q).into_iter().collect();
+    jaccard(&sa, &sb)
+}
+
+fn jaccard(a: &FxHashSet<String>, b: &FxHashSet<String>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Numeric closeness feature: `1 / (1 + |a-b| / scale)`.
+pub fn numeric_closeness(a: f64, b: f64, scale: f64) -> f64 {
+    let scale = if scale <= 0.0 { 1.0 } else { scale };
+    1.0 / (1.0 + (a - b).abs() / scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_distances() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", "abc"), 0);
+        assert!((levenshtein("kitten", "sitting") - (1.0 - 3.0 / 7.0)).abs() < 1e-9);
+        assert_eq!(levenshtein("", ""), 1.0);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        assert!((jaro("MARTHA", "MARHTA") - 0.944_444).abs() < 1e-3);
+        assert!((jaro_winkler("MARTHA", "MARHTA") - 0.961_111).abs() < 1e-3);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro_winkler("abc", "abc"), 1.0);
+    }
+
+    #[test]
+    fn typo_scores_high_synonym_scores_low() {
+        // Deterministic functions handle typos…
+        assert!(levenshtein("Billie Eilish", "Bilie Eilish") > 0.9);
+        assert!(jaro_winkler("Billie Eilish", "Billie Elish") > 0.9);
+        // …but miss nicknames — the gap learned similarity closes (§5.1).
+        assert!(levenshtein("Robert Smith", "Bob Smith") < 0.75);
+    }
+
+    #[test]
+    fn jaccard_variants() {
+        assert_eq!(token_jaccard("the quick fox", "fox quick the"), 1.0);
+        assert!(token_jaccard("the quick fox", "the slow fox") > 0.4);
+        assert_eq!(token_jaccard("", ""), 1.0);
+        assert!(qgram_jaccard("Knives Out", "Knives Out 2", 3) > 0.6);
+        assert!(qgram_jaccard("Knives Out", "Halloween", 3) < 0.1);
+    }
+
+    #[test]
+    fn hamming_prefix_compare() {
+        assert_eq!(hamming("abc", "abc"), 1.0);
+        assert!((hamming("abcd", "abce") - 0.75).abs() < 1e-9);
+        assert!((hamming("ab", "abcd") - 0.5).abs() < 1e-9);
+        assert_eq!(hamming("", ""), 1.0);
+    }
+
+    #[test]
+    fn numeric_closeness_behaves() {
+        assert_eq!(numeric_closeness(5.0, 5.0, 10.0), 1.0);
+        assert!(numeric_closeness(0.0, 10.0, 10.0) > numeric_closeness(0.0, 100.0, 10.0));
+        assert!(numeric_closeness(1.0, 2.0, 0.0) > 0.0, "degenerate scale guarded");
+    }
+
+    #[test]
+    fn similarities_are_symmetric_in_practice() {
+        let pairs =
+            [("Billie Eilish", "Billie Elish"), ("Midnight River", "River Midnight"), ("a", "b")];
+        for (x, y) in pairs {
+            assert!((levenshtein(x, y) - levenshtein(y, x)).abs() < 1e-12);
+            assert!((token_jaccard(x, y) - token_jaccard(y, x)).abs() < 1e-12);
+            assert!((qgram_jaccard(x, y, 3) - qgram_jaccard(y, x, 3)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Shared text utilities: normalization, tokenization, q-grams.
+
+/// Lowercase and strip non-alphanumerics (keeping single spaces).
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut last_space = true;
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Whitespace tokens of the normalized string.
+pub fn tokens(s: &str) -> Vec<String> {
+    normalize(s).split(' ').filter(|t| !t.is_empty()).map(str::to_string).collect()
+}
+
+/// Character q-grams of the normalized, padded string.
+///
+/// Padding with `q-1` boundary markers (`#`) makes prefixes/suffixes carry
+/// signal, the standard trick in blocking functions over title q-grams.
+pub fn qgrams(s: &str, q: usize) -> Vec<String> {
+    let q = q.max(1);
+    let norm = normalize(s);
+    if norm.is_empty() {
+        return Vec::new();
+    }
+    let padded: Vec<char> = std::iter::repeat('#')
+        .take(q - 1)
+        .chain(norm.chars())
+        .chain(std::iter::repeat('#').take(q - 1))
+        .collect();
+    if padded.len() < q {
+        return Vec::new();
+    }
+    padded.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_folds_case_and_punctuation() {
+        assert_eq!(normalize("Billie   Eilish!"), "billie eilish");
+        assert_eq!(normalize("  A-B_C  "), "a b c");
+        assert_eq!(normalize(""), "");
+    }
+
+    #[test]
+    fn tokens_split_cleanly() {
+        assert_eq!(tokens("Crosby, Stills & Nash"), vec!["crosby", "stills", "nash"]);
+        assert!(tokens("!!!").is_empty());
+    }
+
+    #[test]
+    fn qgrams_pad_boundaries() {
+        let g = qgrams("ab", 3);
+        assert_eq!(g, vec!["##a", "#ab", "ab#", "b##"]);
+        assert!(qgrams("", 3).is_empty(), "empty strings have no grams");
+        assert!(qgrams("!!", 3).is_empty(), "punctuation-only too");
+    }
+
+    #[test]
+    fn qgrams_q1_is_chars() {
+        assert_eq!(qgrams("abc", 1), vec!["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the similarity library and text utilities:
+//! these functions featurize matching models, so their contracts (range,
+//! symmetry, identity) must hold for arbitrary inputs.
+
+use proptest::prelude::*;
+use saga_ml::simlib::{hamming, jaro, jaro_winkler, levenshtein, qgram_jaccard, token_jaccard};
+use saga_ml::text::{normalize, qgrams, tokens};
+
+proptest! {
+    /// Every similarity is bounded in [0, 1] and symmetric.
+    #[test]
+    fn similarities_bounded_and_symmetric(a in ".{0,32}", b in ".{0,32}") {
+        type SimFn = fn(&str, &str) -> f64;
+        let sims: [SimFn; 5] = [
+            |x, y| levenshtein(x, y),
+            |x, y| jaro(x, y),
+            |x, y| jaro_winkler(x, y),
+            |x, y| token_jaccard(x, y),
+            |x, y| hamming(x, y),
+        ];
+        for f in sims {
+            let s = f(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s), "{s} out of range");
+            prop_assert!((s - f(&b, &a)).abs() < 1e-9, "asymmetric");
+        }
+        let q = qgram_jaccard(&a, &b, 3);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&q));
+        prop_assert!((q - qgram_jaccard(&b, &a, 3)).abs() < 1e-9);
+    }
+
+    /// Identity: every similarity of a string with itself is 1.
+    #[test]
+    fn self_similarity_is_one(a in ".{0,32}") {
+        prop_assert!((levenshtein(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((hamming(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((token_jaccard(&a, &a) - 1.0).abs() < 1e-9);
+        prop_assert!((qgram_jaccard(&a, &a, 3) - 1.0).abs() < 1e-9);
+        // Jaro defines the empty/empty case as 1 as well.
+        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-9 || a.chars().count() == 0);
+    }
+
+    /// Normalization is idempotent and produces only lowercase
+    /// alphanumerics and single spaces.
+    #[test]
+    fn normalize_is_idempotent(a in ".{0,64}") {
+        let once = normalize(&a);
+        prop_assert_eq!(&normalize(&once), &once);
+        prop_assert!(!once.contains("  "));
+        prop_assert!(once.chars().all(|c| c.is_alphanumeric() || c == ' '));
+        prop_assert!(!once.ends_with(' '));
+    }
+
+    /// Tokens partition the normalized string; q-grams cover it with
+    /// exactly `len + q - 1` windows (or none for empty strings).
+    #[test]
+    fn tokens_and_qgrams_cover(a in "[a-zA-Z0-9 .,!-]{0,48}", q in 1usize..5) {
+        let norm = normalize(&a);
+        let toks = tokens(&a);
+        prop_assert_eq!(toks.join(" "), norm.clone());
+        let grams = qgrams(&a, q);
+        if norm.is_empty() {
+            prop_assert!(grams.is_empty());
+        } else {
+            prop_assert_eq!(grams.len(), norm.chars().count() + q - 1);
+            for g in &grams {
+                prop_assert_eq!(g.chars().count(), q);
+            }
+        }
+    }
+
+    /// The learned encoder produces unit vectors (or zero for gram-less
+    /// input) and similarity within [-1, 1], symmetric.
+    #[test]
+    fn encoder_contracts(a in "[a-zA-Z ]{0,24}", b in "[a-zA-Z ]{0,24}") {
+        let enc = saga_ml::StringEncoder::new(16, 256, 3, 7);
+        let v = enc.encode(&a);
+        let n = saga_vector::metric::norm(&v);
+        prop_assert!(n < 1.0 + 1e-4, "norm {n}");
+        let s = enc.similarity(&a, &b);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&(f64::from(s))));
+        prop_assert!((s - enc.similarity(&b, &a)).abs() < 1e-5);
+    }
+}

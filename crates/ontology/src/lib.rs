@@ -1,0 +1,153 @@
+//! # saga-ontology
+//!
+//! The in-house open-domain ontology that the KG follows (§2.1).
+//!
+//! The ontology supplies three things to the rest of the platform:
+//!
+//! 1. An **entity-type lattice** ([`TypeRegistry`]) — e.g. `music_artist`
+//!    *is-a* `person` *is-a* `entity` — used by linking (payloads are
+//!    grouped by type; matching models are per-type), by NERD's type hints,
+//!    and by KGQ's type filters.
+//! 2. A **predicate registry** ([`Ontology`]) — every KG predicate has a
+//!    declared domain (subject type), an expected value kind, a cardinality,
+//!    an optional set of composite facets, and a *volatile* flag (§2.4:
+//!    volatile predicates like popularity flow through a separate
+//!    partition-overwrite path).
+//! 3. **Validation** — payload-level schema checks used by ingestion's
+//!    export stage so that only ontology-conformant extended triples reach
+//!    knowledge construction.
+
+pub mod ontology;
+pub mod types;
+pub mod validate;
+
+pub use ontology::{Cardinality, Ontology, PredicateDef, ValueKind};
+pub use types::{TypeId, TypeRegistry};
+pub use validate::{validate_payload, Violation};
+
+/// Build the default open-domain ontology used across examples, tests and
+/// benchmarks: people, music, movies, places, organizations and live-sports
+/// verticals, mirroring the domains the paper's deployment integrates.
+pub fn default_ontology() -> Ontology {
+    use Cardinality::{Many, One};
+    use ValueKind as VK;
+
+    let mut reg = TypeRegistry::new();
+    let entity = reg.root();
+    let person = reg.add_subtype("person", entity);
+    reg.add_subtype("music_artist", person);
+    reg.add_subtype("academic_scholar", person);
+    reg.add_subtype("athlete", person);
+    let work = reg.add_subtype("creative_work", entity);
+    reg.add_subtype("song", work);
+    reg.add_subtype("album", work);
+    reg.add_subtype("movie", work);
+    reg.add_subtype("playlist", work);
+    let place = reg.add_subtype("place", entity);
+    reg.add_subtype("city", place);
+    reg.add_subtype("venue", place);
+    let org = reg.add_subtype("organization", entity);
+    reg.add_subtype("school", org);
+    reg.add_subtype("sports_team", org);
+    reg.add_subtype("record_label", org);
+    let event = reg.add_subtype("event", entity);
+    reg.add_subtype("sports_game", event);
+    reg.add_subtype("flight", event);
+    reg.add_subtype("stock_quote", event);
+
+    let mut ont = Ontology::new(reg);
+    // Universal predicates.
+    ont.define(PredicateDef::new("name", "entity", VK::Str, One));
+    ont.define(PredicateDef::new("alias", "entity", VK::Str, Many));
+    ont.define(PredicateDef::new("type", "entity", VK::Str, Many));
+    ont.define(PredicateDef::new("description", "entity", VK::Str, One));
+    ont.define(PredicateDef::new("popularity", "entity", VK::Int, One).volatile());
+    // People.
+    ont.define(PredicateDef::new("birthdate", "person", VK::Str, One));
+    ont.define(PredicateDef::new("birthplace", "person", VK::Ref, One));
+    ont.define(PredicateDef::new("spouse", "person", VK::Ref, Many));
+    ont.define(PredicateDef::new("occupation", "person", VK::Str, Many));
+    ont.define(
+        PredicateDef::new("educated_at", "person", VK::Composite, Many)
+            .with_facets(&[("school", VK::Ref), ("degree", VK::Str), ("year", VK::Int)]),
+    );
+    // Music.
+    ont.define(PredicateDef::new("genre", "creative_work", VK::Str, Many));
+    ont.define(PredicateDef::new("performed_by", "song", VK::Ref, Many));
+    ont.define(PredicateDef::new("on_album", "song", VK::Ref, Many));
+    ont.define(PredicateDef::new("signed_to", "music_artist", VK::Ref, Many));
+    ont.define(PredicateDef::new("duration_s", "song", VK::Int, One));
+    ont.define(PredicateDef::new("release_year", "creative_work", VK::Int, One));
+    ont.define(PredicateDef::new("track_of", "playlist", VK::Ref, Many));
+    ont.define(PredicateDef::new("curated_by", "playlist", VK::Ref, Many));
+    // Movies.
+    ont.define(PredicateDef::new("directed_by", "movie", VK::Ref, Many));
+    ont.define(
+        PredicateDef::new("cast", "movie", VK::Composite, Many)
+            .with_facets(&[("actor", VK::Ref), ("role", VK::Str)]),
+    );
+    ont.define(PredicateDef::new("full_title", "movie", VK::Str, One));
+    // Places & orgs.
+    ont.define(PredicateDef::new("located_in", "entity", VK::Ref, One));
+    ont.define(PredicateDef::new("capital_of", "city", VK::Ref, One));
+    ont.define(PredicateDef::new("mayor", "city", VK::Ref, One));
+    ont.define(PredicateDef::new("prime_minister", "entity", VK::Ref, One));
+    ont.define(PredicateDef::new("population", "place", VK::Int, One).volatile());
+    ont.define(PredicateDef::new("member_of", "person", VK::Ref, Many));
+    // Live verticals (§4).
+    ont.define(
+        PredicateDef::new("score", "sports_game", VK::Composite, One)
+            .with_facets(&[("home", VK::Int), ("away", VK::Int), ("period", VK::Str)]),
+    );
+    ont.define(PredicateDef::new("home_team", "sports_game", VK::Ref, One));
+    ont.define(PredicateDef::new("away_team", "sports_game", VK::Ref, One));
+    ont.define(PredicateDef::new("venue", "sports_game", VK::Ref, One));
+    ont.define(PredicateDef::new("plays_for", "athlete", VK::Ref, Many));
+    ont.define(PredicateDef::new("price_usd", "stock_quote", VK::Float, One).volatile());
+    ont.define(PredicateDef::new("ticker", "stock_quote", VK::Str, One));
+    ont.define(PredicateDef::new("status", "flight", VK::Str, One).volatile());
+    ont.define(PredicateDef::new("carrier", "flight", VK::Str, One));
+
+    // NERD / construction bookkeeping.
+    ont.define(PredicateDef::new(saga_core::well_known::SAME_AS, "entity", VK::Str, Many));
+
+    ont
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::intern;
+
+    #[test]
+    fn default_ontology_has_expected_structure() {
+        let ont = default_ontology();
+        assert!(ont.predicate(intern("educated_at")).is_some());
+        assert!(ont.predicate(intern("nonexistent")).is_none());
+        let types = ont.types();
+        assert!(types.is_subtype(types.id("music_artist").unwrap(), types.id("person").unwrap()));
+        assert!(types.is_subtype(types.id("song").unwrap(), types.id("creative_work").unwrap()));
+        assert!(!types.is_subtype(types.id("song").unwrap(), types.id("person").unwrap()));
+    }
+
+    #[test]
+    fn volatile_predicates_are_flagged() {
+        let ont = default_ontology();
+        assert!(ont.predicate(intern("popularity")).unwrap().volatile);
+        assert!(!ont.predicate(intern("name")).unwrap().volatile);
+        let vols = ont.volatile_predicates();
+        assert!(vols.contains(&intern("popularity")));
+        assert!(vols.contains(&intern("price_usd")));
+        assert!(!vols.contains(&intern("ticker")));
+    }
+
+    #[test]
+    fn composite_predicates_expose_facets() {
+        let ont = default_ontology();
+        let edu = ont.predicate(intern("educated_at")).unwrap();
+        assert_eq!(edu.kind, ValueKind::Composite);
+        let facets = &edu.facets;
+        assert_eq!(facets.len(), 3);
+        assert!(facets.iter().any(|(f, k)| *f == intern("school") && *k == ValueKind::Ref));
+    }
+}

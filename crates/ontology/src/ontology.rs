@@ -1,0 +1,195 @@
+//! Predicate registry: the schema half of the ontology.
+
+use saga_core::{intern, FxHashMap, FxHashSet, Symbol};
+
+use crate::types::TypeRegistry;
+
+/// What kind of value a predicate's object carries.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ValueKind {
+    /// String literal.
+    Str,
+    /// Integer literal.
+    Int,
+    /// Float literal.
+    Float,
+    /// Boolean literal.
+    Bool,
+    /// Reference to another entity (source ref pre-linking, KG ref after).
+    Ref,
+    /// Composite relationship node with declared facets.
+    Composite,
+}
+
+/// How many objects a predicate may have per subject.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cardinality {
+    /// At most one object (functional predicate, e.g. `birthdate`).
+    One,
+    /// Any number of objects (e.g. `alias`, `genre`).
+    Many,
+}
+
+/// Declaration of one KG predicate.
+#[derive(Clone, Debug)]
+pub struct PredicateDef {
+    /// Interned predicate name.
+    pub name: Symbol,
+    /// Required subject type (by name; subtypes inherit).
+    pub domain: Symbol,
+    /// Expected object kind.
+    pub kind: ValueKind,
+    /// Cardinality per subject.
+    pub cardinality: Cardinality,
+    /// Declared facets for composite predicates: `(facet, kind)`.
+    pub facets: Vec<(Symbol, ValueKind)>,
+    /// Volatile predicates (popularity, prices…) bypass delta payloads and
+    /// flow through the partition-overwrite fusion path (§2.4).
+    pub volatile: bool,
+}
+
+impl PredicateDef {
+    /// A new predicate declaration.
+    pub fn new(name: &str, domain: &str, kind: ValueKind, cardinality: Cardinality) -> Self {
+        PredicateDef {
+            name: intern(name),
+            domain: intern(domain),
+            kind,
+            cardinality,
+            facets: Vec::new(),
+            volatile: false,
+        }
+    }
+
+    /// Declare the facets of a composite predicate.
+    #[must_use]
+    pub fn with_facets(mut self, facets: &[(&str, ValueKind)]) -> Self {
+        self.facets = facets.iter().map(|(f, k)| (intern(f), *k)).collect();
+        self
+    }
+
+    /// Mark the predicate volatile.
+    #[must_use]
+    pub fn volatile(mut self) -> Self {
+        self.volatile = true;
+        self
+    }
+
+    /// The declared kind of a facet, if the facet exists.
+    pub fn facet_kind(&self, facet: Symbol) -> Option<ValueKind> {
+        self.facets.iter().find(|(f, _)| *f == facet).map(|(_, k)| *k)
+    }
+}
+
+/// The ontology: a type lattice plus a predicate registry.
+#[derive(Clone, Debug)]
+pub struct Ontology {
+    types: TypeRegistry,
+    predicates: FxHashMap<Symbol, PredicateDef>,
+}
+
+impl Ontology {
+    /// Create an ontology over a type registry.
+    pub fn new(types: TypeRegistry) -> Self {
+        Ontology { types, predicates: FxHashMap::default() }
+    }
+
+    /// The type lattice.
+    pub fn types(&self) -> &TypeRegistry {
+        &self.types
+    }
+
+    /// Register (or replace) a predicate definition.
+    pub fn define(&mut self, def: PredicateDef) {
+        self.predicates.insert(def.name, def);
+    }
+
+    /// Look up a predicate by symbol.
+    pub fn predicate(&self, name: Symbol) -> Option<&PredicateDef> {
+        self.predicates.get(&name)
+    }
+
+    /// Look up a predicate by string.
+    pub fn predicate_named(&self, name: &str) -> Option<&PredicateDef> {
+        self.predicates.get(&intern(name))
+    }
+
+    /// Number of registered predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Iterate all predicate definitions.
+    pub fn predicates(&self) -> impl Iterator<Item = &PredicateDef> {
+        self.predicates.values()
+    }
+
+    /// The set of volatile predicate symbols (drives the partition-overwrite
+    /// fusion path and the volatile/stable split during delta computation).
+    pub fn volatile_predicates(&self) -> FxHashSet<Symbol> {
+        self.predicates.values().filter(|p| p.volatile).map(|p| p.name).collect()
+    }
+
+    /// Whether `subject_type` is an admissible domain for `predicate`
+    /// (exact type or any subtype of the declared domain).
+    pub fn domain_accepts(&self, predicate: Symbol, subject_type: Symbol) -> bool {
+        match self.predicates.get(&predicate) {
+            Some(def) => self.types.is_subtype_by_name(subject_type, def.domain),
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ontology() -> Ontology {
+        let mut reg = TypeRegistry::new();
+        let person = reg.add_subtype("person", reg.root());
+        reg.add_subtype("music_artist", person);
+        let mut o = Ontology::new(reg);
+        o.define(PredicateDef::new("name", "entity", ValueKind::Str, Cardinality::One));
+        o.define(PredicateDef::new("spouse", "person", ValueKind::Ref, Cardinality::Many));
+        o.define(
+            PredicateDef::new("educated_at", "person", ValueKind::Composite, Cardinality::Many)
+                .with_facets(&[("school", ValueKind::Ref), ("year", ValueKind::Int)]),
+        );
+        o
+    }
+
+    #[test]
+    fn lookup_by_symbol_and_name_agree() {
+        let o = ontology();
+        assert!(o.predicate(intern("name")).is_some());
+        assert!(o.predicate_named("name").is_some());
+        assert_eq!(o.predicate_count(), 3);
+    }
+
+    #[test]
+    fn domain_accepts_subtypes() {
+        let o = ontology();
+        let spouse = intern("spouse");
+        assert!(o.domain_accepts(spouse, intern("person")));
+        assert!(o.domain_accepts(spouse, intern("music_artist")), "subtype inherits domain");
+        assert!(!o.domain_accepts(spouse, intern("entity")), "supertype is not in domain");
+        assert!(!o.domain_accepts(intern("unknown_pred"), intern("person")));
+    }
+
+    #[test]
+    fn facet_kind_lookup() {
+        let o = ontology();
+        let edu = o.predicate(intern("educated_at")).unwrap();
+        assert_eq!(edu.facet_kind(intern("school")), Some(ValueKind::Ref));
+        assert_eq!(edu.facet_kind(intern("year")), Some(ValueKind::Int));
+        assert_eq!(edu.facet_kind(intern("degree")), None);
+    }
+
+    #[test]
+    fn redefinition_replaces() {
+        let mut o = ontology();
+        o.define(PredicateDef::new("name", "entity", ValueKind::Str, Cardinality::Many));
+        assert_eq!(o.predicate(intern("name")).unwrap().cardinality, Cardinality::Many);
+        assert_eq!(o.predicate_count(), 3);
+    }
+}

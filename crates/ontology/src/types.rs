@@ -1,0 +1,175 @@
+//! Entity-type lattice.
+//!
+//! A small *is-a* forest rooted at `entity`. Types are interned once and
+//! addressed by dense [`TypeId`]s; subtype tests walk the parent chain
+//! (the lattice is shallow — a handful of levels — so this is cheap and
+//! allocation-free).
+
+use saga_core::{intern, FxHashMap, Symbol};
+
+/// Dense identifier of an ontology entity type.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// The type registry: names, parents and subtype queries.
+#[derive(Clone, Debug)]
+pub struct TypeRegistry {
+    names: Vec<Symbol>,
+    parents: Vec<Option<TypeId>>,
+    by_name: FxHashMap<Symbol, TypeId>,
+}
+
+impl TypeRegistry {
+    /// Create a registry containing only the root type `entity`.
+    pub fn new() -> Self {
+        let root = intern("entity");
+        let mut by_name = FxHashMap::default();
+        by_name.insert(root, TypeId(0));
+        TypeRegistry { names: vec![root], parents: vec![None], by_name }
+    }
+
+    /// The root type (`entity`).
+    pub fn root(&self) -> TypeId {
+        TypeId(0)
+    }
+
+    /// Register `name` as a subtype of `parent`, returning its id.
+    /// Registering an existing name returns the existing id unchanged.
+    pub fn add_subtype(&mut self, name: &str, parent: TypeId) -> TypeId {
+        let sym = intern(name);
+        if let Some(&existing) = self.by_name.get(&sym) {
+            return existing;
+        }
+        let id = TypeId(u32::try_from(self.names.len()).expect("type registry overflow"));
+        self.names.push(sym);
+        self.parents.push(Some(parent));
+        self.by_name.insert(sym, id);
+        id
+    }
+
+    /// Look up a type by name.
+    pub fn id(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(&intern(name)).copied()
+    }
+
+    /// Look up a type by its interned symbol.
+    pub fn id_of_symbol(&self, sym: Symbol) -> Option<TypeId> {
+        self.by_name.get(&sym).copied()
+    }
+
+    /// The type's name symbol.
+    pub fn name(&self, id: TypeId) -> Symbol {
+        self.names[id.0 as usize]
+    }
+
+    /// The direct parent, `None` for the root.
+    pub fn parent(&self, id: TypeId) -> Option<TypeId> {
+        self.parents[id.0 as usize]
+    }
+
+    /// Reflexive-transitive subtype test: is `sub` the same as, or a
+    /// descendant of, `sup`?
+    pub fn is_subtype(&self, sub: TypeId, sup: TypeId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(t) = cur {
+            if t == sup {
+                return true;
+            }
+            cur = self.parent(t);
+        }
+        false
+    }
+
+    /// Subtype test by name symbols; unknown names are never subtypes.
+    pub fn is_subtype_by_name(&self, sub: Symbol, sup: Symbol) -> bool {
+        match (self.id_of_symbol(sub), self.id_of_symbol(sup)) {
+            (Some(a), Some(b)) => self.is_subtype(a, b),
+            _ => false,
+        }
+    }
+
+    /// All ancestors of `id`, closest first, ending at the root.
+    pub fn ancestors(&self, id: TypeId) -> Vec<TypeId> {
+        let mut out = Vec::new();
+        let mut cur = self.parent(id);
+        while let Some(t) = cur {
+            out.push(t);
+            cur = self.parent(t);
+        }
+        out
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Always at least 1 (the root).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterate all `(id, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, Symbol)> + '_ {
+        self.names.iter().enumerate().map(|(i, &s)| (TypeId(i as u32), s))
+    }
+}
+
+impl Default for TypeRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> TypeRegistry {
+        let mut r = TypeRegistry::new();
+        let person = r.add_subtype("person", r.root());
+        r.add_subtype("music_artist", person);
+        r.add_subtype("place", r.root());
+        r
+    }
+
+    #[test]
+    fn root_exists_and_is_its_own_supertype() {
+        let r = TypeRegistry::new();
+        assert_eq!(r.id("entity"), Some(r.root()));
+        assert!(r.is_subtype(r.root(), r.root()));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn subtype_chain_resolves_transitively() {
+        let r = small();
+        let artist = r.id("music_artist").unwrap();
+        let person = r.id("person").unwrap();
+        let place = r.id("place").unwrap();
+        assert!(r.is_subtype(artist, person));
+        assert!(r.is_subtype(artist, r.root()));
+        assert!(!r.is_subtype(person, artist));
+        assert!(!r.is_subtype(artist, place));
+        assert_eq!(r.ancestors(artist), vec![person, r.root()]);
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent() {
+        let mut r = small();
+        let first = r.id("person").unwrap();
+        let again = r.add_subtype("person", r.root());
+        assert_eq!(first, again);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn name_symbol_roundtrip() {
+        let r = small();
+        let artist = r.id("music_artist").unwrap();
+        assert_eq!(r.name(artist), intern("music_artist"));
+        assert_eq!(r.id_of_symbol(intern("music_artist")), Some(artist));
+        assert!(r.is_subtype_by_name(intern("music_artist"), intern("person")));
+        assert!(!r.is_subtype_by_name(intern("unknown"), intern("person")));
+    }
+}

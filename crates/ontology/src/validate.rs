@@ -1,0 +1,235 @@
+//! Ontology-conformance validation for entity payloads.
+//!
+//! Run by the ingestion export stage (§2.2) so that only schema-conformant
+//! extended triples are handed to knowledge construction. Violations are
+//! collected, not short-circuited — a payload report lists everything wrong.
+
+use saga_core::{EntityPayload, FxHashMap, Symbol, Value};
+
+use crate::{Cardinality, Ontology, ValueKind};
+
+/// One conformance violation found in a payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// The predicate is not declared in the ontology.
+    UnknownPredicate(Symbol),
+    /// The payload's entity type is outside the predicate's domain.
+    DomainMismatch {
+        /// Offending predicate.
+        predicate: Symbol,
+        /// The payload's entity type.
+        entity_type: Symbol,
+    },
+    /// The object's runtime kind does not match the declared kind.
+    KindMismatch {
+        /// Offending predicate.
+        predicate: Symbol,
+        /// Declared kind.
+        expected: ValueKind,
+    },
+    /// A composite fact used a facet the predicate does not declare.
+    UnknownFacet {
+        /// Offending predicate.
+        predicate: Symbol,
+        /// The undeclared facet.
+        facet: Symbol,
+    },
+    /// A simple fact was asserted on a composite predicate or vice versa.
+    ShapeMismatch(Symbol),
+    /// A cardinality-One predicate carries multiple distinct objects.
+    CardinalityExceeded(Symbol),
+}
+
+fn kind_matches(kind: ValueKind, value: &Value) -> bool {
+    match kind {
+        ValueKind::Str => matches!(value, Value::Str(_)),
+        ValueKind::Int => matches!(value, Value::Int(_)),
+        ValueKind::Float => matches!(value, Value::Float(_) | Value::Int(_)),
+        ValueKind::Bool => matches!(value, Value::Bool(_)),
+        ValueKind::Ref => matches!(value, Value::Entity(_) | Value::SourceRef(_)),
+        // Composite parents have no direct object; facets are checked
+        // individually against their declared facet kind.
+        ValueKind::Composite => true,
+    }
+}
+
+/// Validate a payload against the ontology, returning all violations.
+///
+/// `Value::Null` objects are tolerated: the data transformer requires source
+/// predicates to be present even when empty (§2.2), and nulls are dropped at
+/// export rather than rejected here.
+pub fn validate_payload(ontology: &Ontology, payload: &EntityPayload) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut one_counts: FxHashMap<Symbol, usize> = FxHashMap::default();
+
+    for t in &payload.triples {
+        let Some(def) = ontology.predicate(t.predicate) else {
+            violations.push(Violation::UnknownPredicate(t.predicate));
+            continue;
+        };
+        if !ontology.domain_accepts(t.predicate, payload.entity_type) {
+            violations.push(Violation::DomainMismatch {
+                predicate: t.predicate,
+                entity_type: payload.entity_type,
+            });
+        }
+        match (&t.rel, def.kind) {
+            (None, ValueKind::Composite) => {
+                violations.push(Violation::ShapeMismatch(t.predicate));
+            }
+            (
+                Some(_),
+                ValueKind::Str | ValueKind::Int | ValueKind::Float | ValueKind::Bool
+                | ValueKind::Ref,
+            ) => {
+                violations.push(Violation::ShapeMismatch(t.predicate));
+            }
+            (Some(rel), ValueKind::Composite) => match def.facet_kind(rel.rel_predicate) {
+                None => violations.push(Violation::UnknownFacet {
+                    predicate: t.predicate,
+                    facet: rel.rel_predicate,
+                }),
+                Some(fk) => {
+                    if !t.object.is_null() && !kind_matches(fk, &t.object) {
+                        violations.push(Violation::KindMismatch {
+                            predicate: t.predicate,
+                            expected: fk,
+                        });
+                    }
+                }
+            },
+            (None, kind) => {
+                if !t.object.is_null() && !kind_matches(kind, &t.object) {
+                    violations
+                        .push(Violation::KindMismatch { predicate: t.predicate, expected: kind });
+                }
+            }
+        }
+        if def.cardinality == Cardinality::One && t.rel.is_none() && !t.object.is_null() {
+            let c = one_counts.entry(t.predicate).or_insert(0);
+            *c += 1;
+            if *c == 2 {
+                violations.push(Violation::CardinalityExceeded(t.predicate));
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::default_ontology;
+    use saga_core::{intern, FactMeta, RelId, SourceId, Value};
+
+    fn meta() -> FactMeta {
+        FactMeta::from_source(SourceId(1), 0.9)
+    }
+
+    fn artist_payload() -> EntityPayload {
+        let mut p = EntityPayload::new(SourceId(1), "a1", intern("music_artist"));
+        p.push_simple(intern("name"), Value::str("Billie Eilish"), meta());
+        p
+    }
+
+    #[test]
+    fn conformant_payload_has_no_violations() {
+        let ont = default_ontology();
+        let mut p = artist_payload();
+        p.push_simple(intern("birthdate"), Value::str("2001-12-18"), meta());
+        p.push_composite(
+            intern("educated_at"),
+            RelId(1),
+            intern("school"),
+            Value::source_ref("sch1"),
+            meta(),
+        );
+        assert_eq!(validate_payload(&ont, &p), vec![]);
+    }
+
+    #[test]
+    fn unknown_predicate_is_flagged() {
+        let ont = default_ontology();
+        let mut p = artist_payload();
+        p.push_simple(intern("favourite_color"), Value::str("black"), meta());
+        assert_eq!(
+            validate_payload(&ont, &p),
+            vec![Violation::UnknownPredicate(intern("favourite_color"))]
+        );
+    }
+
+    #[test]
+    fn domain_mismatch_is_flagged() {
+        let ont = default_ontology();
+        let mut p = EntityPayload::new(SourceId(1), "s1", intern("song"));
+        p.push_simple(intern("name"), Value::str("Bad Guy"), meta());
+        p.push_simple(intern("birthdate"), Value::str("2019"), meta());
+        let v = validate_payload(&ont, &p);
+        assert!(v.contains(&Violation::DomainMismatch {
+            predicate: intern("birthdate"),
+            entity_type: intern("song"),
+        }));
+    }
+
+    #[test]
+    fn kind_mismatch_is_flagged_but_null_tolerated() {
+        let ont = default_ontology();
+        let mut p = EntityPayload::new(SourceId(1), "s1", intern("song"));
+        p.push_simple(intern("duration_s"), Value::str("three minutes"), meta());
+        p.push_simple(intern("release_year"), Value::Null, meta());
+        let v = validate_payload(&ont, &p);
+        assert_eq!(
+            v,
+            vec![Violation::KindMismatch {
+                predicate: intern("duration_s"),
+                expected: ValueKind::Int
+            }]
+        );
+    }
+
+    #[test]
+    fn composite_shape_is_enforced() {
+        let ont = default_ontology();
+        let mut p = artist_payload();
+        // educated_at asserted as a simple fact → shape mismatch.
+        p.push_simple(intern("educated_at"), Value::str("UW"), meta());
+        // name asserted as composite → shape mismatch.
+        p.push_composite(intern("name"), RelId(1), intern("first"), Value::str("B"), meta());
+        let v = validate_payload(&ont, &p);
+        assert!(v.contains(&Violation::ShapeMismatch(intern("educated_at"))));
+        assert!(v.contains(&Violation::ShapeMismatch(intern("name"))));
+    }
+
+    #[test]
+    fn unknown_facet_and_facet_kind_are_checked() {
+        let ont = default_ontology();
+        let mut p = artist_payload();
+        p.push_composite(
+            intern("educated_at"),
+            RelId(1),
+            intern("dorm"),
+            Value::str("x"),
+            meta(),
+        );
+        p.push_composite(intern("educated_at"), RelId(1), intern("year"), Value::str("nope"), meta());
+        let v = validate_payload(&ont, &p);
+        assert!(v.contains(&Violation::UnknownFacet {
+            predicate: intern("educated_at"),
+            facet: intern("dorm"),
+        }));
+        assert!(v.contains(&Violation::KindMismatch {
+            predicate: intern("educated_at"),
+            expected: ValueKind::Int,
+        }));
+    }
+
+    #[test]
+    fn cardinality_one_violation_reported_once() {
+        let ont = default_ontology();
+        let mut p = artist_payload();
+        p.push_simple(intern("name"), Value::str("Second Name"), meta());
+        p.push_simple(intern("name"), Value::str("Third Name"), meta());
+        let v = validate_payload(&ont, &p);
+        assert_eq!(v, vec![Violation::CardinalityExceeded(intern("name"))]);
+    }
+}

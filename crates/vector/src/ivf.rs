@@ -1,0 +1,193 @@
+//! IVF-Flat approximate nearest-neighbour index.
+//!
+//! Vectors are partitioned into `nlist` clusters by a small k-means run; a
+//! query probes only the `nprobe` nearest clusters. This is the standard
+//! accuracy/latency dial for billion-scale similarity search; at our scale
+//! it exists so the embedding-serving code path (§5.3: "nearest neighbor
+//! search by leveraging the Vector DB component") exercises the same
+//! structure the paper's system does.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use saga_core::EntityId;
+
+use crate::metric::{l2, Metric};
+use crate::store::{top_k, SearchHit, VectorStore};
+
+/// An immutable IVF-Flat index built from a [`VectorStore`] snapshot.
+pub struct IvfIndex {
+    dim: usize,
+    metric: Metric,
+    centroids: Vec<Vec<f32>>,
+    /// Per-cluster `(id, vector)` postings.
+    lists: Vec<Vec<(EntityId, Vec<f32>)>>,
+}
+
+impl IvfIndex {
+    /// Build an index with `nlist` clusters (k-means, `iters` refinement
+    /// rounds, seeded for determinism).
+    pub fn build(store: &VectorStore, nlist: usize, iters: usize, seed: u64) -> Self {
+        let dim = store.dim();
+        let rows: Vec<(EntityId, Vec<f32>)> =
+            store.iter().map(|(id, v, _)| (id, v.to_vec())).collect();
+        let nlist = nlist.clamp(1, rows.len().max(1));
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // k-means++ style init: sample distinct rows as initial centroids.
+        let mut idxs: Vec<usize> = (0..rows.len()).collect();
+        idxs.shuffle(&mut rng);
+        let mut centroids: Vec<Vec<f32>> =
+            idxs.iter().take(nlist).map(|&i| rows[i].1.clone()).collect();
+        if centroids.is_empty() {
+            centroids.push(vec![0.0; dim]);
+        }
+
+        let mut assignment = vec![0usize; rows.len()];
+        for _ in 0..iters.max(1) {
+            // Assign.
+            for (i, (_, v)) in rows.iter().enumerate() {
+                assignment[i] = nearest_centroid(&centroids, v);
+            }
+            // Update.
+            let mut sums = vec![vec![0.0f32; dim]; centroids.len()];
+            let mut counts = vec![0usize; centroids.len()];
+            for (i, (_, v)) in rows.iter().enumerate() {
+                let c = assignment[i];
+                counts[c] += 1;
+                for (s, x) in sums[c].iter_mut().zip(v) {
+                    *s += x;
+                }
+            }
+            for (c, sum) in sums.iter().enumerate() {
+                if counts[c] > 0 {
+                    centroids[c] = sum.iter().map(|s| s / counts[c] as f32).collect();
+                }
+            }
+        }
+
+        let mut lists: Vec<Vec<(EntityId, Vec<f32>)>> = vec![Vec::new(); centroids.len()];
+        for (i, (id, v)) in rows.into_iter().enumerate() {
+            lists[assignment[i]].push((id, v));
+        }
+        IvfIndex { dim, metric: store.metric(), centroids, lists }
+    }
+
+    /// Number of clusters.
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Total indexed vectors.
+    pub fn len(&self) -> usize {
+        self.lists.iter().map(Vec::len).sum()
+    }
+
+    /// True if no vectors are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate top-`k`: scan the `nprobe` clusters whose centroids are
+    /// closest to the query.
+    pub fn search(&self, query: &[f32], k: usize, nprobe: usize) -> Vec<SearchHit> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let nprobe = nprobe.clamp(1, self.centroids.len());
+        let mut order: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, l2(query, c)))
+            .collect();
+        order.sort_unstable_by(|a, b| a.1.total_cmp(&b.1));
+        let mut hits = Vec::new();
+        for &(c, _) in order.iter().take(nprobe) {
+            for (id, v) in &self.lists[c] {
+                hits.push(SearchHit { id: *id, score: self.metric.score(query, v) });
+            }
+        }
+        top_k(hits, k)
+    }
+}
+
+fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.iter().enumerate() {
+        let d = l2(c, v);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn clustered_store(n_per_cluster: usize) -> VectorStore {
+        // Three well-separated clusters in 4-D.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut s = VectorStore::new(4, Metric::Cosine);
+        let anchors = [[10.0, 0.0, 0.0, 0.0], [0.0, 10.0, 0.0, 0.0], [0.0, 0.0, 10.0, 0.0]];
+        let mut id = 0u64;
+        for a in &anchors {
+            for _ in 0..n_per_cluster {
+                let v: Vec<f32> = a.iter().map(|x| x + rng.gen_range(-0.5..0.5)).collect();
+                s.upsert(EntityId(id), &v, None);
+                id += 1;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn ivf_matches_exact_search_on_clustered_data() {
+        let s = clustered_store(50);
+        let idx = IvfIndex::build(&s, 3, 5, 7);
+        assert_eq!(idx.len(), 150);
+        let query = [10.0, 0.3, -0.1, 0.0];
+        let exact = s.search(&query, 10, None);
+        let approx = idx.search(&query, 10, 1);
+        let exact_ids: Vec<EntityId> = exact.iter().map(|h| h.id).collect();
+        let approx_ids: Vec<EntityId> = approx.iter().map(|h| h.id).collect();
+        let overlap = approx_ids.iter().filter(|i| exact_ids.contains(i)).count();
+        assert!(overlap >= 8, "recall@10 with 1 probe on separated clusters: {overlap}/10");
+    }
+
+    #[test]
+    fn more_probes_never_reduce_recall() {
+        let s = clustered_store(40);
+        let idx = IvfIndex::build(&s, 6, 4, 3);
+        let query = [0.0, 9.5, 0.5, 0.0];
+        let exact: Vec<EntityId> = s.search(&query, 5, None).iter().map(|h| h.id).collect();
+        let mut last = 0;
+        for nprobe in [1, 3, 6] {
+            let ids: Vec<EntityId> =
+                idx.search(&query, 5, nprobe).iter().map(|h| h.id).collect();
+            let recall = ids.iter().filter(|i| exact.contains(i)).count();
+            assert!(recall >= last, "recall must be monotone in nprobe");
+            last = recall;
+        }
+        assert_eq!(last, 5, "probing all clusters equals exact search");
+    }
+
+    #[test]
+    fn small_and_empty_stores_are_handled() {
+        let empty = VectorStore::new(2, Metric::Dot);
+        let idx = IvfIndex::build(&empty, 4, 2, 1);
+        assert!(idx.is_empty());
+        assert!(idx.search(&[1.0, 0.0], 3, 2).is_empty());
+
+        let mut one = VectorStore::new(2, Metric::Dot);
+        one.upsert(EntityId(1), &[1.0, 1.0], None);
+        let idx1 = IvfIndex::build(&one, 8, 2, 1);
+        assert_eq!(idx1.nlist(), 1, "nlist clamps to row count");
+        let hits = idx1.search(&[1.0, 0.0], 3, 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, EntityId(1));
+    }
+}

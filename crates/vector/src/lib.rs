@@ -1,0 +1,21 @@
+//! # saga-vector
+//!
+//! The Vector DB component of the Graph Engine (§3.1, Fig. 6).
+//!
+//! Stores dense embeddings keyed by [`EntityId`], supports exact and
+//! IVF-Flat approximate nearest-neighbour search under cosine / dot / L2
+//! metrics, and attribute filtering (e.g. "people embeddings only" — the
+//! Fig. 7 cross-engine view filters graph embeddings by entity type).
+//!
+//! Used by:
+//! * KG-embedding serving — missing-fact imputation searches
+//!   `f(θ_s, θ_p)` against all entity embeddings (§5.3);
+//! * NERD candidate retrieval (neural string similarity neighbourhoods).
+
+pub mod ivf;
+pub mod metric;
+pub mod store;
+
+pub use ivf::IvfIndex;
+pub use metric::Metric;
+pub use store::{SearchHit, VectorStore};

@@ -1,0 +1,220 @@
+//! The vector store: embeddings keyed by entity id with attribute tags and
+//! exact (brute-force) top-k search.
+
+use saga_core::{EntityId, FxHashMap, Symbol};
+
+use crate::metric::Metric;
+
+/// One search result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SearchHit {
+    /// Matched entity.
+    pub id: EntityId,
+    /// Similarity score under the store's metric (larger = more similar).
+    pub score: f32,
+}
+
+/// A flat vector store with attribute-filtered exact search.
+///
+/// Rows are stored in one contiguous `Vec<f32>` (dimension-strided) for
+/// cache-friendly scans; ids and attribute tags are parallel arrays.
+#[derive(Clone, Debug)]
+pub struct VectorStore {
+    dim: usize,
+    metric: Metric,
+    ids: Vec<EntityId>,
+    tags: Vec<Option<Symbol>>,
+    data: Vec<f32>,
+    by_id: FxHashMap<EntityId, usize>,
+}
+
+impl VectorStore {
+    /// An empty store for `dim`-dimensional vectors under `metric`.
+    pub fn new(dim: usize, metric: Metric) -> Self {
+        VectorStore {
+            dim,
+            metric,
+            ids: Vec::new(),
+            tags: Vec::new(),
+            data: Vec::new(),
+            by_id: FxHashMap::default(),
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The similarity metric.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Insert or replace the vector for `id`, with an optional attribute tag
+    /// (typically the entity's ontology type).
+    ///
+    /// # Panics
+    /// Panics if `vector.len() != dim`.
+    pub fn upsert(&mut self, id: EntityId, vector: &[f32], tag: Option<Symbol>) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        match self.by_id.get(&id) {
+            Some(&row) => {
+                self.data[row * self.dim..(row + 1) * self.dim].copy_from_slice(vector);
+                self.tags[row] = tag;
+            }
+            None => {
+                let row = self.ids.len();
+                self.ids.push(id);
+                self.tags.push(tag);
+                self.data.extend_from_slice(vector);
+                self.by_id.insert(id, row);
+            }
+        }
+    }
+
+    /// The stored vector for `id`.
+    pub fn get(&self, id: EntityId) -> Option<&[f32]> {
+        let &row = self.by_id.get(&id)?;
+        Some(&self.data[row * self.dim..(row + 1) * self.dim])
+    }
+
+    /// The attribute tag for `id`.
+    pub fn tag(&self, id: EntityId) -> Option<Symbol> {
+        let &row = self.by_id.get(&id)?;
+        self.tags[row]
+    }
+
+    /// Remove `id`'s vector (swap-remove; O(1)).
+    pub fn remove(&mut self, id: EntityId) -> bool {
+        let Some(row) = self.by_id.remove(&id) else { return false };
+        let last = self.ids.len() - 1;
+        if row != last {
+            let moved = self.ids[last];
+            self.ids.swap(row, last);
+            self.tags.swap(row, last);
+            let (head, tail) = self.data.split_at_mut(last * self.dim);
+            head[row * self.dim..(row + 1) * self.dim].copy_from_slice(&tail[..self.dim]);
+            self.by_id.insert(moved, row);
+        }
+        self.ids.pop();
+        self.tags.pop();
+        self.data.truncate(last * self.dim);
+        true
+    }
+
+    /// Exact top-`k` search, optionally restricted to vectors whose tag is
+    /// `filter` (the "people embeddings" pattern of Fig. 7).
+    pub fn search(&self, query: &[f32], k: usize, filter: Option<Symbol>) -> Vec<SearchHit> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let mut hits: Vec<SearchHit> = Vec::with_capacity(self.len().min(k + 1));
+        for row in 0..self.ids.len() {
+            if let Some(f) = filter {
+                if self.tags[row] != Some(f) {
+                    continue;
+                }
+            }
+            let v = &self.data[row * self.dim..(row + 1) * self.dim];
+            let score = self.metric.score(query, v);
+            hits.push(SearchHit { id: self.ids[row], score });
+        }
+        top_k(hits, k)
+    }
+
+    /// Iterate `(id, vector, tag)` rows.
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, &[f32], Option<Symbol>)> {
+        self.ids.iter().enumerate().map(move |(row, &id)| {
+            (id, &self.data[row * self.dim..(row + 1) * self.dim], self.tags[row])
+        })
+    }
+}
+
+/// Select the top-k hits by score (descending), ties broken by id for
+/// determinism.
+pub(crate) fn top_k(mut hits: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
+    hits.sort_unstable_by(|a, b| {
+        b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id))
+    });
+    hits.truncate(k);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::intern;
+
+    fn store() -> VectorStore {
+        let mut s = VectorStore::new(2, Metric::Cosine);
+        s.upsert(EntityId(1), &[1.0, 0.0], Some(intern("person")));
+        s.upsert(EntityId(2), &[0.0, 1.0], Some(intern("person")));
+        s.upsert(EntityId(3), &[0.7, 0.7], Some(intern("song")));
+        s
+    }
+
+    #[test]
+    fn upsert_get_roundtrip_and_replace() {
+        let mut s = store();
+        assert_eq!(s.get(EntityId(1)), Some(&[1.0, 0.0][..]));
+        s.upsert(EntityId(1), &[0.5, 0.5], Some(intern("person")));
+        assert_eq!(s.get(EntityId(1)), Some(&[0.5, 0.5][..]));
+        assert_eq!(s.len(), 3, "replace does not grow the store");
+    }
+
+    #[test]
+    fn search_ranks_by_similarity() {
+        let s = store();
+        let hits = s.search(&[1.0, 0.1], 2, None);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].id, EntityId(1));
+        assert!(hits[0].score > hits[1].score);
+    }
+
+    #[test]
+    fn attribute_filter_restricts_results() {
+        let s = store();
+        let hits = s.search(&[0.7, 0.7], 10, Some(intern("person")));
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.id != EntityId(3)));
+        let song_hits = s.search(&[0.7, 0.7], 10, Some(intern("song")));
+        assert_eq!(song_hits.len(), 1);
+        assert_eq!(song_hits[0].id, EntityId(3));
+    }
+
+    #[test]
+    fn remove_keeps_remaining_searchable() {
+        let mut s = store();
+        assert!(s.remove(EntityId(1)));
+        assert!(!s.remove(EntityId(1)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(EntityId(1)), None);
+        // Swapped-in row still addressable.
+        assert!(s.get(EntityId(3)).is_some());
+        let hits = s.search(&[0.7, 0.7], 10, None);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn tag_lookup() {
+        let s = store();
+        assert_eq!(s.tag(EntityId(3)), Some(intern("song")));
+        assert_eq!(s.tag(EntityId(99)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut s = store();
+        s.upsert(EntityId(9), &[1.0, 2.0, 3.0], None);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the Vector DB: exact search must return the
+//! true top-k; IVF results are always a subset of the store.
+
+use proptest::prelude::*;
+use saga_core::EntityId;
+use saga_vector::{IvfIndex, Metric, VectorStore};
+
+fn store_from(rows: &[Vec<f32>], metric: Metric) -> VectorStore {
+    let dim = rows.first().map(Vec::len).unwrap_or(2);
+    let mut s = VectorStore::new(dim, metric);
+    for (i, v) in rows.iter().enumerate() {
+        s.upsert(EntityId(i as u64), v, None);
+    }
+    s
+}
+
+fn arb_rows() -> impl Strategy<Value = Vec<Vec<f32>>> {
+    proptest::collection::vec(
+        proptest::collection::vec(-10.0f32..10.0, 4usize..=4),
+        1..40,
+    )
+}
+
+proptest! {
+    /// Exact search returns exactly the k best-scoring rows (verified
+    /// against a brute-force oracle), in descending score order.
+    #[test]
+    fn exact_search_is_truthful(rows in arb_rows(), k in 1usize..10) {
+        for metric in [Metric::Cosine, Metric::Dot, Metric::NegL2] {
+            let s = store_from(&rows, metric);
+            let query = rows[0].clone();
+            let hits = s.search(&query, k, None);
+            prop_assert_eq!(hits.len(), k.min(rows.len()));
+            // Descending order.
+            for w in hits.windows(2) {
+                prop_assert!(w[0].score >= w[1].score);
+            }
+            // Oracle: no stored vector outside the hit set scores strictly
+            // better than the worst returned hit.
+            if let Some(worst) = hits.last() {
+                let hit_ids: Vec<EntityId> = hits.iter().map(|h| h.id).collect();
+                for (i, v) in rows.iter().enumerate() {
+                    let id = EntityId(i as u64);
+                    if !hit_ids.contains(&id) {
+                        let score = metric.score(&query, v);
+                        prop_assert!(
+                            score <= worst.score + 1e-5,
+                            "missed better row {i}: {score} > {}",
+                            worst.score
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// IVF results are a subset of stored ids, sized ≤ k, and probing all
+    /// clusters reproduces the exact top-k id set.
+    #[test]
+    fn ivf_is_sound_and_complete_at_full_probe(rows in arb_rows(), k in 1usize..8) {
+        let s = store_from(&rows, Metric::Cosine);
+        let idx = IvfIndex::build(&s, 4, 3, 11);
+        let query = rows[rows.len() / 2].clone();
+        let approx = idx.search(&query, k, 2);
+        prop_assert!(approx.len() <= k);
+        for h in &approx {
+            prop_assert!((h.id.0 as usize) < rows.len(), "hit outside store");
+        }
+        // Full probe == exact.
+        let full = idx.search(&query, k, idx.nlist());
+        let exact = s.search(&query, k, None);
+        let mut full_ids: Vec<u64> = full.iter().map(|h| h.id.0).collect();
+        let mut exact_ids: Vec<u64> = exact.iter().map(|h| h.id.0).collect();
+        full_ids.sort_unstable();
+        exact_ids.sort_unstable();
+        // Ties at the cutoff may differ in identity but scores must match.
+        let worst_full = full.last().map(|h| h.score).unwrap_or(0.0);
+        let worst_exact = exact.last().map(|h| h.score).unwrap_or(0.0);
+        prop_assert!((worst_full - worst_exact).abs() < 1e-5);
+    }
+
+    /// Upsert-then-remove round-trips: the store forgets removed ids.
+    #[test]
+    fn remove_forgets(rows in arb_rows()) {
+        let mut s = store_from(&rows, Metric::Dot);
+        let victim = EntityId(0);
+        prop_assert!(s.remove(victim));
+        prop_assert!(s.get(victim).is_none());
+        let hits = s.search(&rows[0], rows.len(), None);
+        prop_assert!(hits.iter().all(|h| h.id != victim));
+        prop_assert_eq!(s.len(), rows.len() - 1);
+    }
+}

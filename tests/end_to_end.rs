@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: the full platform loop.
+//!
+//! These exercise the paths the examples demonstrate, with assertions:
+//! ingestion → construction → graph engine (log/agents/views) → live
+//! serving → curation feedback, across multiple cycles.
+
+use std::sync::Arc;
+
+use saga::construct::{KnowledgeConstructor, LinkTableResolver, RuleMatcher, SourceBatch};
+use saga::core::{intern, EntityId, IdGenerator, KnowledgeGraph, Lsn, SourceId, Value};
+use saga::graph::{
+    AgentRunner, AnalyticsStore, EntityIndexAgent, MetadataStore, OpKind, OperationLog,
+    TextIndexAgent,
+};
+use saga::ingest::synth::{artist_alignment, provider_datasets, MusicWorld, ProviderSpec};
+use saga::ingest::{DataTransformer, SourceIngestionPipeline, TransformSpec};
+use saga::live::{LiveKg, QueryEngine};
+use saga::ontology::default_ontology;
+
+fn ingest_cycle(
+    world: &MusicWorld,
+    pipes: &mut [(ProviderSpec, SourceIngestionPipeline)],
+) -> Vec<SourceBatch> {
+    let ontology = default_ontology();
+    pipes
+        .iter_mut()
+        .map(|(spec, pipe)| {
+            let (artists, _songs, pops) = provider_datasets(world, spec);
+            let (delta, _) = pipe.ingest(&ontology, &[artists, pops]).expect("ingest");
+            SourceBatch { source: pipe.source(), name: pipe.name().to_string(), delta }
+        })
+        .collect()
+}
+
+fn make_pipes() -> Vec<(ProviderSpec, SourceIngestionPipeline)> {
+    [(ProviderSpec::clean(1, "a_"), 1u32), (ProviderSpec::noisy(2, "b_"), 2u32)]
+        .into_iter()
+        .map(|(spec, sid)| {
+            let pipe = SourceIngestionPipeline::new(
+                SourceId(sid),
+                format!("provider-{sid}"),
+                DataTransformer::new(
+                    TransformSpec::simple("artist_id").join(1, "artist_id", "artist_id"),
+                ),
+                artist_alignment(0.9),
+            );
+            (spec, pipe)
+        })
+        .collect()
+}
+
+#[test]
+fn continuous_construction_deduplicates_across_sources_and_cycles() {
+    let ontology = default_ontology();
+    let mut world = MusicWorld::generate(11, 80, 2);
+    let mut pipes = make_pipes();
+    let mut kg = KnowledgeGraph::new();
+    let id_gen = IdGenerator::starting_at(1);
+    let mut ctor = KnowledgeConstructor::new(ontology.volatile_predicates());
+    // Serial mode consumes sources one at a time, so source B links against
+    // the KG already containing source A — full cross-source dedup in one
+    // cycle (parallel mode defers same-batch duplicates to the next cycle).
+    ctor.parallel = false;
+
+    // Cycle 1: onboarding.
+    let batches = ingest_cycle(&world, &mut pipes);
+    let r1 = ctor.consume(&mut kg, &id_gen, batches, &RuleMatcher::default(), &LinkTableResolver);
+    assert!(r1.new_entities > 0);
+    // Cross-source dedup: far fewer canonical entities than payloads.
+    assert!(
+        kg.entity_count() < 80 + 40,
+        "two overlapping sources must merge: {} entities",
+        kg.entity_count()
+    );
+    let corroborated = kg.entities().filter(|r| r.identity_count() >= 2).count();
+    assert!(corroborated > 20, "fusion merged cross-source entities: {corroborated}");
+
+    // Cycle 2: world evolves, only diffs flow.
+    world.evolve(8, 0.1, 0.05);
+    let batches2 = ingest_cycle(&world, &mut pipes);
+    let before = kg.entity_count();
+    let r2 = ctor.consume(&mut kg, &id_gen, batches2, &RuleMatcher::default(), &LinkTableResolver);
+    assert!(r2.updated + r2.deleted + r2.new_entities + r2.matched_existing > 0);
+    assert!(
+        kg.entity_count() >= before.saturating_sub(20),
+        "incremental cycle keeps the graph coherent"
+    );
+    // Popularity facts came through the volatile path.
+    let pop = intern("popularity");
+    assert!(kg.triples().any(|t| t.predicate == pop), "volatile facts fused");
+}
+
+#[test]
+fn operation_log_drives_agents_and_freshness() {
+    let mut kg = KnowledgeGraph::new();
+    kg.add_named_entity(EntityId(1), "Billie Eilish", "music_artist", SourceId(1), 0.9);
+    kg.add_named_entity(EntityId(2), "Halo", "song", SourceId(1), 0.9);
+
+    let log = Arc::new(OperationLog::in_memory());
+    let meta = Arc::new(MetadataStore::new());
+    let mut runner = AgentRunner::new(Arc::clone(&log), Arc::clone(&meta));
+    runner.register(Box::new(EntityIndexAgent::new()));
+    runner.register(Box::new(TextIndexAgent::new()));
+
+    log.append(OpKind::Upsert, vec![EntityId(1), EntityId(2)]).unwrap();
+    runner.run_once(&kg).unwrap();
+    assert!(meta.is_fresh("entity_index", Lsn(1)));
+    assert!(meta.is_fresh("text_index", Lsn(1)));
+    assert_eq!(meta.consistent_lsn(&["entity_index", "text_index"]), log.head());
+
+    // A later op only replays the suffix.
+    kg.add_named_entity(EntityId(3), "Bad Guy", "song", SourceId(1), 0.9);
+    log.append(OpKind::Upsert, vec![EntityId(3)]).unwrap();
+    let replayed = runner.run_once(&kg).unwrap();
+    assert_eq!(replayed, 2, "one op × two agents");
+}
+
+#[test]
+fn constructed_kg_serves_live_queries() {
+    // Build a small KG through real construction, then serve it live.
+    let ontology = default_ontology();
+    let world = MusicWorld::generate(3, 30, 2);
+    let mut pipes = make_pipes();
+    let mut kg = KnowledgeGraph::new();
+    let id_gen = IdGenerator::starting_at(1);
+    let ctor = KnowledgeConstructor::new(ontology.volatile_predicates());
+    let batches = ingest_cycle(&world, &mut pipes);
+    ctor.consume(&mut kg, &id_gen, batches, &RuleMatcher::default(), &LinkTableResolver);
+
+    let live = LiveKg::new(8);
+    live.load_stable(&kg);
+    let engine = QueryEngine::new(live);
+
+    // Every ground-truth artist covered by the clean provider is findable.
+    let artist = &world.artists[0];
+    let hits = engine
+        .query(&format!(r#"FIND music_artist WHERE name = "{}""#, artist.name))
+        .expect("query runs");
+    assert!(!hits.is_empty(), "artist {} served", artist.name);
+    // And the popularity fact is retrievable by path.
+    let id = hits.entities()[0];
+    let pop = engine.query(&format!("GET AKG:{} . popularity", id.0)).unwrap();
+    assert!(!pop.values().is_empty(), "volatile fact served live");
+}
+
+#[test]
+fn analytics_store_tracks_incremental_updates() {
+    let mut kg = KnowledgeGraph::new();
+    kg.add_named_entity(EntityId(1), "A", "music_artist", SourceId(1), 0.9);
+    let mut store = AnalyticsStore::build(&kg);
+    assert_eq!(store.entities_of_type(intern("music_artist")).len(), 1);
+
+    kg.add_named_entity(EntityId(2), "B", "music_artist", SourceId(1), 0.9);
+    kg.upsert_fact(saga::core::ExtendedTriple::simple(
+        EntityId(2),
+        intern("popularity"),
+        Value::Int(5),
+        saga::core::FactMeta::from_source(SourceId(1), 0.9),
+    ));
+    store.update(&kg, &[EntityId(2)]);
+    assert_eq!(store.entities_of_type(intern("music_artist")).len(), 2);
+    assert_eq!(store.frame_ints(intern("popularity"), "pop").len(), 1);
+}
