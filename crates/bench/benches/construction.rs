@@ -9,8 +9,7 @@ use saga_core::{intern, EntityPayload, FactMeta, IdGenerator, KnowledgeGraph, So
 fn payloads(n: usize) -> Vec<EntityPayload> {
     (0..n)
         .map(|i| {
-            let mut p =
-                EntityPayload::new(SourceId(1), format!("e{i}"), intern("music_artist"));
+            let mut p = EntityPayload::new(SourceId(1), format!("e{i}"), intern("music_artist"));
             let meta = FactMeta::from_source(SourceId(1), 0.9);
             p.push_simple(intern("type"), Value::str("music_artist"), meta.clone());
             p.push_simple(
@@ -26,7 +25,10 @@ fn payloads(n: usize) -> Vec<EntityPayload> {
 fn bench_construction(c: &mut Criterion) {
     let ps = payloads(500);
     let mut group = c.benchmark_group("construction");
-    for strategy in [BlockingStrategy::NameTokens, BlockingStrategy::NameQGrams(3)] {
+    for strategy in [
+        BlockingStrategy::NameTokens,
+        BlockingStrategy::NameQGrams(3),
+    ] {
         group.bench_function(format!("blocking_{strategy:?}"), |b| {
             b.iter(|| {
                 let blocks = block_payloads(&ps, strategy);

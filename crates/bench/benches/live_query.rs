@@ -20,14 +20,21 @@ fn bench_live(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("kgq");
     group.bench_function("get_2hop_cached", |b| b.iter(|| engine.query(get).unwrap()));
-    group.bench_function("find_edge_filtered", |b| b.iter(|| engine.query(find).unwrap()));
+    group.bench_function("find_edge_filtered", |b| {
+        b.iter(|| engine.query(find).unwrap())
+    });
     group.bench_function("get_3hop", |b| b.iter(|| engine.query(hop2).unwrap()));
     group.bench_function("parse_compile_uncached", |b| {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
             // Unique text defeats the plan cache → measures parse+compile.
-            engine.query(&format!(r#"FIND song WHERE duration_s = {} LIMIT 3"#, i % 400)).unwrap()
+            engine
+                .query(&format!(
+                    r#"FIND song WHERE duration_s = {} LIMIT 3"#,
+                    i % 400
+                ))
+                .unwrap()
         })
     });
     group.finish();

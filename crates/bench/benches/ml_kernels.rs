@@ -17,7 +17,9 @@ fn bench_ml(c: &mut Criterion) {
     group.bench_function("levenshtein", |bch| bch.iter(|| levenshtein(a, b)));
     group.bench_function("jaro_winkler", |bch| bch.iter(|| jaro_winkler(a, b)));
     group.bench_function("qgram_jaccard", |bch| bch.iter(|| qgram_jaccard(a, b, 3)));
-    group.bench_function("learned_encoder", |bch| bch.iter(|| encoder.similarity(a, b)));
+    group.bench_function("learned_encoder", |bch| {
+        bch.iter(|| encoder.similarity(a, b))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("embeddings");
@@ -31,7 +33,11 @@ fn bench_ml(c: &mut Criterion) {
         el.edges.push((i % 200, 0, (i * 7 + 3) % 200));
     }
     group.bench_function("transe_epoch_200n_800e", |bch| {
-        let cfg = EmbeddingConfig { epochs: 1, dim: 16, ..Default::default() };
+        let cfg = EmbeddingConfig {
+            epochs: 1,
+            dim: 16,
+            ..Default::default()
+        };
         bch.iter(|| train_in_memory(&el, &cfg).1.steps)
     });
     group.finish();
@@ -46,9 +52,13 @@ fn bench_ml(c: &mut Criterion) {
         store.upsert(saga_core::EntityId(i), &seedv, None);
     }
     let query = store.get(saga_core::EntityId(123)).unwrap().to_vec();
-    group.bench_function("exact_5k", |bch| bch.iter(|| store.search(&query, 10, None)));
+    group.bench_function("exact_5k", |bch| {
+        bch.iter(|| store.search(&query, 10, None))
+    });
     let ivf = IvfIndex::build(&store, 32, 4, 5);
-    group.bench_function("ivf_5k_nprobe4", |bch| bch.iter(|| ivf.search(&query, 10, 4)));
+    group.bench_function("ivf_5k_nprobe4", |bch| {
+        bch.iter(|| ivf.search(&query, 10, 4))
+    });
     group.finish();
 }
 

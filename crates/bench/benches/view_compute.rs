@@ -23,7 +23,11 @@ fn bench_views(c: &mut Criterion) {
     let legacy = LegacyEngine::build(&kg);
 
     let mut group = c.benchmark_group("fig8_views");
-    for view in [ProductionView::Songs, ProductionView::People, ProductionView::MediaPeople] {
+    for view in [
+        ProductionView::Songs,
+        ProductionView::People,
+        ProductionView::MediaPeople,
+    ] {
         group.bench_with_input(
             BenchmarkId::new("graph_engine", view.label()),
             &view,

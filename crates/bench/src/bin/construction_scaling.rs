@@ -11,7 +11,9 @@ use std::time::Instant;
 
 use saga_construct::{KnowledgeConstructor, LinkTableResolver, RuleMatcher, SourceBatch};
 use saga_core::{IdGenerator, KnowledgeGraph};
-use saga_ingest::synth::{artist_alignment, provider_datasets, song_alignment, MusicWorld, ProviderSpec};
+use saga_ingest::synth::{
+    artist_alignment, provider_datasets, song_alignment, MusicWorld, ProviderSpec,
+};
 use saga_ingest::{DataTransformer, SourceIngestionPipeline, TransformSpec};
 use saga_ontology::default_ontology;
 
@@ -21,7 +23,11 @@ fn build_pipelines(n_sources: u32) -> (Vec<SourceIngestionPipeline>, Vec<SourceI
             SourceIngestionPipeline::new(
                 saga_core::SourceId(s),
                 format!("artists-{s}"),
-                DataTransformer::new(TransformSpec::simple("artist_id").join(1, "artist_id", "artist_id")),
+                DataTransformer::new(TransformSpec::simple("artist_id").join(
+                    1,
+                    "artist_id",
+                    "artist_id",
+                )),
                 artist_alignment(0.9),
             )
         })
@@ -57,11 +63,20 @@ fn main() {
             let spec = ProviderSpec::noisy(40 + i as u64, &format!("p{i}_"));
             let (a, _s, pops) = provider_datasets(&world, &spec);
             let (delta, _) = pipe.ingest(&ont, &[a, pops]).expect("ingest");
-            batches.push(SourceBatch { source: pipe.source(), name: pipe.name().into(), delta });
+            batches.push(SourceBatch {
+                source: pipe.source(),
+                name: pipe.name().into(),
+                delta,
+            });
         }
         let t0 = Instant::now();
-        let report =
-            ctor.consume(&mut kg, &id_gen, batches, &RuleMatcher::default(), &LinkTableResolver);
+        let report = ctor.consume(
+            &mut kg,
+            &id_gen,
+            batches,
+            &RuleMatcher::default(),
+            &LinkTableResolver,
+        );
         let ms = t0.elapsed().as_millis();
         println!(
             "  parallel={parallel:<5} total={ms:>5} ms (linking {} ms, fusion {} ms) — {} entities, {} pairs scored",
@@ -96,7 +111,11 @@ fn main() {
         let r = ctor.consume(
             &mut kg,
             &id_gen,
-            vec![SourceBatch { source: pipe.source(), name: "delta".into(), delta }],
+            vec![SourceBatch {
+                source: pipe.source(),
+                name: "delta".into(),
+                delta,
+            }],
             &RuleMatcher::default(),
             &LinkTableResolver,
         );
@@ -105,7 +124,10 @@ fn main() {
             delta_total_ms += ms;
             delta_linked += changes;
         }
-        println!("  cycle {cycle}: {changes:>5} changed entities, {ms:>5} ms ({} pairs)", r.pairs_scored);
+        println!(
+            "  cycle {cycle}: {changes:>5} changed entities, {ms:>5} ms ({} pairs)",
+            r.pairs_scored
+        );
     }
 
     // Full: re-link the entire snapshot each cycle.
@@ -127,14 +149,20 @@ fn main() {
         ctor.consume(
             &mut kg_full,
             &idg,
-            vec![SourceBatch { source: fresh_pipe.source(), name: "full".into(), delta }],
+            vec![SourceBatch {
+                source: fresh_pipe.source(),
+                name: "full".into(),
+                delta,
+            }],
             &RuleMatcher::default(),
             &LinkTableResolver,
         );
         full_total_ms += t0.elapsed().as_millis();
         let _ = cycle;
     }
-    println!("\n  incremental cycles 1-4: {delta_total_ms} ms total ({delta_linked} changed entities)");
+    println!(
+        "\n  incremental cycles 1-4: {delta_total_ms} ms total ({delta_linked} changed entities)"
+    );
     println!("  full re-construction:   {full_total_ms} ms total");
     println!(
         "  delta speedup: {:.1}x (the hybrid batch-incremental design's payoff)",

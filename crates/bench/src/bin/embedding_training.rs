@@ -9,10 +9,10 @@
 use std::time::Instant;
 
 use saga_bench::workload::{media_world, MediaWorldConfig};
+use saga_ml::embeddings::train::evaluate;
 use saga_ml::embeddings::{
     train_in_memory, BucketOrdering, EdgeList, EmbeddingConfig, PartitionedTrainer,
 };
-use saga_ml::embeddings::train::evaluate;
 
 fn main() {
     let kg = media_world(&MediaWorldConfig::standard(21));
@@ -23,7 +23,11 @@ fn main() {
         edges.num_relations(),
         edges.edges.len()
     );
-    let cfg = EmbeddingConfig { dim: 32, epochs: 8, ..Default::default() };
+    let cfg = EmbeddingConfig {
+        dim: 32,
+        epochs: 8,
+        ..Default::default()
+    };
     let test: Vec<(u32, u32, u32)> = edges.edges.iter().copied().step_by(37).take(200).collect();
 
     println!("# §5.3 — embedding training: in-memory vs partition buffer (TransE, dim=32)");
@@ -58,7 +62,10 @@ fn main() {
             buffer_capacity: 4,
             ordering,
         };
-        let dir = std::env::temp_dir().join(format!("saga_e9_{}", label.replace(['(', ')', '/', ' '], "_")));
+        let dir = std::env::temp_dir().join(format!(
+            "saga_e9_{}",
+            label.replace(['(', ')', '/', ' '], "_")
+        ));
         let _ = std::fs::remove_dir_all(&dir);
         let t0 = Instant::now();
         let (table, _losses, stats) = trainer.train(&edges, &dir).expect("training succeeds");
@@ -78,7 +85,11 @@ fn main() {
     }
 
     println!("\nshape to verify (paper §5.3):");
-    println!("  • buffered training bounds resident embeddings (mem_rows ≪ total) at comparable MRR;");
-    println!("  • the swap-minimizing (elementwise) ordering does far less IO than naive scheduling —");
+    println!(
+        "  • buffered training bounds resident embeddings (mem_rows ≪ total) at comparable MRR;"
+    );
+    println!(
+        "  • the swap-minimizing (elementwise) ordering does far less IO than naive scheduling —"
+    );
     println!("    the utilization gap behind 'Marius: 1 day vs DGL-KE/PBG: multiple days'.");
 }

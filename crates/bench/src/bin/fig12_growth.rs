@@ -26,12 +26,7 @@ fn entity_name(key: usize) -> String {
     format!("Uniq{key} Entity")
 }
 
-fn payload(
-    source: SourceId,
-    key: usize,
-    facts_per_entity: usize,
-    quarter: usize,
-) -> EntityPayload {
+fn payload(source: SourceId, key: usize, facts_per_entity: usize, quarter: usize) -> EntityPayload {
     let mut p = EntityPayload::new(source, format!("{}e{key}", source.0), intern("song"));
     let meta = FactMeta::from_source(source, 0.9);
     p.push_simple(intern("type"), Value::str("song"), meta.clone());
@@ -66,8 +61,8 @@ fn main() {
 
     println!("# Figure 12 — relative growth of facts and entities");
     println!(
-        "{:<8} {:>8} {:>10} {:>10} {:>11} {:>11} {}",
-        "quarter", "sources", "facts", "entities", "facts_rel", "ents_rel", ""
+        "{:<8} {:>8} {:>10} {:>10} {:>11} {:>11} ",
+        "quarter", "sources", "facts", "entities", "facts_rel", "ents_rel"
     );
     for q in &schedule {
         let mut batches: Vec<SourceBatch> = Vec::new();
@@ -82,7 +77,10 @@ fn main() {
                 batches.push(SourceBatch {
                     source: *source,
                     name: format!("src{}", source.0),
-                    delta: SourceDelta { updated: updates, ..Default::default() },
+                    delta: SourceDelta {
+                        updated: updates,
+                        ..Default::default()
+                    },
                 });
             }
         }
@@ -105,12 +103,17 @@ fn main() {
             }
             keys.sort_unstable();
             keys.dedup();
-            let added: Vec<EntityPayload> =
-                keys.iter().map(|&k| payload(source, k, q.facts_per_entity, q.quarter)).collect();
+            let added: Vec<EntityPayload> = keys
+                .iter()
+                .map(|&k| payload(source, k, q.facts_per_entity, q.quarter))
+                .collect();
             batches.push(SourceBatch {
                 source,
                 name: format!("src{}", source.0),
-                delta: SourceDelta { added, ..Default::default() },
+                delta: SourceDelta {
+                    added,
+                    ..Default::default()
+                },
             });
             coverage.push((source, keys));
         }
@@ -126,7 +129,11 @@ fn main() {
             stats.entities,
             stats.facts as f64 / f0,
             stats.entities as f64 / e0,
-            if q.quarter == 6 { "← saga introduced" } else { "" }
+            if q.quarter == 6 {
+                "← saga introduced"
+            } else {
+                ""
+            }
         );
     }
     let stats = kg.stats();

@@ -43,14 +43,24 @@ fn main() {
             let candidates =
                 retrieve_candidates(&view, ont.types(), &case.mention, 16, None, Some(&encoder));
             let nerd_pred = model
-                .disambiguate(&view, &encoder, &case.mention, &case.context, &candidates, None, cutoff)
+                .disambiguate(
+                    &view,
+                    &encoder,
+                    &case.mention,
+                    &case.context,
+                    &candidates,
+                    None,
+                    cutoff,
+                )
                 .map(|(id, _)| id);
             nerd_stats.record(nerd_pred, case.truth);
             // The deployed baseline has no learned encoder: it retrieves
             // with deterministic similarity only.
             let base_candidates =
                 retrieve_candidates(&view, ont.types(), &case.mention, 16, None, None);
-            let base_pred = baseline.disambiguate(&base_candidates, cutoff).map(|(id, _)| id);
+            let base_pred = baseline
+                .disambiguate(&base_candidates, cutoff)
+                .map(|(id, _)| id);
             base_stats.record(base_pred, case.truth);
         }
         let p_improv = 100.0 * (nerd_stats.precision() - base_stats.precision())

@@ -37,10 +37,23 @@ fn main() {
             retrieve_candidates(&view, ont.types(), &case.mention, 16, None, Some(&encoder));
         let base_candidates =
             retrieve_candidates(&view, ont.types(), &case.mention, 16, None, None);
-        base.record(baseline.disambiguate(&base_candidates, cutoff).map(|(id, _)| id), case.truth);
+        base.record(
+            baseline
+                .disambiguate(&base_candidates, cutoff)
+                .map(|(id, _)| id),
+            case.truth,
+        );
         nerd.record(
             model
-                .disambiguate(&view, &encoder, &case.mention, &case.context, &unhinted, None, cutoff)
+                .disambiguate(
+                    &view,
+                    &encoder,
+                    &case.mention,
+                    &case.context,
+                    &unhinted,
+                    None,
+                    cutoff,
+                )
                 .map(|(id, _)| id),
             case.truth,
         );
@@ -71,11 +84,19 @@ fn main() {
 
     println!("# Figure 14(b) — object resolution at confidence {cutoff}");
     println!("{:<18} {:>10} {:>10}", "system", "precision", "recall");
-    for (name, s) in [("baseline", &base), ("NERD", &nerd), ("NERD + type hints", &nerd_hints)] {
-        println!("{:<18} {:>9.1}% {:>9.1}%", name, 100.0 * s.precision(), 100.0 * s.recall());
+    for (name, s) in [
+        ("baseline", &base),
+        ("NERD", &nerd),
+        ("NERD + type hints", &nerd_hints),
+    ] {
+        println!(
+            "{:<18} {:>9.1}% {:>9.1}%",
+            name,
+            100.0 * s.precision(),
+            100.0 * s.recall()
+        );
     }
-    let p_improv =
-        100.0 * (nerd_hints.precision() - base.precision()) / base.precision().max(1e-9);
+    let p_improv = 100.0 * (nerd_hints.precision() - base.precision()) / base.precision().max(1e-9);
     let r_improv = 100.0 * (nerd_hints.recall() - base.recall()) / base.recall().max(1e-9);
     let p_improv_plain = 100.0 * (nerd.precision() - base.precision()) / base.precision().max(1e-9);
     let r_improv_plain = 100.0 * (nerd.recall() - base.recall()) / base.recall().max(1e-9);

@@ -14,12 +14,19 @@ fn main() {
     let cfg = MediaWorldConfig::standard(42);
     eprintln!("building media world…");
     let kg = media_world(&cfg);
-    eprintln!("KG: {} entities, {} facts", kg.entity_count(), kg.fact_count());
+    eprintln!(
+        "KG: {} entities, {} facts",
+        kg.entity_count(),
+        kg.fact_count()
+    );
     let store = AnalyticsStore::build(&kg);
     let legacy = LegacyEngine::build(&kg);
 
     println!("# Figure 8 — legacy / Graph Engine view-computation latency ratio");
-    println!("{:<18} {:>12} {:>12} {:>8} {:>8}", "view", "legacy_us", "engine_us", "rows", "ratio");
+    println!(
+        "{:<18} {:>12} {:>12} {:>8} {:>8}",
+        "view", "legacy_us", "engine_us", "rows", "ratio"
+    );
     let mut ratios = Vec::new();
     for view in ProductionView::ALL {
         let (legacy_us, l_rows) = time_it(3, || view.compute_legacy(&legacy));
@@ -42,5 +49,8 @@ fn main() {
     println!("\naverage speedup: {avg:.2}x (paper: ~5x)");
     println!("best case:       {max:.2}x (paper: 14.53x)");
     println!("smallest:        {min:.2}x (paper: 1.05x, Songs)");
-    println!("(no view had a performance decrease: {})", ratios.iter().all(|r| *r >= 1.0));
+    println!(
+        "(no view had a performance decrease: {})",
+        ratios.iter().all(|r| *r >= 1.0)
+    );
 }

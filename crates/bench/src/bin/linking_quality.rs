@@ -20,8 +20,14 @@ fn aligned_payloads(world: &MusicWorld, spec: &ProviderSpec) -> Vec<(usize, Enti
         locale: Some("en".into()),
         trust: 0.9,
         pgfs: vec![
-            saga_ingest::Pgf::Map { column: "artist_name".into(), predicate: "name".into() },
-            saga_ingest::Pgf::Map { column: "genre".into(), predicate: "occupation".into() },
+            saga_ingest::Pgf::Map {
+                column: "artist_name".into(),
+                predicate: "name".into(),
+            },
+            saga_ingest::Pgf::Map {
+                column: "genre".into(),
+                predicate: "occupation".into(),
+            },
         ],
     };
     artists
@@ -56,10 +62,17 @@ fn main() {
     let labeled = aligned_payloads(&world, &spec);
     let payloads: Vec<EntityPayload> = labeled.iter().map(|(_, p)| p.clone()).collect();
     let n_dups = labeled.len() - world.artists.len();
-    println!("# §2.3 — linking quality ({} payloads, {} in-source duplicates)", labeled.len(), n_dups);
+    println!(
+        "# §2.3 — linking quality ({} payloads, {} in-source duplicates)",
+        labeled.len(),
+        n_dups
+    );
 
     // ---- Blocking ablation: recall of true duplicate pairs + pair budget ----
-    println!("\n{:<22} {:>10} {:>14} {:>12}", "blocking", "pairs", "dup_recall", "reduction");
+    println!(
+        "\n{:<22} {:>10} {:>14} {:>12}",
+        "blocking", "pairs", "dup_recall", "reduction"
+    );
     let mut true_pairs: Vec<(usize, usize)> = Vec::new();
     for i in 0..labeled.len() {
         for j in (i + 1)..labeled.len() {
@@ -95,8 +108,11 @@ fn main() {
     let outcome = linker.link(&kg, &id_gen, payloads, &RuleMatcher::default());
     // Assignment per payload, joined through the `same_as` link table
     // (the links vector is in cluster order, not payload order).
-    let id_of_local: FxHashMap<String, saga_core::EntityId> =
-        outcome.links.iter().map(|(_, local, id)| (local.clone(), *id)).collect();
+    let id_of_local: FxHashMap<String, saga_core::EntityId> = outcome
+        .links
+        .iter()
+        .map(|(_, local, id)| (local.clone(), *id))
+        .collect();
     let assignment: Vec<(usize, saga_core::EntityId)> = labeled
         .iter()
         .map(|(key, p)| (*key, id_of_local[p.local_id().expect("unlinked payload")]))
@@ -121,12 +137,20 @@ fn main() {
             let mut k = keys.clone();
             k.sort_unstable();
             k.dedup();
-            if k.len() > 1 { 1 } else { 0 }
+            if k.len() > 1 {
+                1
+            } else {
+                0
+            }
         })
         .sum();
     stats.fp = false_merges;
     println!("\nend-to-end linking (q-gram blocking + rule matcher + correlation clustering):");
-    println!("  new entities: {} (ground truth {})", outcome.new_entities, world.artists.len());
+    println!(
+        "  new entities: {} (ground truth {})",
+        outcome.new_entities,
+        world.artists.len()
+    );
     println!("  duplicate-pair recall: {:.1}%", 100.0 * stats.recall());
     println!("  clusters mixing distinct artists: {false_merges}");
     println!("  pairs scored: {}", outcome.pairs_scored);

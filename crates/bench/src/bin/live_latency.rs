@@ -61,15 +61,24 @@ fn main() {
             })
         })
         .collect();
-    let mut all: Vec<u128> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    let mut all: Vec<u128> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
     let wall = t0.elapsed();
     let total = all.len();
 
     println!("# §4.2/§6.1 — Live KG Query Engine latency under concurrency");
-    println!("threads: {threads}, queries: {total}, wall: {:.2}s", wall.as_secs_f64());
+    println!(
+        "threads: {threads}, queries: {total}, wall: {:.2}s",
+        wall.as_secs_f64()
+    );
     println!("throughput: {:.0} qps", total as f64 / wall.as_secs_f64());
     for q in [50.0, 90.0, 95.0, 99.0, 99.9] {
-        println!("p{q:<5} {:>8.3} ms", percentile(&mut all, q) as f64 / 1000.0);
+        println!(
+            "p{q:<5} {:>8.3} ms",
+            percentile(&mut all, q) as f64 / 1000.0
+        );
     }
     let p95_ms = percentile(&mut all, 95.0) as f64 / 1000.0;
     println!(

@@ -32,18 +32,29 @@ fn main() {
     }
     // Train on the first 300 artists (the KG bootstrap) …
     let mut encoder = StringEncoder::new(32, 4096, 3, 9);
-    let triplets = DistantSupervision { typo_augment: 2, negatives_per_positive: 2, seed: 4 }
-        .triplets(&kg);
+    let triplets = DistantSupervision {
+        typo_augment: 2,
+        negatives_per_positive: 2,
+        seed: 4,
+    }
+    .triplets(&kg);
     eprintln!("training on {} triplets…", triplets.len());
-    TripletTrainer::new(TrainConfig { epochs: 15, ..Default::default() })
-        .train(&mut encoder, &triplets);
+    TripletTrainer::new(TrainConfig {
+        epochs: 15,
+        ..Default::default()
+    })
+    .train(&mut encoder, &triplets);
 
     // … evaluate on mention pairs with BOTH nicknames and typos.
     let mut rng = StdRng::seed_from_u64(123);
     let mut positives: Vec<(String, String)> = Vec::new();
     let mut negatives: Vec<(String, String)> = Vec::new();
     for (i, a) in world.artists.iter().enumerate() {
-        let noisy = if rng.gen_bool(0.5) { typo(&mut rng, &a.aliases[0]) } else { a.aliases[0].clone() };
+        let noisy = if rng.gen_bool(0.5) {
+            typo(&mut rng, &a.aliases[0])
+        } else {
+            a.aliases[0].clone()
+        };
         positives.push((a.name.clone(), noisy));
         let other = &world.artists[(i + 37) % world.artists.len()];
         negatives.push((a.name.clone(), other.name.clone()));
@@ -51,10 +62,13 @@ fn main() {
 
     type SimFn<'a> = (&'a str, Box<dyn Fn(&str, &str) -> f64 + 'a>);
     let sims: Vec<SimFn> = vec![
-        ("levenshtein", Box::new(|a, b| levenshtein(a, b))),
-        ("jaro_winkler", Box::new(|a, b| jaro_winkler(a, b))),
+        ("levenshtein", Box::new(levenshtein)),
+        ("jaro_winkler", Box::new(jaro_winkler)),
         ("qgram_jaccard", Box::new(|a, b| qgram_jaccard(a, b, 3))),
-        ("learned (neural)", Box::new(|a, b| f64::from(encoder.similarity(a, b)))),
+        (
+            "learned (neural)",
+            Box::new(|a, b| f64::from(encoder.similarity(a, b))),
+        ),
     ];
 
     println!("# §5.1 — duplicate-detection recall at ≥95% precision threshold");
@@ -66,7 +80,10 @@ fn main() {
         let mut neg_scores: Vec<f64> = negatives.iter().map(|(a, b)| f(a, b)).collect();
         neg_scores.sort_by(|a, b| a.total_cmp(b));
         let threshold = neg_scores[(neg_scores.len() as f64 * 0.95) as usize];
-        let recall = positives.iter().filter(|(a, b)| f(a, b) > threshold).count() as f64
+        let recall = positives
+            .iter()
+            .filter(|(a, b)| f(a, b) > threshold)
+            .count() as f64
             / positives.len() as f64;
         println!("{:<18} {:>10.3} {:>7.1}%", name, threshold, 100.0 * recall);
         if *name == "learned (neural)" {

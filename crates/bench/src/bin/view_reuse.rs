@@ -20,7 +20,10 @@ impl View for EntityFeatures {
         "entity_features"
     }
     fn create(&self, ctx: &ViewContext<'_>) -> Result<ViewData> {
-        let cfg = ImportanceConfig { iterations: 10, ..Default::default() };
+        let cfg = ImportanceConfig {
+            iterations: 10,
+            ..Default::default()
+        };
         Ok(ViewData::Scores(compute_importance(ctx.kg, &cfg).score))
     }
 }
@@ -44,7 +47,10 @@ impl View for RankedEntityIndex {
             let score = features.get(&record.id).copied().unwrap_or(0.0);
             for name in record.all_names() {
                 for tok in name.split_whitespace() {
-                    postings.entry(tok.to_lowercase()).or_default().push((record.id.0, score));
+                    postings
+                        .entry(tok.to_lowercase())
+                        .or_default()
+                        .push((record.id.0, score));
                 }
             }
         }
@@ -88,7 +94,10 @@ impl View for EntityNeighbourhood {
         let adj = ctx.kg.adjacency();
         let mut scores = FxHashMap::default();
         for (src, dsts) in adj {
-            let s: f64 = dsts.iter().map(|d| features.get(d).copied().unwrap_or(0.0)).sum();
+            let s: f64 = dsts
+                .iter()
+                .map(|d| features.get(d).copied().unwrap_or(0.0))
+                .sum();
             scores.insert(src, s);
         }
         Ok(ViewData::Scores(scores))
@@ -106,7 +115,11 @@ fn build_manager() -> ViewManager {
 fn main() {
     let kg = media_world(&MediaWorldConfig::standard(7));
     let store = AnalyticsStore::build(&kg);
-    eprintln!("KG: {} entities, {} facts", kg.entity_count(), kg.fact_count());
+    eprintln!(
+        "KG: {} entities, {} facts",
+        kg.entity_count(),
+        kg.fact_count()
+    );
 
     // Warm both paths, then take the best of 3.
     let mut with_reuse = u128::MAX;

@@ -64,17 +64,34 @@ pub struct NerdWorld {
     pub obr_cases: Vec<ObrCase>,
 }
 
-const ONSETS: &[&str] = &["Br", "K", "V", "Thr", "M", "Gr", "D", "Sel", "Har", "W", "Quin", "F"];
+const ONSETS: &[&str] = &[
+    "Br", "K", "V", "Thr", "M", "Gr", "D", "Sel", "Har", "W", "Quin", "F",
+];
 const NUCLEI: &[&str] = &["an", "el", "or", "ie", "u", "ay", "ex", "ol", "ar", "en"];
-const CODAS: &[&str] =
-    &["ford", "holm", "wick", "bury", "gate", "mere", "stead", "ton", "dale", "field"];
+const CODAS: &[&str] = &[
+    "ford", "holm", "wick", "bury", "gate", "mere", "stead", "ton", "dale", "field",
+];
 
-const COUNTRIES: &[&str] =
-    &["Germany", "Australia", "Canada", "Jamaica", "Ireland", "Portugal", "Norway", "Chile"];
+const COUNTRIES: &[&str] = &[
+    "Germany",
+    "Australia",
+    "Canada",
+    "Jamaica",
+    "Ireland",
+    "Portugal",
+    "Norway",
+    "Chile",
+];
 
 const COLLEGES: &[&str] = &[
-    "Dartmouth College", "Mirefield Institute", "Oakhaven University", "Bryner Academy",
-    "Tellwick College", "Northgate Polytechnic", "Harrowgate School", "Vexford University",
+    "Dartmouth College",
+    "Mirefield Institute",
+    "Oakhaven University",
+    "Bryner Academy",
+    "Tellwick College",
+    "Northgate Polytechnic",
+    "Harrowgate School",
+    "Vexford University",
 ];
 
 /// Distinct pronounceable place stems (deterministic, collision-free).
@@ -123,7 +140,12 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
         kg.add_named_entity(head, &name, "city", SourceId(1), 0.9);
         let country_id = fresh();
         kg.add_named_entity(country_id, country, "place", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(head, intern("located_in"), Value::Entity(country_id), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            head,
+            intern("located_in"),
+            Value::Entity(country_id),
+            meta(),
+        ));
         kg.upsert_fact(ExtendedTriple::simple(
             head,
             intern("description"),
@@ -132,8 +154,19 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
         ));
         for d in 0..head_districts {
             let district = fresh();
-            kg.add_named_entity(district, &format!("{name} Ward {d}"), "place", SourceId(1), 0.9);
-            kg.upsert_fact(ExtendedTriple::simple(head, intern("member_of"), Value::Entity(district), meta()));
+            kg.add_named_entity(
+                district,
+                &format!("{name} Ward {d}"),
+                "place",
+                SourceId(1),
+                0.9,
+            );
+            kg.upsert_fact(ExtendedTriple::simple(
+                head,
+                intern("member_of"),
+                Value::Entity(district),
+                meta(),
+            ));
         }
 
         // Tail town: same name, distinctive college neighbour.
@@ -141,8 +174,18 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
         kg.add_named_entity(tail, &name, "city", SourceId(1), 0.9);
         let college_id = fresh();
         kg.add_named_entity(college_id, college, "school", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(college_id, intern("located_in"), Value::Entity(tail), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(tail, intern("member_of"), Value::Entity(college_id), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            college_id,
+            intern("located_in"),
+            Value::Entity(tail),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            tail,
+            intern("member_of"),
+            Value::Entity(college_id),
+            meta(),
+        ));
         kg.upsert_fact(ExtendedTriple::simple(
             tail,
             intern("description"),
@@ -183,14 +226,18 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
         for f in 0..3 {
             let k = g * 3 + f;
             // Two independent stems keep filler names lexically far apart.
-            let town_name =
-                format!("{} {}", stem(1000 + k), stem(2000 + (k * 7 + 3) % 900));
+            let town_name = format!("{} {}", stem(1000 + k), stem(2000 + (k * 7 + 3) % 900));
             let town = fresh();
             kg.add_named_entity(town, &town_name, "city", SourceId(1), 0.9);
             let region = fresh();
             let region_name = format!("{} Region", stem(5000 + g * 3 + f));
             kg.add_named_entity(region, &region_name, "place", SourceId(1), 0.9);
-            kg.upsert_fact(ExtendedTriple::simple(town, intern("located_in"), Value::Entity(region), meta()));
+            kg.upsert_fact(ExtendedTriple::simple(
+                town,
+                intern("located_in"),
+                Value::Entity(region),
+                meta(),
+            ));
             kg.upsert_fact(ExtendedTriple::simple(
                 town,
                 intern("description"),
@@ -221,7 +268,12 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
             for d in 0..remixes {
                 let p = fresh();
                 kg.add_named_entity(p, &format!("{base} Remix {d}"), "song", SourceId(2), 0.9);
-                kg.upsert_fact(ExtendedTriple::simple(song, intern("member_of"), Value::Entity(p), meta()));
+                kg.upsert_fact(ExtendedTriple::simple(
+                    song,
+                    intern("member_of"),
+                    Value::Entity(p),
+                    meta(),
+                ));
             }
         }
         let artist = fresh();
@@ -229,7 +281,12 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
         let label = fresh();
         let label_name = format!("Label House {g}");
         kg.add_named_entity(label, &label_name, "record_label", SourceId(2), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(artist, intern("signed_to"), Value::Entity(label), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            artist,
+            intern("signed_to"),
+            Value::Entity(label),
+            meta(),
+        ));
 
         // A new song record referencing the artist by name; the record's
         // other fields mention the label (context), and the ontology says
@@ -248,7 +305,11 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
         });
     }
 
-    NerdWorld { kg, text_cases, obr_cases }
+    NerdWorld {
+        kg,
+        text_cases,
+        obr_cases,
+    }
 }
 
 #[cfg(test)]

@@ -88,11 +88,26 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
         .collect();
     for (i, &p) in persons.iter().enumerate() {
         let city = cities[rng.gen_range(0..cities.len())];
-        kg.upsert_fact(ExtendedTriple::simple(p, intern("birthplace"), Value::Entity(city), meta(&mut rng)));
+        kg.upsert_fact(ExtendedTriple::simple(
+            p,
+            intern("birthplace"),
+            Value::Entity(city),
+            meta(&mut rng),
+        ));
         if i % 2 == 1 {
             let partner = persons[i - 1];
-            kg.upsert_fact(ExtendedTriple::simple(p, intern("spouse"), Value::Entity(partner), meta(&mut rng)));
-            kg.upsert_fact(ExtendedTriple::simple(partner, intern("spouse"), Value::Entity(p), meta(&mut rng)));
+            kg.upsert_fact(ExtendedTriple::simple(
+                p,
+                intern("spouse"),
+                Value::Entity(partner),
+                meta(&mut rng),
+            ));
+            kg.upsert_fact(ExtendedTriple::simple(
+                partner,
+                intern("spouse"),
+                Value::Entity(p),
+                meta(&mut rng),
+            ));
         }
     }
     // Labels and artists.
@@ -108,7 +123,12 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
             let id = fresh();
             kg.add_named_entity(id, &format!("Artist {i}"), "music_artist", SourceId(2), 0.9);
             let label = labels[rng.gen_range(0..labels.len())];
-            kg.upsert_fact(ExtendedTriple::simple(id, intern("signed_to"), Value::Entity(label), meta(&mut rng)));
+            kg.upsert_fact(ExtendedTriple::simple(
+                id,
+                intern("signed_to"),
+                Value::Entity(label),
+                meta(&mut rng),
+            ));
             id
         })
         .collect();
@@ -118,7 +138,12 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
         for s in 0..cfg.songs_per_artist {
             let id = fresh();
             kg.add_named_entity(id, &format!("Song {ai}-{s}"), "song", SourceId(2), 0.9);
-            kg.upsert_fact(ExtendedTriple::simple(id, intern("performed_by"), Value::Entity(artist), meta(&mut rng)));
+            kg.upsert_fact(ExtendedTriple::simple(
+                id,
+                intern("performed_by"),
+                Value::Entity(artist),
+                meta(&mut rng),
+            ));
             kg.upsert_fact(ExtendedTriple::simple(
                 id,
                 intern("duration_s"),
@@ -134,7 +159,12 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
         kg.add_named_entity(id, &format!("Playlist {i}"), "playlist", SourceId(3), 0.9);
         for _ in 0..cfg.tracks_per_playlist {
             let song = songs[rng.gen_range(0..songs.len())];
-            kg.upsert_fact(ExtendedTriple::simple(id, intern("track_of"), Value::Entity(song), meta(&mut rng)));
+            kg.upsert_fact(ExtendedTriple::simple(
+                id,
+                intern("track_of"),
+                Value::Entity(song),
+                meta(&mut rng),
+            ));
         }
     }
     // Movies with cast + directors.
@@ -148,7 +178,12 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
             meta(&mut rng),
         ));
         let dir = persons[rng.gen_range(0..persons.len())];
-        kg.upsert_fact(ExtendedTriple::simple(id, intern("directed_by"), Value::Entity(dir), meta(&mut rng)));
+        kg.upsert_fact(ExtendedTriple::simple(
+            id,
+            intern("directed_by"),
+            Value::Entity(dir),
+            meta(&mut rng),
+        ));
         for c in 0..cfg.cast_per_movie {
             let actor = persons[rng.gen_range(0..persons.len())];
             kg.upsert_fact(ExtendedTriple::composite(
@@ -161,6 +196,9 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
             ));
         }
     }
+    // A bulk load is not a change feed: discard the accumulated deltas so
+    // benchmark harnesses start from a quiescent changelog.
+    let _ = kg.drain_deltas();
     kg
 }
 
@@ -245,6 +283,9 @@ mod tests {
         assert!(sched[6].saga_active);
         let pre: usize = sched[..6].iter().map(|q| q.new_sources).sum();
         let post: usize = sched[6..12].iter().map(|q| q.new_sources).sum();
-        assert!(post > pre * 3, "onboarding accelerates after Saga: {pre} vs {post}");
+        assert!(
+            post > pre * 3,
+            "onboarding accelerates after Saga: {pre} vs {post}"
+        );
     }
 }

@@ -90,7 +90,11 @@ mod tests {
 
     fn payload(id: &str, name: &str) -> EntityPayload {
         let mut p = EntityPayload::new(SourceId(1), id, intern("music_artist"));
-        p.push_simple(intern("name"), Value::str(name), FactMeta::from_source(SourceId(1), 0.9));
+        p.push_simple(
+            intern("name"),
+            Value::str(name),
+            FactMeta::from_source(SourceId(1), 0.9),
+        );
         p
     }
 
@@ -142,8 +146,9 @@ mod tests {
 
     #[test]
     fn oversized_blocks_are_skipped() {
-        let ps: Vec<EntityPayload> =
-            (0..20).map(|i| payload(&format!("p{i}"), "Same Name")).collect();
+        let ps: Vec<EntityPayload> = (0..20)
+            .map(|i| payload(&format!("p{i}"), "Same Name"))
+            .collect();
         let blocks = block_payloads(&ps, BlockingStrategy::NameTokens);
         let pairs = generate_pairs(&blocks, 10);
         assert!(pairs.is_empty(), "blocks above the cap generate no pairs");
@@ -154,7 +159,11 @@ mod tests {
     #[test]
     fn nameless_payloads_do_not_block() {
         let mut p = EntityPayload::new(SourceId(1), "x", intern("music_artist"));
-        p.push_simple(intern("genre"), Value::str("pop"), FactMeta::from_source(SourceId(1), 0.9));
+        p.push_simple(
+            intern("genre"),
+            Value::str("pop"),
+            FactMeta::from_source(SourceId(1), 0.9),
+        );
         let blocks = block_payloads(&[p], BlockingStrategy::NameTokens);
         assert!(blocks.is_empty());
     }
@@ -163,6 +172,10 @@ mod tests {
     fn initial_blocking_is_coarse() {
         let ps = artists();
         let blocks = block_payloads(&ps, BlockingStrategy::NameInitial);
-        assert_eq!(blocks.get("b").unwrap().len(), 3, "three B names share a bucket");
+        assert_eq!(
+            blocks.get("b").unwrap().len(),
+            3,
+            "three B names share a bucket"
+        );
     }
 }

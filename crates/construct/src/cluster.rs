@@ -168,9 +168,11 @@ mod tests {
         for seed in 0..20 {
             let clusters = correlation_cluster(&g, seed);
             for c in &clusters {
-                let kg_count =
-                    c.iter().filter(|n| matches!(n, ClusterNode::Kg(_))).count();
-                assert!(kg_count <= 1, "seed {seed}: cluster {c:?} has {kg_count} KG nodes");
+                let kg_count = c.iter().filter(|n| matches!(n, ClusterNode::Kg(_))).count();
+                assert!(
+                    kg_count <= 1,
+                    "seed {seed}: cluster {c:?} has {kg_count} KG nodes"
+                );
             }
             // All three nodes still covered.
             assert_eq!(clusters.iter().map(Vec::len).sum::<usize>(), 3);

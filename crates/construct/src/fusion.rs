@@ -9,9 +9,7 @@
 //! * Object resolution runs first so cross-references are standardized
 //!   before the join.
 
-use saga_core::{
-    EntityPayload, ExtendedTriple, FxHashMap, KnowledgeGraph, RelId, Symbol, Value,
-};
+use saga_core::{EntityPayload, ExtendedTriple, FxHashMap, KnowledgeGraph, RelId, Symbol, Value};
 
 use crate::obr::{ObjectResolver, ResolutionStats};
 
@@ -25,7 +23,9 @@ pub struct FusionConfig {
 
 impl Default for FusionConfig {
     fn default() -> Self {
-        FusionConfig { rel_merge_overlap: 0.5 }
+        FusionConfig {
+            rel_merge_overlap: 0.5,
+        }
     }
 }
 
@@ -55,9 +55,14 @@ pub fn fuse_payload(
     resolver: &dyn ObjectResolver,
     config: &FusionConfig,
 ) -> FusionReport {
-    let entity_id =
-        payload.subject.as_kg().expect("fusion requires a linked payload");
-    let mut report = FusionReport { resolution: resolver.resolve(kg, &mut payload), ..Default::default() };
+    let entity_id = payload
+        .subject
+        .as_kg()
+        .expect("fusion requires a linked payload");
+    let mut report = FusionReport {
+        resolution: resolver.resolve(kg, &mut payload),
+        ..Default::default()
+    };
 
     // Split simple vs composite facts.
     let mut simple = Vec::new();
@@ -65,7 +70,10 @@ pub fn fuse_payload(
     for t in payload.triples {
         match t.rel {
             None => simple.push(t),
-            Some(rel) => composite.entry((t.predicate, rel.rel_id)).or_default().push(t),
+            Some(rel) => composite
+                .entry((t.predicate, rel.rel_id))
+                .or_default()
+                .push(t),
         }
     }
 
@@ -139,9 +147,7 @@ fn find_mergeable_rel_node(
             .filter(|(f, v)| existing.iter().any(|(ef, ev)| ef == f && ev == v))
             .count();
         let overlap = matches as f64 / incoming.len() as f64;
-        if overlap >= config.rel_merge_overlap
-            && best.map(|(_, b)| overlap > b).unwrap_or(true)
-        {
+        if overlap >= config.rel_merge_overlap && best.map(|(_, b)| overlap > b).unwrap_or(true) {
             best = Some((rel_id, overlap));
         }
     }
@@ -175,9 +181,16 @@ mod tests {
         assert_eq!(report.facts_added, 1);
         assert_eq!(report.facts_merged, 1);
         let rec = kg.entity(EntityId(1)).unwrap();
-        let name_fact =
-            rec.triples.iter().find(|t| t.predicate == intern("name")).unwrap();
-        assert_eq!(name_fact.meta.source_count(), 2, "provenance extended, not duplicated");
+        let name_fact = rec
+            .triples
+            .iter()
+            .find(|t| t.predicate == intern("name"))
+            .unwrap();
+        assert_eq!(
+            name_fact.meta.source_count(),
+            2,
+            "provenance extended, not duplicated"
+        );
     }
 
     #[test]
@@ -186,20 +199,46 @@ mod tests {
         kg.add_named_entity(EntityId(1), "J. Smith", "person", SourceId(9), 0.9);
         // KG already has education r1 = {school: UW, degree: PhD}.
         kg.upsert_fact(ExtendedTriple::composite(
-            EntityId(1), intern("educated_at"), RelId(1), intern("school"), Value::str("UW"), meta(9),
+            EntityId(1),
+            intern("educated_at"),
+            RelId(1),
+            intern("school"),
+            Value::str("UW"),
+            meta(9),
         ));
         kg.upsert_fact(ExtendedTriple::composite(
-            EntityId(1), intern("educated_at"), RelId(1), intern("degree"), Value::str("PhD"), meta(9),
+            EntityId(1),
+            intern("educated_at"),
+            RelId(1),
+            intern("degree"),
+            Value::str("PhD"),
+            meta(9),
         ));
         // Source asserts {school: UW, year: 2005} — 1/2 facets match (0.5).
         let mut p = linked_payload(1);
-        p.push_composite(intern("educated_at"), RelId(77), intern("school"), Value::str("UW"), meta(1));
-        p.push_composite(intern("educated_at"), RelId(77), intern("year"), Value::Int(2005), meta(1));
+        p.push_composite(
+            intern("educated_at"),
+            RelId(77),
+            intern("school"),
+            Value::str("UW"),
+            meta(1),
+        );
+        p.push_composite(
+            intern("educated_at"),
+            RelId(77),
+            intern("year"),
+            Value::Int(2005),
+            meta(1),
+        );
         let report = fuse_payload(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
         assert_eq!(report.rel_nodes_merged, 1);
         assert_eq!(report.rel_nodes_added, 0);
         let rec = kg.entity(EntityId(1)).unwrap();
-        assert_eq!(rec.rel_ids(intern("educated_at")), vec![RelId(1)], "merged into r1");
+        assert_eq!(
+            rec.rel_ids(intern("educated_at")),
+            vec![RelId(1)],
+            "merged into r1"
+        );
         let facets = rec.rel_facets(intern("educated_at"), RelId(1));
         assert_eq!(facets.len(), 3, "year added to the merged node");
     }
@@ -209,12 +248,29 @@ mod tests {
         let mut kg = KnowledgeGraph::new();
         kg.add_named_entity(EntityId(1), "J. Smith", "person", SourceId(9), 0.9);
         kg.upsert_fact(ExtendedTriple::composite(
-            EntityId(1), intern("educated_at"), RelId(1), intern("school"), Value::str("UW"), meta(9),
+            EntityId(1),
+            intern("educated_at"),
+            RelId(1),
+            intern("school"),
+            Value::str("UW"),
+            meta(9),
         ));
         // Totally different education.
         let mut p = linked_payload(1);
-        p.push_composite(intern("educated_at"), RelId(5), intern("school"), Value::str("MIT"), meta(1));
-        p.push_composite(intern("educated_at"), RelId(5), intern("degree"), Value::str("BSc"), meta(1));
+        p.push_composite(
+            intern("educated_at"),
+            RelId(5),
+            intern("school"),
+            Value::str("MIT"),
+            meta(1),
+        );
+        p.push_composite(
+            intern("educated_at"),
+            RelId(5),
+            intern("degree"),
+            Value::str("BSc"),
+            meta(1),
+        );
         let report = fuse_payload(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
         assert_eq!(report.rel_nodes_added, 1);
         let rec = kg.entity(EntityId(1)).unwrap();
@@ -226,8 +282,20 @@ mod tests {
         let mut kg = KnowledgeGraph::new();
         kg.add_named_entity(EntityId(1), "J. Smith", "person", SourceId(9), 0.9);
         let mut p = linked_payload(1);
-        p.push_composite(intern("educated_at"), RelId(1), intern("school"), Value::str("UW"), meta(1));
-        p.push_composite(intern("educated_at"), RelId(2), intern("school"), Value::str("MIT"), meta(1));
+        p.push_composite(
+            intern("educated_at"),
+            RelId(1),
+            intern("school"),
+            Value::str("UW"),
+            meta(1),
+        );
+        p.push_composite(
+            intern("educated_at"),
+            RelId(2),
+            intern("school"),
+            Value::str("MIT"),
+            meta(1),
+        );
         let report = fuse_payload(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
         assert_eq!(report.rel_nodes_added, 2);
         let rec = kg.entity(EntityId(1)).unwrap();
@@ -242,12 +310,28 @@ mod tests {
         let build = || {
             let mut p = linked_payload(1);
             p.push_simple(intern("birthdate"), Value::str("1990"), meta(1));
-            p.push_composite(intern("educated_at"), RelId(1), intern("school"), Value::str("UW"), meta(1));
+            p.push_composite(
+                intern("educated_at"),
+                RelId(1),
+                intern("school"),
+                Value::str("UW"),
+                meta(1),
+            );
             p
         };
-        fuse_payload(&mut kg, build(), &LinkTableResolver, &FusionConfig::default());
+        fuse_payload(
+            &mut kg,
+            build(),
+            &LinkTableResolver,
+            &FusionConfig::default(),
+        );
         let facts_before = kg.fact_count();
-        let report = fuse_payload(&mut kg, build(), &LinkTableResolver, &FusionConfig::default());
+        let report = fuse_payload(
+            &mut kg,
+            build(),
+            &LinkTableResolver,
+            &FusionConfig::default(),
+        );
         assert_eq!(kg.fact_count(), facts_before, "idempotent re-fuse");
         assert_eq!(report.facts_added, 0);
         assert!(report.facts_merged > 0);

@@ -9,7 +9,9 @@
 //!    source entities inherit its id or a freshly minted one; `same_as`
 //!    links record the decisions for provenance.
 
-use saga_core::{EntityId, EntityPayload, FxHashMap, IdGenerator, KnowledgeGraph, SourceId, Symbol};
+use saga_core::{
+    EntityId, EntityPayload, FxHashMap, IdGenerator, KnowledgeGraph, SourceId, Symbol,
+};
 
 use crate::blocking::{block_payloads, generate_pairs, BlockingStrategy};
 use crate::cluster::{correlation_cluster, ClusterNode, LinkageGraph};
@@ -67,7 +69,9 @@ impl Linker {
 
     /// A linker with default configuration.
     pub fn with_defaults() -> Self {
-        Linker { config: LinkerConfig::default() }
+        Linker {
+            config: LinkerConfig::default(),
+        }
     }
 
     /// Link `payloads` (one source's Added partition) against the KG.
@@ -125,7 +129,12 @@ impl Linker {
             if i < n_src {
                 ClusterNode::Source(i)
             } else {
-                ClusterNode::Kg(combined[i].subject.as_kg().expect("KG view payloads are linked"))
+                ClusterNode::Kg(
+                    combined[i]
+                        .subject
+                        .as_kg()
+                        .expect("KG view payloads are linked"),
+                )
             }
         };
         // Every source payload is a node even if it pairs with nothing.
@@ -191,8 +200,16 @@ mod tests {
 
     fn payload(src: u32, id: &str, name: &str) -> EntityPayload {
         let mut p = EntityPayload::new(SourceId(src), id, intern("music_artist"));
-        p.push_simple(intern("name"), Value::str(name), FactMeta::from_source(SourceId(src), 0.9));
-        p.push_simple(intern("type"), Value::str("music_artist"), FactMeta::from_source(SourceId(src), 0.9));
+        p.push_simple(
+            intern("name"),
+            Value::str(name),
+            FactMeta::from_source(SourceId(src), 0.9),
+        );
+        p.push_simple(
+            intern("type"),
+            Value::str("music_artist"),
+            FactMeta::from_source(SourceId(src), 0.9),
+        );
         p
     }
 
@@ -211,8 +228,11 @@ mod tests {
         assert_eq!(out.matched_existing, 0);
         assert_eq!(out.linked.len(), 2);
         assert_eq!(out.links.len(), 2);
-        let ids: Vec<EntityId> =
-            out.linked.iter().map(|p| p.subject.as_kg().unwrap()).collect();
+        let ids: Vec<EntityId> = out
+            .linked
+            .iter()
+            .map(|p| p.subject.as_kg().unwrap())
+            .collect();
         assert_ne!(ids[0], ids[1]);
     }
 
@@ -224,12 +244,18 @@ mod tests {
         let out = linker.link(
             &kg,
             &gen,
-            vec![payload(1, "a", "Billie Eilish"), payload(1, "a_dup", "Bilie Eilish")],
+            vec![
+                payload(1, "a", "Billie Eilish"),
+                payload(1, "a_dup", "Bilie Eilish"),
+            ],
             &RuleMatcher::default(),
         );
         assert_eq!(out.new_entities, 1, "typo duplicates deduplicate in-source");
-        let ids: Vec<EntityId> =
-            out.linked.iter().map(|p| p.subject.as_kg().unwrap()).collect();
+        let ids: Vec<EntityId> = out
+            .linked
+            .iter()
+            .map(|p| p.subject.as_kg().unwrap())
+            .collect();
         assert_eq!(ids[0], ids[1]);
         assert_eq!(out.links.len(), 2, "both local ids recorded as same_as");
     }
@@ -237,7 +263,13 @@ mod tests {
     #[test]
     fn source_entities_link_to_existing_kg_entities() {
         let mut kg = KnowledgeGraph::new();
-        kg.add_named_entity(EntityId(7), "Billie Eilish", "music_artist", SourceId(9), 0.95);
+        kg.add_named_entity(
+            EntityId(7),
+            "Billie Eilish",
+            "music_artist",
+            SourceId(9),
+            0.95,
+        );
         let gen = IdGenerator::starting_at(100);
         let linker = Linker::with_defaults();
         let out = linker.link(
@@ -261,8 +293,12 @@ mod tests {
         kg.add_named_entity(EntityId(2), "Hanover", "music_artist", SourceId(9), 0.9);
         let gen = IdGenerator::starting_at(100);
         let linker = Linker::with_defaults();
-        let out =
-            linker.link(&kg, &gen, vec![payload(1, "h", "Hanover")], &RuleMatcher::default());
+        let out = linker.link(
+            &kg,
+            &gen,
+            vec![payload(1, "h", "Hanover")],
+            &RuleMatcher::default(),
+        );
         assert_eq!(out.linked.len(), 1);
         let id = out.linked[0].subject.as_kg().unwrap();
         assert!(id == EntityId(1) || id == EntityId(2));
@@ -276,8 +312,16 @@ mod tests {
         let gen = IdGenerator::starting_at(100);
         let linker = Linker::with_defaults();
         // Same name, different type: must NOT link to the song.
-        let out = linker.link(&kg, &gen, vec![payload(1, "a", "Echo")], &RuleMatcher::default());
-        assert_eq!(out.new_entities, 1, "artist Echo is a new entity, not the song");
+        let out = linker.link(
+            &kg,
+            &gen,
+            vec![payload(1, "a", "Echo")],
+            &RuleMatcher::default(),
+        );
+        assert_eq!(
+            out.new_entities, 1,
+            "artist Echo is a new entity, not the song"
+        );
         assert_ne!(out.linked[0].subject.as_kg(), Some(EntityId(1)));
     }
 
@@ -286,8 +330,9 @@ mod tests {
         let kg = KnowledgeGraph::new();
         let gen = IdGenerator::starting_at(1);
         let linker = Linker::with_defaults();
-        let payloads: Vec<EntityPayload> =
-            (0..6).map(|i| payload(1, &format!("p{i}"), "Exact Same Name")).collect();
+        let payloads: Vec<EntityPayload> = (0..6)
+            .map(|i| payload(1, &format!("p{i}"), "Exact Same Name"))
+            .collect();
         let out = linker.link(&kg, &gen, payloads, &RuleMatcher::default());
         assert_eq!(out.pairs_scored, 15, "6 choose 2");
         assert_eq!(out.new_entities, 1);

@@ -78,8 +78,11 @@ impl MatchFeatures {
             .collect();
         let shared: Vec<Symbol> = preds_a.intersection(&preds_b).copied().collect();
         let union = preds_a.union(&preds_b).count();
-        let predicate_overlap =
-            if union == 0 { 0.0 } else { shared.len() as f64 / union as f64 };
+        let predicate_overlap = if union == 0 {
+            0.0
+        } else {
+            shared.len() as f64 / union as f64
+        };
 
         let mut agree = 0.0;
         for &p in &shared {
@@ -87,9 +90,20 @@ impl MatchFeatures {
             let vb = b.values(p);
             agree += value_agreement(&va, &vb);
         }
-        let attr_agreement = if shared.is_empty() { 0.0 } else { agree / shared.len() as f64 };
+        let attr_agreement = if shared.is_empty() {
+            0.0
+        } else {
+            agree / shared.len() as f64
+        };
 
-        MatchFeatures { name_jw, name_lev, name_qgram, name_neural, attr_agreement, predicate_overlap }
+        MatchFeatures {
+            name_jw,
+            name_lev,
+            name_qgram,
+            name_neural,
+            attr_agreement,
+            predicate_overlap,
+        }
     }
 
     fn as_array(&self) -> [f64; 6] {
@@ -142,7 +156,10 @@ pub struct RuleMatcher {
 
 impl Default for RuleMatcher {
     fn default() -> Self {
-        RuleMatcher { name_threshold: 0.88, attr_threshold: 0.7 }
+        RuleMatcher {
+            name_threshold: 0.88,
+            attr_threshold: 0.7,
+        }
     }
 }
 
@@ -175,7 +192,11 @@ pub struct LearnedMatcher {
 impl LearnedMatcher {
     /// A matcher with hand-calibrated default weights.
     pub fn with_default_weights(encoder: Option<StringEncoder>) -> Self {
-        LearnedMatcher { weights: [4.0, 2.0, 3.0, 4.0, 1.5, 0.5], bias: -8.2, encoder }
+        LearnedMatcher {
+            weights: [4.0, 2.0, 3.0, 4.0, 1.5, 0.5],
+            bias: -8.2,
+            encoder,
+        }
     }
 
     /// Train by logistic SGD on labeled pairs `(a, b, is_match)`.
@@ -188,7 +209,10 @@ impl LearnedMatcher {
         let feats: Vec<([f64; 6], f64)> = pairs
             .iter()
             .map(|(a, b, y)| {
-                (MatchFeatures::compute(a, b, self.encoder.as_ref()).as_array(), f64::from(u8::from(*y)))
+                (
+                    MatchFeatures::compute(a, b, self.encoder.as_ref()).as_array(),
+                    f64::from(u8::from(*y)),
+                )
             })
             .collect();
         for _ in 0..epochs.max(1) {
@@ -209,8 +233,13 @@ impl LearnedMatcher {
 impl MatchingModel for LearnedMatcher {
     fn score(&self, a: &EntityPayload, b: &EntityPayload) -> f64 {
         let f = MatchFeatures::compute(a, b, self.encoder.as_ref());
-        let z: f64 =
-            self.weights.iter().zip(f.as_array()).map(|(w, v)| w * v).sum::<f64>() + self.bias;
+        let z: f64 = self
+            .weights
+            .iter()
+            .zip(f.as_array())
+            .map(|(w, v)| w * v)
+            .sum::<f64>()
+            + self.bias;
         1.0 / (1.0 + (-z).exp())
     }
 }
@@ -250,7 +279,11 @@ mod tests {
         let b = payload(2, "b", "Bilie Eilish", None);
         let c = payload(2, "c", "Billie Holiday", None);
         assert!(m.score(&a, &b) > 0.85, "typo duplicate scores high");
-        assert!(m.score(&a, &c) < 0.6, "different artist scores low: {}", m.score(&a, &c));
+        assert!(
+            m.score(&a, &c) < 0.6,
+            "different artist scores low: {}",
+            m.score(&a, &c)
+        );
     }
 
     #[test]
@@ -261,9 +294,15 @@ mod tests {
         // this pair borderline (inside the threshold−0.12 window).
         let f = MatchFeatures::compute(&a, &b, None);
         let blended = 0.45 * f.name_jw + 0.25 * f.name_lev + 0.3 * f.name_qgram;
-        let m = RuleMatcher { name_threshold: blended + 0.05, attr_threshold: 0.5 };
+        let m = RuleMatcher {
+            name_threshold: blended + 0.05,
+            attr_threshold: 0.5,
+        };
         let s = m.score(&a, &b);
-        assert!(s >= 0.7, "attribute corroboration rescues borderline names: {s}");
+        assert!(
+            s >= 0.7,
+            "attribute corroboration rescues borderline names: {s}"
+        );
         // Without the matching year the same pair stays low.
         let c = payload(2, "c", "The Midnights", Some(1971));
         let s2 = m.score(&a, &c);
@@ -274,7 +313,13 @@ mod tests {
     fn learned_matcher_improves_with_training() {
         let mut pos = Vec::new();
         let mut neg = Vec::new();
-        let names = ["Golden River", "Neon Thunder", "Silent Ocean", "Broken Glass", "Velvet Echo"];
+        let names = [
+            "Golden River",
+            "Neon Thunder",
+            "Silent Ocean",
+            "Broken Glass",
+            "Velvet Echo",
+        ];
         for (i, n) in names.iter().enumerate() {
             let a = payload(1, &format!("a{i}"), n, Some(2000 + i as i64));
             let mut tweaked = n.to_string();
@@ -287,13 +332,20 @@ mod tests {
         }
         let mut all = pos.clone();
         all.extend(neg.clone());
-        let mut m = LearnedMatcher { weights: [0.0; 6], bias: 0.0, encoder: None };
+        let mut m = LearnedMatcher {
+            weights: [0.0; 6],
+            bias: 0.0,
+            encoder: None,
+        };
         m.train(&all, 200, 0.5);
         let avg_pos: f64 =
             pos.iter().map(|(a, b, _)| m.score(a, b)).sum::<f64>() / pos.len() as f64;
         let avg_neg: f64 =
             neg.iter().map(|(a, b, _)| m.score(a, b)).sum::<f64>() / neg.len() as f64;
-        assert!(avg_pos > avg_neg + 0.3, "trained separation: {avg_pos:.3} vs {avg_neg:.3}");
+        assert!(
+            avg_pos > avg_neg + 0.3,
+            "trained separation: {avg_pos:.3} vs {avg_neg:.3}"
+        );
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //!   variant of Fig. 14(b)).
 
 use saga_core::{EntityPayload, KnowledgeGraph, SourceId, Value};
-use saga_ontology::TypeRegistry;
 use saga_ml::NerdStack;
+use saga_ontology::TypeRegistry;
 
 /// Counters describing one resolution pass.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -121,8 +121,9 @@ impl ObjectResolver for NerdObjectResolver<'_> {
             };
             let facet_pred = t.rel.map(|r| r.rel_predicate).unwrap_or(t.predicate);
             let hint = self.hint_for(facet_pred);
-            if let Some((id, conf)) =
-                self.nerd.resolve_mention(self.types, &mention, &context, hint)
+            if let Some((id, conf)) = self
+                .nerd
+                .resolve_mention(self.types, &mention, &context, hint)
             {
                 if conf >= self.confidence {
                     t.object = Value::Entity(id);
@@ -150,7 +151,13 @@ mod tests {
     #[test]
     fn link_table_resolver_rewrites_same_source_refs() {
         let mut kg = KnowledgeGraph::new();
-        kg.add_named_entity(EntityId(5), "Billie Eilish", "music_artist", SourceId(1), 0.9);
+        kg.add_named_entity(
+            EntityId(5),
+            "Billie Eilish",
+            "music_artist",
+            SourceId(1),
+            0.9,
+        );
         kg.record_link(SourceId(1), "artist_9", EntityId(5));
 
         let mut p = EntityPayload::new(SourceId(1), "song_1", intern("song"));
@@ -168,15 +175,31 @@ mod tests {
             meta(1),
         ));
         let stats = LinkTableResolver.resolve(&kg, &mut p);
-        assert_eq!(stats, ResolutionStats { resolved: 1, unresolved: 1 });
+        assert_eq!(
+            stats,
+            ResolutionStats {
+                resolved: 1,
+                unresolved: 1
+            }
+        );
         assert_eq!(p.triples[0].object, Value::Entity(EntityId(5)));
-        assert_eq!(p.triples[1].object, Value::source_ref("album_404"), "unknown ref untouched");
+        assert_eq!(
+            p.triples[1].object,
+            Value::source_ref("album_404"),
+            "unknown ref untouched"
+        );
     }
 
     #[test]
     fn nerd_resolver_uses_mention_text_and_type_hint() {
         let mut kg = KnowledgeGraph::new();
-        kg.add_named_entity(EntityId(5), "Billie Eilish", "music_artist", SourceId(2), 0.9);
+        kg.add_named_entity(
+            EntityId(5),
+            "Billie Eilish",
+            "music_artist",
+            SourceId(2),
+            0.9,
+        );
         kg.add_named_entity(EntityId(6), "Billie Eilish", "song", SourceId(2), 0.9);
         let view = NerdEntityView::build(&kg, None);
         let encoder = StringEncoder::new(16, 512, 3, 1);
@@ -184,7 +207,10 @@ mod tests {
             view,
             encoder,
             ContextualDisambiguator::default(),
-            NerdConfig { max_candidates: 8, confidence_threshold: 0.2 },
+            NerdConfig {
+                max_candidates: 8,
+                confidence_threshold: 0.2,
+            },
         );
         let ont = default_ontology();
         let resolver = NerdObjectResolver {
@@ -211,7 +237,13 @@ mod tests {
     #[test]
     fn low_confidence_leaves_object_unresolved() {
         let mut kg = KnowledgeGraph::new();
-        kg.add_named_entity(EntityId(5), "Completely Different", "music_artist", SourceId(2), 0.9);
+        kg.add_named_entity(
+            EntityId(5),
+            "Completely Different",
+            "music_artist",
+            SourceId(2),
+            0.9,
+        );
         let view = NerdEntityView::build(&kg, None);
         let nerd = saga_ml::NerdStack::new(
             view,

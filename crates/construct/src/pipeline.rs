@@ -17,7 +17,8 @@
 use std::time::Instant;
 
 use saga_core::{
-    EntityId, EntityPayload, FxHashSet, IdGenerator, KnowledgeGraph, SourceId, SubjectRef, Symbol,
+    Delta, EntityId, EntityPayload, FxHashSet, IdGenerator, KnowledgeGraph, SourceId, SubjectRef,
+    Symbol,
 };
 use saga_ingest::SourceDelta;
 
@@ -62,6 +63,12 @@ pub struct ConstructionReport {
     pub linking_ms: u128,
     /// Wall-clock milliseconds spent in the (serial) fusion phase.
     pub fusion_ms: u128,
+    /// Distinct entities whose facts changed this cycle, in id order — what
+    /// the Graph Engine appends to its operation log.
+    pub changed: Vec<EntityId>,
+    /// The KG's [`Delta`] change feed for the cycle (drained from the KG),
+    /// ready for derived stores to replay.
+    pub deltas: Vec<Delta>,
 }
 
 /// The construction pipeline executor.
@@ -98,7 +105,10 @@ impl KnowledgeConstructor {
         matcher: &dyn MatchingModel,
         resolver: &dyn ObjectResolver,
     ) -> ConstructionReport {
-        let mut report = ConstructionReport { sources: batches.len(), ..Default::default() };
+        let mut report = ConstructionReport {
+            sources: batches.len(),
+            ..Default::default()
+        };
 
         let linker = Linker::new(self.linker.clone());
         if self.parallel && batches.len() > 1 {
@@ -117,7 +127,10 @@ impl KnowledgeConstructor {
                         scope.spawn(move || prepare_source(kg_ref, id_gen, linker, batch, matcher))
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("linking worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("linking worker panicked"))
+                    .collect()
             });
             report.linking_ms = link_start.elapsed().as_millis();
             let fuse_start = Instant::now();
@@ -138,6 +151,14 @@ impl KnowledgeConstructor {
                 report.fusion_ms += fuse_start.elapsed().as_millis();
             }
         }
+        // Drain the KG's change feed: downstream stores replay the deltas
+        // and the oplog records the changed ids (includes any mutations
+        // left undrained by the caller since the previous cycle).
+        report.deltas = kg.drain_deltas();
+        let mut changed: Vec<EntityId> = report.deltas.iter().map(|d| d.entity).collect();
+        changed.sort_unstable();
+        changed.dedup();
+        report.changed = changed;
         report
     }
 
@@ -151,19 +172,29 @@ impl KnowledgeConstructor {
         {
             report.new_entities += prep.added.new_entities;
             report.matched_existing += prep.added.matched_existing;
-            report.pairs_scored +=
-                prep.added.pairs_scored + prep.relinked_updates.pairs_scored;
+            report.pairs_scored += prep.added.pairs_scored + prep.relinked_updates.pairs_scored;
             report.updated_relinked += prep.relinked_updates.linked.len();
 
             // same_as links first: OBR's link-table path depends on them.
-            for (src, local, id) in
-                prep.added.links.iter().chain(prep.relinked_updates.links.iter())
+            for (src, local, id) in prep
+                .added
+                .links
+                .iter()
+                .chain(prep.relinked_updates.links.iter())
             {
                 kg.record_link(*src, local, *id);
             }
             // Fuse Added (including re-linked updates).
-            for p in prep.added.linked.into_iter().chain(prep.relinked_updates.linked) {
-                merge_fusion(&mut report.fusion, fuse_payload(kg, p, resolver, &self.fusion));
+            for p in prep
+                .added
+                .linked
+                .into_iter()
+                .chain(prep.relinked_updates.linked)
+            {
+                merge_fusion(
+                    &mut report.fusion,
+                    fuse_payload(kg, p, resolver, &self.fusion),
+                );
             }
             // Updated fast path: retract the source's old contribution to
             // the entity, then fuse the fresh payload.
@@ -171,7 +202,10 @@ impl KnowledgeConstructor {
                 kg.retract_source_entity(prep.source, &local);
                 kg.record_link(prep.source, &local, kg_id);
                 payload.relink(kg_id);
-                merge_fusion(&mut report.fusion, fuse_payload(kg, payload, resolver, &self.fusion));
+                merge_fusion(
+                    &mut report.fusion,
+                    fuse_payload(kg, payload, resolver, &self.fusion),
+                );
                 report.updated += 1;
             }
             // Deleted.
@@ -222,7 +256,10 @@ fn prepare_source(
     let mut updated = Vec::new();
     let mut needs_linking = Vec::new();
     for p in delta.updated {
-        let local = p.local_id().expect("updated payloads are unlinked").to_string();
+        let local = p
+            .local_id()
+            .expect("updated payloads are unlinked")
+            .to_string();
         match kg.lookup_link(source, &local) {
             Some(id) => updated.push((id, p, local)),
             None => needs_linking.push(p),
@@ -276,7 +313,11 @@ mod tests {
     }
 
     fn batch(src: u32, delta: SourceDelta) -> SourceBatch {
-        SourceBatch { source: SourceId(src), name: format!("src{src}"), delta }
+        SourceBatch {
+            source: SourceId(src),
+            name: format!("src{src}"),
+            delta,
+        }
     }
 
     #[test]
@@ -298,7 +339,27 @@ mod tests {
         assert_eq!(report.new_entities, 2);
         assert_eq!(kg.entity_count(), 2);
         assert_eq!(kg.find_by_name("Billie Eilish").len(), 1);
-        assert_eq!(kg.lookup_link(SourceId(1), "a1"), Some(kg.find_by_name("Billie Eilish")[0]));
+        assert_eq!(
+            kg.lookup_link(SourceId(1), "a1"),
+            Some(kg.find_by_name("Billie Eilish")[0])
+        );
+        // The cycle's change feed names both new entities, and the KG's
+        // changelog was drained into the report.
+        let mut ids: Vec<EntityId> = kg.entity_ids().collect();
+        ids.sort_unstable();
+        assert_eq!(report.changed, ids);
+        assert!(!report.deltas.is_empty());
+        assert!(
+            kg.drain_deltas().is_empty(),
+            "consume() drains the changelog"
+        );
+        // Replaying the report's deltas onto an empty index rebuilds the
+        // KG's index — the contract derived stores rely on.
+        let mut replayed = saga_core::TripleIndex::new();
+        for d in &report.deltas {
+            replayed.apply(d);
+        }
+        assert_eq!(replayed.fact_count(), kg.index().fact_count());
     }
 
     #[test]
@@ -310,7 +371,13 @@ mod tests {
         ctor.consume(
             &mut kg,
             &gen,
-            vec![batch(1, SourceDelta { added: vec![artist(1, "a1", "Billie Eilish")], ..Default::default() })],
+            vec![batch(
+                1,
+                SourceDelta {
+                    added: vec![artist(1, "a1", "Billie Eilish")],
+                    ..Default::default()
+                },
+            )],
             &RuleMatcher::default(),
             &LinkTableResolver,
         );
@@ -318,7 +385,13 @@ mod tests {
         let report = ctor.consume(
             &mut kg,
             &gen,
-            vec![batch(2, SourceDelta { added: vec![artist(2, "z9", "Bilie Eilish")], ..Default::default() })],
+            vec![batch(
+                2,
+                SourceDelta {
+                    added: vec![artist(2, "z9", "Bilie Eilish")],
+                    ..Default::default()
+                },
+            )],
             &RuleMatcher::default(),
             &LinkTableResolver,
         );
@@ -337,7 +410,13 @@ mod tests {
         ctor.consume(
             &mut kg,
             &gen,
-            vec![batch(1, SourceDelta { added: vec![artist(1, "a1", "Old Name")], ..Default::default() })],
+            vec![batch(
+                1,
+                SourceDelta {
+                    added: vec![artist(1, "a1", "Old Name")],
+                    ..Default::default()
+                },
+            )],
             &RuleMatcher::default(),
             &LinkTableResolver,
         );
@@ -345,7 +424,13 @@ mod tests {
         let report = ctor.consume(
             &mut kg,
             &gen,
-            vec![batch(1, SourceDelta { updated: vec![artist(1, "a1", "New Name")], ..Default::default() })],
+            vec![batch(
+                1,
+                SourceDelta {
+                    updated: vec![artist(1, "a1", "New Name")],
+                    ..Default::default()
+                },
+            )],
             &RuleMatcher::default(),
             &LinkTableResolver,
         );
@@ -353,7 +438,10 @@ mod tests {
         assert_eq!(report.new_entities, 0, "no re-linking for known entities");
         let rec = kg.entity(id).unwrap();
         assert_eq!(rec.name(), Some("New Name"));
-        assert!(kg.find_by_name("Old Name").is_empty(), "old fact retracted with the update");
+        assert!(
+            kg.find_by_name("Old Name").is_empty(),
+            "old fact retracted with the update"
+        );
     }
 
     #[test]
@@ -364,14 +452,26 @@ mod tests {
         ctor.consume(
             &mut kg,
             &gen,
-            vec![batch(1, SourceDelta { added: vec![artist(1, "a1", "Ghost")], ..Default::default() })],
+            vec![batch(
+                1,
+                SourceDelta {
+                    added: vec![artist(1, "a1", "Ghost")],
+                    ..Default::default()
+                },
+            )],
             &RuleMatcher::default(),
             &LinkTableResolver,
         );
         let report = ctor.consume(
             &mut kg,
             &gen,
-            vec![batch(1, SourceDelta { deleted: vec!["a1".into()], ..Default::default() })],
+            vec![batch(
+                1,
+                SourceDelta {
+                    deleted: vec!["a1".into()],
+                    ..Default::default()
+                },
+            )],
             &RuleMatcher::default(),
             &LinkTableResolver,
         );
@@ -385,18 +485,33 @@ mod tests {
         let gen = IdGenerator::starting_at(1);
         let ctor = KnowledgeConstructor::new(volatile_set());
         let mut with_pop = artist(1, "a1", "Billie Eilish");
-        with_pop.push_simple(intern("popularity"), Value::Int(10), FactMeta::from_source(SourceId(1), 0.9));
+        with_pop.push_simple(
+            intern("popularity"),
+            Value::Int(10),
+            FactMeta::from_source(SourceId(1), 0.9),
+        );
         // First cycle: stable + volatile arrive together (volatile split by
         // ingestion, but construction also tolerates inline volatile facts).
         let vol_fact = {
             let mut p = EntityPayload::new(SourceId(1), "a1", intern("music_artist"));
-            p.push_simple(intern("popularity"), Value::Int(999), FactMeta::from_source(SourceId(1), 0.9));
+            p.push_simple(
+                intern("popularity"),
+                Value::Int(999),
+                FactMeta::from_source(SourceId(1), 0.9),
+            );
             p.triples[0].clone()
         };
         ctor.consume(
             &mut kg,
             &gen,
-            vec![batch(1, SourceDelta { added: vec![artist(1, "a1", "Billie Eilish")], volatile: vec![vol_fact], ..Default::default() })],
+            vec![batch(
+                1,
+                SourceDelta {
+                    added: vec![artist(1, "a1", "Billie Eilish")],
+                    volatile: vec![vol_fact],
+                    ..Default::default()
+                },
+            )],
             &RuleMatcher::default(),
             &LinkTableResolver,
         );

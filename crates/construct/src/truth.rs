@@ -104,7 +104,11 @@ pub fn estimate_source_reliability(
         }
     }
 
-    ReliabilityReport { reliability, beliefs, iterations }
+    ReliabilityReport {
+        reliability,
+        beliefs,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -113,11 +117,19 @@ mod tests {
     use saga_core::{intern, EntityId, SubjectRef};
 
     fn key(e: u64, pred: &str) -> TripleKey {
-        TripleKey { subject: SubjectRef::Kg(EntityId(e)), predicate: intern(pred), rel: None }
+        TripleKey {
+            subject: SubjectRef::Kg(EntityId(e)),
+            predicate: intern(pred),
+            rel: None,
+        }
     }
 
     fn claim(e: u64, pred: &str, v: &str, src: u32) -> Claim {
-        Claim { key: key(e, pred), value: Value::str(v), source: SourceId(src) }
+        Claim {
+            key: key(e, pred),
+            value: Value::str(v),
+            source: SourceId(src),
+        }
     }
 
     #[test]

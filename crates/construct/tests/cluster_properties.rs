@@ -5,11 +5,7 @@ use proptest::prelude::*;
 use saga_construct::{correlation_cluster, ClusterNode, LinkageGraph};
 use saga_core::EntityId;
 
-fn build_graph(
-    n_source: usize,
-    n_kg: usize,
-    edges: &[(u8, u8)],
-) -> (LinkageGraph, usize) {
+fn build_graph(n_source: usize, n_kg: usize, edges: &[(u8, u8)]) -> (LinkageGraph, usize) {
     let mut g = LinkageGraph::new();
     for i in 0..n_source {
         g.add_node(ClusterNode::Source(i));

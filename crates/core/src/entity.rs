@@ -55,7 +55,12 @@ impl EntityPayload {
 
     /// Append a simple fact; the stored subject is forced to this payload's.
     pub fn push_simple(&mut self, predicate: Symbol, object: Value, meta: crate::FactMeta) {
-        self.triples.push(ExtendedTriple::simple(self.subject.clone(), predicate, object, meta));
+        self.triples.push(ExtendedTriple::simple(
+            self.subject.clone(),
+            predicate,
+            object,
+            meta,
+        ));
     }
 
     /// Append a composite-relationship facet.
@@ -131,7 +136,10 @@ pub struct EntityRecord {
 impl EntityRecord {
     /// An empty record for `id`.
     pub fn new(id: EntityId) -> Self {
-        EntityRecord { id, triples: Vec::new() }
+        EntityRecord {
+            id,
+            triples: Vec::new(),
+        }
     }
 
     /// Number of facts.
@@ -183,7 +191,9 @@ impl EntityRecord {
 
     /// All outgoing entity references (resolved objects), with predicates.
     pub fn out_edges(&self) -> impl Iterator<Item = (Symbol, EntityId)> + '_ {
-        self.triples.iter().filter_map(|t| t.object.as_entity().map(|e| (t.predicate, e)))
+        self.triples
+            .iter()
+            .filter_map(|t| t.object.as_entity().map(|e| (t.predicate, e)))
     }
 
     /// Distinct relationship-node ids under `predicate`.
@@ -203,9 +213,7 @@ impl EntityRecord {
     pub fn rel_facets(&self, predicate: Symbol, rel_id: RelId) -> Vec<(Symbol, &Value)> {
         self.triples
             .iter()
-            .filter(|t| {
-                t.predicate == predicate && t.rel.map(|r| r.rel_id) == Some(rel_id)
-            })
+            .filter(|t| t.predicate == predicate && t.rel.map(|r| r.rel_id) == Some(rel_id))
             .map(|t| (t.rel.unwrap().rel_predicate, &t.object))
             .collect()
     }
@@ -272,19 +280,54 @@ mod tests {
     fn sample_record() -> EntityRecord {
         let mut r = EntityRecord::new(EntityId(1));
         let id = EntityId(1);
-        r.triples.push(ExtendedTriple::simple(id, intern("name"), Value::str("J. Smith"), meta(1)));
-        r.triples.push(ExtendedTriple::simple(id, intern("alias"), Value::str("John Smith"), meta(2)));
-        r.triples.push(ExtendedTriple::simple(id, intern("type"), Value::str("person"), meta(1)));
-        r.triples.push(ExtendedTriple::composite(
-            id, intern("educated_at"), RelId(1), intern("school"), Value::str("UW"), meta(2),
+        r.triples.push(ExtendedTriple::simple(
+            id,
+            intern("name"),
+            Value::str("J. Smith"),
+            meta(1),
+        ));
+        r.triples.push(ExtendedTriple::simple(
+            id,
+            intern("alias"),
+            Value::str("John Smith"),
+            meta(2),
+        ));
+        r.triples.push(ExtendedTriple::simple(
+            id,
+            intern("type"),
+            Value::str("person"),
+            meta(1),
         ));
         r.triples.push(ExtendedTriple::composite(
-            id, intern("educated_at"), RelId(1), intern("degree"), Value::str("PhD"), meta(2),
+            id,
+            intern("educated_at"),
+            RelId(1),
+            intern("school"),
+            Value::str("UW"),
+            meta(2),
         ));
         r.triples.push(ExtendedTriple::composite(
-            id, intern("educated_at"), RelId(2), intern("school"), Value::str("MIT"), meta(3),
+            id,
+            intern("educated_at"),
+            RelId(1),
+            intern("degree"),
+            Value::str("PhD"),
+            meta(2),
         ));
-        r.triples.push(ExtendedTriple::simple(id, intern("spouse"), Value::Entity(EntityId(2)), meta(1)));
+        r.triples.push(ExtendedTriple::composite(
+            id,
+            intern("educated_at"),
+            RelId(2),
+            intern("school"),
+            Value::str("MIT"),
+            meta(3),
+        ));
+        r.triples.push(ExtendedTriple::simple(
+            id,
+            intern("spouse"),
+            Value::Entity(EntityId(2)),
+            meta(1),
+        ));
         r
     }
 
@@ -307,8 +350,12 @@ mod tests {
         assert_eq!(r.rel_ids(edu), vec![RelId(1), RelId(2)]);
         let facets = r.rel_facets(edu, RelId(1));
         assert_eq!(facets.len(), 2);
-        assert!(facets.iter().any(|(p, v)| *p == intern("school") && v.as_str() == Some("UW")));
-        assert!(facets.iter().any(|(p, v)| *p == intern("degree") && v.as_str() == Some("PhD")));
+        assert!(facets
+            .iter()
+            .any(|(p, v)| *p == intern("school") && v.as_str() == Some("UW")));
+        assert!(facets
+            .iter()
+            .any(|(p, v)| *p == intern("degree") && v.as_str() == Some("PhD")));
         assert_eq!(r.max_rel_id(edu), Some(RelId(2)));
         assert_eq!(r.max_rel_id(intern("name")), None);
     }
@@ -329,7 +376,10 @@ mod tests {
 
         p.relink(EntityId(99));
         assert_eq!(p.subject, SubjectRef::Kg(EntityId(99)));
-        assert!(p.triples.iter().all(|t| t.subject == SubjectRef::Kg(EntityId(99))));
+        assert!(p
+            .triples
+            .iter()
+            .all(|t| t.subject == SubjectRef::Kg(EntityId(99))));
         assert_eq!(p.local_id(), None);
         assert_eq!(p.source(), None);
     }

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// assigned by the construction pipeline (via [`IdGenerator`]) when the
 /// resolution step decides that a cluster of source entities corresponds to
 /// a real-world entity that does not yet exist in the KG (§2.3, step 5).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct EntityId(pub u64);
 
 impl fmt::Debug for EntityId {
@@ -35,7 +35,7 @@ impl EntityId {
 ///
 /// Every fact in the KG carries an array of `SourceId`s for provenance
 /// (§2.1); licensing views and on-demand deletion are keyed by it.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SourceId(pub u32);
 
 impl fmt::Debug for SourceId {
@@ -56,7 +56,7 @@ impl fmt::Display for SourceId {
 /// extended triples that share `(subject, predicate, r_id)` describe the same
 /// relationship node (e.g. one `education` object with `school`, `degree`
 /// and `year` facets).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RelId(pub u32);
 
 impl fmt::Debug for RelId {
@@ -76,7 +76,7 @@ impl fmt::Display for RelId {
 /// LSNs are the distributed synchronization primitive: orchestration agents
 /// record the highest LSN they have replayed, which lets a consumer decide
 /// whether a store is fresh enough for its SLA.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Lsn(pub u64);
 
 impl Lsn {
@@ -114,7 +114,9 @@ pub struct IdGenerator {
 impl IdGenerator {
     /// Create a generator that will hand out ids starting at `first`.
     pub fn starting_at(first: u64) -> Self {
-        IdGenerator { next: AtomicU64::new(first) }
+        IdGenerator {
+            next: AtomicU64::new(first),
+        }
     }
 
     /// Allocate a fresh, never-before-returned entity id.
@@ -173,7 +175,10 @@ mod tests {
                 (0..1000).map(|_| g.allocate().0).collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 8000, "ids must be unique");

@@ -1,0 +1,847 @@
+//! The unified interned triple index — the single source of truth that the
+//! paper's Graph Engine stores derive from.
+//!
+//! §3.1 of the paper describes a federation of stores — the analytics
+//! warehouse, the entity/text indexes, the live serving index — all derived
+//! from one canonical KG and kept consistent through the shared operation
+//! log. This module is the in-process analogue: one columnar, fully
+//! interned index over the extended triples that
+//!
+//! * the canonical [`KnowledgeGraph`](crate::KnowledgeGraph) maintains
+//!   incrementally on every upsert / retraction / volatile overwrite,
+//! * the Graph Engine's analytics store and View Manager consume through
+//!   the [`Delta`] change feed (incremental view maintenance in the style
+//!   of Kara et al., *CQs with Free Access Patterns under Updates*),
+//! * the Live Graph shards under lock striping for low-latency serving,
+//!   with KGQ probes lowered directly to [`ProbeKey`] posting lookups.
+//!
+//! # Representation
+//!
+//! Everything is interned: predicates, ontology types and name tokens are
+//! [`Symbol`]s; object values are mapped to dense [`ObjId`]s through a
+//! per-index dictionary. A fact is therefore a few machine words, and the
+//! three access paths of a triple store are:
+//!
+//! * **SPO** — per-subject sorted columns of `(predicate, object)` pairs
+//!   ([`TripleIndex::facts_of`]), the row view used for delta diffing;
+//! * **POS** — `(predicate, object) → sorted posting list of subjects`
+//!   ([`TripleIndex::postings`]), the probe path shared by stable and live
+//!   serving;
+//! * **OSP** — `object entity → sorted posting list of referencing
+//!   subjects` ([`TripleIndex::referencing`]), the reverse-edge path used
+//!   by graph analytics.
+//!
+//! Posting lists are sorted `Vec<EntityId>`; conjunctive probes intersect
+//! them with a galloping (exponential-search) merge, cf. the compressed
+//! adjacency-matrix evaluation of Arroyuelo et al. Composite facets are
+//! flattened to `predicate.facet` symbols — the same extended-triple trick
+//! (§2.1) the analytics store uses, so both share one schema.
+
+use std::sync::Arc;
+
+use crate::well_known;
+use crate::{intern, EntityId, EntityRecord, ExtendedTriple, FxHashMap, Symbol, Value};
+
+/// Dense id of an object value in a [`TripleIndex`]'s dictionary.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ObjId(u32);
+
+/// One flattened fact of a [`Delta`]: the (possibly `pred.facet`-flattened)
+/// predicate and the object value.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DeltaFact {
+    /// Flattened predicate symbol.
+    pub predicate: Symbol,
+    /// Object value.
+    pub object: Value,
+}
+
+/// One entity's index change: the unit of the change feed.
+///
+/// Replaying every delta (in order) onto an empty index reproduces the full
+/// index; consumers like the analytics store apply them to keep derived
+/// rows in sync without rescanning the KG.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Delta {
+    /// The entity whose facts changed.
+    pub entity: EntityId,
+    /// Facts now asserted that were not before (with multiplicity).
+    pub added: Vec<DeltaFact>,
+    /// Facts retracted (with multiplicity).
+    pub removed: Vec<DeltaFact>,
+}
+
+impl Delta {
+    /// True if the delta carries no changes.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A lowered index probe — the one probe vocabulary shared by the stable
+/// KG, the Graph Engine and live serving.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ProbeKey {
+    /// Lowercased name/alias token or full phrase.
+    Name(String),
+    /// Exact literal fact `(predicate, value)`.
+    Literal(Symbol, Value),
+    /// Edge `(predicate, target entity)`.
+    Edge(Symbol, EntityId),
+    /// Ontology type.
+    Type(Symbol),
+}
+
+/// A sorted, deduplicated subject posting list.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct PostingList(Vec<EntityId>);
+
+impl PostingList {
+    #[inline]
+    fn insert(&mut self, id: EntityId) {
+        if let Err(at) = self.0.binary_search(&id) {
+            self.0.insert(at, id);
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, id: EntityId) {
+        if let Ok(at) = self.0.binary_search(&id) {
+            self.0.remove(at);
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[EntityId] {
+        &self.0
+    }
+}
+
+/// The unified interned triple index. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct TripleIndex {
+    /// Object-value dictionary: interning side.
+    obj_ids: FxHashMap<Value, ObjId>,
+    /// Object-value dictionary: resolution side.
+    obj_values: Vec<Value>,
+    /// SPO: per-subject sorted `(predicate, object)` columns (multiset).
+    spo: FxHashMap<EntityId, Vec<(Symbol, ObjId)>>,
+    /// POS: `(predicate, object)` posting lists.
+    pos: FxHashMap<(Symbol, ObjId), PostingList>,
+    /// OSP: reverse-edge posting lists.
+    osp: FxHashMap<EntityId, PostingList>,
+    /// Derived name-token postings (lowercased tokens and full phrases).
+    tokens: FxHashMap<Arc<str>, PostingList>,
+    /// Total indexed facts (with multiplicity).
+    facts: usize,
+}
+
+/// Flatten one extended triple to its indexed `(predicate, value)` form:
+/// composite facets become `predicate.facet`, `Null` and unresolved
+/// source-namespace objects are not indexed.
+pub fn flatten(triple: &ExtendedTriple) -> Option<(Symbol, Value)> {
+    match &triple.object {
+        Value::Null | Value::SourceRef(_) => None,
+        obj => {
+            let pred = match triple.rel {
+                None => triple.predicate,
+                Some(rel) => intern(&format!("{}.{}", triple.predicate, rel.rel_predicate)),
+            };
+            Some((pred, obj.clone()))
+        }
+    }
+}
+
+/// Lowercased name tokens (plus the full phrase) of a name/alias string —
+/// the tokenization rule shared by every serving index.
+pub fn name_tokens(name: &str) -> Vec<String> {
+    let mut out: Vec<String> = name
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect();
+    out.push(name.to_lowercase());
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl TripleIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed facts (with multiplicity).
+    pub fn fact_count(&self) -> usize {
+        self.facts
+    }
+
+    /// Number of subjects with at least one indexed fact.
+    pub fn entity_count(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.facts == 0
+    }
+
+    fn obj_id(&mut self, value: &Value) -> ObjId {
+        if let Some(&id) = self.obj_ids.get(value) {
+            return id;
+        }
+        let id = ObjId(u32::try_from(self.obj_values.len()).expect("object dictionary overflow"));
+        self.obj_values.push(value.clone());
+        self.obj_ids.insert(value.clone(), id);
+        id
+    }
+
+    fn lookup_obj(&self, value: &Value) -> Option<ObjId> {
+        self.obj_ids.get(value).copied()
+    }
+
+    /// Diff `record` against the indexed state of its subject and apply the
+    /// difference, returning the [`Delta`] for downstream consumers.
+    pub fn update_entity(&mut self, record: &EntityRecord) -> Delta {
+        let new_facts: Vec<(Symbol, ObjId)> = {
+            let mut v: Vec<(Symbol, ObjId)> = record
+                .triples
+                .iter()
+                .filter_map(flatten)
+                .map(|(p, o)| (p, self.obj_id(&o)))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let old_facts = self.spo.get(&record.id).cloned().unwrap_or_default();
+        let delta = self.diff_to_delta(record.id, &old_facts, &new_facts);
+        self.apply(&delta);
+        delta
+    }
+
+    /// Drop every fact of `entity`, returning the retraction [`Delta`].
+    pub fn remove_entity(&mut self, entity: EntityId) -> Delta {
+        let old = self.spo.get(&entity).cloned().unwrap_or_default();
+        let delta = self.diff_to_delta(entity, &old, &[]);
+        self.apply(&delta);
+        delta
+    }
+
+    /// Index a batch of new facts for `entity` without a full diff — the
+    /// fast path for append-only upserts. The facts must not already be
+    /// asserted (the canonical KG's upsert guarantees this).
+    pub fn add_facts<'a>(
+        &mut self,
+        entity: EntityId,
+        triples: impl IntoIterator<Item = &'a ExtendedTriple>,
+    ) -> Delta {
+        let added: Vec<DeltaFact> = triples
+            .into_iter()
+            .filter_map(flatten)
+            .map(|(predicate, object)| DeltaFact { predicate, object })
+            .collect();
+        let delta = Delta {
+            entity,
+            added,
+            removed: Vec::new(),
+        };
+        self.apply(&delta);
+        delta
+    }
+
+    /// Retract a batch of facts for `entity` without a full diff.
+    pub fn remove_facts<'a>(
+        &mut self,
+        entity: EntityId,
+        triples: impl IntoIterator<Item = &'a ExtendedTriple>,
+    ) -> Delta {
+        let removed: Vec<DeltaFact> = triples
+            .into_iter()
+            .filter_map(flatten)
+            .map(|(predicate, object)| DeltaFact { predicate, object })
+            .collect();
+        let delta = Delta {
+            entity,
+            removed,
+            added: Vec::new(),
+        };
+        self.apply(&delta);
+        delta
+    }
+
+    fn diff_to_delta(
+        &self,
+        entity: EntityId,
+        old: &[(Symbol, ObjId)],
+        new: &[(Symbol, ObjId)],
+    ) -> Delta {
+        let (added, removed) = sorted_multiset_diff(old, new);
+        Delta {
+            entity,
+            added: added.into_iter().map(|f| self.fact_of(f)).collect(),
+            removed: removed.into_iter().map(|f| self.fact_of(f)).collect(),
+        }
+    }
+
+    fn fact_of(&self, (predicate, obj): (Symbol, ObjId)) -> DeltaFact {
+        DeltaFact {
+            predicate,
+            object: self.obj_values[obj.0 as usize].clone(),
+        }
+    }
+
+    /// Apply a [`Delta`] — the replay path. Applying every delta a KG ever
+    /// emitted onto an empty index reproduces that KG's index exactly.
+    pub fn apply(&mut self, delta: &Delta) {
+        if delta.is_empty() {
+            return;
+        }
+        let entity = delta.entity;
+        let tokens_before = self.token_set(entity);
+
+        let subject_facts = self.spo.entry(entity).or_default();
+        // Multiset row maintenance first…
+        let mut touched: Vec<(Symbol, ObjId)> = Vec::new();
+        for fact in &delta.removed {
+            let Some(&obj) = self.obj_ids.get(&fact.object) else {
+                continue;
+            };
+            let key = (fact.predicate, obj);
+            if let Ok(at) = subject_facts.binary_search(&key) {
+                subject_facts.remove(at);
+                self.facts -= 1;
+                touched.push(key);
+            }
+        }
+        for fact in &delta.added {
+            let obj = {
+                if let Some(&id) = self.obj_ids.get(&fact.object) {
+                    id
+                } else {
+                    let id = ObjId(
+                        u32::try_from(self.obj_values.len()).expect("object dictionary overflow"),
+                    );
+                    self.obj_values.push(fact.object.clone());
+                    self.obj_ids.insert(fact.object.clone(), id);
+                    id
+                }
+            };
+            let key = (fact.predicate, obj);
+            let at = subject_facts.binary_search(&key).unwrap_or_else(|e| e);
+            subject_facts.insert(at, key);
+            self.facts += 1;
+            touched.push(key);
+        }
+        // …then set-level posting membership for every touched key.
+        touched.sort_unstable();
+        touched.dedup();
+        let still_present: Vec<bool> = touched
+            .iter()
+            .map(|key| subject_facts.binary_search(key).is_ok())
+            .collect();
+        if self.spo.get(&entity).is_some_and(Vec::is_empty) {
+            self.spo.remove(&entity);
+        }
+        for (key, present) in touched.into_iter().zip(still_present) {
+            let (_, obj) = key;
+            if present {
+                self.pos.entry(key).or_default().insert(entity);
+                if let Value::Entity(target) = &self.obj_values[obj.0 as usize] {
+                    self.osp.entry(*target).or_default().insert(entity);
+                }
+            } else {
+                if let Some(list) = self.pos.get_mut(&key) {
+                    list.remove(entity);
+                    if list.as_slice().is_empty() {
+                        self.pos.remove(&key);
+                    }
+                }
+                if let Value::Entity(target) = self.obj_values[obj.0 as usize].clone() {
+                    // The same target may be referenced under another
+                    // predicate; only drop OSP membership when none remain.
+                    let any_left = self
+                        .spo
+                        .get(&entity)
+                        .map(|facts| {
+                            facts.iter().any(|&(_, o)| {
+                                self.obj_values[o.0 as usize] == Value::Entity(target)
+                            })
+                        })
+                        .unwrap_or(false);
+                    if !any_left {
+                        if let Some(list) = self.osp.get_mut(&target) {
+                            list.remove(entity);
+                            if list.as_slice().is_empty() {
+                                self.osp.remove(&target);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Token postings re-derive from the subject's current name facts.
+        let tokens_after = self.token_set(entity);
+        for gone in tokens_before.iter().filter(|t| !tokens_after.contains(*t)) {
+            if let Some(list) = self.tokens.get_mut(gone) {
+                list.remove(entity);
+                if list.as_slice().is_empty() {
+                    self.tokens.remove(gone);
+                }
+            }
+        }
+        for fresh in tokens_after.iter().filter(|t| !tokens_before.contains(*t)) {
+            self.tokens
+                .entry(Arc::clone(fresh))
+                .or_default()
+                .insert(entity);
+        }
+    }
+
+    fn token_set(&self, entity: EntityId) -> Vec<Arc<str>> {
+        let name_sym = intern(well_known::NAME);
+        let alias_sym = intern(well_known::ALIAS);
+        let mut out: Vec<Arc<str>> = Vec::new();
+        if let Some(facts) = self.spo.get(&entity) {
+            for &(pred, obj) in facts {
+                if pred != name_sym && pred != alias_sym {
+                    continue;
+                }
+                if let Value::Str(s) = &self.obj_values[obj.0 as usize] {
+                    for tok in name_tokens(s) {
+                        out.push(Arc::from(tok.as_str()));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Probe paths (POS / derived postings)
+    // ------------------------------------------------------------------
+
+    /// Subjects asserting the literal fact `(predicate, value)`.
+    pub fn by_literal(&self, predicate: Symbol, value: &Value) -> &[EntityId] {
+        self.lookup_obj(value)
+            .and_then(|obj| self.pos.get(&(predicate, obj)))
+            .map(PostingList::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Subjects with an edge `(predicate) → target`.
+    pub fn by_edge(&self, predicate: Symbol, target: EntityId) -> &[EntityId] {
+        self.by_literal(predicate, &Value::Entity(target))
+    }
+
+    /// Subjects of ontology type `ty` (a literal probe on the `type`
+    /// predicate — types need no separate store).
+    pub fn by_type(&self, ty: Symbol) -> &[EntityId] {
+        self.by_literal(intern(well_known::TYPE), &Value::Str(ty.text()))
+    }
+
+    /// Subjects whose name/alias contains token (or equals phrase)
+    /// `needle`, lowercased by the caller.
+    pub fn by_name(&self, needle: &str) -> &[EntityId] {
+        self.tokens
+            .get(needle)
+            .map(PostingList::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Subjects referencing `target` through any predicate (OSP).
+    pub fn referencing(&self, target: EntityId) -> &[EntityId] {
+        self.osp
+            .get(&target)
+            .map(PostingList::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Posting list of one lowered probe.
+    pub fn postings(&self, probe: &ProbeKey) -> &[EntityId] {
+        match probe {
+            ProbeKey::Name(n) => self.by_name(n),
+            ProbeKey::Literal(p, v) => self.by_literal(*p, v),
+            ProbeKey::Edge(p, t) => self.by_edge(*p, *t),
+            ProbeKey::Type(t) => self.by_type(*t),
+        }
+    }
+
+    /// Posting-list length of a probe (plan ordering / selectivity).
+    pub fn selectivity(&self, probe: &ProbeKey) -> usize {
+        self.postings(probe).len()
+    }
+
+    /// Conjunction of several probes via galloping intersection.
+    pub fn probe_all(&self, probes: &[ProbeKey]) -> Vec<EntityId> {
+        let lists: Vec<&[EntityId]> = probes.iter().map(|p| self.postings(p)).collect();
+        intersect_sorted(&lists)
+    }
+
+    // ------------------------------------------------------------------
+    // Row path (SPO)
+    // ------------------------------------------------------------------
+
+    /// The flattened `(predicate, value)` facts of one subject, in sorted
+    /// column order (with multiplicity).
+    pub fn facts_of(&self, entity: EntityId) -> impl Iterator<Item = (Symbol, &Value)> + '_ {
+        self.spo
+            .get(&entity)
+            .into_iter()
+            .flatten()
+            .map(|&(pred, obj)| (pred, &self.obj_values[obj.0 as usize]))
+    }
+
+    /// True if the subject has any indexed fact.
+    pub fn contains(&self, entity: EntityId) -> bool {
+        self.spo.contains_key(&entity)
+    }
+
+    /// All indexed subjects, in arbitrary order.
+    pub fn subjects(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.spo.keys().copied()
+    }
+}
+
+/// Multiset difference of two sorted fact lists by a two-cursor merge
+/// walk: returns `(added, removed)` — the elements only in `new` and only
+/// in `old`, with multiplicity. Shared by the index's per-entity diff and
+/// the analytics store's changed-id update so the two can never diverge.
+pub fn sorted_multiset_diff<T: Clone + Ord>(old: &[T], new: &[T]) -> (Vec<T>, Vec<T>) {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() || j < new.len() {
+        let take_old = match (old.get(i), new.get(j)) {
+            (Some(o), Some(n)) => {
+                if o == n {
+                    i += 1;
+                    j += 1;
+                    continue;
+                }
+                o < n
+            }
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_old {
+            removed.push(old[i].clone());
+            i += 1;
+        } else {
+            added.push(new[j].clone());
+            j += 1;
+        }
+    }
+    (added, removed)
+}
+
+/// Intersect sorted, deduplicated posting lists with galloping
+/// (exponential) search: iterate the smallest list, gallop in the rest.
+/// Complexity `O(|smallest| · Σ log |other|)` — the classic fast path for
+/// skewed posting sizes.
+pub fn intersect_sorted(lists: &[&[EntityId]]) -> Vec<EntityId> {
+    let Some(smallest_idx) = (0..lists.len()).min_by_key(|&i| lists[i].len()) else {
+        return Vec::new();
+    };
+    let smallest = lists[smallest_idx];
+    if smallest.is_empty() {
+        return Vec::new();
+    }
+    let others: Vec<&[EntityId]> = lists
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != smallest_idx)
+        .map(|(_, l)| *l)
+        .collect();
+    let mut cursors = vec![0usize; others.len()];
+    let mut out = Vec::with_capacity(smallest.len());
+    'candidates: for &id in smallest {
+        for (list, cursor) in others.iter().zip(cursors.iter_mut()) {
+            match gallop_to(list, *cursor, id) {
+                Some(found_at) => *cursor = found_at + 1,
+                None => {
+                    // Advance the cursor past smaller ids for the next probe.
+                    *cursor = lower_bound(list, *cursor, id);
+                    if *cursor >= list.len() {
+                        break 'candidates;
+                    }
+                    continue 'candidates;
+                }
+            }
+        }
+        out.push(id);
+    }
+    out
+}
+
+/// Galloping search for `id` in `list[from..]`; `Some(position)` on a hit.
+fn gallop_to(list: &[EntityId], from: usize, id: EntityId) -> Option<usize> {
+    let at = lower_bound(list, from, id);
+    (at < list.len() && list[at] == id).then_some(at)
+}
+
+/// First position in `list[from..]` whose value is `>= id`, found by
+/// doubling steps then binary search within the bracketed window.
+fn lower_bound(list: &[EntityId], from: usize, id: EntityId) -> usize {
+    if from >= list.len() || list[from] >= id {
+        return from;
+    }
+    let mut step = 1;
+    let mut lo = from;
+    let mut hi = from + 1;
+    while hi < list.len() && list[hi] < id {
+        lo = hi;
+        step *= 2;
+        hi = (hi + step).min(list.len());
+        if hi == list.len() {
+            break;
+        }
+    }
+    // Invariant: list[lo] < id and the answer lies in (lo, hi].
+    lo + list[lo..hi].partition_point(|&x| x < id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FactMeta, KnowledgeGraph, RelId, SourceId};
+
+    fn meta() -> FactMeta {
+        FactMeta::from_source(SourceId(1), 0.9)
+    }
+
+    fn record(id: u64, facts: &[(&str, Value)]) -> EntityRecord {
+        let mut r = EntityRecord::new(EntityId(id));
+        for (pred, value) in facts {
+            r.triples.push(ExtendedTriple::simple(
+                EntityId(id),
+                intern(pred),
+                value.clone(),
+                meta(),
+            ));
+        }
+        r
+    }
+
+    #[test]
+    fn update_entity_builds_all_three_access_paths() {
+        let mut idx = TripleIndex::new();
+        idx.update_entity(&record(
+            1,
+            &[
+                ("name", Value::str("Golden State Warriors")),
+                ("type", Value::str("sports_team")),
+                ("arena", Value::Entity(EntityId(9))),
+                ("founded", Value::Int(1946)),
+            ],
+        ));
+        // POS probes.
+        assert_eq!(
+            idx.by_literal(intern("founded"), &Value::Int(1946)),
+            &[EntityId(1)]
+        );
+        assert_eq!(idx.by_edge(intern("arena"), EntityId(9)), &[EntityId(1)]);
+        assert_eq!(idx.by_type(intern("sports_team")), &[EntityId(1)]);
+        assert_eq!(idx.by_name("warriors"), &[EntityId(1)]);
+        assert_eq!(idx.by_name("golden state warriors"), &[EntityId(1)]);
+        // OSP.
+        assert_eq!(idx.referencing(EntityId(9)), &[EntityId(1)]);
+        // SPO.
+        assert_eq!(idx.facts_of(EntityId(1)).count(), 4);
+        assert_eq!(idx.fact_count(), 4);
+    }
+
+    #[test]
+    fn update_entity_diffs_and_cleans_up() {
+        let mut idx = TripleIndex::new();
+        idx.update_entity(&record(
+            1,
+            &[("name", Value::str("Old Name")), ("x", Value::Int(1))],
+        ));
+        let delta = idx.update_entity(&record(
+            1,
+            &[("name", Value::str("New Name")), ("x", Value::Int(1))],
+        ));
+        assert_eq!(delta.added.len(), 1);
+        assert_eq!(delta.removed.len(), 1);
+        assert!(idx.by_name("old").is_empty());
+        assert_eq!(idx.by_name("new"), &[EntityId(1)]);
+        assert_eq!(
+            idx.by_literal(intern("x"), &Value::Int(1)),
+            &[EntityId(1)],
+            "unchanged kept"
+        );
+        assert_eq!(idx.fact_count(), 2);
+    }
+
+    #[test]
+    fn remove_entity_empties_every_posting() {
+        let mut idx = TripleIndex::new();
+        idx.update_entity(&record(
+            1,
+            &[
+                ("name", Value::str("X")),
+                ("friend", Value::Entity(EntityId(2))),
+            ],
+        ));
+        let delta = idx.remove_entity(EntityId(1));
+        assert_eq!(delta.removed.len(), 2);
+        assert!(idx.is_empty());
+        assert!(idx.by_name("x").is_empty());
+        assert!(idx.referencing(EntityId(2)).is_empty());
+        assert!(!idx.contains(EntityId(1)));
+    }
+
+    #[test]
+    fn deltas_replay_onto_an_empty_index() {
+        let mut source = TripleIndex::new();
+        let mut replayed = TripleIndex::new();
+        let feed = vec![
+            source.update_entity(&record(
+                1,
+                &[
+                    ("name", Value::str("Alpha")),
+                    ("knows", Value::Entity(EntityId(2))),
+                ],
+            )),
+            source.update_entity(&record(2, &[("name", Value::str("Beta"))])),
+            source.update_entity(&record(
+                1,
+                &[
+                    ("name", Value::str("Alpha Prime")),
+                    ("knows", Value::Entity(EntityId(2))),
+                ],
+            )),
+            source.remove_entity(EntityId(2)),
+        ];
+        for delta in &feed {
+            replayed.apply(delta);
+        }
+        assert_eq!(replayed.fact_count(), source.fact_count());
+        for id in [1u64, 2] {
+            let a: Vec<(Symbol, Value)> = source
+                .facts_of(EntityId(id))
+                .map(|(p, v)| (p, v.clone()))
+                .collect();
+            let b: Vec<(Symbol, Value)> = replayed
+                .facts_of(EntityId(id))
+                .map(|(p, v)| (p, v.clone()))
+                .collect();
+            assert_eq!(a, b, "SPO agrees for entity {id}");
+        }
+        assert_eq!(replayed.by_name("alpha"), source.by_name("alpha"));
+        assert_eq!(
+            replayed.referencing(EntityId(2)),
+            source.referencing(EntityId(2))
+        );
+    }
+
+    #[test]
+    fn composite_facets_flatten_to_dotted_predicates() {
+        let mut idx = TripleIndex::new();
+        let mut r = EntityRecord::new(EntityId(1));
+        r.triples.push(ExtendedTriple::composite(
+            EntityId(1),
+            intern("educated_at"),
+            RelId(1),
+            intern("school"),
+            Value::str("UW"),
+            meta(),
+        ));
+        idx.update_entity(&r);
+        assert_eq!(
+            idx.by_literal(intern("educated_at.school"), &Value::str("UW")),
+            &[EntityId(1)]
+        );
+    }
+
+    #[test]
+    fn duplicate_flattened_facts_keep_multiplicity() {
+        let mut idx = TripleIndex::new();
+        let mut r = EntityRecord::new(EntityId(1));
+        for rel in [RelId(1), RelId(2)] {
+            r.triples.push(ExtendedTriple::composite(
+                EntityId(1),
+                intern("educated_at"),
+                rel,
+                intern("degree"),
+                Value::str("PhD"),
+                meta(),
+            ));
+        }
+        idx.update_entity(&r);
+        assert_eq!(idx.fact_count(), 2);
+        // Dropping one occurrence keeps the posting alive…
+        r.triples.pop();
+        idx.update_entity(&r);
+        assert_eq!(idx.fact_count(), 1);
+        assert_eq!(
+            idx.by_literal(intern("educated_at.degree"), &Value::str("PhD")),
+            &[EntityId(1)]
+        );
+        // …dropping the last removes it.
+        r.triples.pop();
+        idx.update_entity(&r);
+        assert!(idx
+            .by_literal(intern("educated_at.degree"), &Value::str("PhD"))
+            .is_empty());
+    }
+
+    #[test]
+    fn probe_all_intersects_conjunctively() {
+        let mut idx = TripleIndex::new();
+        for i in 1..=100u64 {
+            let mut facts = vec![("type", Value::str("song"))];
+            if i % 2 == 0 {
+                facts.push(("artist", Value::Entity(EntityId(1000))));
+            }
+            if i % 3 == 0 {
+                facts.push(("explicit", Value::Bool(true)));
+            }
+            idx.update_entity(&record(i, &facts));
+        }
+        let hits = idx.probe_all(&[
+            ProbeKey::Type(intern("song")),
+            ProbeKey::Edge(intern("artist"), EntityId(1000)),
+            ProbeKey::Literal(intern("explicit"), Value::Bool(true)),
+        ]);
+        let expected: Vec<EntityId> = (1..=100u64).filter(|i| i % 6 == 0).map(EntityId).collect();
+        assert_eq!(hits, expected);
+        assert!(idx
+            .probe_all(&[
+                ProbeKey::Name("nope".into()),
+                ProbeKey::Type(intern("song"))
+            ])
+            .is_empty());
+    }
+
+    #[test]
+    fn galloping_intersection_matches_naive() {
+        let a: Vec<EntityId> = (0..1000).step_by(3).map(EntityId).collect();
+        let b: Vec<EntityId> = (0..1000).step_by(5).map(EntityId).collect();
+        let c: Vec<EntityId> = (0..1000).map(EntityId).collect();
+        let got = intersect_sorted(&[&a, &b, &c]);
+        let expected: Vec<EntityId> = (0..1000u64).filter(|i| i % 15 == 0).map(EntityId).collect();
+        assert_eq!(got, expected);
+        assert!(intersect_sorted(&[&a, &[]]).is_empty());
+        assert!(intersect_sorted(&[]).is_empty());
+        assert_eq!(intersect_sorted(&[&a]), a);
+    }
+
+    #[test]
+    fn kg_integration_keeps_index_live() {
+        let mut kg = KnowledgeGraph::new();
+        kg.add_named_entity(
+            EntityId(1),
+            "Billie Eilish",
+            "music_artist",
+            SourceId(1),
+            0.9,
+        );
+        assert_eq!(kg.index().by_name("billie"), &[EntityId(1)]);
+        assert_eq!(kg.index().by_type(intern("music_artist")), &[EntityId(1)]);
+    }
+}

@@ -18,7 +18,7 @@ use std::sync::OnceLock;
 use crate::FxHashMap;
 
 /// An interned string. Two `Symbol`s are equal iff their strings are equal.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Symbol(pub u32);
 
 impl Symbol {
@@ -63,7 +63,10 @@ struct Interner {
 impl Interner {
     fn new() -> Self {
         Interner {
-            inner: RwLock::new(InternerInner { by_text: FxHashMap::default(), by_id: Vec::new() }),
+            inner: RwLock::new(InternerInner {
+                by_text: FxHashMap::default(),
+                by_id: Vec::new(),
+            }),
         }
     }
 
@@ -144,9 +147,7 @@ mod tests {
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let words = words.clone();
-                std::thread::spawn(move || {
-                    words.iter().map(|w| intern(w)).collect::<Vec<_>>()
-                })
+                std::thread::spawn(move || words.iter().map(|w| intern(w)).collect::<Vec<_>>())
             })
             .collect();
         let results: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();

@@ -9,10 +9,14 @@
 //!   (full provenance of the linking process, §2.3 step 5),
 //! * non-destructive integration primitives: provenance-merging upserts,
 //!   per-source retraction (on-demand deletion) and volatile-partition
-//!   overwrite (§2.4).
+//!   overwrite (§2.4),
+//! * the unified [`TripleIndex`], maintained incrementally on every
+//!   mutation, plus the [`Delta`] changelog downstream stores drain to
+//!   stay in sync without rescanning the graph (§3.1's derived stores).
 
 use std::sync::Arc;
 
+use crate::index::{Delta, TripleIndex};
 use crate::well_known;
 use crate::{
     intern, EntityId, EntityRecord, ExtendedTriple, FxHashMap, FxHashSet, SourceId, Symbol, Value,
@@ -35,6 +39,10 @@ pub struct KnowledgeGraph {
     entities: FxHashMap<EntityId, EntityRecord>,
     /// `same_as` provenance: which source entity maps to which KG entity.
     links: FxHashMap<(SourceId, Arc<str>), EntityId>,
+    /// The unified triple index, maintained incrementally by every mutator.
+    index: TripleIndex,
+    /// Deltas accumulated since the last [`drain_deltas`](Self::drain_deltas).
+    changelog: Vec<Delta>,
 }
 
 impl KnowledgeGraph {
@@ -68,8 +76,63 @@ impl KnowledgeGraph {
     }
 
     /// Fetch an entity record mutably.
+    ///
+    /// Direct mutation bypasses index maintenance — callers that change
+    /// `triples` through this handle must follow up with
+    /// [`reindex_entity`](Self::reindex_entity); prefer
+    /// [`mutate_entity`](Self::mutate_entity), which does both.
     pub fn entity_mut(&mut self, id: EntityId) -> Option<&mut EntityRecord> {
         self.entities.get_mut(&id)
+    }
+
+    /// Mutate an entity record in place, then reconcile the index with
+    /// whatever the closure did. Returns `false` if the entity is unknown.
+    pub fn mutate_entity(&mut self, id: EntityId, f: impl FnOnce(&mut EntityRecord)) -> bool {
+        match self.entities.get_mut(&id) {
+            Some(record) => {
+                f(record);
+                self.reindex_entity(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Re-derive the index entries of one entity from its current record
+    /// (diff-based — unchanged facts are untouched). Records the delta.
+    pub fn reindex_entity(&mut self, id: EntityId) -> Delta {
+        let delta = match self.entities.get(&id) {
+            Some(record) => {
+                let now_empty = record.triples.is_empty();
+                let delta = self.index.update_entity(record);
+                // An entity whose record went empty is dropped entirely,
+                // matching the retraction paths' behaviour.
+                if now_empty {
+                    self.entities.remove(&id);
+                }
+                delta
+            }
+            None => self.index.remove_entity(id),
+        };
+        self.record_delta(delta.clone());
+        delta
+    }
+
+    /// The unified triple index over this graph (SPO/POS/OSP probes).
+    pub fn index(&self) -> &TripleIndex {
+        &self.index
+    }
+
+    /// Drain the [`Delta`]s accumulated since the last call — the change
+    /// feed downstream stores replay to stay consistent.
+    pub fn drain_deltas(&mut self) -> Vec<Delta> {
+        std::mem::take(&mut self.changelog)
+    }
+
+    fn record_delta(&mut self, delta: Delta) {
+        if !delta.is_empty() {
+            self.changelog.push(delta);
+        }
     }
 
     /// Iterate all entity records.
@@ -88,8 +151,17 @@ impl KnowledgeGraph {
     }
 
     /// Create (or fetch) the record for `id`.
+    ///
+    /// Like [`entity_mut`](Self::entity_mut), the returned handle bypasses
+    /// index maintenance: a caller that pushes into `triples` through it
+    /// must follow up with [`reindex_entity`](Self::reindex_entity), or the
+    /// new facts are invisible to every probe. Prefer
+    /// [`upsert_fact`](Self::upsert_fact) /
+    /// [`mutate_entity`](Self::mutate_entity), which keep the index in sync.
     pub fn ensure_entity(&mut self, id: EntityId) -> &mut EntityRecord {
-        self.entities.entry(id).or_insert_with(|| EntityRecord::new(id))
+        self.entities
+            .entry(id)
+            .or_insert_with(|| EntityRecord::new(id))
     }
 
     /// True if the entity exists.
@@ -136,17 +208,24 @@ impl KnowledgeGraph {
             .subject
             .as_kg()
             .expect("only linked (KG-subject) facts can be fused into the graph");
-        let record = self.ensure_entity(id);
+        let record = self
+            .entities
+            .entry(id)
+            .or_insert_with(|| EntityRecord::new(id));
         for existing in &mut record.triples {
             if existing.predicate == triple.predicate
                 && existing.rel == triple.rel
                 && existing.object == triple.object
             {
+                // Provenance-only change: the index is object-level and
+                // needs no maintenance.
                 existing.meta.merge(&triple.meta);
                 return false;
             }
         }
+        let delta = self.index.add_facts(id, std::iter::once(&triple));
         record.triples.push(triple);
+        self.record_delta(delta);
         true
     }
 
@@ -158,23 +237,33 @@ impl KnowledgeGraph {
     pub fn retract_source(&mut self, source: SourceId) -> (usize, usize) {
         let mut facts_dropped = 0;
         let mut empty: Vec<EntityId> = Vec::new();
+        let mut retracted: Vec<(EntityId, Vec<ExtendedTriple>)> = Vec::new();
         for (id, record) in self.entities.iter_mut() {
+            let mut dropped: Vec<ExtendedTriple> = Vec::new();
             record.triples.retain_mut(|t| {
                 if t.meta.has_source(source) {
                     let orphaned = t.meta.retract_source(source);
                     if orphaned {
                         facts_dropped += 1;
+                        dropped.push(t.clone());
                         return false;
                     }
                 }
                 true
             });
+            if !dropped.is_empty() {
+                retracted.push((*id, dropped));
+            }
             if record.triples.is_empty() {
                 empty.push(*id);
             }
         }
         for id in &empty {
             self.entities.remove(id);
+        }
+        for (id, dropped) in retracted {
+            let delta = self.index.remove_facts(id, dropped.iter());
+            self.record_delta(delta);
         }
         self.links.retain(|(s, _), _| *s != source);
         (facts_dropped, empty.len())
@@ -186,15 +275,15 @@ impl KnowledgeGraph {
     /// Facts whose only provenance was `(source)` on the linked KG entity
     /// are dropped; the `same_as` link is removed.
     pub fn retract_source_entity(&mut self, source: SourceId, local_id: &str) -> usize {
-        let Some(kg_id) = self.lookup_link(source, local_id) else { return 0 };
-        let mut dropped = 0;
+        let Some(kg_id) = self.lookup_link(source, local_id) else {
+            return 0;
+        };
+        let mut removed: Vec<ExtendedTriple> = Vec::new();
         if let Some(record) = self.entities.get_mut(&kg_id) {
             record.triples.retain_mut(|t| {
-                if t.meta.has_source(source) {
-                    if t.meta.retract_source(source) {
-                        dropped += 1;
-                        return false;
-                    }
+                if t.meta.has_source(source) && t.meta.retract_source(source) {
+                    removed.push(t.clone());
+                    return false;
                 }
                 true
             });
@@ -202,8 +291,12 @@ impl KnowledgeGraph {
                 self.entities.remove(&kg_id);
             }
         }
+        if !removed.is_empty() {
+            let delta = self.index.remove_facts(kg_id, removed.iter());
+            self.record_delta(delta);
+        }
         self.links.remove(&(source, Arc::from(local_id)));
-        dropped
+        removed.len()
     }
 
     /// Overwrite a source's *volatile* partition (§2.4): all facts from
@@ -218,16 +311,27 @@ impl KnowledgeGraph {
         fresh: Vec<ExtendedTriple>,
     ) -> usize {
         let mut dropped = 0;
-        for record in self.entities.values_mut() {
+        let mut retracted: Vec<(EntityId, Vec<ExtendedTriple>)> = Vec::new();
+        for (id, record) in self.entities.iter_mut() {
+            let mut gone: Vec<ExtendedTriple> = Vec::new();
             record.triples.retain_mut(|t| {
-                if volatile_predicates.contains(&t.predicate) && t.meta.has_source(source) {
-                    if t.meta.retract_source(source) {
-                        dropped += 1;
-                        return false;
-                    }
+                if volatile_predicates.contains(&t.predicate)
+                    && t.meta.has_source(source)
+                    && t.meta.retract_source(source)
+                {
+                    dropped += 1;
+                    gone.push(t.clone());
+                    return false;
                 }
                 true
             });
+            if !gone.is_empty() {
+                retracted.push((*id, gone));
+            }
+        }
+        for (id, gone) in retracted {
+            let delta = self.index.remove_facts(id, gone.iter());
+            self.record_delta(delta);
         }
         for t in fresh {
             // Volatile facts about unknown entities are skipped: the stable
@@ -242,17 +346,26 @@ impl KnowledgeGraph {
     }
 
     /// Extract the sub-graph of entities with ontology type `entity_type` —
-    /// the *KG view* the linker matches source payloads against (§2.3 step 1).
+    /// the *KG view* the linker matches source payloads against (§2.3 step
+    /// 1). Served from the index's type postings, not a graph scan.
     pub fn entities_of_type(&self, entity_type: Symbol) -> Vec<&EntityRecord> {
-        self.entities.values().filter(|r| r.types().contains(&entity_type)).collect()
+        self.index
+            .by_type(entity_type)
+            .iter()
+            .filter_map(|id| self.entities.get(id))
+            .collect()
     }
 
-    /// Resolve an entity by exact name or alias (case-sensitive); utility
-    /// used by examples and tests, not the serving path.
+    /// Resolve an entity by exact name or alias (case-sensitive).
+    ///
+    /// Candidates come from the index's (lowercased) full-phrase posting;
+    /// the exact-case filter runs only over that short list.
     pub fn find_by_name(&self, name: &str) -> Vec<EntityId> {
         let mut out: Vec<EntityId> = self
-            .entities
-            .values()
+            .index
+            .by_name(&name.to_lowercase())
+            .iter()
+            .filter_map(|id| self.entities.get(id))
             .filter(|r| r.all_names().iter().any(|n| &**n == name))
             .map(|r| r.id)
             .collect();
@@ -322,7 +435,10 @@ mod tests {
         let t1 = ExtendedTriple::simple(EntityId(1), intern("name"), Value::str("X"), meta(1));
         let t2 = ExtendedTriple::simple(EntityId(1), intern("name"), Value::str("X"), meta(2));
         assert!(kg.upsert_fact(t1));
-        assert!(!kg.upsert_fact(t2), "same key+object merges, not duplicates");
+        assert!(
+            !kg.upsert_fact(t2),
+            "same key+object merges, not duplicates"
+        );
         let rec = kg.entity(EntityId(1)).unwrap();
         assert_eq!(rec.fact_count(), 1);
         assert_eq!(rec.triples[0].meta.source_count(), 2);
@@ -331,8 +447,18 @@ mod tests {
     #[test]
     fn upsert_adds_new_fact_for_different_object() {
         let mut kg = KnowledgeGraph::new();
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(1), intern("alias"), Value::str("A"), meta(1)));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(1), intern("alias"), Value::str("B"), meta(1)));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("alias"),
+            Value::str("A"),
+            meta(1),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("alias"),
+            Value::str("B"),
+            meta(1),
+        ));
         assert_eq!(kg.entity(EntityId(1)).unwrap().fact_count(), 2);
     }
 
@@ -353,11 +479,22 @@ mod tests {
     fn retract_source_drops_orphans_and_empty_entities() {
         let mut kg = KnowledgeGraph::new();
         // fact held by two sources survives; single-source fact dies.
-        let mut shared = ExtendedTriple::simple(EntityId(1), intern("name"), Value::str("X"), meta(1));
+        let mut shared =
+            ExtendedTriple::simple(EntityId(1), intern("name"), Value::str("X"), meta(1));
         shared.meta.merge_source(SourceId(2), 0.8);
         kg.upsert_fact(shared);
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(1), intern("born"), Value::Int(1990), meta(1)));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), intern("name"), Value::str("Y"), meta(1)));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("born"),
+            Value::Int(1990),
+            meta(1),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(2),
+            intern("name"),
+            Value::str("Y"),
+            meta(1),
+        ));
         kg.record_link(SourceId(1), "y", EntityId(2));
 
         let (facts, entities) = kg.retract_source(SourceId(1));
@@ -374,8 +511,18 @@ mod tests {
     #[test]
     fn retract_source_entity_targets_one_link() {
         let mut kg = KnowledgeGraph::new();
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(1), intern("name"), Value::str("X"), meta(1)));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), intern("name"), Value::str("Y"), meta(1)));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("name"),
+            Value::str("X"),
+            meta(1),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(2),
+            intern("name"),
+            Value::str("Y"),
+            meta(1),
+        ));
         kg.record_link(SourceId(1), "x", EntityId(1));
         kg.record_link(SourceId(1), "y", EntityId(2));
 
@@ -391,12 +538,21 @@ mod tests {
         let mut kg = KnowledgeGraph::new();
         kg.add_named_entity(EntityId(1), "Song A", "song", SourceId(1), 0.9);
         let pop = intern(well_known::POPULARITY);
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(1), pop, Value::Int(10), meta(1)));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            pop,
+            Value::Int(10),
+            meta(1),
+        ));
 
         let mut volatile = FxHashSet::default();
         volatile.insert(pop);
-        let fresh =
-            vec![ExtendedTriple::simple(EntityId(1), pop, Value::Int(999), meta(1))];
+        let fresh = vec![ExtendedTriple::simple(
+            EntityId(1),
+            pop,
+            Value::Int(999),
+            meta(1),
+        )];
         let dropped = kg.overwrite_volatile_partition(SourceId(1), &volatile, fresh);
         assert_eq!(dropped, 1);
         let rec = kg.entity(EntityId(1)).unwrap();
@@ -411,7 +567,12 @@ mod tests {
         let pop = intern(well_known::POPULARITY);
         let mut volatile = FxHashSet::default();
         volatile.insert(pop);
-        let fresh = vec![ExtendedTriple::simple(EntityId(77), pop, Value::Int(1), meta(1))];
+        let fresh = vec![ExtendedTriple::simple(
+            EntityId(77),
+            pop,
+            Value::Int(1),
+            meta(1),
+        )];
         kg.overwrite_volatile_partition(SourceId(1), &volatile, fresh);
         assert!(!kg.contains(EntityId(77)));
     }
@@ -431,7 +592,13 @@ mod tests {
     #[test]
     fn stats_and_find_by_name() {
         let mut kg = KnowledgeGraph::new();
-        kg.add_named_entity(EntityId(1), "Billie Eilish", "music_artist", SourceId(1), 0.9);
+        kg.add_named_entity(
+            EntityId(1),
+            "Billie Eilish",
+            "music_artist",
+            SourceId(1),
+            0.9,
+        );
         kg.record_link(SourceId(1), "a1", EntityId(1));
         let s = kg.stats();
         assert_eq!(s.entities, 1);
@@ -462,15 +629,30 @@ mod tests {
         let mut kg = KnowledgeGraph::new();
         let edu = intern("educated_at");
         kg.upsert_fact(ExtendedTriple::composite(
-            EntityId(1), edu, RelId(1), intern("school"), Value::str("UW"), meta(1),
+            EntityId(1),
+            edu,
+            RelId(1),
+            intern("school"),
+            Value::str("UW"),
+            meta(1),
         ));
         // Same facet+object from another source merges.
         assert!(!kg.upsert_fact(ExtendedTriple::composite(
-            EntityId(1), edu, RelId(1), intern("school"), Value::str("UW"), meta(2),
+            EntityId(1),
+            edu,
+            RelId(1),
+            intern("school"),
+            Value::str("UW"),
+            meta(2),
         )));
         // Different rel node is a new fact.
         assert!(kg.upsert_fact(ExtendedTriple::composite(
-            EntityId(1), edu, RelId(2), intern("school"), Value::str("UW"), meta(2),
+            EntityId(1),
+            edu,
+            RelId(2),
+            intern("school"),
+            Value::str("UW"),
+            meta(2),
         )));
         assert_eq!(kg.entity(EntityId(1)).unwrap().fact_count(), 2);
     }

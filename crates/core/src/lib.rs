@@ -26,7 +26,9 @@
 pub mod entity;
 pub mod error;
 pub mod id;
+pub mod index;
 pub mod intern;
+pub mod json;
 pub mod kg;
 pub mod meta;
 pub mod row;
@@ -36,6 +38,7 @@ pub mod value;
 pub use entity::{EntityPayload, EntityRecord};
 pub use error::{Result, SagaError};
 pub use id::{EntityId, IdGenerator, Lsn, RelId, SourceId};
+pub use index::{Delta, DeltaFact, ProbeKey, TripleIndex};
 pub use intern::{intern, resolve, symbol_text, Symbol};
 pub use kg::{KgStats, KnowledgeGraph};
 pub use meta::{FactMeta, SourceTrust};

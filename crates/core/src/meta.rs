@@ -9,7 +9,7 @@
 use crate::{intern, SourceId, Symbol};
 
 /// One provenance entry: the contributing source and its trust score.
-#[derive(Clone, Copy, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SourceTrust {
     /// The contributing source.
     pub source: SourceId,
@@ -18,7 +18,7 @@ pub struct SourceTrust {
 }
 
 /// Metadata attached to every [`ExtendedTriple`](crate::ExtendedTriple).
-#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FactMeta {
     /// Aligned provenance + trust entries, one per contributing source.
     pub provenance: Vec<SourceTrust>,
@@ -30,7 +30,10 @@ pub struct FactMeta {
 impl FactMeta {
     /// Metadata for a fact first observed in `source` with trust `trust`.
     pub fn from_source(source: SourceId, trust: f32) -> FactMeta {
-        FactMeta { provenance: vec![SourceTrust { source, trust }], locale: None }
+        FactMeta {
+            provenance: vec![SourceTrust { source, trust }],
+            locale: None,
+        }
     }
 
     /// Same as [`from_source`](Self::from_source) with a locale tag.
@@ -136,7 +139,10 @@ mod tests {
         let mut m = FactMeta::from_source(SourceId(1), 0.9);
         m.merge_source(SourceId(2), 0.8);
         assert!(!m.retract_source(SourceId(1)));
-        assert!(m.retract_source(SourceId(2)), "last source removed → orphan");
+        assert!(
+            m.retract_source(SourceId(2)),
+            "last source removed → orphan"
+        );
     }
 
     #[test]
@@ -166,6 +172,10 @@ mod tests {
 
         let mut c = FactMeta::from_source(SourceId(3), 0.5);
         c.merge(&b);
-        assert_eq!(c.locale, Some(intern("fr")), "missing locale adopted from other");
+        assert_eq!(
+            c.locale,
+            Some(intern("fr")),
+            "missing locale adopted from other"
+        );
     }
 }

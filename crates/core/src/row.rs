@@ -73,7 +73,10 @@ impl Dataset {
     /// An empty dataset with the given column names.
     pub fn with_schema(columns: &[&str]) -> Dataset {
         let schema: Arc<[String]> = columns.iter().map(|c| c.to_string()).collect();
-        Dataset { schema, rows: Vec::new() }
+        Dataset {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// The column names.
@@ -142,7 +145,13 @@ impl Dataset {
             .schema
             .iter()
             .map(String::as_str)
-            .chain(other.schema.iter().filter(|c| *c != other_col).map(String::as_str))
+            .chain(
+                other
+                    .schema
+                    .iter()
+                    .filter(|c| *c != other_col)
+                    .map(String::as_str),
+            )
             .collect();
         let mut out = Dataset::with_schema(&out_cols);
         for row in &self.rows {
@@ -194,7 +203,10 @@ mod tests {
     fn row_access_by_name_and_index() {
         let d = artists();
         let r = d.row(0);
-        assert_eq!(r.get("name").and_then(|v| v.as_str()), Some("Billie Eilish"));
+        assert_eq!(
+            r.get("name").and_then(|v| v.as_str()),
+            Some("Billie Eilish")
+        );
         assert_eq!(r.at(0).as_str(), Some("a1"));
         assert_eq!(r.get("nope"), None);
         assert_eq!(r.width(), 2);
@@ -212,7 +224,10 @@ mod tests {
         let joined = artists().hash_join(&popularity(), "id", "artist_id");
         assert_eq!(joined.schema(), &["id", "name", "plays"]);
         assert_eq!(joined.len(), 2, "a3 has no artist row, inner join drops it");
-        let r = joined.iter().find(|r| r.get("id").unwrap().as_str() == Some("a1")).unwrap();
+        let r = joined
+            .iter()
+            .find(|r| r.get("id").unwrap().as_str() == Some("a1"))
+            .unwrap();
         assert_eq!(r.get("plays").unwrap().as_int(), Some(1000));
     }
 
@@ -232,6 +247,9 @@ mod tests {
         let mut d = artists();
         let row0 = d.rows.get_mut(0).unwrap();
         *row0.get_mut("name").unwrap() = Value::str("billie eilish");
-        assert_eq!(d.row(0).get("name").unwrap().as_str(), Some("billie eilish"));
+        assert_eq!(
+            d.row(0).get("name").unwrap().as_str(),
+            Some("billie eilish")
+        );
     }
 }

@@ -18,7 +18,7 @@ use crate::{EntityId, FactMeta, RelId, SourceId, Symbol, Value};
 
 /// The subject of a triple: either a canonical KG entity or an entity still
 /// in an upstream source's namespace (pre-linking).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub enum SubjectRef {
     /// A canonical KG entity.
     Kg(EntityId),
@@ -65,7 +65,7 @@ impl From<EntityId> for SubjectRef {
 
 /// The relationship-node part of an extended triple: which composite node
 /// (`r_id`) the fact belongs to and which facet (`r_predicate`) it fills.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct RelPart {
     /// Relationship node id, scoped to `(subject, predicate)`.
     pub rel_id: RelId,
@@ -74,7 +74,7 @@ pub struct RelPart {
 }
 
 /// One row of the extended-triples table (Table 1 of the paper).
-#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ExtendedTriple {
     /// The entity the fact is about.
     pub subject: SubjectRef,
@@ -96,7 +96,13 @@ impl ExtendedTriple {
         object: Value,
         meta: FactMeta,
     ) -> ExtendedTriple {
-        ExtendedTriple { subject: subject.into(), predicate, rel: None, object, meta }
+        ExtendedTriple {
+            subject: subject.into(),
+            predicate,
+            rel: None,
+            object,
+            meta,
+        }
     }
 
     /// A facet of a composite relationship node.
@@ -111,7 +117,10 @@ impl ExtendedTriple {
         ExtendedTriple {
             subject: subject.into(),
             predicate,
-            rel: Some(RelPart { rel_id, rel_predicate }),
+            rel: Some(RelPart {
+                rel_id,
+                rel_predicate,
+            }),
             object,
             meta,
         }
@@ -137,15 +146,20 @@ impl ExtendedTriple {
     /// Render as a Table 1-style row: `subj | predicate | r_id | r_pred | obj`.
     pub fn render_row(&self) -> String {
         let (rid, rpred) = match self.rel {
-            Some(RelPart { rel_id, rel_predicate }) => {
-                (rel_id.to_string(), rel_predicate.to_string())
-            }
+            Some(RelPart {
+                rel_id,
+                rel_predicate,
+            }) => (rel_id.to_string(), rel_predicate.to_string()),
             None => (String::new(), String::new()),
         };
         let locale = self.meta.locale.map(|l| l.to_string()).unwrap_or_default();
         let sources: Vec<String> = self.meta.sources().map(|s| s.to_string()).collect();
-        let trust: Vec<String> =
-            self.meta.provenance.iter().map(|st| format!("{:.1}", st.trust)).collect();
+        let trust: Vec<String> = self
+            .meta
+            .provenance
+            .iter()
+            .map(|st| format!("{:.1}", st.trust))
+            .collect();
         format!(
             "{} | {} | {} | {} | {} | {} | [{}] | [{}]",
             self.subject,
@@ -191,8 +205,14 @@ mod tests {
             Value::str("J. Smith"),
             FactMeta {
                 provenance: vec![
-                    crate::SourceTrust { source: SourceId(1), trust: 0.9 },
-                    crate::SourceTrust { source: SourceId(2), trust: 0.8 },
+                    crate::SourceTrust {
+                        source: SourceId(1),
+                        trust: 0.9,
+                    },
+                    crate::SourceTrust {
+                        source: SourceId(2),
+                        trust: 0.8,
+                    },
                 ],
                 locale: Some(intern("en")),
             },

@@ -18,7 +18,7 @@ use crate::EntityId;
 /// `Value` implements `Eq`/`Hash`/`Ord` with a total order (floats compare
 /// by their bit pattern through [`f64::total_cmp`]) so it can key hash maps
 /// and sort columns in the analytics store.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Value {
     /// Absent / explicit null (source schemas may carry empty predicates).
     Null,

@@ -1,0 +1,301 @@
+//! Index-consistency property tests (seeded, deterministic).
+//!
+//! Two invariants of the unified triple index, checked over random
+//! interleavings of upserts, retractions, volatile overwrites and direct
+//! record mutations:
+//!
+//! 1. **Scan equivalence** — every SPO / POS / OSP probe answered by the
+//!    index equals a naive full scan over the `KnowledgeGraph` records.
+//! 2. **Replay equivalence** — the [`Delta`] change feed drained from the
+//!    KG, replayed onto an empty index, reproduces the KG's index exactly.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saga_core::index::{flatten, name_tokens};
+use saga_core::{
+    intern, Delta, EntityId, ExtendedTriple, FactMeta, FxHashSet, KnowledgeGraph, RelId, SourceId,
+    Symbol, TripleIndex, Value,
+};
+
+const PREDICATES: [&str; 6] = ["name", "alias", "type", "knows", "founded", "score"];
+const TYPES: [&str; 3] = ["person", "song", "city"];
+const NAMES: [&str; 5] = [
+    "Ada Lovelace",
+    "Grace Hopper",
+    "Hedy Lamarr",
+    "Noether",
+    "A-1 B2",
+];
+
+fn random_value(rng: &mut StdRng) -> Value {
+    match rng.gen_range(0..6) {
+        0 => Value::str(NAMES[rng.gen_range(0..NAMES.len())]),
+        1 => Value::Int(rng.gen_range(-5..50)),
+        2 => Value::Float(f64::from(rng.gen_range(0..8)) / 2.0),
+        3 => Value::Bool(rng.gen_bool(0.5)),
+        4 => Value::Entity(EntityId(rng.gen_range(1..16))),
+        _ => Value::Null,
+    }
+}
+
+fn random_triple(rng: &mut StdRng, subject: EntityId) -> ExtendedTriple {
+    let meta = FactMeta::from_source(SourceId(rng.gen_range(1..4)), 0.9);
+    let pred = intern(PREDICATES[rng.gen_range(0..PREDICATES.len())]);
+    let object = if pred == intern("type") {
+        Value::str(TYPES[rng.gen_range(0..TYPES.len())])
+    } else if pred == intern("name") || pred == intern("alias") {
+        Value::str(NAMES[rng.gen_range(0..NAMES.len())])
+    } else {
+        random_value(rng)
+    };
+    if rng.gen_bool(0.2) {
+        ExtendedTriple::composite(
+            subject,
+            pred,
+            RelId(rng.gen_range(1..3)),
+            intern("facet"),
+            object,
+            meta,
+        )
+    } else {
+        ExtendedTriple::simple(subject, pred, object, meta)
+    }
+}
+
+/// One random mutation against the KG; deltas accumulate in its changelog.
+fn random_op(rng: &mut StdRng, kg: &mut KnowledgeGraph) {
+    match rng.gen_range(0..10) {
+        // Mostly upserts.
+        0..=5 => {
+            let subject = EntityId(rng.gen_range(1..16));
+            let triple = random_triple(rng, subject);
+            if let Value::Str(local) = Value::str(format!("e{}", subject.0)) {
+                // Links enable the per-entity retraction path below.
+                kg.record_link(SourceId(1), &local, subject);
+            }
+            kg.upsert_fact(triple);
+        }
+        6 => {
+            kg.retract_source(SourceId(rng.gen_range(1..4)));
+        }
+        7 => {
+            let local = format!("e{}", rng.gen_range(1..16));
+            kg.retract_source_entity(SourceId(1), &local);
+        }
+        8 => {
+            let mut volatile = FxHashSet::default();
+            volatile.insert(intern("score"));
+            let fresh: Vec<ExtendedTriple> = (0..rng.gen_range(0..4))
+                .map(|_| {
+                    let subject = EntityId(rng.gen_range(1..16));
+                    ExtendedTriple::simple(
+                        subject,
+                        intern("score"),
+                        Value::Int(rng.gen_range(0..100)),
+                        FactMeta::from_source(SourceId(2), 0.8),
+                    )
+                })
+                .collect();
+            kg.overwrite_volatile_partition(SourceId(2), &volatile, fresh);
+        }
+        _ => {
+            // Direct record mutation through the reconciling API.
+            let id = EntityId(rng.gen_range(1..16));
+            let drop_at = rng.gen_range(0..4usize);
+            kg.mutate_entity(id, |rec| {
+                if drop_at < rec.triples.len() {
+                    rec.triples.remove(drop_at);
+                }
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Naive full-scan oracles
+// ---------------------------------------------------------------------
+
+fn naive_facts(kg: &KnowledgeGraph, id: EntityId) -> Vec<(Symbol, Value)> {
+    let mut out: Vec<(Symbol, Value)> = kg
+        .entity(id)
+        .map(|r| r.triples.iter().filter_map(flatten).collect())
+        .unwrap_or_default();
+    out.sort_unstable();
+    out
+}
+
+fn naive_pos(kg: &KnowledgeGraph, pred: Symbol, value: &Value) -> Vec<EntityId> {
+    let mut out: Vec<EntityId> = kg
+        .entities()
+        .filter(|r| {
+            r.triples
+                .iter()
+                .filter_map(flatten)
+                .any(|(p, v)| p == pred && &v == value)
+        })
+        .map(|r| r.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn naive_osp(kg: &KnowledgeGraph, target: EntityId) -> Vec<EntityId> {
+    let mut out: Vec<EntityId> = kg
+        .entities()
+        .filter(|r| {
+            r.triples
+                .iter()
+                .filter_map(flatten)
+                .any(|(_, v)| v == Value::Entity(target))
+        })
+        .map(|r| r.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn naive_tokens(kg: &KnowledgeGraph, needle: &str) -> Vec<EntityId> {
+    let name_sym = intern("name");
+    let alias_sym = intern("alias");
+    let mut out: Vec<EntityId> = kg
+        .entities()
+        .filter(|r| {
+            r.triples
+                .iter()
+                .filter_map(flatten)
+                .filter(|(p, _)| *p == name_sym || *p == alias_sym)
+                .any(|(_, v)| match v {
+                    Value::Str(s) => name_tokens(&s).iter().any(|t| t == needle),
+                    _ => false,
+                })
+        })
+        .map(|r| r.id)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn assert_index_matches_naive_scan(kg: &KnowledgeGraph, seed_label: &str) {
+    let index = kg.index();
+    // SPO: per-subject flattened multisets agree.
+    for id in (1..16).map(EntityId) {
+        let mut got: Vec<(Symbol, Value)> =
+            index.facts_of(id).map(|(p, v)| (p, v.clone())).collect();
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            naive_facts(kg, id),
+            "{seed_label}: SPO mismatch for {id}"
+        );
+    }
+    // POS: probe every (predicate, value) pair that occurs anywhere, plus a
+    // few guaranteed misses.
+    let mut pairs: Vec<(Symbol, Value)> = kg
+        .entities()
+        .flat_map(|r| r.triples.iter().filter_map(flatten))
+        .collect();
+    pairs.push((intern("name"), Value::str("No Such Name")));
+    pairs.push((intern("never_used"), Value::Int(0)));
+    pairs.sort_unstable();
+    pairs.dedup();
+    for (pred, value) in &pairs {
+        assert_eq!(
+            index.by_literal(*pred, value),
+            naive_pos(kg, *pred, value),
+            "{seed_label}: POS mismatch for ({pred}, {value})"
+        );
+    }
+    // OSP: reverse references for every possible target.
+    for target in (1..16).map(EntityId) {
+        assert_eq!(
+            index.referencing(target),
+            naive_osp(kg, target),
+            "{seed_label}: OSP mismatch for {target}"
+        );
+    }
+    // Derived name-token postings.
+    for name in NAMES {
+        for token in name_tokens(name) {
+            assert_eq!(
+                index.by_name(&token),
+                naive_tokens(kg, &token),
+                "{seed_label}: token mismatch for {token:?}"
+            );
+        }
+    }
+    // Type postings.
+    for ty in TYPES {
+        assert_eq!(
+            index.by_type(intern(ty)),
+            naive_pos(kg, intern("type"), &Value::str(ty)),
+            "{seed_label}: type mismatch for {ty}"
+        );
+    }
+}
+
+#[test]
+fn random_interleavings_match_naive_scans() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ seed);
+        let mut kg = KnowledgeGraph::new();
+        for step in 0..120 {
+            random_op(&mut rng, &mut kg);
+            // Check at a sampled cadence (every op would be O(n²) overall).
+            if step % 30 == 29 {
+                assert_index_matches_naive_scan(&kg, &format!("seed {seed} step {step}"));
+            }
+        }
+        assert_index_matches_naive_scan(&kg, &format!("seed {seed} final"));
+    }
+}
+
+#[test]
+fn delta_feed_replay_reproduces_the_index() {
+    for seed in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0xD417A ^ seed);
+        let mut kg = KnowledgeGraph::new();
+        let mut feed: Vec<Delta> = Vec::new();
+        for _ in 0..150 {
+            random_op(&mut rng, &mut kg);
+            feed.extend(kg.drain_deltas());
+        }
+        let mut replayed = TripleIndex::new();
+        for delta in &feed {
+            replayed.apply(delta);
+        }
+        let index = kg.index();
+        assert_eq!(
+            replayed.fact_count(),
+            index.fact_count(),
+            "seed {seed}: fact counts"
+        );
+        assert_eq!(
+            replayed.entity_count(),
+            index.entity_count(),
+            "seed {seed}: entity counts"
+        );
+        for id in (1..16).map(EntityId) {
+            let mut a: Vec<(Symbol, Value)> =
+                replayed.facts_of(id).map(|(p, v)| (p, v.clone())).collect();
+            let mut b: Vec<(Symbol, Value)> =
+                index.facts_of(id).map(|(p, v)| (p, v.clone())).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "seed {seed}: replayed SPO for {id}");
+            assert_eq!(
+                replayed.referencing(id),
+                index.referencing(id),
+                "seed {seed}: replayed OSP for {id}"
+            );
+        }
+        for name in NAMES {
+            for token in name_tokens(name) {
+                assert_eq!(
+                    replayed.by_name(&token),
+                    index.by_name(&token),
+                    "seed {seed}: replayed token {token:?}"
+                );
+            }
+        }
+    }
+}

@@ -58,22 +58,71 @@ impl PredTable {
         }
     }
 
-    fn retain_subjects(&mut self, keep: impl Fn(u64) -> bool) {
-        retain_pair(&mut self.ent_rows, &keep);
-        retain_pair(&mut self.str_rows, &keep);
-        retain_pair(&mut self.int_rows, &keep);
-        retain_pair(&mut self.float_rows, &keep);
-        self.str_dict = std::sync::OnceLock::new();
+    /// Remove one `(subject, value)` row of the matching typed column.
+    /// Returns `false` if no such row exists. Only the one affected
+    /// partition is touched — the delta-maintenance fast path. Rows are
+    /// `swap_remove`d: frame consumers (joins, group-bys, semi joins) are
+    /// row-order-insensitive, and shifting a large partition per removal
+    /// would turn bulk retraction quadratic.
+    fn remove_row(&mut self, subject: u64, value: &Value) -> bool {
+        fn remove_one<T: PartialEq>(pair: &mut (Vec<u64>, Vec<T>), subject: u64, v: &T) -> bool {
+            match pair
+                .0
+                .iter()
+                .zip(pair.1.iter())
+                .position(|(s, x)| *s == subject && x == v)
+            {
+                Some(i) => {
+                    pair.0.swap_remove(i);
+                    pair.1.swap_remove(i);
+                    true
+                }
+                None => false,
+            }
+        }
+        match value {
+            Value::Entity(e) => remove_one(&mut self.ent_rows, subject, &e.0),
+            Value::Str(s) => {
+                let hit = remove_one(&mut self.str_rows, subject, s);
+                if hit {
+                    self.str_dict = std::sync::OnceLock::new();
+                }
+                hit
+            }
+            Value::Int(i) => remove_one(&mut self.int_rows, subject, i),
+            Value::Float(f) => {
+                match self
+                    .float_rows
+                    .0
+                    .iter()
+                    .zip(self.float_rows.1.iter())
+                    .position(|(s, x)| *s == subject && x.to_bits() == f.to_bits())
+                {
+                    Some(i) => {
+                        self.float_rows.0.swap_remove(i);
+                        self.float_rows.1.swap_remove(i);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            _ => false,
+        }
     }
 
     /// The shared dictionary snapshot of this partition's string column.
     pub fn str_dict(&self) -> Arc<Vec<Arc<str>>> {
-        Arc::clone(self.str_dict.get_or_init(|| Arc::new(self.str_rows.1.clone())))
+        Arc::clone(
+            self.str_dict
+                .get_or_init(|| Arc::new(self.str_rows.1.clone())),
+        )
     }
 
     /// Total rows across value kinds.
     pub fn len(&self) -> usize {
-        self.ent_rows.0.len() + self.str_rows.0.len() + self.int_rows.0.len()
+        self.ent_rows.0.len()
+            + self.str_rows.0.len()
+            + self.int_rows.0.len()
             + self.float_rows.0.len()
     }
 
@@ -83,25 +132,29 @@ impl PredTable {
     }
 }
 
-fn retain_pair<T: Clone>(pair: &mut (Vec<u64>, Vec<T>), keep: &impl Fn(u64) -> bool) {
-    let (subs, vals) = pair;
-    let mut w = 0;
-    for i in 0..subs.len() {
-        if keep(subs[i]) {
-            subs.swap(w, i);
-            vals.swap(w, i);
-            w += 1;
-        }
-    }
-    subs.truncate(w);
-    vals.truncate(w);
+/// True if the analytics store materializes rows for this value kind
+/// (booleans, nulls and unresolved references are not analytics-relevant).
+fn stored(value: &Value) -> bool {
+    matches!(
+        value,
+        Value::Entity(_) | Value::Str(_) | Value::Int(_) | Value::Float(_)
+    )
 }
 
 /// The columnar analytics store.
+///
+/// Maintenance is delta-driven: rows derive from the KG's unified
+/// [`TripleIndex`](saga_core::TripleIndex) through the same
+/// `predicate.facet` flattening, and incremental updates touch only the
+/// partitions named in each [`Delta`](saga_core::Delta) — no store-wide
+/// rescan on the per-delta path.
 #[derive(Clone, Debug, Default)]
 pub struct AnalyticsStore {
     tables: FxHashMap<Symbol, PredTable>,
     by_type: FxHashMap<Symbol, Vec<u64>>,
+    /// Mirror of each subject's materialized `(predicate, value)` rows —
+    /// the old state a changed-id update diffs against.
+    by_subject: FxHashMap<u64, Vec<(Symbol, Value)>>,
 }
 
 impl AnalyticsStore {
@@ -115,33 +168,123 @@ impl AnalyticsStore {
     }
 
     fn index_entity(&mut self, record: &saga_core::EntityRecord) {
-        let subject = record.id.0;
-        for t in &record.triples {
-            let pred = match t.rel {
-                None => t.predicate,
-                Some(rel) => intern(&format!("{}.{}", t.predicate, rel.rel_predicate)),
+        let delta = saga_core::Delta {
+            entity: record.id,
+            added: record
+                .triples
+                .iter()
+                .filter_map(saga_core::index::flatten)
+                .map(|(predicate, object)| saga_core::DeltaFact { predicate, object })
+                .collect(),
+            removed: Vec::new(),
+        };
+        self.apply_delta(&delta);
+    }
+
+    /// Apply one [`Delta`](saga_core::Delta) from the KG's change feed:
+    /// row-level removals and inserts against exactly the partitions the
+    /// delta names.
+    pub fn apply_delta(&mut self, delta: &saga_core::Delta) {
+        let subject = delta.entity.0;
+        let type_sym = intern(saga_core::well_known::TYPE);
+        for fact in &delta.removed {
+            if !stored(&fact.object) {
+                continue;
+            }
+            let mirror = self.by_subject.entry(subject).or_default();
+            let Some(at) = mirror
+                .iter()
+                .position(|(p, v)| *p == fact.predicate && v == &fact.object)
+            else {
+                continue; // never materialized (e.g. replay from mid-stream)
             };
-            self.tables.entry(pred).or_default().push(subject, &t.object);
+            mirror.remove(at);
+            if let Some(table) = self.tables.get_mut(&fact.predicate) {
+                table.remove_row(subject, &fact.object);
+            }
+            if fact.predicate == type_sym {
+                if let Value::Str(name) = &fact.object {
+                    let last_of_type = !self.by_subject.get(&subject).is_some_and(|facts| {
+                        facts
+                            .iter()
+                            .any(|(p, v)| *p == type_sym && v == &fact.object)
+                    });
+                    if last_of_type {
+                        if let Some(subjects) = self.by_type.get_mut(&intern(name)) {
+                            if let Some(i) = subjects.iter().position(|&s| s == subject) {
+                                subjects.remove(i);
+                            }
+                        }
+                    }
+                }
+            }
         }
-        for ty in record.types() {
-            self.by_type.entry(ty).or_default().push(subject);
+        for fact in &delta.added {
+            if !stored(&fact.object) {
+                continue;
+            }
+            if fact.predicate == type_sym {
+                if let Value::Str(name) = &fact.object {
+                    let already = self.by_subject.get(&subject).is_some_and(|facts| {
+                        facts
+                            .iter()
+                            .any(|(p, v)| *p == type_sym && v == &fact.object)
+                    });
+                    if !already {
+                        self.by_type.entry(intern(name)).or_default().push(subject);
+                    }
+                }
+            }
+            self.tables
+                .entry(fact.predicate)
+                .or_default()
+                .push(subject, &fact.object);
+            self.by_subject
+                .entry(subject)
+                .or_default()
+                .push((fact.predicate, fact.object.clone()));
+        }
+        if self.by_subject.get(&subject).is_some_and(Vec::is_empty) {
+            self.by_subject.remove(&subject);
+        }
+    }
+
+    /// Apply a batch of deltas (the drained KG changelog).
+    pub fn apply_deltas(&mut self, deltas: &[saga_core::Delta]) {
+        for delta in deltas {
+            self.apply_delta(delta);
         }
     }
 
     /// Incrementally refresh `changed` entities (§3.2's update-by-changed-ids
-    /// procedure): their old rows are dropped and current rows re-indexed.
+    /// procedure): each subject's old rows are diffed against the unified
+    /// triple index and only the difference is applied — the partitions of
+    /// unchanged predicates are never visited.
     pub fn update(&mut self, kg: &KnowledgeGraph, changed: &[EntityId]) {
-        let changed_set: saga_core::FxHashSet<u64> = changed.iter().map(|e| e.0).collect();
-        for table in self.tables.values_mut() {
-            table.retain_subjects(|s| !changed_set.contains(&s));
-        }
-        for subjects in self.by_type.values_mut() {
-            subjects.retain(|s| !changed_set.contains(s));
-        }
         for &id in changed {
-            if let Some(record) = kg.entity(id) {
-                self.index_entity(record);
-            }
+            let mut old: Vec<(Symbol, Value)> =
+                self.by_subject.get(&id.0).cloned().unwrap_or_default();
+            let mut new: Vec<(Symbol, Value)> = kg
+                .index()
+                .facts_of(id)
+                .filter(|(_, v)| stored(v))
+                .map(|(p, v)| (p, v.clone()))
+                .collect();
+            old.sort_unstable();
+            new.sort_unstable();
+            let (added, removed) = saga_core::index::sorted_multiset_diff(&old, &new);
+            let to_facts = |facts: Vec<(Symbol, Value)>| {
+                facts
+                    .into_iter()
+                    .map(|(predicate, object)| saga_core::DeltaFact { predicate, object })
+                    .collect()
+            };
+            let delta = saga_core::Delta {
+                entity: id,
+                added: to_facts(added),
+                removed: to_facts(removed),
+            };
+            self.apply_delta(&delta);
         }
     }
 
@@ -276,9 +419,7 @@ impl FrameCol {
     pub fn str_at(&self, i: usize) -> Option<&str> {
         match self {
             FrameCol::Strs(v) => v.get(i).map(|s| &**s),
-            FrameCol::DictStrs { codes, dict } => {
-                codes.get(i).map(|&c| &*dict[c as usize])
-            }
+            FrameCol::DictStrs { codes, dict } => codes.get(i).map(|&c| &*dict[c as usize]),
             _ => None,
         }
     }
@@ -353,13 +494,17 @@ impl Frame {
         first.reserve(keys.len());
         let mut overflow: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
         for (i, &k) in keys.iter().enumerate() {
-            if first.contains_key(&k) {
-                overflow.entry(k).or_default().push(i as u32);
+            if let std::collections::hash_map::Entry::Vacant(e) = first.entry(k) {
+                e.insert(i as u32);
             } else {
-                first.insert(k, i as u32);
+                overflow.entry(k).or_default().push(i as u32);
             }
         }
-        JoinIndex { on: on.to_string(), first, overflow }
+        JoinIndex {
+            on: on.to_string(),
+            first,
+            overflow,
+        }
     }
 
     /// Inner hash join on id columns `self.left_on == other.right_on`.
@@ -401,7 +546,11 @@ impl Frame {
             if n == &index.on {
                 continue;
             }
-            let name = if self.col(n).is_some() { format!("r_{n}") } else { n.clone() };
+            let name = if self.col(n).is_some() {
+                format!("r_{n}")
+            } else {
+                n.clone()
+            };
             cols.push((name, c.gather(&right_idx)));
         }
         Frame::new(cols)
@@ -411,15 +560,30 @@ impl Frame {
     #[must_use]
     pub fn semi_join(&self, on: &str, keys: &[u64]) -> Frame {
         let key_set: saga_core::FxHashSet<u64> = keys.iter().copied().collect();
-        let col = self.col(on).and_then(FrameCol::as_ids).expect("semi join needs id column");
-        let idx: Vec<usize> =
-            col.iter().enumerate().filter(|(_, k)| key_set.contains(k)).map(|(i, _)| i).collect();
-        Frame::new(self.cols.iter().map(|(n, c)| (n.clone(), c.gather(&idx))).collect())
+        let col = self
+            .col(on)
+            .and_then(FrameCol::as_ids)
+            .expect("semi join needs id column");
+        let idx: Vec<usize> = col
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| key_set.contains(k))
+            .map(|(i, _)| i)
+            .collect();
+        Frame::new(
+            self.cols
+                .iter()
+                .map(|(n, c)| (n.clone(), c.gather(&idx)))
+                .collect(),
+        )
     }
 
     /// Group by an id column, counting rows: returns `Frame[<by>, count]`.
     pub fn group_count(&self, by: &str) -> Frame {
-        let keys = self.col(by).and_then(FrameCol::as_ids).expect("group_count needs id column");
+        let keys = self
+            .col(by)
+            .and_then(FrameCol::as_ids)
+            .expect("group_count needs id column");
         let mut counts: FxHashMap<u64, i64> = FxHashMap::default();
         for &k in keys {
             *counts.entry(k).or_insert(0) += 1;
@@ -427,8 +591,14 @@ impl Frame {
         let mut pairs: Vec<(u64, i64)> = counts.into_iter().collect();
         pairs.sort_unstable();
         Frame::new(vec![
-            (by.into(), FrameCol::Ids(pairs.iter().map(|(k, _)| *k).collect())),
-            ("count".into(), FrameCol::Ints(pairs.iter().map(|(_, c)| *c).collect())),
+            (
+                by.into(),
+                FrameCol::Ids(pairs.iter().map(|(k, _)| *k).collect()),
+            ),
+            (
+                "count".into(),
+                FrameCol::Ints(pairs.iter().map(|(_, c)| *c).collect()),
+            ),
         ])
     }
 
@@ -461,11 +631,31 @@ mod tests {
         kg.add_named_entity(EntityId(1), "Artist A", "music_artist", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(2), "Song X", "song", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(3), "Song Y", "song", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), intern("performed_by"), Value::Entity(EntityId(1)), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(3), intern("performed_by"), Value::Entity(EntityId(1)), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), intern("duration_s"), Value::Int(194), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(2),
+            intern("performed_by"),
+            Value::Entity(EntityId(1)),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(3),
+            intern("performed_by"),
+            Value::Entity(EntityId(1)),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(2),
+            intern("duration_s"),
+            Value::Int(194),
+            meta(),
+        ));
         kg.upsert_fact(ExtendedTriple::composite(
-            EntityId(1), intern("educated_at"), RelId(1), intern("school"), Value::str("UW"), meta(),
+            EntityId(1),
+            intern("educated_at"),
+            RelId(1),
+            intern("school"),
+            Value::str("UW"),
+            meta(),
         ));
         kg
     }
@@ -473,8 +663,19 @@ mod tests {
     #[test]
     fn build_partitions_by_predicate_and_type() {
         let store = AnalyticsStore::build(&kg());
-        assert_eq!(store.table(intern("performed_by")).unwrap().ent_rows.0.len(), 2);
-        assert_eq!(store.table(intern("duration_s")).unwrap().int_rows.0.len(), 1);
+        assert_eq!(
+            store
+                .table(intern("performed_by"))
+                .unwrap()
+                .ent_rows
+                .0
+                .len(),
+            2
+        );
+        assert_eq!(
+            store.table(intern("duration_s")).unwrap().int_rows.0.len(),
+            1
+        );
         assert_eq!(store.entities_of_type(intern("song")).len(), 2);
         // Composite facet flattened to predicate.facet.
         let edu = store.table(intern("educated_at.school")).unwrap();
@@ -497,7 +698,9 @@ mod tests {
     #[test]
     fn group_count_and_semi_join() {
         let store = AnalyticsStore::build(&kg());
-        let per_artist = store.frame_ents(intern("performed_by"), "artist").group_count("artist");
+        let per_artist = store
+            .frame_ents(intern("performed_by"), "artist")
+            .group_count("artist");
         assert_eq!(per_artist.len(), 1);
         assert_eq!(per_artist.col("count").unwrap(), &FrameCol::Ints(vec![2]));
 
@@ -513,11 +716,22 @@ mod tests {
         // New song appears; an old one is deleted.
         g.add_named_entity(EntityId(4), "Song Z", "song", SourceId(1), 0.9);
         g.upsert_fact(ExtendedTriple::simple(
-            EntityId(4), intern("performed_by"), Value::Entity(EntityId(1)), meta(),
+            EntityId(4),
+            intern("performed_by"),
+            Value::Entity(EntityId(1)),
+            meta(),
         ));
         g.retract_source_entity(SourceId(1), "nonexistent"); // no-op
         store.update(&g, &[EntityId(4)]);
-        assert_eq!(store.table(intern("performed_by")).unwrap().ent_rows.0.len(), 3);
+        assert_eq!(
+            store
+                .table(intern("performed_by"))
+                .unwrap()
+                .ent_rows
+                .0
+                .len(),
+            3
+        );
         assert_eq!(store.entities_of_type(intern("song")).len(), 3);
 
         // Simulate deletion of entity 2.
@@ -526,7 +740,57 @@ mod tests {
         g2.retract_source_entity(SourceId(1), "s2");
         store.update(&g2, &[EntityId(2)]);
         assert_eq!(store.entities_of_type(intern("song")).len(), 2);
-        assert_eq!(store.table(intern("performed_by")).unwrap().ent_rows.0.len(), 2);
+        assert_eq!(
+            store
+                .table(intern("performed_by"))
+                .unwrap()
+                .ent_rows
+                .0
+                .len(),
+            2
+        );
+    }
+
+    #[test]
+    fn kg_changelog_deltas_replay_into_the_store() {
+        let mut g = KnowledgeGraph::new();
+        g.add_named_entity(EntityId(1), "Artist A", "music_artist", SourceId(1), 0.9);
+        let mut store = AnalyticsStore::build(&g);
+        g.drain_deltas(); // already materialized via build
+
+        // New entity + edge arrive; the drained change feed carries them.
+        g.add_named_entity(EntityId(2), "Song X", "song", SourceId(1), 0.9);
+        g.upsert_fact(ExtendedTriple::simple(
+            EntityId(2),
+            intern("performed_by"),
+            Value::Entity(EntityId(1)),
+            meta(),
+        ));
+        let deltas = g.drain_deltas();
+        assert!(!deltas.is_empty());
+        store.apply_deltas(&deltas);
+        assert_eq!(
+            store
+                .table(intern("performed_by"))
+                .unwrap()
+                .ent_rows
+                .0
+                .len(),
+            1
+        );
+        assert_eq!(store.entities_of_type(intern("song")), &[2]);
+
+        // Retraction flows through the same feed.
+        g.record_link(SourceId(1), "x", EntityId(2));
+        g.retract_source_entity(SourceId(1), "x");
+        store.apply_deltas(&g.drain_deltas());
+        assert!(store.entities_of_type(intern("song")).is_empty());
+        assert!(store.table(intern("performed_by")).unwrap().is_empty());
+        assert_eq!(
+            store.entities_of_type(intern("music_artist")),
+            &[1],
+            "untouched"
+        );
     }
 
     #[test]

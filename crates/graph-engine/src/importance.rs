@@ -75,17 +75,21 @@ pub fn compute_importance(kg: &KnowledgeGraph, config: &ImportanceConfig) -> Imp
 
     // PageRank with dangling-mass redistribution.
     let ids: Vec<EntityId> = adjacency.keys().copied().collect();
-    let mut rank: FxHashMap<EntityId, f64> =
-        ids.iter().map(|&id| (id, 1.0 / n as f64)).collect();
+    let mut rank: FxHashMap<EntityId, f64> = ids.iter().map(|&id| (id, 1.0 / n as f64)).collect();
     for _ in 0..config.iterations {
-        let mut next: FxHashMap<EntityId, f64> =
-            ids.iter().map(|&id| (id, (1.0 - config.damping) / n as f64)).collect();
+        let mut next: FxHashMap<EntityId, f64> = ids
+            .iter()
+            .map(|&id| (id, (1.0 - config.damping) / n as f64))
+            .collect();
         let mut dangling = 0.0;
         for (&src, dsts) in &adjacency {
             let r = rank[&src];
             // Only edges to entities that still exist carry rank.
-            let live: Vec<EntityId> =
-                dsts.iter().copied().filter(|d| rank.contains_key(d)).collect();
+            let live: Vec<EntityId> = dsts
+                .iter()
+                .copied()
+                .filter(|d| rank.contains_key(d))
+                .collect();
             if live.is_empty() {
                 dangling += r;
             } else {
@@ -104,7 +108,11 @@ pub fn compute_importance(kg: &KnowledgeGraph, config: &ImportanceConfig) -> Imp
     scores.pagerank = rank;
 
     // Aggregate: weighted sum of log-degrees, identities and normalized PR.
-    let max_pr = scores.pagerank.values().copied().fold(f64::MIN_POSITIVE, f64::max);
+    let max_pr = scores
+        .pagerank
+        .values()
+        .copied()
+        .fold(f64::MIN_POSITIVE, f64::max);
     for &id in scores.in_degree.keys() {
         // Dangling references (edges to retracted entities) appear in
         // in-degree only; every lookup tolerates them.
@@ -135,7 +143,9 @@ impl View for ImportanceView {
     }
 
     fn create(&self, ctx: &ViewContext<'_>) -> Result<ViewData> {
-        Ok(ViewData::Scores(compute_importance(ctx.kg, &self.config).score))
+        Ok(ViewData::Scores(
+            compute_importance(ctx.kg, &self.config).score,
+        ))
     }
 }
 
@@ -152,7 +162,12 @@ mod tests {
         for i in 0..spokes {
             let id = EntityId(10 + i);
             kg.add_named_entity(id, &format!("Spoke{i}"), "person", SourceId(1), 0.9);
-            kg.upsert_fact(ExtendedTriple::simple(id, intern("member_of"), Value::Entity(EntityId(1)), meta()));
+            kg.upsert_fact(ExtendedTriple::simple(
+                id,
+                intern("member_of"),
+                Value::Entity(EntityId(1)),
+                meta(),
+            ));
         }
         kg.add_named_entity(EntityId(99), "Loner", "person", SourceId(1), 0.9);
         kg
@@ -198,7 +213,13 @@ mod tests {
         let kg = star_kg(4);
         let store = crate::analytics::AnalyticsStore::build(&kg);
         let mut vm = ViewManager::new();
-        vm.register(Box::new(ImportanceView { config: ImportanceConfig::default() }), 1).unwrap();
+        vm.register(
+            Box::new(ImportanceView {
+                config: ImportanceConfig::default(),
+            }),
+            1,
+        )
+        .unwrap();
         vm.refresh_all(&kg, &store).unwrap();
         let data = vm.get("entity_importance").unwrap();
         let scores = data.as_scores().unwrap();

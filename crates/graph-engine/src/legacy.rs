@@ -89,14 +89,11 @@ impl LegacyEngine {
 
     /// Sort-merge join of two row sets on their `u64` keys, producing
     /// cloned value pairs — the legacy engine's only join strategy.
-    pub fn merge_join(
-        left: &[(u64, Value)],
-        right: &[(u64, Value)],
-    ) -> Vec<(u64, Value, Value)> {
+    pub fn merge_join(left: &[(u64, Value)], right: &[(u64, Value)]) -> Vec<(u64, Value, Value)> {
         let mut l: Vec<(u64, Value)> = left.to_vec();
         let mut r: Vec<(u64, Value)> = right.to_vec();
-        l.sort_by(|a, b| a.0.cmp(&b.0));
-        r.sort_by(|a, b| a.0.cmp(&b.0));
+        l.sort_by_key(|a| a.0);
+        r.sort_by_key(|a| a.0);
         let mut out = Vec::new();
         let mut j0 = 0usize;
         for (k, lv) in &l {
@@ -160,8 +157,18 @@ mod tests {
         kg.add_named_entity(EntityId(1), "Artist A", "music_artist", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(2), "Song X", "song", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(3), "Song Y", "song", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), saga_core::intern("performed_by"), Value::Entity(EntityId(1)), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(3), saga_core::intern("performed_by"), Value::Entity(EntityId(1)), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(2),
+            saga_core::intern("performed_by"),
+            Value::Entity(EntityId(1)),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(3),
+            saga_core::intern("performed_by"),
+            Value::Entity(EntityId(1)),
+            meta(),
+        ));
         kg
     }
 
@@ -175,7 +182,11 @@ mod tests {
 
     #[test]
     fn merge_join_matches_on_keys() {
-        let left = vec![(1u64, Value::str("a")), (2, Value::str("b")), (2, Value::str("b2"))];
+        let left = vec![
+            (1u64, Value::str("a")),
+            (2, Value::str("b")),
+            (2, Value::str("b2")),
+        ];
         let right = vec![(2u64, Value::Int(20)), (3, Value::Int(30))];
         let joined = LegacyEngine::merge_join(&left, &right);
         assert_eq!(joined.len(), 2, "two left rows with key 2 each match once");
@@ -190,18 +201,16 @@ mod tests {
         let joined = LegacyEngine::join_value_to_subject(&performed, &names);
         // Each song joins to the artist's name row.
         assert_eq!(joined.len(), 2);
-        assert!(joined.iter().all(|(_, _, n)| n.as_str() == Some("Artist A")));
+        assert!(joined
+            .iter()
+            .all(|(_, _, n)| n.as_str() == Some("Artist A")));
         let subjects: Vec<u64> = joined.iter().map(|(s, _, _)| *s).collect();
         assert!(subjects.contains(&2) && subjects.contains(&3));
     }
 
     #[test]
     fn group_count_by_sorting() {
-        let rows = vec![
-            (5u64, Value::Null),
-            (5, Value::Null),
-            (7, Value::Null),
-        ];
+        let rows = vec![(5u64, Value::Null), (5, Value::Null), (7, Value::Null)];
         assert_eq!(LegacyEngine::group_count(&rows), vec![(5, 2), (7, 1)]);
         assert!(LegacyEngine::group_count(&[]).is_empty());
     }

@@ -35,7 +35,11 @@ impl MetadataStore {
 
     /// The newest LSN `store` has fully replayed.
     pub fn progress_of(&self, store: &str) -> Lsn {
-        self.progress.read().get(store).copied().unwrap_or(Lsn::ZERO)
+        self.progress
+            .read()
+            .get(store)
+            .copied()
+            .unwrap_or(Lsn::ZERO)
     }
 
     /// Freshness check: is `store` serving at least KG version `min_lsn`?
@@ -46,13 +50,21 @@ impl MetadataStore {
     /// The minimum progress across `stores` — the KG version a cross-store
     /// query can rely on.
     pub fn consistent_lsn(&self, stores: &[&str]) -> Lsn {
-        stores.iter().map(|s| self.progress_of(s)).min().unwrap_or(Lsn::ZERO)
+        stores
+            .iter()
+            .map(|s| self.progress_of(s))
+            .min()
+            .unwrap_or(Lsn::ZERO)
     }
 
     /// All registered stores with their progress.
     pub fn snapshot(&self) -> Vec<(String, Lsn)> {
-        let mut v: Vec<(String, Lsn)> =
-            self.progress.read().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut v: Vec<(String, Lsn)> = self
+            .progress
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
         v.sort();
         v
     }

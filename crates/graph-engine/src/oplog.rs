@@ -14,10 +14,11 @@ use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
 use parking_lot::Mutex;
+use saga_core::json::Json;
 use saga_core::{EntityId, Lsn, Result, SagaError, SourceId};
 
 /// What happened in one ingest operation.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum OpKind {
     /// Entities were created or had facts fused (the changed-id list drives
     /// incremental view maintenance).
@@ -31,7 +32,7 @@ pub enum OpKind {
 }
 
 /// One entry of the operation log.
-#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IngestOp {
     /// Sequence number (assigned by the log).
     pub lsn: Lsn,
@@ -39,6 +40,72 @@ pub struct IngestOp {
     pub kind: OpKind,
     /// The entities whose derived state must be refreshed.
     pub changed: Vec<EntityId>,
+}
+
+impl IngestOp {
+    /// Serialize to the durable JSON-line format, e.g.
+    /// `{"changed":[1,2],"kind":{"RetractSource":3},"lsn":7}`.
+    pub fn to_json(&self) -> String {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("lsn".to_string(), Json::Int(self.lsn.0 as i64));
+        let kind = match self.kind {
+            OpKind::Upsert => Json::str("Upsert"),
+            OpKind::Delete => Json::str("Delete"),
+            OpKind::RetractSource(src) => {
+                Json::Object([("RetractSource".to_string(), Json::Int(src.0 as i64))].into())
+            }
+            OpKind::VolatileOverwrite(src) => {
+                Json::Object([("VolatileOverwrite".to_string(), Json::Int(src.0 as i64))].into())
+            }
+        };
+        obj.insert("kind".to_string(), kind);
+        obj.insert(
+            "changed".to_string(),
+            Json::Array(self.changed.iter().map(|e| Json::Int(e.0 as i64)).collect()),
+        );
+        Json::Object(obj).to_string_compact()
+    }
+
+    /// Parse the format produced by [`to_json`](Self::to_json).
+    pub fn from_json(line: &str) -> Result<IngestOp> {
+        let bad = |m: &str| SagaError::Storage(format!("bad op entry: {m}"));
+        let v = saga_core::json::parse(line).map_err(|e| bad(&e.to_string()))?;
+        let lsn = v
+            .get("lsn")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| bad("missing lsn"))?;
+        let kind = match v.get("kind").ok_or_else(|| bad("missing kind"))? {
+            Json::Str(s) => match s.as_str() {
+                "Upsert" => OpKind::Upsert,
+                "Delete" => OpKind::Delete,
+                other => return Err(bad(&format!("unknown kind {other}"))),
+            },
+            Json::Object(map) => {
+                let (tag, value) = map.iter().next().ok_or_else(|| bad("empty kind"))?;
+                let src = value.as_i64().ok_or_else(|| bad("kind source id"))?;
+                let src = SourceId(u32::try_from(src).map_err(|_| bad("source id range"))?);
+                match tag.as_str() {
+                    "RetractSource" => OpKind::RetractSource(src),
+                    "VolatileOverwrite" => OpKind::VolatileOverwrite(src),
+                    other => return Err(bad(&format!("unknown kind {other}"))),
+                }
+            }
+            _ => return Err(bad("kind shape")),
+        };
+        let changed = v
+            .get("changed")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("missing changed"))?
+            .iter()
+            .map(|item| item.as_i64().map(|i| EntityId(i as u64)))
+            .collect::<Option<Vec<EntityId>>>()
+            .ok_or_else(|| bad("changed ids"))?;
+        Ok(IngestOp {
+            lsn: Lsn(lsn as u64),
+            kind,
+            changed,
+        })
+    }
 }
 
 struct LogInner {
@@ -55,7 +122,13 @@ pub struct OperationLog {
 impl OperationLog {
     /// An in-memory log (tests, benchmarks).
     pub fn in_memory() -> Self {
-        OperationLog { inner: Mutex::new(LogInner { entries: Vec::new(), sink: None }), path: None }
+        OperationLog {
+            inner: Mutex::new(LogInner {
+                entries: Vec::new(),
+                sink: None,
+            }),
+            path: None,
+        }
     }
 
     /// A file-backed log at `path` (appends if the file exists).
@@ -68,15 +141,20 @@ impl OperationLog {
                 if line.trim().is_empty() {
                     continue;
                 }
-                let op: IngestOp = serde_json::from_str(&line).map_err(|e| {
-                    SagaError::Storage(format!("corrupt log line {}: {e}", i + 1))
-                })?;
+                let op = IngestOp::from_json(&line)
+                    .map_err(|e| SagaError::Storage(format!("corrupt log line {}: {e}", i + 1)))?;
                 entries.push(op);
             }
         }
-        let sink = fs::OpenOptions::new().create(true).append(true).open(path)?;
+        let sink = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
         Ok(OperationLog {
-            inner: Mutex::new(LogInner { entries, sink: Some(sink) }),
+            inner: Mutex::new(LogInner {
+                entries,
+                sink: Some(sink),
+            }),
             path: Some(path.to_path_buf()),
         })
     }
@@ -87,9 +165,7 @@ impl OperationLog {
         let lsn = Lsn(inner.entries.len() as u64 + 1);
         let op = IngestOp { lsn, kind, changed };
         if let Some(sink) = inner.sink.as_mut() {
-            let line = serde_json::to_string(&op)
-                .map_err(|e| SagaError::Storage(format!("serialize op: {e}")))?;
-            writeln!(sink, "{line}")?;
+            writeln!(sink, "{}", op.to_json())?;
         }
         inner.entries.push(op);
         Ok(lsn)
@@ -103,7 +179,12 @@ impl OperationLog {
     /// All operations with `lsn > after`, in order — what an agent replays.
     pub fn read_after(&self, after: Lsn) -> Vec<IngestOp> {
         let inner = self.inner.lock();
-        inner.entries.iter().filter(|op| op.lsn > after).cloned().collect()
+        inner
+            .entries
+            .iter()
+            .filter(|op| op.lsn > after)
+            .cloned()
+            .collect()
     }
 
     /// The backing file, if durable.
@@ -140,14 +221,29 @@ mod tests {
         assert_eq!(log.read_after(Lsn::ZERO).len(), 5);
     }
 
+    /// Unique temp-file path per call: the process id alone is not enough
+    /// because the test harness runs tests of one binary in parallel
+    /// threads of a single process, which used to clobber the shared file.
+    fn unique_log_path() -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "saga_oplog_{}_{}.jsonl",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
     #[test]
     fn durable_log_survives_reopen() {
-        let path = std::env::temp_dir().join(format!("saga_oplog_{}.jsonl", std::process::id()));
+        let path = unique_log_path();
         let _ = fs::remove_file(&path);
         {
             let log = OperationLog::durable(&path).unwrap();
-            log.append(OpKind::Upsert, vec![EntityId(1), EntityId(2)]).unwrap();
-            log.append(OpKind::RetractSource(SourceId(3)), vec![]).unwrap();
+            log.append(OpKind::Upsert, vec![EntityId(1), EntityId(2)])
+                .unwrap();
+            log.append(OpKind::RetractSource(SourceId(3)), vec![])
+                .unwrap();
         }
         let reopened = OperationLog::durable(&path).unwrap();
         assert_eq!(reopened.head(), Lsn(2));
@@ -168,11 +264,16 @@ mod tests {
             .map(|_| {
                 let log = Arc::clone(&log);
                 std::thread::spawn(move || {
-                    (0..100).map(|_| log.append(OpKind::Upsert, vec![]).unwrap().0).collect::<Vec<_>>()
+                    (0..100)
+                        .map(|_| log.append(OpKind::Upsert, vec![]).unwrap().0)
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 400);

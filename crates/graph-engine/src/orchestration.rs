@@ -33,7 +33,11 @@ pub struct AgentRunner {
 impl AgentRunner {
     /// A runner over a log and metadata store.
     pub fn new(log: Arc<OperationLog>, meta: Arc<MetadataStore>) -> Self {
-        AgentRunner { log, meta, agents: Vec::new() }
+        AgentRunner {
+            log,
+            meta,
+            agents: Vec::new(),
+        }
     }
 
     /// Register a new store's agent — the "reasonably small engineering
@@ -130,7 +134,9 @@ impl TextIndexAgent {
     }
 
     fn tokens_of(kg: &KnowledgeGraph, id: EntityId) -> Vec<String> {
-        let Some(rec) = kg.entity(id) else { return Vec::new() };
+        let Some(rec) = kg.entity(id) else {
+            return Vec::new();
+        };
         let mut text: Vec<String> = rec.all_names().iter().map(|s| s.to_string()).collect();
         if let Some(d) = rec.description() {
             text.push(d.to_string());
@@ -165,7 +171,10 @@ impl TextIndexAgent {
     /// Ranked search: entities matching the most query tokens first.
     pub fn search(&self, query: &str, k: usize) -> Vec<(EntityId, usize)> {
         let mut hits: FxHashMap<EntityId, usize> = FxHashMap::default();
-        for w in query.split(|c: char| !c.is_alphanumeric()).filter(|w| !w.is_empty()) {
+        for w in query
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+        {
             if let Some(ids) = self.postings.get(&w.to_lowercase()) {
                 for &id in ids {
                     *hits.entry(id).or_insert(0) += 1;
@@ -196,8 +205,12 @@ impl OrchestrationAgent for TextIndexAgent {
             }
         }
         if matches!(op.kind, crate::oplog::OpKind::RetractSource(_)) {
-            let stale: Vec<EntityId> =
-                self.indexed.keys().copied().filter(|id| !kg.contains(*id)).collect();
+            let stale: Vec<EntityId> = self
+                .indexed
+                .keys()
+                .copied()
+                .filter(|id| !kg.contains(*id))
+                .collect();
             for id in stale {
                 self.unindex(id);
             }
@@ -236,7 +249,11 @@ mod tests {
     use saga_core::{intern, ExtendedTriple, FactMeta, SourceId, Value};
 
     fn setup() -> (KnowledgeGraph, Arc<OperationLog>, Arc<MetadataStore>) {
-        (KnowledgeGraph::new(), Arc::new(OperationLog::in_memory()), Arc::new(MetadataStore::new()))
+        (
+            KnowledgeGraph::new(),
+            Arc::new(OperationLog::in_memory()),
+            Arc::new(MetadataStore::new()),
+        )
     }
 
     #[test]
@@ -246,7 +263,13 @@ mod tests {
         runner.register(Box::new(EntityIndexAgent::new()));
         runner.register(Box::new(TextIndexAgent::new()));
 
-        kg.add_named_entity(EntityId(1), "Billie Eilish", "music_artist", SourceId(1), 0.9);
+        kg.add_named_entity(
+            EntityId(1),
+            "Billie Eilish",
+            "music_artist",
+            SourceId(1),
+            0.9,
+        );
         log.append(OpKind::Upsert, vec![EntityId(1)]).unwrap();
         let replayed = runner.run_once(&kg).unwrap();
         assert_eq!(replayed, 2, "one op × two agents");
@@ -263,14 +286,22 @@ mod tests {
         let (mut kg, log, meta) = setup();
         let mut agent = EntityIndexAgent::new();
         kg.add_named_entity(EntityId(1), "X", "person", SourceId(1), 0.9);
-        let op = IngestOp { lsn: saga_core::Lsn(1), kind: OpKind::Upsert, changed: vec![EntityId(1)] };
+        let op = IngestOp {
+            lsn: saga_core::Lsn(1),
+            kind: OpKind::Upsert,
+            changed: vec![EntityId(1)],
+        };
         agent.apply(&kg, &op).unwrap();
         assert_eq!(agent.get(EntityId(1)).unwrap().name(), Some("X"));
 
         // Delete: KG no longer has the entity.
         kg.record_link(SourceId(1), "x", EntityId(1));
         kg.retract_source_entity(SourceId(1), "x");
-        let op2 = IngestOp { lsn: saga_core::Lsn(2), kind: OpKind::Delete, changed: vec![EntityId(1)] };
+        let op2 = IngestOp {
+            lsn: saga_core::Lsn(2),
+            kind: OpKind::Delete,
+            changed: vec![EntityId(1)],
+        };
         agent.apply(&kg, &op2).unwrap();
         assert!(agent.get(EntityId(1)).is_none());
         let _ = (log, meta);
@@ -280,14 +311,26 @@ mod tests {
     fn text_index_searches_names_and_descriptions() {
         let (mut kg, ..) = setup();
         let mut agent = TextIndexAgent::new();
-        kg.add_named_entity(EntityId(1), "Billie Eilish", "music_artist", SourceId(1), 0.9);
+        kg.add_named_entity(
+            EntityId(1),
+            "Billie Eilish",
+            "music_artist",
+            SourceId(1),
+            0.9,
+        );
         kg.upsert_fact(ExtendedTriple::simple(
             EntityId(1),
             intern("description"),
             Value::str("American singer and songwriter"),
             FactMeta::from_source(SourceId(1), 0.9),
         ));
-        kg.add_named_entity(EntityId(2), "Billie Holiday", "music_artist", SourceId(1), 0.9);
+        kg.add_named_entity(
+            EntityId(2),
+            "Billie Holiday",
+            "music_artist",
+            SourceId(1),
+            0.9,
+        );
         let op = IngestOp {
             lsn: saga_core::Lsn(1),
             kind: OpKind::Upsert,
@@ -317,7 +360,10 @@ mod tests {
         let replayed = runner.run_once(&kg).unwrap();
         // entity_index replays op2 only; text_index replays op1+op2.
         assert_eq!(replayed, 3);
-        assert_eq!(meta.consistent_lsn(&["entity_index", "text_index"]), log.head());
+        assert_eq!(
+            meta.consistent_lsn(&["entity_index", "text_index"]),
+            log.head()
+        );
     }
 
     #[test]
@@ -326,12 +372,20 @@ mod tests {
         let mut idx = EntityIndexAgent::new();
         let mut txt = TextIndexAgent::new();
         kg.add_named_entity(EntityId(1), "Gone Soon", "person", SourceId(5), 0.9);
-        let up = IngestOp { lsn: saga_core::Lsn(1), kind: OpKind::Upsert, changed: vec![EntityId(1)] };
+        let up = IngestOp {
+            lsn: saga_core::Lsn(1),
+            kind: OpKind::Upsert,
+            changed: vec![EntityId(1)],
+        };
         idx.apply(&kg, &up).unwrap();
         txt.apply(&kg, &up).unwrap();
 
         kg.retract_source(SourceId(5));
-        let op = IngestOp { lsn: saga_core::Lsn(2), kind: OpKind::RetractSource(SourceId(5)), changed: vec![] };
+        let op = IngestOp {
+            lsn: saga_core::Lsn(2),
+            kind: OpKind::RetractSource(SourceId(5)),
+            changed: vec![],
+        };
         idx.apply(&kg, &op).unwrap();
         txt.apply(&kg, &op).unwrap();
         assert!(idx.is_empty());

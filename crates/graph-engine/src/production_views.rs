@@ -73,8 +73,9 @@ impl ProductionView {
                 bp.hash_join("subject", &sp, "subject").len()
             }
             ProductionView::Artists => {
-                let per_artist =
-                    store.frame_ents(intern("performed_by"), "artist").group_count("artist");
+                let per_artist = store
+                    .frame_ents(intern("performed_by"), "artist")
+                    .group_count("artist");
                 let with_names = per_artist
                     .hash_join_with("artist", &names, &names_idx)
                     .rename("n", "artist_name");
@@ -152,7 +153,10 @@ impl ProductionView {
                 // Actor home town: two more hops (birthplace → city name).
                 let bp = store.frame_ents(intern("birthplace"), "city");
                 let with_bp = an.hash_join("person", &bp, "subject");
-                with_bp.hash_join_with("city", &names, &names_idx).rename("n", "city_name").len()
+                with_bp
+                    .hash_join_with("city", &names, &names_idx)
+                    .rename("n", "city_name")
+                    .len()
             }
         }
     }
@@ -215,7 +219,9 @@ impl ProductionView {
                 let rekeyed: Vec<(u64, saga_core::Value)> = song_artists
                     .iter()
                     .filter_map(|(playlist, _, artist)| {
-                        artist.as_entity().map(|a| (a.0, saga_core::Value::Int(*playlist as i64)))
+                        artist
+                            .as_entity()
+                            .map(|a| (a.0, saga_core::Value::Int(*playlist as i64)))
                     })
                     .collect();
                 let with_artist_names = LegacyEngine::merge_join(&rekeyed, &names);
@@ -249,8 +255,10 @@ impl ProductionView {
                 let titles = engine.scan_predicate("full_title");
                 let with_titles = LegacyEngine::merge_join(&cast, &titles);
                 let directed = engine.scan_predicate("directed_by");
-                let wt: Vec<(u64, saga_core::Value)> =
-                    with_titles.into_iter().map(|(s, actor, _)| (s, actor)).collect();
+                let wt: Vec<(u64, saga_core::Value)> = with_titles
+                    .into_iter()
+                    .map(|(s, actor, _)| (s, actor))
+                    .collect();
                 // (movie, actor, director)
                 let with_directors = LegacyEngine::merge_join(&wt, &directed);
                 let names = engine.scan_predicate("name");
@@ -347,7 +355,7 @@ pub fn format_display_title(title: &str, artist: &str) -> String {
         out.push_str(", ");
         for w in artist.split_whitespace() {
             if w != last {
-                out.extend(w.to_lowercase().chars());
+                out.push_str(&w.to_lowercase());
                 out.push(' ');
             }
         }
@@ -358,10 +366,19 @@ pub fn format_display_title(title: &str, artist: &str) -> String {
 
 /// Convenience: compute every view on both engines, returning
 /// `(label, analytics rows, legacy rows)` — used by correctness tests.
-pub fn compute_all(store: &AnalyticsStore, legacy: &LegacyEngine) -> Vec<(&'static str, usize, usize)> {
+pub fn compute_all(
+    store: &AnalyticsStore,
+    legacy: &LegacyEngine,
+) -> Vec<(&'static str, usize, usize)> {
     ProductionView::ALL
         .iter()
-        .map(|v| (v.label(), v.compute_analytics(store), v.compute_legacy(legacy)))
+        .map(|v| {
+            (
+                v.label(),
+                v.compute_analytics(store),
+                v.compute_legacy(legacy),
+            )
+        })
         .collect()
 }
 
@@ -389,33 +406,98 @@ mod tests {
         let p1 = add(&mut kg, "J. Smith", "person");
         let p2 = add(&mut kg, "A. Jones", "person");
         let city = add(&mut kg, "Springfield", "city");
-        kg.upsert_fact(ExtendedTriple::simple(p1, saga_core::intern("birthplace"), Value::Entity(city), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(p2, saga_core::intern("birthplace"), Value::Entity(city), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(p1, saga_core::intern("spouse"), Value::Entity(p2), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(p2, saga_core::intern("spouse"), Value::Entity(p1), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            p1,
+            saga_core::intern("birthplace"),
+            Value::Entity(city),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            p2,
+            saga_core::intern("birthplace"),
+            Value::Entity(city),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            p1,
+            saga_core::intern("spouse"),
+            Value::Entity(p2),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            p2,
+            saga_core::intern("spouse"),
+            Value::Entity(p1),
+            meta(),
+        ));
         // Music.
         let artist = add(&mut kg, "Billie Eilish", "music_artist");
         let label = add(&mut kg, "Darkroom", "record_label");
-        kg.upsert_fact(ExtendedTriple::simple(artist, saga_core::intern("signed_to"), Value::Entity(label), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            artist,
+            saga_core::intern("signed_to"),
+            Value::Entity(label),
+            meta(),
+        ));
         let s1 = add(&mut kg, "Bad Guy", "song");
         let s2 = add(&mut kg, "Bury a Friend", "song");
         for s in [s1, s2] {
-            kg.upsert_fact(ExtendedTriple::simple(s, saga_core::intern("performed_by"), Value::Entity(artist), meta()));
-            kg.upsert_fact(ExtendedTriple::simple(s, saga_core::intern("duration_s"), Value::Int(200), meta()));
+            kg.upsert_fact(ExtendedTriple::simple(
+                s,
+                saga_core::intern("performed_by"),
+                Value::Entity(artist),
+                meta(),
+            ));
+            kg.upsert_fact(ExtendedTriple::simple(
+                s,
+                saga_core::intern("duration_s"),
+                Value::Int(200),
+                meta(),
+            ));
         }
         let pl = add(&mut kg, "My Mix", "playlist");
-        kg.upsert_fact(ExtendedTriple::simple(pl, saga_core::intern("track_of"), Value::Entity(s1), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(pl, saga_core::intern("track_of"), Value::Entity(s2), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            pl,
+            saga_core::intern("track_of"),
+            Value::Entity(s1),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            pl,
+            saga_core::intern("track_of"),
+            Value::Entity(s2),
+            meta(),
+        ));
         // Movies.
         let m = add(&mut kg, "Knives Out", "movie");
-        kg.upsert_fact(ExtendedTriple::simple(m, saga_core::intern("full_title"), Value::str("Knives Out"), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            m,
+            saga_core::intern("full_title"),
+            Value::str("Knives Out"),
+            meta(),
+        ));
         let dir = add(&mut kg, "R. Johnson", "person");
-        kg.upsert_fact(ExtendedTriple::simple(m, saga_core::intern("directed_by"), Value::Entity(dir), meta()));
-        kg.upsert_fact(ExtendedTriple::composite(
-            m, saga_core::intern("cast"), RelId(1), saga_core::intern("actor"), Value::Entity(p1), meta(),
+        kg.upsert_fact(ExtendedTriple::simple(
+            m,
+            saga_core::intern("directed_by"),
+            Value::Entity(dir),
+            meta(),
         ));
         kg.upsert_fact(ExtendedTriple::composite(
-            m, saga_core::intern("cast"), RelId(2), saga_core::intern("actor"), Value::Entity(p2), meta(),
+            m,
+            saga_core::intern("cast"),
+            RelId(1),
+            saga_core::intern("actor"),
+            Value::Entity(p1),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::composite(
+            m,
+            saga_core::intern("cast"),
+            RelId(2),
+            saga_core::intern("actor"),
+            Value::Entity(p2),
+            meta(),
         ));
         kg
     }

@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use saga_core::{EntityId, FxHashMap, KnowledgeGraph, Result, SagaError, Value};
+use saga_core::{EntityId, FxHashMap, KnowledgeGraph, Result, SagaError, TripleIndex, Value};
 
 use crate::analytics::{AnalyticsStore, Frame};
 
@@ -60,11 +60,15 @@ impl ViewData {
     }
 }
 
-/// Everything a view's procedures may read: the KG base data, the analytics
-/// store, and already-materialized dependency views.
+/// Everything a view's procedures may read: the KG base data, the unified
+/// triple index, the analytics store, and already-materialized dependency
+/// views.
 pub struct ViewContext<'a> {
     /// The KG base data.
     pub kg: &'a KnowledgeGraph,
+    /// The unified triple index over the KG (SPO/POS/OSP probes) — the
+    /// store incremental `update` procedures read instead of rescanning.
+    pub index: &'a TripleIndex,
     /// The columnar analytics store.
     pub analytics: &'a AnalyticsStore,
     /// Materialized dependencies, by view name.
@@ -105,6 +109,46 @@ pub trait View: Send + Sync {
     }
 }
 
+/// A built-in incrementally-maintained view: per-entity fact counts (a
+/// ranking feature), kept fresh by touching only the changed ids against
+/// the unified triple index — the canonical shape of a §3.2 "update
+/// procedure given a list of changed entity IDs".
+pub struct FactCountView;
+
+impl View for FactCountView {
+    fn name(&self) -> &str {
+        "entity_fact_counts"
+    }
+
+    fn create(&self, ctx: &ViewContext<'_>) -> Result<ViewData> {
+        let mut scores: FxHashMap<EntityId, f64> = FxHashMap::default();
+        for id in ctx.index.subjects() {
+            scores.insert(id, ctx.index.facts_of(id).count() as f64);
+        }
+        Ok(ViewData::Scores(scores))
+    }
+
+    fn update(
+        &self,
+        ctx: &ViewContext<'_>,
+        current: ViewData,
+        changed: &[EntityId],
+    ) -> Result<ViewData> {
+        let ViewData::Scores(mut scores) = current else {
+            return self.create(ctx); // shape drifted: rebuild
+        };
+        for &id in changed {
+            let count = ctx.index.facts_of(id).count();
+            if count == 0 {
+                scores.remove(&id);
+            } else {
+                scores.insert(id, count as f64);
+            }
+        }
+        Ok(ViewData::Scores(scores))
+    }
+}
+
 /// Catalog entry metadata.
 pub struct ViewRegistration {
     /// The definition.
@@ -127,7 +171,11 @@ pub struct RefreshReport {
 impl RefreshReport {
     /// Total compute attributed to one view name.
     pub fn time_of(&self, name: &str) -> u128 {
-        self.computations.iter().filter(|(n, _)| n == name).map(|(_, t)| t).sum()
+        self.computations
+            .iter()
+            .filter(|(n, _)| n == name)
+            .map(|(_, t)| t)
+            .sum()
     }
 }
 
@@ -162,9 +210,15 @@ impl ViewManager {
     /// Register a view with a per-cycle freshness SLA.
     pub fn register(&mut self, view: Box<dyn View>, freshness_cycles: u64) -> Result<()> {
         if self.catalog.iter().any(|r| r.view.name() == view.name()) {
-            return Err(SagaError::View(format!("view {} already registered", view.name())));
+            return Err(SagaError::View(format!(
+                "view {} already registered",
+                view.name()
+            )));
         }
-        self.catalog.push(ViewRegistration { view, freshness_cycles: freshness_cycles.max(1) });
+        self.catalog.push(ViewRegistration {
+            view,
+            freshness_cycles: freshness_cycles.max(1),
+        });
         // Validate the dependency graph eagerly (missing deps, cycles).
         self.topo_order()?;
         Ok(())
@@ -216,8 +270,7 @@ impl ViewManager {
         if order.len() != n {
             return Err(SagaError::View("view dependency cycle detected".into()));
         }
-        order
-            .sort_by_key(|&i| (self.depth(i), i)); // stable, deps-first, catalog order within depth
+        order.sort_by_key(|&i| (self.depth(i), i)); // stable, deps-first, catalog order within depth
         Ok(order)
     }
 
@@ -247,7 +300,7 @@ impl ViewManager {
             let mut fresh: FxHashMap<String, ViewData> = FxHashMap::default();
             for &i in &order {
                 let reg = &self.catalog[i];
-                let due = cycle % reg.freshness_cycles == 0
+                let due = cycle.is_multiple_of(reg.freshness_cycles)
                     || !self.materialized.contains_key(reg.view.name());
                 if !due {
                     if let Some(old) = self.materialized.get(reg.view.name()) {
@@ -255,10 +308,17 @@ impl ViewManager {
                     }
                     continue;
                 }
-                let ctx = ViewContext { kg, analytics, deps: &fresh };
+                let ctx = ViewContext {
+                    kg,
+                    index: kg.index(),
+                    analytics,
+                    deps: &fresh,
+                };
                 let t0 = Instant::now();
                 let data = reg.view.create(&ctx)?;
-                report.computations.push((reg.view.name().to_string(), t0.elapsed().as_micros()));
+                report
+                    .computations
+                    .push((reg.view.name().to_string(), t0.elapsed().as_micros()));
                 fresh.insert(reg.view.name().to_string(), data);
             }
             self.materialized = fresh;
@@ -292,12 +352,18 @@ impl ViewManager {
             let data = self.compute_closure(d, kg, analytics, report)?;
             deps.insert(dep, data);
         }
-        let ctx = ViewContext { kg, analytics, deps: &deps };
+        let ctx = ViewContext {
+            kg,
+            index: kg.index(),
+            analytics,
+            deps: &deps,
+        };
         let t0 = Instant::now();
         let data = self.catalog[i].view.create(&ctx)?;
-        report
-            .computations
-            .push((self.catalog[i].view.name().to_string(), t0.elapsed().as_micros()));
+        report.computations.push((
+            self.catalog[i].view.name().to_string(),
+            t0.elapsed().as_micros(),
+        ));
         Ok(data)
     }
 
@@ -315,13 +381,20 @@ impl ViewManager {
         for &i in &order {
             let reg = &self.catalog[i];
             let name = reg.view.name().to_string();
-            let ctx = ViewContext { kg, analytics, deps: &fresh };
+            let ctx = ViewContext {
+                kg,
+                index: kg.index(),
+                analytics,
+                deps: &fresh,
+            };
             let t0 = Instant::now();
             let data = match self.materialized.remove(&name) {
                 Some(current) => reg.view.update(&ctx, current, changed)?,
                 None => reg.view.create(&ctx)?,
             };
-            report.computations.push((name.clone(), t0.elapsed().as_micros()));
+            report
+                .computations
+                .push((name.clone(), t0.elapsed().as_micros()));
             fresh.insert(name, data);
         }
         self.materialized = fresh;
@@ -379,28 +452,47 @@ mod tests {
         // Fig. 7 shape: features feeds both ranked-index and neighbourhood.
         let runs = Arc::new(AtomicUsize::new(0));
         let mut vm = ViewManager::new();
-        vm.register(counting("entity_features", &[], &runs), 1).unwrap();
+        vm.register(counting("entity_features", &[], &runs), 1)
+            .unwrap();
         let r2 = Arc::new(AtomicUsize::new(0));
-        vm.register(counting("ranked_entity_index", &["entity_features"], &r2), 1).unwrap();
+        vm.register(
+            counting("ranked_entity_index", &["entity_features"], &r2),
+            1,
+        )
+        .unwrap();
         let r3 = Arc::new(AtomicUsize::new(0));
-        vm.register(counting("entity_neighbourhood", &["entity_features"], &r3), 1).unwrap();
+        vm.register(
+            counting("entity_neighbourhood", &["entity_features"], &r3),
+            1,
+        )
+        .unwrap();
 
         let kg = tiny_kg();
         let store = AnalyticsStore::build(&kg);
         vm.refresh_all(&kg, &store).unwrap();
-        assert_eq!(runs.load(Ordering::SeqCst), 1, "shared dep computed once with reuse");
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "shared dep computed once with reuse"
+        );
 
         vm.reuse_dependencies = false;
         vm.refresh_all(&kg, &store).unwrap();
         // entity_features recomputed: once for itself + once per consumer.
-        assert_eq!(runs.load(Ordering::SeqCst), 1 + 3, "each consumer recomputes the dep");
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1 + 3,
+            "each consumer recomputes the dep"
+        );
     }
 
     #[test]
     fn missing_dependency_is_rejected_at_registration() {
         let runs = Arc::new(AtomicUsize::new(0));
         let mut vm = ViewManager::new();
-        let err = vm.register(counting("v", &["ghost"], &runs), 1).unwrap_err();
+        let err = vm
+            .register(counting("v", &["ghost"], &runs), 1)
+            .unwrap_err();
         assert!(err.to_string().contains("ghost"));
     }
 
@@ -439,7 +531,44 @@ mod tests {
         // Due on first touch (cycle 1, not yet materialized) then on cycles
         // 3 and 6 → three computations over six refreshes.
         assert_eq!(daily.load(Ordering::SeqCst), 3);
-        assert!(vm.get("daily").is_some(), "stale materialization retained between refreshes");
+        assert!(
+            vm.get("daily").is_some(),
+            "stale materialization retained between refreshes"
+        );
+    }
+
+    #[test]
+    fn fact_count_view_updates_incrementally_from_the_index() {
+        use saga_core::{ExtendedTriple, FactMeta, Value};
+        let mut kg = tiny_kg();
+        kg.add_named_entity(saga_core::EntityId(2), "B", "person", SourceId(1), 0.9);
+        let mut vm = ViewManager::new();
+        vm.register(Box::new(FactCountView), 1).unwrap();
+        let store = AnalyticsStore::build(&kg);
+        vm.refresh_all(&kg, &store).unwrap();
+        let scores = vm.get("entity_fact_counts").unwrap().as_scores().unwrap();
+        assert_eq!(scores[&saga_core::EntityId(1)], 2.0, "name + type");
+
+        // One new fact on entity 1; entity 2 untouched.
+        kg.upsert_fact(ExtendedTriple::simple(
+            saga_core::EntityId(1),
+            intern("alias"),
+            Value::str("Ace"),
+            FactMeta::from_source(SourceId(1), 0.9),
+        ));
+        vm.update_changed(&kg, &store, &[saga_core::EntityId(1)])
+            .unwrap();
+        let scores = vm.get("entity_fact_counts").unwrap().as_scores().unwrap();
+        assert_eq!(scores[&saga_core::EntityId(1)], 3.0);
+        assert_eq!(scores[&saga_core::EntityId(2)], 2.0);
+
+        // Retraction drops the entity from the view.
+        kg.record_link(SourceId(1), "b", saga_core::EntityId(2));
+        kg.retract_source_entity(SourceId(1), "b");
+        vm.update_changed(&kg, &store, &[saga_core::EntityId(2)])
+            .unwrap();
+        let scores = vm.get("entity_fact_counts").unwrap().as_scores().unwrap();
+        assert!(!scores.contains_key(&saga_core::EntityId(2)));
     }
 
     #[test]
@@ -447,14 +576,19 @@ mod tests {
         let runs = Arc::new(AtomicUsize::new(0));
         let mut vm = ViewManager::new();
         vm.register(counting("base", &[], &runs), 1).unwrap();
-        vm.register(counting("derived", &["base"], &runs), 1).unwrap();
+        vm.register(counting("derived", &["base"], &runs), 1)
+            .unwrap();
         let kg = tiny_kg();
         let store = AnalyticsStore::build(&kg);
         vm.refresh_all(&kg, &store).unwrap();
-        let report =
-            vm.update_changed(&kg, &store, &[saga_core::EntityId(1)]).unwrap();
+        let report = vm
+            .update_changed(&kg, &store, &[saga_core::EntityId(1)])
+            .unwrap();
         assert_eq!(report.computations.len(), 2);
-        assert_eq!(report.computations[0].0, "base", "dependencies update first");
+        assert_eq!(
+            report.computations[0].0, "base",
+            "dependencies update first"
+        );
         let _ = intern("x");
     }
 }

@@ -11,16 +11,16 @@
 //! references remain in the source namespace — linking happens later in
 //! knowledge construction.
 
-use saga_core::{
-    intern, EntityPayload, FactMeta, RelId, Result, Row, SagaError, SourceId, Value,
-};
+use saga_core::json::Json;
+use saga_core::{intern, EntityPayload, FactMeta, RelId, Result, Row, SagaError, SourceId, Value};
 use saga_ontology::{Ontology, ValueKind};
-use serde::{Deserialize, Serialize};
 
 /// One Predicate Generation Function: how to populate target predicates
 /// from source columns.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
-#[serde(tag = "op", rename_all = "snake_case")]
+///
+/// In JSON configuration files a PGF is a tagged object,
+/// `{"op": "map", "column": "category", "predicate": "genre"}`.
+#[derive(Clone, Debug, PartialEq)]
 pub enum Pgf {
     /// Copy a column into a (possibly renamed) target predicate
     /// (`category` → `genre`).
@@ -73,27 +73,26 @@ pub enum Pgf {
 }
 
 /// One facet assignment inside a [`Pgf::Composite`].
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FacetSpec {
     /// Facet predicate inside the relationship node.
     pub facet: String,
     /// Source column providing the facet's value.
     pub column: String,
-    /// Whether the value is a source-namespace entity reference.
-    #[serde(default)]
+    /// Whether the value is a source-namespace entity reference
+    /// (defaults to `false` when absent from the config file).
     pub is_ref: bool,
 }
 
 /// Config-driven description of one source's ontology alignment.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AlignmentConfig {
     /// KG ontology type assigned to every entity of this source
     /// ("Entity type specification is also part of this step").
     pub entity_type: String,
     /// Column holding the source-local id.
     pub id_column: String,
-    /// Locale tag applied to produced string literals.
-    #[serde(default)]
+    /// Locale tag applied to produced string literals (optional in JSON).
     pub locale: Option<String>,
     /// Trust score this source's facts carry.
     pub trust: f32,
@@ -101,29 +100,209 @@ pub struct AlignmentConfig {
     pub pgfs: Vec<Pgf>,
 }
 
+fn bad(msg: impl Into<String>) -> SagaError {
+    SagaError::Ontology(format!("bad alignment config: {}", msg.into()))
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad(format!("missing string field {key}")))
+}
+
+fn obj(entries: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+impl FacetSpec {
+    fn to_json_value(&self) -> Json {
+        obj(vec![
+            ("facet", Json::str(&self.facet)),
+            ("column", Json::str(&self.column)),
+            ("is_ref", Json::Bool(self.is_ref)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<FacetSpec> {
+        Ok(FacetSpec {
+            facet: req_str(v, "facet")?,
+            column: req_str(v, "column")?,
+            is_ref: v.get("is_ref").and_then(Json::as_bool).unwrap_or(false),
+        })
+    }
+}
+
+impl Pgf {
+    fn to_json_value(&self) -> Json {
+        match self {
+            Pgf::Map { column, predicate } => obj(vec![
+                ("op", Json::str("map")),
+                ("column", Json::str(column)),
+                ("predicate", Json::str(predicate)),
+            ]),
+            Pgf::MapRef { column, predicate } => obj(vec![
+                ("op", Json::str("map_ref")),
+                ("column", Json::str(column)),
+                ("predicate", Json::str(predicate)),
+            ]),
+            Pgf::Combine {
+                columns,
+                separator,
+                predicate,
+            } => obj(vec![
+                ("op", Json::str("combine")),
+                (
+                    "columns",
+                    Json::Array(columns.iter().map(Json::str).collect()),
+                ),
+                ("separator", Json::str(separator)),
+                ("predicate", Json::str(predicate)),
+            ]),
+            Pgf::Split {
+                column,
+                delimiter,
+                predicate,
+            } => obj(vec![
+                ("op", Json::str("split")),
+                ("column", Json::str(column)),
+                ("delimiter", Json::str(delimiter)),
+                ("predicate", Json::str(predicate)),
+            ]),
+            Pgf::Composite { predicate, facets } => obj(vec![
+                ("op", Json::str("composite")),
+                ("predicate", Json::str(predicate)),
+                (
+                    "facets",
+                    Json::Array(facets.iter().map(FacetSpec::to_json_value).collect()),
+                ),
+            ]),
+            Pgf::Const { predicate, value } => obj(vec![
+                ("op", Json::str("const")),
+                ("predicate", Json::str(predicate)),
+                ("value", Json::str(value)),
+            ]),
+        }
+    }
+
+    fn from_json_value(v: &Json) -> Result<Pgf> {
+        let op = req_str(v, "op")?;
+        match op.as_str() {
+            "map" => Ok(Pgf::Map {
+                column: req_str(v, "column")?,
+                predicate: req_str(v, "predicate")?,
+            }),
+            "map_ref" => Ok(Pgf::MapRef {
+                column: req_str(v, "column")?,
+                predicate: req_str(v, "predicate")?,
+            }),
+            "combine" => Ok(Pgf::Combine {
+                columns: v
+                    .get("columns")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| bad("combine needs columns"))?
+                    .iter()
+                    .map(|c| {
+                        c.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| bad("column name"))
+                    })
+                    .collect::<Result<Vec<String>>>()?,
+                separator: req_str(v, "separator")?,
+                predicate: req_str(v, "predicate")?,
+            }),
+            "split" => Ok(Pgf::Split {
+                column: req_str(v, "column")?,
+                delimiter: req_str(v, "delimiter")?,
+                predicate: req_str(v, "predicate")?,
+            }),
+            "composite" => Ok(Pgf::Composite {
+                predicate: req_str(v, "predicate")?,
+                facets: v
+                    .get("facets")
+                    .and_then(Json::as_array)
+                    .ok_or_else(|| bad("composite needs facets"))?
+                    .iter()
+                    .map(FacetSpec::from_json_value)
+                    .collect::<Result<Vec<FacetSpec>>>()?,
+            }),
+            "const" => Ok(Pgf::Const {
+                predicate: req_str(v, "predicate")?,
+                value: req_str(v, "value")?,
+            }),
+            other => Err(bad(format!("unknown op {other}"))),
+        }
+    }
+}
+
 impl AlignmentConfig {
     /// Parse a JSON configuration file's contents.
     pub fn from_json(json: &str) -> Result<AlignmentConfig> {
-        serde_json::from_str(json)
-            .map_err(|e| SagaError::Ontology(format!("bad alignment config: {e}")))
+        let v = saga_core::json::parse(json).map_err(|e| bad(e.to_string()))?;
+        let trust = v
+            .get("trust")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad("missing trust"))?;
+        Ok(AlignmentConfig {
+            entity_type: req_str(&v, "entity_type")?,
+            id_column: req_str(&v, "id_column")?,
+            locale: match v.get("locale") {
+                None | Some(Json::Null) => None,
+                Some(Json::Str(s)) => Some(s.clone()),
+                Some(_) => return Err(bad("locale must be a string")),
+            },
+            trust: trust as f32,
+            pgfs: v
+                .get("pgfs")
+                .and_then(Json::as_array)
+                .ok_or_else(|| bad("missing pgfs"))?
+                .iter()
+                .map(Pgf::from_json_value)
+                .collect::<Result<Vec<Pgf>>>()?,
+        })
     }
 
     /// Serialize to a JSON configuration string.
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("alignment config serializes")
+        obj(vec![
+            ("entity_type", Json::str(&self.entity_type)),
+            ("id_column", Json::str(&self.id_column)),
+            (
+                "locale",
+                match &self.locale {
+                    Some(l) => Json::str(l),
+                    None => Json::Null,
+                },
+            ),
+            ("trust", Json::Float(self.trust as f64)),
+            (
+                "pgfs",
+                Json::Array(self.pgfs.iter().map(Pgf::to_json_value).collect()),
+            ),
+        ])
+        .to_string_pretty()
     }
 
     /// Coerce a raw imported value to the ontology-declared kind.
     fn coerce(value: &Value, kind: ValueKind) -> Value {
         match (kind, value) {
             (_, Value::Null) => Value::Null,
-            (ValueKind::Int, Value::Str(s)) => {
-                s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null)
-            }
+            (ValueKind::Int, Value::Str(s)) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null),
             (ValueKind::Int, Value::Float(f)) => Value::Int(*f as i64),
-            (ValueKind::Float, Value::Str(s)) => {
-                s.trim().parse::<f64>().map(Value::Float).unwrap_or(Value::Null)
-            }
+            (ValueKind::Float, Value::Str(s)) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
             (ValueKind::Float, Value::Int(i)) => Value::Float(*i as f64),
             (ValueKind::Bool, Value::Str(s)) => match s.trim() {
                 "true" | "TRUE" | "1" => Value::Bool(true),
@@ -168,7 +347,11 @@ impl AlignmentConfig {
         }
         let mut payload = EntityPayload::new(source, &local_id, ty);
         // The entity's declared type is itself a fact.
-        payload.push_simple(intern("type"), Value::str(&self.entity_type), self.meta(source));
+        payload.push_simple(
+            intern("type"),
+            Value::str(&self.entity_type),
+            self.meta(source),
+        );
 
         let mut next_rel = 1u32;
         for pgf in &self.pgfs {
@@ -208,14 +391,14 @@ impl AlignmentConfig {
             Pgf::MapRef { column, predicate } => {
                 self.declared_kind(ontology, predicate)?;
                 if let Some(s) = col(column)?.as_str() {
-                    payload.push_simple(
-                        intern(predicate),
-                        Value::source_ref(s),
-                        self.meta(source),
-                    );
+                    payload.push_simple(intern(predicate), Value::source_ref(s), self.meta(source));
                 }
             }
-            Pgf::Combine { columns, separator, predicate } => {
+            Pgf::Combine {
+                columns,
+                separator,
+                predicate,
+            } => {
                 self.declared_kind(ontology, predicate)?;
                 let mut parts = Vec::with_capacity(columns.len());
                 for c in columns {
@@ -232,7 +415,11 @@ impl AlignmentConfig {
                     );
                 }
             }
-            Pgf::Split { column, delimiter, predicate } => {
+            Pgf::Split {
+                column,
+                delimiter,
+                predicate,
+            } => {
                 let kind = self.declared_kind(ontology, predicate)?;
                 if let Some(s) = col(column)?.as_str() {
                     for part in s.split(delimiter.as_str()) {
@@ -300,7 +487,12 @@ mod tests {
 
     fn movie_row() -> Dataset {
         let mut d = Dataset::with_schema(&[
-            "movie_id", "title", "sequel_number", "category", "director", "year",
+            "movie_id",
+            "title",
+            "sequel_number",
+            "category",
+            "director",
+            "year",
         ]);
         d.push(vec![
             Value::str("m7"),
@@ -325,14 +517,23 @@ mod tests {
                     separator: " ".into(),
                     predicate: "full_title".into(),
                 },
-                Pgf::Map { column: "title".into(), predicate: "name".into() },
+                Pgf::Map {
+                    column: "title".into(),
+                    predicate: "name".into(),
+                },
                 Pgf::Split {
                     column: "category".into(),
                     delimiter: "|".into(),
                     predicate: "genre".into(),
                 },
-                Pgf::MapRef { column: "director".into(), predicate: "directed_by".into() },
-                Pgf::Map { column: "year".into(), predicate: "release_year".into() },
+                Pgf::MapRef {
+                    column: "director".into(),
+                    predicate: "directed_by".into(),
+                },
+                Pgf::Map {
+                    column: "year".into(),
+                    predicate: "release_year".into(),
+                },
             ],
         }
     }
@@ -341,7 +542,9 @@ mod tests {
     fn paper_examples_category_to_genre_and_full_title() {
         let ont = default_ontology();
         let ds = movie_row();
-        let p = movie_config().align_row(&ont, SourceId(3), ds.row(0)).unwrap();
+        let p = movie_config()
+            .align_row(&ont, SourceId(3), ds.row(0))
+            .unwrap();
         assert_eq!(p.local_id(), Some("m7"));
         assert_eq!(p.entity_type, intern("movie"));
         assert_eq!(p.first_str(intern("full_title")), Some("Knives Out 2"));
@@ -352,7 +555,11 @@ mod tests {
             Some("dir_rj"),
             "references stay in the source namespace"
         );
-        assert_eq!(p.values(intern("release_year"))[0], &Value::Int(2022), "coerced to int");
+        assert_eq!(
+            p.values(intern("release_year"))[0],
+            &Value::Int(2022),
+            "coerced to int"
+        );
     }
 
     #[test]
@@ -369,7 +576,10 @@ mod tests {
         let ont = default_ontology();
         let ds = movie_row();
         let mut cfg = movie_config();
-        cfg.pgfs.push(Pgf::Map { column: "title".into(), predicate: "not_a_pred".into() });
+        cfg.pgfs.push(Pgf::Map {
+            column: "title".into(),
+            predicate: "not_a_pred".into(),
+        });
         assert!(cfg.align_row(&ont, SourceId(1), ds.row(0)).is_err());
 
         let mut cfg2 = movie_config();
@@ -395,9 +605,21 @@ mod tests {
             pgfs: vec![Pgf::Composite {
                 predicate: "educated_at".into(),
                 facets: vec![
-                    FacetSpec { facet: "school".into(), column: "school".into(), is_ref: true },
-                    FacetSpec { facet: "degree".into(), column: "degree".into(), is_ref: false },
-                    FacetSpec { facet: "year".into(), column: "yr".into(), is_ref: false },
+                    FacetSpec {
+                        facet: "school".into(),
+                        column: "school".into(),
+                        is_ref: true,
+                    },
+                    FacetSpec {
+                        facet: "degree".into(),
+                        column: "degree".into(),
+                        is_ref: false,
+                    },
+                    FacetSpec {
+                        facet: "year".into(),
+                        column: "yr".into(),
+                        is_ref: false,
+                    },
                 ],
             }],
         };
@@ -406,7 +628,9 @@ mod tests {
         assert_eq!(comps.len(), 3);
         let rel_id = comps[0].rel.unwrap().rel_id;
         assert!(comps.iter().all(|t| t.rel.unwrap().rel_id == rel_id));
-        assert!(comps.iter().any(|t| t.object.as_source_ref() == Some("uw_id")));
+        assert!(comps
+            .iter()
+            .any(|t| t.object.as_source_ref() == Some("uw_id")));
         assert!(comps.iter().any(|t| t.object == Value::Int(2005)));
     }
 
@@ -421,8 +645,14 @@ mod tests {
             locale: None,
             trust: 0.5,
             pgfs: vec![
-                Pgf::Map { column: "name".into(), predicate: "name".into() },
-                Pgf::Map { column: "year".into(), predicate: "release_year".into() },
+                Pgf::Map {
+                    column: "name".into(),
+                    predicate: "name".into(),
+                },
+                Pgf::Map {
+                    column: "year".into(),
+                    predicate: "release_year".into(),
+                },
             ],
         };
         let p = cfg.align_row(&ont, SourceId(1), d.row(0)).unwrap();
@@ -435,8 +665,14 @@ mod tests {
     fn locale_is_attached_to_facts() {
         let ont = default_ontology();
         let ds = movie_row();
-        let p = movie_config().align_row(&ont, SourceId(3), ds.row(0)).unwrap();
-        let name = p.triples.iter().find(|t| t.predicate == intern("name")).unwrap();
+        let p = movie_config()
+            .align_row(&ont, SourceId(3), ds.row(0))
+            .unwrap();
+        let name = p
+            .triples
+            .iter()
+            .find(|t| t.predicate == intern("name"))
+            .unwrap();
         assert_eq!(name.meta.locale, Some(intern("en")));
         assert_eq!(name.meta.provenance[0].trust, 0.85);
     }

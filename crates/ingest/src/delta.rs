@@ -36,7 +36,10 @@ impl SourceSnapshot {
     pub fn from_payloads(payloads: impl IntoIterator<Item = EntityPayload>) -> Self {
         let mut entities = FxHashMap::default();
         for p in payloads {
-            let id = p.local_id().expect("snapshot payloads must be unlinked").to_string();
+            let id = p
+                .local_id()
+                .expect("snapshot payloads must be unlinked")
+                .to_string();
             entities.insert(id, p);
         }
         SourceSnapshot { entities }
@@ -115,9 +118,10 @@ fn same_facts(a: &EntityPayload, b: &EntityPayload) -> bool {
     }
     let mut remaining: Vec<&ExtendedTriple> = b.triples.iter().collect();
     for t in &a.triples {
-        match remaining.iter().position(|r| {
-            r.predicate == t.predicate && r.rel == t.rel && r.object == t.object
-        }) {
+        match remaining
+            .iter()
+            .position(|r| r.predicate == t.predicate && r.rel == t.rel && r.object == t.object)
+        {
             Some(i) => {
                 remaining.swap_remove(i);
             }
@@ -183,9 +187,16 @@ mod tests {
         assert_eq!(d.added.len(), 2);
         assert!(d.updated.is_empty());
         assert!(d.deleted.is_empty());
-        assert_eq!(d.volatile.len(), 2, "popularity of every entity in the volatile dump");
+        assert_eq!(
+            d.volatile.len(),
+            2,
+            "popularity of every entity in the volatile dump"
+        );
         // Added payloads carry no volatile triples.
-        assert!(d.added.iter().all(|p| p.values(intern("popularity")).is_empty()));
+        assert!(d
+            .added
+            .iter()
+            .all(|p| p.values(intern("popularity")).is_empty()));
     }
 
     #[test]
@@ -202,7 +213,10 @@ mod tests {
         let prev = SourceSnapshot::from_payloads(vec![payload("s1", "A", 5)]);
         let cur = SourceSnapshot::from_payloads(vec![payload("s1", "A", 99_999)]);
         let d = compute_delta(&prev, &cur, &volatile());
-        assert!(d.updated.is_empty(), "popularity churn is factored out of deltas");
+        assert!(
+            d.updated.is_empty(),
+            "popularity churn is factored out of deltas"
+        );
         assert_eq!(d.volatile.len(), 1);
         assert_eq!(d.volatile[0].object, Value::Int(99_999));
     }
@@ -218,7 +232,8 @@ mod tests {
 
     #[test]
     fn removed_entities_are_deleted() {
-        let prev = SourceSnapshot::from_payloads(vec![payload("s1", "A", 5), payload("s2", "B", 6)]);
+        let prev =
+            SourceSnapshot::from_payloads(vec![payload("s1", "A", 5), payload("s2", "B", 6)]);
         let cur = SourceSnapshot::from_payloads(vec![payload("s2", "B", 6)]);
         let d = compute_delta(&prev, &cur, &volatile());
         assert_eq!(d.deleted, vec!["s1".to_string()]);

@@ -6,6 +6,7 @@
 //! templates; here we provide the three the examples and benchmarks need:
 //! CSV, JSON-lines, and in-memory datasets.
 
+use saga_core::json::Json;
 use saga_core::{Dataset, Result, SagaError, Value};
 
 /// A pluggable importer producing the uniform row-based representation.
@@ -27,7 +28,10 @@ pub struct CsvImporter {
 impl CsvImporter {
     /// Importer over CSV `text`.
     pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
-        CsvImporter { name: name.into(), text: text.into() }
+        CsvImporter {
+            name: name.into(),
+            text: text.into(),
+        }
     }
 
     fn parse_records(text: &str) -> Result<Vec<Vec<String>>> {
@@ -81,7 +85,10 @@ impl DataSourceImporter for CsvImporter {
     fn import(&self) -> Result<Dataset> {
         let records = Self::parse_records(&self.text)?;
         let Some((header, rows)) = records.split_first() else {
-            return Err(SagaError::Import(format!("{}: empty CSV artifact", self.name)));
+            return Err(SagaError::Import(format!(
+                "{}: empty CSV artifact",
+                self.name
+            )));
         };
         let cols: Vec<&str> = header.iter().map(String::as_str).collect();
         let mut ds = Dataset::with_schema(&cols);
@@ -97,7 +104,13 @@ impl DataSourceImporter for CsvImporter {
             }
             ds.push(
                 rec.iter()
-                    .map(|f| if f.is_empty() { Value::Null } else { Value::str(f) })
+                    .map(|f| {
+                        if f.is_empty() {
+                            Value::Null
+                        } else {
+                            Value::str(f)
+                        }
+                    })
                     .collect(),
             );
         }
@@ -121,51 +134,48 @@ pub struct JsonLinesImporter {
 impl JsonLinesImporter {
     /// Importer over JSON-lines `text`.
     pub fn new(name: impl Into<String>, text: impl Into<String>) -> Self {
-        JsonLinesImporter { name: name.into(), text: text.into() }
+        JsonLinesImporter {
+            name: name.into(),
+            text: text.into(),
+        }
     }
 
-    fn to_value(v: &serde_json::Value) -> Value {
+    fn to_value(v: &Json) -> Value {
         match v {
-            serde_json::Value::Null => Value::Null,
-            serde_json::Value::Bool(b) => Value::Bool(*b),
-            serde_json::Value::Number(n) => {
-                if let Some(i) = n.as_i64() {
-                    Value::Int(i)
-                } else {
-                    Value::Float(n.as_f64().unwrap_or(f64::NAN))
-                }
-            }
-            serde_json::Value::String(s) => Value::str(s),
+            Json::Null => Value::Null,
+            Json::Bool(b) => Value::Bool(*b),
+            Json::Int(i) => Value::Int(*i),
+            Json::Float(f) => Value::Float(*f),
+            Json::Str(s) => Value::str(s),
             // Arrays flatten to a pipe-joined string; alignment's Split PGF
             // can re-explode them into multi-valued predicates.
-            serde_json::Value::Array(items) => {
+            Json::Array(items) => {
                 let parts: Vec<String> = items
                     .iter()
                     .map(|i| match i {
-                        serde_json::Value::String(s) => s.clone(),
+                        Json::Str(s) => s.clone(),
                         other => other.to_string(),
                     })
                     .collect();
                 Value::str(parts.join("|"))
             }
-            serde_json::Value::Object(_) => Value::str(v.to_string()),
+            Json::Object(_) => Value::str(v.to_string()),
         }
     }
 }
 
 impl DataSourceImporter for JsonLinesImporter {
     fn import(&self) -> Result<Dataset> {
-        let mut objects: Vec<serde_json::Map<String, serde_json::Value>> = Vec::new();
+        let mut objects: Vec<std::collections::BTreeMap<String, Json>> = Vec::new();
         for (i, line) in self.text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
             }
-            let parsed: serde_json::Value = serde_json::from_str(line).map_err(|e| {
-                SagaError::Import(format!("{}: line {}: {}", self.name, i + 1, e))
-            })?;
+            let parsed = saga_core::json::parse(line)
+                .map_err(|e| SagaError::Import(format!("{}: line {}: {}", self.name, i + 1, e)))?;
             match parsed {
-                serde_json::Value::Object(map) => objects.push(map),
+                Json::Object(map) => objects.push(map),
                 _ => {
                     return Err(SagaError::Import(format!(
                         "{}: line {} is not a JSON object",
@@ -212,7 +222,10 @@ pub struct MemoryImporter {
 impl MemoryImporter {
     /// Importer over an in-memory dataset.
     pub fn new(name: impl Into<String>, dataset: Dataset) -> Self {
-        MemoryImporter { name: name.into(), dataset }
+        MemoryImporter {
+            name: name.into(),
+            dataset,
+        }
     }
 }
 
@@ -236,14 +249,20 @@ mod tests {
         let ds = CsvImporter::new("music", csv).import().unwrap();
         assert_eq!(ds.schema(), &["id", "name", "plays"]);
         assert_eq!(ds.len(), 2);
-        assert_eq!(ds.row(0).get("name").unwrap().as_str(), Some("Billie Eilish"));
+        assert_eq!(
+            ds.row(0).get("name").unwrap().as_str(),
+            Some("Billie Eilish")
+        );
     }
 
     #[test]
     fn csv_quoted_fields_with_commas_and_escapes() {
         let csv = "id,name\n1,\"Crosby, Stills \"\"and\"\" Nash\"\n";
         let ds = CsvImporter::new("t", csv).import().unwrap();
-        assert_eq!(ds.row(0).get("name").unwrap().as_str(), Some("Crosby, Stills \"and\" Nash"));
+        assert_eq!(
+            ds.row(0).get("name").unwrap().as_str(),
+            Some("Crosby, Stills \"and\" Nash")
+        );
     }
 
     #[test]
@@ -257,7 +276,10 @@ mod tests {
     #[test]
     fn csv_errors() {
         assert!(CsvImporter::new("t", "").import().is_err());
-        assert!(CsvImporter::new("t", "a,b\n1\n").import().is_err(), "ragged row");
+        assert!(
+            CsvImporter::new("t", "a,b\n1\n").import().is_err(),
+            "ragged row"
+        );
         assert!(CsvImporter::new("t", "a\n\"unterminated").import().is_err());
     }
 
@@ -276,7 +298,10 @@ mod tests {
     fn jsonl_arrays_flatten_with_pipe() {
         let text = r#"{"id":"a","genres":["pop","dark pop"]}"#;
         let ds = JsonLinesImporter::new("g", text).import().unwrap();
-        assert_eq!(ds.row(0).get("genres").unwrap().as_str(), Some("pop|dark pop"));
+        assert_eq!(
+            ds.row(0).get("genres").unwrap().as_str(),
+            Some("pop|dark pop")
+        );
     }
 
     #[test]
@@ -284,7 +309,9 @@ mod tests {
         assert!(JsonLinesImporter::new("t", "[1,2]").import().is_err());
         assert!(JsonLinesImporter::new("t", "{oops").import().is_err());
         // blank lines are fine
-        let ds = JsonLinesImporter::new("t", "\n{\"a\":1}\n\n").import().unwrap();
+        let ds = JsonLinesImporter::new("t", "\n{\"a\":1}\n\n")
+            .import()
+            .unwrap();
         assert_eq!(ds.len(), 1);
     }
 
@@ -294,6 +321,9 @@ mod tests {
         d.push(vec![Value::Int(1)]);
         let ds = MemoryImporter::new("m", d).import().unwrap();
         assert_eq!(ds.len(), 1);
-        assert_eq!(MemoryImporter::new("m", Dataset::with_schema(&["x"])).name(), "m");
+        assert_eq!(
+            MemoryImporter::new("m", Dataset::with_schema(&["x"])).name(),
+            "m"
+        );
     }
 }

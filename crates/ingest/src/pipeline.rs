@@ -88,7 +88,10 @@ impl SourceIngestionPipeline {
         let volatile: FxHashSet<Symbol> = ontology.volatile_predicates();
         let entity_rows = self.transformer.transform(artifacts)?;
 
-        let mut report = IngestionReport { transformed_rows: entity_rows.len(), ..Default::default() };
+        let mut report = IngestionReport {
+            transformed_rows: entity_rows.len(),
+            ..Default::default()
+        };
         let mut payloads = Vec::with_capacity(entity_rows.len());
         for row in entity_rows.iter() {
             let payload = self.alignment.align_row(ontology, self.source, row)?;
@@ -141,9 +144,18 @@ mod tests {
             locale: Some("en".into()),
             trust: 0.9,
             pgfs: vec![
-                Pgf::Map { column: "title".into(), predicate: "name".into() },
-                Pgf::Map { column: "secs".into(), predicate: "duration_s".into() },
-                Pgf::Map { column: "plays".into(), predicate: "popularity".into() },
+                Pgf::Map {
+                    column: "title".into(),
+                    predicate: "name".into(),
+                },
+                Pgf::Map {
+                    column: "secs".into(),
+                    predicate: "duration_s".into(),
+                },
+                Pgf::Map {
+                    column: "plays".into(),
+                    predicate: "popularity".into(),
+                },
             ],
         };
         SourceIngestionPipeline::new(
@@ -159,7 +171,13 @@ mod tests {
         let ont = default_ontology();
         let mut p = pipeline();
         let (delta, report) = p
-            .ingest(&ont, &[songs(&[("s1", "Bad Guy", 194, 10), ("s2", "Halo", 261, 20)])])
+            .ingest(
+                &ont,
+                &[songs(&[
+                    ("s1", "Bad Guy", 194, 10),
+                    ("s2", "Halo", 261, 20),
+                ])],
+            )
             .unwrap();
         assert_eq!(report.transformed_rows, 2);
         assert_eq!(report.aligned_entities, 2);
@@ -173,10 +191,23 @@ mod tests {
     fn second_run_emits_only_diffs() {
         let ont = default_ontology();
         let mut p = pipeline();
-        p.ingest(&ont, &[songs(&[("s1", "Bad Guy", 194, 10), ("s2", "Halo", 261, 20)])]).unwrap();
+        p.ingest(
+            &ont,
+            &[songs(&[
+                ("s1", "Bad Guy", 194, 10),
+                ("s2", "Halo", 261, 20),
+            ])],
+        )
+        .unwrap();
         // s1 retitled, s2 removed, s3 added; plays churn everywhere.
         let (delta, report) = p
-            .ingest(&ont, &[songs(&[("s1", "bad guy", 194, 999), ("s3", "Lush", 200, 5)])])
+            .ingest(
+                &ont,
+                &[songs(&[
+                    ("s1", "bad guy", 194, 999),
+                    ("s3", "Lush", 200, 5),
+                ])],
+            )
             .unwrap();
         assert_eq!(report.added, 1);
         assert_eq!(report.updated, 1);
@@ -196,8 +227,14 @@ mod tests {
             locale: None,
             trust: 0.9,
             pgfs: vec![
-                Pgf::Map { column: "title".into(), predicate: "name".into() },
-                Pgf::Map { column: "title".into(), predicate: "name".into() }, // cardinality 2x
+                Pgf::Map {
+                    column: "title".into(),
+                    predicate: "name".into(),
+                },
+                Pgf::Map {
+                    column: "title".into(),
+                    predicate: "name".into(),
+                }, // cardinality 2x
             ],
         };
         let mut p = SourceIngestionPipeline::new(
@@ -206,8 +243,9 @@ mod tests {
             DataTransformer::new(TransformSpec::simple("id")),
             alignment,
         );
-        let (delta, report) =
-            p.ingest(&ont, &[songs(&[("s1", "Bad Guy", 1, 1)])]).unwrap();
+        let (delta, report) = p
+            .ingest(&ont, &[songs(&[("s1", "Bad Guy", 1, 1)])])
+            .unwrap();
         assert_eq!(report.rejected_entities, 1);
         assert!(report.violations >= 1);
         assert!(delta.added.is_empty());
@@ -217,8 +255,11 @@ mod tests {
     fn volatile_only_change_keeps_stable_partitions_empty() {
         let ont = default_ontology();
         let mut p = pipeline();
-        p.ingest(&ont, &[songs(&[("s1", "Bad Guy", 194, 10)])]).unwrap();
-        let (delta, report) = p.ingest(&ont, &[songs(&[("s1", "Bad Guy", 194, 777)])]).unwrap();
+        p.ingest(&ont, &[songs(&[("s1", "Bad Guy", 194, 10)])])
+            .unwrap();
+        let (delta, report) = p
+            .ingest(&ont, &[songs(&[("s1", "Bad Guy", 194, 777)])])
+            .unwrap();
         assert!(delta.is_stable_noop());
         assert_eq!(report.volatile_facts, 1);
         assert_eq!(delta.volatile[0].object, Value::Int(777));

@@ -43,13 +43,48 @@ pub const NICKNAMES: &[(&str, &str)] = &[
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "Smith", "Okafor", "Tanaka", "Rossi", "Novak", "Eilish", "Carter", "Nguyen", "Haddad",
-    "Kowalski", "Ibrahim", "Silva", "Moreau", "Schmidt", "Larsen", "Petrov", "Yamada", "Garcia",
-    "Chen", "Osei", "Lindqvist", "Marino", "Dubois", "Farah", "Novotna", "Kim", "Adeyemi",
-    "Castillo", "Bergström", "Halloran",
+    "Smith",
+    "Okafor",
+    "Tanaka",
+    "Rossi",
+    "Novak",
+    "Eilish",
+    "Carter",
+    "Nguyen",
+    "Haddad",
+    "Kowalski",
+    "Ibrahim",
+    "Silva",
+    "Moreau",
+    "Schmidt",
+    "Larsen",
+    "Petrov",
+    "Yamada",
+    "Garcia",
+    "Chen",
+    "Osei",
+    "Lindqvist",
+    "Marino",
+    "Dubois",
+    "Farah",
+    "Novotna",
+    "Kim",
+    "Adeyemi",
+    "Castillo",
+    "Bergström",
+    "Halloran",
 ];
 
-const GENRES: &[&str] = &["pop", "rock", "hip hop", "jazz", "electronic", "folk", "r&b", "metal"];
+const GENRES: &[&str] = &[
+    "pop",
+    "rock",
+    "hip hop",
+    "jazz",
+    "electronic",
+    "folk",
+    "r&b",
+    "metal",
+];
 
 const TITLE_WORDS: &[&str] = &[
     "Midnight", "Golden", "Echoes", "River", "Neon", "Silent", "Summer", "Broken", "Electric",
@@ -152,14 +187,22 @@ impl MusicWorld {
                 let (base, base_aliases) = make_name(&mut rng);
                 if attempt > 4 {
                     name = format!("{base} {attempt}");
-                    aliases = base_aliases.iter().map(|a| format!("{a} {attempt}")).collect();
+                    aliases = base_aliases
+                        .iter()
+                        .map(|a| format!("{a} {attempt}"))
+                        .collect();
                 } else {
                     name = base;
                     aliases = base_aliases;
                 }
             }
             let genre = GENRES[rng.gen_range(0..GENRES.len())].to_string();
-            artists.push(GroundArtist { key, name, aliases, genre });
+            artists.push(GroundArtist {
+                key,
+                name,
+                aliases,
+                genre,
+            });
             let n_songs = rng.gen_range(songs_per_artist.max(1) / 2..=songs_per_artist.max(1));
             for _ in 0..n_songs {
                 songs.push(GroundSong {
@@ -210,7 +253,12 @@ impl MusicWorld {
             self.next_artist_key += 1;
             let (name, aliases) = make_name(&mut self.rng);
             let genre = GENRES[self.rng.gen_range(0..GENRES.len())].to_string();
-            self.artists.push(GroundArtist { key, name, aliases, genre });
+            self.artists.push(GroundArtist {
+                key,
+                name,
+                aliases,
+                genre,
+            });
             let n_songs = self.rng.gen_range(1..=4);
             for _ in 0..n_songs {
                 self.songs.push(GroundSong {
@@ -281,8 +329,11 @@ pub fn provider_datasets(world: &MusicWorld, spec: &ProviderSpec) -> (Dataset, D
     let mut songs = Dataset::with_schema(&["song_id", "title", "artist", "secs"]);
     let mut pops = Dataset::with_schema(&["artist_id", "plays"]);
 
-    let mut covered: Vec<&GroundArtist> =
-        world.artists.iter().filter(|_| rng.gen_bool(spec.coverage.clamp(0.0, 1.0))).collect();
+    let mut covered: Vec<&GroundArtist> = world
+        .artists
+        .iter()
+        .filter(|_| rng.gen_bool(spec.coverage.clamp(0.0, 1.0)))
+        .collect();
     covered.shuffle(&mut rng);
 
     let emit_name = |rng: &mut StdRng, a: &GroundArtist| -> String {
@@ -305,7 +356,10 @@ pub fn provider_datasets(world: &MusicWorld, spec: &ProviderSpec) -> (Dataset, D
             Value::str(emit_name(&mut rng, a)),
             Value::str(&a.genre),
         ]);
-        pops.push(vec![Value::str(&local), Value::Int(rng.gen_range(0..1_000_000))]);
+        pops.push(vec![
+            Value::str(&local),
+            Value::Int(rng.gen_range(0..1_000_000)),
+        ]);
         if rng.gen_bool(spec.duplicate_rate) {
             let dup_local = format!("{}a{}dup", spec.id_prefix, a.key);
             artists.push(vec![
@@ -313,7 +367,10 @@ pub fn provider_datasets(world: &MusicWorld, spec: &ProviderSpec) -> (Dataset, D
                 Value::str(emit_name(&mut rng, a)),
                 Value::str(&a.genre),
             ]);
-            pops.push(vec![Value::str(&dup_local), Value::Int(rng.gen_range(0..1_000_000))]);
+            pops.push(vec![
+                Value::str(&dup_local),
+                Value::Int(rng.gen_range(0..1_000_000)),
+            ]);
         }
     }
     let covered_keys: std::collections::HashSet<usize> = covered.iter().map(|a| a.key).collect();
@@ -322,7 +379,11 @@ pub fn provider_datasets(world: &MusicWorld, spec: &ProviderSpec) -> (Dataset, D
             continue;
         }
         let local = format!("{}s{}", spec.id_prefix, s.key);
-        let title = if rng.gen_bool(spec.typo_rate) { typo(&mut rng, &s.title) } else { s.title.clone() };
+        let title = if rng.gen_bool(spec.typo_rate) {
+            typo(&mut rng, &s.title)
+        } else {
+            s.title.clone()
+        };
         songs.push(vec![
             Value::str(&local),
             Value::str(title),
@@ -341,9 +402,18 @@ pub fn artist_alignment(trust: f32) -> AlignmentConfig {
         locale: Some("en".into()),
         trust,
         pgfs: vec![
-            Pgf::Map { column: "artist_name".into(), predicate: "name".into() },
-            Pgf::Map { column: "genre".into(), predicate: "occupation".into() },
-            Pgf::Map { column: "plays".into(), predicate: "popularity".into() },
+            Pgf::Map {
+                column: "artist_name".into(),
+                predicate: "name".into(),
+            },
+            Pgf::Map {
+                column: "genre".into(),
+                predicate: "occupation".into(),
+            },
+            Pgf::Map {
+                column: "plays".into(),
+                predicate: "popularity".into(),
+            },
         ],
     }
 }
@@ -356,9 +426,18 @@ pub fn song_alignment(trust: f32) -> AlignmentConfig {
         locale: Some("en".into()),
         trust,
         pgfs: vec![
-            Pgf::Map { column: "title".into(), predicate: "name".into() },
-            Pgf::MapRef { column: "artist".into(), predicate: "performed_by".into() },
-            Pgf::Map { column: "secs".into(), predicate: "duration_s".into() },
+            Pgf::Map {
+                column: "title".into(),
+                predicate: "name".into(),
+            },
+            Pgf::MapRef {
+                column: "artist".into(),
+                predicate: "performed_by".into(),
+            },
+            Pgf::Map {
+                column: "secs".into(),
+                predicate: "duration_s".into(),
+            },
         ],
     }
 }
@@ -376,7 +455,10 @@ mod tests {
         assert_eq!(w1.artists[5].name, w2.artists[5].name);
         let w3 = MusicWorld::generate(43, 20, 4);
         assert!(
-            w1.artists.iter().zip(&w3.artists).any(|(a, b)| a.name != b.name),
+            w1.artists
+                .iter()
+                .zip(&w3.artists)
+                .any(|(a, b)| a.name != b.name),
             "different seeds give different worlds"
         );
     }
@@ -402,7 +484,7 @@ mod tests {
         assert_eq!(w.version, 1);
         assert_eq!(w.artists.len(), before_artists + 5);
         assert!(w.songs.len() != before_songs || w.songs.len() == before_songs); // size changed by adds/deletes
-        // Keys keep increasing — no reuse.
+                                                                                 // Keys keep increasing — no reuse.
         let max_key = w.artists.iter().map(|a| a.key).max().unwrap();
         assert_eq!(max_key, before_artists + 5 - 1);
     }
@@ -414,8 +496,10 @@ mod tests {
         assert_eq!(artists.len(), 15, "full coverage, no duplicates");
         assert_eq!(pops.len(), 15);
         assert!(!songs.is_empty());
-        let names: Vec<&str> =
-            artists.iter().map(|r| r.get("artist_name").unwrap().as_str().unwrap()).collect();
+        let names: Vec<&str> = artists
+            .iter()
+            .map(|r| r.get("artist_name").unwrap().as_str().unwrap())
+            .collect();
         for a in &w.artists {
             assert!(names.contains(&a.name.as_str()));
         }
@@ -428,9 +512,17 @@ mod tests {
         // Coverage strictly below 1 plus some duplicates: row count differs from 200.
         assert!(artists.len() < 220);
         assert!(artists.len() > 100);
-        let dup_rows =
-            artists.iter().filter(|r| r.get("artist_id").unwrap().as_str().unwrap().ends_with("dup"));
-        assert!(dup_rows.count() > 0, "in-source duplicates exist at this size");
+        let dup_rows = artists.iter().filter(|r| {
+            r.get("artist_id")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .ends_with("dup")
+        });
+        assert!(
+            dup_rows.count() > 0,
+            "in-source duplicates exist at this size"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct TransformSpec {
 impl TransformSpec {
     /// A transform over a single artifact with id column `id_column`.
     pub fn simple(id_column: impl Into<String>) -> Self {
-        TransformSpec { id_column: id_column.into(), joins: Vec::new() }
+        TransformSpec {
+            id_column: id_column.into(),
+            joins: Vec::new(),
+        }
     }
 
     /// Add an enrichment join against artifact `artifact_idx`.
@@ -38,7 +41,8 @@ impl TransformSpec {
         left_col: impl Into<String>,
         right_col: impl Into<String>,
     ) -> Self {
-        self.joins.push((artifact_idx, left_col.into(), right_col.into()));
+        self.joins
+            .push((artifact_idx, left_col.into(), right_col.into()));
         self
     }
 }
@@ -68,10 +72,14 @@ impl DataTransformer {
                 SagaError::Integrity(format!("join references missing artifact {idx}"))
             })?;
             if !current.schema().iter().any(|c| c == left) {
-                return Err(SagaError::Integrity(format!("join column {left} missing on left")));
+                return Err(SagaError::Integrity(format!(
+                    "join column {left} missing on left"
+                )));
             }
             if !other.schema().iter().any(|c| c == right) {
-                return Err(SagaError::Integrity(format!("join column {right} missing on right")));
+                return Err(SagaError::Integrity(format!(
+                    "join column {right} missing on right"
+                )));
             }
             current = current.hash_join(other, left, right);
         }
@@ -84,10 +92,14 @@ impl DataTransformer {
         let mut seen: FxHashSet<&str> = FxHashSet::default();
         for col in ds.schema() {
             if col.is_empty() {
-                return Err(SagaError::Integrity("empty predicate name in schema".into()));
+                return Err(SagaError::Integrity(
+                    "empty predicate name in schema".into(),
+                ));
             }
             if !seen.insert(col) {
-                return Err(SagaError::Integrity(format!("duplicate predicate name: {col}")));
+                return Err(SagaError::Integrity(format!(
+                    "duplicate predicate name: {col}"
+                )));
             }
         }
         // The ID predicate must exist in the schema.
@@ -110,7 +122,9 @@ impl DataTransformer {
                 other => other.render(),
             };
             if !ids.insert(id_str.clone()) {
-                return Err(SagaError::Integrity(format!("duplicate entity id: {id_str}")));
+                return Err(SagaError::Integrity(format!(
+                    "duplicate entity id: {id_str}"
+                )));
             }
         }
         Ok(())

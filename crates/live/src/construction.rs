@@ -126,7 +126,12 @@ impl LiveGraphBuilder {
             meta(),
         ));
         for (pred, value) in &event.facts {
-            record.triples.push(ExtendedTriple::simple(id, intern(pred), value.clone(), meta()));
+            record.triples.push(ExtendedTriple::simple(
+                id,
+                intern(pred),
+                value.clone(),
+                meta(),
+            ));
         }
         // Resolve text references against the stable graph.
         let context: String = event
@@ -168,7 +173,10 @@ impl LiveGraphBuilder {
 
     /// The live entity id a source event maps to, if seen.
     pub fn entity_of(&self, source: SourceId, event_id: &str) -> Option<EntityId> {
-        self.known.lock().get(&(source, event_id.to_string())).map(|&(id, _)| id)
+        self.known
+            .lock()
+            .get(&(source, event_id.to_string()))
+            .map(|&(id, _)| id)
     }
 }
 
@@ -181,8 +189,20 @@ mod tests {
 
     fn stable_kg() -> KnowledgeGraph {
         let mut kg = KnowledgeGraph::new();
-        kg.add_named_entity(EntityId(1), "Golden State Warriors", "sports_team", SourceId(1), 0.9);
-        kg.add_named_entity(EntityId(2), "Los Angeles Lakers", "sports_team", SourceId(1), 0.9);
+        kg.add_named_entity(
+            EntityId(1),
+            "Golden State Warriors",
+            "sports_team",
+            SourceId(1),
+            0.9,
+        );
+        kg.add_named_entity(
+            EntityId(2),
+            "Los Angeles Lakers",
+            "sports_team",
+            SourceId(1),
+            0.9,
+        );
         kg.add_named_entity(EntityId(3), "Chase Center", "venue", SourceId(1), 0.9);
         kg
     }
@@ -195,9 +215,16 @@ mod tests {
             NerdEntityView::build(&kg, None),
             StringEncoder::new(16, 512, 3, 2),
             ContextualDisambiguator::default(),
-            NerdConfig { max_candidates: 8, confidence_threshold: 0.25 },
+            NerdConfig {
+                max_candidates: 8,
+                confidence_threshold: 0.25,
+            },
         );
-        LiveGraphBuilder::new(live, default_ontology().types().clone(), Some(Arc::new(nerd)))
+        LiveGraphBuilder::new(
+            live,
+            default_ontology().types().clone(),
+            Some(Arc::new(nerd)),
+        )
     }
 
     fn score_event(ts: u64, home: i64, away: i64) -> LiveEvent {
@@ -211,8 +238,16 @@ mod tests {
                 ("away_score".into(), Value::Int(away)),
             ],
             mentions: vec![
-                ("home_team".into(), "Golden State Warriors".into(), Some("sports_team".into())),
-                ("away_team".into(), "Los Angeles Lakers".into(), Some("sports_team".into())),
+                (
+                    "home_team".into(),
+                    "Golden State Warriors".into(),
+                    Some("sports_team".into()),
+                ),
+                (
+                    "away_team".into(),
+                    "Los Angeles Lakers".into(),
+                    Some("sports_team".into()),
+                ),
                 ("venue".into(), "Chase Center".into(), Some("venue".into())),
             ],
             timestamp: ts,
@@ -224,14 +259,26 @@ mod tests {
         let b = builder_with_nerd();
         let report = b.apply(&[score_event(1, 55, 51)]);
         assert_eq!(report.applied, 1);
-        assert_eq!(report.mentions_resolved, 3, "teams and venue resolved to stable ids");
+        assert_eq!(
+            report.mentions_resolved, 3,
+            "teams and venue resolved to stable ids"
+        );
         let id = b.entity_of(SourceId(50), "gsw-lal-2026-06-11").unwrap();
         assert!(id.0 >= LIVE_ID_FLOOR);
         let rec = b.live().get(id).unwrap();
-        assert_eq!(rec.values(intern("home_team")), vec![&Value::Entity(EntityId(1))]);
-        assert_eq!(rec.values(intern("venue")), vec![&Value::Entity(EntityId(3))]);
+        assert_eq!(
+            rec.values(intern("home_team")),
+            vec![&Value::Entity(EntityId(1))]
+        );
+        assert_eq!(
+            rec.values(intern("venue")),
+            vec![&Value::Entity(EntityId(3))]
+        );
         // The game is findable through the edge index.
-        assert_eq!(b.live().index().by_edge(intern("home_team"), EntityId(1)), vec![id]);
+        assert_eq!(
+            b.live().index().by_edge(intern("home_team"), EntityId(1)),
+            vec![id]
+        );
     }
 
     #[test]
@@ -259,7 +306,11 @@ mod tests {
     fn unresolvable_mentions_stay_literal() {
         let b = builder_with_nerd();
         let mut ev = score_event(1, 0, 0);
-        ev.mentions = vec![("home_team".into(), "Team Nobody Knows".into(), Some("sports_team".into()))];
+        ev.mentions = vec![(
+            "home_team".into(),
+            "Team Nobody Knows".into(),
+            Some("sports_team".into()),
+        )];
         let report = b.apply(&[ev]);
         assert_eq!(report.mentions_unresolved, 1);
         let id = b.entity_of(SourceId(50), "gsw-lal-2026-06-11").unwrap();

@@ -54,7 +54,10 @@ impl ContextGraph {
 
     /// The most recent *answer* entity — what pronouns refer to.
     pub fn last_answer(&self) -> Option<EntityId> {
-        self.turns.iter().rev().find_map(|t| t.answers.first().copied())
+        self.turns
+            .iter()
+            .rev()
+            .find_map(|t| t.answers.first().copied())
     }
 
     /// The most recent intent name.
@@ -92,7 +95,13 @@ impl ContextGraph {
         let referent = self
             .last_answer()
             .ok_or_else(|| SagaError::Query("no referent entity in context".into()))?;
-        self.ask(handler, Intent { name: intent_name.into(), arg: IntentArg::Id(referent) })
+        self.ask(
+            handler,
+            Intent {
+                name: intent_name.into(),
+                arg: IntentArg::Id(referent),
+            },
+        )
     }
 }
 
@@ -112,9 +121,24 @@ mod tests {
         kg.add_named_entity(EntityId(3), "Tom Hanks", "person", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(4), "Rita Wilson", "person", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(5), "Hollywood", "city", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(1), intern("spouse"), Value::Entity(EntityId(2)), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(3), intern("spouse"), Value::Entity(EntityId(4)), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(4), intern("birthplace"), Value::Entity(EntityId(5)), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("spouse"),
+            Value::Entity(EntityId(2)),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(3),
+            intern("spouse"),
+            Value::Entity(EntityId(4)),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(4),
+            intern("birthplace"),
+            Value::Entity(EntityId(5)),
+            meta(),
+        ));
         let live = LiveKg::new(4);
         live.load_stable(&kg);
         IntentHandler::new(QueryEngine::new(live))
@@ -125,7 +149,9 @@ mod tests {
         let handler = handler();
         let mut ctx = ContextGraph::new();
         // Q: Who is Beyoncé married to?  → SpouseOf(Beyoncé) → Jay-Z
-        let a1 = ctx.ask(&handler, Intent::named("SpouseOf", "Beyoncé")).unwrap();
+        let a1 = ctx
+            .ask(&handler, Intent::named("SpouseOf", "Beyoncé"))
+            .unwrap();
         assert_eq!(a1.entities(), &[EntityId(2)]);
         // Q: How about Tom Hanks?       → SpouseOf(Tom Hanks) → Rita Wilson
         let a2 = ctx.ask_same_intent(&handler, "Tom Hanks").unwrap();
@@ -149,9 +175,12 @@ mod tests {
     fn last_answer_skips_valueless_turns() {
         let handler = handler();
         let mut ctx = ContextGraph::new();
-        ctx.ask(&handler, Intent::named("SpouseOf", "Beyoncé")).unwrap();
+        ctx.ask(&handler, Intent::named("SpouseOf", "Beyoncé"))
+            .unwrap();
         // A failing ask must not corrupt context.
-        assert!(ctx.ask(&handler, Intent::named("SpouseOf", "Nobody")).is_err());
+        assert!(ctx
+            .ask(&handler, Intent::named("SpouseOf", "Nobody"))
+            .is_err());
         assert_eq!(ctx.last_answer(), Some(EntityId(2)));
         assert_eq!(ctx.len(), 1);
     }

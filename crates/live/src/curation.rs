@@ -44,11 +44,7 @@ pub enum CurationAction {
 
 /// Simple anomaly detector used to *quarantine* suspicious live facts:
 /// numeric score jumps beyond a plausibility bound.
-pub fn detect_suspicious_scores(
-    old: Option<i64>,
-    new: i64,
-    max_jump: i64,
-) -> bool {
+pub fn detect_suspicious_scores(old: Option<i64>, new: i64, max_jump: i64) -> bool {
     match old {
         Some(o) => (new - o).abs() > max_jump || new < o,
         None => new < 0,
@@ -67,35 +63,45 @@ pub struct CurationPipeline {
 impl CurationPipeline {
     /// A pipeline hot-fixing `live`, emitting under `source`.
     pub fn new(live: LiveKg, source: SourceId) -> Self {
-        CurationPipeline { live, source, pending_for_stable: parking_lot::Mutex::new(Vec::new()) }
+        CurationPipeline {
+            live,
+            source,
+            pending_for_stable: parking_lot::Mutex::new(Vec::new()),
+        }
     }
 
     /// Apply one curation as a hot fix to the live indexes, and queue it
     /// for the stable graph.
     pub fn apply(&self, action: CurationAction) -> bool {
         let applied = match &action {
-            CurationAction::BlockFact { entity, predicate, value } => {
-                self.rewrite(*entity, |rec| {
-                    let pred = intern(predicate);
-                    let before = rec.triples.len();
-                    rec.triples.retain(|t| !(t.predicate == pred && &t.object == value));
-                    rec.triples.len() != before
-                })
-            }
-            CurationAction::EditFact { entity, predicate, old, new } => {
-                self.rewrite(*entity, |rec| {
-                    let pred = intern(predicate);
-                    let mut hit = false;
-                    for t in &mut rec.triples {
-                        if t.predicate == pred && &t.object == old {
-                            t.object = new.clone();
-                            t.meta.merge(&FactMeta::from_source(self.source, 0.99));
-                            hit = true;
-                        }
+            CurationAction::BlockFact {
+                entity,
+                predicate,
+                value,
+            } => self.rewrite(*entity, |rec| {
+                let pred = intern(predicate);
+                let before = rec.triples.len();
+                rec.triples
+                    .retain(|t| !(t.predicate == pred && &t.object == value));
+                rec.triples.len() != before
+            }),
+            CurationAction::EditFact {
+                entity,
+                predicate,
+                old,
+                new,
+            } => self.rewrite(*entity, |rec| {
+                let pred = intern(predicate);
+                let mut hit = false;
+                for t in &mut rec.triples {
+                    if t.predicate == pred && &t.object == old {
+                        t.object = new.clone();
+                        t.meta.merge(&FactMeta::from_source(self.source, 0.99));
+                        hit = true;
                     }
-                    hit
-                })
-            }
+                }
+                hit
+            }),
             CurationAction::BlockEntity { entity } => self.live.remove(*entity),
         };
         if applied {
@@ -105,7 +111,9 @@ impl CurationPipeline {
     }
 
     fn rewrite(&self, id: EntityId, f: impl FnOnce(&mut saga_core::EntityRecord) -> bool) -> bool {
-        let Some(mut rec) = self.live.get(id) else { return false };
+        let Some(mut rec) = self.live.get(id) else {
+            return false;
+        };
         let changed = f(&mut rec);
         if changed {
             self.live.upsert(rec);
@@ -125,39 +133,46 @@ impl CurationPipeline {
         let mut applied = 0;
         for action in actions {
             match action {
-                CurationAction::BlockFact { entity, predicate, value } => {
-                    if let Some(rec) = kg.entity_mut(*entity) {
+                CurationAction::BlockFact {
+                    entity,
+                    predicate,
+                    value,
+                } => {
+                    // mutate_entity reconciles the unified triple index
+                    // with whatever the closure removed.
+                    let mut hit = false;
+                    kg.mutate_entity(*entity, |rec| {
                         let pred = intern(predicate);
                         let before = rec.triples.len();
-                        rec.triples.retain(|t| !(t.predicate == pred && &t.object == value));
-                        if rec.triples.len() != before {
-                            applied += 1;
-                        }
+                        rec.triples
+                            .retain(|t| !(t.predicate == pred && &t.object == value));
+                        hit = rec.triples.len() != before;
+                    });
+                    if hit {
+                        applied += 1;
                     }
                 }
-                CurationAction::EditFact { entity, predicate, old, new } => {
-                    if let Some(rec) = kg.entity_mut(*entity) {
+                CurationAction::EditFact {
+                    entity,
+                    predicate,
+                    old,
+                    new,
+                } => {
+                    let mut hits = 0;
+                    kg.mutate_entity(*entity, |rec| {
                         let pred = intern(predicate);
                         for t in &mut rec.triples {
                             if t.predicate == pred && &t.object == old {
                                 t.object = new.clone();
-                                applied += 1;
+                                hits += 1;
                             }
                         }
-                    }
+                    });
+                    applied += hits;
                 }
                 CurationAction::BlockEntity { entity } => {
-                    if kg.entity(*entity).is_some() {
-                        // Stable-side blocks retract all facts of the entity.
-                        let ids: Vec<SourceId> = kg
-                            .entity(*entity)
-                            .map(|r| r.triples.iter().flat_map(|t| t.meta.sources()).collect())
-                            .unwrap_or_default();
-                        let _ = ids;
-                        // Direct removal: curation overrides provenance.
-                        if let Some(rec) = kg.entity_mut(*entity) {
-                            rec.triples.clear();
-                        }
+                    // Direct removal: curation overrides provenance.
+                    if kg.mutate_entity(*entity, |rec| rec.triples.clear()) {
                         applied += 1;
                     }
                 }
@@ -199,11 +214,18 @@ mod tests {
         let rec = pipeline.live.get(id).unwrap();
         assert_eq!(rec.values(intern("population")), vec![&Value::Int(120_000)]);
         // The curation source is recorded in provenance.
-        let fact = rec.triples.iter().find(|t| t.predicate == intern("population")).unwrap();
+        let fact = rec
+            .triples
+            .iter()
+            .find(|t| t.predicate == intern("population"))
+            .unwrap();
         assert!(fact.meta.has_source(SourceId(99)));
         // Hot fix is immediately visible in the literal index.
         assert_eq!(
-            pipeline.live.index().by_literal(intern("population"), &Value::Int(120_000)),
+            pipeline
+                .live
+                .index()
+                .by_literal(intern("population"), &Value::Int(120_000)),
             vec![id]
         );
     }
@@ -216,7 +238,12 @@ mod tests {
             predicate: "population".into(),
             value: Value::Int(-5),
         }));
-        assert!(pipeline.live.get(id).unwrap().values(intern("population")).is_empty());
+        assert!(pipeline
+            .live
+            .get(id)
+            .unwrap()
+            .values(intern("population"))
+            .is_empty());
         assert!(pipeline.apply(CurationAction::BlockEntity { entity: id }));
         assert!(pipeline.live.get(id).is_none());
         // Blocking again is a no-op.
@@ -234,7 +261,10 @@ mod tests {
         });
         let drained = pipeline.drain_for_stable();
         assert_eq!(drained.len(), 1);
-        assert!(pipeline.drain_for_stable().is_empty(), "drain empties the queue");
+        assert!(
+            pipeline.drain_for_stable().is_empty(),
+            "drain empties the queue"
+        );
 
         let mut stable = KnowledgeGraph::new();
         stable.add_named_entity(EntityId(1), "Springfield", "city", SourceId(1), 0.9);
@@ -247,7 +277,10 @@ mod tests {
         let applied = CurationPipeline::apply_to_stable(&mut stable, &drained);
         assert_eq!(applied, 1);
         assert_eq!(
-            stable.entity(EntityId(1)).unwrap().values(intern("population")),
+            stable
+                .entity(EntityId(1))
+                .unwrap()
+                .values(intern("population")),
             vec![&Value::Int(120_000)]
         );
     }

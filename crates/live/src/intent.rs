@@ -34,12 +34,18 @@ pub enum IntentArg {
 impl Intent {
     /// Intent with a named argument.
     pub fn named(name: &str, arg: &str) -> Intent {
-        Intent { name: name.into(), arg: IntentArg::Name(arg.into()) }
+        Intent {
+            name: name.into(),
+            arg: IntentArg::Name(arg.into()),
+        }
     }
 
     /// Intent with a resolved argument.
     pub fn resolved(name: &str, id: EntityId) -> Intent {
-        Intent { name: name.into(), arg: IntentArg::Id(id) }
+        Intent {
+            name: name.into(),
+            arg: IntentArg::Id(id),
+        }
     }
 }
 
@@ -54,7 +60,10 @@ impl IntentHandler {
     pub fn new(engine: QueryEngine) -> Self {
         let mut routes = FxHashMap::default();
         let mut add = |intent: &str, preds: &[&str]| {
-            routes.insert(intent.to_string(), preds.iter().map(|p| p.to_string()).collect());
+            routes.insert(
+                intent.to_string(),
+                preds.iter().map(|p| p.to_string()).collect(),
+            );
         };
         // The paper's running example: leader-of routes by entity semantics.
         add("HeadOfState", &["prime_minister", "mayor"]);
@@ -68,8 +77,10 @@ impl IntentHandler {
 
     /// Register/override a route: the ordered candidate predicates.
     pub fn register_route(&mut self, intent: &str, predicates: &[&str]) {
-        self.routes
-            .insert(intent.to_string(), predicates.iter().map(|p| p.to_string()).collect());
+        self.routes.insert(
+            intent.to_string(),
+            predicates.iter().map(|p| p.to_string()).collect(),
+        );
     }
 
     /// The underlying query engine.
@@ -81,9 +92,13 @@ impl IntentHandler {
     pub fn resolve_arg(&self, arg: &IntentArg) -> Option<EntityId> {
         match arg {
             IntentArg::Id(id) => self.engine.live().contains(*id).then_some(*id),
-            IntentArg::Name(name) => {
-                self.engine.live().index().by_name(&name.to_lowercase()).first().copied()
-            }
+            IntentArg::Name(name) => self
+                .engine
+                .live()
+                .index()
+                .by_name(&name.to_lowercase())
+                .first()
+                .copied(),
         }
     }
 
@@ -130,8 +145,18 @@ mod tests {
         kg.add_named_entity(EntityId(2), "Chicago", "city", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(3), "The PM", "person", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(4), "The Mayor", "person", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(1), intern("prime_minister"), Value::Entity(EntityId(3)), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), intern("mayor"), Value::Entity(EntityId(4)), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("prime_minister"),
+            Value::Entity(EntityId(3)),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(2),
+            intern("mayor"),
+            Value::Entity(EntityId(4)),
+            meta(),
+        ));
         let live = LiveKg::new(4);
         live.load_stable(&kg);
         QueryEngine::new(live)
@@ -141,11 +166,15 @@ mod tests {
     fn head_of_state_routes_by_entity_semantics() {
         let handler = IntentHandler::new(engine());
         // Canada → prime_minister.
-        let (r1, arg1) = handler.handle(&Intent::named("HeadOfState", "Canada")).unwrap();
+        let (r1, arg1) = handler
+            .handle(&Intent::named("HeadOfState", "Canada"))
+            .unwrap();
         assert_eq!(arg1, EntityId(1));
         assert_eq!(r1.entities(), &[EntityId(3)]);
         // Chicago → mayor, same intent.
-        let (r2, _) = handler.handle(&Intent::named("HeadOfState", "Chicago")).unwrap();
+        let (r2, _) = handler
+            .handle(&Intent::named("HeadOfState", "Chicago"))
+            .unwrap();
         assert_eq!(r2.entities(), &[EntityId(4)]);
     }
 
@@ -153,21 +182,29 @@ mod tests {
     fn meaningless_interpretations_are_rejected() {
         let handler = IntentHandler::new(engine());
         // The PM has neither prime_minister nor mayor facts.
-        let err = handler.handle(&Intent::named("HeadOfState", "The PM")).unwrap_err();
+        let err = handler
+            .handle(&Intent::named("HeadOfState", "The PM"))
+            .unwrap_err();
         assert!(err.to_string().contains("no meaningful interpretation"));
     }
 
     #[test]
     fn unknown_intents_and_arguments_error() {
         let handler = IntentHandler::new(engine());
-        assert!(handler.handle(&Intent::named("FavouriteColor", "Canada")).is_err());
-        assert!(handler.handle(&Intent::named("HeadOfState", "Atlantis")).is_err());
+        assert!(handler
+            .handle(&Intent::named("FavouriteColor", "Canada"))
+            .is_err());
+        assert!(handler
+            .handle(&Intent::named("HeadOfState", "Atlantis"))
+            .is_err());
     }
 
     #[test]
     fn resolved_id_arguments_work() {
         let handler = IntentHandler::new(engine());
-        let (r, _) = handler.handle(&Intent::resolved("HeadOfState", EntityId(2))).unwrap();
+        let (r, _) = handler
+            .handle(&Intent::resolved("HeadOfState", EntityId(2)))
+            .unwrap();
         assert_eq!(r.entities(), &[EntityId(4)]);
     }
 
@@ -175,7 +212,13 @@ mod tests {
     fn custom_routes_can_be_registered() {
         let mut handler = IntentHandler::new(engine());
         handler.register_route("LeaderOf", &["mayor", "prime_minister"]);
-        let (r, _) = handler.handle(&Intent::named("LeaderOf", "Canada")).unwrap();
-        assert_eq!(r.entities(), &[EntityId(3)], "falls through mayor to prime_minister");
+        let (r, _) = handler
+            .handle(&Intent::named("LeaderOf", "Canada"))
+            .unwrap();
+        assert_eq!(
+            r.entities(),
+            &[EntityId(3)],
+            "falls through mayor to prime_minister"
+        );
     }
 }

@@ -1,29 +1,48 @@
 //! KGQ compilation and execution.
 //!
 //! Compilation expands virtual operators, resolves edge targets to entity
-//! ids, and lowers conditions to index probes. Execution orders probes by
-//! estimated selectivity (operator pushdown: cheapest index first), then
-//! intersects posting lists; `GET` paths walk the KV store.
+//! ids, and lowers conditions directly to the unified triple index's
+//! [`ProbeKey`] vocabulary — the same probe path the stable KG serves.
+//! Execution intersects sorted posting lists per shard with galloping
+//! search (the smallest list drives, so operator pushdown falls out of the
+//! representation); `GET` paths walk the KV store.
 
-use saga_core::{intern, EntityId, Result, SagaError, Symbol, Value};
+use saga_core::{intern, EntityId, ProbeKey, Result, SagaError, Symbol, Value};
 
 use crate::kgq::parser::{Condition, Query, Target};
 use crate::kgq::QueryEngine;
 use crate::store::LiveKg;
 
-/// One lowered index probe.
+/// One lowered index probe: a shared [`ProbeKey`], or a condition known at
+/// compile time to match nothing.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Probe {
-    /// Full-phrase name posting.
-    Name(String),
-    /// Exact literal fact posting.
-    Literal(Symbol, Value),
-    /// Edge posting.
-    Edge(Symbol, EntityId),
-    /// Type posting.
-    Type(Symbol),
+    /// A satisfiable probe, lowered to the shared index vocabulary.
+    Key(ProbeKey),
     /// An edge whose target did not resolve — always empty.
     Unsatisfiable,
+}
+
+impl Probe {
+    /// Full-phrase name posting (lowercased).
+    pub fn name(n: impl Into<String>) -> Probe {
+        Probe::Key(ProbeKey::Name(n.into()))
+    }
+
+    /// Exact literal fact posting.
+    pub fn literal(pred: Symbol, value: Value) -> Probe {
+        Probe::Key(ProbeKey::Literal(pred, value))
+    }
+
+    /// Edge posting.
+    pub fn edge(pred: Symbol, target: EntityId) -> Probe {
+        Probe::Key(ProbeKey::Edge(pred, target))
+    }
+
+    /// Type posting.
+    pub fn type_of(ty: Symbol) -> Probe {
+        Probe::Key(ProbeKey::Type(ty))
+    }
 }
 
 /// A compiled physical plan.
@@ -103,10 +122,14 @@ pub fn compile(engine: &QueryEngine, query: &Query) -> Result<Plan> {
             start: start.clone(),
             path: path.iter().map(|p| intern(p)).collect(),
         }),
-        Query::Find { entity_type, conditions, limit } => {
+        Query::Find {
+            entity_type,
+            conditions,
+            limit,
+        } => {
             let mut probes = Vec::new();
             if let Some(ty) = entity_type {
-                probes.push(Probe::Type(intern(ty)));
+                probes.push(Probe::type_of(intern(ty)));
             }
             // Expand virtual operators to primitive conditions first.
             let mut flat: Vec<Condition> = Vec::new();
@@ -128,31 +151,24 @@ pub fn compile(engine: &QueryEngine, query: &Query) -> Result<Plan> {
             }
             for c in flat {
                 match c {
-                    Condition::NameIs(n) => probes.push(Probe::Name(n.to_lowercase())),
+                    Condition::NameIs(n) => probes.push(Probe::name(n.to_lowercase())),
                     Condition::HasLiteral { pred, value } => {
-                        probes.push(Probe::Literal(intern(&pred), value))
+                        probes.push(Probe::literal(intern(&pred), value))
                     }
                     Condition::RelTo { pred, target } => {
                         match resolve_target(engine.live(), &target) {
-                            Some(id) => probes.push(Probe::Edge(intern(&pred), id)),
+                            Some(id) => probes.push(Probe::edge(intern(&pred), id)),
                             None => probes.push(Probe::Unsatisfiable),
                         }
                     }
                     Condition::VirtualOp { .. } => unreachable!("expanded above"),
                 }
             }
-            Ok(Plan::Find { probes, limit: *limit })
+            Ok(Plan::Find {
+                probes,
+                limit: *limit,
+            })
         }
-    }
-}
-
-fn probe_postings(live: &LiveKg, probe: &Probe) -> Vec<EntityId> {
-    match probe {
-        Probe::Name(n) => live.index().by_name(n),
-        Probe::Literal(p, v) => live.index().by_literal(*p, v),
-        Probe::Edge(p, t) => live.index().by_edge(*p, *t),
-        Probe::Type(t) => live.index().by_type(*t),
-        Probe::Unsatisfiable => Vec::new(),
     }
 }
 
@@ -163,19 +179,20 @@ pub fn execute(live: &LiveKg, plan: &Plan) -> Result<QueryResult> {
             if probes.is_empty() {
                 return Err(SagaError::Query("unbounded FIND rejected".into()));
             }
-            // Operator pushdown: evaluate the most selective probe first.
-            let mut lists: Vec<Vec<EntityId>> =
-                probes.iter().map(|p| probe_postings(live, p)).collect();
-            lists.sort_by_key(Vec::len);
-            let mut result = lists.remove(0);
-            for list in &lists {
-                let set: saga_core::FxHashSet<EntityId> = list.iter().copied().collect();
-                result.retain(|id| set.contains(id));
-                if result.is_empty() {
-                    break;
-                }
+            if probes.iter().any(|p| matches!(p, Probe::Unsatisfiable)) {
+                return Ok(QueryResult::Entities(Vec::new()));
             }
-            result.sort_unstable();
+            // One shared probe path: per-shard galloping intersection over
+            // the striped TripleIndex (the smallest posting list drives, so
+            // the old explicit selectivity sort is subsumed).
+            let keys: Vec<ProbeKey> = probes
+                .iter()
+                .map(|p| match p {
+                    Probe::Key(k) => k.clone(),
+                    Probe::Unsatisfiable => unreachable!("checked above"),
+                })
+                .collect();
+            let mut result = live.index().probe_all(&keys);
             result.truncate(*limit);
             Ok(QueryResult::Entities(result))
         }
@@ -190,7 +207,9 @@ pub fn execute(live: &LiveKg, plan: &Plan) -> Result<QueryResult> {
                 let mut next = Vec::new();
                 terminal_values.clear();
                 for id in &frontier {
-                    let Some(record) = live.get(*id) else { continue };
+                    let Some(record) = live.get(*id) else {
+                        continue;
+                    };
                     for v in record.values(pred) {
                         match v {
                             Value::Entity(e) => {
@@ -217,9 +236,14 @@ pub fn execute(live: &LiveKg, plan: &Plan) -> Result<QueryResult> {
             }
             // If every terminal value is an entity, surface entities.
             if !terminal_values.is_empty()
-                && terminal_values.iter().all(|v| matches!(v, Value::Entity(_)))
+                && terminal_values
+                    .iter()
+                    .all(|v| matches!(v, Value::Entity(_)))
             {
-                let ids = terminal_values.iter().filter_map(Value::as_entity).collect();
+                let ids = terminal_values
+                    .iter()
+                    .filter_map(Value::as_entity)
+                    .collect();
                 return Ok(QueryResult::Entities(ids));
             }
             Ok(QueryResult::Values(terminal_values))
@@ -237,13 +261,38 @@ mod tests {
         let meta = || FactMeta::from_source(SourceId(1), 0.9);
         kg.add_named_entity(EntityId(1), "Beyoncé", "music_artist", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(2), "Jay-Z", "music_artist", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(1), intern("spouse"), Value::Entity(EntityId(2)), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), intern("spouse"), Value::Entity(EntityId(1)), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("spouse"),
+            Value::Entity(EntityId(2)),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(2),
+            intern("spouse"),
+            Value::Entity(EntityId(1)),
+            meta(),
+        ));
         kg.add_named_entity(EntityId(3), "Halo", "song", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(3), intern("performed_by"), Value::Entity(EntityId(1)), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(3), intern("duration_s"), Value::Int(261), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(3),
+            intern("performed_by"),
+            Value::Entity(EntityId(1)),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(3),
+            intern("duration_s"),
+            Value::Int(261),
+            meta(),
+        ));
         kg.add_named_entity(EntityId(4), "Hollywood", "city", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(2), intern("birthplace"), Value::Entity(EntityId(4)), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(2),
+            intern("birthplace"),
+            Value::Entity(EntityId(4)),
+            meta(),
+        ));
         let live = LiveKg::new(4);
         live.load_stable(&kg);
         QueryEngine::new(live)
@@ -252,10 +301,14 @@ mod tests {
     #[test]
     fn find_by_name_and_type() {
         let eng = demo_engine();
-        let r = eng.query(r#"FIND music_artist WHERE name = "Beyoncé""#).unwrap();
+        let r = eng
+            .query(r#"FIND music_artist WHERE name = "Beyoncé""#)
+            .unwrap();
         assert_eq!(r.entities(), &[EntityId(1)]);
         // Type filter excludes the song even though names differ anyway.
-        let r2 = eng.query(r#"FIND song WHERE performed_by -> entity("Beyoncé")"#).unwrap();
+        let r2 = eng
+            .query(r#"FIND song WHERE performed_by -> entity("Beyoncé")"#)
+            .unwrap();
         assert_eq!(r2.entities(), &[EntityId(3)]);
     }
 
@@ -282,14 +335,18 @@ mod tests {
         let r2 = eng.query(r#"GET "Beyoncé" . spouse . name"#).unwrap();
         assert_eq!(r2.values(), &[Value::str("Jay-Z")]);
         // Three hops: spouse → birthplace → name.
-        let r3 = eng.query(r#"GET AKG:1 . spouse . birthplace . name"#).unwrap();
+        let r3 = eng
+            .query(r#"GET AKG:1 . spouse . birthplace . name"#)
+            .unwrap();
         assert_eq!(r3.values(), &[Value::str("Hollywood")]);
     }
 
     #[test]
     fn unresolved_targets_yield_empty_not_error() {
         let eng = demo_engine();
-        let r = eng.query(r#"FIND song WHERE performed_by -> entity("Nobody Here")"#).unwrap();
+        let r = eng
+            .query(r#"FIND song WHERE performed_by -> entity("Nobody Here")"#)
+            .unwrap();
         assert!(r.is_empty());
         let r2 = eng.query(r#"GET "Nobody Here" . name"#).unwrap();
         assert!(r2.is_empty());

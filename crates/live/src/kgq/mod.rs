@@ -67,7 +67,9 @@ impl QueryEngine {
         name: &str,
         op: impl Fn(&[String]) -> Result<Vec<Condition>> + Send + Sync + 'static,
     ) {
-        self.virtual_ops.write().insert(name.to_string(), Arc::new(op));
+        self.virtual_ops
+            .write()
+            .insert(name.to_string(), Arc::new(op));
     }
 
     /// Expand a virtual operator (compiler hook).
@@ -86,7 +88,9 @@ impl QueryEngine {
         }
         let ast = parse(text)?;
         let plan = Arc::new(compile(self, &ast)?);
-        self.plan_cache.write().insert(text.to_string(), Arc::clone(&plan));
+        self.plan_cache
+            .write()
+            .insert(text.to_string(), Arc::clone(&plan));
         execute(&self.live, &plan)
     }
 

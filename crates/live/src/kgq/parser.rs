@@ -125,14 +125,16 @@ fn lex(text: &str) -> Result<Vec<Tok>> {
                 i += 1;
                 toks.push(Tok::Str(s));
             }
-            c if c.is_ascii_digit() || (c == '-' && chars.get(i + 1).map_or(false, |n| n.is_ascii_digit())) => {
+            c if c.is_ascii_digit()
+                || (c == '-' && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())) =>
+            {
                 let start = i;
                 i += 1;
                 let mut is_float = false;
                 while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
                     if chars[i] == '.' {
                         // '.' followed by non-digit is a path dot.
-                        if !chars.get(i + 1).map_or(false, |n| n.is_ascii_digit()) {
+                        if !chars.get(i + 1).is_some_and(|n| n.is_ascii_digit()) {
                             break;
                         }
                         is_float = true;
@@ -220,7 +222,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Tok::Ident(w) => Ok(w),
-            t => Err(SagaError::Query(format!("expected identifier, found {t:?}"))),
+            t => Err(SagaError::Query(format!(
+                "expected identifier, found {t:?}"
+            ))),
         }
     }
 
@@ -232,12 +236,18 @@ impl Parser {
                 self.expect(&Tok::LParen)?;
                 let name = match self.next()? {
                     Tok::Str(s) => s,
-                    t => return Err(SagaError::Query(format!("entity() expects a string, got {t:?}"))),
+                    t => {
+                        return Err(SagaError::Query(format!(
+                            "entity() expects a string, got {t:?}"
+                        )))
+                    }
                 };
                 self.expect(&Tok::RParen)?;
                 Ok(Target::Name(name))
             }
-            t => Err(SagaError::Query(format!("expected entity target, found {t:?}"))),
+            t => Err(SagaError::Query(format!(
+                "expected entity target, found {t:?}"
+            ))),
         }
     }
 
@@ -263,7 +273,10 @@ impl Parser {
             }
             Some(Tok::Arrow) => {
                 self.pos += 1;
-                Ok(Condition::RelTo { pred: head, target: self.target()? })
+                Ok(Condition::RelTo {
+                    pred: head,
+                    target: self.target()?,
+                })
             }
             Some(Tok::LParen) => {
                 self.pos += 1;
@@ -280,14 +293,19 @@ impl Parser {
                 }
                 Ok(Condition::VirtualOp { name: head, args })
             }
-            _ => Err(SagaError::Query(format!("condition on {head} needs =, -> or (args)"))),
+            _ => Err(SagaError::Query(format!(
+                "condition on {head} needs =, -> or (args)"
+            ))),
         }
     }
 }
 
 /// Parse KGQ text into a [`Query`].
 pub fn parse(text: &str) -> Result<Query> {
-    let mut p = Parser { toks: lex(text)?, pos: 0 };
+    let mut p = Parser {
+        toks: lex(text)?,
+        pos: 0,
+    };
     if p.keyword("FIND") {
         // Optional type restriction (an identifier not followed by a
         // condition operator).
@@ -323,9 +341,15 @@ pub fn parse(text: &str) -> Result<Query> {
             return Err(SagaError::Query("trailing tokens after query".into()));
         }
         if entity_type.is_none() && conditions.is_empty() {
-            return Err(SagaError::Query("FIND requires a type or conditions".into()));
+            return Err(SagaError::Query(
+                "FIND requires a type or conditions".into(),
+            ));
         }
-        Ok(Query::Find { entity_type, conditions, limit })
+        Ok(Query::Find {
+            entity_type,
+            conditions,
+            limit,
+        })
     } else if p.keyword("GET") {
         let start = p.target()?;
         let mut path = Vec::new();
@@ -359,18 +383,28 @@ mod tests {
         )
         .unwrap();
         match q {
-            Query::Find { entity_type, conditions, limit } => {
+            Query::Find {
+                entity_type,
+                conditions,
+                limit,
+            } => {
                 assert_eq!(entity_type.as_deref(), Some("city"));
                 assert_eq!(limit, 5);
                 assert_eq!(conditions.len(), 3);
                 assert_eq!(conditions[0], Condition::NameIs("Springfield".into()));
                 assert_eq!(
                     conditions[1],
-                    Condition::RelTo { pred: "located_in".into(), target: Target::Name("Illinois".into()) }
+                    Condition::RelTo {
+                        pred: "located_in".into(),
+                        target: Target::Name("Illinois".into())
+                    }
                 );
                 assert_eq!(
                     conditions[2],
-                    Condition::HasLiteral { pred: "population".into(), value: Value::Int(120) }
+                    Condition::HasLiteral {
+                        pred: "population".into(),
+                        value: Value::Int(120)
+                    }
                 );
             }
             _ => panic!("expected FIND"),
@@ -384,11 +418,17 @@ mod tests {
             Query::Find { conditions, .. } => {
                 assert_eq!(
                     conditions[0],
-                    Condition::RelTo { pred: "home_team".into(), target: Target::Id(EntityId(17)) }
+                    Condition::RelTo {
+                        pred: "home_team".into(),
+                        target: Target::Id(EntityId(17))
+                    }
                 );
                 assert_eq!(
                     conditions[1],
-                    Condition::VirtualOp { name: "Live".into(), args: vec!["today".into()] }
+                    Condition::VirtualOp {
+                        name: "Live".into(),
+                        args: vec!["today".into()]
+                    }
                 );
             }
             _ => panic!(),
@@ -399,11 +439,17 @@ mod tests {
     fn parses_get_paths_by_id_and_name() {
         assert_eq!(
             parse("GET AKG:12 . spouse . name").unwrap(),
-            Query::Get { start: Target::Id(EntityId(12)), path: vec!["spouse".into(), "name".into()] }
+            Query::Get {
+                start: Target::Id(EntityId(12)),
+                path: vec!["spouse".into(), "name".into()]
+            }
         );
         assert_eq!(
             parse(r#"GET "Beyoncé" . spouse"#).unwrap(),
-            Query::Get { start: Target::Name("Beyoncé".into()), path: vec!["spouse".into()] }
+            Query::Get {
+                start: Target::Name("Beyoncé".into()),
+                path: vec!["spouse".into()]
+            }
         );
     }
 
@@ -443,7 +489,10 @@ mod tests {
             Query::Find { conditions, .. } => {
                 assert_eq!(
                     conditions[0],
-                    Condition::HasLiteral { pred: "price_usd".into(), value: Value::Float(12.5) }
+                    Condition::HasLiteral {
+                        pred: "price_usd".into(),
+                        value: Value::Float(12.5)
+                    }
                 );
             }
             _ => panic!(),
@@ -452,7 +501,10 @@ mod tests {
             Query::Find { conditions, .. } => {
                 assert_eq!(
                     conditions[0],
-                    Condition::HasLiteral { pred: "delta".into(), value: Value::Int(-3) }
+                    Condition::HasLiteral {
+                        pred: "delta".into(),
+                        value: Value::Int(-3)
+                    }
                 );
             }
             _ => panic!(),

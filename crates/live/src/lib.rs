@@ -35,4 +35,4 @@ pub use context::ContextGraph;
 pub use curation::{CurationAction, CurationPipeline};
 pub use intent::{Intent, IntentHandler};
 pub use kgq::{compile, execute, parse, Plan, Query, QueryEngine, QueryResult};
-pub use store::{InvertedGraphIndex, LiveKg};
+pub use store::{LiveKg, ShardedTripleIndex};

@@ -4,141 +4,139 @@
 //! The indexes are sharded and can be replicated to support scale-out."
 //!
 //! [`LiveKg`] shards entity records across lock-striped maps (point reads
-//! take one shard read-lock); [`InvertedGraphIndex`] maintains postings for
-//! name tokens, literal facts and graph edges, which is what KGQ plans
-//! intersect.
+//! take one shard read-lock); [`ShardedTripleIndex`] stripes the *same*
+//! [`TripleIndex`](saga_core::TripleIndex) the stable KG maintains, so
+//! stable and live serving share one probe path ([`ProbeKey`]) and one
+//! posting representation. Shards partition the entity-id space, which
+//! makes conjunctive probes embarrassingly parallel: each shard intersects
+//! its own sorted postings and the disjoint results concatenate in order.
 
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use saga_core::{EntityId, EntityRecord, FxHashMap, Symbol, Value};
+use saga_core::index::intersect_sorted;
+use saga_core::{EntityId, EntityRecord, FxHashMap, ProbeKey, Symbol, TripleIndex, Value};
 
-/// Posting keys of the inverted graph index.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
-enum IndexKey {
-    /// Normalized name/alias token.
-    NameToken(String),
-    /// Exact `(predicate, literal)` fact.
-    Literal(Symbol, Value),
-    /// Edge `(predicate, target entity)` — supports `pred -> entity(X)`.
-    Edge(Symbol, EntityId),
-    /// Ontology type.
-    Type(Symbol),
+/// The unified triple index under lock striping: shard `i` indexes the
+/// entities with `id % shards == i`. Replaces the legacy single-lock
+/// `InvertedGraphIndex`.
+pub struct ShardedTripleIndex {
+    shards: Vec<RwLock<TripleIndex>>,
 }
 
-/// The inverted graph index.
-#[derive(Default)]
-pub struct InvertedGraphIndex {
-    postings: RwLock<FxHashMap<IndexKey, Vec<EntityId>>>,
-}
-
-fn name_tokens(record: &EntityRecord) -> Vec<String> {
-    let mut out = Vec::new();
-    for name in record.all_names() {
-        for tok in name.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty()) {
-            out.push(tok.to_lowercase());
+impl ShardedTripleIndex {
+    /// An empty index striped over `shards` locks.
+    pub fn new(shards: usize) -> Self {
+        let n = shards.clamp(1, 1024);
+        ShardedTripleIndex {
+            shards: (0..n).map(|_| RwLock::new(TripleIndex::new())).collect(),
         }
-        out.push(name.to_lowercase());
-    }
-    out.sort();
-    out.dedup();
-    out
-}
-
-impl InvertedGraphIndex {
-    /// An empty index.
-    pub fn new() -> Self {
-        Self::default()
     }
 
-    fn keys_of(record: &EntityRecord) -> Vec<IndexKey> {
-        let mut keys: Vec<IndexKey> =
-            name_tokens(record).into_iter().map(IndexKey::NameToken).collect();
-        for t in &record.triples {
-            if t.rel.is_some() {
-                continue; // composite facets are served from the KV record
-            }
-            match &t.object {
-                Value::Entity(e) => keys.push(IndexKey::Edge(t.predicate, *e)),
-                Value::Null | Value::SourceRef(_) => {}
-                v => keys.push(IndexKey::Literal(t.predicate, v.clone())),
-            }
-        }
-        for ty in record.types() {
-            keys.push(IndexKey::Type(ty));
-        }
-        keys
+    fn shard_of(&self, id: EntityId) -> usize {
+        (id.0 as usize) % self.shards.len()
     }
 
-    /// (Re-)index an entity record.
+    /// (Re-)index an entity record (diff-based; only its own shard locks).
     pub fn index(&self, record: &EntityRecord) {
-        let keys = Self::keys_of(record);
-        let mut postings = self.postings.write();
-        for key in keys {
-            let list = postings.entry(key).or_default();
-            if !list.contains(&record.id) {
-                list.push(record.id);
-            }
-        }
+        self.shards[self.shard_of(record.id)]
+            .write()
+            .update_entity(record);
     }
 
-    /// Remove an entity's postings given its (old) record.
-    pub fn unindex(&self, record: &EntityRecord) {
-        let keys = Self::keys_of(record);
-        let mut postings = self.postings.write();
-        for key in keys {
-            if let Some(list) = postings.get_mut(&key) {
-                list.retain(|&e| e != record.id);
-                if list.is_empty() {
-                    postings.remove(&key);
-                }
-            }
-        }
+    /// Drop an entity's postings.
+    pub fn unindex(&self, id: EntityId) {
+        self.shards[self.shard_of(id)].write().remove_entity(id);
     }
 
-    /// Entities whose name contains token / exact phrase `needle` (lowercased).
+    /// Merge one probe's postings across shards. Shards partition the id
+    /// space, so per-shard sorted lists concatenate into one sorted list
+    /// after a k-way merge.
+    pub fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
+        let mut per_shard: Vec<Vec<EntityId>> = self
+            .shards
+            .iter()
+            .map(|s| s.read().postings(probe).to_vec())
+            .collect();
+        merge_sorted(&mut per_shard)
+    }
+
+    /// Conjunction of probes: intersect within each shard, then merge the
+    /// (disjoint) per-shard results.
+    pub fn probe_all(&self, probes: &[ProbeKey]) -> Vec<EntityId> {
+        let mut per_shard: Vec<Vec<EntityId>> = self
+            .shards
+            .iter()
+            .map(|shard| {
+                let idx = shard.read();
+                let lists: Vec<&[EntityId]> = probes.iter().map(|p| idx.postings(p)).collect();
+                intersect_sorted(&lists)
+            })
+            .collect();
+        merge_sorted(&mut per_shard)
+    }
+
+    /// Total posting length of a probe (selectivity estimation).
+    pub fn selectivity(&self, probe: &ProbeKey) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().selectivity(probe))
+            .sum()
+    }
+
+    /// Entities whose name contains token / exact phrase `needle`
+    /// (lowercased internally).
     pub fn by_name(&self, needle: &str) -> Vec<EntityId> {
-        self.postings
-            .read()
-            .get(&IndexKey::NameToken(needle.to_lowercase()))
-            .cloned()
-            .unwrap_or_default()
+        self.postings(&ProbeKey::Name(needle.to_lowercase()))
     }
 
     /// Entities asserting the literal fact `(pred, value)`.
     pub fn by_literal(&self, pred: Symbol, value: &Value) -> Vec<EntityId> {
-        self.postings
-            .read()
-            .get(&IndexKey::Literal(pred, value.clone()))
-            .cloned()
-            .unwrap_or_default()
+        self.postings(&ProbeKey::Literal(pred, value.clone()))
     }
 
     /// Entities with an edge `(pred) -> target`.
     pub fn by_edge(&self, pred: Symbol, target: EntityId) -> Vec<EntityId> {
-        self.postings.read().get(&IndexKey::Edge(pred, target)).cloned().unwrap_or_default()
+        self.postings(&ProbeKey::Edge(pred, target))
     }
 
     /// Entities of a type.
     pub fn by_type(&self, ty: Symbol) -> Vec<EntityId> {
-        self.postings.read().get(&IndexKey::Type(ty)).cloned().unwrap_or_default()
+        self.postings(&ProbeKey::Type(ty))
     }
 
-    /// Posting-list length (selectivity estimation for plan ordering).
+    /// Entities referencing `target` through any predicate (reverse edges).
+    pub fn referencing(&self, target: EntityId) -> Vec<EntityId> {
+        let mut per_shard: Vec<Vec<EntityId>> = self
+            .shards
+            .iter()
+            .map(|s| s.read().referencing(target).to_vec())
+            .collect();
+        merge_sorted(&mut per_shard)
+    }
+
+    /// Posting-list length for a name probe (plan ordering).
     pub fn name_selectivity(&self, needle: &str) -> usize {
-        self.postings
-            .read()
-            .get(&IndexKey::NameToken(needle.to_lowercase()))
-            .map(Vec::len)
-            .unwrap_or(0)
+        self.selectivity(&ProbeKey::Name(needle.to_lowercase()))
     }
 }
 
-/// The sharded live KG: KV store + inverted index, cheaply shareable.
+/// Merge sorted, pairwise-disjoint id lists into one sorted list.
+fn merge_sorted(lists: &mut [Vec<EntityId>]) -> Vec<EntityId> {
+    let total = lists.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for list in lists.iter_mut() {
+        out.append(list);
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The sharded live KG: KV store + striped triple index, cheaply shareable.
 #[derive(Clone)]
 pub struct LiveKg {
     shards: Arc<Vec<RwLock<FxHashMap<EntityId, EntityRecord>>>>,
-    index: Arc<InvertedGraphIndex>,
+    index: Arc<ShardedTripleIndex>,
     shard_count: usize,
 }
 
@@ -148,7 +146,7 @@ impl LiveKg {
         let n = shards.clamp(1, 1024);
         LiveKg {
             shards: Arc::new((0..n).map(|_| RwLock::new(FxHashMap::default())).collect()),
-            index: Arc::new(InvertedGraphIndex::new()),
+            index: Arc::new(ShardedTripleIndex::new(n)),
             shard_count: n,
         }
     }
@@ -162,9 +160,6 @@ impl LiveKg {
     pub fn upsert(&self, record: EntityRecord) {
         let shard = self.shard_of(record.id);
         let mut map = self.shards[shard].write();
-        if let Some(old) = map.get(&record.id) {
-            self.index.unindex(old);
-        }
         self.index.index(&record);
         map.insert(record.id, record);
     }
@@ -174,8 +169,8 @@ impl LiveKg {
         let shard = self.shard_of(id);
         let mut map = self.shards[shard].write();
         match map.remove(&id) {
-            Some(old) => {
-                self.index.unindex(&old);
+            Some(_) => {
+                self.index.unindex(id);
                 true
             }
             None => false,
@@ -202,8 +197,8 @@ impl LiveKg {
         self.len() == 0
     }
 
-    /// The inverted index.
-    pub fn index(&self) -> &InvertedGraphIndex {
+    /// The striped triple index.
+    pub fn index(&self) -> &ShardedTripleIndex {
         &self.index
     }
 
@@ -245,7 +240,10 @@ mod tests {
         let live = LiveKg::new(4);
         live.upsert(record(1, "Golden State Warriors", "sports_team"));
         assert_eq!(live.index().by_name("warriors"), vec![EntityId(1)]);
-        assert_eq!(live.index().by_name("golden state warriors"), vec![EntityId(1)]);
+        assert_eq!(
+            live.index().by_name("golden state warriors"),
+            vec![EntityId(1)]
+        );
         assert!(live.index().by_name("lakers").is_empty());
     }
 
@@ -266,9 +264,20 @@ mod tests {
             FactMeta::from_source(SourceId(1), 0.9),
         ));
         live.upsert(rec);
-        assert_eq!(live.index().by_edge(intern("home_team"), EntityId(50)), vec![EntityId(1)]);
-        assert_eq!(live.index().by_literal(intern("carrier"), &Value::str("UA")), vec![EntityId(1)]);
-        assert_eq!(live.index().by_type(intern("sports_game")), vec![EntityId(1)]);
+        assert_eq!(
+            live.index().by_edge(intern("home_team"), EntityId(50)),
+            vec![EntityId(1)]
+        );
+        assert_eq!(
+            live.index()
+                .by_literal(intern("carrier"), &Value::str("UA")),
+            vec![EntityId(1)]
+        );
+        assert_eq!(
+            live.index().by_type(intern("sports_game")),
+            vec![EntityId(1)]
+        );
+        assert_eq!(live.index().referencing(EntityId(50)), vec![EntityId(1)]);
     }
 
     #[test]
@@ -285,12 +294,35 @@ mod tests {
     fn load_stable_bulk_indexes_everything() {
         let mut kg = KnowledgeGraph::new();
         for i in 1..=20u64 {
-            kg.add_named_entity(EntityId(i), &format!("Team {i}"), "sports_team", SourceId(1), 0.9);
+            kg.add_named_entity(
+                EntityId(i),
+                &format!("Team {i}"),
+                "sports_team",
+                SourceId(1),
+                0.9,
+            );
         }
         let live = LiveKg::new(8);
         live.load_stable(&kg);
         assert_eq!(live.len(), 20);
         assert_eq!(live.index().by_type(intern("sports_team")).len(), 20);
+    }
+
+    #[test]
+    fn cross_shard_postings_merge_sorted() {
+        let live = LiveKg::new(4); // ids spread over every shard
+        for i in (1..=40u64).rev() {
+            live.upsert(record(i, &format!("Player {i}"), "athlete"));
+        }
+        let all = live.index().by_type(intern("athlete"));
+        let expected: Vec<EntityId> = (1..=40).map(EntityId).collect();
+        assert_eq!(all, expected, "merged across shards in sorted order");
+        // Conjunction across shards.
+        let hits = live.index().probe_all(&[
+            ProbeKey::Type(intern("athlete")),
+            ProbeKey::Name("player".into()),
+        ]);
+        assert_eq!(hits, expected);
     }
 
     #[test]

@@ -10,7 +10,13 @@ use saga_live::{LiveKg, QueryEngine};
 fn demo_engine() -> QueryEngine {
     let mut kg = KnowledgeGraph::new();
     for i in 1..=20u64 {
-        kg.add_named_entity(EntityId(i), &format!("Entity {i}"), "song", SourceId(1), 0.9);
+        kg.add_named_entity(
+            EntityId(i),
+            &format!("Entity {i}"),
+            "song",
+            SourceId(1),
+            0.9,
+        );
     }
     let live = LiveKg::new(4);
     live.load_stable(&kg);
@@ -37,7 +43,7 @@ proptest! {
     ) {
         let find = format!(r#"FIND {ty} WHERE {pred} = "{name}" LIMIT {limit}"#);
         if let Ok(Query::Find { limit, .. }) = parse(&find) {
-            prop_assert!(limit >= 1 && limit <= saga_live::kgq::parser::MAX_LIMIT);
+            prop_assert!((1..=saga_live::kgq::parser::MAX_LIMIT).contains(&limit));
         }
         let get = format!(r#"GET "{name}" . {}"#, hops.join(" . "));
         match parse(&get) {

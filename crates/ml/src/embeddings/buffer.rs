@@ -76,7 +76,11 @@ impl DiskPartitions {
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let bound = 6.0f32.sqrt() / (dim as f32).sqrt();
-        let me = DiskPartitions { dir: dir.to_path_buf(), dim, starts };
+        let me = DiskPartitions {
+            dir: dir.to_path_buf(),
+            dim,
+            starts,
+        };
         for p in 0..parts {
             let n = me.part_len(p);
             let data: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-bound..bound)).collect();
@@ -112,7 +116,10 @@ impl DiskPartitions {
         if bytes.len() % 4 != 0 {
             return Err(SagaError::Storage(format!("partition {p} file corrupt")));
         }
-        Ok(bytes.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect())
+        Ok(bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
     }
 
     fn write_part(&self, p: usize, data: &[f32]) -> Result<()> {
@@ -161,7 +168,10 @@ impl PartitionBuffer {
 
     /// Maximum number of resident embedding floats (memory bound).
     pub fn capacity_floats(&self) -> usize {
-        let max_part = (0..self.disk.num_parts()).map(|p| self.disk.part_len(p)).max().unwrap_or(0);
+        let max_part = (0..self.disk.num_parts())
+            .map(|p| self.disk.part_len(p))
+            .max()
+            .unwrap_or(0);
         self.capacity * max_part * self.disk.dim
     }
 
@@ -193,7 +203,12 @@ impl PartitionBuffer {
             self.stats.loads += 1;
             self.stats.bytes_read += (data.len() * 4) as u64;
             self.clock += 1;
-            self.resident.push(Resident { part: p, data, dirty: false, last_used: self.clock });
+            self.resident.push(Resident {
+                part: p,
+                data,
+                dirty: false,
+                last_used: self.clock,
+            });
         }
         Ok(())
     }
@@ -309,7 +324,9 @@ impl PartitionedTrainer {
                 // exactly the Marius constraint that makes buffering sound.
                 let neg_pool: Vec<usize> = {
                     let d = &buffer.disk;
-                    (d.starts[pi]..d.starts[pi + 1]).chain(d.starts[pj]..d.starts[pj + 1]).collect()
+                    (d.starts[pi]..d.starts[pi + 1])
+                        .chain(d.starts[pj]..d.starts[pj + 1])
+                        .collect()
                 };
                 for &(h, r, t) in bucket {
                     for _ in 0..cfg.negatives.max(1) {
@@ -331,7 +348,11 @@ impl PartitionedTrainer {
                     }
                 }
             }
-            epoch_losses.push(if steps == 0 { 0.0 } else { loss_sum / steps as f32 });
+            epoch_losses.push(if steps == 0 {
+                0.0
+            } else {
+                loss_sum / steps as f32
+            });
         }
         buffer.flush()?;
 
@@ -340,7 +361,11 @@ impl PartitionedTrainer {
         for p in 0..parts {
             entities.extend(buffer.disk.read_part(p)?);
         }
-        let table = EmbeddingTable { dim: cfg.dim, entities, relations: rel_table.relations };
+        let table = EmbeddingTable {
+            dim: cfg.dim,
+            entities,
+            relations: rel_table.relations,
+        };
         Ok((table, epoch_losses, buffer.stats))
     }
 }
@@ -398,7 +423,17 @@ struct Scratch {
 impl Scratch {
     fn new(dim: usize) -> Self {
         let z = || vec![0.0f32; dim];
-        Scratch { h: z(), r: z(), t: z(), nh: z(), nt: z(), dh: z(), dt: z(), dnh: z(), dnt: z() }
+        Scratch {
+            h: z(),
+            r: z(),
+            t: z(),
+            nh: z(),
+            nt: z(),
+            dh: z(),
+            dt: z(),
+            dnh: z(),
+            dnt: z(),
+        }
     }
 }
 
@@ -519,14 +554,21 @@ mod tests {
     #[test]
     fn elementwise_loads_fewer_partitions_than_row_major() {
         let el = dense_edges(64, 600, 42);
-        let cfg = EmbeddingConfig { epochs: 2, dim: 8, ..Default::default() };
+        let cfg = EmbeddingConfig {
+            epochs: 2,
+            dim: 8,
+            ..Default::default()
+        };
         let naive = PartitionedTrainer {
             config: cfg,
             num_partitions: 8,
             buffer_capacity: 2,
             ordering: BucketOrdering::RowMajor,
         };
-        let smart = PartitionedTrainer { ordering: BucketOrdering::Elementwise, ..naive };
+        let smart = PartitionedTrainer {
+            ordering: BucketOrdering::Elementwise,
+            ..naive
+        };
         let d1 = tmpdir("naive");
         let d2 = tmpdir("smart");
         let (_, _, s_naive) = naive.train(&el, &d1).unwrap();
@@ -544,7 +586,12 @@ mod tests {
     #[test]
     fn buffered_training_learns_comparably_to_in_memory() {
         let el = structured_edges(6, 6);
-        let cfg = EmbeddingConfig { epochs: 40, dim: 16, lr: 0.03, ..Default::default() };
+        let cfg = EmbeddingConfig {
+            epochs: 40,
+            dim: 16,
+            lr: 0.03,
+            ..Default::default()
+        };
         let (mem_table, _) = train_in_memory(&el, &cfg);
         let trainer = PartitionedTrainer {
             config: cfg,
@@ -554,7 +601,10 @@ mod tests {
         };
         let dir = tmpdir("learn");
         let (buf_table, losses, stats) = trainer.train(&el, &dir).unwrap();
-        assert!(losses.last().unwrap() < &losses[0], "buffered loss decreases");
+        assert!(
+            losses.last().unwrap() < &losses[0],
+            "buffered loss decreases"
+        );
         assert!(stats.loads > 0 && stats.bytes_written > 0);
         let test: Vec<(u32, u32, u32)> = el.edges.iter().copied().take(12).collect();
         let mem_eval = evaluate(&mem_table, cfg.kind, &el, &test, 30, 5);
@@ -571,7 +621,11 @@ mod tests {
     #[test]
     fn buffer_memory_is_bounded() {
         let el = dense_edges(50, 400, 7);
-        let cfg = EmbeddingConfig { epochs: 1, dim: 8, ..Default::default() };
+        let cfg = EmbeddingConfig {
+            epochs: 1,
+            dim: 8,
+            ..Default::default()
+        };
         let trainer = PartitionedTrainer {
             config: cfg,
             num_partitions: 10,

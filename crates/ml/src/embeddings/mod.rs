@@ -17,7 +17,7 @@ pub mod model;
 pub mod serve;
 pub mod train;
 
-pub use buffer::{BufferStats, BucketOrdering, PartitionBuffer, PartitionedTrainer};
+pub use buffer::{BucketOrdering, BufferStats, PartitionBuffer, PartitionedTrainer};
 pub use model::{EdgeList, EmbeddingConfig, EmbeddingTable, ModelKind};
 pub use serve::EmbeddingServer;
 pub use train::{train_in_memory, EvalReport, TrainReport};

@@ -126,10 +126,13 @@ impl EmbeddingTable {
     pub fn init(num_entities: usize, num_relations: usize, dim: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let bound = 6.0f32.sqrt() / (dim as f32).sqrt();
-        let mut gen = |n: usize| -> Vec<f32> {
-            (0..n * dim).map(|_| rng.gen_range(-bound..bound)).collect()
-        };
-        EmbeddingTable { dim, entities: gen(num_entities), relations: gen(num_relations) }
+        let mut gen =
+            |n: usize| -> Vec<f32> { (0..n * dim).map(|_| rng.gen_range(-bound..bound)).collect() };
+        EmbeddingTable {
+            dim,
+            entities: gen(num_entities),
+            relations: gen(num_relations),
+        }
     }
 
     /// Entity row.
@@ -183,17 +186,36 @@ mod tests {
         for i in 1..=4u64 {
             kg.add_named_entity(EntityId(i), &format!("E{i}"), "person", SourceId(1), 0.9);
         }
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(1), intern("spouse"), Value::Entity(EntityId(2)), meta()));
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(3), intern("member_of"), Value::Entity(EntityId(4)), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("spouse"),
+            Value::Entity(EntityId(2)),
+            meta(),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(3),
+            intern("member_of"),
+            Value::Entity(EntityId(4)),
+            meta(),
+        ));
         // Dangling reference: must be filtered.
-        kg.upsert_fact(ExtendedTriple::simple(EntityId(3), intern("spouse"), Value::Entity(EntityId(99)), meta()));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(3),
+            intern("spouse"),
+            Value::Entity(EntityId(99)),
+            meta(),
+        ));
         kg
     }
 
     #[test]
     fn edge_list_filters_metadata_and_dangling() {
         let el = EdgeList::from_kg(&kg());
-        assert_eq!(el.edges.len(), 2, "only resolved entity-entity facts are edges");
+        assert_eq!(
+            el.edges.len(),
+            2,
+            "only resolved entity-entity facts are edges"
+        );
         assert_eq!(el.num_relations(), 2);
         assert_eq!(el.num_entities(), 4);
         assert!(el.index_of(EntityId(99)).is_none());
@@ -217,7 +239,10 @@ mod tests {
         let table = EmbeddingTable::init(3, 2, 8, 5);
         let s1 = table.score(ModelKind::DistMult, 0, 1, 2);
         let s2 = table.score(ModelKind::DistMult, 2, 1, 0);
-        assert!((s1 - s2).abs() < 1e-6, "DistMult models symmetric relations");
+        assert!(
+            (s1 - s2).abs() < 1e-6,
+            "DistMult models symmetric relations"
+        );
     }
 
     #[test]

@@ -38,7 +38,12 @@ impl EmbeddingServer {
         for (ri, &sym) in edges.relations.iter().enumerate() {
             rel_vectors.insert(sym, table.rel(ri as u32).to_vec());
         }
-        EmbeddingServer { kind, store, rel_vectors, ent_vectors }
+        EmbeddingServer {
+            kind,
+            store,
+            rel_vectors,
+            ent_vectors,
+        }
     }
 
     /// The query vector `f(θ_s, θ_p)` for a subject/predicate pair.
@@ -53,7 +58,9 @@ impl EmbeddingServer {
 
     /// Missing-fact imputation: top-`k` candidate objects for `<s, p, ?>`.
     pub fn impute(&self, subject: EntityId, predicate: Symbol, k: usize) -> Vec<SearchHit> {
-        let Some(q) = self.query_vector(subject, predicate) else { return Vec::new() };
+        let Some(q) = self.query_vector(subject, predicate) else {
+            return Vec::new();
+        };
         self.store
             .search(&q, k + 1, None)
             .into_iter()
@@ -64,7 +71,12 @@ impl EmbeddingServer {
 
     /// Importance score of a *known* fact `<s, p, o>`: similarity between
     /// `f(θ_s, θ_p)` and `θ_o`. Used for both fact ranking and verification.
-    pub fn fact_score(&self, subject: EntityId, predicate: Symbol, object: EntityId) -> Option<f32> {
+    pub fn fact_score(
+        &self,
+        subject: EntityId,
+        predicate: Symbol,
+        object: EntityId,
+    ) -> Option<f32> {
         let q = self.query_vector(subject, predicate)?;
         let o = self.ent_vectors.get(&object)?;
         Some(self.store.metric().score(&q, o))
@@ -95,7 +107,11 @@ impl EmbeddingServer {
     ) -> Vec<(EntityId, Symbol, EntityId)> {
         facts
             .iter()
-            .filter(|(s, p, o)| self.fact_score(*s, *p, *o).map(|x| x < threshold).unwrap_or(true))
+            .filter(|(s, p, o)| {
+                self.fact_score(*s, *p, *o)
+                    .map(|x| x < threshold)
+                    .unwrap_or(true)
+            })
             .copied()
             .collect()
     }
@@ -111,7 +127,12 @@ mod tests {
     /// Train on the structured song→artist graph, then serve.
     fn server() -> (EmbeddingServer, EdgeList) {
         let el = crate::embeddings::train::tests::structured_edges(5, 6);
-        let cfg = EmbeddingConfig { epochs: 50, dim: 16, lr: 0.03, ..Default::default() };
+        let cfg = EmbeddingConfig {
+            epochs: 50,
+            dim: 16,
+            lr: 0.03,
+            ..Default::default()
+        };
         let (table, _) = train_in_memory(&el, &cfg);
         (EmbeddingServer::build(ModelKind::TransE, &el, &table), el)
     }
@@ -127,7 +148,10 @@ mod tests {
         let hits = srv.impute(song, rel, 5);
         assert!(!hits.is_empty());
         let pos = hits.iter().position(|x| x.id == artist);
-        assert!(pos.is_some() && pos.unwrap() < 5, "true artist in top-5: {hits:?}");
+        assert!(
+            pos.is_some() && pos.unwrap() < 5,
+            "true artist in top-5: {hits:?}"
+        );
     }
 
     #[test]
@@ -164,7 +188,10 @@ mod tests {
         for w in ranked.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
-        assert_eq!(ranked[0].0, el.entities[t as usize], "true artist ranks first");
+        assert_eq!(
+            ranked[0].0, el.entities[t as usize],
+            "true artist ranks first"
+        );
     }
 
     #[test]
@@ -185,7 +212,11 @@ mod tests {
     #[test]
     fn unknown_entities_are_handled_gracefully() {
         let (srv, _) = server();
-        assert!(srv.impute(EntityId(9999), intern("performed_by"), 3).is_empty());
-        assert!(srv.fact_score(EntityId(9999), intern("x"), EntityId(1)).is_none());
+        assert!(srv
+            .impute(EntityId(9999), intern("performed_by"), 3)
+            .is_empty());
+        assert!(srv
+            .fact_score(EntityId(9999), intern("x"), EntityId(1))
+            .is_none());
     }
 }

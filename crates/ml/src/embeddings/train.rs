@@ -33,11 +33,18 @@ pub struct EvalReport {
 
 /// Train embeddings fully in memory. Returns the table and a report.
 pub fn train_in_memory(edges: &EdgeList, cfg: &EmbeddingConfig) -> (EmbeddingTable, TrainReport) {
-    let mut table =
-        EmbeddingTable::init(edges.num_entities(), edges.num_relations(), cfg.dim, cfg.seed);
+    let mut table = EmbeddingTable::init(
+        edges.num_entities(),
+        edges.num_relations(),
+        cfg.dim,
+        cfg.seed,
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xDEAD_BEEF);
     let n_ent = edges.num_entities().max(1) as u32;
-    let mut report = TrainReport { epoch_losses: Vec::with_capacity(cfg.epochs), steps: 0 };
+    let mut report = TrainReport {
+        epoch_losses: Vec::with_capacity(cfg.epochs),
+        steps: 0,
+    };
     let mut order: Vec<usize> = (0..edges.edges.len()).collect();
     for _ in 0..cfg.epochs {
         for i in (1..order.len()).rev() {
@@ -212,7 +219,11 @@ pub(crate) mod tests {
     #[test]
     fn transe_loss_decreases_over_epochs() {
         let el = structured_edges(6, 5);
-        let cfg = EmbeddingConfig { epochs: 25, dim: 16, ..Default::default() };
+        let cfg = EmbeddingConfig {
+            epochs: 25,
+            dim: 16,
+            ..Default::default()
+        };
         let (_, report) = train_in_memory(&el, &cfg);
         let first = report.epoch_losses[0];
         let last = *report.epoch_losses.last().unwrap();
@@ -222,7 +233,12 @@ pub(crate) mod tests {
     #[test]
     fn transe_beats_random_on_link_prediction() {
         let el = structured_edges(6, 6);
-        let cfg = EmbeddingConfig { epochs: 40, dim: 16, lr: 0.03, ..Default::default() };
+        let cfg = EmbeddingConfig {
+            epochs: 40,
+            dim: 16,
+            lr: 0.03,
+            ..Default::default()
+        };
         let (table, _) = train_in_memory(&el, &cfg);
         let test: Vec<(u32, u32, u32)> = el.edges.iter().copied().take(12).collect();
         let eval = evaluate(&table, ModelKind::TransE, &el, &test, 30, 3);
@@ -251,7 +267,10 @@ pub(crate) mod tests {
     #[test]
     fn training_is_deterministic_under_seed() {
         let el = structured_edges(4, 3);
-        let cfg = EmbeddingConfig { epochs: 3, ..Default::default() };
+        let cfg = EmbeddingConfig {
+            epochs: 3,
+            ..Default::default()
+        };
         let (t1, _) = train_in_memory(&el, &cfg);
         let (t2, _) = train_in_memory(&el, &cfg);
         assert_eq!(t1.entities, t2.entities);

@@ -41,8 +41,15 @@ impl StringEncoder {
     pub fn new(dim: usize, vocab: usize, q: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let scale = 1.0 / (dim as f32).sqrt();
-        let emb = (0..dim * vocab).map(|_| rng.gen_range(-scale..scale)).collect();
-        StringEncoder { dim, vocab, q: q.max(2), emb }
+        let emb = (0..dim * vocab)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
+        StringEncoder {
+            dim,
+            vocab,
+            q: q.max(2),
+            emb,
+        }
     }
 
     /// Embedding dimensionality.
@@ -51,7 +58,10 @@ impl StringEncoder {
     }
 
     fn gram_buckets(&self, s: &str) -> Vec<usize> {
-        qgrams(s, self.q).iter().map(|g| bucket_of(g, self.vocab)).collect()
+        qgrams(s, self.q)
+            .iter()
+            .map(|g| bucket_of(g, self.vocab))
+            .collect()
     }
 
     /// Unnormalized pooled representation (mean of bucket embeddings).
@@ -113,7 +123,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 12, lr: 0.35, margin: 0.4, seed: 17 }
+        TrainConfig {
+            epochs: 12,
+            lr: 0.35,
+            margin: 0.4,
+            seed: 17,
+        }
     }
 }
 
@@ -143,8 +158,11 @@ impl TripletTrainer {
             for &idx in &order {
                 epoch_loss += self.step(encoder, &triplets[idx]);
             }
-            last_epoch_loss =
-                if triplets.is_empty() { 0.0 } else { epoch_loss / triplets.len() as f32 };
+            last_epoch_loss = if triplets.is_empty() {
+                0.0
+            } else {
+                epoch_loss / triplets.len() as f32
+            };
         }
         last_epoch_loss
     }
@@ -209,7 +227,11 @@ pub struct DistantSupervision {
 
 impl Default for DistantSupervision {
     fn default() -> Self {
-        DistantSupervision { typo_augment: 1, negatives_per_positive: 2, seed: 23 }
+        DistantSupervision {
+            typo_augment: 1,
+            negatives_per_positive: 2,
+            seed: 23,
+        }
     }
 }
 
@@ -219,7 +241,12 @@ impl DistantSupervision {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let name_sets: Vec<Vec<String>> = kg
             .entities()
-            .map(|r| r.all_names().iter().map(|s| s.to_string()).collect::<Vec<_>>())
+            .map(|r| {
+                r.all_names()
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect::<Vec<_>>()
+            })
             .filter(|names: &Vec<String>| !names.is_empty())
             .collect();
         if name_sets.len() < 2 {
@@ -280,11 +307,19 @@ mod tests {
     use super::*;
     use saga_core::{intern, EntityId, ExtendedTriple, FactMeta, SourceId, Value};
 
-    const NICKS: &[(&str, &str)] =
-        &[("Robert", "Bob"), ("William", "Bill"), ("Elizabeth", "Liz"), ("Katherine", "Kate"),
-          ("Michael", "Mike"), ("Richard", "Rick"), ("Margaret", "Peggy"), ("Christopher", "Chris")];
-    const LASTS: &[&str] =
-        &["Smith", "Chen", "Garcia", "Novak", "Okafor", "Tanaka", "Rossi", "Kim", "Silva", "Moreau"];
+    const NICKS: &[(&str, &str)] = &[
+        ("Robert", "Bob"),
+        ("William", "Bill"),
+        ("Elizabeth", "Liz"),
+        ("Katherine", "Kate"),
+        ("Michael", "Mike"),
+        ("Richard", "Rick"),
+        ("Margaret", "Peggy"),
+        ("Christopher", "Chris"),
+    ];
+    const LASTS: &[&str] = &[
+        "Smith", "Chen", "Garcia", "Novak", "Okafor", "Tanaka", "Rossi", "Kim", "Silva", "Moreau",
+    ];
 
     fn nickname_kg() -> KnowledgeGraph {
         let mut kg = KnowledgeGraph::new();
@@ -312,7 +347,11 @@ mod tests {
         let v2 = enc.encode("Billie Eilish");
         assert_eq!(v1, v2);
         assert!((saga_vector::metric::norm(&v1) - 1.0).abs() < 1e-5);
-        assert_eq!(enc.encode("").iter().filter(|x| **x != 0.0).count(), 0, "empty string → 0");
+        assert_eq!(
+            enc.encode("").iter().filter(|x| **x != 0.0).count(),
+            0,
+            "empty string → 0"
+        );
     }
 
     #[test]
@@ -336,13 +375,22 @@ mod tests {
     #[test]
     fn training_teaches_nicknames_beyond_edit_distance() {
         let kg = nickname_kg();
-        let triplets =
-            DistantSupervision { typo_augment: 1, negatives_per_positive: 2, seed: 5 }.triplets(&kg);
+        let triplets = DistantSupervision {
+            typo_augment: 1,
+            negatives_per_positive: 2,
+            seed: 5,
+        }
+        .triplets(&kg);
         let mut enc = StringEncoder::new(24, 1024, 3, 7);
         // Held-out pair: a surname never seen in training with this first name
         // combination is hard; instead hold out by measuring the *margin*
         // between linked and unlinked pairs after training.
-        let trainer = TripletTrainer::new(TrainConfig { epochs: 10, lr: 0.3, margin: 0.4, seed: 3 });
+        let trainer = TripletTrainer::new(TrainConfig {
+            epochs: 10,
+            lr: 0.3,
+            margin: 0.4,
+            seed: 3,
+        });
         let before_gap = nickname_gap(&enc);
         let final_loss = trainer.train(&mut enc, &triplets);
         let after_gap = nickname_gap(&enc);

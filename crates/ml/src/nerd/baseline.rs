@@ -45,17 +45,27 @@ impl PopularityBaseline {
             return None;
         }
         let top_sim = candidates.iter().map(|c| c.name_sim).fold(0.0f64, f64::max);
-        let homonyms: Vec<&Candidate> =
-            candidates.iter().filter(|c| c.name_sim >= 0.92 * top_sim).collect();
+        let homonyms: Vec<&Candidate> = candidates
+            .iter()
+            .filter(|c| c.name_sim >= 0.92 * top_sim)
+            .collect();
         let max_imp = homonyms.iter().map(|c| c.importance).fold(0.0f64, f64::max);
         let score = |c: &Candidate| -> f64 {
-            let imp = if max_imp > 0.0 { c.importance / max_imp } else { 0.0 };
+            let imp = if max_imp > 0.0 {
+                c.importance / max_imp
+            } else {
+                0.0
+            };
             self.name_weight * c.name_sim + (1.0 - self.name_weight) * imp
         };
         let mut scored: Vec<(EntityId, f64)> = homonyms.iter().map(|c| (c.id, score(c))).collect();
         scored.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
         let (winner, s0) = scored[0];
-        let margin = if scored.len() > 1 { s0 - scored[1].1 } else { s0 };
+        let margin = if scored.len() > 1 {
+            s0 - scored[1].1
+        } else {
+            s0
+        };
         let confidence = (0.55 * s0 + 0.45 * (margin * 3.3).min(1.0)).clamp(0.0, 1.0);
         if confidence >= threshold {
             Some((winner, confidence))
@@ -70,24 +80,34 @@ mod tests {
     use super::*;
 
     fn cand(id: u64, sim: f64, imp: f64) -> Candidate {
-        Candidate { id: EntityId(id), name_sim: sim, importance: imp }
+        Candidate {
+            id: EntityId(id),
+            name_sim: sim,
+            importance: imp,
+        }
     }
 
     #[test]
     fn head_entity_wins_homonym_sets() {
         let b = PopularityBaseline::default();
         // Two entities with identical names; #1 is the popular (head) one.
-        let (winner, _) =
-            b.disambiguate(&[cand(1, 1.0, 100.0), cand(2, 1.0, 3.0)], 0.0).unwrap();
-        assert_eq!(winner, EntityId(1), "popularity breaks the tie — tail loses");
+        let (winner, _) = b
+            .disambiguate(&[cand(1, 1.0, 100.0), cand(2, 1.0, 3.0)], 0.0)
+            .unwrap();
+        assert_eq!(
+            winner,
+            EntityId(1),
+            "popularity breaks the tie — tail loses"
+        );
     }
 
     #[test]
     fn ambiguity_lowers_confidence() {
         let b = PopularityBaseline::default();
         let (_, conf_clear) = b.disambiguate(&[cand(1, 1.0, 100.0)], 0.0).unwrap();
-        let (_, conf_ambig) =
-            b.disambiguate(&[cand(1, 1.0, 100.0), cand(2, 1.0, 95.0)], 0.0).unwrap();
+        let (_, conf_ambig) = b
+            .disambiguate(&[cand(1, 1.0, 100.0), cand(2, 1.0, 95.0)], 0.0)
+            .unwrap();
         assert!(conf_clear > conf_ambig, "{conf_clear} vs {conf_ambig}");
     }
 

@@ -27,7 +27,9 @@ pub struct Candidate {
 }
 
 fn type_admissible(types: &TypeRegistry, candidate_types: &[Symbol], hint: Symbol) -> bool {
-    candidate_types.iter().any(|&t| types.is_subtype_by_name(t, hint))
+    candidate_types
+        .iter()
+        .any(|&t| types.is_subtype_by_name(t, hint))
 }
 
 /// Retrieve up to `k` candidates for `mention` from the entity view.
@@ -69,7 +71,9 @@ pub fn retrieve_candidates(
         if overlap < min_overlap {
             continue;
         }
-        let Some(summary) = view.summary(id) else { continue };
+        let Some(summary) = view.summary(id) else {
+            continue;
+        };
         if let Some(hint) = type_hint {
             if !type_admissible(types, &summary.types, hint) {
                 continue;
@@ -86,7 +90,11 @@ pub fn retrieve_candidates(
                 best = sim;
             }
         }
-        scored.push(Candidate { id, name_sim: best, importance: summary.importance });
+        scored.push(Candidate {
+            id,
+            name_sim: best,
+            importance: summary.importance,
+        });
     }
 
     // Importance-prioritized ordering under the retrieval budget: primary
@@ -94,7 +102,9 @@ pub fn retrieve_candidates(
     scored.sort_unstable_by(|a, b| {
         let sa = a.name_sim + 0.01 * a.importance;
         let sb = b.name_sim + 0.01 * b.importance;
-        sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal).then_with(|| a.id.cmp(&b.id))
+        sb.partial_cmp(&sa)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.id.cmp(&b.id))
     });
     scored.truncate(k);
     scored

@@ -127,16 +127,25 @@ pub fn featurize(
         }
     };
 
-    let ntype_tokens: FxHashSet<String> =
-        summary.neighbor_types.iter().flat_map(|t| tokens(&t.to_string())).collect();
+    let ntype_tokens: FxHashSet<String> = summary
+        .neighbor_types
+        .iter()
+        .flat_map(|t| tokens(&t.to_string()))
+        .collect();
     let neighbor_type_overlap = overlap_frac(&ntype_tokens);
 
-    let own_type_tokens: FxHashSet<String> =
-        summary.types.iter().flat_map(|t| tokens(&t.to_string())).collect();
+    let own_type_tokens: FxHashSet<String> = summary
+        .types
+        .iter()
+        .flat_map(|t| tokens(&t.to_string()))
+        .collect();
     let type_overlap = overlap_frac(&own_type_tokens);
 
-    let importance =
-        if max_importance > 0.0 { (summary.importance / max_importance).clamp(0.0, 1.0) } else { 0.0 };
+    let importance = if max_importance > 0.0 {
+        (summary.importance / max_importance).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
 
     Features {
         name_sim,
@@ -188,14 +197,25 @@ impl ContextualDisambiguator {
 
     /// The calibrated match probability for one candidate's features.
     pub fn probability(&self, f: &Features) -> f64 {
-        let x: f64 =
-            self.weights.iter().zip(f.as_array()).map(|(w, v)| w * v).sum::<f64>() + self.bias;
+        let x: f64 = self
+            .weights
+            .iter()
+            .zip(f.as_array())
+            .map(|(w, v)| w * v)
+            .sum::<f64>()
+            + self.bias;
         sigmoid(x)
     }
 
     /// Train by logistic-regression SGD over weakly-labeled examples.
     /// Returns the final-epoch mean log-loss.
-    pub fn train(&mut self, examples: &[DisambigExample], epochs: usize, lr: f64, seed: u64) -> f64 {
+    pub fn train(
+        &mut self,
+        examples: &[DisambigExample],
+        epochs: usize,
+        lr: f64,
+        seed: u64,
+    ) -> f64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut order: Vec<usize> = (0..examples.len()).collect();
         let mut last = 0.0;
@@ -217,7 +237,11 @@ impl ContextualDisambiguator {
                 let p_c = p.clamp(1e-9, 1.0 - 1e-9);
                 loss_sum += -(ex.label * p_c.ln() + (1.0 - ex.label) * (1.0 - p_c).ln());
             }
-            last = if examples.is_empty() { 0.0 } else { loss_sum / examples.len() as f64 };
+            last = if examples.is_empty() {
+                0.0
+            } else {
+                loss_sum / examples.len() as f64
+            };
         }
         last
     }
@@ -235,16 +259,16 @@ impl ContextualDisambiguator {
         type_hint: Option<Symbol>,
         threshold: f64,
     ) -> Option<(EntityId, f64)> {
-        let max_imp =
-            candidates.iter().map(|c| c.importance).fold(0.0f64, f64::max);
+        let max_imp = candidates
+            .iter()
+            .map(|c| c.importance)
+            .fold(0.0f64, f64::max);
         let mut best: Option<(EntityId, f64)> = None;
         for c in candidates {
-            let Some(summary) = view.summary(c.id) else { continue };
-            let hint_match = match type_hint {
-                // Retrieval already filtered by hint; candidates surviving it match.
-                Some(_) => true,
-                None => false,
+            let Some(summary) = view.summary(c.id) else {
+                continue;
             };
+            let hint_match = type_hint.is_some();
             let f = featurize(summary, encoder, mention, context, max_imp, hint_match);
             let p = self.probability(&f);
             if best.map(|(_, bp)| p > bp).unwrap_or(true) {
@@ -272,14 +296,24 @@ impl ContextualDisambiguator {
         }
         let mut out = Vec::new();
         for s in view.iter() {
-            let Some(name) = s.names.first() else { continue };
+            let Some(name) = s.names.first() else {
+                continue;
+            };
             // Template context from the entity's own relations.
-            let neighbour_bits: Vec<&str> =
-                s.relations.iter().map(|(_, n)| n.as_str()).take(3).collect();
+            let neighbour_bits: Vec<&str> = s
+                .relations
+                .iter()
+                .map(|(_, n)| n.as_str())
+                .take(3)
+                .collect();
             if neighbour_bits.is_empty() {
                 continue;
             }
-            let context = format!("We talked about {} together with {}.", name, neighbour_bits.join(" and "));
+            let context = format!(
+                "We talked about {} together with {}.",
+                name,
+                neighbour_bits.join(" and ")
+            );
             let max_imp = view.iter().map(|x| x.importance).fold(0.0, f64::max);
             out.push(DisambigExample {
                 features: featurize(s, encoder, name, &context, max_imp, false),
@@ -328,7 +362,11 @@ mod tests {
         let (winner, p) = model
             .disambiguate(&view, &encoder, "Hanover", ctx, &cands, None, 0.3)
             .expect("should resolve");
-        assert_eq!(winner, saga_core::EntityId(2), "Dartmouth context → Hanover, NH");
+        assert_eq!(
+            winner,
+            saga_core::EntityId(2),
+            "Dartmouth context → Hanover, NH"
+        );
         assert!(p > 0.3);
     }
 
@@ -350,10 +388,17 @@ mod tests {
         let (view, encoder) = setup();
         let ont = default_ontology();
         let model = ContextualDisambiguator::default();
-        let cands =
-            retrieve_candidates(&view, ont.types(), "Germany", 10, None, Some(&encoder));
+        let cands = retrieve_candidates(&view, ont.types(), "Germany", 10, None, Some(&encoder));
         // High threshold + weak context → NIL.
-        let out = model.disambiguate(&view, &encoder, "Germany", "random words", &cands, None, 0.999);
+        let out = model.disambiguate(
+            &view,
+            &encoder,
+            "Germany",
+            "random words",
+            &cands,
+            None,
+            0.999,
+        );
         assert!(out.is_none());
     }
 
@@ -362,7 +407,14 @@ mod tests {
         let (view, encoder) = setup();
         let s = view.summary(saga_core::EntityId(1)).unwrap();
         // Context that only repeats the mention gives no relation evidence.
-        let f = featurize(s, &encoder, "Hanover", "Hanover Hanover Hanover", 1.0, false);
+        let f = featurize(
+            s,
+            &encoder,
+            "Hanover",
+            "Hanover Hanover Hanover",
+            1.0,
+            false,
+        );
         assert_eq!(f.relation_overlap, 0.0);
         assert_eq!(f.description_overlap, 0.0);
         assert!(f.name_sim > 0.9);
@@ -397,8 +449,14 @@ mod tests {
     #[test]
     fn type_hint_match_contributes_positive_mass() {
         let model = ContextualDisambiguator::default();
-        let base = Features { name_sim: 0.9, ..Default::default() };
-        let hinted = Features { type_hint_match: 1.0, ..base };
+        let base = Features {
+            name_sim: 0.9,
+            ..Default::default()
+        };
+        let hinted = Features {
+            type_hint_match: 1.0,
+            ..base
+        };
         assert!(model.probability(&hinted) > model.probability(&base));
     }
 }

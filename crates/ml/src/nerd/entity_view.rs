@@ -89,11 +89,13 @@ impl NerdEntityView {
         }
         neighbor_types.sort_unstable();
         neighbor_types.dedup();
-        let imp = importance.and_then(|m| m.get(&id).copied()).unwrap_or_else(|| {
-            // Standalone fallback: ln(1+degree) + identities.
-            let degree = record.out_edges().count();
-            ((1 + degree) as f64).ln() + record.identity_count() as f64 * 0.5
-        });
+        let imp = importance
+            .and_then(|m| m.get(&id).copied())
+            .unwrap_or_else(|| {
+                // Standalone fallback: ln(1+degree) + identities.
+                let degree = record.out_edges().count();
+                ((1 + degree) as f64).ln() + record.identity_count() as f64 * 0.5
+            });
         EntitySummary {
             id,
             names,
@@ -121,7 +123,9 @@ impl NerdEntityView {
     }
 
     fn remove_summary(&mut self, id: EntityId) {
-        let Some(old) = self.summaries.remove(&id) else { return };
+        let Some(old) = self.summaries.remove(&id) else {
+            return;
+        };
         for name in &old.names {
             let norm = normalize(name);
             if let Some(v) = self.alias_exact.get_mut(&norm) {
@@ -148,7 +152,10 @@ impl NerdEntityView {
 
     /// Entities whose normalized name/alias equals `normalized`.
     pub fn exact_matches(&self, normalized: &str) -> &[EntityId] {
-        self.alias_exact.get(normalized).map(Vec::as_slice).unwrap_or(&[])
+        self.alias_exact
+            .get(normalized)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Entities sharing the q-gram `gram` in any name.
@@ -190,25 +197,44 @@ pub(crate) mod tests {
         // Hanover, Germany — popular (many facts / high importance).
         kg.add_named_entity(EntityId(1), "Hanover", "city", SourceId(1), 0.9);
         kg.upsert_fact(ExtendedTriple::simple(
-            EntityId(1), intern("description"),
-            Value::str("Capital city of Lower Saxony, Germany"), meta(),
+            EntityId(1),
+            intern("description"),
+            Value::str("Capital city of Lower Saxony, Germany"),
+            meta(),
         ));
         kg.add_named_entity(EntityId(10), "Germany", "place", SourceId(1), 0.9);
         kg.upsert_fact(ExtendedTriple::simple(
-            EntityId(1), intern("located_in"), Value::Entity(EntityId(10)), meta(),
+            EntityId(1),
+            intern("located_in"),
+            Value::Entity(EntityId(10)),
+            meta(),
         ));
         // Hanover, New Hampshire — tail entity, near Dartmouth College.
         kg.add_named_entity(EntityId(2), "Hanover", "city", SourceId(1), 0.9);
         kg.upsert_fact(ExtendedTriple::simple(
-            EntityId(2), intern("description"),
-            Value::str("Town in New Hampshire, home of Dartmouth College"), meta(),
+            EntityId(2),
+            intern("description"),
+            Value::str("Town in New Hampshire, home of Dartmouth College"),
+            meta(),
         ));
-        kg.add_named_entity(EntityId(20), "Dartmouth College", "school", SourceId(1), 0.9);
+        kg.add_named_entity(
+            EntityId(20),
+            "Dartmouth College",
+            "school",
+            SourceId(1),
+            0.9,
+        );
         kg.upsert_fact(ExtendedTriple::simple(
-            EntityId(20), intern("located_in"), Value::Entity(EntityId(2)), meta(),
+            EntityId(20),
+            intern("located_in"),
+            Value::Entity(EntityId(2)),
+            meta(),
         ));
         kg.upsert_fact(ExtendedTriple::simple(
-            EntityId(2), intern("located_in"), Value::Entity(EntityId(21)), meta(),
+            EntityId(2),
+            intern("located_in"),
+            Value::Entity(EntityId(21)),
+            meta(),
         ));
         kg.add_named_entity(EntityId(21), "New Hampshire", "place", SourceId(1), 0.9);
         kg
@@ -223,7 +249,10 @@ pub(crate) mod tests {
         assert_eq!(s.names, vec!["Hanover"]);
         assert_eq!(s.types, vec![intern("city")]);
         assert!(s.description.as_deref().unwrap().contains("Dartmouth"));
-        assert!(s.relations.iter().any(|(p, n)| *p == intern("located_in") && n == "New Hampshire"));
+        assert!(s
+            .relations
+            .iter()
+            .any(|(p, n)| *p == intern("located_in") && n == "New Hampshire"));
         assert!(s.neighbor_types.contains(&intern("place")));
     }
 
@@ -276,6 +305,9 @@ pub(crate) mod tests {
         let all: Vec<EntityId> = view.iter().map(|s| s.id).collect();
         view.refresh(&kg, &all, None);
         assert!(view.is_empty());
-        assert!(view.exact_matches("hanover").is_empty(), "indexes cleaned up");
+        assert!(
+            view.exact_matches("hanover").is_empty(),
+            "indexes cleaned up"
+        );
     }
 }

@@ -22,8 +22,11 @@ pub struct Mention {
 /// Generate mentions by greedy longest-match (up to 4 tokens) against the
 /// entity view's exact alias index.
 pub fn generate_mentions(view: &NerdEntityView, text: &str) -> Vec<Mention> {
-    let toks: Vec<String> =
-        normalize(text).split(' ').filter(|t| !t.is_empty()).map(str::to_string).collect();
+    let toks: Vec<String> = normalize(text)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect();
     let mut out = Vec::new();
     let mut i = 0;
     while i < toks.len() {
@@ -32,7 +35,11 @@ pub fn generate_mentions(view: &NerdEntityView, text: &str) -> Vec<Mention> {
         for len in (1..=max_len).rev() {
             let span = toks[i..i + len].join(" ");
             if !view.exact_matches(&span).is_empty() {
-                out.push(Mention { text: span, token_start: i, token_len: len });
+                out.push(Mention {
+                    text: span,
+                    token_start: i,
+                    token_len: len,
+                });
                 matched = len;
                 break;
             }

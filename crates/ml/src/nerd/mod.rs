@@ -51,7 +51,10 @@ pub struct NerdConfig {
 
 impl Default for NerdConfig {
     fn default() -> Self {
-        NerdConfig { max_candidates: 16, confidence_threshold: 0.5 }
+        NerdConfig {
+            max_candidates: 16,
+            confidence_threshold: 0.5,
+        }
     }
 }
 
@@ -85,7 +88,12 @@ impl NerdStack {
         model: ContextualDisambiguator,
         config: NerdConfig,
     ) -> Self {
-        NerdStack { view, encoder, model, config }
+        NerdStack {
+            view,
+            encoder,
+            model,
+            config,
+        }
     }
 
     /// Disambiguate one already-extracted mention given its context and an
@@ -123,7 +131,10 @@ impl NerdStack {
             .into_iter()
             .map(|mention| {
                 let prediction = self.resolve_mention(types, &mention.text, text, None);
-                NerdOutcome { mention, prediction }
+                NerdOutcome {
+                    mention,
+                    prediction,
+                }
             })
             .collect()
     }

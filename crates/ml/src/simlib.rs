@@ -96,8 +96,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         }
     }
     let m = matches as f64;
-    (m / ac.len() as f64 + m / bc.len() as f64 + (m - transpositions.min(matches) as f64) / m)
-        / 3.0
+    (m / ac.len() as f64 + m / bc.len() as f64 + (m - transpositions.min(matches) as f64) / m) / 3.0
 }
 
 /// Jaro-Winkler similarity (prefix boost `p = 0.1`, max prefix 4).
@@ -198,13 +197,19 @@ mod tests {
     fn numeric_closeness_behaves() {
         assert_eq!(numeric_closeness(5.0, 5.0, 10.0), 1.0);
         assert!(numeric_closeness(0.0, 10.0, 10.0) > numeric_closeness(0.0, 100.0, 10.0));
-        assert!(numeric_closeness(1.0, 2.0, 0.0) > 0.0, "degenerate scale guarded");
+        assert!(
+            numeric_closeness(1.0, 2.0, 0.0) > 0.0,
+            "degenerate scale guarded"
+        );
     }
 
     #[test]
     fn similarities_are_symmetric_in_practice() {
-        let pairs =
-            [("Billie Eilish", "Billie Elish"), ("Midnight River", "River Midnight"), ("a", "b")];
+        let pairs = [
+            ("Billie Eilish", "Billie Elish"),
+            ("Midnight River", "River Midnight"),
+            ("a", "b"),
+        ];
         for (x, y) in pairs {
             assert!((levenshtein(x, y) - levenshtein(y, x)).abs() < 1e-12);
             assert!((token_jaccard(x, y) - token_jaccard(y, x)).abs() < 1e-12);

@@ -23,7 +23,11 @@ pub fn normalize(s: &str) -> String {
 
 /// Whitespace tokens of the normalized string.
 pub fn tokens(s: &str) -> Vec<String> {
-    normalize(s).split(' ').filter(|t| !t.is_empty()).map(str::to_string).collect()
+    normalize(s)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
 }
 
 /// Character q-grams of the normalized, padded string.
@@ -36,10 +40,9 @@ pub fn qgrams(s: &str, q: usize) -> Vec<String> {
     if norm.is_empty() {
         return Vec::new();
     }
-    let padded: Vec<char> = std::iter::repeat('#')
-        .take(q - 1)
+    let padded: Vec<char> = std::iter::repeat_n('#', q - 1)
         .chain(norm.chars())
-        .chain(std::iter::repeat('#').take(q - 1))
+        .chain(std::iter::repeat_n('#', q - 1))
         .collect();
     if padded.len() < q {
         return Vec::new();
@@ -60,7 +63,10 @@ mod tests {
 
     #[test]
     fn tokens_split_cleanly() {
-        assert_eq!(tokens("Crosby, Stills & Nash"), vec!["crosby", "stills", "nash"]);
+        assert_eq!(
+            tokens("Crosby, Stills & Nash"),
+            vec!["crosby", "stills", "nash"]
+        );
         assert!(tokens("!!!").is_empty());
     }
 

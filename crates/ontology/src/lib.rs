@@ -68,16 +68,29 @@ pub fn default_ontology() -> Ontology {
     ont.define(PredicateDef::new("spouse", "person", VK::Ref, Many));
     ont.define(PredicateDef::new("occupation", "person", VK::Str, Many));
     ont.define(
-        PredicateDef::new("educated_at", "person", VK::Composite, Many)
-            .with_facets(&[("school", VK::Ref), ("degree", VK::Str), ("year", VK::Int)]),
+        PredicateDef::new("educated_at", "person", VK::Composite, Many).with_facets(&[
+            ("school", VK::Ref),
+            ("degree", VK::Str),
+            ("year", VK::Int),
+        ]),
     );
     // Music.
     ont.define(PredicateDef::new("genre", "creative_work", VK::Str, Many));
     ont.define(PredicateDef::new("performed_by", "song", VK::Ref, Many));
     ont.define(PredicateDef::new("on_album", "song", VK::Ref, Many));
-    ont.define(PredicateDef::new("signed_to", "music_artist", VK::Ref, Many));
+    ont.define(PredicateDef::new(
+        "signed_to",
+        "music_artist",
+        VK::Ref,
+        Many,
+    ));
     ont.define(PredicateDef::new("duration_s", "song", VK::Int, One));
-    ont.define(PredicateDef::new("release_year", "creative_work", VK::Int, One));
+    ont.define(PredicateDef::new(
+        "release_year",
+        "creative_work",
+        VK::Int,
+        One,
+    ));
     ont.define(PredicateDef::new("track_of", "playlist", VK::Ref, Many));
     ont.define(PredicateDef::new("curated_by", "playlist", VK::Ref, Many));
     // Movies.
@@ -96,8 +109,11 @@ pub fn default_ontology() -> Ontology {
     ont.define(PredicateDef::new("member_of", "person", VK::Ref, Many));
     // Live verticals (§4).
     ont.define(
-        PredicateDef::new("score", "sports_game", VK::Composite, One)
-            .with_facets(&[("home", VK::Int), ("away", VK::Int), ("period", VK::Str)]),
+        PredicateDef::new("score", "sports_game", VK::Composite, One).with_facets(&[
+            ("home", VK::Int),
+            ("away", VK::Int),
+            ("period", VK::Str),
+        ]),
     );
     ont.define(PredicateDef::new("home_team", "sports_game", VK::Ref, One));
     ont.define(PredicateDef::new("away_team", "sports_game", VK::Ref, One));
@@ -109,7 +125,12 @@ pub fn default_ontology() -> Ontology {
     ont.define(PredicateDef::new("carrier", "flight", VK::Str, One));
 
     // NERD / construction bookkeeping.
-    ont.define(PredicateDef::new(saga_core::well_known::SAME_AS, "entity", VK::Str, Many));
+    ont.define(PredicateDef::new(
+        saga_core::well_known::SAME_AS,
+        "entity",
+        VK::Str,
+        Many,
+    ));
 
     ont
 }
@@ -125,8 +146,14 @@ mod tests {
         assert!(ont.predicate(intern("educated_at")).is_some());
         assert!(ont.predicate(intern("nonexistent")).is_none());
         let types = ont.types();
-        assert!(types.is_subtype(types.id("music_artist").unwrap(), types.id("person").unwrap()));
-        assert!(types.is_subtype(types.id("song").unwrap(), types.id("creative_work").unwrap()));
+        assert!(types.is_subtype(
+            types.id("music_artist").unwrap(),
+            types.id("person").unwrap()
+        ));
+        assert!(types.is_subtype(
+            types.id("song").unwrap(),
+            types.id("creative_work").unwrap()
+        ));
         assert!(!types.is_subtype(types.id("song").unwrap(), types.id("person").unwrap()));
     }
 
@@ -148,6 +175,8 @@ mod tests {
         assert_eq!(edu.kind, ValueKind::Composite);
         let facets = &edu.facets;
         assert_eq!(facets.len(), 3);
-        assert!(facets.iter().any(|(f, k)| *f == intern("school") && *k == ValueKind::Ref));
+        assert!(facets
+            .iter()
+            .any(|(f, k)| *f == intern("school") && *k == ValueKind::Ref));
     }
 }

@@ -77,7 +77,10 @@ impl PredicateDef {
 
     /// The declared kind of a facet, if the facet exists.
     pub fn facet_kind(&self, facet: Symbol) -> Option<ValueKind> {
-        self.facets.iter().find(|(f, _)| *f == facet).map(|(_, k)| *k)
+        self.facets
+            .iter()
+            .find(|(f, _)| *f == facet)
+            .map(|(_, k)| *k)
     }
 }
 
@@ -91,7 +94,10 @@ pub struct Ontology {
 impl Ontology {
     /// Create an ontology over a type registry.
     pub fn new(types: TypeRegistry) -> Self {
-        Ontology { types, predicates: FxHashMap::default() }
+        Ontology {
+            types,
+            predicates: FxHashMap::default(),
+        }
     }
 
     /// The type lattice.
@@ -127,7 +133,11 @@ impl Ontology {
     /// The set of volatile predicate symbols (drives the partition-overwrite
     /// fusion path and the volatile/stable split during delta computation).
     pub fn volatile_predicates(&self) -> FxHashSet<Symbol> {
-        self.predicates.values().filter(|p| p.volatile).map(|p| p.name).collect()
+        self.predicates
+            .values()
+            .filter(|p| p.volatile)
+            .map(|p| p.name)
+            .collect()
     }
 
     /// Whether `subject_type` is an admissible domain for `predicate`
@@ -149,11 +159,26 @@ mod tests {
         let person = reg.add_subtype("person", reg.root());
         reg.add_subtype("music_artist", person);
         let mut o = Ontology::new(reg);
-        o.define(PredicateDef::new("name", "entity", ValueKind::Str, Cardinality::One));
-        o.define(PredicateDef::new("spouse", "person", ValueKind::Ref, Cardinality::Many));
+        o.define(PredicateDef::new(
+            "name",
+            "entity",
+            ValueKind::Str,
+            Cardinality::One,
+        ));
+        o.define(PredicateDef::new(
+            "spouse",
+            "person",
+            ValueKind::Ref,
+            Cardinality::Many,
+        ));
         o.define(
-            PredicateDef::new("educated_at", "person", ValueKind::Composite, Cardinality::Many)
-                .with_facets(&[("school", ValueKind::Ref), ("year", ValueKind::Int)]),
+            PredicateDef::new(
+                "educated_at",
+                "person",
+                ValueKind::Composite,
+                Cardinality::Many,
+            )
+            .with_facets(&[("school", ValueKind::Ref), ("year", ValueKind::Int)]),
         );
         o
     }
@@ -171,8 +196,14 @@ mod tests {
         let o = ontology();
         let spouse = intern("spouse");
         assert!(o.domain_accepts(spouse, intern("person")));
-        assert!(o.domain_accepts(spouse, intern("music_artist")), "subtype inherits domain");
-        assert!(!o.domain_accepts(spouse, intern("entity")), "supertype is not in domain");
+        assert!(
+            o.domain_accepts(spouse, intern("music_artist")),
+            "subtype inherits domain"
+        );
+        assert!(
+            !o.domain_accepts(spouse, intern("entity")),
+            "supertype is not in domain"
+        );
         assert!(!o.domain_accepts(intern("unknown_pred"), intern("person")));
     }
 
@@ -188,8 +219,16 @@ mod tests {
     #[test]
     fn redefinition_replaces() {
         let mut o = ontology();
-        o.define(PredicateDef::new("name", "entity", ValueKind::Str, Cardinality::Many));
-        assert_eq!(o.predicate(intern("name")).unwrap().cardinality, Cardinality::Many);
+        o.define(PredicateDef::new(
+            "name",
+            "entity",
+            ValueKind::Str,
+            Cardinality::Many,
+        ));
+        assert_eq!(
+            o.predicate(intern("name")).unwrap().cardinality,
+            Cardinality::Many
+        );
         assert_eq!(o.predicate_count(), 3);
     }
 }

@@ -25,7 +25,11 @@ impl TypeRegistry {
         let root = intern("entity");
         let mut by_name = FxHashMap::default();
         by_name.insert(root, TypeId(0));
-        TypeRegistry { names: vec![root], parents: vec![None], by_name }
+        TypeRegistry {
+            names: vec![root],
+            parents: vec![None],
+            by_name,
+        }
     }
 
     /// The root type (`entity`).
@@ -111,7 +115,10 @@ impl TypeRegistry {
 
     /// Iterate all `(id, name)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (TypeId, Symbol)> + '_ {
-        self.names.iter().enumerate().map(|(i, &s)| (TypeId(i as u32), s))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (TypeId(i as u32), s))
     }
 }
 

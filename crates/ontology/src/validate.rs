@@ -79,7 +79,10 @@ pub fn validate_payload(ontology: &Ontology, payload: &EntityPayload) -> Vec<Vio
             }
             (
                 Some(_),
-                ValueKind::Str | ValueKind::Int | ValueKind::Float | ValueKind::Bool
+                ValueKind::Str
+                | ValueKind::Int
+                | ValueKind::Float
+                | ValueKind::Bool
                 | ValueKind::Ref,
             ) => {
                 violations.push(Violation::ShapeMismatch(t.predicate));
@@ -100,8 +103,10 @@ pub fn validate_payload(ontology: &Ontology, payload: &EntityPayload) -> Vec<Vio
             },
             (None, kind) => {
                 if !t.object.is_null() && !kind_matches(kind, &t.object) {
-                    violations
-                        .push(Violation::KindMismatch { predicate: t.predicate, expected: kind });
+                    violations.push(Violation::KindMismatch {
+                        predicate: t.predicate,
+                        expected: kind,
+                    });
                 }
             }
         }
@@ -194,7 +199,13 @@ mod tests {
         // educated_at asserted as a simple fact → shape mismatch.
         p.push_simple(intern("educated_at"), Value::str("UW"), meta());
         // name asserted as composite → shape mismatch.
-        p.push_composite(intern("name"), RelId(1), intern("first"), Value::str("B"), meta());
+        p.push_composite(
+            intern("name"),
+            RelId(1),
+            intern("first"),
+            Value::str("B"),
+            meta(),
+        );
         let v = validate_payload(&ont, &p);
         assert!(v.contains(&Violation::ShapeMismatch(intern("educated_at"))));
         assert!(v.contains(&Violation::ShapeMismatch(intern("name"))));
@@ -211,7 +222,13 @@ mod tests {
             Value::str("x"),
             meta(),
         );
-        p.push_composite(intern("educated_at"), RelId(1), intern("year"), Value::str("nope"), meta());
+        p.push_composite(
+            intern("educated_at"),
+            RelId(1),
+            intern("year"),
+            Value::str("nope"),
+            meta(),
+        );
         let v = validate_payload(&ont, &p);
         assert!(v.contains(&Violation::UnknownFacet {
             predicate: intern("educated_at"),

@@ -37,8 +37,11 @@ impl IvfIndex {
         // k-means++ style init: sample distinct rows as initial centroids.
         let mut idxs: Vec<usize> = (0..rows.len()).collect();
         idxs.shuffle(&mut rng);
-        let mut centroids: Vec<Vec<f32>> =
-            idxs.iter().take(nlist).map(|&i| rows[i].1.clone()).collect();
+        let mut centroids: Vec<Vec<f32>> = idxs
+            .iter()
+            .take(nlist)
+            .map(|&i| rows[i].1.clone())
+            .collect();
         if centroids.is_empty() {
             centroids.push(vec![0.0; dim]);
         }
@@ -70,7 +73,12 @@ impl IvfIndex {
         for (i, (id, v)) in rows.into_iter().enumerate() {
             lists[assignment[i]].push((id, v));
         }
-        IvfIndex { dim, metric: store.metric(), centroids, lists }
+        IvfIndex {
+            dim,
+            metric: store.metric(),
+            centroids,
+            lists,
+        }
     }
 
     /// Number of clusters.
@@ -103,7 +111,10 @@ impl IvfIndex {
         let mut hits = Vec::new();
         for &(c, _) in order.iter().take(nprobe) {
             for (id, v) in &self.lists[c] {
-                hits.push(SearchHit { id: *id, score: self.metric.score(query, v) });
+                hits.push(SearchHit {
+                    id: *id,
+                    score: self.metric.score(query, v),
+                });
             }
         }
         top_k(hits, k)
@@ -132,7 +143,11 @@ mod tests {
         // Three well-separated clusters in 4-D.
         let mut rng = StdRng::seed_from_u64(99);
         let mut s = VectorStore::new(4, Metric::Cosine);
-        let anchors = [[10.0, 0.0, 0.0, 0.0], [0.0, 10.0, 0.0, 0.0], [0.0, 0.0, 10.0, 0.0]];
+        let anchors = [
+            [10.0, 0.0, 0.0, 0.0],
+            [0.0, 10.0, 0.0, 0.0],
+            [0.0, 0.0, 10.0, 0.0],
+        ];
         let mut id = 0u64;
         for a in &anchors {
             for _ in 0..n_per_cluster {
@@ -155,7 +170,10 @@ mod tests {
         let exact_ids: Vec<EntityId> = exact.iter().map(|h| h.id).collect();
         let approx_ids: Vec<EntityId> = approx.iter().map(|h| h.id).collect();
         let overlap = approx_ids.iter().filter(|i| exact_ids.contains(i)).count();
-        assert!(overlap >= 8, "recall@10 with 1 probe on separated clusters: {overlap}/10");
+        assert!(
+            overlap >= 8,
+            "recall@10 with 1 probe on separated clusters: {overlap}/10"
+        );
     }
 
     #[test]
@@ -166,8 +184,7 @@ mod tests {
         let exact: Vec<EntityId> = s.search(&query, 5, None).iter().map(|h| h.id).collect();
         let mut last = 0;
         for nprobe in [1, 3, 6] {
-            let ids: Vec<EntityId> =
-                idx.search(&query, 5, nprobe).iter().map(|h| h.id).collect();
+            let ids: Vec<EntityId> = idx.search(&query, 5, nprobe).iter().map(|h| h.id).collect();
             let recall = ids.iter().filter(|i| exact.contains(i)).count();
             assert!(recall >= last, "recall must be monotone in nprobe");
             last = recall;

@@ -34,7 +34,11 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// Euclidean distance.
 #[inline]
 pub fn l2(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f32>()
+        .sqrt()
 }
 
 /// L2 norm.

@@ -97,7 +97,9 @@ impl VectorStore {
 
     /// Remove `id`'s vector (swap-remove; O(1)).
     pub fn remove(&mut self, id: EntityId) -> bool {
-        let Some(row) = self.by_id.remove(&id) else { return false };
+        let Some(row) = self.by_id.remove(&id) else {
+            return false;
+        };
         let last = self.ids.len() - 1;
         if row != last {
             let moved = self.ids[last];
@@ -126,7 +128,10 @@ impl VectorStore {
             }
             let v = &self.data[row * self.dim..(row + 1) * self.dim];
             let score = self.metric.score(query, v);
-            hits.push(SearchHit { id: self.ids[row], score });
+            hits.push(SearchHit {
+                id: self.ids[row],
+                score,
+            });
         }
         top_k(hits, k)
     }
@@ -134,7 +139,11 @@ impl VectorStore {
     /// Iterate `(id, vector, tag)` rows.
     pub fn iter(&self) -> impl Iterator<Item = (EntityId, &[f32], Option<Symbol>)> {
         self.ids.iter().enumerate().map(move |(row, &id)| {
-            (id, &self.data[row * self.dim..(row + 1) * self.dim], self.tags[row])
+            (
+                id,
+                &self.data[row * self.dim..(row + 1) * self.dim],
+                self.tags[row],
+            )
         })
     }
 }
@@ -142,9 +151,7 @@ impl VectorStore {
 /// Select the top-k hits by score (descending), ties broken by id for
 /// determinism.
 pub(crate) fn top_k(mut hits: Vec<SearchHit>, k: usize) -> Vec<SearchHit> {
-    hits.sort_unstable_by(|a, b| {
-        b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id))
-    });
+    hits.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.id.cmp(&b.id)));
     hits.truncate(k);
     hits
 }

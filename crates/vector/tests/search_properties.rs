@@ -15,10 +15,7 @@ fn store_from(rows: &[Vec<f32>], metric: Metric) -> VectorStore {
 }
 
 fn arb_rows() -> impl Strategy<Value = Vec<Vec<f32>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(-10.0f32..10.0, 4usize..=4),
-        1..40,
-    )
+    proptest::collection::vec(proptest::collection::vec(-10.0f32..10.0, 4usize..=4), 1..40)
 }
 
 proptest! {

@@ -20,8 +20,20 @@ use saga_ontology::default_ontology;
 fn stable_kg() -> KnowledgeGraph {
     let mut kg = KnowledgeGraph::new();
     let meta = || FactMeta::from_source(SourceId(1), 0.9);
-    kg.add_named_entity(EntityId(1), "Golden State Warriors", "sports_team", SourceId(1), 0.9);
-    kg.add_named_entity(EntityId(2), "Los Angeles Lakers", "sports_team", SourceId(1), 0.9);
+    kg.add_named_entity(
+        EntityId(1),
+        "Golden State Warriors",
+        "sports_team",
+        SourceId(1),
+        0.9,
+    );
+    kg.add_named_entity(
+        EntityId(2),
+        "Los Angeles Lakers",
+        "sports_team",
+        SourceId(1),
+        0.9,
+    );
     kg.add_named_entity(EntityId(3), "Chase Center", "venue", SourceId(1), 0.9);
     kg.add_named_entity(EntityId(4), "Beyoncé", "music_artist", SourceId(1), 0.9);
     kg.add_named_entity(EntityId(5), "Jay-Z", "music_artist", SourceId(1), 0.9);
@@ -60,13 +72,20 @@ fn main() {
         NerdEntityView::build(&kg, None),
         StringEncoder::new(16, 1024, 3, 5),
         ContextualDisambiguator::default(),
-        NerdConfig { max_candidates: 8, confidence_threshold: 0.25 },
+        NerdConfig {
+            max_candidates: 8,
+            confidence_threshold: 0.25,
+        },
     ));
     let builder = LiveGraphBuilder::new(live.clone(), ontology.types().clone(), Some(nerd));
 
     // A stream of score updates (seconds-level freshness, §1).
     println!("— streaming live score events —");
-    for (ts, home, away, period) in [(1u64, 12i64, 9i64, "Q1"), (2, 55, 51, "Q2"), (3, 98, 92, "Q4")] {
+    for (ts, home, away, period) in [
+        (1u64, 12i64, 9i64, "Q1"),
+        (2, 55, 51, "Q2"),
+        (3, 98, 92, "Q4"),
+    ] {
         let report = builder.apply(&[LiveEvent {
             source: SourceId(50),
             event_id: "Warriors vs Lakers".into(),
@@ -77,13 +96,24 @@ fn main() {
                 ("status".into(), Value::str(period)),
             ],
             mentions: vec![
-                ("home_team".into(), "Golden State Warriors".into(), Some("sports_team".into())),
-                ("away_team".into(), "Los Angeles Lakers".into(), Some("sports_team".into())),
+                (
+                    "home_team".into(),
+                    "Golden State Warriors".into(),
+                    Some("sports_team".into()),
+                ),
+                (
+                    "away_team".into(),
+                    "Los Angeles Lakers".into(),
+                    Some("sports_team".into()),
+                ),
                 ("venue".into(), "Chase Center".into(), Some("venue".into())),
             ],
             timestamp: ts,
         }]);
-        println!("  t={ts}: applied={} resolved_mentions={}", report.applied, report.mentions_resolved);
+        println!(
+            "  t={ts}: applied={} resolved_mentions={}",
+            report.applied, report.mentions_resolved
+        );
     }
 
     // Ad-hoc KGQ: "Who's winning the Warriors game?" (§6.1).
@@ -95,7 +125,11 @@ fn main() {
     let score = engine
         .query(&format!("GET AKG:{} . home_score", game_id.0))
         .expect("score lookup");
-    println!("\nKGQ: Warriors game {} → home score {:?}", game_id, score.values());
+    println!(
+        "\nKGQ: Warriors game {} → home score {:?}",
+        game_id,
+        score.values()
+    );
 
     // Virtual operators: encapsulate the lookup for reuse (§4.2).
     engine.register_virtual_op("GamesAt", |args| {
@@ -105,19 +139,35 @@ fn main() {
             target: saga_live::kgq::Target::Name(venue),
         }])
     });
-    let at_chase = engine.query(r#"FIND sports_game WHERE GamesAt("Chase Center")"#).unwrap();
-    println!("virtual operator GamesAt(\"Chase Center\") → {} game(s)", at_chase.len());
+    let at_chase = engine
+        .query(r#"FIND sports_game WHERE GamesAt("Chase Center")"#)
+        .unwrap();
+    println!(
+        "virtual operator GamesAt(\"Chase Center\") → {} game(s)",
+        at_chase.len()
+    );
 
     // The paper's multi-turn context sequence (§4.2).
     println!("\n— multi-turn QA (context graph) —");
     let handler = IntentHandler::new(engine.clone());
     let mut ctx = ContextGraph::new();
-    let a1 = ctx.ask(&handler, Intent::named("SpouseOf", "Beyoncé")).unwrap();
-    println!("  Who is Beyoncé married to?  → {}", name_of(&engine, a1.entities()[0]));
+    let a1 = ctx
+        .ask(&handler, Intent::named("SpouseOf", "Beyoncé"))
+        .unwrap();
+    println!(
+        "  Who is Beyoncé married to?  → {}",
+        name_of(&engine, a1.entities()[0])
+    );
     let a2 = ctx.ask_same_intent(&handler, "Tom Hanks").unwrap();
-    println!("  How about Tom Hanks?        → {}", name_of(&engine, a2.entities()[0]));
+    println!(
+        "  How about Tom Hanks?        → {}",
+        name_of(&engine, a2.entities()[0])
+    );
     let a3 = ctx.ask_about_last_answer(&handler, "Birthplace").unwrap();
-    println!("  Where is she from?          → {}", name_of(&engine, a3.entities()[0]));
+    println!(
+        "  Where is she from?          → {}",
+        name_of(&engine, a3.entities()[0])
+    );
 
     // Curation hot fix (§4.3): a vandalised score is corrected live.
     println!("\n— curation hot fix —");
@@ -128,9 +178,17 @@ fn main() {
         old: Value::Int(98),
         new: Value::Int(99),
     });
-    let fixed = engine.query(&format!("GET AKG:{} . home_score", game_id.0)).unwrap();
-    println!("  applied={ok}; corrected home score → {:?}", fixed.values());
-    println!("  {} curation(s) queued for stable construction", curation.drain_for_stable().len());
+    let fixed = engine
+        .query(&format!("GET AKG:{} . home_score", game_id.0))
+        .unwrap();
+    println!(
+        "  applied={ok}; corrected home score → {:?}",
+        fixed.values()
+    );
+    println!(
+        "  {} curation(s) queued for stable construction",
+        curation.drain_for_stable().len()
+    );
 }
 
 fn name_of(engine: &QueryEngine, id: EntityId) -> String {

@@ -18,7 +18,11 @@ use saga_ontology::default_ontology;
 fn main() {
     let ontology = default_ontology();
     let mut world = MusicWorld::generate(42, 120, 3);
-    println!("ground truth: {} artists, {} songs", world.artists.len(), world.songs.len());
+    println!(
+        "ground truth: {} artists, {} songs",
+        world.artists.len(),
+        world.songs.len()
+    );
 
     // Two providers over the same ground truth, different noise profiles.
     let providers = vec![
@@ -27,27 +31,32 @@ fn main() {
     ];
     // Each provider publishes two artifacts sharing one source namespace:
     // artists (joined with popularity) and songs referencing artists.
-    let mut pipelines: Vec<(ProviderSpec, SourceIngestionPipeline, SourceIngestionPipeline)> =
-        providers
-            .into_iter()
-            .map(|(spec, source, name)| {
-                let artists = SourceIngestionPipeline::new(
-                    source,
-                    format!("{name}/artists"),
-                    DataTransformer::new(
-                        TransformSpec::simple("artist_id").join(1, "artist_id", "artist_id"),
-                    ),
-                    artist_alignment(0.9),
-                );
-                let songs = SourceIngestionPipeline::new(
-                    source,
-                    format!("{name}/songs"),
-                    DataTransformer::new(TransformSpec::simple("song_id")),
-                    saga_ingest::synth::song_alignment(0.85),
-                );
-                (spec, artists, songs)
-            })
-            .collect();
+    let mut pipelines: Vec<(
+        ProviderSpec,
+        SourceIngestionPipeline,
+        SourceIngestionPipeline,
+    )> = providers
+        .into_iter()
+        .map(|(spec, source, name)| {
+            let artists = SourceIngestionPipeline::new(
+                source,
+                format!("{name}/artists"),
+                DataTransformer::new(TransformSpec::simple("artist_id").join(
+                    1,
+                    "artist_id",
+                    "artist_id",
+                )),
+                artist_alignment(0.9),
+            );
+            let songs = SourceIngestionPipeline::new(
+                source,
+                format!("{name}/songs"),
+                DataTransformer::new(TransformSpec::simple("song_id")),
+                saga_ingest::synth::song_alignment(0.85),
+            );
+            (spec, artists, songs)
+        })
+        .collect();
 
     let mut kg = KnowledgeGraph::new();
     let id_gen = IdGenerator::starting_at(1);
@@ -61,8 +70,9 @@ fn main() {
         let mut batches = Vec::new();
         for (spec, artist_pipe, song_pipe) in &mut pipelines {
             let (artists, songs, pops) = provider_datasets(&world, spec);
-            let (a_delta, report) =
-                artist_pipe.ingest(&ontology, &[artists, pops]).expect("ingest artists");
+            let (a_delta, report) = artist_pipe
+                .ingest(&ontology, &[artists, pops])
+                .expect("ingest artists");
             println!(
                 "cycle {cycle} [{}]: +{} ~{} -{} entities ({} volatile facts)",
                 artist_pipe.name(),
@@ -116,7 +126,10 @@ fn main() {
     top.sort_by(|a, b| b.1.total_cmp(a.1));
     println!("\ntop-3 entities by structural importance:");
     for (id, score) in top.into_iter().take(3) {
-        let name = kg.entity(*id).and_then(|r| r.name().map(str::to_string)).unwrap_or_default();
+        let name = kg
+            .entity(*id)
+            .and_then(|r| r.name().map(str::to_string))
+            .unwrap_or_default();
         println!("  {id} {name:<28} {score:.3}");
     }
 

@@ -29,15 +29,42 @@ fn main() {
             Value::str("J. Smith"),
             FactMeta {
                 provenance: vec![
-                    SourceTrust { source: SourceId(1), trust: 0.9 },
-                    SourceTrust { source: SourceId(2), trust: 0.8 },
+                    SourceTrust {
+                        source: SourceId(1),
+                        trust: 0.9,
+                    },
+                    SourceTrust {
+                        source: SourceId(2),
+                        trust: 0.8,
+                    },
                 ],
                 locale: Some(intern("en")),
             },
         ),
-        ExtendedTriple::composite(e1, intern("educated_at"), RelId(1), intern("school"), Value::str("UW"), meta2.clone()),
-        ExtendedTriple::composite(e1, intern("educated_at"), RelId(1), intern("degree"), Value::str("PhD"), meta2.clone()),
-        ExtendedTriple::composite(e1, intern("educated_at"), RelId(1), intern("year"), Value::Int(2005), meta2),
+        ExtendedTriple::composite(
+            e1,
+            intern("educated_at"),
+            RelId(1),
+            intern("school"),
+            Value::str("UW"),
+            meta2.clone(),
+        ),
+        ExtendedTriple::composite(
+            e1,
+            intern("educated_at"),
+            RelId(1),
+            intern("degree"),
+            Value::str("PhD"),
+            meta2.clone(),
+        ),
+        ExtendedTriple::composite(
+            e1,
+            intern("educated_at"),
+            RelId(1),
+            intern("year"),
+            Value::Int(2005),
+            meta2,
+        ),
     ];
     for t in &rows {
         println!("  {}", t.render_row());
@@ -55,27 +82,46 @@ s1,Bad Guy,Billie Eilish,194,99000
 s2,Bury a Friend,Billie Eilish,193,54000
 s3,Halo,Beyonce,261,88000
 ";
-    let artifacts = vec![CsvImporter::new("toy-music", csv).import().expect("csv imports")];
+    let artifacts = vec![CsvImporter::new("toy-music", csv)
+        .import()
+        .expect("csv imports")];
     let alignment = AlignmentConfig {
         entity_type: "song".into(),
         id_column: "id".into(),
         locale: Some("en".into()),
         trust: 0.9,
         pgfs: vec![
-            Pgf::Map { column: "title".into(), predicate: "name".into() },
-            Pgf::Map { column: "secs".into(), predicate: "duration_s".into() },
-            Pgf::Map { column: "plays".into(), predicate: "popularity".into() },
-            Pgf::MapRef { column: "artist_name".into(), predicate: "performed_by".into() },
+            Pgf::Map {
+                column: "title".into(),
+                predicate: "name".into(),
+            },
+            Pgf::Map {
+                column: "secs".into(),
+                predicate: "duration_s".into(),
+            },
+            Pgf::Map {
+                column: "plays".into(),
+                predicate: "popularity".into(),
+            },
+            Pgf::MapRef {
+                column: "artist_name".into(),
+                predicate: "performed_by".into(),
+            },
         ],
     };
-    println!("  alignment config (config-driven PGFs):\n{}", indent(&alignment.to_json(), 4));
+    println!(
+        "  alignment config (config-driven PGFs):\n{}",
+        indent(&alignment.to_json(), 4)
+    );
     let mut pipeline = SourceIngestionPipeline::new(
         SourceId(7),
         "toy-music",
         DataTransformer::new(TransformSpec::simple("id")),
         alignment,
     );
-    let (delta, report) = pipeline.ingest(&ontology, &artifacts).expect("ingestion succeeds");
+    let (delta, report) = pipeline
+        .ingest(&ontology, &artifacts)
+        .expect("ingestion succeeds");
     println!(
         "  ingestion: {} rows → {} aligned, {} added / {} volatile facts",
         report.transformed_rows, report.aligned_entities, report.added, report.volatile_facts
@@ -90,7 +136,11 @@ s3,Halo,Beyonce,261,88000
     let report = constructor.consume(
         &mut kg,
         &id_gen,
-        vec![SourceBatch { source: SourceId(7), name: "toy-music".into(), delta }],
+        vec![SourceBatch {
+            source: SourceId(7),
+            name: "toy-music".into(),
+            delta,
+        }],
         &RuleMatcher::default(),
         &LinkTableResolver,
     );
@@ -122,5 +172,8 @@ s3,Halo,Beyonce,261,88000
 
 fn indent(s: &str, n: usize) -> String {
     let pad = " ".repeat(n);
-    s.lines().map(|l| format!("{pad}{l}")).collect::<Vec<_>>().join("\n")
+    s.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
 }

@@ -1,0 +1,132 @@
+//! Offline stand-in for the `proptest` crate (the registry is not reachable
+//! from the build environment). Implements the subset of the proptest API
+//! this workspace uses: the [`proptest!`] test macro, `prop_assert*`
+//! assertions, [`Strategy`] with `prop_map`, [`prop_oneof!`], [`Just`],
+//! [`any`], numeric-range strategies, character-class string strategies
+//! (`"[a-z0-9_]{1,12}"`), tuple strategies and [`collection::vec`].
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * no shrinking — a failing case panics with its inputs via the normal
+//!   assertion message;
+//! * cases are generated from a seed derived from the test's name, so runs
+//!   are fully deterministic (upstream persists regressions instead);
+//! * string strategies support character classes with `{m,n}` repetition,
+//!   not full regex syntax — which is all the workspace's tests use.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+/// `vec(element_strategy, size_range)` — mirror of `proptest::collection`.
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// The glob import used by every consumer: `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Number of cases each property runs (upstream default: 256).
+pub const CASES: u32 = 256;
+
+/// Deterministic per-test runner: derives the RNG seed from the test name
+/// and invokes `body` [`CASES`] times.
+pub fn run_cases(test_name: &str, mut body: impl FnMut(&mut StdRng)) {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..CASES {
+        body(&mut rng);
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |prop_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), prop_rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+/// Assertion inside a property body (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice between alternative strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_maps(x in 0u64..100, s in "[a-z]{2,4}", pair in (0i64..5, 1i64..=3)) {
+            prop_assert!(x < 100);
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(pair.0 < 5 && (1..=3).contains(&pair.1));
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            v in crate::collection::vec(prop_oneof![Just(0u8), any::<u8>()], 0..10)
+        ) {
+            prop_assert!(v.len() < 10);
+        }
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let mut first: Vec<u64> = Vec::new();
+        crate::run_cases("determinism_probe", |rng| {
+            first.push(Strategy::generate(&(0u64..1000), rng));
+        });
+        let mut second: Vec<u64> = Vec::new();
+        crate::run_cases("determinism_probe", |rng| {
+            second.push(Strategy::generate(&(0u64..1000), rng));
+        });
+        assert_eq!(first, second);
+    }
+}

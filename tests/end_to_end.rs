@@ -27,26 +27,35 @@ fn ingest_cycle(
         .map(|(spec, pipe)| {
             let (artists, _songs, pops) = provider_datasets(world, spec);
             let (delta, _) = pipe.ingest(&ontology, &[artists, pops]).expect("ingest");
-            SourceBatch { source: pipe.source(), name: pipe.name().to_string(), delta }
+            SourceBatch {
+                source: pipe.source(),
+                name: pipe.name().to_string(),
+                delta,
+            }
         })
         .collect()
 }
 
 fn make_pipes() -> Vec<(ProviderSpec, SourceIngestionPipeline)> {
-    [(ProviderSpec::clean(1, "a_"), 1u32), (ProviderSpec::noisy(2, "b_"), 2u32)]
-        .into_iter()
-        .map(|(spec, sid)| {
-            let pipe = SourceIngestionPipeline::new(
-                SourceId(sid),
-                format!("provider-{sid}"),
-                DataTransformer::new(
-                    TransformSpec::simple("artist_id").join(1, "artist_id", "artist_id"),
-                ),
-                artist_alignment(0.9),
-            );
-            (spec, pipe)
-        })
-        .collect()
+    [
+        (ProviderSpec::clean(1, "a_"), 1u32),
+        (ProviderSpec::noisy(2, "b_"), 2u32),
+    ]
+    .into_iter()
+    .map(|(spec, sid)| {
+        let pipe = SourceIngestionPipeline::new(
+            SourceId(sid),
+            format!("provider-{sid}"),
+            DataTransformer::new(TransformSpec::simple("artist_id").join(
+                1,
+                "artist_id",
+                "artist_id",
+            )),
+            artist_alignment(0.9),
+        );
+        (spec, pipe)
+    })
+    .collect()
 }
 
 #[test]
@@ -64,7 +73,13 @@ fn continuous_construction_deduplicates_across_sources_and_cycles() {
 
     // Cycle 1: onboarding.
     let batches = ingest_cycle(&world, &mut pipes);
-    let r1 = ctor.consume(&mut kg, &id_gen, batches, &RuleMatcher::default(), &LinkTableResolver);
+    let r1 = ctor.consume(
+        &mut kg,
+        &id_gen,
+        batches,
+        &RuleMatcher::default(),
+        &LinkTableResolver,
+    );
     assert!(r1.new_entities > 0);
     // Cross-source dedup: far fewer canonical entities than payloads.
     assert!(
@@ -73,13 +88,22 @@ fn continuous_construction_deduplicates_across_sources_and_cycles() {
         kg.entity_count()
     );
     let corroborated = kg.entities().filter(|r| r.identity_count() >= 2).count();
-    assert!(corroborated > 20, "fusion merged cross-source entities: {corroborated}");
+    assert!(
+        corroborated > 20,
+        "fusion merged cross-source entities: {corroborated}"
+    );
 
     // Cycle 2: world evolves, only diffs flow.
     world.evolve(8, 0.1, 0.05);
     let batches2 = ingest_cycle(&world, &mut pipes);
     let before = kg.entity_count();
-    let r2 = ctor.consume(&mut kg, &id_gen, batches2, &RuleMatcher::default(), &LinkTableResolver);
+    let r2 = ctor.consume(
+        &mut kg,
+        &id_gen,
+        batches2,
+        &RuleMatcher::default(),
+        &LinkTableResolver,
+    );
     assert!(r2.updated + r2.deleted + r2.new_entities + r2.matched_existing > 0);
     assert!(
         kg.entity_count() >= before.saturating_sub(20),
@@ -87,13 +111,22 @@ fn continuous_construction_deduplicates_across_sources_and_cycles() {
     );
     // Popularity facts came through the volatile path.
     let pop = intern("popularity");
-    assert!(kg.triples().any(|t| t.predicate == pop), "volatile facts fused");
+    assert!(
+        kg.triples().any(|t| t.predicate == pop),
+        "volatile facts fused"
+    );
 }
 
 #[test]
 fn operation_log_drives_agents_and_freshness() {
     let mut kg = KnowledgeGraph::new();
-    kg.add_named_entity(EntityId(1), "Billie Eilish", "music_artist", SourceId(1), 0.9);
+    kg.add_named_entity(
+        EntityId(1),
+        "Billie Eilish",
+        "music_artist",
+        SourceId(1),
+        0.9,
+    );
     kg.add_named_entity(EntityId(2), "Halo", "song", SourceId(1), 0.9);
 
     let log = Arc::new(OperationLog::in_memory());
@@ -102,11 +135,15 @@ fn operation_log_drives_agents_and_freshness() {
     runner.register(Box::new(EntityIndexAgent::new()));
     runner.register(Box::new(TextIndexAgent::new()));
 
-    log.append(OpKind::Upsert, vec![EntityId(1), EntityId(2)]).unwrap();
+    log.append(OpKind::Upsert, vec![EntityId(1), EntityId(2)])
+        .unwrap();
     runner.run_once(&kg).unwrap();
     assert!(meta.is_fresh("entity_index", Lsn(1)));
     assert!(meta.is_fresh("text_index", Lsn(1)));
-    assert_eq!(meta.consistent_lsn(&["entity_index", "text_index"]), log.head());
+    assert_eq!(
+        meta.consistent_lsn(&["entity_index", "text_index"]),
+        log.head()
+    );
 
     // A later op only replays the suffix.
     kg.add_named_entity(EntityId(3), "Bad Guy", "song", SourceId(1), 0.9);
@@ -125,7 +162,13 @@ fn constructed_kg_serves_live_queries() {
     let id_gen = IdGenerator::starting_at(1);
     let ctor = KnowledgeConstructor::new(ontology.volatile_predicates());
     let batches = ingest_cycle(&world, &mut pipes);
-    ctor.consume(&mut kg, &id_gen, batches, &RuleMatcher::default(), &LinkTableResolver);
+    ctor.consume(
+        &mut kg,
+        &id_gen,
+        batches,
+        &RuleMatcher::default(),
+        &LinkTableResolver,
+    );
 
     let live = LiveKg::new(8);
     live.load_stable(&kg);
@@ -134,12 +177,17 @@ fn constructed_kg_serves_live_queries() {
     // Every ground-truth artist covered by the clean provider is findable.
     let artist = &world.artists[0];
     let hits = engine
-        .query(&format!(r#"FIND music_artist WHERE name = "{}""#, artist.name))
+        .query(&format!(
+            r#"FIND music_artist WHERE name = "{}""#,
+            artist.name
+        ))
         .expect("query runs");
     assert!(!hits.is_empty(), "artist {} served", artist.name);
     // And the popularity fact is retrievable by path.
     let id = hits.entities()[0];
-    let pop = engine.query(&format!("GET AKG:{} . popularity", id.0)).unwrap();
+    let pop = engine
+        .query(&format!("GET AKG:{} . popularity", id.0))
+        .unwrap();
     assert!(!pop.values().is_empty(), "volatile fact served live");
 }
 
