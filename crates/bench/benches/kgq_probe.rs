@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use saga_bench::nerdworld::ambiguous_world;
 use saga_core::index::flatten;
-use saga_core::{intern, EntityId, KnowledgeGraph, ProbeKey, Value};
+use saga_core::{intern, EntityId, GraphRead, KnowledgeGraph, OverlayRead, ProbeKey, Value};
 use saga_live::{LiveKg, QueryEngine};
 
 /// The old pre-index serving path: scan every record, test every probe.
@@ -63,12 +63,35 @@ fn bench_probe(c: &mut Criterion) {
         "paths agree"
     );
 
+    // Live-over-stable overlay: half the corpus is served from the live
+    // layer, the rest falls through to the stable graph — the serving
+    // topology of §4.1. The acceptance bar for the GraphRead refactor is
+    // overlay probes within 2× of the live-only path.
+    let overlay = {
+        let partial = LiveKg::new(16);
+        for (i, record) in kg.entities().enumerate() {
+            if i % 2 == 0 {
+                partial.upsert(record.clone());
+            }
+        }
+        OverlayRead::new(partial, kg.clone())
+    };
+    assert_eq!(
+        overlay.probe_all(&probes),
+        expected,
+        "overlay agrees with the single-backend paths"
+    );
+    let overlay_engine = QueryEngine::new(overlay);
+
     let mut group = c.benchmark_group("kgq_probe");
     group.bench_function("index_intersection_stable", |b| {
         b.iter(|| kg.index().probe_all(&probes))
     });
     group.bench_function("index_intersection_live_sharded", |b| {
         b.iter(|| live.index().probe_all(&probes))
+    });
+    group.bench_function("index_intersection_overlay", |b| {
+        b.iter(|| overlay_engine.graph().probe_all(&probes))
     });
     group.bench_function("naive_full_scan", |b| {
         b.iter(|| naive_find(&kg, "city", "located_in", country))
@@ -77,6 +100,9 @@ fn bench_probe(c: &mut Criterion) {
     engine.query(&query).unwrap(); // warm the plan cache
     group.bench_function("kgq_find_end_to_end", |b| {
         b.iter(|| engine.query(&query).unwrap())
+    });
+    group.bench_function("kgq_find_end_to_end_overlay", |b| {
+        b.iter(|| overlay_engine.query(&query).unwrap())
     });
     group.finish();
 }

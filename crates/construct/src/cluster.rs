@@ -9,7 +9,7 @@
 //! graph entity."
 //!
 //! The implementation is the classic randomized *pivot* algorithm (KwikCluster,
-//! 3-approximation; parallelized in [63]) with a deterministic seeded pivot
+//! 3-approximation; parallelized in the paper's citation \[63\]) with a deterministic seeded pivot
 //! order and a structural guarantee that two existing-KG nodes never share
 //! a cluster (an implicit −1 edge between every pair of KG nodes).
 

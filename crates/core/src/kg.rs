@@ -14,6 +14,7 @@
 //!   mutation, plus the [`Delta`] changelog downstream stores drain to
 //!   stay in sync without rescanning the graph (§3.1's derived stores).
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::index::{Delta, TripleIndex};
@@ -21,6 +22,11 @@ use crate::well_known;
 use crate::{
     intern, EntityId, EntityRecord, ExtendedTriple, FxHashMap, FxHashSet, SourceId, Symbol, Value,
 };
+
+/// Default bound on the KG's retained [`Delta`] changelog. Long-running
+/// writers whose consumers never drain stop growing memory here; dropped
+/// deltas are counted so consumers know replay is no longer sufficient.
+pub const DEFAULT_CHANGELOG_CAPACITY: usize = 1 << 16;
 
 /// Aggregate statistics about the KG (drives the Fig. 12 growth experiment).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -34,15 +40,37 @@ pub struct KgStats {
 }
 
 /// The canonical knowledge graph.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct KnowledgeGraph {
     entities: FxHashMap<EntityId, EntityRecord>,
     /// `same_as` provenance: which source entity maps to which KG entity.
     links: FxHashMap<(SourceId, Arc<str>), EntityId>,
     /// The unified triple index, maintained incrementally by every mutator.
     index: TripleIndex,
-    /// Deltas accumulated since the last [`drain_deltas`](Self::drain_deltas).
-    changelog: Vec<Delta>,
+    /// Deltas accumulated since the last [`drain_deltas`](Self::drain_deltas),
+    /// bounded by `changelog_capacity` (oldest dropped first).
+    changelog: VecDeque<Delta>,
+    /// Retention bound for `changelog`.
+    changelog_capacity: usize,
+    /// Deltas evicted before being drained — nonzero means consumers must
+    /// rebuild from the KG instead of replaying the feed.
+    changelog_dropped: u64,
+    /// Monotone read-visible-change counter (see [`generation`](Self::generation)).
+    generation: u64,
+}
+
+impl Default for KnowledgeGraph {
+    fn default() -> Self {
+        KnowledgeGraph {
+            entities: FxHashMap::default(),
+            links: FxHashMap::default(),
+            index: TripleIndex::default(),
+            changelog: VecDeque::new(),
+            changelog_capacity: DEFAULT_CHANGELOG_CAPACITY,
+            changelog_dropped: 0,
+            generation: 0,
+        }
+    }
 }
 
 impl KnowledgeGraph {
@@ -124,14 +152,57 @@ impl KnowledgeGraph {
     }
 
     /// Drain the [`Delta`]s accumulated since the last call — the change
-    /// feed downstream stores replay to stay consistent.
+    /// feed downstream stores replay to stay consistent. Check
+    /// [`dropped_deltas`](Self::dropped_deltas) before trusting the feed:
+    /// a nonzero increase means older deltas were evicted and replay alone
+    /// cannot reconstruct the current state.
     pub fn drain_deltas(&mut self) -> Vec<Delta> {
-        std::mem::take(&mut self.changelog)
+        std::mem::take(&mut self.changelog).into()
+    }
+
+    /// Cumulative count of deltas evicted from the bounded changelog before
+    /// any consumer drained them.
+    pub fn dropped_deltas(&self) -> u64 {
+        self.changelog_dropped
+    }
+
+    /// Deltas currently retained for draining.
+    pub fn changelog_len(&self) -> usize {
+        self.changelog.len()
+    }
+
+    /// The changelog retention bound
+    /// ([`DEFAULT_CHANGELOG_CAPACITY`] unless reconfigured).
+    pub fn changelog_capacity(&self) -> usize {
+        self.changelog_capacity
+    }
+
+    /// Set the changelog retention bound (minimum 1). If the retained feed
+    /// already exceeds it, the oldest deltas are evicted immediately and
+    /// counted as dropped.
+    pub fn set_changelog_capacity(&mut self, capacity: usize) {
+        self.changelog_capacity = capacity.max(1);
+        while self.changelog.len() > self.changelog_capacity {
+            self.changelog.pop_front();
+            self.changelog_dropped += 1;
+        }
+    }
+
+    /// Monotone counter bumped on every mutation that changes what reads
+    /// return — the [`GraphRead`](crate::GraphRead) plan-cache
+    /// invalidation signal.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     fn record_delta(&mut self, delta: Delta) {
         if !delta.is_empty() {
-            self.changelog.push(delta);
+            self.generation += 1;
+            if self.changelog.len() == self.changelog_capacity {
+                self.changelog.pop_front();
+                self.changelog_dropped += 1;
+            }
+            self.changelog.push_back(delta);
         }
     }
 
@@ -622,6 +693,44 @@ mod tests {
         let adj = kg.adjacency();
         assert_eq!(adj[&EntityId(1)], vec![EntityId(2)]);
         assert!(adj[&EntityId(2)].is_empty());
+    }
+
+    #[test]
+    fn changelog_is_bounded_and_counts_drops() {
+        let mut kg = KnowledgeGraph::new();
+        assert_eq!(kg.changelog_capacity(), DEFAULT_CHANGELOG_CAPACITY);
+        kg.set_changelog_capacity(4);
+        for i in 0..10u64 {
+            kg.upsert_fact(ExtendedTriple::simple(
+                EntityId(i),
+                intern("name"),
+                Value::str(format!("E{i}")),
+                meta(1),
+            ));
+        }
+        assert_eq!(kg.changelog_len(), 4, "bounded retention");
+        assert_eq!(kg.dropped_deltas(), 6, "evictions surfaced");
+        // Newest-first retention: the drained feed is the tail.
+        let drained = kg.drain_deltas();
+        assert_eq!(drained.len(), 4);
+        assert_eq!(drained[0].entity, EntityId(6));
+        assert_eq!(kg.changelog_len(), 0);
+        // Shrinking below the retained length evicts immediately.
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(50),
+            intern("name"),
+            Value::str("X"),
+            meta(1),
+        ));
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(51),
+            intern("name"),
+            Value::str("Y"),
+            meta(1),
+        ));
+        kg.set_changelog_capacity(1);
+        assert_eq!(kg.changelog_len(), 1);
+        assert_eq!(kg.dropped_deltas(), 7);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! the paper. This crate provides:
 //!
 //! * [`EntityId`] / [`SourceId`] / [`Lsn`] — compact identifiers.
-//! * [`Symbol`] and the global string [`intern`]er — predicates, types and
+//! * [`Symbol`] and the global string [`intern()`]er — predicates, types and
 //!   locales are interned so that a triple is a few machine words.
 //! * [`Value`] — the object side of a triple (literal, KG reference or an
 //!   unresolved source-namespace reference).
@@ -31,6 +31,7 @@ pub mod intern;
 pub mod json;
 pub mod kg;
 pub mod meta;
+pub mod read;
 pub mod row;
 pub mod triple;
 pub mod value;
@@ -40,8 +41,9 @@ pub use error::{Result, SagaError};
 pub use id::{EntityId, IdGenerator, Lsn, RelId, SourceId};
 pub use index::{Delta, DeltaFact, ProbeKey, TripleIndex};
 pub use intern::{intern, resolve, symbol_text, Symbol};
-pub use kg::{KgStats, KnowledgeGraph};
+pub use kg::{KgStats, KnowledgeGraph, DEFAULT_CHANGELOG_CAPACITY};
 pub use meta::{FactMeta, SourceTrust};
+pub use read::{GraphRead, OverlayRead};
 pub use row::{Dataset, Row};
 pub use triple::{ExtendedTriple, RelPart, SubjectRef, TripleKey};
 pub use value::Value;

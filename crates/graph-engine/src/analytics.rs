@@ -17,7 +17,104 @@ use std::sync::Arc;
 
 use saga_core::{intern, EntityId, FxHashMap, KnowledgeGraph, Symbol, Value};
 
+/// Typed-column discriminator for the subject→row index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RowKind {
+    Ent,
+    Str,
+    Int,
+    Float,
+}
+
+/// One subject's row positions per typed column of a partition — the index
+/// that makes delta-driven row removal amortized O(1) instead of a linear
+/// partition scan.
+#[derive(Clone, Debug, Default)]
+struct SubjectRows {
+    ent: Vec<u32>,
+    str_: Vec<u32>,
+    int: Vec<u32>,
+    float: Vec<u32>,
+}
+
+impl SubjectRows {
+    fn of(&self, kind: RowKind) -> &Vec<u32> {
+        match kind {
+            RowKind::Ent => &self.ent,
+            RowKind::Str => &self.str_,
+            RowKind::Int => &self.int,
+            RowKind::Float => &self.float,
+        }
+    }
+
+    fn of_mut(&mut self, kind: RowKind) -> &mut Vec<u32> {
+        match kind {
+            RowKind::Ent => &mut self.ent,
+            RowKind::Str => &mut self.str_,
+            RowKind::Int => &mut self.int,
+            RowKind::Float => &mut self.float,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ent.is_empty() && self.str_.is_empty() && self.int.is_empty() && self.float.is_empty()
+    }
+}
+
+/// Remove the first row of `pair` whose subject is `subject` and whose
+/// value satisfies `eq`, locating it through the subject→row index and
+/// repairing the index after the `swap_remove` (the row moved into the
+/// hole gets its recorded position rewritten).
+fn remove_indexed_row<T>(
+    pair: &mut (Vec<u64>, Vec<T>),
+    index: &mut FxHashMap<u64, SubjectRows>,
+    kind: RowKind,
+    subject: u64,
+    eq: impl Fn(&T) -> bool,
+) -> bool {
+    let Some(rows) = index.get(&subject) else {
+        return false;
+    };
+    let Some(&pos) = rows.of(kind).iter().find(|&&p| eq(&pair.1[p as usize])) else {
+        return false;
+    };
+    let i = pos as usize;
+    let last = pair.0.len() - 1;
+    pair.0.swap_remove(i);
+    pair.1.swap_remove(i);
+    let rows = index.get_mut(&subject).expect("checked above");
+    let list = rows.of_mut(kind);
+    let at = list
+        .iter()
+        .position(|&p| p == pos)
+        .expect("found position is listed");
+    list.swap_remove(at);
+    if rows.is_empty() {
+        index.remove(&subject);
+    }
+    if i != last {
+        // The former last row now lives at `i`; its subject's entry still
+        // says `last` (even when that subject is `subject` itself, whose
+        // list then provably still exists).
+        let moved_subject = pair.0[i];
+        let list = index
+            .get_mut(&moved_subject)
+            .expect("moved row's subject is indexed")
+            .of_mut(kind);
+        let at = list
+            .iter()
+            .position(|&p| p as usize == last)
+            .expect("moved row's old position is listed");
+        list[at] = i as u32;
+    }
+    true
+}
+
 /// One predicate's columnar partition.
+///
+/// The row vectors are public for zero-copy frame construction but must
+/// only be *read* externally — every mutation goes through the private
+/// `push`/`remove_row` pair so the subject→row index stays consistent.
 #[derive(Clone, Debug, Default)]
 pub struct PredTable {
     /// `(subject, object-entity)` rows.
@@ -31,80 +128,77 @@ pub struct PredTable {
     /// Lazily-built dictionary snapshot of the string column, shared by
     /// dictionary-encoded frames (reset on mutation).
     str_dict: std::sync::OnceLock<Arc<Vec<Arc<str>>>>,
+    /// subject → row positions per typed column, maintained in lockstep
+    /// with the row vectors.
+    rows_by_subject: FxHashMap<u64, SubjectRows>,
 }
 
 impl PredTable {
     fn push(&mut self, subject: u64, value: &Value) {
-        match value {
+        let (kind, at) = match value {
             Value::Entity(e) => {
                 self.ent_rows.0.push(subject);
                 self.ent_rows.1.push(e.0);
+                (RowKind::Ent, self.ent_rows.0.len() - 1)
             }
             Value::Str(s) => {
                 self.str_rows.0.push(subject);
                 self.str_rows.1.push(Arc::clone(s));
                 self.str_dict = std::sync::OnceLock::new();
+                (RowKind::Str, self.str_rows.0.len() - 1)
             }
             Value::Int(i) => {
                 self.int_rows.0.push(subject);
                 self.int_rows.1.push(*i);
+                (RowKind::Int, self.int_rows.0.len() - 1)
             }
             Value::Float(f) => {
                 self.float_rows.0.push(subject);
                 self.float_rows.1.push(*f);
+                (RowKind::Float, self.float_rows.0.len() - 1)
             }
             // Unresolved refs, bools and nulls are not analytics-relevant.
-            _ => {}
-        }
+            _ => return,
+        };
+        self.rows_by_subject
+            .entry(subject)
+            .or_default()
+            .of_mut(kind)
+            .push(u32::try_from(at).expect("partition row overflow"));
     }
 
     /// Remove one `(subject, value)` row of the matching typed column.
-    /// Returns `false` if no such row exists. Only the one affected
-    /// partition is touched — the delta-maintenance fast path. Rows are
-    /// `swap_remove`d: frame consumers (joins, group-bys, semi joins) are
+    /// Returns `false` if no such row exists. The subject→row index
+    /// locates the row in O(rows of this subject) — amortized O(1) delta
+    /// replay instead of a linear partition scan. Rows are `swap_remove`d:
+    /// frame consumers (joins, group-bys, semi joins) are
     /// row-order-insensitive, and shifting a large partition per removal
     /// would turn bulk retraction quadratic.
     fn remove_row(&mut self, subject: u64, value: &Value) -> bool {
-        fn remove_one<T: PartialEq>(pair: &mut (Vec<u64>, Vec<T>), subject: u64, v: &T) -> bool {
-            match pair
-                .0
-                .iter()
-                .zip(pair.1.iter())
-                .position(|(s, x)| *s == subject && x == v)
-            {
-                Some(i) => {
-                    pair.0.swap_remove(i);
-                    pair.1.swap_remove(i);
-                    true
-                }
-                None => false,
-            }
-        }
+        let index = &mut self.rows_by_subject;
         match value {
-            Value::Entity(e) => remove_one(&mut self.ent_rows, subject, &e.0),
+            Value::Entity(e) => {
+                remove_indexed_row(&mut self.ent_rows, index, RowKind::Ent, subject, |x| {
+                    *x == e.0
+                })
+            }
             Value::Str(s) => {
-                let hit = remove_one(&mut self.str_rows, subject, s);
+                let hit =
+                    remove_indexed_row(&mut self.str_rows, index, RowKind::Str, subject, |x| {
+                        x == s
+                    });
                 if hit {
                     self.str_dict = std::sync::OnceLock::new();
                 }
                 hit
             }
-            Value::Int(i) => remove_one(&mut self.int_rows, subject, i),
+            Value::Int(i) => {
+                remove_indexed_row(&mut self.int_rows, index, RowKind::Int, subject, |x| x == i)
+            }
             Value::Float(f) => {
-                match self
-                    .float_rows
-                    .0
-                    .iter()
-                    .zip(self.float_rows.1.iter())
-                    .position(|(s, x)| *s == subject && x.to_bits() == f.to_bits())
-                {
-                    Some(i) => {
-                        self.float_rows.0.swap_remove(i);
-                        self.float_rows.1.swap_remove(i);
-                        true
-                    }
-                    None => false,
-                }
+                remove_indexed_row(&mut self.float_rows, index, RowKind::Float, subject, |x| {
+                    x.to_bits() == f.to_bits()
+                })
             }
             _ => false,
         }
@@ -791,6 +885,50 @@ mod tests {
             &[1],
             "untouched"
         );
+    }
+
+    #[test]
+    fn subject_row_index_survives_interleaved_removals() {
+        // Hammer one partition with out-of-order removals so every
+        // swap_remove relocates a row the index must re-point; any drift
+        // between the index and the columns would surface as a missed or
+        // phantom removal.
+        let mut table = PredTable::default();
+        let n = 500u64;
+        for s in 0..n {
+            table.push(s, &Value::Int(s as i64));
+            table.push(s, &Value::Int((s as i64) + 10_000));
+            table.push(s, &Value::Entity(EntityId(s % 7)));
+        }
+        // Remove in an order unrelated to insertion order.
+        for s in (0..n).rev().step_by(3) {
+            assert!(table.remove_row(s, &Value::Int(s as i64)), "int row {s}");
+            assert!(
+                !table.remove_row(s, &Value::Int(s as i64)),
+                "already gone {s}"
+            );
+        }
+        for s in (0..n).step_by(2) {
+            assert!(
+                table.remove_row(s, &Value::Entity(EntityId(s % 7))),
+                "ent row {s}"
+            );
+        }
+        // Every surviving row is still reachable through removal, and the
+        // bookkeeping matches the raw column lengths.
+        assert_eq!(
+            table.int_rows.0.len(),
+            2 * n as usize - n.div_ceil(3) as usize
+        );
+        for s in 0..n {
+            assert!(
+                table.remove_row(s, &Value::Int((s as i64) + 10_000)),
+                "second int row {s} survives"
+            );
+        }
+        // Only the first-loop survivors' Int(s) rows remain.
+        assert_eq!(table.int_rows.0.len(), n as usize - n.div_ceil(3) as usize);
+        assert_eq!(table.ent_rows.0.len(), n as usize - n.div_ceil(2) as usize);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //!   Fig. 8, implemented on both engines.
 //! * [`importance`] — entity importance: in/out-degree, identities and
 //!   PageRank aggregated into one score, registered as a view (§3.3).
+//! * [`serving`] — the stable serving entry point: [`StableRead`] exposes
+//!   the canonical KG through the backend-agnostic
+//!   [`GraphRead`](saga_core::GraphRead) API so query engines serve it
+//!   concurrently with construction.
 
 pub mod analytics;
 pub mod importance;
@@ -32,6 +36,7 @@ pub mod metastore;
 pub mod oplog;
 pub mod orchestration;
 pub mod production_views;
+pub mod serving;
 pub mod views;
 
 pub use analytics::{AnalyticsStore, Frame, FrameCol};
@@ -40,4 +45,5 @@ pub use legacy::{LegacyEngine, RowTable};
 pub use metastore::MetadataStore;
 pub use oplog::{IngestOp, OpKind, OperationLog};
 pub use orchestration::{AgentRunner, EntityIndexAgent, OrchestrationAgent, TextIndexAgent};
+pub use serving::StableRead;
 pub use views::{View, ViewData, ViewManager, ViewRegistration};

@@ -12,7 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use saga_core::{
-    intern, EntityId, EntityRecord, ExtendedTriple, FactMeta, FxHashMap, SourceId, Value,
+    intern, EntityId, EntityRecord, ExtendedTriple, FactMeta, FxHashMap, GraphRead, OverlayRead,
+    SourceId, Value,
 };
 use saga_ml::NerdStack;
 use saga_ontology::TypeRegistry;
@@ -178,6 +179,14 @@ impl LiveGraphBuilder {
             .get(&(source, event_id.to_string()))
             .map(|&(id, _)| id)
     }
+
+    /// The serving view of this builder's output: the continuously-updating
+    /// live KG overlaid on a stable backend ("the live KG is the union of a
+    /// view of the stable graph with real-time live sources", §4.1). Hand
+    /// the result to a `QueryEngine` to serve both layers through one API.
+    pub fn overlay<S: GraphRead>(&self, stable: S) -> OverlayRead<LiveKg, S> {
+        OverlayRead::new(self.live.clone(), stable)
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +336,51 @@ mod tests {
         let report = b.apply(&[score_event(1, 1, 1)]);
         assert_eq!(report.mentions_resolved, 0);
         assert_eq!(report.mentions_unresolved, 3);
+    }
+
+    #[test]
+    fn overlay_serves_live_events_and_stable_entities_together() {
+        use crate::kgq::{QueryBuilder, QueryEngine};
+        let kg = stable_kg();
+        let b = {
+            // A builder over an *empty* live KG (no stable preload) so the
+            // overlay, not the load, unifies the layers.
+            let live = LiveKg::new(4);
+            let nerd = NerdStack::new(
+                NerdEntityView::build(&kg, None),
+                StringEncoder::new(16, 512, 3, 2),
+                ContextualDisambiguator::default(),
+                NerdConfig {
+                    max_candidates: 8,
+                    confidence_threshold: 0.25,
+                },
+            );
+            LiveGraphBuilder::new(
+                live,
+                default_ontology().types().clone(),
+                Some(Arc::new(nerd)),
+            )
+        };
+        b.apply(&[score_event(1, 55, 51)]);
+        let game = b.entity_of(SourceId(50), "gsw-lal-2026-06-11").unwrap();
+        let engine = QueryEngine::new(b.overlay(kg));
+        // The streaming game resolves through the live layer…
+        let q = QueryBuilder::find()
+            .of_type("sports_game")
+            .edge_to_name("home_team", "Golden State Warriors")
+            .build()
+            .unwrap();
+        assert_eq!(engine.run(&q).unwrap().entities(), &[game]);
+        // …and the stable entity it references is served by the same engine.
+        let get = QueryBuilder::get(game)
+            .hop("home_team")
+            .hop("name")
+            .build()
+            .unwrap();
+        assert_eq!(
+            engine.run(&get).unwrap().values(),
+            &[saga_core::Value::str("Golden State Warriors")]
+        );
     }
 
     #[test]

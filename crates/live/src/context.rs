@@ -9,7 +9,7 @@
 //! * "Where is she from?" — new intent whose argument is the previous
 //!   *answer* entity.
 
-use saga_core::{EntityId, Result, SagaError};
+use saga_core::{EntityId, GraphRead, Result, SagaError};
 
 use crate::intent::{Intent, IntentArg, IntentHandler};
 use crate::kgq::QueryResult;
@@ -65,8 +65,14 @@ impl ContextGraph {
         self.turns.last().map(|t| t.intent.as_str())
     }
 
-    /// Execute a fresh intent, recording the turn.
-    pub fn ask(&mut self, handler: &IntentHandler, intent: Intent) -> Result<QueryResult> {
+    /// Execute a fresh intent, recording the turn. Generic over the
+    /// handler's [`GraphRead`] backend — multi-turn context works the same
+    /// over stable, live, or overlay serving.
+    pub fn ask<G: GraphRead>(
+        &mut self,
+        handler: &IntentHandler<G>,
+        intent: Intent,
+    ) -> Result<QueryResult> {
         let (result, arg) = handler.handle(&intent)?;
         self.turns.push(Turn {
             intent: intent.name,
@@ -77,7 +83,11 @@ impl ContextGraph {
     }
 
     /// "How about X?" — previous intent, new argument.
-    pub fn ask_same_intent(&mut self, handler: &IntentHandler, arg: &str) -> Result<QueryResult> {
+    pub fn ask_same_intent<G: GraphRead>(
+        &mut self,
+        handler: &IntentHandler<G>,
+        arg: &str,
+    ) -> Result<QueryResult> {
         let intent_name = self
             .last_intent()
             .ok_or_else(|| SagaError::Query("no prior intent in context".into()))?
@@ -87,9 +97,9 @@ impl ContextGraph {
 
     /// "Where is she from?" — new intent, argument bound to the previous
     /// answer entity from the context graph.
-    pub fn ask_about_last_answer(
+    pub fn ask_about_last_answer<G: GraphRead>(
         &mut self,
-        handler: &IntentHandler,
+        handler: &IntentHandler<G>,
         intent_name: &str,
     ) -> Result<QueryResult> {
         let referent = self
@@ -161,6 +171,50 @@ mod tests {
         assert_eq!(a3.entities(), &[EntityId(5)]);
         assert_eq!(ctx.len(), 3);
         assert_eq!(ctx.last().unwrap().intent, "Birthplace");
+    }
+
+    #[test]
+    fn multi_turn_context_works_over_an_overlay_backend() {
+        use saga_core::OverlayRead;
+        // Stable layer knows the spouse; the live layer hot-fixes the
+        // birthplace. The same context flow spans both through the overlay.
+        let mut stable = KnowledgeGraph::new();
+        let meta = || FactMeta::from_source(SourceId(1), 0.9);
+        stable.add_named_entity(EntityId(3), "Tom Hanks", "person", SourceId(1), 0.9);
+        stable.add_named_entity(EntityId(4), "Rita Wilson", "person", SourceId(1), 0.9);
+        stable.upsert_fact(ExtendedTriple::simple(
+            EntityId(3),
+            intern("spouse"),
+            Value::Entity(EntityId(4)),
+            meta(),
+        ));
+        let live = LiveKg::new(2);
+        let mut fixed = stable.entity(EntityId(4)).unwrap().clone();
+        fixed.triples.push(ExtendedTriple::simple(
+            EntityId(4),
+            intern("birthplace"),
+            Value::Entity(EntityId(5)),
+            meta(),
+        ));
+        live.upsert(fixed);
+        let mut live_city = saga_core::EntityRecord::new(EntityId(5));
+        live_city.triples.push(ExtendedTriple::simple(
+            EntityId(5),
+            intern("name"),
+            Value::str("Hollywood"),
+            meta(),
+        ));
+        live.upsert(live_city);
+
+        let handler = IntentHandler::new(QueryEngine::new(OverlayRead::new(live, stable)));
+        let mut ctx = ContextGraph::new();
+        let a1 = ctx
+            .ask(&handler, Intent::named("SpouseOf", "Tom Hanks"))
+            .unwrap();
+        assert_eq!(a1.entities(), &[EntityId(4)]);
+        // The birthplace only exists in the live layer.
+        let a2 = ctx.ask_about_last_answer(&handler, "Birthplace").unwrap();
+        assert_eq!(a2.entities(), &[EntityId(5)]);
     }
 
     #[test]

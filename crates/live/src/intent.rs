@@ -9,9 +9,10 @@
 //! each intent maps to an ordered list of candidate predicates, and the
 //! first predicate the argument entity actually carries wins.
 
-use saga_core::{intern, EntityId, FxHashMap, Result, SagaError};
+use saga_core::{intern, EntityId, FxHashMap, GraphRead, Result, SagaError};
 
-use crate::kgq::{QueryEngine, QueryResult};
+use crate::kgq::{QueryBuilder, QueryEngine, QueryResult};
+use crate::store::LiveKg;
 
 /// An annotated query intent: a name and its entity argument.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -49,15 +50,16 @@ impl Intent {
     }
 }
 
-/// Routes intents to KGQ executions.
-pub struct IntentHandler {
-    engine: QueryEngine,
+/// Routes intents to KGQ executions over any [`GraphRead`] backend
+/// (defaults to the live store).
+pub struct IntentHandler<G: GraphRead = LiveKg> {
+    engine: QueryEngine<G>,
     routes: FxHashMap<String, Vec<String>>,
 }
 
-impl IntentHandler {
+impl<G: GraphRead> IntentHandler<G> {
     /// A handler with the built-in intent routes.
-    pub fn new(engine: QueryEngine) -> Self {
+    pub fn new(engine: QueryEngine<G>) -> Self {
         let mut routes = FxHashMap::default();
         let mut add = |intent: &str, preds: &[&str]| {
             routes.insert(
@@ -84,21 +86,15 @@ impl IntentHandler {
     }
 
     /// The underlying query engine.
-    pub fn engine(&self) -> &QueryEngine {
+    pub fn engine(&self) -> &QueryEngine<G> {
         &self.engine
     }
 
     /// Resolve an intent argument to an entity.
     pub fn resolve_arg(&self, arg: &IntentArg) -> Option<EntityId> {
         match arg {
-            IntentArg::Id(id) => self.engine.live().contains(*id).then_some(*id),
-            IntentArg::Name(name) => self
-                .engine
-                .live()
-                .index()
-                .by_name(&name.to_lowercase())
-                .first()
-                .copied(),
+            IntentArg::Id(id) => self.engine.graph().contains(*id).then_some(*id),
+            IntentArg::Name(name) => self.engine.graph().resolve_name(name).first().copied(),
         }
     }
 
@@ -113,8 +109,8 @@ impl IntentHandler {
         })?;
         let record = self
             .engine
-            .live()
-            .get(entity)
+            .graph()
+            .record(entity)
             .ok_or_else(|| SagaError::Query("argument entity vanished".into()))?;
         // "Only one interpretation is meaningful according to the semantics
         // encoded in the KG": pick the first predicate the entity carries.
@@ -127,8 +123,9 @@ impl IntentHandler {
                     intent.name
                 ))
             })?;
-        let kgq = format!("GET AKG:{} . {}", entity.0, predicate);
-        Ok((self.engine.query(&kgq)?, entity))
+        // Typed construction — no KGQ-string formatting round-trip.
+        let query = QueryBuilder::get(entity).hop(predicate).build()?;
+        Ok((self.engine.run(&query)?, entity))
     }
 }
 
@@ -206,6 +203,26 @@ mod tests {
             .handle(&Intent::resolved("HeadOfState", EntityId(2)))
             .unwrap();
         assert_eq!(r.entities(), &[EntityId(4)]);
+    }
+
+    #[test]
+    fn intents_route_over_the_stable_backend_too() {
+        // Same handler logic, no live store: the stable KG serves directly.
+        let mut kg = KnowledgeGraph::new();
+        kg.add_named_entity(EntityId(1), "Canada", "place", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(3), "The PM", "person", SourceId(1), 0.9);
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("prime_minister"),
+            Value::Entity(EntityId(3)),
+            FactMeta::from_source(SourceId(1), 0.9),
+        ));
+        let handler = IntentHandler::new(QueryEngine::new(kg));
+        let (r, arg) = handler
+            .handle(&Intent::named("HeadOfState", "Canada"))
+            .unwrap();
+        assert_eq!(arg, EntityId(1));
+        assert_eq!(r.entities(), &[EntityId(3)]);
     }
 
     #[test]

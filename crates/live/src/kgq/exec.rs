@@ -1,17 +1,18 @@
-//! KGQ compilation and execution.
+//! KGQ compilation and execution over any [`GraphRead`] backend.
 //!
 //! Compilation expands virtual operators, resolves edge targets to entity
 //! ids, and lowers conditions directly to the unified triple index's
-//! [`ProbeKey`] vocabulary — the same probe path the stable KG serves.
-//! Execution intersects sorted posting lists per shard with galloping
-//! search (the smallest list drives, so operator pushdown falls out of the
-//! representation); `GET` paths walk the KV store.
+//! [`ProbeKey`] vocabulary — the probe path every backend (stable KG,
+//! sharded live store, live-over-stable overlay) implements. Execution
+//! plans `FIND` conjunctions by selectivity: an unsatisfiable probe
+//! short-circuits to an empty result before any posting is materialized,
+//! and the cheapest posting drives the intersection. `GET` paths walk
+//! point record reads.
 
-use saga_core::{intern, EntityId, ProbeKey, Result, SagaError, Symbol, Value};
+use saga_core::{intern, EntityId, GraphRead, ProbeKey, Result, SagaError, Symbol, Value};
 
 use crate::kgq::parser::{Condition, Query, Target};
 use crate::kgq::QueryEngine;
-use crate::store::LiveKg;
 
 /// One lowered index probe: a shared [`ProbeKey`], or a condition known at
 /// compile time to match nothing.
@@ -104,19 +105,16 @@ impl QueryResult {
     }
 }
 
-fn resolve_target(live: &LiveKg, target: &Target) -> Option<EntityId> {
+fn resolve_target<G: GraphRead>(graph: &G, target: &Target) -> Option<EntityId> {
     match target {
-        Target::Id(id) => live.contains(*id).then_some(*id),
-        Target::Name(name) => {
-            let hits = live.index().by_name(&name.to_lowercase());
-            hits.first().copied()
-        }
+        Target::Id(id) => graph.contains(*id).then_some(*id),
+        Target::Name(name) => graph.resolve_name(name).first().copied(),
     }
 }
 
 /// Compile a parsed query against the engine (expands virtual operators,
-/// resolves edge targets).
-pub fn compile(engine: &QueryEngine, query: &Query) -> Result<Plan> {
+/// resolves edge targets against the engine's backend).
+pub fn compile<G: GraphRead>(engine: &QueryEngine<G>, query: &Query) -> Result<Plan> {
     match query {
         Query::Get { start, path } => Ok(Plan::Get {
             start: start.clone(),
@@ -156,7 +154,7 @@ pub fn compile(engine: &QueryEngine, query: &Query) -> Result<Plan> {
                         probes.push(Probe::literal(intern(&pred), value))
                     }
                     Condition::RelTo { pred, target } => {
-                        match resolve_target(engine.live(), &target) {
+                        match resolve_target(engine.graph(), &target) {
                             Some(id) => probes.push(Probe::edge(intern(&pred), id)),
                             None => probes.push(Probe::Unsatisfiable),
                         }
@@ -172,8 +170,8 @@ pub fn compile(engine: &QueryEngine, query: &Query) -> Result<Plan> {
     }
 }
 
-/// Execute a compiled plan against the live KG.
-pub fn execute(live: &LiveKg, plan: &Plan) -> Result<QueryResult> {
+/// Execute a compiled plan against a [`GraphRead`] backend.
+pub fn execute<G: GraphRead>(graph: &G, plan: &Plan) -> Result<QueryResult> {
     match plan {
         Plan::Find { probes, limit } => {
             if probes.is_empty() {
@@ -182,9 +180,6 @@ pub fn execute(live: &LiveKg, plan: &Plan) -> Result<QueryResult> {
             if probes.iter().any(|p| matches!(p, Probe::Unsatisfiable)) {
                 return Ok(QueryResult::Entities(Vec::new()));
             }
-            // One shared probe path: per-shard galloping intersection over
-            // the striped TripleIndex (the smallest posting list drives, so
-            // the old explicit selectivity sort is subsumed).
             let keys: Vec<ProbeKey> = probes
                 .iter()
                 .map(|p| match p {
@@ -192,12 +187,17 @@ pub fn execute(live: &LiveKg, plan: &Plan) -> Result<QueryResult> {
                     Probe::Unsatisfiable => unreachable!("checked above"),
                 })
                 .collect();
-            let mut result = live.index().probe_all(&keys);
+            // Selectivity planning is the backend's contract: every
+            // `probe_all` selects the cheapest posting as the driver and
+            // short-circuits certainly-empty probes, so a second
+            // selectivity pass here would only double the posting-length
+            // lookups (per shard, for the live store) on the hot path.
+            let mut result = graph.probe_all(&keys);
             result.truncate(*limit);
             Ok(QueryResult::Entities(result))
         }
         Plan::Get { start, path } => {
-            let Some(start_id) = resolve_target(live, start) else {
+            let Some(start_id) = resolve_target(graph, start) else {
                 return Ok(QueryResult::Entities(Vec::new()));
             };
             let mut frontier = vec![start_id];
@@ -207,7 +207,7 @@ pub fn execute(live: &LiveKg, plan: &Plan) -> Result<QueryResult> {
                 let mut next = Vec::new();
                 terminal_values.clear();
                 for id in &frontier {
-                    let Some(record) = live.get(*id) else {
+                    let Some(record) = graph.record(*id) else {
                         continue;
                     };
                     for v in record.values(pred) {
@@ -254,9 +254,10 @@ pub fn execute(live: &LiveKg, plan: &Plan) -> Result<QueryResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::{ExtendedTriple, FactMeta, KnowledgeGraph, SourceId};
+    use crate::store::LiveKg;
+    use saga_core::{ExtendedTriple, FactMeta, KnowledgeGraph, OverlayRead, SourceId};
 
-    fn demo_engine() -> QueryEngine {
+    fn demo_kg() -> KnowledgeGraph {
         let mut kg = KnowledgeGraph::new();
         let meta = || FactMeta::from_source(SourceId(1), 0.9);
         kg.add_named_entity(EntityId(1), "Beyoncé", "music_artist", SourceId(1), 0.9);
@@ -293,52 +294,65 @@ mod tests {
             Value::Entity(EntityId(4)),
             meta(),
         ));
+        kg
+    }
+
+    fn demo_engine() -> QueryEngine {
         let live = LiveKg::new(4);
-        live.load_stable(&kg);
+        live.load_stable(&demo_kg());
         QueryEngine::new(live)
     }
 
-    #[test]
-    fn find_by_name_and_type() {
-        let eng = demo_engine();
-        let r = eng
-            .query(r#"FIND music_artist WHERE name = "Beyoncé""#)
-            .unwrap();
-        assert_eq!(r.entities(), &[EntityId(1)]);
-        // Type filter excludes the song even though names differ anyway.
-        let r2 = eng
-            .query(r#"FIND song WHERE performed_by -> entity("Beyoncé")"#)
-            .unwrap();
-        assert_eq!(r2.entities(), &[EntityId(3)]);
+    /// The §4.2 KGQ scenarios executed against every backend through the
+    /// one generic engine: stable KG, sharded live store, and overlay.
+    fn on_every_backend(check: impl Fn(&str, &dyn Fn(&str) -> Result<QueryResult>)) {
+        let kg = demo_kg();
+        let stable_engine = QueryEngine::new(kg.clone());
+        check("stable", &|q| stable_engine.query(q));
+
+        let live = LiveKg::new(4);
+        live.load_stable(&kg);
+        let live_engine = QueryEngine::new(live.clone());
+        check("live", &|q| live_engine.query(q));
+
+        let overlay_engine = QueryEngine::new(OverlayRead::new(live, kg));
+        check("overlay", &|q| overlay_engine.query(q));
     }
 
     #[test]
-    fn find_with_literal_and_edge_conjunction() {
-        let eng = demo_engine();
-        let r = eng
-            .query(r#"FIND song WHERE duration_s = 261 AND performed_by -> AKG:1"#)
-            .unwrap();
-        assert_eq!(r.entities(), &[EntityId(3)]);
-        let none = eng
-            .query(r#"FIND song WHERE duration_s = 100 AND performed_by -> AKG:1"#)
-            .unwrap();
-        assert!(none.is_empty());
+    fn find_by_name_and_type_on_all_backends() {
+        on_every_backend(|backend, query| {
+            let r = query(r#"FIND music_artist WHERE name = "Beyoncé""#).unwrap();
+            assert_eq!(r.entities(), &[EntityId(1)], "{backend}");
+            let r2 = query(r#"FIND song WHERE performed_by -> entity("Beyoncé")"#).unwrap();
+            assert_eq!(r2.entities(), &[EntityId(3)], "{backend}");
+        });
     }
 
     #[test]
-    fn get_multi_hop_paths() {
-        let eng = demo_engine();
-        // GET "Beyoncé" . spouse → Jay-Z (entity result).
-        let r = eng.query(r#"GET "Beyoncé" . spouse"#).unwrap();
-        assert_eq!(r.entities(), &[EntityId(2)]);
-        // Two hops ending on a literal.
-        let r2 = eng.query(r#"GET "Beyoncé" . spouse . name"#).unwrap();
-        assert_eq!(r2.values(), &[Value::str("Jay-Z")]);
-        // Three hops: spouse → birthplace → name.
-        let r3 = eng
-            .query(r#"GET AKG:1 . spouse . birthplace . name"#)
-            .unwrap();
-        assert_eq!(r3.values(), &[Value::str("Hollywood")]);
+    fn find_with_literal_and_edge_conjunction_on_all_backends() {
+        on_every_backend(|backend, query| {
+            let r = query(r#"FIND song WHERE duration_s = 261 AND performed_by -> AKG:1"#).unwrap();
+            assert_eq!(r.entities(), &[EntityId(3)], "{backend}");
+            let none =
+                query(r#"FIND song WHERE duration_s = 100 AND performed_by -> AKG:1"#).unwrap();
+            assert!(none.is_empty(), "{backend}");
+        });
+    }
+
+    #[test]
+    fn get_multi_hop_paths_on_all_backends() {
+        on_every_backend(|backend, query| {
+            // GET "Beyoncé" . spouse → Jay-Z (entity result).
+            let r = query(r#"GET "Beyoncé" . spouse"#).unwrap();
+            assert_eq!(r.entities(), &[EntityId(2)], "{backend}");
+            // Two hops ending on a literal.
+            let r2 = query(r#"GET "Beyoncé" . spouse . name"#).unwrap();
+            assert_eq!(r2.values(), &[Value::str("Jay-Z")], "{backend}");
+            // Three hops: spouse → birthplace → name.
+            let r3 = query(r#"GET AKG:1 . spouse . birthplace . name"#).unwrap();
+            assert_eq!(r3.values(), &[Value::str("Hollywood")], "{backend}");
+        });
     }
 
     #[test]
@@ -379,6 +393,35 @@ mod tests {
         assert_eq!(eng.cached_plans(), 1, "identical text compiles once");
         eng.invalidate_plans();
         assert_eq!(eng.cached_plans(), 0);
+    }
+
+    #[test]
+    fn stale_plans_recompile_after_writes() {
+        // A plan that resolved an edge target by name must see a renamed
+        // target after the backend's generation moves.
+        let live = LiveKg::new(2);
+        live.load_stable(&demo_kg());
+        let eng = QueryEngine::new(live.clone());
+        let q = r#"FIND song WHERE performed_by -> entity("Beyoncé")"#;
+        assert_eq!(eng.query(q).unwrap().entities(), &[EntityId(3)]);
+        // Rename the target: the cached compile-time resolution is stale.
+        let mut rec = live.get(EntityId(1)).unwrap();
+        for t in &mut rec.triples {
+            if t.predicate == intern("name") {
+                t.object = Value::str("Queen B");
+            }
+        }
+        live.upsert(rec);
+        assert!(
+            eng.query(q).unwrap().is_empty(),
+            "generation bump forces recompile; the old name no longer resolves"
+        );
+        assert_eq!(
+            eng.query(r#"FIND song WHERE performed_by -> entity("Queen B")"#)
+                .unwrap()
+                .entities(),
+            &[EntityId(3)]
+        );
     }
 
     #[test]

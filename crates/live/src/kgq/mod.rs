@@ -19,17 +19,27 @@
 //! GET "Beyoncé" . spouse . name
 //! ```
 //!
-//! Queries compile to physical plans (index probes ordered by selectivity
-//! + intersection — operator pushdown) that are cached per query text.
+//! Library callers skip the text round-trip entirely and build the same
+//! [`Query`] AST through the typed [`QueryBuilder`].
+//!
+//! The engine is generic over [`GraphRead`], so the same parser, compiler,
+//! executor and plan cache serve the stable KG, the sharded live store, or
+//! a live-over-stable [`OverlayRead`](saga_core::OverlayRead). Queries
+//! compile to physical plans (index probes ordered by selectivity +
+//! intersection — operator pushdown) that are cached per query text and
+//! invalidated through the backend's [`generation`](GraphRead::generation)
+//! counter.
 
+pub mod builder;
 pub mod exec;
 pub mod parser;
 
+pub use builder::{FindBuilder, GetBuilder, QueryBuilder};
 pub use exec::{compile, execute, Plan, QueryResult};
 pub use parser::{parse, Condition, Query, Target};
 
 use parking_lot::RwLock;
-use saga_core::{FxHashMap, Result, SagaError};
+use saga_core::{FxHashMap, GraphRead, Result, SagaError};
 use std::sync::Arc;
 
 use crate::store::LiveKg;
@@ -38,27 +48,50 @@ use crate::store::LiveKg;
 /// compile time, "facilitating easy reuse of complex expressions".
 pub type VirtualOp = Arc<dyn Fn(&[String]) -> Result<Vec<Condition>> + Send + Sync>;
 
-/// The Live KG Query Engine: parser + compiler + executor + plan cache.
-#[derive(Clone)]
-pub struct QueryEngine {
-    live: LiveKg,
-    virtual_ops: Arc<RwLock<FxHashMap<String, VirtualOp>>>,
-    plan_cache: Arc<RwLock<FxHashMap<String, Arc<Plan>>>>,
+/// One cached physical plan, tagged with the backend generation it was
+/// compiled at (compile-time-resolved edge targets go stale on writes).
+struct CachedPlan {
+    generation: u64,
+    plan: Arc<Plan>,
 }
 
-impl QueryEngine {
-    /// An engine over a live KG.
-    pub fn new(live: LiveKg) -> Self {
+/// The KG Query Engine: parser + compiler + executor + plan cache, generic
+/// over the [`GraphRead`] backend it serves (defaults to the live store).
+pub struct QueryEngine<G: GraphRead = LiveKg> {
+    graph: G,
+    virtual_ops: Arc<RwLock<FxHashMap<String, VirtualOp>>>,
+    plan_cache: Arc<RwLock<FxHashMap<String, CachedPlan>>>,
+}
+
+impl<G: GraphRead + Clone> Clone for QueryEngine<G> {
+    fn clone(&self) -> Self {
         QueryEngine {
-            live,
+            graph: self.graph.clone(),
+            virtual_ops: Arc::clone(&self.virtual_ops),
+            plan_cache: Arc::clone(&self.plan_cache),
+        }
+    }
+}
+
+impl<G: GraphRead> QueryEngine<G> {
+    /// An engine over any [`GraphRead`] backend.
+    pub fn new(graph: G) -> Self {
+        QueryEngine {
+            graph,
             virtual_ops: Arc::new(RwLock::new(FxHashMap::default())),
             plan_cache: Arc::new(RwLock::new(FxHashMap::default())),
         }
     }
 
-    /// The underlying live KG.
-    pub fn live(&self) -> &LiveKg {
-        &self.live
+    /// The backend being served.
+    pub fn graph(&self) -> &G {
+        &self.graph
+    }
+
+    /// The backend being served (historical alias of [`graph`](Self::graph)
+    /// from when the engine was hardwired to the live store).
+    pub fn live(&self) -> &G {
+        &self.graph
     }
 
     /// Register a virtual operator under `name`.
@@ -81,17 +114,34 @@ impl QueryEngine {
         op(args)
     }
 
-    /// Parse, compile (with plan caching) and execute a KGQ query.
+    /// Parse, compile (with generation-checked plan caching) and execute a
+    /// KGQ query.
     pub fn query(&self, text: &str) -> Result<QueryResult> {
-        if let Some(plan) = self.plan_cache.read().get(text) {
-            return execute(&self.live, plan);
+        let generation = self.graph.generation();
+        if let Some(cached) = self.plan_cache.read().get(text) {
+            if cached.generation == generation {
+                return execute(&self.graph, &cached.plan);
+            }
         }
         let ast = parse(text)?;
         let plan = Arc::new(compile(self, &ast)?);
-        self.plan_cache
-            .write()
-            .insert(text.to_string(), Arc::clone(&plan));
-        execute(&self.live, &plan)
+        self.plan_cache.write().insert(
+            text.to_string(),
+            CachedPlan {
+                generation,
+                plan: Arc::clone(&plan),
+            },
+        );
+        execute(&self.graph, &plan)
+    }
+
+    /// Compile and execute a programmatically built [`Query`] (see
+    /// [`QueryBuilder`]). Built queries skip the text plan cache — callers
+    /// that reuse one repeatedly should hold the compiled [`Plan`] via
+    /// [`compile`] + [`execute`].
+    pub fn run(&self, query: &Query) -> Result<QueryResult> {
+        let plan = compile(self, query)?;
+        execute(&self.graph, &plan)
     }
 
     /// Number of cached plans (observability/tests).
@@ -99,8 +149,9 @@ impl QueryEngine {
         self.plan_cache.read().len()
     }
 
-    /// Invalidate the plan cache (after schema-affecting changes; edge
-    /// targets are resolved at compile time).
+    /// Invalidate the plan cache explicitly. Usually unnecessary: cached
+    /// plans are re-checked against the backend's generation counter and
+    /// recompiled on mismatch.
     pub fn invalidate_plans(&self) {
         self.plan_cache.write().clear();
     }

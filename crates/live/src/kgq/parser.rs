@@ -1,4 +1,9 @@
 //! KGQ lexer and recursive-descent parser.
+//!
+//! Parsing is one of two entry points into the [`Query`] AST: library
+//! callers can skip the text round-trip and build the identical AST with
+//! the typed [`QueryBuilder`](crate::kgq::QueryBuilder), which enforces
+//! the same bounds ([`MAX_PATH_DEPTH`], [`MAX_LIMIT`]) at build time.
 
 use saga_core::{EntityId, Result, SagaError, Value};
 

@@ -12,8 +12,12 @@
 //!   Resolution service (§4.1).
 //! * [`kgq`] — the KGQ query language: a deliberately *bounded* graph query
 //!   language (traversal constraints, no recursion) compiled to physical
-//!   plans over the indexes, with virtual operators and a plan cache
-//!   (§4.2).
+//!   plans over the indexes, with virtual operators, a typed
+//!   [`QueryBuilder`] for programmatic construction, and a
+//!   generation-checked plan cache (§4.2). The engine is generic over
+//!   [`GraphRead`](saga_core::GraphRead): the same queries execute
+//!   unchanged against the stable KG, the sharded live store, or a
+//!   live-over-stable [`OverlayRead`](saga_core::OverlayRead).
 //! * [`intent`] — query-intent handling: the same intent routes to
 //!   different KGQ queries depending on entity semantics
 //!   (`HeadOfState(Canada)` → `prime_minister`, `HeadOfState(Chicago)` →
@@ -34,5 +38,5 @@ pub use construction::{LiveEvent, LiveGraphBuilder};
 pub use context::ContextGraph;
 pub use curation::{CurationAction, CurationPipeline};
 pub use intent::{Intent, IntentHandler};
-pub use kgq::{compile, execute, parse, Plan, Query, QueryEngine, QueryResult};
-pub use store::{LiveKg, ShardedTripleIndex};
+pub use kgq::{compile, execute, parse, Plan, Query, QueryBuilder, QueryEngine, QueryResult};
+pub use store::{LiveKg, ShardedTripleIndex, PARALLEL_PROBE_MIN_WORK};

@@ -5,17 +5,25 @@
 //!
 //! [`LiveKg`] shards entity records across lock-striped maps (point reads
 //! take one shard read-lock); [`ShardedTripleIndex`] stripes the *same*
-//! [`TripleIndex`](saga_core::TripleIndex) the stable KG maintains, so
+//! [`TripleIndex`] the stable KG maintains, so
 //! stable and live serving share one probe path ([`ProbeKey`]) and one
 //! posting representation. Shards partition the entity-id space, which
 //! makes conjunctive probes embarrassingly parallel: each shard intersects
 //! its own sorted postings and the disjoint results concatenate in order.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 use saga_core::index::intersect_sorted;
-use saga_core::{EntityId, EntityRecord, FxHashMap, ProbeKey, Symbol, TripleIndex, Value};
+use saga_core::{
+    EntityId, EntityRecord, FxHashMap, GraphRead, ProbeKey, Symbol, TripleIndex, Value,
+};
+
+/// Driver-posting length below which [`ShardedTripleIndex::probe_all`]
+/// evaluates shards serially — spawning scoped threads costs more than the
+/// whole intersection for small postings.
+pub const PARALLEL_PROBE_MIN_WORK: usize = 2048;
 
 /// The unified triple index under lock striping: shard `i` indexes the
 /// entities with `id % shards == i`. Replaces the legacy single-lock
@@ -63,17 +71,58 @@ impl ShardedTripleIndex {
 
     /// Conjunction of probes: intersect within each shard, then merge the
     /// (disjoint) per-shard results.
+    ///
+    /// Shards partition the id space, so they are evaluated independently —
+    /// in parallel with scoped threads once the driving posting is large
+    /// enough ([`PARALLEL_PROBE_MIN_WORK`]) to amortize the spawns. Results
+    /// are deterministic either way: per-shard hits are disjoint and the
+    /// post-merge sort fixes one global order.
     pub fn probe_all(&self, probes: &[ProbeKey]) -> Vec<EntityId> {
-        let mut per_shard: Vec<Vec<EntityId>> = self
-            .shards
+        if probes.is_empty() {
+            return Vec::new();
+        }
+        // The cheapest posting bounds the per-shard driver work; an empty
+        // one short-circuits the whole conjunction.
+        let driver = probes
             .iter()
-            .map(|shard| {
-                let idx = shard.read();
-                let lists: Vec<&[EntityId]> = probes.iter().map(|p| idx.postings(p)).collect();
-                intersect_sorted(&lists)
-            })
-            .collect();
+            .map(|p| self.selectivity(p))
+            .min()
+            .unwrap_or(0);
+        if driver == 0 {
+            return Vec::new();
+        }
+        let intersect_shard = |shard: &RwLock<TripleIndex>| {
+            let idx = shard.read();
+            let lists: Vec<&[EntityId]> = probes.iter().map(|p| idx.postings(p)).collect();
+            intersect_sorted(&lists)
+        };
+        let mut per_shard: Vec<Vec<EntityId>> =
+            if self.shards.len() > 1 && driver >= PARALLEL_PROBE_MIN_WORK {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = self
+                        .shards
+                        .iter()
+                        .map(|shard| scope.spawn(move || intersect_shard(shard)))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("shard probe panicked"))
+                        .collect()
+                })
+            } else {
+                self.shards.iter().map(intersect_shard).collect()
+            };
         merge_sorted(&mut per_shard)
+    }
+
+    /// True if `id` is in the probe's posting list — a single-shard binary
+    /// search, no cross-shard merge.
+    pub fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {
+        self.shards[self.shard_of(id)]
+            .read()
+            .postings(probe)
+            .binary_search(&id)
+            .is_ok()
     }
 
     /// Total posting length of a probe (selectivity estimation).
@@ -138,6 +187,8 @@ pub struct LiveKg {
     shards: Arc<Vec<RwLock<FxHashMap<EntityId, EntityRecord>>>>,
     index: Arc<ShardedTripleIndex>,
     shard_count: usize,
+    /// Bumped on every write — the [`GraphRead`] plan-cache signal.
+    generation: Arc<AtomicU64>,
 }
 
 impl LiveKg {
@@ -148,6 +199,7 @@ impl LiveKg {
             shards: Arc::new((0..n).map(|_| RwLock::new(FxHashMap::default())).collect()),
             index: Arc::new(ShardedTripleIndex::new(n)),
             shard_count: n,
+            generation: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -162,6 +214,7 @@ impl LiveKg {
         let mut map = self.shards[shard].write();
         self.index.index(&record);
         map.insert(record.id, record);
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Remove an entity.
@@ -171,6 +224,7 @@ impl LiveKg {
         match map.remove(&id) {
             Some(_) => {
                 self.index.unindex(id);
+                self.generation.fetch_add(1, Ordering::Release);
                 true
             }
             None => false,
@@ -209,6 +263,39 @@ impl LiveKg {
         for record in kg.entities() {
             self.upsert(record.clone());
         }
+    }
+}
+
+/// The live store serves through the same probe vocabulary as the stable
+/// KG; conjunctions fan out per shard (see
+/// [`ShardedTripleIndex::probe_all`]).
+impl GraphRead for LiveKg {
+    fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
+        self.index.postings(probe)
+    }
+
+    fn selectivity(&self, probe: &ProbeKey) -> usize {
+        self.index.selectivity(probe)
+    }
+
+    fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {
+        self.index.probe_contains(probe, id)
+    }
+
+    fn record(&self, id: EntityId) -> Option<EntityRecord> {
+        self.get(id)
+    }
+
+    fn contains(&self, id: EntityId) -> bool {
+        LiveKg::contains(self, id)
+    }
+
+    fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    fn probe_all(&self, probes: &[ProbeKey]) -> Vec<EntityId> {
+        self.index.probe_all(probes)
     }
 }
 
@@ -323,6 +410,57 @@ mod tests {
             ProbeKey::Name("player".into()),
         ]);
         assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn parallel_fanout_matches_serial_above_threshold() {
+        // Enough entities that the type posting exceeds
+        // PARALLEL_PROBE_MIN_WORK and probe_all takes the scoped-thread
+        // path; results must stay sorted and identical to the serial path.
+        let live = LiveKg::new(8);
+        let n = (PARALLEL_PROBE_MIN_WORK as u64) * 2 + 17;
+        for i in 1..=n {
+            live.upsert(record(i, &format!("Player {i}"), "athlete"));
+        }
+        let probes = [
+            ProbeKey::Type(intern("athlete")),
+            ProbeKey::Name("player".into()),
+        ];
+        assert!(live.index().selectivity(&probes[0]) >= PARALLEL_PROBE_MIN_WORK);
+        let hits = live.index().probe_all(&probes);
+        let expected: Vec<EntityId> = (1..=n).map(EntityId).collect();
+        assert_eq!(hits, expected);
+        // The single-lock reference path agrees.
+        let single = LiveKg::new(1);
+        for i in 1..=n {
+            single.upsert(record(i, &format!("Player {i}"), "athlete"));
+        }
+        assert_eq!(single.index().probe_all(&probes), expected);
+    }
+
+    #[test]
+    fn graph_read_api_over_the_live_store() {
+        let live = LiveKg::new(4);
+        let g0 = GraphRead::generation(&live);
+        live.upsert(record(1, "Golden State Warriors", "sports_team"));
+        assert!(GraphRead::generation(&live) > g0, "writes bump generation");
+        assert_eq!(
+            live.postings(&ProbeKey::Type(intern("sports_team"))),
+            vec![EntityId(1)]
+        );
+        assert!(live.probe_contains(&ProbeKey::Name("warriors".into()), EntityId(1)));
+        assert_eq!(
+            live.resolve_name("Golden State Warriors"),
+            vec![EntityId(1)]
+        );
+        assert_eq!(
+            GraphRead::record(&live, EntityId(1)).unwrap().name(),
+            Some("Golden State Warriors")
+        );
+        let g1 = GraphRead::generation(&live);
+        live.remove(EntityId(1));
+        assert!(GraphRead::generation(&live) > g1, "removals bump too");
+        assert!(!GraphRead::contains(&live, EntityId(1)));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Knowledge-graph embeddings (§5.3).
 //!
-//! Saga trains multiple embedding models (TransE [10], DistMult [85]) over
+//! Saga trains multiple embedding models (TransE \[10\], DistMult \[85\]) over
 //! the relationship-only view of the KG and serves them through the Vector
 //! DB to unify fact ranking, fact verification and missing-fact imputation.
 //!

@@ -2,7 +2,7 @@
 //!
 //! The Vector DB component of the Graph Engine (§3.1, Fig. 6).
 //!
-//! Stores dense embeddings keyed by [`EntityId`], supports exact and
+//! Stores dense embeddings keyed by [`EntityId`](saga_core::EntityId), supports exact and
 //! IVF-Flat approximate nearest-neighbour search under cosine / dot / L2
 //! metrics, and attribute filtering (e.g. "people embeddings only" — the
 //! Fig. 7 cross-engine view filters graph embeddings by entity type).

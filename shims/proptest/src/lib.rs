@@ -1,8 +1,8 @@
 //! Offline stand-in for the `proptest` crate (the registry is not reachable
 //! from the build environment). Implements the subset of the proptest API
 //! this workspace uses: the [`proptest!`] test macro, `prop_assert*`
-//! assertions, [`Strategy`] with `prop_map`, [`prop_oneof!`], [`Just`],
-//! [`any`], numeric-range strategies, character-class string strategies
+//! assertions, [`Strategy`](strategy::Strategy) with `prop_map`, [`prop_oneof!`],
+//! [`Just`](strategy::Just), [`any`](strategy::any), numeric-range strategies, character-class string strategies
 //! (`"[a-z0-9_]{1,12}"`), tuple strategies and [`collection::vec`].
 //!
 //! Differences from upstream, deliberately accepted:
