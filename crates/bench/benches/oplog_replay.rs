@@ -1,0 +1,104 @@
+//! Oplog bench: append throughput of delta-carrying operations and
+//! replay-to-replica throughput at a ≥100k-fact corpus.
+//!
+//! Tracks the two costs the log-shipping refactor introduced on the write
+//! path (serializing delta payloads into the durable sink under different
+//! flush policies) and the one it removed from the read path (a replica
+//! now rebuilds from the log alone — no KG consultation). The corpus is
+//! the NerdWorld ambiguity workload also used by `kgq_probe`, so replica
+//! throughput is measured against a realistic fact distribution.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use saga_bench::nerdworld::ambiguous_world;
+use saga_core::index::flatten;
+use saga_core::{Delta, DeltaFact, KnowledgeGraph, Lsn};
+use saga_graph::{FlushPolicy, OpKind, OperationLog};
+use saga_live::LiveReplica;
+
+/// One snapshot-bootstrap op stream: every entity's facts as an added-only
+/// delta, `chunk` entities per operation.
+fn snapshot_ops(kg: &KnowledgeGraph, chunk: usize) -> Vec<Vec<Delta>> {
+    let mut deltas: Vec<Delta> = kg
+        .entities()
+        .map(|rec| Delta {
+            entity: rec.id,
+            added: rec
+                .triples
+                .iter()
+                .filter_map(flatten)
+                .map(|(predicate, object)| DeltaFact { predicate, object })
+                .collect(),
+            removed: Vec::new(),
+        })
+        .collect();
+    // Deterministic op stream regardless of hash-map iteration order.
+    deltas.sort_unstable_by_key(|d| d.entity);
+    deltas.chunks(chunk).map(<[Delta]>::to_vec).collect()
+}
+
+fn bench_oplog(c: &mut Criterion) {
+    let world = ambiguous_world(42, 1_500);
+    let kg = world.kg;
+    assert!(
+        kg.fact_count() >= 100_000,
+        "workload too small: {}",
+        kg.fact_count()
+    );
+    let ops = snapshot_ops(&kg, 100);
+
+    let mut group = c.benchmark_group("oplog_replay");
+
+    // Append path: the full 100k-fact op stream into an in-memory log.
+    group.bench_function("append_in_memory_100k_facts", |b| {
+        b.iter(|| {
+            let log = OperationLog::in_memory();
+            for deltas in &ops {
+                log.append_op(OpKind::Upsert, deltas.clone()).unwrap();
+            }
+            log.head()
+        });
+    });
+
+    // Durable append under the default flush policy (serialization + one
+    // flushed write per op). A short stream keeps the per-iter cost sane.
+    let short: Vec<Vec<Delta>> = ops.iter().take(50).cloned().collect();
+    group.bench_function("append_durable_flush_50_ops", |b| {
+        let path =
+            std::env::temp_dir().join(format!("saga_oplog_bench_{}.jsonl", std::process::id()));
+        b.iter(|| {
+            let _ = std::fs::remove_file(&path);
+            let log = OperationLog::durable_with(&path, FlushPolicy::Flush).unwrap();
+            for deltas in &short {
+                log.append_op(OpKind::Upsert, deltas.clone()).unwrap();
+            }
+            log.head()
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+
+    // Replay path: rebuild a serving replica from the log alone.
+    let log = Arc::new(OperationLog::in_memory());
+    for deltas in &ops {
+        log.append_op(OpKind::Upsert, deltas.clone()).unwrap();
+    }
+    group.bench_function("replay_to_replica_100k_facts", |b| {
+        b.iter(|| {
+            let mut replica = LiveReplica::new(16, Arc::clone(&log));
+            let applied = replica.catch_up().unwrap();
+            assert_eq!(replica.watermark(), log.head());
+            applied
+        });
+    });
+    group.finish();
+
+    // Sanity outside the timed loops: the replica serves the same corpus.
+    let mut replica = LiveReplica::new(16, Arc::clone(&log));
+    replica.catch_up().unwrap();
+    assert_eq!(replica.live().len(), kg.entity_count());
+    assert_eq!(replica.watermark(), Lsn(ops.len() as u64));
+}
+
+criterion_group!(benches, bench_oplog);
+criterion_main!(benches);

@@ -122,8 +122,17 @@ impl PostingList {
 pub struct TripleIndex {
     /// Object-value dictionary: interning side.
     obj_ids: FxHashMap<Value, ObjId>,
-    /// Object-value dictionary: resolution side.
+    /// Object-value dictionary: resolution side. Freed slots hold
+    /// `Value::Null` placeholders until reused.
     obj_values: Vec<Value>,
+    /// Per-slot reference counts: total fact occurrences (across all
+    /// subjects) whose object resolves to this slot. A slot whose count
+    /// returns to zero is evicted from `obj_ids` and recycled through
+    /// `obj_free`, so high-churn volatile values stop accumulating dead
+    /// dictionary entries.
+    obj_refs: Vec<u32>,
+    /// Recycled dictionary slots awaiting reuse.
+    obj_free: Vec<u32>,
     /// SPO: per-subject sorted `(predicate, object)` columns (multiset).
     spo: FxHashMap<EntityId, Vec<(Symbol, ObjId)>>,
     /// POS: `(predicate, object)` posting lists.
@@ -188,13 +197,26 @@ impl TripleIndex {
     }
 
     fn obj_id(&mut self, value: &Value) -> ObjId {
-        if let Some(&id) = self.obj_ids.get(value) {
-            return id;
-        }
-        let id = ObjId(u32::try_from(self.obj_values.len()).expect("object dictionary overflow"));
-        self.obj_values.push(value.clone());
-        self.obj_ids.insert(value.clone(), id);
-        id
+        intern_obj(
+            &mut self.obj_ids,
+            &mut self.obj_values,
+            &mut self.obj_refs,
+            &mut self.obj_free,
+            value,
+        )
+    }
+
+    /// Number of *live* object-dictionary entries (values currently
+    /// referenced by at least one indexed fact).
+    pub fn obj_dict_len(&self) -> usize {
+        self.obj_values.len() - self.obj_free.len()
+    }
+
+    /// Total dictionary slots ever allocated (live + recycled). Bounded by
+    /// the peak number of distinct concurrently-indexed values, not by
+    /// churn — the invariant the volatile-overwrite churn tests assert.
+    pub fn obj_dict_slots(&self) -> usize {
+        self.obj_values.len()
     }
 
     fn lookup_obj(&self, value: &Value) -> Option<ObjId> {
@@ -303,6 +325,9 @@ impl TripleIndex {
         let subject_facts = self.spo.entry(entity).or_default();
         // Multiset row maintenance first…
         let mut touched: Vec<(Symbol, ObjId)> = Vec::new();
+        // Slots whose refcount hit zero — candidates for recycling once the
+        // posting fixups below are done reading their values.
+        let mut drained: Vec<ObjId> = Vec::new();
         for fact in &delta.removed {
             let Some(&obj) = self.obj_ids.get(&fact.object) else {
                 continue;
@@ -312,25 +337,26 @@ impl TripleIndex {
                 subject_facts.remove(at);
                 self.facts -= 1;
                 touched.push(key);
+                let refs = &mut self.obj_refs[obj.0 as usize];
+                *refs -= 1;
+                if *refs == 0 {
+                    drained.push(obj);
+                }
             }
         }
         for fact in &delta.added {
-            let obj = {
-                if let Some(&id) = self.obj_ids.get(&fact.object) {
-                    id
-                } else {
-                    let id = ObjId(
-                        u32::try_from(self.obj_values.len()).expect("object dictionary overflow"),
-                    );
-                    self.obj_values.push(fact.object.clone());
-                    self.obj_ids.insert(fact.object.clone(), id);
-                    id
-                }
-            };
+            let obj = intern_obj(
+                &mut self.obj_ids,
+                &mut self.obj_values,
+                &mut self.obj_refs,
+                &mut self.obj_free,
+                &fact.object,
+            );
             let key = (fact.predicate, obj);
             let at = subject_facts.binary_search(&key).unwrap_or_else(|e| e);
             subject_facts.insert(at, key);
             self.facts += 1;
+            self.obj_refs[obj.0 as usize] += 1;
             touched.push(key);
         }
         // …then set-level posting membership for every touched key.
@@ -395,6 +421,16 @@ impl TripleIndex {
                 .entry(Arc::clone(fresh))
                 .or_default()
                 .insert(entity);
+        }
+        // Recycle dictionary slots whose last reference was retracted (and
+        // was not re-added by this same delta). Runs last: the posting and
+        // token fixups above still read the retracted values.
+        for obj in drained {
+            if self.obj_refs[obj.0 as usize] == 0 {
+                let value = std::mem::replace(&mut self.obj_values[obj.0 as usize], Value::Null);
+                self.obj_ids.remove(&value);
+                self.obj_free.push(obj.0);
+            }
         }
     }
 
@@ -503,6 +539,36 @@ impl TripleIndex {
     pub fn subjects(&self) -> impl Iterator<Item = EntityId> + '_ {
         self.spo.keys().copied()
     }
+}
+
+/// Free-list-aware dictionary interning: reuse a recycled slot before
+/// growing. Takes the dictionary fields directly so [`TripleIndex::apply`]
+/// can intern while holding a mutable borrow of the SPO column.
+fn intern_obj(
+    obj_ids: &mut FxHashMap<Value, ObjId>,
+    obj_values: &mut Vec<Value>,
+    obj_refs: &mut Vec<u32>,
+    obj_free: &mut Vec<u32>,
+    value: &Value,
+) -> ObjId {
+    if let Some(&id) = obj_ids.get(value) {
+        return id;
+    }
+    let id = match obj_free.pop() {
+        Some(slot) => {
+            obj_values[slot as usize] = value.clone();
+            obj_refs[slot as usize] = 0;
+            ObjId(slot)
+        }
+        None => {
+            let id = ObjId(u32::try_from(obj_values.len()).expect("object dictionary overflow"));
+            obj_values.push(value.clone());
+            obj_refs.push(0);
+            id
+        }
+    };
+    obj_ids.insert(value.clone(), id);
+    id
 }
 
 /// Multiset difference of two sorted fact lists by a two-cursor merge
@@ -829,6 +895,76 @@ mod tests {
         assert!(intersect_sorted(&[&a, &[]]).is_empty());
         assert!(intersect_sorted(&[]).is_empty());
         assert_eq!(intersect_sorted(&[&a]), a);
+    }
+
+    #[test]
+    fn volatile_churn_does_not_grow_the_object_dictionary() {
+        let mut idx = TripleIndex::new();
+        idx.update_entity(&record(
+            1,
+            &[
+                ("name", Value::str("Song A")),
+                ("popularity", Value::Int(0)),
+            ],
+        ));
+        let baseline = idx.obj_dict_slots();
+        for i in 1..=1_000i64 {
+            // Every cycle retracts the old popularity int and asserts a new
+            // one — the §2.4 volatile-overwrite shape that used to leak a
+            // dictionary entry per cycle.
+            idx.update_entity(&record(
+                1,
+                &[
+                    ("name", Value::str("Song A")),
+                    ("popularity", Value::Int(i)),
+                ],
+            ));
+            assert_eq!(idx.obj_dict_len(), 2, "cycle {i}: name + current int");
+        }
+        // One transient slot: the fresh int is interned before the old one
+        // is recycled, after which the freed slot is reused forever.
+        assert!(
+            idx.obj_dict_slots() <= baseline + 1,
+            "dictionary grew with churn: {} slots vs baseline {baseline}",
+            idx.obj_dict_slots()
+        );
+        // Retraction returns every slot to the free list.
+        idx.remove_entity(EntityId(1));
+        assert_eq!(idx.obj_dict_len(), 0);
+    }
+
+    #[test]
+    fn shared_values_survive_partial_retraction() {
+        let mut idx = TripleIndex::new();
+        // Two subjects assert the same value; retracting one keeps it.
+        idx.update_entity(&record(1, &[("genre", Value::str("jazz"))]));
+        idx.update_entity(&record(2, &[("genre", Value::str("jazz"))]));
+        assert_eq!(idx.obj_dict_len(), 1);
+        idx.remove_entity(EntityId(1));
+        assert_eq!(idx.obj_dict_len(), 1);
+        assert_eq!(
+            idx.by_literal(intern("genre"), &Value::str("jazz")),
+            &[EntityId(2)]
+        );
+        idx.remove_entity(EntityId(2));
+        assert_eq!(idx.obj_dict_len(), 0);
+        assert!(idx
+            .by_literal(intern("genre"), &Value::str("jazz"))
+            .is_empty());
+    }
+
+    #[test]
+    fn recycled_slots_are_reused_for_new_values() {
+        let mut idx = TripleIndex::new();
+        idx.update_entity(&record(1, &[("x", Value::Int(1)), ("y", Value::Int(2))]));
+        let slots = idx.obj_dict_slots();
+        idx.remove_entity(EntityId(1));
+        assert_eq!(idx.obj_dict_len(), 0);
+        // Two new values fit entirely in the recycled slots.
+        idx.update_entity(&record(2, &[("x", Value::Int(3)), ("y", Value::Int(4))]));
+        assert_eq!(idx.obj_dict_slots(), slots, "free list reused");
+        assert_eq!(idx.by_literal(intern("x"), &Value::Int(3)), &[EntityId(2)]);
+        assert!(idx.by_literal(intern("x"), &Value::Int(1)).is_empty());
     }
 
     #[test]

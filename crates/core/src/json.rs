@@ -111,8 +111,11 @@ impl Json {
             Json::Int(i) => out.push_str(&i.to_string()),
             Json::Float(f) => {
                 if f.is_finite() {
-                    // Keep a fractional marker so the value re-parses as a float.
-                    if f.fract() == 0.0 && f.abs() < 1e15 {
+                    // Keep a fractional marker so the value re-parses as a
+                    // float — for *every* whole float, else magnitudes with
+                    // no fractional digits (≥ 2^53-ish) would come back as
+                    // ints and break wire round-trips.
+                    if f.fract() == 0.0 {
                         out.push_str(&format!("{f:.1}"));
                     } else {
                         out.push_str(&f.to_string());
@@ -518,5 +521,11 @@ mod tests {
         assert_eq!(v.to_string_compact(), "3.0");
         assert_eq!(parse("3.0").unwrap(), Json::Float(3.0));
         assert_eq!(Json::Float(f64::NAN).to_string_compact(), "null");
+        // Whole floats too large for fractional digits keep their marker:
+        // the type must survive a round-trip, not just the magnitude.
+        for f in [1e15, 1e16, 9.007_199_254_740_992e15, -1e18] {
+            let round = parse(&Json::Float(f).to_string_compact()).unwrap();
+            assert_eq!(round, Json::Float(f), "{f}");
+        }
     }
 }

@@ -734,6 +734,31 @@ mod tests {
     }
 
     #[test]
+    fn volatile_overwrite_churn_keeps_dictionary_bounded() {
+        let mut kg = KnowledgeGraph::new();
+        kg.set_changelog_capacity(8); // keep the test's memory flat
+        kg.add_named_entity(EntityId(1), "Song A", "song", SourceId(1), 0.9);
+        kg.add_named_entity(EntityId(2), "Song B", "song", SourceId(1), 0.9);
+        let pop = intern(well_known::POPULARITY);
+        let mut volatile = FxHashSet::default();
+        volatile.insert(pop);
+        for cycle in 0..500i64 {
+            let fresh = vec![
+                ExtendedTriple::simple(EntityId(1), pop, Value::Int(cycle), meta(1)),
+                ExtendedTriple::simple(EntityId(2), pop, Value::Int(cycle + 7), meta(1)),
+            ];
+            kg.overwrite_volatile_partition(SourceId(1), &volatile, fresh);
+        }
+        // Live entries: 2 names + 1 shared type + 2 current popularity ints.
+        assert_eq!(kg.index().obj_dict_len(), 5);
+        assert!(
+            kg.index().obj_dict_slots() <= 8,
+            "per-cycle ints must be recycled, not accumulated: {} slots",
+            kg.index().obj_dict_slots()
+        );
+    }
+
+    #[test]
     fn composite_facts_upsert_by_rel_identity() {
         let mut kg = KnowledgeGraph::new();
         let edu = intern("educated_at");

@@ -35,6 +35,7 @@ pub mod read;
 pub mod row;
 pub mod triple;
 pub mod value;
+pub mod wire;
 
 pub use entity::{EntityPayload, EntityRecord};
 pub use error::{Result, SagaError};

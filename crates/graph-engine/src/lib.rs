@@ -8,7 +8,10 @@
 //! by a shared durable operation log.
 //!
 //! * [`oplog`] — the distributed shared log: ordered, durable ingest
-//!   operations addressed by [`Lsn`](saga_core::Lsn).
+//!   operations addressed by [`Lsn`](saga_core::Lsn), carrying full
+//!   [`Delta`](saga_core::Delta) payloads in the self-contained
+//!   [`wire`](saga_core::wire) form so derived stores replay from the log
+//!   alone, with a watermark-tracking [`LogFollower`] cursor.
 //! * [`metastore`] — replay progress per store; freshness queries.
 //! * [`orchestration`] — the extensible orchestration-agent framework; all
 //!   store-specific logic lives in agents, the framework stays generic.
@@ -43,7 +46,10 @@ pub use analytics::{AnalyticsStore, Frame, FrameCol};
 pub use importance::{compute_importance, ImportanceConfig, ImportanceScores};
 pub use legacy::{LegacyEngine, RowTable};
 pub use metastore::MetadataStore;
-pub use oplog::{IngestOp, OpKind, OperationLog};
-pub use orchestration::{AgentRunner, EntityIndexAgent, OrchestrationAgent, TextIndexAgent};
+pub use oplog::{FlushPolicy, IngestOp, LogFollower, OpKind, OperationLog};
+pub use orchestration::{
+    AgentRunner, AnalyticsAgent, EntityIndexAgent, OrchestrationAgent, TextIndexAgent,
+    ViewMaintenanceAgent,
+};
 pub use serving::StableRead;
 pub use views::{View, ViewData, ViewManager, ViewRegistration};

@@ -1,27 +1,52 @@
-//! The durable operation log (§3.1).
+//! The durable, delta-carrying operation log (§3.1).
 //!
 //! "A distributed shared log is used to coordinate continuous ingest,
 //! ensuring that all stores eventually index the same KG updates in the
 //! same order. … Log sequence numbers (LSN) are used as a distributed
 //! synchronization primitive."
 //!
-//! The log is append-only; every operation gets the next LSN. An optional
-//! file sink makes operations durable (JSON-lines) so a restarted process
-//! can replay.
+//! The log is append-only; every operation gets the next LSN and LSNs are
+//! **dense**: operation *k* carries `Lsn(k)`, gaps and reordering are
+//! rejected at load time. Each [`IngestOp`] carries the full
+//! [`Delta`] payloads of the mutation in the
+//! self-contained [`wire`](saga_core::wire) form (predicate names + typed
+//! object values), so a follower can rebuild a derived store **from the log
+//! alone** — no consultation of the producing `KnowledgeGraph`. The
+//! id-level `changed` list is retained as a cheap summary for consumers
+//! that only need invalidation keys.
+//!
+//! # Durability
+//!
+//! An optional file sink makes operations durable as JSON lines. The
+//! [`FlushPolicy`] decides how hard an append lands before `append`
+//! returns: [`FlushPolicy::Flush`] pushes the line to the OS (survives
+//! process crash), [`FlushPolicy::Fsync`] additionally `fsync`s (survives
+//! power loss, at a per-append latency cost). A restart tolerates a torn
+//! *final* line — the tail a crashed writer half-wrote is truncated away
+//! with a warning instead of poisoning the whole log — while corruption
+//! anywhere else, and any LSN gap or reordering, fails the restart loudly.
+//!
+//! # Following
+//!
+//! [`LogFollower`] is the cursor API derived stores replay through: it
+//! tracks a watermark LSN (everything at or below it has been consumed),
+//! polls contiguous batches, and verifies density so a replica can never
+//! silently skip an operation.
 
 use std::fs;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use saga_core::json::Json;
-use saga_core::{EntityId, Lsn, Result, SagaError, SourceId};
+use saga_core::wire::{delta_from_json, delta_to_json};
+use saga_core::{Delta, EntityId, Lsn, Result, SagaError, SourceId};
 
 /// What happened in one ingest operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum OpKind {
-    /// Entities were created or had facts fused (the changed-id list drives
-    /// incremental view maintenance).
+    /// Entities were created or had facts fused.
     Upsert,
     /// Entities were deleted.
     Delete,
@@ -32,19 +57,37 @@ pub enum OpKind {
 }
 
 /// One entry of the operation log.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct IngestOp {
     /// Sequence number (assigned by the log).
     pub lsn: Lsn,
     /// Operation kind.
     pub kind: OpKind,
-    /// The entities whose derived state must be refreshed.
+    /// The entities whose derived state must be refreshed — the id-level
+    /// summary (cheap invalidation keys).
     pub changed: Vec<EntityId>,
+    /// The full change payload: what the operation did to the index, in
+    /// replayable form. Log-shipped stores apply these directly.
+    pub deltas: Vec<Delta>,
 }
 
 impl IngestOp {
+    /// The ids this op touches: `changed` when populated, otherwise derived
+    /// from the delta payloads (sorted, deduplicated).
+    pub fn changed_entities(&self) -> Vec<EntityId> {
+        if !self.changed.is_empty() {
+            return self.changed.clone();
+        }
+        let mut ids: Vec<EntityId> = self.deltas.iter().map(|d| d.entity).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     /// Serialize to the durable JSON-line format, e.g.
-    /// `{"changed":[1,2],"kind":{"RetractSource":3},"lsn":7}`.
+    /// `{"changed":[1],"deltas":[{"add":[["name","X"]],"del":[],"entity":1}],"kind":"Upsert","lsn":7}`.
+    /// The `deltas` key is omitted when empty, which keeps id-only entries
+    /// byte-compatible with logs written before deltas were carried.
     pub fn to_json(&self) -> String {
         let mut obj = std::collections::BTreeMap::new();
         obj.insert("lsn".to_string(), Json::Int(self.lsn.0 as i64));
@@ -63,6 +106,12 @@ impl IngestOp {
             "changed".to_string(),
             Json::Array(self.changed.iter().map(|e| Json::Int(e.0 as i64)).collect()),
         );
+        if !self.deltas.is_empty() {
+            obj.insert(
+                "deltas".to_string(),
+                Json::Array(self.deltas.iter().map(delta_to_json).collect()),
+            );
+        }
         Json::Object(obj).to_string_compact()
     }
 
@@ -100,23 +149,61 @@ impl IngestOp {
             .map(|item| item.as_i64().map(|i| EntityId(i as u64)))
             .collect::<Option<Vec<EntityId>>>()
             .ok_or_else(|| bad("changed ids"))?;
+        let deltas = match v.get("deltas") {
+            None => Vec::new(),
+            Some(json) => json
+                .as_array()
+                .ok_or_else(|| bad("deltas shape"))?
+                .iter()
+                .map(delta_from_json)
+                .collect::<Result<Vec<Delta>>>()?,
+        };
         Ok(IngestOp {
             lsn: Lsn(lsn as u64),
             kind,
             changed,
+            deltas,
         })
     }
 }
 
+/// How hard an append lands in the durable sink before returning.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum FlushPolicy {
+    /// Flush the line to the OS on every append: survives a process crash.
+    /// The default.
+    #[default]
+    Flush,
+    /// Flush **and** `fsync` on every append: survives power loss, at a
+    /// per-append latency cost. Use for the system-of-record deployment;
+    /// batch producers can stay on [`Flush`](FlushPolicy::Flush) and call
+    /// [`OperationLog::sync`] at batch boundaries.
+    Fsync,
+}
+
 struct LogInner {
     entries: Vec<IngestOp>,
-    sink: Option<fs::File>,
+    sink: Option<BufWriter<fs::File>>,
 }
 
 /// The append-only, optionally durable operation log.
 pub struct OperationLog {
     inner: Mutex<LogInner>,
     path: Option<PathBuf>,
+    policy: FlushPolicy,
+    /// Bytes discarded from the tail of the durable file at open because
+    /// the final line was torn (half-written by a crashed producer).
+    truncated_tail_bytes: u64,
+}
+
+impl std::fmt::Debug for OperationLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OperationLog")
+            .field("head", &self.head())
+            .field("path", &self.path)
+            .field("policy", &self.policy)
+            .finish()
+    }
 }
 
 impl OperationLog {
@@ -128,47 +215,139 @@ impl OperationLog {
                 sink: None,
             }),
             path: None,
+            policy: FlushPolicy::Flush,
+            truncated_tail_bytes: 0,
         }
     }
 
-    /// A file-backed log at `path` (appends if the file exists).
+    /// A file-backed log at `path` with the default [`FlushPolicy::Flush`]
+    /// (appends if the file exists).
     pub fn durable(path: &Path) -> Result<Self> {
-        let mut entries = Vec::new();
+        Self::durable_with(path, FlushPolicy::default())
+    }
+
+    /// A file-backed log at `path` with an explicit flush policy.
+    ///
+    /// Replay tolerates a torn final line: the tail is truncated away (and
+    /// counted in [`truncated_tail_bytes`](Self::truncated_tail_bytes))
+    /// instead of failing the restart. Corruption before the final line,
+    /// and any LSN gap or reordering, is a hard error.
+    pub fn durable_with(path: &Path, policy: FlushPolicy) -> Result<Self> {
+        let mut entries: Vec<IngestOp> = Vec::new();
+        let mut truncated_tail_bytes = 0u64;
         if path.exists() {
-            let reader = BufReader::new(fs::File::open(path)?);
-            for (i, line) in reader.lines().enumerate() {
-                let line = line?;
-                if line.trim().is_empty() {
+            let text = fs::read_to_string(path)?;
+            let mut offset = 0usize; // byte offset of the current line
+            let mut line_no = 0usize;
+            for line in text.split_inclusive('\n') {
+                line_no += 1;
+                let start = offset;
+                offset += line.len();
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
                     continue;
                 }
-                let op = IngestOp::from_json(&line)
-                    .map_err(|e| SagaError::Storage(format!("corrupt log line {}: {e}", i + 1)))?;
+                let op = match IngestOp::from_json(trimmed) {
+                    Ok(op) => op,
+                    Err(e) => {
+                        // Only a torn *tail* is recoverable: everything
+                        // after this line must be whitespace.
+                        if text[offset..].trim().is_empty() {
+                            truncated_tail_bytes = (text.len() - start) as u64;
+                            eprintln!(
+                                "oplog: truncating torn final line {line_no} of {} \
+                                 ({truncated_tail_bytes} bytes): {e}",
+                                path.display()
+                            );
+                            let file = fs::OpenOptions::new().write(true).open(path)?;
+                            file.set_len(start as u64)?;
+                            file.sync_data()?;
+                            break;
+                        }
+                        return Err(SagaError::Storage(format!(
+                            "corrupt log line {line_no}: {e}"
+                        )));
+                    }
+                };
+                let expected = Lsn(entries.len() as u64 + 1);
+                if op.lsn != expected {
+                    return Err(SagaError::Storage(format!(
+                        "LSN discontinuity at line {line_no}: expected {expected:?}, found {:?} \
+                         (log entries must be dense and ordered)",
+                        op.lsn
+                    )));
+                }
                 entries.push(op);
             }
         }
-        let sink = fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)?;
+        let sink = BufWriter::new(
+            fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        );
         Ok(OperationLog {
             inner: Mutex::new(LogInner {
                 entries,
                 sink: Some(sink),
             }),
             path: Some(path.to_path_buf()),
+            policy,
+            truncated_tail_bytes,
         })
     }
 
-    /// Append an operation; returns its assigned LSN.
+    /// Append an id-only operation (no delta payload); returns its LSN.
+    /// Prefer [`append_op`](Self::append_op) — id-only entries cannot feed
+    /// log-shipped replicas.
     pub fn append(&self, kind: OpKind, changed: Vec<EntityId>) -> Result<Lsn> {
+        self.append_with(kind, changed, Vec::new())
+    }
+
+    /// Append an operation carrying its full delta payload; the id-level
+    /// `changed` summary is derived from the deltas.
+    pub fn append_op(&self, kind: OpKind, deltas: Vec<Delta>) -> Result<Lsn> {
+        let mut changed: Vec<EntityId> = deltas.iter().map(|d| d.entity).collect();
+        changed.sort_unstable();
+        changed.dedup();
+        self.append_with(kind, changed, deltas)
+    }
+
+    /// Append with explicit `changed` summary and delta payload.
+    pub fn append_with(
+        &self,
+        kind: OpKind,
+        changed: Vec<EntityId>,
+        deltas: Vec<Delta>,
+    ) -> Result<Lsn> {
         let mut inner = self.inner.lock();
         let lsn = Lsn(inner.entries.len() as u64 + 1);
-        let op = IngestOp { lsn, kind, changed };
+        let op = IngestOp {
+            lsn,
+            kind,
+            changed,
+            deltas,
+        };
         if let Some(sink) = inner.sink.as_mut() {
             writeln!(sink, "{}", op.to_json())?;
+            sink.flush()?;
+            if self.policy == FlushPolicy::Fsync {
+                sink.get_ref().sync_data()?;
+            }
         }
         inner.entries.push(op);
         Ok(lsn)
+    }
+
+    /// Force buffered bytes to stable storage (a batch-boundary `fsync`
+    /// for producers running [`FlushPolicy::Flush`]).
+    pub fn sync(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        if let Some(sink) = inner.sink.as_mut() {
+            sink.flush()?;
+            sink.get_ref().sync_data()?;
+        }
+        Ok(())
     }
 
     /// The LSN of the newest operation (`Lsn::ZERO` when empty).
@@ -178,24 +357,103 @@ impl OperationLog {
 
     /// All operations with `lsn > after`, in order — what an agent replays.
     pub fn read_after(&self, after: Lsn) -> Vec<IngestOp> {
+        self.read_batch(after, usize::MAX)
+    }
+
+    /// At most `max` operations with `lsn > after`, in order. LSNs are
+    /// dense, so this is a direct slice of the entry array.
+    pub fn read_batch(&self, after: Lsn, max: usize) -> Vec<IngestOp> {
         let inner = self.inner.lock();
-        inner
-            .entries
-            .iter()
-            .filter(|op| op.lsn > after)
-            .cloned()
-            .collect()
+        let from = (after.0 as usize).min(inner.entries.len());
+        let to = from.saturating_add(max).min(inner.entries.len());
+        inner.entries[from..to].to_vec()
     }
 
     /// The backing file, if durable.
     pub fn path(&self) -> Option<&Path> {
         self.path.as_deref()
     }
+
+    /// Bytes discarded from a torn final line at open (0 for clean logs).
+    pub fn truncated_tail_bytes(&self) -> u64 {
+        self.truncated_tail_bytes
+    }
+}
+
+/// A watermark-tracking cursor over an [`OperationLog`] — the follower
+/// protocol log-shipped stores replay through.
+///
+/// The watermark is the highest LSN the follower has consumed; a poll
+/// returns the next contiguous batch and advances it. Density is verified
+/// on every poll, so a replica can never silently skip an operation even
+/// if the log implementation changes underneath.
+pub struct LogFollower {
+    log: Arc<OperationLog>,
+    watermark: Lsn,
+}
+
+impl LogFollower {
+    /// A follower starting from the beginning of the log.
+    pub fn new(log: Arc<OperationLog>) -> Self {
+        Self::resume_at(log, Lsn::ZERO)
+    }
+
+    /// A follower resuming after `watermark` (e.g. from a metadata-store
+    /// checkpoint).
+    pub fn resume_at(log: Arc<OperationLog>, watermark: Lsn) -> Self {
+        LogFollower { log, watermark }
+    }
+
+    /// The highest LSN this follower has consumed.
+    pub fn watermark(&self) -> Lsn {
+        self.watermark
+    }
+
+    /// Operations appended but not yet consumed.
+    pub fn lag(&self) -> u64 {
+        self.log.head().0.saturating_sub(self.watermark.0)
+    }
+
+    /// The followed log.
+    pub fn log(&self) -> &Arc<OperationLog> {
+        &self.log
+    }
+
+    /// Fetch up to `max` operations past the watermark and advance it.
+    /// Returns an empty batch when caught up; errors (without advancing)
+    /// if the batch is not contiguous from the watermark.
+    pub fn poll(&mut self, max: usize) -> Result<Vec<IngestOp>> {
+        let ops = self.log.read_batch(self.watermark, max);
+        let mut expected = self.watermark;
+        for op in &ops {
+            expected = expected.next();
+            if op.lsn != expected {
+                return Err(SagaError::Storage(format!(
+                    "follower at {:?} got non-contiguous batch: expected {expected:?}, found {:?}",
+                    self.watermark, op.lsn
+                )));
+            }
+        }
+        self.watermark = expected;
+        Ok(ops)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use saga_core::{intern, DeltaFact, Value};
+
+    fn delta(entity: u64, pred: &str, value: i64) -> Delta {
+        Delta {
+            entity: EntityId(entity),
+            added: vec![DeltaFact {
+                predicate: intern(pred),
+                object: Value::Int(value),
+            }],
+            removed: Vec::new(),
+        }
+    }
 
     #[test]
     fn lsns_are_dense_and_ordered() {
@@ -219,6 +477,24 @@ mod tests {
         assert_eq!(suffix[1].lsn, Lsn(5));
         assert!(log.read_after(Lsn(5)).is_empty());
         assert_eq!(log.read_after(Lsn::ZERO).len(), 5);
+        // Bounded batches slice the same sequence.
+        let batch = log.read_batch(Lsn(1), 2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0].lsn, Lsn(2));
+    }
+
+    #[test]
+    fn append_op_carries_deltas_and_derives_changed() {
+        let log = OperationLog::in_memory();
+        log.append_op(
+            OpKind::Upsert,
+            vec![delta(4, "x", 1), delta(2, "y", 2), delta(4, "z", 3)],
+        )
+        .unwrap();
+        let op = &log.read_after(Lsn::ZERO)[0];
+        assert_eq!(op.changed, vec![EntityId(2), EntityId(4)]);
+        assert_eq!(op.deltas.len(), 3);
+        assert_eq!(op.changed_entities(), vec![EntityId(2), EntityId(4)]);
     }
 
     /// Unique temp-file path per call: the process id alone is not enough
@@ -235,20 +511,30 @@ mod tests {
     }
 
     #[test]
-    fn durable_log_survives_reopen() {
+    fn durable_log_survives_reopen_with_deltas() {
         let path = unique_log_path();
         let _ = fs::remove_file(&path);
         {
             let log = OperationLog::durable(&path).unwrap();
-            log.append(OpKind::Upsert, vec![EntityId(1), EntityId(2)])
-                .unwrap();
+            log.append_op(
+                OpKind::Upsert,
+                vec![delta(1, "name", 7), delta(2, "name", 9)],
+            )
+            .unwrap();
             log.append(OpKind::RetractSource(SourceId(3)), vec![])
                 .unwrap();
+            log.sync().unwrap();
         }
         let reopened = OperationLog::durable(&path).unwrap();
         assert_eq!(reopened.head(), Lsn(2));
+        assert_eq!(reopened.truncated_tail_bytes(), 0);
         let ops = reopened.read_after(Lsn::ZERO);
         assert_eq!(ops[0].changed, vec![EntityId(1), EntityId(2)]);
+        assert_eq!(
+            ops[0].deltas,
+            vec![delta(1, "name", 7), delta(2, "name", 9)],
+            "delta payloads survive the reopen"
+        );
         assert_eq!(ops[1].kind, OpKind::RetractSource(SourceId(3)));
         // Appending continues the sequence.
         let next = reopened.append(OpKind::Upsert, vec![]).unwrap();
@@ -257,8 +543,137 @@ mod tests {
     }
 
     #[test]
+    fn fsync_policy_logs_are_replayable() {
+        let path = unique_log_path();
+        let _ = fs::remove_file(&path);
+        {
+            let log = OperationLog::durable_with(&path, FlushPolicy::Fsync).unwrap();
+            log.append_op(OpKind::Upsert, vec![delta(1, "x", 1)])
+                .unwrap();
+            log.append_op(OpKind::Upsert, vec![delta(2, "x", 2)])
+                .unwrap();
+        }
+        let reopened = OperationLog::durable(&path).unwrap();
+        assert_eq!(reopened.head(), Lsn(2));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_final_line_is_truncated_and_counted() {
+        let path = unique_log_path();
+        let _ = fs::remove_file(&path);
+        {
+            let log = OperationLog::durable(&path).unwrap();
+            log.append_op(OpKind::Upsert, vec![delta(1, "x", 1)])
+                .unwrap();
+            log.append_op(OpKind::Upsert, vec![delta(2, "x", 2)])
+                .unwrap();
+        }
+        // Simulate a crash mid-append: half a JSON line at the tail.
+        let torn = r#"{"changed":[3],"deltas":[{"add":[["x","#;
+        {
+            use std::io::Write as _;
+            let mut f = fs::OpenOptions::new().append(true).open(&path).unwrap();
+            write!(f, "{torn}").unwrap();
+        }
+        let reopened = OperationLog::durable(&path).unwrap();
+        assert_eq!(reopened.head(), Lsn(2), "intact prefix kept");
+        assert_eq!(reopened.truncated_tail_bytes(), torn.len() as u64);
+        // The torn bytes are gone from disk: appends restart cleanly and a
+        // third open sees a clean log.
+        reopened
+            .append_op(OpKind::Upsert, vec![delta(3, "x", 3)])
+            .unwrap();
+        drop(reopened);
+        let third = OperationLog::durable(&path).unwrap();
+        assert_eq!(third.head(), Lsn(3));
+        assert_eq!(third.truncated_tail_bytes(), 0);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_hard_error() {
+        let path = unique_log_path();
+        let _ = fs::remove_file(&path);
+        fs::write(
+            &path,
+            "not json at all\n{\"changed\":[],\"kind\":\"Upsert\",\"lsn\":1}\n",
+        )
+        .unwrap();
+        let err = OperationLog::durable(&path).unwrap_err();
+        assert!(err.to_string().contains("corrupt log line 1"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lsn_gaps_and_reordering_are_rejected() {
+        for (name, lines) in [
+            (
+                "gap",
+                "{\"changed\":[],\"kind\":\"Upsert\",\"lsn\":1}\n{\"changed\":[],\"kind\":\"Upsert\",\"lsn\":3}\n",
+            ),
+            (
+                "reorder",
+                "{\"changed\":[],\"kind\":\"Upsert\",\"lsn\":2}\n{\"changed\":[],\"kind\":\"Upsert\",\"lsn\":1}\n",
+            ),
+            ("wrong start", "{\"changed\":[],\"kind\":\"Upsert\",\"lsn\":5}\n"),
+        ] {
+            let path = unique_log_path();
+            fs::write(&path, lines).unwrap();
+            let err = OperationLog::durable(&path).unwrap_err();
+            assert!(
+                err.to_string().contains("LSN discontinuity"),
+                "{name}: {err}"
+            );
+            let _ = fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn legacy_id_only_lines_still_parse() {
+        let op =
+            IngestOp::from_json(r#"{"changed":[1,2],"kind":{"RetractSource":3},"lsn":7}"#).unwrap();
+        assert_eq!(op.kind, OpKind::RetractSource(SourceId(3)));
+        assert!(op.deltas.is_empty());
+        assert_eq!(op.changed_entities(), vec![EntityId(1), EntityId(2)]);
+    }
+
+    #[test]
+    fn follower_polls_contiguous_batches_and_tracks_watermark() {
+        let log = Arc::new(OperationLog::in_memory());
+        for i in 1..=7u64 {
+            log.append_op(OpKind::Upsert, vec![delta(i, "x", i as i64)])
+                .unwrap();
+        }
+        let mut follower = LogFollower::new(Arc::clone(&log));
+        assert_eq!(follower.watermark(), Lsn::ZERO);
+        assert_eq!(follower.lag(), 7);
+
+        let batch = follower.poll(3).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(follower.watermark(), Lsn(3));
+        let batch = follower.poll(100).unwrap();
+        assert_eq!(batch.len(), 4);
+        assert_eq!(follower.watermark(), Lsn(7));
+        assert!(follower.poll(10).unwrap().is_empty(), "caught up");
+        assert_eq!(follower.lag(), 0);
+
+        // New appends are picked up from the watermark.
+        log.append_op(OpKind::Upsert, vec![delta(9, "x", 9)])
+            .unwrap();
+        let batch = follower.poll(10).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].lsn, Lsn(8));
+
+        // Resuming from a checkpoint replays exactly the suffix.
+        let mut resumed = LogFollower::resume_at(log, Lsn(6));
+        let batch = resumed.poll(100).unwrap();
+        assert_eq!(batch.first().unwrap().lsn, Lsn(7));
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
     fn concurrent_appends_get_unique_lsns() {
-        use std::sync::Arc;
         let log = Arc::new(OperationLog::in_memory());
         let handles: Vec<_> = (0..4)
             .map(|_| {

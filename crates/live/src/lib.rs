@@ -26,12 +26,17 @@
 //!   ("How about Tom Hanks?", "Where is she from?").
 //! * [`curation`] — human-in-the-loop curation as a streaming hot-fix
 //!   source (§4.3), forwarded to stable construction.
+//! * [`replica`] — the log-shipped serving replica: a [`LiveKg`] built
+//!   purely by replaying the durable oplog's delta payloads, with no code
+//!   path into the construction-side `KnowledgeGraph` (§3.1 log shipping,
+//!   §4.1 replication).
 
 pub mod construction;
 pub mod context;
 pub mod curation;
 pub mod intent;
 pub mod kgq;
+pub mod replica;
 pub mod store;
 
 pub use construction::{LiveEvent, LiveGraphBuilder};
@@ -39,4 +44,5 @@ pub use context::ContextGraph;
 pub use curation::{CurationAction, CurationPipeline};
 pub use intent::{Intent, IntentHandler};
 pub use kgq::{compile, execute, parse, Plan, Query, QueryBuilder, QueryEngine, QueryResult};
+pub use replica::LiveReplica;
 pub use store::{LiveKg, ShardedTripleIndex, PARALLEL_PROBE_MIN_WORK};

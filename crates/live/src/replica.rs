@@ -1,0 +1,288 @@
+//! The log-shipped serving replica.
+//!
+//! §3.1: "all stores eventually index the same KG updates in the same
+//! order" — the shared log is the only coordination channel. This module
+//! closes that loop for serving: [`LiveReplica`] is a [`LiveKg`] built
+//! **purely** by replaying the delta payloads the durable
+//! [`OperationLog`] carries. There is no code
+//! path from the replica into the construction-side `KnowledgeGraph`; a
+//! replica can run in another process or on another machine with nothing
+//! but the log stream, which is the prerequisite for replicated and
+//! sharded serving ("the indexes are sharded and can be replicated to
+//! support scale-out", §4.1).
+//!
+//! # What a replica holds
+//!
+//! Deltas ship the *index vocabulary*: flattened `(predicate, value)`
+//! facts per entity (names + typed objects — see
+//! [`saga_core::wire`]). The replica therefore reconstructs each entity as
+//! a record of simple triples with replica-local metadata. Postings,
+//! conjunctions, name resolution and KGQ answers are identical to the
+//! source graph's; per-fact provenance and composite-relationship node
+//! structure are construction-side concerns that deliberately do not ride
+//! the log (composite facets arrive pre-flattened as `pred.facet`
+//! predicates, exactly as every index stores them).
+
+use std::sync::Arc;
+
+use saga_core::{
+    Delta, EntityId, EntityRecord, ExtendedTriple, FactMeta, GraphRead, Lsn, ProbeKey, Result,
+};
+use saga_graph::{IngestOp, LogFollower, OperationLog};
+
+use crate::store::LiveKg;
+
+/// How many operations one [`LiveReplica::catch_up`] poll pulls at a time;
+/// bounds peak memory while replaying a long backlog.
+pub const REPLAY_BATCH: usize = 1024;
+
+/// A [`LiveKg`] maintained solely from oplog replay. See the module docs.
+pub struct LiveReplica {
+    live: LiveKg,
+    follower: LogFollower,
+}
+
+impl LiveReplica {
+    /// An empty replica with `shards` lock stripes, following `log` from
+    /// the beginning.
+    pub fn new(shards: usize, log: Arc<OperationLog>) -> Self {
+        LiveReplica {
+            live: LiveKg::new(shards),
+            follower: LogFollower::new(log),
+        }
+    }
+
+    /// Replay every operation past the current watermark; returns how many
+    /// were applied. Call again whenever the log advances (or drive it
+    /// from a scheduler — the follower is the pace-keeping cursor).
+    pub fn catch_up(&mut self) -> Result<usize> {
+        let mut applied = 0;
+        loop {
+            let ops = self.follower.poll(REPLAY_BATCH)?;
+            if ops.is_empty() {
+                return Ok(applied);
+            }
+            for op in &ops {
+                self.apply_op(op);
+                applied += 1;
+            }
+        }
+    }
+
+    /// Apply one operation's delta payloads. Id-only legacy entries carry
+    /// nothing replayable and are skipped — a replica of a log containing
+    /// them is incomplete, which [`lag`](Self::lag) cannot detect; produce
+    /// with [`OperationLog::append_op`] to guarantee full shipping.
+    fn apply_op(&mut self, op: &IngestOp) {
+        for delta in &op.deltas {
+            self.apply_delta(delta);
+        }
+    }
+
+    fn apply_delta(&mut self, delta: &Delta) {
+        let mut record = self
+            .live
+            .get(delta.entity)
+            .unwrap_or_else(|| EntityRecord::new(delta.entity));
+        for fact in &delta.removed {
+            if let Some(at) = record
+                .triples
+                .iter()
+                .position(|t| t.predicate == fact.predicate && t.object == fact.object)
+            {
+                record.triples.remove(at);
+            }
+        }
+        for fact in &delta.added {
+            record.triples.push(ExtendedTriple::simple(
+                delta.entity,
+                fact.predicate,
+                fact.object.clone(),
+                FactMeta::default(),
+            ));
+        }
+        if record.triples.is_empty() {
+            self.live.remove(delta.entity);
+        } else {
+            self.live.upsert(record);
+        }
+    }
+
+    /// The highest LSN fully applied to this replica.
+    pub fn watermark(&self) -> Lsn {
+        self.follower.watermark()
+    }
+
+    /// Operations appended to the log but not yet applied here.
+    pub fn lag(&self) -> u64 {
+        self.follower.lag()
+    }
+
+    /// The serving store (cheaply cloneable; shares the replica's shards).
+    pub fn live(&self) -> &LiveKg {
+        &self.live
+    }
+}
+
+/// A replica serves through the same backend-agnostic API as every other
+/// store — point a `QueryEngine` at it directly.
+impl GraphRead for LiveReplica {
+    fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
+        self.live.postings(probe)
+    }
+
+    fn selectivity(&self, probe: &ProbeKey) -> usize {
+        self.live.selectivity(probe)
+    }
+
+    fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {
+        self.live.probe_contains(probe, id)
+    }
+
+    fn record(&self, id: EntityId) -> Option<EntityRecord> {
+        self.live.get(id)
+    }
+
+    fn contains(&self, id: EntityId) -> bool {
+        self.live.contains(id)
+    }
+
+    fn generation(&self) -> u64 {
+        GraphRead::generation(&self.live)
+    }
+
+    fn probe_all(&self, probes: &[ProbeKey]) -> Vec<EntityId> {
+        self.live.probe_all(probes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saga_core::{intern, FxHashSet, KnowledgeGraph, SourceId, Value};
+    use saga_graph::OpKind;
+
+    fn meta() -> FactMeta {
+        FactMeta::from_source(SourceId(1), 0.9)
+    }
+
+    /// Producer loop: mutate the KG, ship the drained deltas as one op.
+    fn ship(kg: &mut KnowledgeGraph, log: &OperationLog, kind: OpKind) {
+        log.append_op(kind, kg.drain_deltas()).unwrap();
+    }
+
+    #[test]
+    fn replica_follows_upserts_and_retractions() {
+        let mut kg = KnowledgeGraph::new();
+        let log = Arc::new(OperationLog::in_memory());
+        let mut replica = LiveReplica::new(4, Arc::clone(&log));
+
+        kg.add_named_entity(
+            EntityId(1),
+            "Golden State Warriors",
+            "team",
+            SourceId(1),
+            0.9,
+        );
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            intern("arena"),
+            Value::Entity(EntityId(9)),
+            meta(),
+        ));
+        ship(&mut kg, &log, OpKind::Upsert);
+        assert_eq!(replica.lag(), 1);
+        assert_eq!(replica.catch_up().unwrap(), 1);
+        assert_eq!(replica.watermark(), Lsn(1));
+
+        assert_eq!(
+            replica.postings(&ProbeKey::Name("warriors".into())),
+            vec![EntityId(1)]
+        );
+        assert_eq!(
+            replica.postings(&ProbeKey::Edge(intern("arena"), EntityId(9))),
+            vec![EntityId(1)]
+        );
+        assert!(GraphRead::contains(&replica, EntityId(1)));
+
+        // Retraction empties the replica too.
+        kg.record_link(SourceId(1), "w", EntityId(1));
+        kg.retract_source_entity(SourceId(1), "w");
+        ship(&mut kg, &log, OpKind::Delete);
+        replica.catch_up().unwrap();
+        assert!(!GraphRead::contains(&replica, EntityId(1)));
+        assert!(replica
+            .postings(&ProbeKey::Name("warriors".into()))
+            .is_empty());
+    }
+
+    #[test]
+    fn replica_applies_volatile_overwrites_in_order() {
+        let mut kg = KnowledgeGraph::new();
+        let log = Arc::new(OperationLog::in_memory());
+        let mut replica = LiveReplica::new(2, Arc::clone(&log));
+
+        let pop = intern("popularity");
+        kg.add_named_entity(EntityId(1), "Song", "song", SourceId(1), 0.9);
+        kg.upsert_fact(ExtendedTriple::simple(
+            EntityId(1),
+            pop,
+            Value::Int(10),
+            meta(),
+        ));
+        ship(&mut kg, &log, OpKind::Upsert);
+
+        let mut volatile = FxHashSet::default();
+        volatile.insert(pop);
+        for round in 0..5i64 {
+            kg.overwrite_volatile_partition(
+                SourceId(1),
+                &volatile,
+                vec![ExtendedTriple::simple(
+                    EntityId(1),
+                    pop,
+                    Value::Int(100 + round),
+                    meta(),
+                )],
+            );
+            ship(&mut kg, &log, OpKind::VolatileOverwrite(SourceId(1)));
+        }
+        replica.catch_up().unwrap();
+        let rec = GraphRead::record(&replica, EntityId(1)).unwrap();
+        assert_eq!(rec.values(pop), vec![&Value::Int(104)], "last write wins");
+        assert!(replica
+            .postings(&ProbeKey::Literal(pop, Value::Int(10)))
+            .is_empty());
+        assert_eq!(
+            replica.postings(&ProbeKey::Literal(pop, Value::Int(104))),
+            vec![EntityId(1)]
+        );
+    }
+
+    #[test]
+    fn catch_up_is_incremental_and_idempotent_when_caught_up() {
+        let mut kg = KnowledgeGraph::new();
+        let log = Arc::new(OperationLog::in_memory());
+        let mut replica = LiveReplica::new(2, Arc::clone(&log));
+        for i in 1..=10u64 {
+            kg.add_named_entity(EntityId(i), &format!("E{i}"), "person", SourceId(1), 0.9);
+            ship(&mut kg, &log, OpKind::Upsert);
+        }
+        assert_eq!(replica.catch_up().unwrap(), 10);
+        assert_eq!(replica.catch_up().unwrap(), 0);
+        assert_eq!(replica.live().len(), 10);
+        assert_eq!(replica.watermark(), log.head());
+    }
+
+    #[test]
+    fn replica_serves_through_graph_read_generation() {
+        let mut kg = KnowledgeGraph::new();
+        let log = Arc::new(OperationLog::in_memory());
+        let mut replica = LiveReplica::new(2, Arc::clone(&log));
+        let g0 = GraphRead::generation(&replica);
+        kg.add_named_entity(EntityId(1), "A", "person", SourceId(1), 0.9);
+        ship(&mut kg, &log, OpKind::Upsert);
+        replica.catch_up().unwrap();
+        assert!(GraphRead::generation(&replica) > g0, "replay bumps plans");
+    }
+}

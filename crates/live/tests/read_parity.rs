@@ -224,3 +224,161 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Log-shipped replica parity
+// ---------------------------------------------------------------------------
+
+use std::sync::Arc;
+
+use saga_core::FxHashSet;
+use saga_graph::{OpKind, OperationLog};
+use saga_live::LiveReplica;
+
+/// Build the stable KG from `facts` while shipping every mutation's delta
+/// payloads to `log` — the producer side of the §3.1 log-shipping loop.
+/// The world deliberately includes the awkward ops: popularity facts from
+/// a second source are volatile-overwritten each "cycle", and the second
+/// source is finally retracted wholesale.
+fn build_stable_shipping(facts: &FactSpec, log: &OperationLog) -> KnowledgeGraph {
+    let mut kg = KnowledgeGraph::new();
+    let meta = || FactMeta::from_source(SourceId(1), 0.9);
+    let pop = intern("popularity");
+    for chunk in facts.chunks(5) {
+        for &(subject, ty, pred, value, target) in chunk {
+            let id = EntityId(subject);
+            if !kg.contains(id) {
+                kg.add_named_entity(
+                    id,
+                    &format!("Entity {subject}"),
+                    TYPES[ty as usize % TYPES.len()],
+                    SourceId(1),
+                    0.9,
+                );
+            }
+            kg.upsert_fact(ExtendedTriple::simple(
+                id,
+                intern(PREDS[pred as usize % PREDS.len()]),
+                Value::Int(value),
+                meta(),
+            ));
+            kg.upsert_fact(ExtendedTriple::simple(
+                id,
+                intern("related_to"),
+                Value::Entity(EntityId(target)),
+                meta(),
+            ));
+        }
+        log.append_op(OpKind::Upsert, kg.drain_deltas()).unwrap();
+
+        // A volatile cycle from source 2: overwrite every known subject's
+        // popularity with a value derived from the chunk.
+        let mut volatile = FxHashSet::default();
+        volatile.insert(pop);
+        let fresh: Vec<ExtendedTriple> = chunk
+            .iter()
+            .map(|&(subject, _, _, value, _)| {
+                ExtendedTriple::simple(
+                    EntityId(subject),
+                    pop,
+                    Value::Int(value + 1000),
+                    FactMeta::from_source(SourceId(2), 0.8),
+                )
+            })
+            .collect();
+        kg.overwrite_volatile_partition(SourceId(2), &volatile, fresh);
+        log.append_op(OpKind::VolatileOverwrite(SourceId(2)), kg.drain_deltas())
+            .unwrap();
+    }
+    // One targeted per-entity retraction (the Deleted-payload path)…
+    if let Some(&(subject, ..)) = facts.first() {
+        kg.record_link(SourceId(1), "first", EntityId(subject));
+        kg.retract_source_entity(SourceId(1), "first");
+        log.append_op(OpKind::Delete, kg.drain_deltas()).unwrap();
+    }
+    // …then the wholesale license revocation of source 2.
+    kg.retract_source(SourceId(2));
+    log.append_op(OpKind::RetractSource(SourceId(2)), kg.drain_deltas())
+        .unwrap();
+    kg
+}
+
+/// An entity's facts in the flattened index vocabulary the log ships —
+/// the record-level parity the wire form guarantees (provenance and
+/// composite-node structure deliberately stay construction-side).
+fn flat_record<G: GraphRead>(graph: &G, id: EntityId) -> Option<Vec<(String, Value)>> {
+    graph.record(id).map(|r| {
+        let mut facts: Vec<(String, Value)> = r
+            .triples
+            .iter()
+            .filter_map(saga_core::index::flatten)
+            .map(|(p, v)| (p.to_string(), v))
+            .collect();
+        facts.sort_unstable();
+        facts
+    })
+}
+
+proptest! {
+    /// A replica constructed *only* from oplog replay — never touching the
+    /// producing `KnowledgeGraph` — is parity-equal to the directly-built
+    /// KG: postings, selectivities, conjunctions, flattened records, and
+    /// KGQ answers, across upserts, volatile overwrites, per-entity
+    /// retraction and whole-source retraction.
+    #[test]
+    fn log_shipped_replica_matches_directly_built_kg(facts in fact_strategy()) {
+        let log = Arc::new(OperationLog::in_memory());
+        // The replica exists before the KG and only ever sees the log.
+        let mut replica = LiveReplica::new(4, Arc::clone(&log));
+        let kg = build_stable_shipping(&facts, &log);
+        replica.catch_up().unwrap();
+        prop_assert_eq!(replica.watermark(), log.head());
+        prop_assert_eq!(replica.lag(), 0);
+
+        let mut probes = probe_set(&facts);
+        probes.push(ProbeKey::Literal(intern("popularity"), Value::Int(facts[0].3 + 1000)));
+        for probe in &probes {
+            let expected = kg.postings(probe);
+            prop_assert_eq!(&replica.postings(probe), &expected, "probe {:?}", probe);
+            prop_assert_eq!(replica.selectivity(probe), kg.selectivity(probe));
+            for &id in expected.iter().take(4) {
+                prop_assert!(replica.probe_contains(probe, id));
+            }
+        }
+        for pair in probes.windows(2).take(12) {
+            prop_assert_eq!(&replica.probe_all(pair), &kg.probe_all(pair));
+        }
+        // Record-level parity in the flattened vocabulary, including
+        // entities the retraction ops dropped entirely.
+        let mut ids: Vec<EntityId> = facts.iter().map(|&(s, ..)| EntityId(s)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for &id in &ids {
+            prop_assert_eq!(
+                flat_record(&replica, id),
+                flat_record(&kg, id),
+                "record {:?}",
+                id
+            );
+            prop_assert_eq!(GraphRead::contains(&replica, id), kg.contains(id));
+        }
+        // The one generic KGQ engine answers identically over both.
+        let kg_engine = QueryEngine::new(kg.clone());
+        let replica_engine = QueryEngine::new(replica.live().clone());
+        let (subject, _, pred, value, target) = facts[0];
+        let pred = PREDS[pred as usize % PREDS.len()];
+        for q in [
+            format!("FIND {} WHERE {pred} = {value}", TYPES[0]),
+            format!("FIND {} WHERE related_to -> AKG:{target}", TYPES[1]),
+            format!(r#"FIND song WHERE name = "Entity {subject}""#),
+            format!("GET AKG:{subject} . related_to . name"),
+        ] {
+            prop_assert_eq!(
+                kg_engine.query(&q).unwrap(),
+                replica_engine.query(&q).unwrap(),
+                "KGQ parity: {}",
+                q
+            );
+        }
+    }
+}
