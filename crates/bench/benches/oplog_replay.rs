@@ -11,10 +11,11 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::RwLock;
 use saga_bench::nerdworld::ambiguous_world;
 use saga_core::index::flatten;
-use saga_core::{Delta, DeltaFact, KnowledgeGraph, Lsn};
-use saga_graph::{FlushPolicy, OpKind, OperationLog};
+use saga_core::{Delta, DeltaFact, ExtendedTriple, KnowledgeGraph, Lsn, WriteBatch};
+use saga_graph::{FlushPolicy, LoggedWriter, OpKind, OperationLog};
 use saga_live::LiveReplica;
 
 /// One snapshot-bootstrap op stream: every entity's facts as an added-only
@@ -76,6 +77,61 @@ fn bench_oplog(c: &mut Criterion) {
             log.head()
         });
         let _ = std::fs::remove_file(&path);
+    });
+
+    // The transactional write path end-to-end: the same corpus committed
+    // through `LoggedWriter` as `WriteBatch`es (stage → write-ahead append
+    // → apply) into an in-memory log. Comparing against
+    // `append_in_memory_100k_facts` isolates what staging + applying adds
+    // on top of raw delta appends.
+    let batches: Vec<Vec<ExtendedTriple>> = {
+        let mut records: Vec<&saga_core::EntityRecord> = kg.entities().collect();
+        records.sort_unstable_by_key(|r| r.id);
+        records
+            .chunks(100)
+            .map(|chunk| {
+                chunk
+                    .iter()
+                    .flat_map(|r| r.triples.iter().cloned())
+                    .collect()
+            })
+            .collect()
+    };
+    group.bench_function("writebatch_commit_in_memory_100k_facts", |b| {
+        b.iter(|| {
+            let writer = LoggedWriter::new(
+                Arc::new(RwLock::new(KnowledgeGraph::new())),
+                Arc::new(OperationLog::in_memory()),
+            );
+            for triples in &batches {
+                let mut batch = WriteBatch::new();
+                for t in triples {
+                    batch.push(saga_core::WriteOp::Upsert(t.clone()));
+                }
+                writer.commit(OpKind::Upsert, batch).unwrap();
+            }
+            writer.log().head()
+        });
+    });
+
+    // The same commits with no log attached: the difference against the
+    // logged case above is exactly the write-ahead append's share — it
+    // should track `append_in_memory_100k_facts` (no regression over raw
+    // appends), while the rest is graph construction the old
+    // mutate-then-drain producers paid too.
+    group.bench_function("writebatch_commit_unlogged_100k_facts", |b| {
+        use saga_core::GraphWrite;
+        b.iter(|| {
+            let mut kg = KnowledgeGraph::new();
+            for triples in &batches {
+                let mut batch = WriteBatch::new();
+                for t in triples {
+                    batch.push(saga_core::WriteOp::Upsert(t.clone()));
+                }
+                kg.commit(batch);
+            }
+            kg.fact_count()
+        });
     });
 
     // Replay path: rebuild a serving replica from the log alone.

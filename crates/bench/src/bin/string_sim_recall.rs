@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use saga_core::KnowledgeGraph;
+use saga_core::{GraphWriteExt, KnowledgeGraph};
 use saga_ingest::synth::{typo, MusicWorld};
 use saga_ml::simlib::{jaro_winkler, levenshtein, qgram_jaccard};
 use saga_ml::{DistantSupervision, StringEncoder, TrainConfig, TripletTrainer};
@@ -22,7 +22,7 @@ fn main() {
         let id = saga_core::EntityId(i as u64 + 1);
         kg.add_named_entity(id, &a.name, "music_artist", saga_core::SourceId(1), 0.9);
         for alias in &a.aliases {
-            kg.upsert_fact(saga_core::ExtendedTriple::simple(
+            kg.commit_upsert(saga_core::ExtendedTriple::simple(
                 id,
                 saga_core::intern("alias"),
                 saga_core::Value::str(alias),

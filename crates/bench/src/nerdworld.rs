@@ -25,7 +25,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use saga_core::{
-    intern, EntityId, ExtendedTriple, FactMeta, KnowledgeGraph, SourceId, Symbol, Value,
+    intern, EntityId, ExtendedTriple, FactMeta, GraphWriteExt, KnowledgeGraph, SourceId, Symbol,
+    Value,
 };
 
 /// One evaluation case for text annotation.
@@ -140,13 +141,13 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
         kg.add_named_entity(head, &name, "city", SourceId(1), 0.9);
         let country_id = fresh();
         kg.add_named_entity(country_id, country, "place", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             head,
             intern("located_in"),
             Value::Entity(country_id),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             head,
             intern("description"),
             Value::str(format!("Major city in {country} known worldwide")),
@@ -161,7 +162,7 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
                 SourceId(1),
                 0.9,
             );
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 head,
                 intern("member_of"),
                 Value::Entity(district),
@@ -174,19 +175,19 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
         kg.add_named_entity(tail, &name, "city", SourceId(1), 0.9);
         let college_id = fresh();
         kg.add_named_entity(college_id, college, "school", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             college_id,
             intern("located_in"),
             Value::Entity(tail),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             tail,
             intern("member_of"),
             Value::Entity(college_id),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             tail,
             intern("description"),
             Value::str(format!("Small town, home of {college}")),
@@ -232,13 +233,13 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
             let region = fresh();
             let region_name = format!("{} Region", stem(5000 + g * 3 + f));
             kg.add_named_entity(region, &region_name, "place", SourceId(1), 0.9);
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 town,
                 intern("located_in"),
                 Value::Entity(region),
                 meta(),
             ));
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 town,
                 intern("description"),
                 Value::str(format!("Town in the {region_name}")),
@@ -268,7 +269,7 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
             for d in 0..remixes {
                 let p = fresh();
                 kg.add_named_entity(p, &format!("{base} Remix {d}"), "song", SourceId(2), 0.9);
-                kg.upsert_fact(ExtendedTriple::simple(
+                kg.commit_upsert(ExtendedTriple::simple(
                     song,
                     intern("member_of"),
                     Value::Entity(p),
@@ -281,7 +282,7 @@ pub fn ambiguous_world(seed: u64, groups: usize) -> NerdWorld {
         let label = fresh();
         let label_name = format!("Label House {g}");
         kg.add_named_entity(label, &label_name, "record_label", SourceId(2), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             artist,
             intern("signed_to"),
             Value::Entity(label),

@@ -4,7 +4,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use saga_core::{
-    intern, EntityId, ExtendedTriple, FactMeta, KnowledgeGraph, RelId, SourceId, Value,
+    intern, EntityId, ExtendedTriple, FactMeta, GraphWriteExt, KnowledgeGraph, RelId, SourceId,
+    Value,
 };
 
 /// Size knobs for [`media_world`].
@@ -88,7 +89,7 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
         .collect();
     for (i, &p) in persons.iter().enumerate() {
         let city = cities[rng.gen_range(0..cities.len())];
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             p,
             intern("birthplace"),
             Value::Entity(city),
@@ -96,13 +97,13 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
         ));
         if i % 2 == 1 {
             let partner = persons[i - 1];
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 p,
                 intern("spouse"),
                 Value::Entity(partner),
                 meta(&mut rng),
             ));
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 partner,
                 intern("spouse"),
                 Value::Entity(p),
@@ -123,7 +124,7 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
             let id = fresh();
             kg.add_named_entity(id, &format!("Artist {i}"), "music_artist", SourceId(2), 0.9);
             let label = labels[rng.gen_range(0..labels.len())];
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 id,
                 intern("signed_to"),
                 Value::Entity(label),
@@ -138,13 +139,13 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
         for s in 0..cfg.songs_per_artist {
             let id = fresh();
             kg.add_named_entity(id, &format!("Song {ai}-{s}"), "song", SourceId(2), 0.9);
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 id,
                 intern("performed_by"),
                 Value::Entity(artist),
                 meta(&mut rng),
             ));
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 id,
                 intern("duration_s"),
                 Value::Int(rng.gen_range(90..420)),
@@ -159,7 +160,7 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
         kg.add_named_entity(id, &format!("Playlist {i}"), "playlist", SourceId(3), 0.9);
         for _ in 0..cfg.tracks_per_playlist {
             let song = songs[rng.gen_range(0..songs.len())];
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 id,
                 intern("track_of"),
                 Value::Entity(song),
@@ -171,14 +172,14 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
     for i in 0..cfg.movies {
         let id = fresh();
         kg.add_named_entity(id, &format!("Movie {i}"), "movie", SourceId(4), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             id,
             intern("full_title"),
             Value::str(format!("Movie {i}: The Feature")),
             meta(&mut rng),
         ));
         let dir = persons[rng.gen_range(0..persons.len())];
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             id,
             intern("directed_by"),
             Value::Entity(dir),
@@ -186,7 +187,7 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
         ));
         for c in 0..cfg.cast_per_movie {
             let actor = persons[rng.gen_range(0..persons.len())];
-            kg.upsert_fact(ExtendedTriple::composite(
+            kg.commit_upsert(ExtendedTriple::composite(
                 id,
                 intern("cast"),
                 RelId(c as u32 + 1),
@@ -196,9 +197,6 @@ pub fn media_world(cfg: &MediaWorldConfig) -> KnowledgeGraph {
             ));
         }
     }
-    // A bulk load is not a change feed: discard the accumulated deltas so
-    // benchmark harnesses start from a quiescent changelog.
-    let _ = kg.drain_deltas();
     kg
 }
 

@@ -2,14 +2,16 @@
 //!
 //! * Simple facts fuse by an outer join with the KG triples — either the
 //!   provenance of an existing fact is extended, or a new fact is added
-//!   ([`KnowledgeGraph::upsert_fact`] implements exactly this).
+//!   ([`KgTransaction::upsert`] implements exactly this).
 //! * Composite facts are more elaborate: a source relationship node merges
 //!   into a KG relationship node when their underlying facts intersect
 //!   sufficiently; otherwise it is added as a brand-new relationship node.
 //! * Object resolution runs first so cross-references are standardized
 //!   before the join.
 
-use saga_core::{EntityPayload, ExtendedTriple, FxHashMap, KnowledgeGraph, RelId, Symbol, Value};
+use saga_core::{
+    EntityPayload, EntityRecord, ExtendedTriple, FxHashMap, KgTransaction, RelId, Symbol, Value,
+};
 
 use crate::obr::{ObjectResolver, ResolutionStats};
 
@@ -44,13 +46,19 @@ pub struct FusionReport {
     pub resolution: ResolutionStats,
 }
 
-/// Fuse one linked payload into the KG.
+/// Fuse one linked payload into a staging transaction.
+///
+/// Fusion *stages* — nothing is visible to readers until the transaction
+/// commits — but every read it performs (relationship-node matching,
+/// fresh rel-id minting, object resolution) observes the staged state, so
+/// payloads fused earlier in the same cycle behave exactly as if they had
+/// already been applied.
 ///
 /// # Panics
 /// Panics if the payload was not linked (subject still in a source
 /// namespace) — fusion is only defined over linked payloads.
 pub fn fuse_payload(
-    kg: &mut KnowledgeGraph,
+    txn: &mut KgTransaction<'_>,
     mut payload: EntityPayload,
     resolver: &dyn ObjectResolver,
     config: &FusionConfig,
@@ -60,7 +68,7 @@ pub fn fuse_payload(
         .as_kg()
         .expect("fusion requires a linked payload");
     let mut report = FusionReport {
-        resolution: resolver.resolve(kg, &mut payload),
+        resolution: resolver.resolve(txn, &mut payload),
         ..Default::default()
     };
 
@@ -79,7 +87,7 @@ pub fn fuse_payload(
 
     // Simple facts: outer join.
     for t in simple {
-        if kg.upsert_fact(t) {
+        if txn.upsert(t) {
             report.facts_added += 1;
         } else {
             report.facts_merged += 1;
@@ -92,19 +100,18 @@ pub fn fuse_payload(
     for key in keys {
         let facets = composite.remove(&key).expect("key exists");
         let (predicate, _) = key;
-        let target_rel = match find_mergeable_rel_node(kg, entity_id, predicate, &facets, config) {
+        let record = txn.record(entity_id);
+        let target_rel = match find_mergeable_rel_node(record, predicate, &facets, config) {
             Some(existing) => {
                 report.rel_nodes_merged += 1;
                 existing
             }
             None => {
                 report.rel_nodes_added += 1;
-                let next = kg
-                    .entity(entity_id)
+                record
                     .and_then(|r| r.max_rel_id(predicate))
                     .map(|r| RelId(r.0 + 1))
-                    .unwrap_or(RelId(1));
-                next
+                    .unwrap_or(RelId(1))
             }
         };
         for mut t in facets {
@@ -112,7 +119,7 @@ pub fn fuse_payload(
                 rel_id: target_rel,
                 rel_predicate: t.rel.expect("composite fact").rel_predicate,
             });
-            if kg.upsert_fact(t) {
+            if txn.upsert(t) {
                 report.facts_added += 1;
             } else {
                 report.facts_merged += 1;
@@ -122,16 +129,15 @@ pub fn fuse_payload(
     report
 }
 
-/// Find an existing relationship node of `(entity, predicate)` whose facts
-/// sufficiently intersect the incoming facets.
+/// Find an existing relationship node of the record under `predicate`
+/// whose facts sufficiently intersect the incoming facets.
 fn find_mergeable_rel_node(
-    kg: &KnowledgeGraph,
-    entity: saga_core::EntityId,
+    record: Option<&EntityRecord>,
     predicate: Symbol,
     facets: &[ExtendedTriple],
     config: &FusionConfig,
 ) -> Option<RelId> {
-    let record = kg.entity(entity)?;
+    let record = record?;
     let incoming: Vec<(Symbol, &Value)> = facets
         .iter()
         .map(|t| (t.rel.expect("composite fact").rel_predicate, &t.object))
@@ -158,10 +164,27 @@ fn find_mergeable_rel_node(
 mod tests {
     use super::*;
     use crate::obr::LinkTableResolver;
-    use saga_core::{intern, EntityId, FactMeta, SourceId};
+    use saga_core::{intern, EntityId, FactMeta, GraphWriteExt, KnowledgeGraph, SourceId};
 
     fn meta(src: u32) -> FactMeta {
         FactMeta::from_source(SourceId(src), 0.9)
+    }
+
+    /// Stage one payload and commit it — the per-payload form of what the
+    /// construction pipeline does per cycle.
+    fn fuse_into(
+        kg: &mut KnowledgeGraph,
+        payload: EntityPayload,
+        resolver: &dyn ObjectResolver,
+        config: &FusionConfig,
+    ) -> FusionReport {
+        let (report, staged) = {
+            let mut txn = KgTransaction::new(kg);
+            let report = fuse_payload(&mut txn, payload, resolver, config);
+            (report, txn.into_staged())
+        };
+        kg.apply_staged(staged);
+        report
     }
 
     fn linked_payload(id: u64) -> EntityPayload {
@@ -177,7 +200,7 @@ mod tests {
         let mut p = linked_payload(1);
         p.push_simple(intern("name"), Value::str("J. Smith"), meta(1)); // dup → merge
         p.push_simple(intern("birthdate"), Value::str("1980-01-01"), meta(1)); // new
-        let report = fuse_payload(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
+        let report = fuse_into(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
         assert_eq!(report.facts_added, 1);
         assert_eq!(report.facts_merged, 1);
         let rec = kg.entity(EntityId(1)).unwrap();
@@ -198,7 +221,7 @@ mod tests {
         let mut kg = KnowledgeGraph::new();
         kg.add_named_entity(EntityId(1), "J. Smith", "person", SourceId(9), 0.9);
         // KG already has education r1 = {school: UW, degree: PhD}.
-        kg.upsert_fact(ExtendedTriple::composite(
+        kg.commit_upsert(ExtendedTriple::composite(
             EntityId(1),
             intern("educated_at"),
             RelId(1),
@@ -206,7 +229,7 @@ mod tests {
             Value::str("UW"),
             meta(9),
         ));
-        kg.upsert_fact(ExtendedTriple::composite(
+        kg.commit_upsert(ExtendedTriple::composite(
             EntityId(1),
             intern("educated_at"),
             RelId(1),
@@ -230,7 +253,7 @@ mod tests {
             Value::Int(2005),
             meta(1),
         );
-        let report = fuse_payload(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
+        let report = fuse_into(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
         assert_eq!(report.rel_nodes_merged, 1);
         assert_eq!(report.rel_nodes_added, 0);
         let rec = kg.entity(EntityId(1)).unwrap();
@@ -247,7 +270,7 @@ mod tests {
     fn dissimilar_composite_nodes_are_added_fresh() {
         let mut kg = KnowledgeGraph::new();
         kg.add_named_entity(EntityId(1), "J. Smith", "person", SourceId(9), 0.9);
-        kg.upsert_fact(ExtendedTriple::composite(
+        kg.commit_upsert(ExtendedTriple::composite(
             EntityId(1),
             intern("educated_at"),
             RelId(1),
@@ -271,7 +294,7 @@ mod tests {
             Value::str("BSc"),
             meta(1),
         );
-        let report = fuse_payload(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
+        let report = fuse_into(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
         assert_eq!(report.rel_nodes_added, 1);
         let rec = kg.entity(EntityId(1)).unwrap();
         assert_eq!(rec.rel_ids(intern("educated_at")), vec![RelId(1), RelId(2)]);
@@ -296,7 +319,7 @@ mod tests {
             Value::str("MIT"),
             meta(1),
         );
-        let report = fuse_payload(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
+        let report = fuse_into(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
         assert_eq!(report.rel_nodes_added, 2);
         let rec = kg.entity(EntityId(1)).unwrap();
         assert_eq!(rec.rel_ids(intern("educated_at")).len(), 2);
@@ -319,14 +342,14 @@ mod tests {
             );
             p
         };
-        fuse_payload(
+        fuse_into(
             &mut kg,
             build(),
             &LinkTableResolver,
             &FusionConfig::default(),
         );
         let facts_before = kg.fact_count();
-        let report = fuse_payload(
+        let report = fuse_into(
             &mut kg,
             build(),
             &LinkTableResolver,
@@ -342,6 +365,6 @@ mod tests {
     fn unlinked_payload_panics() {
         let mut kg = KnowledgeGraph::new();
         let p = EntityPayload::new(SourceId(1), "x", intern("person"));
-        fuse_payload(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
+        fuse_into(&mut kg, p, &LinkTableResolver, &FusionConfig::default());
     }
 }

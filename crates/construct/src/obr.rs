@@ -10,7 +10,7 @@
 //!   type hint from the predicate's declared range (the "NERD + Type Hints"
 //!   variant of Fig. 14(b)).
 
-use saga_core::{EntityPayload, KnowledgeGraph, SourceId, Value};
+use saga_core::{EntityPayload, KgTransaction, SourceId, Value};
 use saga_ml::NerdStack;
 use saga_ontology::TypeRegistry;
 
@@ -24,9 +24,14 @@ pub struct ResolutionStats {
 }
 
 /// Rewrites unresolved object references inside a linked payload.
+///
+/// Resolution reads the *staged* transaction view, so `same_as` links
+/// recorded earlier in the same construction cycle (even earlier in the
+/// same uncommitted batch) are visible — the read-your-writes guarantee
+/// fusion's ordering depends on.
 pub trait ObjectResolver: Send + Sync {
     /// Resolve in place; returns counters.
-    fn resolve(&self, kg: &KnowledgeGraph, payload: &mut EntityPayload) -> ResolutionStats;
+    fn resolve(&self, txn: &KgTransaction<'_>, payload: &mut EntityPayload) -> ResolutionStats;
 }
 
 /// Same-source reference resolution through the `same_as` link table.
@@ -34,13 +39,13 @@ pub trait ObjectResolver: Send + Sync {
 pub struct LinkTableResolver;
 
 impl ObjectResolver for LinkTableResolver {
-    fn resolve(&self, kg: &KnowledgeGraph, payload: &mut EntityPayload) -> ResolutionStats {
+    fn resolve(&self, txn: &KgTransaction<'_>, payload: &mut EntityPayload) -> ResolutionStats {
         let mut stats = ResolutionStats::default();
         for t in &mut payload.triples {
             if let Value::SourceRef(local) = &t.object {
                 // The referencing source is recorded in the fact's provenance.
                 let source: Option<SourceId> = t.meta.sources().next();
-                let hit = source.and_then(|s| kg.lookup_link(s, local));
+                let hit = source.and_then(|s| txn.lookup_link(s, local));
                 match hit {
                     Some(id) => {
                         t.object = Value::Entity(id);
@@ -102,9 +107,9 @@ fn range_hint(predicate: &str) -> Option<saga_core::Symbol> {
 }
 
 impl ObjectResolver for NerdObjectResolver<'_> {
-    fn resolve(&self, kg: &KnowledgeGraph, payload: &mut EntityPayload) -> ResolutionStats {
+    fn resolve(&self, txn: &KgTransaction<'_>, payload: &mut EntityPayload) -> ResolutionStats {
         // First pass: cheap same-source link-table hits.
-        let mut stats = LinkTableResolver.resolve(kg, payload);
+        let mut stats = LinkTableResolver.resolve(txn, payload);
         // Second pass: NERD for whatever is left, using the payload's own
         // facts as disambiguation context (a "semi-structured record").
         let context: String = payload
@@ -140,7 +145,7 @@ impl ObjectResolver for NerdObjectResolver<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::{intern, EntityId, FactMeta, Value};
+    use saga_core::{intern, EntityId, FactMeta, KnowledgeGraph, Value, WriteBatch};
     use saga_ml::{ContextualDisambiguator, NerdConfig, NerdEntityView, StringEncoder};
     use saga_ontology::default_ontology;
 
@@ -158,7 +163,9 @@ mod tests {
             SourceId(1),
             0.9,
         );
-        kg.record_link(SourceId(1), "artist_9", EntityId(5));
+        WriteBatch::new()
+            .link(SourceId(1), "artist_9", EntityId(5))
+            .commit(&mut kg);
 
         let mut p = EntityPayload::new(SourceId(1), "song_1", intern("song"));
         p.relink(EntityId(50));
@@ -174,7 +181,7 @@ mod tests {
             Value::source_ref("album_404"),
             meta(1),
         ));
-        let stats = LinkTableResolver.resolve(&kg, &mut p);
+        let stats = LinkTableResolver.resolve(&KgTransaction::new(&kg), &mut p);
         assert_eq!(
             stats,
             ResolutionStats {
@@ -228,7 +235,7 @@ mod tests {
             Value::source_ref("Billie Eilish"),
             meta(1),
         ));
-        let stats = resolver.resolve(&kg, &mut p);
+        let stats = resolver.resolve(&KgTransaction::new(&kg), &mut p);
         assert_eq!(stats.resolved, 1);
         // With the hint, the artist (not the homonymous song) is chosen.
         assert_eq!(p.triples[0].object, Value::Entity(EntityId(5)));
@@ -267,7 +274,7 @@ mod tests {
             Value::source_ref("Unknown Artist XYZ"),
             meta(1),
         ));
-        let stats = resolver.resolve(&kg, &mut p);
+        let stats = resolver.resolve(&KgTransaction::new(&kg), &mut p);
         assert_eq!(stats.resolved, 0);
         assert!(matches!(p.triples[0].object, Value::SourceRef(_)));
     }

@@ -17,9 +17,10 @@
 use std::time::Instant;
 
 use saga_core::{
-    Delta, EntityId, EntityPayload, FxHashSet, IdGenerator, KnowledgeGraph, SourceId, SubjectRef,
-    Symbol,
+    CommitReceipt, Delta, EntityId, EntityPayload, FxHashSet, IdGenerator, KgTransaction,
+    KnowledgeGraph, Result, SourceId, SubjectRef, Symbol,
 };
+use saga_graph::{LoggedWriter, OpKind};
 use saga_ingest::SourceDelta;
 
 use crate::fusion::{fuse_payload, FusionConfig, FusionReport};
@@ -66,9 +67,13 @@ pub struct ConstructionReport {
     /// Distinct entities whose facts changed this cycle, in id order — what
     /// the Graph Engine appends to its operation log.
     pub changed: Vec<EntityId>,
-    /// The KG's [`Delta`] change feed for the cycle (drained from the KG),
-    /// ready for derived stores to replay.
+    /// The cycle's [`Delta`] change payload, taken from the commit
+    /// receipts (one per [`GraphWrite`](saga_core::GraphWrite) commit the
+    /// cycle performed), ready for derived stores to replay.
     pub deltas: Vec<Delta>,
+    /// Commits performed this cycle (one in parallel mode, one per source
+    /// in serial mode).
+    pub commits: usize,
 }
 
 /// The construction pipeline executor.
@@ -96,7 +101,15 @@ impl KnowledgeConstructor {
         }
     }
 
-    /// Consume one cycle of source batches, updating the KG in place.
+    /// Consume one cycle of source batches, updating the KG in place
+    /// through the transactional [`GraphWrite`](saga_core::GraphWrite)
+    /// commit point (staging per cycle in parallel mode, per source in
+    /// serial mode). The cycle's change payload lands in
+    /// [`ConstructionReport::deltas`], straight from the commit receipts.
+    ///
+    /// Producers that also own an operation log should prefer
+    /// [`consume_logged`](Self::consume_logged), which appends each commit
+    /// to the log *before* applying it.
     pub fn consume(
         &self,
         kg: &mut KnowledgeGraph,
@@ -112,59 +125,126 @@ impl KnowledgeConstructor {
 
         let linker = Linker::new(self.linker.clone());
         if self.parallel && batches.len() > 1 {
-            // ---- Parallel mode (Fig. 5): all sources link concurrently
-            // against the same KG snapshot; fusion is the serial
-            // synchronization point. Duplicates *across sources within one
-            // batch* are not merged until a later cycle re-observes them —
-            // the latency/dedup tradeoff of snapshot linking.
-            let link_start = Instant::now();
-            let kg_ref: &KnowledgeGraph = kg;
-            let prepared: Vec<PreparedSource> = std::thread::scope(|scope| {
-                let handles: Vec<_> = batches
-                    .into_iter()
-                    .map(|batch| {
-                        let linker = &linker;
-                        scope.spawn(move || prepare_source(kg_ref, id_gen, linker, batch, matcher))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("linking worker panicked"))
-                    .collect()
-            });
-            report.linking_ms = link_start.elapsed().as_millis();
+            let prepared = Self::link_parallel(kg, id_gen, &linker, batches, matcher, &mut report);
             let fuse_start = Instant::now();
-            for prep in prepared {
-                self.fuse_prepared(kg, prep, resolver, &mut report);
-            }
+            let staged = {
+                let mut txn = KgTransaction::new(kg);
+                for prep in prepared {
+                    self.fuse_prepared(&mut txn, prep, resolver, &mut report);
+                }
+                txn.into_staged()
+            };
+            finish_cycle(&mut report, kg.apply_staged(staged));
             report.fusion_ms = fuse_start.elapsed().as_millis();
         } else {
             // ---- Serial mode: sources are consumed one at a time, each
-            // linking against the KG *including* the previous sources'
-            // fused payloads — full cross-source dedup within the cycle.
+            // committed before the next links — so later sources link
+            // against the KG *including* the previous sources' fused
+            // payloads (full cross-source dedup within the cycle).
             for batch in batches {
                 let link_start = Instant::now();
                 let prep = prepare_source(kg, id_gen, &linker, batch, matcher);
                 report.linking_ms += link_start.elapsed().as_millis();
                 let fuse_start = Instant::now();
-                self.fuse_prepared(kg, prep, resolver, &mut report);
+                let staged = {
+                    let mut txn = KgTransaction::new(kg);
+                    self.fuse_prepared(&mut txn, prep, resolver, &mut report);
+                    txn.into_staged()
+                };
+                finish_cycle(&mut report, kg.apply_staged(staged));
                 report.fusion_ms += fuse_start.elapsed().as_millis();
             }
         }
-        // Drain the KG's change feed: downstream stores replay the deltas
-        // and the oplog records the changed ids (includes any mutations
-        // left undrained by the caller since the previous cycle).
-        report.deltas = kg.drain_deltas();
-        let mut changed: Vec<EntityId> = report.deltas.iter().map(|d| d.entity).collect();
-        changed.sort_unstable();
-        changed.dedup();
-        report.changed = changed;
+        seal_report(&mut report);
         report
+    }
+
+    /// The log-first form of [`consume`](Self::consume): every commit is
+    /// appended to the writer's operation log *before* it is applied to
+    /// the KG, so derived stores can follow the construction stream with
+    /// no `drain_deltas`/`append_op` pairing anywhere. Returns the report
+    /// alongside the LSNs the cycle occupied.
+    pub fn consume_logged(
+        &self,
+        writer: &LoggedWriter,
+        id_gen: &IdGenerator,
+        batches: Vec<SourceBatch>,
+        matcher: &dyn MatchingModel,
+        resolver: &dyn ObjectResolver,
+    ) -> Result<(ConstructionReport, Vec<saga_core::Lsn>)> {
+        let mut report = ConstructionReport {
+            sources: batches.len(),
+            ..Default::default()
+        };
+        let mut lsns = Vec::new();
+        let linker = Linker::new(self.linker.clone());
+        if self.parallel && batches.len() > 1 {
+            let prepared = {
+                let kg = writer.read();
+                Self::link_parallel(&kg, id_gen, &linker, batches, matcher, &mut report)
+            };
+            let fuse_start = Instant::now();
+            let (_, commit) = writer.with_txn(OpKind::Upsert, |txn| {
+                for prep in prepared {
+                    self.fuse_prepared(txn, prep, resolver, &mut report);
+                }
+            })?;
+            lsns.push(commit.lsn);
+            finish_cycle(&mut report, commit.receipt);
+            report.fusion_ms = fuse_start.elapsed().as_millis();
+        } else {
+            for batch in batches {
+                let link_start = Instant::now();
+                let prep = {
+                    let kg = writer.read();
+                    prepare_source(&kg, id_gen, &linker, batch, matcher)
+                };
+                report.linking_ms += link_start.elapsed().as_millis();
+                let fuse_start = Instant::now();
+                let (_, commit) = writer.with_txn(OpKind::Upsert, |txn| {
+                    self.fuse_prepared(txn, prep, resolver, &mut report);
+                })?;
+                lsns.push(commit.lsn);
+                finish_cycle(&mut report, commit.receipt);
+                report.fusion_ms += fuse_start.elapsed().as_millis();
+            }
+        }
+        seal_report(&mut report);
+        Ok((report, lsns))
+    }
+
+    /// Inter-source parallel linking against one KG snapshot (Fig. 5).
+    /// Duplicates *across sources within one batch* are not merged until a
+    /// later cycle re-observes them — the latency/dedup tradeoff of
+    /// snapshot linking.
+    fn link_parallel(
+        kg: &KnowledgeGraph,
+        id_gen: &IdGenerator,
+        linker: &Linker,
+        batches: Vec<SourceBatch>,
+        matcher: &dyn MatchingModel,
+        report: &mut ConstructionReport,
+    ) -> Vec<PreparedSource> {
+        let link_start = Instant::now();
+        let prepared: Vec<PreparedSource> = std::thread::scope(|scope| {
+            let handles: Vec<_> = batches
+                .into_iter()
+                .map(|batch| {
+                    scope.spawn(move || prepare_source(kg, id_gen, linker, batch, matcher))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("linking worker panicked"))
+                .collect()
+        });
+        report.linking_ms += link_start.elapsed().as_millis();
+        prepared
     }
 
     fn fuse_prepared(
         &self,
-        kg: &mut KnowledgeGraph,
+        txn: &mut KgTransaction<'_>,
         prep: PreparedSource,
         resolver: &dyn ObjectResolver,
         report: &mut ConstructionReport,
@@ -175,14 +255,15 @@ impl KnowledgeConstructor {
             report.pairs_scored += prep.added.pairs_scored + prep.relinked_updates.pairs_scored;
             report.updated_relinked += prep.relinked_updates.linked.len();
 
-            // same_as links first: OBR's link-table path depends on them.
+            // same_as links first: OBR's link-table path depends on them
+            // (staged read-your-writes makes them visible immediately).
             for (src, local, id) in prep
                 .added
                 .links
                 .iter()
                 .chain(prep.relinked_updates.links.iter())
             {
-                kg.record_link(*src, local, *id);
+                txn.link(*src, local, *id);
             }
             // Fuse Added (including re-linked updates).
             for p in prep
@@ -193,31 +274,34 @@ impl KnowledgeConstructor {
             {
                 merge_fusion(
                     &mut report.fusion,
-                    fuse_payload(kg, p, resolver, &self.fusion),
+                    fuse_payload(txn, p, resolver, &self.fusion),
                 );
             }
             // Updated fast path: retract the source's old contribution to
             // the entity, then fuse the fresh payload.
             for (kg_id, mut payload, local) in prep.updated {
-                kg.retract_source_entity(prep.source, &local);
-                kg.record_link(prep.source, &local, kg_id);
+                txn.retract_source_entity(prep.source, &local);
+                txn.link(prep.source, &local, kg_id);
                 payload.relink(kg_id);
                 merge_fusion(
                     &mut report.fusion,
-                    fuse_payload(kg, payload, resolver, &self.fusion),
+                    fuse_payload(txn, payload, resolver, &self.fusion),
                 );
                 report.updated += 1;
             }
             // Deleted.
             for local in prep.deleted {
-                kg.retract_source_entity(prep.source, &local);
+                txn.retract_source_entity(prep.source, &local);
                 report.deleted += 1;
             }
-            // Volatile overwrite, last (§2.4: after added/deleted are fused).
+            // Volatile overwrite, last (§2.4: after added/deleted are
+            // fused). Subjects resolve through the staged link table, so
+            // volatile facts about entities linked earlier in this very
+            // transaction are kept.
             let mut volatile = Vec::new();
             for mut t in prep.volatile {
                 if let SubjectRef::Source(src, local) = &t.subject {
-                    match kg.lookup_link(*src, local) {
+                    match txn.lookup_link(*src, local) {
                         Some(id) => t.subject = SubjectRef::Kg(id),
                         None => continue, // entity not (yet) in the KG
                     }
@@ -225,9 +309,23 @@ impl KnowledgeConstructor {
                 volatile.push(t);
             }
             report.volatile_facts += volatile.len();
-            kg.overwrite_volatile_partition(prep.source, &self.volatile_predicates, volatile);
+            txn.overwrite_volatile(prep.source, &self.volatile_predicates, volatile);
         }
     }
+}
+
+/// Fold one commit receipt into the cycle report.
+fn finish_cycle(report: &mut ConstructionReport, receipt: CommitReceipt) {
+    report.commits += 1;
+    report.deltas.extend(receipt.deltas);
+}
+
+/// Derive the changed-id summary once every commit is folded in.
+fn seal_report(report: &mut ConstructionReport) {
+    let mut changed: Vec<EntityId> = report.deltas.iter().map(|d| d.entity).collect();
+    changed.sort_unstable();
+    changed.dedup();
+    report.changed = changed;
 }
 
 struct PreparedSource {
@@ -343,16 +441,13 @@ mod tests {
             kg.lookup_link(SourceId(1), "a1"),
             Some(kg.find_by_name("Billie Eilish")[0])
         );
-        // The cycle's change feed names both new entities, and the KG's
-        // changelog was drained into the report.
+        // The cycle's change feed names both new entities, and the commit
+        // receipts rolled up into the report.
         let mut ids: Vec<EntityId> = kg.entity_ids().collect();
         ids.sort_unstable();
         assert_eq!(report.changed, ids);
         assert!(!report.deltas.is_empty());
-        assert!(
-            kg.drain_deltas().is_empty(),
-            "consume() drains the changelog"
-        );
+        assert_eq!(report.commits, 1, "one source batch, one commit");
         // Replaying the report's deltas onto an empty index rebuilds the
         // KG's index — the contract derived stores rely on.
         let mut replayed = saga_core::TripleIndex::new();
@@ -519,6 +614,55 @@ mod tests {
         let rec = kg.entity(id).unwrap();
         assert_eq!(rec.values(intern("popularity")), vec![&Value::Int(999)]);
         assert_eq!(rec.name(), Some("Billie Eilish"));
+    }
+
+    #[test]
+    fn consume_logged_appends_each_commit_before_applying() {
+        use std::sync::Arc;
+        let log = Arc::new(saga_graph::OperationLog::in_memory());
+        let writer = LoggedWriter::new(
+            Arc::new(parking_lot::RwLock::new(KnowledgeGraph::new())),
+            Arc::clone(&log),
+        );
+        let gen = IdGenerator::starting_at(1);
+        let mut ctor = KnowledgeConstructor::new(volatile_set());
+        ctor.parallel = false; // serial: one logged op per source
+        let batches = vec![
+            batch(
+                1,
+                SourceDelta {
+                    added: vec![artist(1, "a1", "Billie Eilish")],
+                    ..Default::default()
+                },
+            ),
+            batch(
+                2,
+                SourceDelta {
+                    added: vec![artist(2, "z9", "Jay-Z")],
+                    ..Default::default()
+                },
+            ),
+        ];
+        let (report, lsns) = ctor
+            .consume_logged(
+                &writer,
+                &gen,
+                batches,
+                &RuleMatcher::default(),
+                &LinkTableResolver,
+            )
+            .unwrap();
+        assert_eq!(report.commits, 2);
+        assert_eq!(lsns.len(), 2);
+        assert_eq!(log.head(), saga_core::Lsn(2));
+        // The logged ops carry exactly the report's deltas, in order.
+        let logged: Vec<saga_core::Delta> = log
+            .read_after(saga_core::Lsn::ZERO)
+            .into_iter()
+            .flat_map(|op| op.deltas)
+            .collect();
+        assert_eq!(logged, report.deltas);
+        assert_eq!(writer.read().entity_count(), 2);
     }
 
     #[test]

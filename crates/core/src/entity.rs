@@ -253,6 +253,51 @@ impl EntityRecord {
         self.first_str(intern(well_known::DESCRIPTION))
     }
 
+    /// Non-destructive record-level upsert (fusion's outer-join semantics,
+    /// §2.3): a fact with the same key *and the same object* absorbs the
+    /// new provenance; otherwise the triple is appended as new knowledge.
+    /// Returns `true` if appended.
+    ///
+    /// This is the one merge rule shared by the stable KG's commit path
+    /// and the live store's record-level commits — a detached record is
+    /// not indexed, so mutating one is always safe.
+    pub fn upsert(&mut self, triple: ExtendedTriple) -> bool {
+        for existing in &mut self.triples {
+            if existing.predicate == triple.predicate
+                && existing.rel == triple.rel
+                && existing.object == triple.object
+            {
+                existing.meta.merge(&triple.meta);
+                return false;
+            }
+        }
+        self.triples.push(triple);
+        true
+    }
+
+    /// Remove `source` from the provenance of every matching fact; facts
+    /// left without any provenance are removed and returned. With a
+    /// predicate `filter`, only facts whose predicate is in the set are
+    /// considered (the volatile-partition rule, §2.4).
+    pub fn retract_source_facts(
+        &mut self,
+        source: SourceId,
+        filter: Option<&crate::FxHashSet<Symbol>>,
+    ) -> Vec<ExtendedTriple> {
+        let mut dropped = Vec::new();
+        self.triples.retain_mut(|t| {
+            if filter.is_some_and(|preds| !preds.contains(&t.predicate)) {
+                return true;
+            }
+            if t.meta.has_source(source) && t.meta.retract_source(source) {
+                dropped.push(t.clone());
+                return false;
+            }
+            true
+        });
+        dropped
+    }
+
     /// Name plus aliases as owned strings (used by index builders).
     pub fn all_names(&self) -> Vec<Arc<str>> {
         let name = intern(well_known::NAME);

@@ -9,13 +9,13 @@
 //! 2. **Replay equivalence** — the [`Delta`] change feed drained from the
 //!    KG, replayed onto an empty index, reproduces the KG's index exactly.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use saga_core::index::{flatten, name_tokens};
-use saga_core::{
+use crate::index::{flatten, name_tokens};
+use crate::{
     intern, Delta, EntityId, ExtendedTriple, FactMeta, FxHashSet, KnowledgeGraph, RelId, SourceId,
     Symbol, TripleIndex, Value,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 const PREDICATES: [&str; 6] = ["name", "alias", "type", "knows", "founded", "score"];
 const TYPES: [&str; 3] = ["person", "song", "city"];

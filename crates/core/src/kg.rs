@@ -40,11 +40,17 @@ pub struct KgStats {
 }
 
 /// The canonical knowledge graph.
+///
+/// All mutation funnels through the transactional
+/// [`GraphWrite`](crate::GraphWrite) commit point (see
+/// [`crate::write`]); the crate-internal mutators below are its
+/// implementation substrate and the direct path the in-crate equivalence
+/// property tests compare against.
 #[derive(Clone, Debug)]
 pub struct KnowledgeGraph {
-    entities: FxHashMap<EntityId, EntityRecord>,
+    pub(crate) entities: FxHashMap<EntityId, EntityRecord>,
     /// `same_as` provenance: which source entity maps to which KG entity.
-    links: FxHashMap<(SourceId, Arc<str>), EntityId>,
+    pub(crate) links: FxHashMap<(SourceId, Arc<str>), EntityId>,
     /// The unified triple index, maintained incrementally by every mutator.
     index: TripleIndex,
     /// Deltas accumulated since the last [`drain_deltas`](Self::drain_deltas),
@@ -103,19 +109,22 @@ impl KnowledgeGraph {
         self.entities.get(&id)
     }
 
-    /// Fetch an entity record mutably.
-    ///
-    /// Direct mutation bypasses index maintenance — callers that change
-    /// `triples` through this handle must follow up with
-    /// [`reindex_entity`](Self::reindex_entity); prefer
-    /// [`mutate_entity`](Self::mutate_entity), which does both.
-    pub fn entity_mut(&mut self, id: EntityId) -> Option<&mut EntityRecord> {
-        self.entities.get_mut(&id)
-    }
-
     /// Mutate an entity record in place, then reconcile the index with
     /// whatever the closure did. Returns `false` if the entity is unknown.
-    pub fn mutate_entity(&mut self, id: EntityId, f: impl FnOnce(&mut EntityRecord)) -> bool {
+    ///
+    /// Crate-internal: the delta is returned to the caller only, invisible
+    /// to changelog consumers — producers stage edits through
+    /// [`WriteBatch::mutate`](crate::WriteBatch::mutate) instead, which
+    /// folds them into the commit receipt.
+    /// Reference semantics for the staged commit path — exercised by the
+    /// in-crate equivalence property tests; production writers commit
+    /// through [`GraphWrite`](crate::GraphWrite).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn mutate_entity(
+        &mut self,
+        id: EntityId,
+        f: impl FnOnce(&mut EntityRecord),
+    ) -> bool {
         match self.entities.get_mut(&id) {
             Some(record) => {
                 f(record);
@@ -128,7 +137,11 @@ impl KnowledgeGraph {
 
     /// Re-derive the index entries of one entity from its current record
     /// (diff-based — unchanged facts are untouched). Records the delta.
-    pub fn reindex_entity(&mut self, id: EntityId) -> Delta {
+    /// Reference semantics for the staged commit path — exercised by the
+    /// in-crate equivalence property tests; production writers commit
+    /// through [`GraphWrite`](crate::GraphWrite).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn reindex_entity(&mut self, id: EntityId) -> Delta {
         let delta = match self.entities.get(&id) {
             Some(record) => {
                 let now_empty = record.triples.is_empty();
@@ -151,12 +164,25 @@ impl KnowledgeGraph {
         &self.index
     }
 
-    /// Drain the [`Delta`]s accumulated since the last call — the change
-    /// feed downstream stores replay to stay consistent. Check
+    /// Mutable index access for the staged-commit apply path.
+    pub(crate) fn index_mut(&mut self) -> &mut TripleIndex {
+        &mut self.index
+    }
+
+    /// Drain the [`Delta`]s accumulated since the last call. Check
     /// [`dropped_deltas`](Self::dropped_deltas) before trusting the feed:
     /// a nonzero increase means older deltas were evicted and replay alone
     /// cannot reconstruct the current state.
-    pub fn drain_deltas(&mut self) -> Vec<Delta> {
+    ///
+    /// Crate-internal since the `GraphWrite` redesign: producers fan out
+    /// the [`CommitReceipt`](crate::CommitReceipt) (whose deltas are
+    /// exactly what one commit recorded here) instead of draining a shared
+    /// feed they might race other consumers for.
+    /// Reference semantics for the staged commit path — exercised by the
+    /// in-crate equivalence property tests; production writers commit
+    /// through [`GraphWrite`](crate::GraphWrite).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn drain_deltas(&mut self) -> Vec<Delta> {
         std::mem::take(&mut self.changelog).into()
     }
 
@@ -195,7 +221,7 @@ impl KnowledgeGraph {
         self.generation
     }
 
-    fn record_delta(&mut self, delta: Delta) {
+    pub(crate) fn record_delta(&mut self, delta: Delta) {
         if !delta.is_empty() {
             self.generation += 1;
             if self.changelog.len() == self.changelog_capacity {
@@ -221,27 +247,19 @@ impl KnowledgeGraph {
         self.entities.values().flat_map(|r| r.triples.iter())
     }
 
-    /// Create (or fetch) the record for `id`.
-    ///
-    /// Like [`entity_mut`](Self::entity_mut), the returned handle bypasses
-    /// index maintenance: a caller that pushes into `triples` through it
-    /// must follow up with [`reindex_entity`](Self::reindex_entity), or the
-    /// new facts are invisible to every probe. Prefer
-    /// [`upsert_fact`](Self::upsert_fact) /
-    /// [`mutate_entity`](Self::mutate_entity), which keep the index in sync.
-    pub fn ensure_entity(&mut self, id: EntityId) -> &mut EntityRecord {
-        self.entities
-            .entry(id)
-            .or_insert_with(|| EntityRecord::new(id))
-    }
-
     /// True if the entity exists.
     pub fn contains(&self, id: EntityId) -> bool {
         self.entities.contains_key(&id)
     }
 
     /// Record a `same_as` link from a source entity to a KG entity.
-    pub fn record_link(&mut self, source: SourceId, local_id: &str, kg: EntityId) {
+    /// Crate-internal: stage links through
+    /// [`WriteBatch::link`](crate::WriteBatch::link).
+    /// Reference semantics for the staged commit path — exercised by the
+    /// in-crate equivalence property tests; production writers commit
+    /// through [`GraphWrite`](crate::GraphWrite).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn record_link(&mut self, source: SourceId, local_id: &str, kg: EntityId) {
         self.links.insert((source, Arc::from(local_id)), kg);
     }
 
@@ -274,7 +292,7 @@ impl KnowledgeGraph {
     /// # Panics
     /// Panics if the triple's subject is not a KG entity — only linked
     /// payloads may be fused.
-    pub fn upsert_fact(&mut self, triple: ExtendedTriple) -> bool {
+    pub(crate) fn upsert_fact(&mut self, triple: ExtendedTriple) -> bool {
         let id = triple
             .subject
             .as_kg()
@@ -283,19 +301,22 @@ impl KnowledgeGraph {
             .entities
             .entry(id)
             .or_insert_with(|| EntityRecord::new(id));
-        for existing in &mut record.triples {
-            if existing.predicate == triple.predicate
-                && existing.rel == triple.rel
-                && existing.object == triple.object
-            {
-                // Provenance-only change: the index is object-level and
-                // needs no maintenance.
-                existing.meta.merge(&triple.meta);
-                return false;
-            }
+        let added: Vec<crate::DeltaFact> = crate::index::flatten(&triple)
+            .map(|(predicate, object)| crate::DeltaFact { predicate, object })
+            .into_iter()
+            .collect();
+        // Record-level outer join (shared with the staged commit path): a
+        // provenance-only merge needs no index maintenance (the index is
+        // object-level).
+        if !record.upsert(triple) {
+            return false;
         }
-        let delta = self.index.add_facts(id, std::iter::once(&triple));
-        record.triples.push(triple);
+        let delta = Delta {
+            entity: id,
+            added,
+            removed: Vec::new(),
+        };
+        self.index.apply(&delta);
         self.record_delta(delta);
         true
     }
@@ -305,23 +326,17 @@ impl KnowledgeGraph {
     ///
     /// Implements on-demand data deletion / license-revocation (§1 challenge
     /// 2). Returns `(facts_dropped, entities_dropped)`.
-    pub fn retract_source(&mut self, source: SourceId) -> (usize, usize) {
+    /// Reference semantics for the staged commit path — exercised by the
+    /// in-crate equivalence property tests; production writers commit
+    /// through [`GraphWrite`](crate::GraphWrite).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn retract_source(&mut self, source: SourceId) -> (usize, usize) {
         let mut facts_dropped = 0;
         let mut empty: Vec<EntityId> = Vec::new();
         let mut retracted: Vec<(EntityId, Vec<ExtendedTriple>)> = Vec::new();
         for (id, record) in self.entities.iter_mut() {
-            let mut dropped: Vec<ExtendedTriple> = Vec::new();
-            record.triples.retain_mut(|t| {
-                if t.meta.has_source(source) {
-                    let orphaned = t.meta.retract_source(source);
-                    if orphaned {
-                        facts_dropped += 1;
-                        dropped.push(t.clone());
-                        return false;
-                    }
-                }
-                true
-            });
+            let dropped = record.retract_source_facts(source, None);
+            facts_dropped += dropped.len();
             if !dropped.is_empty() {
                 retracted.push((*id, dropped));
             }
@@ -345,19 +360,17 @@ impl KnowledgeGraph {
     ///
     /// Facts whose only provenance was `(source)` on the linked KG entity
     /// are dropped; the `same_as` link is removed.
-    pub fn retract_source_entity(&mut self, source: SourceId, local_id: &str) -> usize {
+    /// Reference semantics for the staged commit path — exercised by the
+    /// in-crate equivalence property tests; production writers commit
+    /// through [`GraphWrite`](crate::GraphWrite).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn retract_source_entity(&mut self, source: SourceId, local_id: &str) -> usize {
         let Some(kg_id) = self.lookup_link(source, local_id) else {
             return 0;
         };
         let mut removed: Vec<ExtendedTriple> = Vec::new();
         if let Some(record) = self.entities.get_mut(&kg_id) {
-            record.triples.retain_mut(|t| {
-                if t.meta.has_source(source) && t.meta.retract_source(source) {
-                    removed.push(t.clone());
-                    return false;
-                }
-                true
-            });
+            removed = record.retract_source_facts(source, None);
             if record.triples.is_empty() {
                 self.entities.remove(&kg_id);
             }
@@ -375,7 +388,11 @@ impl KnowledgeGraph {
     /// `fresh` in one pass, without per-fact joins.
     ///
     /// Returns the number of facts dropped (before inserting `fresh`).
-    pub fn overwrite_volatile_partition(
+    /// Reference semantics for the staged commit path — exercised by the
+    /// in-crate equivalence property tests; production writers commit
+    /// through [`GraphWrite`](crate::GraphWrite).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn overwrite_volatile_partition(
         &mut self,
         source: SourceId,
         volatile_predicates: &FxHashSet<Symbol>,
@@ -384,18 +401,8 @@ impl KnowledgeGraph {
         let mut dropped = 0;
         let mut retracted: Vec<(EntityId, Vec<ExtendedTriple>)> = Vec::new();
         for (id, record) in self.entities.iter_mut() {
-            let mut gone: Vec<ExtendedTriple> = Vec::new();
-            record.triples.retain_mut(|t| {
-                if volatile_predicates.contains(&t.predicate)
-                    && t.meta.has_source(source)
-                    && t.meta.retract_source(source)
-                {
-                    dropped += 1;
-                    gone.push(t.clone());
-                    return false;
-                }
-                true
-            });
+            let gone = record.retract_source_facts(source, Some(volatile_predicates));
+            dropped += gone.len();
             if !gone.is_empty() {
                 retracted.push((*id, gone));
             }

@@ -36,6 +36,14 @@ pub mod row;
 pub mod triple;
 pub mod value;
 pub mod wire;
+pub mod write;
+
+#[cfg(test)]
+mod index_properties;
+#[cfg(test)]
+mod properties;
+#[cfg(test)]
+mod write_properties;
 
 pub use entity::{EntityPayload, EntityRecord};
 pub use error::{Result, SagaError};
@@ -48,6 +56,10 @@ pub use read::{GraphRead, OverlayRead};
 pub use row::{Dataset, Row};
 pub use triple::{ExtendedTriple, RelPart, SubjectRef, TripleKey};
 pub use value::Value;
+pub use write::{
+    CommitReceipt, GraphWrite, GraphWriteExt, KgTransaction, OpOutcome, StagedCommit, WriteBatch,
+    WriteOp,
+};
 
 /// Convenience alias for the Fx (rustc-hash) hash map used on all hot paths.
 pub type FxHashMap<K, V> = rustc_hash::FxHashMap<K, V>;

@@ -1,7 +1,7 @@
 //! Property-based tests for the core data model invariants.
 
+use crate::{intern, EntityId, ExtendedTriple, FactMeta, KnowledgeGraph, SourceId, Value};
 use proptest::prelude::*;
-use saga_core::{intern, EntityId, ExtendedTriple, FactMeta, KnowledgeGraph, SourceId, Value};
 
 fn arb_value() -> impl Strategy<Value = Value> {
     prop_oneof![

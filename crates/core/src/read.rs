@@ -265,6 +265,32 @@ impl<L: GraphRead, S: GraphRead> OverlayRead<L, S> {
     pub fn tombstone_count(&self) -> usize {
         self.tombstones.read().len()
     }
+
+    /// Drop tombstones made redundant by stable-side retractions: a
+    /// tombstone only shadows a *stable* record, so once the stable layer
+    /// no longer asserts the entity the tombstone is dead weight.
+    ///
+    /// `stable_removed` is the set of entities a stable-side commit
+    /// dropped — take it straight from
+    /// [`CommitReceipt::entities_removed`](crate::CommitReceipt); each id
+    /// is re-checked against the stable layer before pruning, so a stale
+    /// signal can never unshadow a live record. Returns the number of
+    /// tombstones pruned. The retention loop for the ROADMAP's unbounded
+    /// tombstone set: wire every `LoggedWriter` commit's receipt through
+    /// here and the set shrinks as construction compacts retractions in.
+    pub fn prune_tombstones(&self, stable_removed: &[EntityId]) -> usize {
+        let mut pruned = 0;
+        let mut tombstones = self.tombstones.write();
+        for id in stable_removed {
+            if !self.stable.contains(*id) && tombstones.remove(id) {
+                // No generation bump: the entity was invisible before
+                // (tombstoned) and stays invisible (gone from stable), so
+                // no cached plan's answers change.
+                pruned += 1;
+            }
+        }
+        pruned
+    }
 }
 
 impl<L: GraphRead, S: GraphRead> GraphRead for OverlayRead<L, S> {
@@ -435,6 +461,53 @@ mod tests {
 
         assert!(overlay.resurrect(EntityId(2)));
         assert!(overlay.contains(EntityId(2)));
+    }
+
+    #[test]
+    fn prune_tombstones_drops_only_stable_side_retractions() {
+        use crate::{GraphWriteExt, SourceId};
+        let mut stable = stable_kg();
+        stable.commit_upsert(ExtendedTriple::simple(
+            EntityId(9),
+            intern("name"),
+            Value::str("Niner"),
+            FactMeta::from_source(SourceId(9), 0.9),
+        ));
+        let overlay = OverlayRead::new(KnowledgeGraph::new(), stable);
+        overlay.tombstone(EntityId(2));
+        overlay.tombstone(EntityId(9));
+        assert_eq!(overlay.tombstone_count(), 2);
+
+        // Entity 2 still lives in the stable layer: its tombstone is
+        // load-bearing and must survive even if named in the signal.
+        assert_eq!(overlay.prune_tombstones(&[EntityId(2)]), 0);
+        assert_eq!(overlay.tombstone_count(), 2);
+        assert!(!overlay.contains(EntityId(2)), "still shadowed");
+
+        // Retract entity 9 on the stable side, then feed the commit
+        // receipt's removal set through the pruning hook.
+        let receipt = {
+            // Re-borrowing the stable layer mutably is test-only surgery;
+            // production wires `LoggedWriter` receipts through here.
+            let mut fresh = stable_kg();
+            fresh.commit_upsert(ExtendedTriple::simple(
+                EntityId(9),
+                intern("name"),
+                Value::str("Niner"),
+                FactMeta::from_source(SourceId(9), 0.9),
+            ));
+            let receipt = fresh.commit_retract_source(SourceId(9));
+            let overlay = OverlayRead::new(KnowledgeGraph::new(), fresh);
+            overlay.tombstone(EntityId(2));
+            overlay.tombstone(EntityId(9));
+            assert_eq!(receipt.entities_removed, vec![EntityId(9)]);
+            assert_eq!(overlay.prune_tombstones(&receipt.entities_removed), 1);
+            assert_eq!(overlay.tombstone_count(), 1, "only the dead one pruned");
+            assert!(!overlay.contains(EntityId(9)), "stays invisible");
+            assert!(!overlay.contains(EntityId(2)), "live tombstone kept");
+            receipt
+        };
+        assert!(!receipt.is_empty());
     }
 
     #[test]

@@ -714,7 +714,7 @@ impl Frame {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::{ExtendedTriple, FactMeta, RelId, SourceId};
+    use saga_core::{ExtendedTriple, FactMeta, GraphWriteExt, RelId, SourceId, WriteBatch};
 
     fn meta() -> FactMeta {
         FactMeta::from_source(SourceId(1), 0.9)
@@ -725,25 +725,25 @@ mod tests {
         kg.add_named_entity(EntityId(1), "Artist A", "music_artist", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(2), "Song X", "song", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(3), "Song Y", "song", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(2),
             intern("performed_by"),
             Value::Entity(EntityId(1)),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(3),
             intern("performed_by"),
             Value::Entity(EntityId(1)),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(2),
             intern("duration_s"),
             Value::Int(194),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::composite(
+        kg.commit_upsert(ExtendedTriple::composite(
             EntityId(1),
             intern("educated_at"),
             RelId(1),
@@ -809,13 +809,13 @@ mod tests {
         let mut store = AnalyticsStore::build(&g);
         // New song appears; an old one is deleted.
         g.add_named_entity(EntityId(4), "Song Z", "song", SourceId(1), 0.9);
-        g.upsert_fact(ExtendedTriple::simple(
+        g.commit_upsert(ExtendedTriple::simple(
             EntityId(4),
             intern("performed_by"),
             Value::Entity(EntityId(1)),
             meta(),
         ));
-        g.retract_source_entity(SourceId(1), "nonexistent"); // no-op
+        g.commit_retract_source_entity(SourceId(1), "nonexistent"); // no-op
         store.update(&g, &[EntityId(4)]);
         assert_eq!(
             store
@@ -830,8 +830,10 @@ mod tests {
 
         // Simulate deletion of entity 2.
         let mut g2 = g.clone();
-        g2.record_link(SourceId(1), "s2", EntityId(2));
-        g2.retract_source_entity(SourceId(1), "s2");
+        WriteBatch::new()
+            .link(SourceId(1), "s2", EntityId(2))
+            .retract_source_entity(SourceId(1), "s2")
+            .commit(&mut g2);
         store.update(&g2, &[EntityId(2)]);
         assert_eq!(store.entities_of_type(intern("song")).len(), 2);
         assert_eq!(
@@ -846,23 +848,23 @@ mod tests {
     }
 
     #[test]
-    fn kg_changelog_deltas_replay_into_the_store() {
+    fn commit_receipt_deltas_replay_into_the_store() {
         let mut g = KnowledgeGraph::new();
         g.add_named_entity(EntityId(1), "Artist A", "music_artist", SourceId(1), 0.9);
         let mut store = AnalyticsStore::build(&g);
-        g.drain_deltas(); // already materialized via build
 
-        // New entity + edge arrive; the drained change feed carries them.
-        g.add_named_entity(EntityId(2), "Song X", "song", SourceId(1), 0.9);
-        g.upsert_fact(ExtendedTriple::simple(
-            EntityId(2),
-            intern("performed_by"),
-            Value::Entity(EntityId(1)),
-            meta(),
-        ));
-        let deltas = g.drain_deltas();
-        assert!(!deltas.is_empty());
-        store.apply_deltas(&deltas);
+        // New entity + edge arrive; the commit receipt carries them.
+        let receipt = WriteBatch::new()
+            .named_entity(EntityId(2), "Song X", "song", SourceId(1), 0.9)
+            .upsert(ExtendedTriple::simple(
+                EntityId(2),
+                intern("performed_by"),
+                Value::Entity(EntityId(1)),
+                meta(),
+            ))
+            .commit(&mut g);
+        assert!(!receipt.deltas.is_empty());
+        store.apply_deltas(&receipt.deltas);
         assert_eq!(
             store
                 .table(intern("performed_by"))
@@ -874,10 +876,12 @@ mod tests {
         );
         assert_eq!(store.entities_of_type(intern("song")), &[2]);
 
-        // Retraction flows through the same feed.
-        g.record_link(SourceId(1), "x", EntityId(2));
-        g.retract_source_entity(SourceId(1), "x");
-        store.apply_deltas(&g.drain_deltas());
+        // Retraction flows through the same receipt channel.
+        let receipt = WriteBatch::new()
+            .link(SourceId(1), "x", EntityId(2))
+            .retract_source_entity(SourceId(1), "x")
+            .commit(&mut g);
+        store.apply_deltas(&receipt.deltas);
         assert!(store.entities_of_type(intern("song")).is_empty());
         assert!(store.table(intern("performed_by")).unwrap().is_empty());
         assert_eq!(

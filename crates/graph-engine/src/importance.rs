@@ -152,7 +152,7 @@ impl View for ImportanceView {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::{intern, ExtendedTriple, FactMeta, SourceId, Value};
+    use saga_core::{intern, ExtendedTriple, FactMeta, GraphWriteExt, SourceId, Value};
 
     /// A star graph: hub ← spokes, plus an isolated node.
     fn star_kg(spokes: u64) -> KnowledgeGraph {
@@ -162,7 +162,7 @@ mod tests {
         for i in 0..spokes {
             let id = EntityId(10 + i);
             kg.add_named_entity(id, &format!("Spoke{i}"), "person", SourceId(1), 0.9);
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 id,
                 intern("member_of"),
                 Value::Entity(EntityId(1)),
@@ -196,7 +196,7 @@ mod tests {
     fn identities_count_contributing_sources() {
         let mut kg = star_kg(2);
         // A second source corroborates the hub's name.
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("name"),
             Value::str("Hub"),

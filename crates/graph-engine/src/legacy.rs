@@ -149,7 +149,7 @@ impl LegacyEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::{EntityId, ExtendedTriple, FactMeta, SourceId};
+    use saga_core::{EntityId, ExtendedTriple, FactMeta, GraphWriteExt, SourceId};
 
     fn kg() -> KnowledgeGraph {
         let mut kg = KnowledgeGraph::new();
@@ -157,13 +157,13 @@ mod tests {
         kg.add_named_entity(EntityId(1), "Artist A", "music_artist", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(2), "Song X", "song", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(3), "Song Y", "song", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(2),
             saga_core::intern("performed_by"),
             Value::Entity(EntityId(1)),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(3),
             saga_core::intern("performed_by"),
             Value::Entity(EntityId(1)),

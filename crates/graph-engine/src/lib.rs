@@ -31,6 +31,11 @@
 //!   the canonical KG through the backend-agnostic
 //!   [`GraphRead`](saga_core::GraphRead) API so query engines serve it
 //!   concurrently with construction.
+//! * [`writer`] — the write-ahead entry point: [`LoggedWriter`] stages
+//!   [`WriteBatch`](saga_core::WriteBatch)es through the transactional
+//!   [`GraphWrite`](saga_core::GraphWrite) API and appends each commit to
+//!   the [`oplog`] *before* applying it, making the log the source of
+//!   truth for every derived store.
 
 pub mod analytics;
 pub mod importance;
@@ -41,6 +46,7 @@ pub mod orchestration;
 pub mod production_views;
 pub mod serving;
 pub mod views;
+pub mod writer;
 
 pub use analytics::{AnalyticsStore, Frame, FrameCol};
 pub use importance::{compute_importance, ImportanceConfig, ImportanceScores};
@@ -53,3 +59,4 @@ pub use orchestration::{
 };
 pub use serving::StableRead;
 pub use views::{View, ViewData, ViewManager, ViewRegistration};
+pub use writer::{LoggedCommit, LoggedWriter};

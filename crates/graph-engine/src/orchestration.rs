@@ -345,7 +345,8 @@ fn _doc(_: Symbol) {}
 mod tests {
     use super::*;
     use crate::oplog::OpKind;
-    use saga_core::{intern, ExtendedTriple, FactMeta, SourceId, Value};
+    use crate::writer::LoggedWriter;
+    use saga_core::{intern, ExtendedTriple, FactMeta, GraphWriteExt, SourceId, Value, WriteBatch};
 
     fn setup() -> (KnowledgeGraph, Arc<OperationLog>, Arc<MetadataStore>) {
         (
@@ -395,8 +396,10 @@ mod tests {
         assert_eq!(agent.get(EntityId(1)).unwrap().name(), Some("X"));
 
         // Delete: KG no longer has the entity.
-        kg.record_link(SourceId(1), "x", EntityId(1));
-        kg.retract_source_entity(SourceId(1), "x");
+        WriteBatch::new()
+            .link(SourceId(1), "x", EntityId(1))
+            .retract_source_entity(SourceId(1), "x")
+            .commit(&mut kg);
         let op2 = IngestOp {
             lsn: saga_core::Lsn(2),
             kind: OpKind::Delete,
@@ -419,7 +422,7 @@ mod tests {
             SourceId(1),
             0.9,
         );
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("description"),
             Value::str("American singer and songwriter"),
@@ -483,7 +486,7 @@ mod tests {
         idx.apply(&kg, &up).unwrap();
         txt.apply(&kg, &up).unwrap();
 
-        kg.retract_source(SourceId(5));
+        kg.commit_retract_source(SourceId(5));
         let op = IngestOp {
             lsn: saga_core::Lsn(2),
             kind: OpKind::RetractSource(SourceId(5)),
@@ -501,37 +504,45 @@ mod tests {
     /// *empty* graph — nothing is read from the producer's store.
     #[test]
     fn analytics_agent_replays_from_log_deltas_without_the_kg() {
-        let mut producer = KnowledgeGraph::new();
         let log = Arc::new(OperationLog::in_memory());
+        let producer = LoggedWriter::new(
+            Arc::new(RwLock::new(KnowledgeGraph::new())),
+            Arc::clone(&log),
+        );
 
-        producer.add_named_entity(EntityId(1), "A", "music_artist", SourceId(1), 0.9);
-        producer.upsert_fact(ExtendedTriple::simple(
-            EntityId(1),
-            intern("popularity"),
-            Value::Int(10),
-            FactMeta::from_source(SourceId(1), 0.9),
-        ));
-        log.append_op(OpKind::Upsert, producer.drain_deltas())
+        producer
+            .commit(
+                OpKind::Upsert,
+                WriteBatch::new()
+                    .named_entity(EntityId(1), "A", "music_artist", SourceId(1), 0.9)
+                    .upsert(ExtendedTriple::simple(
+                        EntityId(1),
+                        intern("popularity"),
+                        Value::Int(10),
+                        FactMeta::from_source(SourceId(1), 0.9),
+                    )),
+            )
             .unwrap();
         // Second op: the popularity fact is replaced.
-        producer.record_link(SourceId(1), "a", EntityId(1));
         let mut volatile = saga_core::FxHashSet::default();
         volatile.insert(intern("popularity"));
-        producer.overwrite_volatile_partition(
-            SourceId(1),
-            &volatile,
-            vec![ExtendedTriple::simple(
-                EntityId(1),
-                intern("popularity"),
-                Value::Int(99),
-                FactMeta::from_source(SourceId(1), 0.9),
-            )],
-        );
-        log.append_op(
-            OpKind::VolatileOverwrite(SourceId(1)),
-            producer.drain_deltas(),
-        )
-        .unwrap();
+        producer
+            .commit(
+                OpKind::VolatileOverwrite(SourceId(1)),
+                WriteBatch::new()
+                    .link(SourceId(1), "a", EntityId(1))
+                    .overwrite_volatile(
+                        SourceId(1),
+                        volatile,
+                        vec![ExtendedTriple::simple(
+                            EntityId(1),
+                            intern("popularity"),
+                            Value::Int(99),
+                            FactMeta::from_source(SourceId(1), 0.9),
+                        )],
+                    ),
+            )
+            .unwrap();
 
         let mut agent = AnalyticsAgent::new();
         let decoy = KnowledgeGraph::new(); // deliberately empty
@@ -549,7 +560,8 @@ mod tests {
     /// both track freshness in the metadata store.
     #[test]
     fn view_agent_follows_the_log_behind_analytics() {
-        let (mut kg, log, meta) = setup();
+        let (kg, log, meta) = setup();
+        let writer = LoggedWriter::new(Arc::new(RwLock::new(kg)), Arc::clone(&log));
         let mut runner = AgentRunner::new(Arc::clone(&log), Arc::clone(&meta));
         let analytics = AnalyticsAgent::new();
         let store_handle = analytics.store_handle();
@@ -560,19 +572,27 @@ mod tests {
         runner.register(Box::new(analytics));
         runner.register(Box::new(ViewMaintenanceAgent::new(views, store_handle)));
 
-        kg.add_named_entity(EntityId(1), "A", "person", SourceId(1), 0.9);
-        log.append_op(OpKind::Upsert, kg.drain_deltas()).unwrap();
-        runner.run_once(&kg).unwrap();
+        writer
+            .commit(
+                OpKind::Upsert,
+                WriteBatch::new().named_entity(EntityId(1), "A", "person", SourceId(1), 0.9),
+            )
+            .unwrap();
+        runner.run_once(&writer.read()).unwrap();
         assert_eq!(meta.consistent_lsn(&["analytics", "views"]), log.head());
 
-        kg.upsert_fact(ExtendedTriple::simple(
-            EntityId(1),
-            intern("alias"),
-            Value::str("Ace"),
-            FactMeta::from_source(SourceId(1), 0.9),
-        ));
-        log.append_op(OpKind::Upsert, kg.drain_deltas()).unwrap();
-        runner.run_once(&kg).unwrap();
+        writer
+            .commit(
+                OpKind::Upsert,
+                WriteBatch::new().upsert(ExtendedTriple::simple(
+                    EntityId(1),
+                    intern("alias"),
+                    Value::str("Ace"),
+                    FactMeta::from_source(SourceId(1), 0.9),
+                )),
+            )
+            .unwrap();
+        runner.run_once(&writer.read()).unwrap();
 
         // Reach into the registered view agent via a fresh follower pass:
         // easier to assert on a standalone agent.
@@ -584,6 +604,7 @@ mod tests {
             views,
             Arc::new(RwLock::new(crate::analytics::AnalyticsStore::default())),
         );
+        let kg = writer.read();
         for op in log.read_after(saga_core::Lsn::ZERO) {
             standalone.apply(&kg, &op).unwrap();
         }

@@ -389,7 +389,9 @@ fn _doc(_: Frame) {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::{EntityId, ExtendedTriple, FactMeta, KnowledgeGraph, RelId, SourceId, Value};
+    use saga_core::{
+        EntityId, ExtendedTriple, FactMeta, GraphWriteExt, KnowledgeGraph, RelId, SourceId, Value,
+    };
 
     /// A small but complete media world exercising all six views.
     pub(crate) fn media_kg() -> KnowledgeGraph {
@@ -406,25 +408,25 @@ mod tests {
         let p1 = add(&mut kg, "J. Smith", "person");
         let p2 = add(&mut kg, "A. Jones", "person");
         let city = add(&mut kg, "Springfield", "city");
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             p1,
             saga_core::intern("birthplace"),
             Value::Entity(city),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             p2,
             saga_core::intern("birthplace"),
             Value::Entity(city),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             p1,
             saga_core::intern("spouse"),
             Value::Entity(p2),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             p2,
             saga_core::intern("spouse"),
             Value::Entity(p1),
@@ -433,7 +435,7 @@ mod tests {
         // Music.
         let artist = add(&mut kg, "Billie Eilish", "music_artist");
         let label = add(&mut kg, "Darkroom", "record_label");
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             artist,
             saga_core::intern("signed_to"),
             Value::Entity(label),
@@ -442,13 +444,13 @@ mod tests {
         let s1 = add(&mut kg, "Bad Guy", "song");
         let s2 = add(&mut kg, "Bury a Friend", "song");
         for s in [s1, s2] {
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 s,
                 saga_core::intern("performed_by"),
                 Value::Entity(artist),
                 meta(),
             ));
-            kg.upsert_fact(ExtendedTriple::simple(
+            kg.commit_upsert(ExtendedTriple::simple(
                 s,
                 saga_core::intern("duration_s"),
                 Value::Int(200),
@@ -456,13 +458,13 @@ mod tests {
             ));
         }
         let pl = add(&mut kg, "My Mix", "playlist");
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             pl,
             saga_core::intern("track_of"),
             Value::Entity(s1),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             pl,
             saga_core::intern("track_of"),
             Value::Entity(s2),
@@ -470,20 +472,20 @@ mod tests {
         ));
         // Movies.
         let m = add(&mut kg, "Knives Out", "movie");
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             m,
             saga_core::intern("full_title"),
             Value::str("Knives Out"),
             meta(),
         ));
         let dir = add(&mut kg, "R. Johnson", "person");
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             m,
             saga_core::intern("directed_by"),
             Value::Entity(dir),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::composite(
+        kg.commit_upsert(ExtendedTriple::composite(
             m,
             saga_core::intern("cast"),
             RelId(1),
@@ -491,7 +493,7 @@ mod tests {
             Value::Entity(p1),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::composite(
+        kg.commit_upsert(ExtendedTriple::composite(
             m,
             saga_core::intern("cast"),
             RelId(2),

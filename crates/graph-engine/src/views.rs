@@ -406,7 +406,7 @@ impl ViewManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::{intern, SourceId};
+    use saga_core::{intern, GraphWriteExt, SourceId};
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
@@ -550,7 +550,7 @@ mod tests {
         assert_eq!(scores[&saga_core::EntityId(1)], 2.0, "name + type");
 
         // One new fact on entity 1; entity 2 untouched.
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             saga_core::EntityId(1),
             intern("alias"),
             Value::str("Ace"),
@@ -563,8 +563,10 @@ mod tests {
         assert_eq!(scores[&saga_core::EntityId(2)], 2.0);
 
         // Retraction drops the entity from the view.
-        kg.record_link(SourceId(1), "b", saga_core::EntityId(2));
-        kg.retract_source_entity(SourceId(1), "b");
+        saga_core::WriteBatch::new()
+            .link(SourceId(1), "b", saga_core::EntityId(2))
+            .retract_source_entity(SourceId(1), "b")
+            .commit(&mut kg);
         vm.update_changed(&kg, &store, &[saga_core::EntityId(2)])
             .unwrap();
         let scores = vm.get("entity_fact_counts").unwrap().as_scores().unwrap();

@@ -1,0 +1,294 @@
+//! `LoggedWriter` — the Graph Engine's write-ahead entry point.
+//!
+//! §3.1's contract is that *the shared log* is what keeps every store
+//! "eventually indexing the same KG updates in the same order" — which
+//! only holds if nothing reaches the canonical KG without first reaching
+//! the log. `LoggedWriter` enforces that ordering mechanically:
+//!
+//! 1. the batch is **staged** against the KG (read-only; exact per-op
+//!    [`Delta`](saga_core::Delta)s computed — see
+//!    [`KgTransaction`]),
+//! 2. the deltas are **appended** to the durable [`OperationLog`] (the
+//!    write-ahead point — an `Err` here aborts the commit with the KG
+//!    untouched),
+//! 3. the staged state is **applied** to the KG and the
+//!    [`CommitReceipt`] returned alongside the assigned
+//!    [`Lsn`].
+//!
+//! All three steps run under one exclusive lock, so log order equals
+//! apply order equals read-visibility order. A producer that dies between
+//! 2 and 3 has lost nothing: the logged deltas replay into any
+//! `LogFollower`-driven store (the `commit_crashing_before_apply` hook
+//! exists so tests can prove exactly that).
+//!
+//! This replaces the old footgun where every producer hand-paired
+//! `kg.drain_deltas()` with `log.append_op(...)` — forget one and you lose
+//! durability, repeat one and followers double-apply. CI now rejects new
+//! call sites of either outside the core internals.
+
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard};
+use saga_core::{
+    CommitReceipt, GraphWrite, KgTransaction, KnowledgeGraph, Lsn, Result, WriteBatch,
+};
+
+use crate::oplog::{OpKind, OperationLog};
+use crate::serving::StableRead;
+
+/// A successful logged commit: where it landed in the log and what it did.
+#[derive(Debug)]
+pub struct LoggedCommit {
+    /// The operation's log sequence number (the durability watermark a
+    /// caller can hand to `MetadataStore`-style freshness queries).
+    pub lsn: Lsn,
+    /// The commit receipt — deltas, outcomes, generation, removal set.
+    pub receipt: CommitReceipt,
+}
+
+/// The write-ahead writer over a shared stable KG and the operation log.
+///
+/// Cheap to clone; clones share the graph, the log and the commit lock.
+pub struct LoggedWriter {
+    kg: Arc<RwLock<KnowledgeGraph>>,
+    log: Arc<OperationLog>,
+}
+
+impl Clone for LoggedWriter {
+    fn clone(&self) -> Self {
+        LoggedWriter {
+            kg: Arc::clone(&self.kg),
+            log: Arc::clone(&self.log),
+        }
+    }
+}
+
+impl LoggedWriter {
+    /// A writer over a shared KG handle and a log.
+    pub fn new(kg: Arc<RwLock<KnowledgeGraph>>, log: Arc<OperationLog>) -> Self {
+        LoggedWriter { kg, log }
+    }
+
+    /// A writer over the graph behind a [`StableRead`] serving handle —
+    /// the usual wiring: reads serve through `StableRead`, writes commit
+    /// here, and both see one graph.
+    pub fn for_stable(stable: &StableRead, log: Arc<OperationLog>) -> Self {
+        LoggedWriter {
+            kg: stable.shared(),
+            log,
+        }
+    }
+
+    /// The followed log (hand it to `LogFollower`s / replicas).
+    pub fn log(&self) -> &Arc<OperationLog> {
+        &self.log
+    }
+
+    /// The shared graph handle.
+    pub fn shared(&self) -> Arc<RwLock<KnowledgeGraph>> {
+        Arc::clone(&self.kg)
+    }
+
+    /// Shared read access to the graph (snapshot linking, serving).
+    pub fn read(&self) -> RwLockReadGuard<'_, KnowledgeGraph> {
+        self.kg.read()
+    }
+
+    /// Stage, write-ahead, apply: commit a batch as one `kind` operation.
+    pub fn commit(&self, kind: OpKind, batch: WriteBatch) -> Result<LoggedCommit> {
+        self.with_txn(kind, |txn| {
+            for op in batch.into_ops() {
+                txn.apply_op(op);
+            }
+        })
+        .map(|(_, commit)| commit)
+    }
+
+    /// Interactive form of [`commit`](Self::commit): the closure stages
+    /// ops through a [`KgTransaction`] (with staged read-your-writes —
+    /// what fusion's relationship-node matching needs), then the staged
+    /// deltas are appended to the log and applied as one operation.
+    pub fn with_txn<R>(
+        &self,
+        kind: OpKind,
+        stage: impl FnOnce(&mut KgTransaction<'_>) -> R,
+    ) -> Result<(R, LoggedCommit)> {
+        let mut kg = self.kg.write();
+        let (out, staged) = {
+            let mut txn = KgTransaction::new(&kg);
+            let out = stage(&mut txn);
+            (out, txn.into_staged())
+        };
+        // Write-ahead point: the log is the source of truth. An append
+        // failure aborts with the graph untouched.
+        let lsn = self.log.append_op(kind, staged.deltas().to_vec())?;
+        let receipt = kg.apply_staged(staged);
+        Ok((out, LoggedCommit { lsn, receipt }))
+    }
+
+    /// Fault-injection twin of [`commit`](Self::commit): stages the batch
+    /// and appends it to the log, then **drops the staged state without
+    /// applying it** — simulating a producer that crashes between the
+    /// write-ahead append and the apply. Crash-ordering tests use this to
+    /// prove the log alone reconstructs the commit; never call it on a
+    /// writer you intend to keep using, since the in-memory graph is now
+    /// behind its own log.
+    #[doc(hidden)]
+    pub fn commit_crashing_before_apply(&self, kind: OpKind, batch: WriteBatch) -> Result<Lsn> {
+        let kg = self.kg.write();
+        let staged = {
+            let mut txn = KgTransaction::new(&kg);
+            for op in batch.into_ops() {
+                txn.apply_op(op);
+            }
+            txn.into_staged()
+        };
+        self.log.append_op(kind, staged.deltas().to_vec())
+    }
+}
+
+/// Batch commits without an explicit kind go into the log as upserts —
+/// the catch-all kind for mixed batches.
+///
+/// # Panics
+/// The `GraphWrite` trait is infallible, so a durable-log append failure
+/// (disk full, fsync error) panics here **with the graph untouched** —
+/// the write-ahead ordering still holds. Callers that need to recover
+/// from log I/O errors should use the fallible
+/// [`LoggedWriter::commit`] directly.
+impl GraphWrite for LoggedWriter {
+    fn commit(&mut self, batch: WriteBatch) -> CommitReceipt {
+        LoggedWriter::commit(self, OpKind::Upsert, batch)
+            .expect("oplog append failed")
+            .receipt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oplog::LogFollower;
+    use saga_core::{intern, EntityId, ExtendedTriple, FactMeta, GraphRead, SourceId, Value};
+
+    fn fact(e: u64, p: &str, v: Value) -> ExtendedTriple {
+        ExtendedTriple::simple(
+            EntityId(e),
+            intern(p),
+            v,
+            FactMeta::from_source(SourceId(1), 0.9),
+        )
+    }
+
+    fn writer() -> LoggedWriter {
+        LoggedWriter::new(
+            Arc::new(RwLock::new(KnowledgeGraph::new())),
+            Arc::new(OperationLog::in_memory()),
+        )
+    }
+
+    #[test]
+    fn commit_appends_before_apply_and_returns_one_receipt() {
+        let w = writer();
+        let commit = w
+            .commit(
+                OpKind::Upsert,
+                WriteBatch::new()
+                    .named_entity(
+                        EntityId(1),
+                        "Billie Eilish",
+                        "music_artist",
+                        SourceId(1),
+                        0.9,
+                    )
+                    .upsert(fact(1, "born", Value::Int(2001))),
+            )
+            .unwrap();
+        assert_eq!(commit.lsn, Lsn(1));
+        assert_eq!(commit.receipt.facts_added, 3);
+        assert!(w.read().contains(EntityId(1)));
+
+        // The logged op carries exactly the receipt's deltas.
+        let op = &w.log().read_after(Lsn::ZERO)[0];
+        assert_eq!(op.deltas, commit.receipt.deltas);
+        assert_eq!(op.changed, commit.receipt.entities_changed);
+    }
+
+    #[test]
+    fn log_order_equals_apply_order() {
+        let w = writer();
+        for i in 1..=5u64 {
+            let commit = w
+                .commit(
+                    OpKind::Upsert,
+                    WriteBatch::new().upsert(fact(i, "name", Value::str(format!("E{i}")))),
+                )
+                .unwrap();
+            assert_eq!(commit.lsn, Lsn(i));
+        }
+        let mut follower = LogFollower::new(Arc::clone(w.log()));
+        let ops = follower.poll(100).unwrap();
+        assert_eq!(ops.len(), 5);
+        for (i, op) in ops.iter().enumerate() {
+            assert_eq!(op.changed, vec![EntityId(i as u64 + 1)]);
+        }
+    }
+
+    #[test]
+    fn record_edits_are_visible_to_log_followers() {
+        // The mutate_entity hazard, closed: a curation-style record edit
+        // committed through the writer lands in the log like any other op.
+        let w = writer();
+        w.commit(
+            OpKind::Upsert,
+            WriteBatch::new().upsert(fact(1, "population", Value::Int(-5))),
+        )
+        .unwrap();
+        let pred = intern("population");
+        let commit = w
+            .commit(
+                OpKind::Upsert,
+                WriteBatch::new().mutate(EntityId(1), move |rec| {
+                    for t in &mut rec.triples {
+                        if t.predicate == pred {
+                            t.object = Value::Int(120_000);
+                        }
+                    }
+                }),
+            )
+            .unwrap();
+        assert_eq!(commit.receipt.deltas.len(), 1);
+        let op = &w.log().read_after(Lsn(1))[0];
+        assert_eq!(op.deltas[0].added[0].object, Value::Int(120_000));
+        assert_eq!(op.deltas[0].removed[0].object, Value::Int(-5));
+    }
+
+    #[test]
+    fn crashed_apply_is_still_in_the_log() {
+        let w = writer();
+        w.commit(
+            OpKind::Upsert,
+            WriteBatch::new().upsert(fact(1, "name", Value::str("Survivor"))),
+        )
+        .unwrap();
+        let lsn = w
+            .commit_crashing_before_apply(
+                OpKind::Upsert,
+                WriteBatch::new().upsert(fact(2, "name", Value::str("Logged Only"))),
+            )
+            .unwrap();
+        assert_eq!(lsn, Lsn(2));
+        assert!(!w.read().contains(EntityId(2)), "apply was skipped");
+        let op = &w.log().read_after(Lsn(1))[0];
+        assert_eq!(op.changed, vec![EntityId(2)], "log has the batch anyway");
+    }
+
+    #[test]
+    fn graph_write_impl_commits_as_upserts() {
+        use saga_core::GraphWriteExt;
+        let mut w = writer();
+        let receipt = w.commit_upsert(fact(3, "name", Value::str("Via Trait")));
+        assert_eq!(receipt.facts_added, 1);
+        assert_eq!(w.log().head(), Lsn(1));
+        assert_eq!(GraphRead::generation(&*w.read()), receipt.generation);
+    }
+}

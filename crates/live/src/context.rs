@@ -120,7 +120,9 @@ mod tests {
     use super::*;
     use crate::kgq::QueryEngine;
     use crate::store::LiveKg;
-    use saga_core::{intern, ExtendedTriple, FactMeta, KnowledgeGraph, SourceId, Value};
+    use saga_core::{
+        intern, ExtendedTriple, FactMeta, GraphWriteExt, KnowledgeGraph, SourceId, Value,
+    };
 
     /// The exact multi-turn example of §4.2.
     fn handler() -> IntentHandler {
@@ -131,19 +133,19 @@ mod tests {
         kg.add_named_entity(EntityId(3), "Tom Hanks", "person", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(4), "Rita Wilson", "person", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(5), "Hollywood", "city", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("spouse"),
             Value::Entity(EntityId(2)),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(3),
             intern("spouse"),
             Value::Entity(EntityId(4)),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(4),
             intern("birthplace"),
             Value::Entity(EntityId(5)),
@@ -182,7 +184,7 @@ mod tests {
         let meta = || FactMeta::from_source(SourceId(1), 0.9);
         stable.add_named_entity(EntityId(3), "Tom Hanks", "person", SourceId(1), 0.9);
         stable.add_named_entity(EntityId(4), "Rita Wilson", "person", SourceId(1), 0.9);
-        stable.upsert_fact(ExtendedTriple::simple(
+        stable.commit_upsert(ExtendedTriple::simple(
             EntityId(3),
             intern("spouse"),
             Value::Entity(EntityId(4)),

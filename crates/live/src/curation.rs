@@ -8,7 +8,9 @@
 //! construction as a source, so that corrections are incorporated into the
 //! stable graph."
 
-use saga_core::{intern, EntityId, FactMeta, KnowledgeGraph, SourceId, Value};
+use saga_core::{
+    intern, CommitReceipt, EntityId, FactMeta, GraphWrite, OpOutcome, SourceId, Value, WriteBatch,
+};
 
 use crate::store::LiveKg;
 
@@ -127,70 +129,86 @@ impl CurationPipeline {
         std::mem::take(&mut self.pending_for_stable.lock())
     }
 
-    /// Apply drained curations to the stable KG (the construction-side
-    /// consumer of the curation source).
-    pub fn apply_to_stable(kg: &mut KnowledgeGraph, actions: &[CurationAction]) -> usize {
-        let mut applied = 0;
-        for action in actions {
-            match action {
+    /// Stage drained curations as one [`WriteBatch`] of record edits —
+    /// the "curations are a streaming data source" contract in op form.
+    /// Each action becomes a [`WriteOp::Mutate`](saga_core::WriteOp), so
+    /// committing the batch folds every hot fix into the commit receipt
+    /// (and, through a `LoggedWriter`, into the operation log) like any
+    /// other construction write — closing the old hole where record edits
+    /// were invisible to log followers.
+    pub fn stable_batch(actions: &[CurationAction]) -> WriteBatch {
+        let mut batch = WriteBatch::new();
+        for action in actions.iter().cloned() {
+            batch = match action {
                 CurationAction::BlockFact {
                     entity,
                     predicate,
                     value,
-                } => {
-                    // mutate_entity reconciles the unified triple index
-                    // with whatever the closure removed.
-                    let mut hit = false;
-                    kg.mutate_entity(*entity, |rec| {
-                        let pred = intern(predicate);
-                        let before = rec.triples.len();
-                        rec.triples
-                            .retain(|t| !(t.predicate == pred && &t.object == value));
-                        hit = rec.triples.len() != before;
-                    });
-                    if hit {
-                        applied += 1;
-                    }
-                }
+                } => batch.mutate(entity, move |rec| {
+                    let pred = intern(&predicate);
+                    rec.triples
+                        .retain(|t| !(t.predicate == pred && t.object == value));
+                }),
                 CurationAction::EditFact {
                     entity,
                     predicate,
                     old,
                     new,
-                } => {
-                    let mut hits = 0;
-                    kg.mutate_entity(*entity, |rec| {
-                        let pred = intern(predicate);
-                        for t in &mut rec.triples {
-                            if t.predicate == pred && &t.object == old {
-                                t.object = new.clone();
-                                hits += 1;
-                            }
+                } => batch.mutate(entity, move |rec| {
+                    let pred = intern(&predicate);
+                    for t in &mut rec.triples {
+                        if t.predicate == pred && t.object == old {
+                            t.object = new.clone();
                         }
-                    });
-                    applied += hits;
-                }
-                CurationAction::BlockEntity { entity } => {
-                    // Direct removal: curation overrides provenance.
-                    if kg.mutate_entity(*entity, |rec| rec.triples.clear()) {
-                        applied += 1;
                     }
+                }),
+                // Direct removal: curation overrides provenance.
+                CurationAction::BlockEntity { entity } => {
+                    batch.mutate(entity, |rec| rec.triples.clear())
                 }
-            }
+            };
         }
-        applied
+        batch
+    }
+
+    /// Apply drained curations to the stable KG (the construction-side
+    /// consumer of the curation source) through any [`GraphWrite`]
+    /// backend. Returns the number of fact-level hits alongside the
+    /// commit receipt.
+    pub fn apply_to_stable<W: GraphWrite + ?Sized>(
+        target: &mut W,
+        actions: &[CurationAction],
+    ) -> (usize, CommitReceipt) {
+        let receipt = Self::stable_batch(actions).commit(target);
+        let mut applied = 0;
+        for (action, outcome) in actions.iter().zip(&receipt.outcomes) {
+            let &OpOutcome::Mutated {
+                found,
+                added,
+                removed,
+            } = outcome
+            else {
+                continue;
+            };
+            applied += match action {
+                CurationAction::BlockFact { .. } => usize::from(removed > 0),
+                CurationAction::EditFact { .. } => added,
+                CurationAction::BlockEntity { .. } => usize::from(found),
+            };
+        }
+        (applied, receipt)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::ExtendedTriple;
+    use saga_core::{ExtendedTriple, GraphWriteExt, KnowledgeGraph};
 
     fn setup() -> (CurationPipeline, EntityId) {
         let mut kg = KnowledgeGraph::new();
         kg.add_named_entity(EntityId(1), "Springfield", "city", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("population"),
             Value::Int(-5), // vandalised value
@@ -268,14 +286,16 @@ mod tests {
 
         let mut stable = KnowledgeGraph::new();
         stable.add_named_entity(EntityId(1), "Springfield", "city", SourceId(1), 0.9);
-        stable.upsert_fact(ExtendedTriple::simple(
+        stable.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("population"),
             Value::Int(-5),
             FactMeta::from_source(SourceId(1), 0.9),
         ));
-        let applied = CurationPipeline::apply_to_stable(&mut stable, &drained);
+        let (applied, receipt) = CurationPipeline::apply_to_stable(&mut stable, &drained);
         assert_eq!(applied, 1);
+        assert_eq!(receipt.deltas.len(), 1, "the edit rides the receipt");
+        assert_eq!(receipt.deltas[0].added[0].object, Value::Int(120_000));
         assert_eq!(
             stable
                 .entity(EntityId(1))

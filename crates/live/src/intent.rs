@@ -133,7 +133,7 @@ impl<G: GraphRead> IntentHandler<G> {
 mod tests {
     use super::*;
     use crate::store::LiveKg;
-    use saga_core::{ExtendedTriple, FactMeta, KnowledgeGraph, SourceId, Value};
+    use saga_core::{ExtendedTriple, FactMeta, GraphWriteExt, KnowledgeGraph, SourceId, Value};
 
     fn engine() -> QueryEngine {
         let mut kg = KnowledgeGraph::new();
@@ -142,13 +142,13 @@ mod tests {
         kg.add_named_entity(EntityId(2), "Chicago", "city", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(3), "The PM", "person", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(4), "The Mayor", "person", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("prime_minister"),
             Value::Entity(EntityId(3)),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(2),
             intern("mayor"),
             Value::Entity(EntityId(4)),
@@ -211,7 +211,7 @@ mod tests {
         let mut kg = KnowledgeGraph::new();
         kg.add_named_entity(EntityId(1), "Canada", "place", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(3), "The PM", "person", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("prime_minister"),
             Value::Entity(EntityId(3)),

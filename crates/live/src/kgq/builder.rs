@@ -206,7 +206,7 @@ mod tests {
     use super::*;
     use crate::kgq::{parse, QueryEngine};
     use crate::store::LiveKg;
-    use saga_core::{intern, ExtendedTriple, FactMeta, KnowledgeGraph, SourceId};
+    use saga_core::{intern, ExtendedTriple, FactMeta, GraphWriteExt, KnowledgeGraph, SourceId};
 
     #[test]
     fn built_queries_match_parsed_queries() {
@@ -254,7 +254,7 @@ mod tests {
         let tricky = r#"The "Best" Band"#;
         let mut kg = KnowledgeGraph::new();
         kg.add_named_entity(EntityId(1), tricky, "band", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("founded"),
             Value::Int(1999),

@@ -255,40 +255,42 @@ pub fn execute<G: GraphRead>(graph: &G, plan: &Plan) -> Result<QueryResult> {
 mod tests {
     use super::*;
     use crate::store::LiveKg;
-    use saga_core::{ExtendedTriple, FactMeta, KnowledgeGraph, OverlayRead, SourceId};
+    use saga_core::{
+        ExtendedTriple, FactMeta, GraphWriteExt, KnowledgeGraph, OverlayRead, SourceId,
+    };
 
     fn demo_kg() -> KnowledgeGraph {
         let mut kg = KnowledgeGraph::new();
         let meta = || FactMeta::from_source(SourceId(1), 0.9);
         kg.add_named_entity(EntityId(1), "Beyoncé", "music_artist", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(2), "Jay-Z", "music_artist", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("spouse"),
             Value::Entity(EntityId(2)),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(2),
             intern("spouse"),
             Value::Entity(EntityId(1)),
             meta(),
         ));
         kg.add_named_entity(EntityId(3), "Halo", "song", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(3),
             intern("performed_by"),
             Value::Entity(EntityId(1)),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(3),
             intern("duration_s"),
             Value::Int(261),
             meta(),
         ));
         kg.add_named_entity(EntityId(4), "Hollywood", "city", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(2),
             intern("birthplace"),
             Value::Entity(EntityId(4)),

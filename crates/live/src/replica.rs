@@ -159,38 +159,45 @@ impl GraphRead for LiveReplica {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::{intern, FxHashSet, KnowledgeGraph, SourceId, Value};
-    use saga_graph::OpKind;
+    use parking_lot::RwLock;
+    use saga_core::{intern, FxHashSet, KnowledgeGraph, SourceId, Value, WriteBatch};
+    use saga_graph::{LoggedWriter, OpKind};
 
     fn meta() -> FactMeta {
         FactMeta::from_source(SourceId(1), 0.9)
     }
 
-    /// Producer loop: mutate the KG, ship the drained deltas as one op.
-    fn ship(kg: &mut KnowledgeGraph, log: &OperationLog, kind: OpKind) {
-        log.append_op(kind, kg.drain_deltas()).unwrap();
+    /// The producer side: a write-ahead writer over an in-memory log.
+    fn producer() -> LoggedWriter {
+        LoggedWriter::new(
+            Arc::new(RwLock::new(KnowledgeGraph::new())),
+            Arc::new(OperationLog::in_memory()),
+        )
     }
 
     #[test]
     fn replica_follows_upserts_and_retractions() {
-        let mut kg = KnowledgeGraph::new();
-        let log = Arc::new(OperationLog::in_memory());
-        let mut replica = LiveReplica::new(4, Arc::clone(&log));
+        let w = producer();
+        let mut replica = LiveReplica::new(4, Arc::clone(w.log()));
 
-        kg.add_named_entity(
-            EntityId(1),
-            "Golden State Warriors",
-            "team",
-            SourceId(1),
-            0.9,
-        );
-        kg.upsert_fact(ExtendedTriple::simple(
-            EntityId(1),
-            intern("arena"),
-            Value::Entity(EntityId(9)),
-            meta(),
-        ));
-        ship(&mut kg, &log, OpKind::Upsert);
+        w.commit(
+            OpKind::Upsert,
+            WriteBatch::new()
+                .named_entity(
+                    EntityId(1),
+                    "Golden State Warriors",
+                    "team",
+                    SourceId(1),
+                    0.9,
+                )
+                .upsert(ExtendedTriple::simple(
+                    EntityId(1),
+                    intern("arena"),
+                    Value::Entity(EntityId(9)),
+                    meta(),
+                )),
+        )
+        .unwrap();
         assert_eq!(replica.lag(), 1);
         assert_eq!(replica.catch_up().unwrap(), 1);
         assert_eq!(replica.watermark(), Lsn(1));
@@ -206,9 +213,13 @@ mod tests {
         assert!(GraphRead::contains(&replica, EntityId(1)));
 
         // Retraction empties the replica too.
-        kg.record_link(SourceId(1), "w", EntityId(1));
-        kg.retract_source_entity(SourceId(1), "w");
-        ship(&mut kg, &log, OpKind::Delete);
+        w.commit(
+            OpKind::Delete,
+            WriteBatch::new()
+                .link(SourceId(1), "w", EntityId(1))
+                .retract_source_entity(SourceId(1), "w"),
+        )
+        .unwrap();
         replica.catch_up().unwrap();
         assert!(!GraphRead::contains(&replica, EntityId(1)));
         assert!(replica
@@ -218,34 +229,40 @@ mod tests {
 
     #[test]
     fn replica_applies_volatile_overwrites_in_order() {
-        let mut kg = KnowledgeGraph::new();
-        let log = Arc::new(OperationLog::in_memory());
-        let mut replica = LiveReplica::new(2, Arc::clone(&log));
+        let w = producer();
+        let mut replica = LiveReplica::new(2, Arc::clone(w.log()));
 
         let pop = intern("popularity");
-        kg.add_named_entity(EntityId(1), "Song", "song", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
-            EntityId(1),
-            pop,
-            Value::Int(10),
-            meta(),
-        ));
-        ship(&mut kg, &log, OpKind::Upsert);
-
-        let mut volatile = FxHashSet::default();
-        volatile.insert(pop);
-        for round in 0..5i64 {
-            kg.overwrite_volatile_partition(
-                SourceId(1),
-                &volatile,
-                vec![ExtendedTriple::simple(
+        w.commit(
+            OpKind::Upsert,
+            WriteBatch::new()
+                .named_entity(EntityId(1), "Song", "song", SourceId(1), 0.9)
+                .upsert(ExtendedTriple::simple(
                     EntityId(1),
                     pop,
-                    Value::Int(100 + round),
+                    Value::Int(10),
                     meta(),
-                )],
-            );
-            ship(&mut kg, &log, OpKind::VolatileOverwrite(SourceId(1)));
+                )),
+        )
+        .unwrap();
+
+        for round in 0..5i64 {
+            let mut volatile = FxHashSet::default();
+            volatile.insert(pop);
+            w.commit(
+                OpKind::VolatileOverwrite(SourceId(1)),
+                WriteBatch::new().overwrite_volatile(
+                    SourceId(1),
+                    volatile,
+                    vec![ExtendedTriple::simple(
+                        EntityId(1),
+                        pop,
+                        Value::Int(100 + round),
+                        meta(),
+                    )],
+                ),
+            )
+            .unwrap();
         }
         replica.catch_up().unwrap();
         let rec = GraphRead::record(&replica, EntityId(1)).unwrap();
@@ -261,27 +278,37 @@ mod tests {
 
     #[test]
     fn catch_up_is_incremental_and_idempotent_when_caught_up() {
-        let mut kg = KnowledgeGraph::new();
-        let log = Arc::new(OperationLog::in_memory());
-        let mut replica = LiveReplica::new(2, Arc::clone(&log));
+        let w = producer();
+        let mut replica = LiveReplica::new(2, Arc::clone(w.log()));
         for i in 1..=10u64 {
-            kg.add_named_entity(EntityId(i), &format!("E{i}"), "person", SourceId(1), 0.9);
-            ship(&mut kg, &log, OpKind::Upsert);
+            w.commit(
+                OpKind::Upsert,
+                WriteBatch::new().named_entity(
+                    EntityId(i),
+                    &format!("E{i}"),
+                    "person",
+                    SourceId(1),
+                    0.9,
+                ),
+            )
+            .unwrap();
         }
         assert_eq!(replica.catch_up().unwrap(), 10);
         assert_eq!(replica.catch_up().unwrap(), 0);
         assert_eq!(replica.live().len(), 10);
-        assert_eq!(replica.watermark(), log.head());
+        assert_eq!(replica.watermark(), w.log().head());
     }
 
     #[test]
     fn replica_serves_through_graph_read_generation() {
-        let mut kg = KnowledgeGraph::new();
-        let log = Arc::new(OperationLog::in_memory());
-        let mut replica = LiveReplica::new(2, Arc::clone(&log));
+        let w = producer();
+        let mut replica = LiveReplica::new(2, Arc::clone(w.log()));
         let g0 = GraphRead::generation(&replica);
-        kg.add_named_entity(EntityId(1), "A", "person", SourceId(1), 0.9);
-        ship(&mut kg, &log, OpKind::Upsert);
+        w.commit(
+            OpKind::Upsert,
+            WriteBatch::new().named_entity(EntityId(1), "A", "person", SourceId(1), 0.9),
+        )
+        .unwrap();
         replica.catch_up().unwrap();
         assert!(GraphRead::generation(&replica) > g0, "replay bumps plans");
     }

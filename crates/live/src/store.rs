@@ -16,8 +16,10 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use saga_core::index::intersect_sorted;
+use saga_core::write::record_delta;
 use saga_core::{
-    EntityId, EntityRecord, FxHashMap, GraphRead, ProbeKey, Symbol, TripleIndex, Value,
+    CommitReceipt, EntityId, EntityRecord, FxHashMap, GraphRead, GraphWrite, OpOutcome, ProbeKey,
+    Symbol, TripleIndex, Value, WriteBatch, WriteOp,
 };
 
 /// Driver-posting length below which [`ShardedTripleIndex::probe_all`]
@@ -264,6 +266,201 @@ impl LiveKg {
             self.upsert(record.clone());
         }
     }
+
+    /// Every entity id currently stored, sorted (retraction scans in the
+    /// [`GraphWrite`] path iterate this for deterministic delta order).
+    pub fn entity_ids(&self) -> Vec<EntityId> {
+        let mut ids: Vec<EntityId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().copied().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// The live store commits the same staged-op vocabulary as the stable KG,
+/// at entity-record granularity: each op rewrites whole records (get →
+/// edit → upsert), emitting the exact per-entity [`Delta`](saga_core::Delta)s
+/// in its receipt.
+///
+/// Two deliberate divergences from the stable backend, both rooted in
+/// §4.1's "live sources are uniquely identifiable … no linking/fusion":
+/// the live store keeps no `same_as` table, so [`WriteOp::Link`] is
+/// accepted as a no-op and [`WriteOp::RetractSourceEntity`] resolves
+/// nothing (its outcome reports zero facts). Address live entities by
+/// [`EntityId`] instead.
+impl GraphWrite for LiveKg {
+    fn commit(&mut self, batch: WriteBatch) -> CommitReceipt {
+        let mut receipt = CommitReceipt::default();
+        for op in batch.into_ops() {
+            self.apply_live_op(op, &mut receipt);
+        }
+        for delta in &receipt.deltas {
+            receipt.facts_added += delta.added.len();
+            receipt.facts_removed += delta.removed.len();
+            receipt.entities_changed.push(delta.entity);
+        }
+        receipt.entities_changed.sort_unstable();
+        receipt.entities_changed.dedup();
+        // `entities_removed` is a *final-state* signal (the stable backend
+        // derives it the same way): an entity dropped by one op but
+        // re-created by a later op in the same batch was not removed.
+        receipt.entities_removed.retain(|id| !self.contains(*id));
+        receipt.entities_removed.sort_unstable();
+        receipt.entities_removed.dedup();
+        receipt.generation = GraphRead::generation(self);
+        receipt
+    }
+}
+
+impl LiveKg {
+    /// Read-only probe of one record under its shard lock — no clone.
+    fn probe_record<R>(&self, id: EntityId, f: impl FnOnce(&EntityRecord) -> R) -> Option<R> {
+        self.shards[self.shard_of(id)].read().get(&id).map(f)
+    }
+
+    /// Rewrite one record through an edit closure, recording the delta.
+    /// Returns whether the entity existed beforehand. `keep_empty`
+    /// preserves a record emptied by the edit (the volatile-overwrite
+    /// retraction phase keeps entities visible for the fresh facts that
+    /// follow, mirroring the stable backend); otherwise an emptied record
+    /// drops the entity.
+    fn rewrite_record(
+        &self,
+        id: EntityId,
+        create_missing: bool,
+        keep_empty: bool,
+        receipt: &mut CommitReceipt,
+        edit: impl FnOnce(&mut EntityRecord),
+    ) -> bool {
+        let old = self.get(id);
+        let found = old.is_some();
+        if !found && !create_missing {
+            return false;
+        }
+        let mut record = old.clone().unwrap_or_else(|| EntityRecord::new(id));
+        edit(&mut record);
+        let drop_entity = record.triples.is_empty() && !keep_empty;
+        let delta = record_delta(
+            id,
+            old.as_ref(),
+            if drop_entity { None } else { Some(&record) },
+        );
+        if drop_entity {
+            if self.remove(id) {
+                receipt.entities_removed.push(id);
+            }
+        } else {
+            self.upsert(record);
+        }
+        if !delta.is_empty() {
+            receipt.deltas.push(delta);
+        }
+        found
+    }
+
+    fn apply_live_op(&self, op: WriteOp, receipt: &mut CommitReceipt) {
+        match op {
+            WriteOp::Upsert(t) => {
+                let id = t
+                    .subject
+                    .as_kg()
+                    .expect("only KG-subject facts can be committed to the live store");
+                let mut fresh = false;
+                self.rewrite_record(id, true, false, receipt, |rec| fresh = rec.upsert(t));
+                receipt.outcomes.push(OpOutcome::Upserted { fresh });
+            }
+            WriteOp::Link { .. } => {
+                // No same_as table on the live path (§4.1) — accepted so
+                // mixed batches stay portable across backends.
+                receipt.outcomes.push(OpOutcome::Linked);
+            }
+            WriteOp::RetractSource(source) => {
+                let mut facts = 0;
+                let mut entities = 0;
+                for id in self.entity_ids() {
+                    // Clone-free probe first: only records citing the
+                    // source (or empty ones, which this op collects like
+                    // the stable backend) are rewritten.
+                    let touched = self
+                        .probe_record(id, |r| {
+                            r.triples.is_empty()
+                                || r.triples.iter().any(|t| t.meta.has_source(source))
+                        })
+                        .unwrap_or(false);
+                    if !touched {
+                        continue;
+                    }
+                    let mut dropped = 0;
+                    self.rewrite_record(id, false, false, receipt, |rec| {
+                        dropped = rec.retract_source_facts(source, None).len();
+                    });
+                    facts += dropped;
+                    if !self.contains(id) {
+                        entities += 1;
+                    }
+                }
+                receipt
+                    .outcomes
+                    .push(OpOutcome::RetractedSource { facts, entities });
+            }
+            WriteOp::RetractSourceEntity { .. } => {
+                receipt
+                    .outcomes
+                    .push(OpOutcome::RetractedEntity { facts: 0 });
+            }
+            WriteOp::OverwriteVolatile {
+                source,
+                volatile,
+                fresh,
+            } => {
+                let mut dropped = 0;
+                for id in self.entity_ids() {
+                    let touched = self
+                        .probe_record(id, |r| {
+                            r.triples.iter().any(|t| {
+                                volatile.contains(&t.predicate) && t.meta.has_source(source)
+                            })
+                        })
+                        .unwrap_or(false);
+                    if !touched {
+                        continue;
+                    }
+                    let mut gone = 0;
+                    self.rewrite_record(id, false, true, receipt, |rec| {
+                        gone = rec.retract_source_facts(source, Some(&volatile)).len();
+                    });
+                    dropped += gone;
+                }
+                for t in fresh {
+                    if let Some(id) = t.subject.as_kg() {
+                        if self.contains(id) {
+                            self.rewrite_record(id, false, false, receipt, |rec| {
+                                rec.upsert(t);
+                            });
+                        }
+                    }
+                }
+                receipt
+                    .outcomes
+                    .push(OpOutcome::VolatileOverwritten { dropped });
+            }
+            WriteOp::Mutate { entity, edit } => {
+                let before = receipt.deltas.len();
+                let found = self.rewrite_record(entity, false, false, receipt, edit);
+                let (added, removed) = receipt.deltas[before..]
+                    .iter()
+                    .fold((0, 0), |(a, r), d| (a + d.added.len(), r + d.removed.len()));
+                receipt.outcomes.push(OpOutcome::Mutated {
+                    found,
+                    added,
+                    removed,
+                });
+            }
+        }
+    }
 }
 
 /// The live store serves through the same probe vocabulary as the stable
@@ -461,6 +658,98 @@ mod tests {
         live.remove(EntityId(1));
         assert!(GraphRead::generation(&live) > g1, "removals bump too");
         assert!(!GraphRead::contains(&live, EntityId(1)));
+    }
+
+    #[test]
+    fn live_commits_mirror_stable_commit_semantics() {
+        use saga_core::{FxHashSet, GraphWrite, GraphWriteExt, Value};
+        let batch = || {
+            WriteBatch::new()
+                .named_entity(EntityId(1), "Song", "song", SourceId(1), 0.9)
+                .upsert(ExtendedTriple::simple(
+                    EntityId(1),
+                    intern("popularity"),
+                    Value::Int(10),
+                    FactMeta::from_source(SourceId(2), 0.8),
+                ))
+                .upsert(ExtendedTriple::simple(
+                    EntityId(2),
+                    intern("name"),
+                    Value::str("Gone"),
+                    FactMeta::from_source(SourceId(2), 0.8),
+                ))
+        };
+        let mut live = LiveKg::new(4);
+        let mut stable = KnowledgeGraph::new();
+        let live_receipt = live.commit(batch());
+        let stable_receipt = stable.commit(batch());
+        assert_eq!(live_receipt.outcomes, stable_receipt.outcomes);
+        assert_eq!(live_receipt.facts_added, stable_receipt.facts_added);
+        assert_eq!(
+            live_receipt.entities_changed,
+            stable_receipt.entities_changed
+        );
+        assert_eq!(live.get(EntityId(1)).unwrap().fact_count(), 3);
+
+        // Volatile overwrite behaves like the stable path: the old value
+        // is dropped, the fresh one lands, unknown subjects are skipped.
+        let mut volatile = FxHashSet::default();
+        volatile.insert(intern("popularity"));
+        let overwrite = |v: FxHashSet<saga_core::Symbol>| {
+            WriteBatch::new().overwrite_volatile(
+                SourceId(2),
+                v,
+                vec![
+                    ExtendedTriple::simple(
+                        EntityId(1),
+                        intern("popularity"),
+                        Value::Int(99),
+                        FactMeta::from_source(SourceId(2), 0.8),
+                    ),
+                    ExtendedTriple::simple(
+                        EntityId(7),
+                        intern("popularity"),
+                        Value::Int(1),
+                        FactMeta::from_source(SourceId(2), 0.8),
+                    ),
+                ],
+            )
+        };
+        let a = live.commit(overwrite(volatile.clone()));
+        let b = stable.commit(overwrite(volatile));
+        assert_eq!(a.outcomes, b.outcomes);
+        assert!(!live.contains(EntityId(7)));
+        assert_eq!(
+            live.index()
+                .by_literal(intern("popularity"), &Value::Int(99)),
+            vec![EntityId(1)]
+        );
+        assert!(live
+            .index()
+            .by_literal(intern("popularity"), &Value::Int(10))
+            .is_empty());
+
+        // Whole-source retraction drops source-2 facts and entity 2.
+        let a = live.commit_retract_source(SourceId(2));
+        let b = stable.commit_retract_source(SourceId(2));
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.entities_removed, vec![EntityId(2)]);
+        assert!(!live.contains(EntityId(2)));
+        assert!(live.index().by_name("gone").is_empty(), "index cleaned");
+
+        // Record edits produce receipt deltas like any other op.
+        let receipt = live.commit_mutate(EntityId(1), |rec| {
+            rec.triples.retain(|t| t.predicate != intern("type"));
+        });
+        assert!(matches!(
+            receipt.outcomes[0],
+            saga_core::OpOutcome::Mutated {
+                found: true,
+                removed: 1,
+                ..
+            }
+        ));
+        assert!(live.index().by_type(intern("song")).is_empty());
     }
 
     #[test]

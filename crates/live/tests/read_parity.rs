@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 use saga_core::{
-    intern, EntityId, ExtendedTriple, FactMeta, GraphRead, KnowledgeGraph, OverlayRead, ProbeKey,
-    SourceId, Value,
+    intern, EntityId, ExtendedTriple, FactMeta, GraphRead, GraphWriteExt, KnowledgeGraph,
+    OverlayRead, ProbeKey, SourceId, Value,
 };
 use saga_live::{LiveKg, QueryEngine};
 
@@ -34,13 +34,13 @@ fn build_stable(facts: &FactSpec) -> KnowledgeGraph {
                 0.9,
             );
         }
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             id,
             intern(PREDS[pred as usize % PREDS.len()]),
             Value::Int(value),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             id,
             intern("related_to"),
             Value::Entity(EntityId(target)),
@@ -231,45 +231,56 @@ proptest! {
 
 use std::sync::Arc;
 
-use saga_core::FxHashSet;
-use saga_graph::{OpKind, OperationLog};
+use parking_lot::RwLock;
+use saga_core::{FxHashSet, WriteBatch};
+use saga_graph::{LoggedWriter, OpKind, OperationLog};
 use saga_live::LiveReplica;
 
-/// Build the stable KG from `facts` while shipping every mutation's delta
-/// payloads to `log` — the producer side of the §3.1 log-shipping loop.
-/// The world deliberately includes the awkward ops: popularity facts from
-/// a second source are volatile-overwritten each "cycle", and the second
-/// source is finally retracted wholesale.
-fn build_stable_shipping(facts: &FactSpec, log: &OperationLog) -> KnowledgeGraph {
-    let mut kg = KnowledgeGraph::new();
+/// Build the stable KG from `facts` through a write-ahead `LoggedWriter`
+/// over `log` — the producer side of the §3.1 log-shipping loop, now with
+/// no `drain_deltas`/`append_op` pairing anywhere: every commit appends
+/// its batch to the log *before* applying it. The world deliberately
+/// includes the awkward ops: popularity facts from a second source are
+/// volatile-overwritten each "cycle", and the second source is finally
+/// retracted wholesale.
+fn build_stable_shipping(facts: &FactSpec, log: Arc<OperationLog>) -> KnowledgeGraph {
+    let writer = LoggedWriter::new(Arc::new(RwLock::new(KnowledgeGraph::new())), log);
     let meta = || FactMeta::from_source(SourceId(1), 0.9);
     let pop = intern("popularity");
     for chunk in facts.chunks(5) {
-        for &(subject, ty, pred, value, target) in chunk {
-            let id = EntityId(subject);
-            if !kg.contains(id) {
-                kg.add_named_entity(
-                    id,
-                    &format!("Entity {subject}"),
-                    TYPES[ty as usize % TYPES.len()],
-                    SourceId(1),
-                    0.9,
-                );
-            }
-            kg.upsert_fact(ExtendedTriple::simple(
-                id,
-                intern(PREDS[pred as usize % PREDS.len()]),
-                Value::Int(value),
-                meta(),
-            ));
-            kg.upsert_fact(ExtendedTriple::simple(
-                id,
-                intern("related_to"),
-                Value::Entity(EntityId(target)),
-                meta(),
-            ));
-        }
-        log.append_op(OpKind::Upsert, kg.drain_deltas()).unwrap();
+        writer
+            .with_txn(OpKind::Upsert, |txn| {
+                for &(subject, ty, pred, value, target) in chunk {
+                    let id = EntityId(subject);
+                    if !txn.contains(id) {
+                        txn.upsert(ExtendedTriple::simple(
+                            id,
+                            intern("name"),
+                            Value::str(format!("Entity {subject}")),
+                            meta(),
+                        ));
+                        txn.upsert(ExtendedTriple::simple(
+                            id,
+                            intern("type"),
+                            Value::str(TYPES[ty as usize % TYPES.len()]),
+                            meta(),
+                        ));
+                    }
+                    txn.upsert(ExtendedTriple::simple(
+                        id,
+                        intern(PREDS[pred as usize % PREDS.len()]),
+                        Value::Int(value),
+                        meta(),
+                    ));
+                    txn.upsert(ExtendedTriple::simple(
+                        id,
+                        intern("related_to"),
+                        Value::Entity(EntityId(target)),
+                        meta(),
+                    ));
+                }
+            })
+            .unwrap();
 
         // A volatile cycle from source 2: overwrite every known subject's
         // popularity with a value derived from the chunk.
@@ -286,20 +297,32 @@ fn build_stable_shipping(facts: &FactSpec, log: &OperationLog) -> KnowledgeGraph
                 )
             })
             .collect();
-        kg.overwrite_volatile_partition(SourceId(2), &volatile, fresh);
-        log.append_op(OpKind::VolatileOverwrite(SourceId(2)), kg.drain_deltas())
+        writer
+            .commit(
+                OpKind::VolatileOverwrite(SourceId(2)),
+                WriteBatch::new().overwrite_volatile(SourceId(2), volatile, fresh),
+            )
             .unwrap();
     }
     // One targeted per-entity retraction (the Deleted-payload path)…
     if let Some(&(subject, ..)) = facts.first() {
-        kg.record_link(SourceId(1), "first", EntityId(subject));
-        kg.retract_source_entity(SourceId(1), "first");
-        log.append_op(OpKind::Delete, kg.drain_deltas()).unwrap();
+        writer
+            .commit(
+                OpKind::Delete,
+                WriteBatch::new()
+                    .link(SourceId(1), "first", EntityId(subject))
+                    .retract_source_entity(SourceId(1), "first"),
+            )
+            .unwrap();
     }
     // …then the wholesale license revocation of source 2.
-    kg.retract_source(SourceId(2));
-    log.append_op(OpKind::RetractSource(SourceId(2)), kg.drain_deltas())
+    writer
+        .commit(
+            OpKind::RetractSource(SourceId(2)),
+            WriteBatch::new().retract_source(SourceId(2)),
+        )
         .unwrap();
+    let kg = writer.read().clone();
     kg
 }
 
@@ -330,7 +353,7 @@ proptest! {
         let log = Arc::new(OperationLog::in_memory());
         // The replica exists before the KG and only ever sees the log.
         let mut replica = LiveReplica::new(4, Arc::clone(&log));
-        let kg = build_stable_shipping(&facts, &log);
+        let kg = build_stable_shipping(&facts, Arc::clone(&log));
         replica.catch_up().unwrap();
         prop_assert_eq!(replica.watermark(), log.head());
         prop_assert_eq!(replica.lag(), 0);
@@ -380,5 +403,92 @@ proptest! {
                 q
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash ordering: the log is the source of truth
+// ---------------------------------------------------------------------------
+
+/// `LoggedWriter` appends to the log *before* applying — so a producer
+/// that crashes between the two loses nothing: the logged batch replays
+/// into a parity-checked `LiveReplica` even though the producer's own KG
+/// never saw the apply.
+#[test]
+fn crashed_apply_still_replays_from_the_log_into_a_replica() {
+    let meta = || FactMeta::from_source(SourceId(1), 0.9);
+    let batch_one = || {
+        WriteBatch::new()
+            .named_entity(EntityId(1), "Alpha", "song", SourceId(1), 0.9)
+            .upsert(ExtendedTriple::simple(
+                EntityId(1),
+                intern("year"),
+                Value::Int(2020),
+                meta(),
+            ))
+    };
+    let batch_two = || {
+        WriteBatch::new()
+            .named_entity(EntityId(2), "Beta", "song", SourceId(1), 0.9)
+            .upsert(ExtendedTriple::simple(
+                EntityId(2),
+                intern("related_to"),
+                Value::Entity(EntityId(1)),
+                meta(),
+            ))
+            .mutate(EntityId(1), |rec| {
+                for t in &mut rec.triples {
+                    if t.predicate == intern("year") {
+                        t.object = Value::Int(2021);
+                    }
+                }
+            })
+    };
+
+    let log = Arc::new(OperationLog::in_memory());
+    let writer = LoggedWriter::new(
+        Arc::new(RwLock::new(KnowledgeGraph::new())),
+        Arc::clone(&log),
+    );
+    writer.commit(OpKind::Upsert, batch_one()).unwrap();
+    // The producer "crashes" after the write-ahead append of batch two:
+    // its apply never runs.
+    writer
+        .commit_crashing_before_apply(OpKind::Upsert, batch_two())
+        .unwrap();
+    assert!(
+        !writer.read().contains(EntityId(2)),
+        "apply really was skipped"
+    );
+
+    // A replica fed from the log alone sees BOTH commits…
+    let mut replica = LiveReplica::new(2, Arc::clone(&log));
+    replica.catch_up().unwrap();
+    assert_eq!(replica.watermark(), log.head());
+
+    // …and is parity-equal to a reference graph where nothing crashed.
+    let mut reference = KnowledgeGraph::new();
+    use saga_core::GraphWrite;
+    reference.commit(batch_one());
+    reference.commit(batch_two());
+    for id in [EntityId(1), EntityId(2)] {
+        assert_eq!(
+            flat_record(&replica, id),
+            flat_record(&reference, id),
+            "record parity for {id:?}"
+        );
+    }
+    for probe in [
+        ProbeKey::Type(intern("song")),
+        ProbeKey::Name("beta".into()),
+        ProbeKey::Edge(intern("related_to"), EntityId(1)),
+        ProbeKey::Literal(intern("year"), Value::Int(2021)),
+        ProbeKey::Literal(intern("year"), Value::Int(2020)),
+    ] {
+        assert_eq!(
+            replica.postings(&probe),
+            reference.postings(&probe),
+            "posting parity for {probe:?}"
+        );
     }
 }

@@ -178,7 +178,7 @@ pub fn score_rows(kind: ModelKind, h: &[f32], r: &[f32], t: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::{intern, ExtendedTriple, FactMeta, SourceId, Value};
+    use saga_core::{intern, ExtendedTriple, FactMeta, GraphWriteExt, SourceId, Value};
 
     fn kg() -> KnowledgeGraph {
         let mut kg = KnowledgeGraph::new();
@@ -186,20 +186,20 @@ mod tests {
         for i in 1..=4u64 {
             kg.add_named_entity(EntityId(i), &format!("E{i}"), "person", SourceId(1), 0.9);
         }
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("spouse"),
             Value::Entity(EntityId(2)),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(3),
             intern("member_of"),
             Value::Entity(EntityId(4)),
             meta(),
         ));
         // Dangling reference: must be filtered.
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(3),
             intern("spouse"),
             Value::Entity(EntityId(99)),

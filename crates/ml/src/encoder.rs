@@ -305,7 +305,7 @@ fn typo_string(rng: &mut StdRng, s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use saga_core::{intern, EntityId, ExtendedTriple, FactMeta, SourceId, Value};
+    use saga_core::{intern, EntityId, ExtendedTriple, FactMeta, GraphWriteExt, SourceId, Value};
 
     const NICKS: &[(&str, &str)] = &[
         ("Robert", "Bob"),
@@ -329,7 +329,7 @@ mod tests {
                 let e = EntityId(id);
                 id += 1;
                 kg.add_named_entity(e, &format!("{first} {last}"), "person", SourceId(1), 0.9);
-                kg.upsert_fact(ExtendedTriple::simple(
+                kg.commit_upsert(ExtendedTriple::simple(
                     e,
                     intern("alias"),
                     Value::str(format!("{nick} {last}")),

@@ -188,7 +188,7 @@ fn push_unique(v: &mut Vec<EntityId>, id: EntityId) {
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use saga_core::{intern, ExtendedTriple, FactMeta, SourceId, Value};
+    use saga_core::{intern, ExtendedTriple, FactMeta, GraphWriteExt, SourceId, Value};
 
     /// The paper's running example: two Hanovers, one near Dartmouth.
     pub(crate) fn hanover_kg() -> KnowledgeGraph {
@@ -196,14 +196,14 @@ pub(crate) mod tests {
         let meta = || FactMeta::from_source(SourceId(1), 0.9);
         // Hanover, Germany — popular (many facts / high importance).
         kg.add_named_entity(EntityId(1), "Hanover", "city", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("description"),
             Value::str("Capital city of Lower Saxony, Germany"),
             meta(),
         ));
         kg.add_named_entity(EntityId(10), "Germany", "place", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(1),
             intern("located_in"),
             Value::Entity(EntityId(10)),
@@ -211,7 +211,7 @@ pub(crate) mod tests {
         ));
         // Hanover, New Hampshire — tail entity, near Dartmouth College.
         kg.add_named_entity(EntityId(2), "Hanover", "city", SourceId(1), 0.9);
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(2),
             intern("description"),
             Value::str("Town in New Hampshire, home of Dartmouth College"),
@@ -224,13 +224,13 @@ pub(crate) mod tests {
             SourceId(1),
             0.9,
         );
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(20),
             intern("located_in"),
             Value::Entity(EntityId(2)),
             meta(),
         ));
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(2),
             intern("located_in"),
             Value::Entity(EntityId(21)),
@@ -292,7 +292,7 @@ pub(crate) mod tests {
         let mut kg = hanover_kg();
         let mut view = NerdEntityView::build(&kg, None);
         // Update: new alias for Hanover NH.
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(2),
             intern("alias"),
             Value::str("Hanover NH"),
@@ -301,7 +301,7 @@ pub(crate) mod tests {
         view.refresh(&kg, &[EntityId(2)], None);
         assert_eq!(view.exact_matches(&normalize("Hanover NH")), &[EntityId(2)]);
         // Delete: retract the whole source drops entities from the view.
-        kg.retract_source(SourceId(1));
+        kg.commit_retract_source(SourceId(1));
         let all: Vec<EntityId> = view.iter().map(|s| s.id).collect();
         view.refresh(&kg, &all, None);
         assert!(view.is_empty());

@@ -9,7 +9,9 @@
 
 use std::sync::Arc;
 
-use saga_core::{intern, EntityId, ExtendedTriple, FactMeta, KnowledgeGraph, SourceId, Value};
+use saga_core::{
+    intern, EntityId, ExtendedTriple, FactMeta, GraphWriteExt, KnowledgeGraph, SourceId, Value,
+};
 use saga_live::{
     ContextGraph, CurationAction, CurationPipeline, Intent, IntentHandler, LiveEvent,
     LiveGraphBuilder, LiveKg, QueryEngine,
@@ -49,7 +51,7 @@ fn stable_kg() -> KnowledgeGraph {
         (7, "birthplace", 8),
     ];
     for (s, p, o) in facts {
-        kg.upsert_fact(ExtendedTriple::simple(
+        kg.commit_upsert(ExtendedTriple::simple(
             EntityId(s),
             intern(p),
             Value::Entity(EntityId(o)),

@@ -164,7 +164,13 @@ s3,Halo,Beyonce,261,88000
     // ------------------------------------------------------------------
     // 4. On-demand deletion (§2.1 provenance): retract the source.
     // ------------------------------------------------------------------
-    let (facts, entities) = kg.retract_source(SourceId(7));
+    // One staged batch, one atomic commit, one receipt for the fan-out.
+    let receipt = saga_core::WriteBatch::new()
+        .retract_source(SourceId(7))
+        .commit(&mut kg);
+    let saga_core::OpOutcome::RetractedSource { facts, entities } = receipt.outcomes[0] else {
+        unreachable!("one retraction staged");
+    };
     println!("\n— License revoked: retracting src7 dropped {facts} facts, {entities} entities —");
     assert_eq!(kg.entity_count(), 0);
     println!("  KG is empty again: every fact carried its provenance.");

@@ -7,10 +7,12 @@
 use std::sync::Arc;
 
 use saga::construct::{KnowledgeConstructor, LinkTableResolver, RuleMatcher, SourceBatch};
-use saga::core::{intern, EntityId, IdGenerator, KnowledgeGraph, Lsn, SourceId, Value};
+use saga::core::{
+    intern, EntityId, GraphWriteExt, IdGenerator, KnowledgeGraph, Lsn, SourceId, Value,
+};
 use saga::graph::{
-    AgentRunner, AnalyticsStore, EntityIndexAgent, MetadataStore, OpKind, OperationLog,
-    TextIndexAgent,
+    AgentRunner, AnalyticsStore, EntityIndexAgent, LoggedWriter, MetadataStore, OpKind,
+    OperationLog, TextIndexAgent,
 };
 use saga::ingest::synth::{artist_alignment, provider_datasets, MusicWorld, ProviderSpec};
 use saga::ingest::{DataTransformer, SourceIngestionPipeline, TransformSpec};
@@ -192,34 +194,47 @@ fn constructed_kg_serves_live_queries() {
 }
 
 #[test]
-fn construction_deltas_ship_through_the_log_to_a_replica() {
-    // The full §3.1 loop: real construction produces delta payloads, the
-    // durable log carries them, and a serving replica that never touches
-    // the KnowledgeGraph catches up and answers the same KGQ queries.
+fn construction_commits_write_ahead_through_the_log_to_a_replica() {
+    // The full §3.1 loop, log-first: real construction commits through a
+    // LoggedWriter (batch staged → deltas appended to the durable log →
+    // applied to the KG), and a serving replica that never touches the
+    // KnowledgeGraph catches up and answers the same KGQ queries. No
+    // drain_deltas/append_op pairing exists anywhere in this loop.
     let ontology = default_ontology();
     let world = MusicWorld::generate(7, 40, 2);
     let mut pipes = make_pipes();
-    let mut kg = KnowledgeGraph::new();
     let id_gen = IdGenerator::starting_at(1);
     let mut ctor = saga::construct::KnowledgeConstructor::new(ontology.volatile_predicates());
     ctor.parallel = false;
 
     let log = Arc::new(OperationLog::in_memory());
+    let writer = LoggedWriter::new(
+        Arc::new(parking_lot::RwLock::new(KnowledgeGraph::new())),
+        Arc::clone(&log),
+    );
     let mut replica = LiveReplica::new(8, Arc::clone(&log));
 
     let batches = ingest_cycle(&world, &mut pipes);
-    let report = ctor.consume(
-        &mut kg,
-        &id_gen,
-        batches,
-        &saga::construct::RuleMatcher::default(),
-        &saga::construct::LinkTableResolver,
-    );
+    let sources = batches.len();
+    let (report, lsns) = ctor
+        .consume_logged(
+            &writer,
+            &id_gen,
+            batches,
+            &saga::construct::RuleMatcher::default(),
+            &saga::construct::LinkTableResolver,
+        )
+        .expect("logged construction cycle");
     assert!(!report.deltas.is_empty(), "construction emitted deltas");
-    log.append_op(OpKind::Upsert, report.deltas).unwrap();
+    assert_eq!(
+        report.commits, sources,
+        "serial mode: one commit per source"
+    );
+    assert_eq!(lsns.len(), sources);
 
+    let kg = writer.read().clone();
     let applied = replica.catch_up().unwrap();
-    assert_eq!(applied, 1);
+    assert_eq!(applied, sources);
     assert_eq!(replica.watermark(), log.head());
     assert_eq!(replica.live().len(), kg.entity_count());
 
@@ -242,7 +257,7 @@ fn analytics_store_tracks_incremental_updates() {
     assert_eq!(store.entities_of_type(intern("music_artist")).len(), 1);
 
     kg.add_named_entity(EntityId(2), "B", "music_artist", SourceId(1), 0.9);
-    kg.upsert_fact(saga::core::ExtendedTriple::simple(
+    kg.commit_upsert(saga::core::ExtendedTriple::simple(
         EntityId(2),
         intern("popularity"),
         Value::Int(5),
