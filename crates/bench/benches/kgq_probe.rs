@@ -7,7 +7,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use saga_bench::nerdworld::ambiguous_world;
-use saga_core::index::flatten;
+use saga_core::index::{flatten, intersect_sorted};
+use saga_core::postings::{intersect_views, PostingsView};
 use saga_core::{intern, EntityId, GraphRead, KnowledgeGraph, OverlayRead, ProbeKey, Value};
 use saga_live::{LiveKg, QueryEngine};
 
@@ -83,9 +84,65 @@ fn bench_probe(c: &mut Criterion) {
     );
     let overlay_engine = QueryEngine::new(overlay);
 
+    // Postings memory gauge: the compressed block representation vs what
+    // the same postings would cost as plain sorted `Vec<EntityId>`s. The
+    // acceptance bar for the compressed-postings refactor is ≥3× reduction
+    // on this (dense sequential-id) workload.
+    let compressed_bytes = kg.index().index_bytes();
+    let plain_bytes = kg.index().plain_postings_bytes();
+    println!(
+        "postings_memory: compressed {} KiB vs plain {} KiB ({:.2}x reduction) at {} facts",
+        compressed_bytes / 1024,
+        plain_bytes / 1024,
+        plain_bytes as f64 / compressed_bytes as f64,
+        kg.fact_count(),
+    );
+
+    // Compressed-domain vs plain-Vec intersection, on the selective probe
+    // above and on a dense×dense conjunction (two large postings — the
+    // bitmap-AND fast path). Both sides intersect pre-fetched lists (views
+    // of the compressed blocks vs materialized sorted vectors with the
+    // galloping merge the index used before the block refactor), so the
+    // comparison isolates the intersection algorithm itself.
+    let plain_selective: Vec<Vec<EntityId>> = probes.iter().map(|p| kg.postings(p)).collect();
+    let dense_probes = [
+        ProbeKey::Type(intern("place")),
+        ProbeKey::Name("ward".into()),
+    ];
+    let dense_expected = kg.index().probe_all(&dense_probes);
+    assert!(
+        dense_expected.len() > 5_000,
+        "dense conjunction should hit every district: {}",
+        dense_expected.len()
+    );
+    let plain_dense: Vec<Vec<EntityId>> = dense_probes.iter().map(|p| kg.postings(p)).collect();
+    {
+        let refs: Vec<&[EntityId]> = plain_dense.iter().map(Vec::as_slice).collect();
+        assert_eq!(intersect_sorted(&refs), dense_expected, "paths agree");
+    }
+
     let mut group = c.benchmark_group("kgq_probe");
     group.bench_function("index_intersection_stable", |b| {
         b.iter(|| kg.index().probe_all(&probes))
+    });
+    group.bench_function("selective_intersection_compressed", |b| {
+        let views: Vec<PostingsView> = probes.iter().map(|p| kg.index().postings(p)).collect();
+        b.iter(|| intersect_views(&views))
+    });
+    group.bench_function("selective_intersection_plain_vec", |b| {
+        let refs: Vec<&[EntityId]> = plain_selective.iter().map(Vec::as_slice).collect();
+        b.iter(|| intersect_sorted(&refs))
+    });
+    group.bench_function("dense_intersection_compressed", |b| {
+        let views: Vec<PostingsView> = dense_probes
+            .iter()
+            .map(|p| kg.index().postings(p))
+            .collect();
+        b.iter(|| intersect_views(&views))
+    });
+    group.bench_function("dense_intersection_plain_vec", |b| {
+        let refs: Vec<&[EntityId]> = plain_dense.iter().map(Vec::as_slice).collect();
+        b.iter(|| intersect_sorted(&refs))
     });
     group.bench_function("index_intersection_live_sharded", |b| {
         b.iter(|| live.index().probe_all(&probes))

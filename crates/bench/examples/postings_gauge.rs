@@ -1,0 +1,17 @@
+//! Print the postings memory gauge + tier breakdown on the nerdworld
+//! ambiguity workload (the dense corpus the compressed-postings
+//! acceptance bar is measured on).
+
+fn main() {
+    let world = saga_bench::nerdworld::ambiguous_world(42, 1_500);
+    let idx = world.kg.index();
+    let stats = idx.postings_stats();
+    println!("facts: {}", world.kg.fact_count());
+    println!(
+        "compressed: {} B, plain: {} B, reduction {:.2}x",
+        idx.index_bytes(),
+        idx.plain_postings_bytes(),
+        idx.plain_postings_bytes() as f64 / idx.index_bytes() as f64
+    );
+    println!("{stats:#?}");
+}

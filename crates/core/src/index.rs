@@ -31,20 +31,51 @@
 //!   subjects` ([`TripleIndex::referencing`]), the reverse-edge path used
 //!   by graph analytics.
 //!
-//! Posting lists are sorted `Vec<EntityId>`; conjunctive probes intersect
-//! them with a galloping (exponential-search) merge, cf. the compressed
-//! adjacency-matrix evaluation of Arroyuelo et al. Composite facets are
-//! flattened to `predicate.facet` symbols — the same extended-triple trick
-//! (§2.1) the analytics store uses, so both share one schema.
+//! Posting lists are hybrid block-compressed [`BlockPostings`] (dense
+//! 4096-bit bitmap blocks, sparse delta+varint runs, per-list block
+//! directory — see [`crate::postings`]); conjunctive probes intersect them
+//! **in the compressed domain** (bitmap `AND` for dense×dense blocks,
+//! directory galloping for sparse), cf. the compressed adjacency-matrix
+//! evaluation of Arroyuelo et al. Probe reads hand out borrowed
+//! [`PostingsView`]s — nothing is decompressed until a caller materializes
+//! ids. Composite facets are flattened to `predicate.facet` symbols — the
+//! same extended-triple trick (§2.1) the analytics store uses, so both
+//! share one schema.
 
 use std::sync::Arc;
 
+use crate::postings::{intersect_views, BlockPostings, PostingsView};
 use crate::well_known;
 use crate::{intern, EntityId, EntityRecord, ExtendedTriple, FxHashMap, Symbol, Value};
 
 /// Dense id of an object value in a [`TripleIndex`]'s dictionary.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct ObjId(u32);
+
+/// Posting-storage tier breakdown (see [`TripleIndex::postings_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PostingsStats {
+    /// Total posting lists (POS + OSP + tokens).
+    pub lists: usize,
+    /// Total posting entries across all lists.
+    pub entries: usize,
+    /// Lists in the tiny (single varint run) tier.
+    pub tiny_lists: usize,
+    /// Entries held by tiny lists.
+    pub tiny_entries: usize,
+    /// Heap bytes held by tiny lists.
+    pub tiny_bytes: usize,
+    /// Lists in the blocked tier.
+    pub blocked_lists: usize,
+    /// Entries held by blocked lists.
+    pub blocked_entries: usize,
+    /// Heap bytes held by blocked lists (directories + containers).
+    pub blocked_bytes: usize,
+    /// Blocks across all blocked lists.
+    pub blocks: usize,
+    /// Blocks currently in dense (bitmap) form.
+    pub dense_blocks: usize,
+}
 
 /// One flattened fact of a [`Delta`]: the (possibly `pred.facet`-flattened)
 /// predicate and the object value.
@@ -92,31 +123,6 @@ pub enum ProbeKey {
     Type(Symbol),
 }
 
-/// A sorted, deduplicated subject posting list.
-#[derive(Clone, Debug, Default, PartialEq)]
-struct PostingList(Vec<EntityId>);
-
-impl PostingList {
-    #[inline]
-    fn insert(&mut self, id: EntityId) {
-        if let Err(at) = self.0.binary_search(&id) {
-            self.0.insert(at, id);
-        }
-    }
-
-    #[inline]
-    fn remove(&mut self, id: EntityId) {
-        if let Ok(at) = self.0.binary_search(&id) {
-            self.0.remove(at);
-        }
-    }
-
-    #[inline]
-    fn as_slice(&self) -> &[EntityId] {
-        &self.0
-    }
-}
-
 /// The unified interned triple index. See the module docs.
 #[derive(Clone, Debug, Default)]
 pub struct TripleIndex {
@@ -135,14 +141,19 @@ pub struct TripleIndex {
     obj_free: Vec<u32>,
     /// SPO: per-subject sorted `(predicate, object)` columns (multiset).
     spo: FxHashMap<EntityId, Vec<(Symbol, ObjId)>>,
-    /// POS: `(predicate, object)` posting lists.
-    pos: FxHashMap<(Symbol, ObjId), PostingList>,
-    /// OSP: reverse-edge posting lists.
-    osp: FxHashMap<EntityId, PostingList>,
+    /// POS: `(predicate, object)` block-compressed posting lists.
+    pos: FxHashMap<(Symbol, ObjId), BlockPostings>,
+    /// OSP: reverse-edge block-compressed posting lists.
+    osp: FxHashMap<EntityId, BlockPostings>,
     /// Derived name-token postings (lowercased tokens and full phrases).
-    tokens: FxHashMap<Arc<str>, PostingList>,
+    tokens: FxHashMap<Arc<str>, BlockPostings>,
     /// Total indexed facts (with multiplicity).
     facts: usize,
+    /// Monotone mutation stamp: every posting list carries the stamp of
+    /// the last delta that changed it, giving plan caches a per-probe
+    /// fingerprint ([`probe_fingerprint`](Self::probe_fingerprint))
+    /// instead of one global generation.
+    stamp: u64,
 }
 
 /// Flatten one extended triple to its indexed `(predicate, value)` form:
@@ -319,6 +330,10 @@ impl TripleIndex {
         if delta.is_empty() {
             return;
         }
+        // One stamp per delta: every posting list this delta touches is
+        // re-fingerprinted with it (monotone across deltas).
+        self.stamp += 1;
+        let stamp = self.stamp;
         let entity = delta.entity;
         let tokens_before = self.token_set(entity);
 
@@ -372,14 +387,22 @@ impl TripleIndex {
         for (key, present) in touched.into_iter().zip(still_present) {
             let (_, obj) = key;
             if present {
-                self.pos.entry(key).or_default().insert(entity);
+                let list = self.pos.entry(key).or_default();
+                if list.insert(entity) {
+                    list.set_stamp(stamp);
+                }
                 if let Value::Entity(target) = &self.obj_values[obj.0 as usize] {
-                    self.osp.entry(*target).or_default().insert(entity);
+                    let list = self.osp.entry(*target).or_default();
+                    if list.insert(entity) {
+                        list.set_stamp(stamp);
+                    }
                 }
             } else {
                 if let Some(list) = self.pos.get_mut(&key) {
-                    list.remove(entity);
-                    if list.as_slice().is_empty() {
+                    if list.remove(entity) {
+                        list.set_stamp(stamp);
+                    }
+                    if list.is_empty() {
                         self.pos.remove(&key);
                     }
                 }
@@ -397,8 +420,10 @@ impl TripleIndex {
                         .unwrap_or(false);
                     if !any_left {
                         if let Some(list) = self.osp.get_mut(&target) {
-                            list.remove(entity);
-                            if list.as_slice().is_empty() {
+                            if list.remove(entity) {
+                                list.set_stamp(stamp);
+                            }
+                            if list.is_empty() {
                                 self.osp.remove(&target);
                             }
                         }
@@ -410,17 +435,19 @@ impl TripleIndex {
         let tokens_after = self.token_set(entity);
         for gone in tokens_before.iter().filter(|t| !tokens_after.contains(*t)) {
             if let Some(list) = self.tokens.get_mut(gone) {
-                list.remove(entity);
-                if list.as_slice().is_empty() {
+                if list.remove(entity) {
+                    list.set_stamp(stamp);
+                }
+                if list.is_empty() {
                     self.tokens.remove(gone);
                 }
             }
         }
         for fresh in tokens_after.iter().filter(|t| !tokens_before.contains(*t)) {
-            self.tokens
-                .entry(Arc::clone(fresh))
-                .or_default()
-                .insert(entity);
+            let list = self.tokens.entry(Arc::clone(fresh)).or_default();
+            if list.insert(entity) {
+                list.set_stamp(stamp);
+            }
         }
         // Recycle dictionary slots whose last reference was retracted (and
         // was not re-added by this same delta). Runs last: the posting and
@@ -460,43 +487,44 @@ impl TripleIndex {
     // ------------------------------------------------------------------
 
     /// Subjects asserting the literal fact `(predicate, value)`.
-    pub fn by_literal(&self, predicate: Symbol, value: &Value) -> &[EntityId] {
+    pub fn by_literal(&self, predicate: Symbol, value: &Value) -> PostingsView<'_> {
         self.lookup_obj(value)
             .and_then(|obj| self.pos.get(&(predicate, obj)))
-            .map(PostingList::as_slice)
-            .unwrap_or(&[])
+            .map(BlockPostings::as_view)
+            .unwrap_or_default()
     }
 
     /// Subjects with an edge `(predicate) → target`.
-    pub fn by_edge(&self, predicate: Symbol, target: EntityId) -> &[EntityId] {
+    pub fn by_edge(&self, predicate: Symbol, target: EntityId) -> PostingsView<'_> {
         self.by_literal(predicate, &Value::Entity(target))
     }
 
     /// Subjects of ontology type `ty` (a literal probe on the `type`
     /// predicate — types need no separate store).
-    pub fn by_type(&self, ty: Symbol) -> &[EntityId] {
+    pub fn by_type(&self, ty: Symbol) -> PostingsView<'_> {
         self.by_literal(intern(well_known::TYPE), &Value::Str(ty.text()))
     }
 
     /// Subjects whose name/alias contains token (or equals phrase)
     /// `needle`, lowercased by the caller.
-    pub fn by_name(&self, needle: &str) -> &[EntityId] {
+    pub fn by_name(&self, needle: &str) -> PostingsView<'_> {
         self.tokens
             .get(needle)
-            .map(PostingList::as_slice)
-            .unwrap_or(&[])
+            .map(BlockPostings::as_view)
+            .unwrap_or_default()
     }
 
     /// Subjects referencing `target` through any predicate (OSP).
-    pub fn referencing(&self, target: EntityId) -> &[EntityId] {
+    pub fn referencing(&self, target: EntityId) -> PostingsView<'_> {
         self.osp
             .get(&target)
-            .map(PostingList::as_slice)
-            .unwrap_or(&[])
+            .map(BlockPostings::as_view)
+            .unwrap_or_default()
     }
 
-    /// Posting list of one lowered probe.
-    pub fn postings(&self, probe: &ProbeKey) -> &[EntityId] {
+    /// Posting list of one lowered probe — a zero-copy view over the
+    /// compressed blocks.
+    pub fn postings(&self, probe: &ProbeKey) -> PostingsView<'_> {
         match probe {
             ProbeKey::Name(n) => self.by_name(n),
             ProbeKey::Literal(p, v) => self.by_literal(*p, v),
@@ -510,10 +538,74 @@ impl TripleIndex {
         self.postings(probe).len()
     }
 
-    /// Conjunction of several probes via galloping intersection.
+    /// Mutation stamp of a probe's posting list (0 when the probe misses
+    /// the index) — the per-probe plan-cache fingerprint: it changes iff
+    /// the posting's membership changed since it was last observed.
+    pub fn probe_fingerprint(&self, probe: &ProbeKey) -> u64 {
+        self.postings(probe).fingerprint()
+    }
+
+    /// Conjunction of several probes via compressed-domain intersection
+    /// (bitmap `AND` on dense blocks, directory galloping on sparse ones).
     pub fn probe_all(&self, probes: &[ProbeKey]) -> Vec<EntityId> {
-        let lists: Vec<&[EntityId]> = probes.iter().map(|p| self.postings(p)).collect();
-        intersect_sorted(&lists)
+        let views: Vec<PostingsView> = probes.iter().map(|p| self.postings(p)).collect();
+        intersect_views(&views)
+    }
+
+    /// Approximate heap bytes of all posting lists (POS + OSP + token) in
+    /// their compressed block form — the postings memory gauge.
+    pub fn index_bytes(&self) -> usize {
+        self.pos
+            .values()
+            .map(BlockPostings::heap_bytes)
+            .sum::<usize>()
+            + self
+                .osp
+                .values()
+                .map(BlockPostings::heap_bytes)
+                .sum::<usize>()
+            + self
+                .tokens
+                .values()
+                .map(BlockPostings::heap_bytes)
+                .sum::<usize>()
+    }
+
+    /// What the same postings would occupy as plain sorted
+    /// `Vec<EntityId>`s — the before/after denominator of the gauge.
+    pub fn plain_postings_bytes(&self) -> usize {
+        let id = std::mem::size_of::<EntityId>();
+        (self.pos.values().map(BlockPostings::len).sum::<usize>()
+            + self.osp.values().map(BlockPostings::len).sum::<usize>()
+            + self.tokens.values().map(BlockPostings::len).sum::<usize>())
+            * id
+    }
+
+    /// Tier breakdown of the posting storage (observability for the
+    /// memory gauge and capacity planning).
+    pub fn postings_stats(&self) -> PostingsStats {
+        let mut stats = PostingsStats::default();
+        for list in self
+            .pos
+            .values()
+            .chain(self.osp.values())
+            .chain(self.tokens.values())
+        {
+            stats.lists += 1;
+            stats.entries += list.len();
+            if list.is_tiny() {
+                stats.tiny_lists += 1;
+                stats.tiny_entries += list.len();
+                stats.tiny_bytes += list.heap_bytes();
+            } else {
+                stats.blocked_lists += 1;
+                stats.blocked_entries += list.len();
+                stats.blocked_bytes += list.heap_bytes();
+                stats.blocks += list.block_count();
+                stats.dense_blocks += list.dense_block_count();
+            }
+        }
+        stats
     }
 
     // ------------------------------------------------------------------

@@ -1,18 +1,27 @@
 //! Index-consistency property tests (seeded, deterministic).
 //!
-//! Two invariants of the unified triple index, checked over random
+//! Three invariants of the unified triple index, checked over random
 //! interleavings of upserts, retractions, volatile overwrites and direct
 //! record mutations:
 //!
 //! 1. **Scan equivalence** — every SPO / POS / OSP probe answered by the
-//!    index equals a naive full scan over the `KnowledgeGraph` records.
+//!    index equals a naive full scan over the `KnowledgeGraph` records,
+//!    and every `probe_all` conjunction equals the naive intersection of
+//!    those scans.
 //! 2. **Replay equivalence** — the [`Delta`] change feed drained from the
 //!    KG, replayed onto an empty index, reproduces the KG's index exactly.
+//! 3. **Compression equivalence** — the block-compressed
+//!    [`BlockPostings`] behaves exactly like a plain sorted
+//!    `Vec<EntityId>` reference under churn-heavy op streams, including
+//!    across the inline/block and sparse/dense split-merge boundaries.
 
 use crate::index::{flatten, name_tokens};
+use crate::postings::{
+    intersect_views, union_views, BlockPostings, PostingsView, DENSE_MIN, SPARSE_MAX,
+};
 use crate::{
-    intern, Delta, EntityId, ExtendedTriple, FactMeta, FxHashSet, KnowledgeGraph, RelId, SourceId,
-    Symbol, TripleIndex, Value,
+    intern, Delta, EntityId, ExtendedTriple, FactMeta, FxHashSet, KnowledgeGraph, ProbeKey, RelId,
+    SourceId, Symbol, TripleIndex, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -231,6 +240,33 @@ fn assert_index_matches_naive_scan(kg: &KnowledgeGraph, seed_label: &str) {
             "{seed_label}: type mismatch for {ty}"
         );
     }
+    // Selectivity is the posting length.
+    for (pred, value) in &pairs {
+        let probe = ProbeKey::Literal(*pred, value.clone());
+        assert_eq!(
+            index.selectivity(&probe),
+            naive_pos(kg, *pred, value).len(),
+            "{seed_label}: selectivity mismatch for ({pred}, {value})"
+        );
+    }
+    // probe_all conjunctions (compressed-domain intersection) equal the
+    // naive intersection of the naive scans.
+    for ty in TYPES {
+        for name in NAMES {
+            for token in name_tokens(name) {
+                let probes = [ProbeKey::Type(intern(ty)), ProbeKey::Name(token.clone())];
+                let expected: Vec<EntityId> = naive_pos(kg, intern("type"), &Value::str(ty))
+                    .into_iter()
+                    .filter(|id| naive_tokens(kg, &token).contains(id))
+                    .collect();
+                assert_eq!(
+                    index.probe_all(&probes),
+                    expected,
+                    "{seed_label}: probe_all mismatch for ({ty}, {token:?})"
+                );
+            }
+        }
+    }
 }
 
 #[test]
@@ -297,5 +333,248 @@ fn delta_feed_replay_reproduces_the_index() {
                 );
             }
         }
+        // POS postings agree pair-by-pair after replay.
+        let pairs: Vec<(Symbol, Value)> = kg
+            .entities()
+            .flat_map(|r| r.triples.iter().filter_map(flatten))
+            .collect();
+        for (pred, value) in &pairs {
+            assert_eq!(
+                replayed.by_literal(*pred, value),
+                index.by_literal(*pred, value),
+                "seed {seed}: replayed POS for ({pred}, {value})"
+            );
+        }
     }
+}
+
+// ---------------------------------------------------------------------
+// Compressed postings ≡ plain Vec reference
+// ---------------------------------------------------------------------
+
+/// The plain-`Vec` reference implementation the compressed list must be
+/// indistinguishable from.
+#[derive(Default)]
+struct PlainPostings(Vec<EntityId>);
+
+impl PlainPostings {
+    fn insert(&mut self, id: EntityId) -> bool {
+        match self.0.binary_search(&id) {
+            Ok(_) => false,
+            Err(at) => {
+                self.0.insert(at, id);
+                true
+            }
+        }
+    }
+
+    fn remove(&mut self, id: EntityId) -> bool {
+        match self.0.binary_search(&id) {
+            Ok(at) => {
+                self.0.remove(at);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// Random id biased toward representation boundaries: block edges
+/// (multiples of 4096 ± a few), one hot block that crosses the
+/// sparse→dense split and back, and a far block that keeps the directory
+/// multi-entry.
+fn boundary_id(rng: &mut StdRng) -> EntityId {
+    match rng.gen_range(0..5) {
+        // Hot block 0: enough distinct ids (0..2048) to cross SPARSE_MAX.
+        0 | 1 => EntityId(rng.gen_range(0..2048)),
+        // Block boundary straddle: 4090..4102.
+        2 => EntityId(4090 + rng.gen_range(0..12)),
+        // Sparse far block.
+        3 => EntityId((1 << 20) + rng.gen_range(0..64)),
+        // Tiny tail that keeps the list hopping over INLINE_MAX.
+        _ => EntityId(rng.gen_range(0..40) * 97),
+    }
+}
+
+#[test]
+fn compressed_list_matches_plain_vec_reference_under_churn() {
+    for seed in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0xB10C ^ seed);
+        let mut plain = PlainPostings::default();
+        let mut compressed = BlockPostings::new();
+        let mut crossed_dense = false;
+        let mut crossed_tiny = false;
+        for step in 0..6_000 {
+            let id = boundary_id(&mut rng);
+            // Phase-biased churn: mostly inserts early (push the hot block
+            // through the dense split), mostly removals late (pull it back
+            // through the merge thresholds).
+            let insert = if step < 3_000 {
+                rng.gen_bool(0.8)
+            } else {
+                rng.gen_bool(0.2)
+            };
+            if insert {
+                assert_eq!(
+                    compressed.insert(id),
+                    plain.insert(id),
+                    "seed {seed} step {step}: insert({id}) disagreed"
+                );
+            } else {
+                assert_eq!(
+                    compressed.remove(id),
+                    plain.remove(id),
+                    "seed {seed} step {step}: remove({id}) disagreed"
+                );
+            }
+            crossed_dense |= compressed.dense_block_count() > 0;
+            crossed_tiny |= compressed.is_tiny();
+            assert_eq!(compressed.len(), plain.0.len(), "seed {seed} step {step}");
+            if step % 500 == 499 {
+                assert_eq!(
+                    compressed.to_vec(),
+                    plain.0,
+                    "seed {seed} step {step}: contents diverged"
+                );
+                for probe in [0u64, 1, 4_095, 4_096, 4_100, 1 << 20, 97 * 13] {
+                    let id = EntityId(probe);
+                    assert_eq!(
+                        compressed.contains(id),
+                        plain.0.binary_search(&id).is_ok(),
+                        "seed {seed} step {step}: contains({id}) disagreed"
+                    );
+                }
+            }
+        }
+        assert_eq!(compressed.to_vec(), plain.0, "seed {seed}: final contents");
+        assert!(
+            crossed_dense,
+            "seed {seed}: churn never promoted a dense block — thresholds untested"
+        );
+        assert!(
+            crossed_tiny,
+            "seed {seed}: churn never passed through the tiny tier"
+        );
+    }
+}
+
+#[test]
+fn compressed_set_algebra_matches_plain_reference() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(0xA15E ^ seed);
+        // Three lists of very different densities, sharing the id space.
+        let mut lists: Vec<Vec<EntityId>> = Vec::new();
+        for density in [2usize, 7, 31] {
+            let mut ids: Vec<EntityId> = (0..30_000u64)
+                .filter(|_| rng.gen_range(0..density) == 0)
+                .map(EntityId)
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            lists.push(ids);
+        }
+        let compressed: Vec<BlockPostings> = lists
+            .iter()
+            .map(|ids| BlockPostings::from_sorted(ids))
+            .collect();
+        let views: Vec<PostingsView> = compressed.iter().map(BlockPostings::as_view).collect();
+        // Intersection ≡ naive.
+        let expected: Vec<EntityId> = lists[0]
+            .iter()
+            .filter(|id| lists[1].binary_search(id).is_ok() && lists[2].binary_search(id).is_ok())
+            .copied()
+            .collect();
+        assert_eq!(intersect_views(&views), expected, "seed {seed}: intersect");
+        // Union ≡ naive (the cross-shard merge path).
+        let mut all: Vec<EntityId> = lists.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(union_views(&views).to_vec(), all, "seed {seed}: union");
+    }
+}
+
+/// KG-scale split/merge: enough same-type entities (ids straddling a
+/// block boundary) to promote the type posting into dense blocks, then a
+/// source retraction that pulls it back through demotion — with scan
+/// equivalence asserted on both sides.
+#[test]
+fn dense_type_posting_promotes_and_demotes_at_kg_scale() {
+    let mut kg = KnowledgeGraph::new();
+    let lo = 3_500u64;
+    let hi = 4_800u64; // straddles the 4096 block boundary
+    for id in lo..hi {
+        // Two thirds of the entities come from the churn source.
+        let source = if id % 3 == 0 {
+            SourceId(1)
+        } else {
+            SourceId(2)
+        };
+        kg.add_named_entity(EntityId(id), &format!("Node {id}"), "person", source, 0.9);
+    }
+    let ty = ProbeKey::Type(intern("person"));
+    {
+        let view = kg.index().postings(&ty);
+        assert_eq!(view.len(), (hi - lo) as usize);
+        assert_eq!(view.block_count(), 2, "ids straddle one block boundary");
+        assert!(
+            view.dense_block_count() >= 1,
+            "per-block cardinality {} crossed SPARSE_MAX={SPARSE_MAX}",
+            view.len() / 2
+        );
+        let expected: Vec<EntityId> = (lo..hi).map(EntityId).collect();
+        assert_eq!(view, expected);
+    }
+    // Retract the churn source: cardinality drops to ~433, under the
+    // DENSE_MIN=256 per-block demotion threshold.
+    kg.retract_source(SourceId(2));
+    {
+        let view = kg.index().postings(&ty);
+        let expected: Vec<EntityId> = (lo..hi).filter(|id| id % 3 == 0).map(EntityId).collect();
+        assert_eq!(view.len(), expected.len());
+        assert!(
+            expected.len() / 2 < DENSE_MIN,
+            "workload sized to cross the demote threshold"
+        );
+        assert_eq!(view.dense_block_count(), 0, "demoted after retraction");
+        assert_eq!(view, expected);
+        // And the conjunction with a (dense-ish) token posting agrees
+        // with the naive intersection.
+        let hits = kg
+            .index()
+            .probe_all(&[ty.clone(), ProbeKey::Name("node".into())]);
+        assert_eq!(hits, expected);
+    }
+    // Retracting everything empties the postings and the directories.
+    kg.retract_source(SourceId(1));
+    let view = kg.index().postings(&ty);
+    assert!(view.is_empty());
+    assert_eq!(view.block_count(), 0);
+    assert!(kg.index().is_empty());
+}
+
+#[test]
+fn probe_fingerprints_move_only_with_their_posting() {
+    let mut kg = KnowledgeGraph::new();
+    kg.add_named_entity(EntityId(1), "Alpha", "song", SourceId(1), 0.9);
+    kg.add_named_entity(EntityId(2), "Beta", "artist", SourceId(1), 0.9);
+    let song = ProbeKey::Type(intern("song"));
+    let alpha = ProbeKey::Name("alpha".into());
+    let fp_song = kg.index().probe_fingerprint(&song);
+    let fp_alpha = kg.index().probe_fingerprint(&alpha);
+    assert_ne!(fp_song, 0, "stamped on creation");
+    // An unrelated entity write leaves both fingerprints untouched.
+    kg.add_named_entity(EntityId(3), "Gamma", "artist", SourceId(1), 0.9);
+    assert_eq!(kg.index().probe_fingerprint(&song), fp_song);
+    assert_eq!(kg.index().probe_fingerprint(&alpha), fp_alpha);
+    // A write into the song posting moves only that fingerprint.
+    kg.add_named_entity(EntityId(4), "Delta", "song", SourceId(1), 0.9);
+    assert_ne!(kg.index().probe_fingerprint(&song), fp_song);
+    assert_eq!(kg.index().probe_fingerprint(&alpha), fp_alpha);
+    // A vanished posting fingerprints as 0; recreation restamps fresh.
+    kg.retract_source(SourceId(1));
+    assert_eq!(kg.index().probe_fingerprint(&song), 0);
+    kg.add_named_entity(EntityId(9), "Niner", "song", SourceId(1), 0.9);
+    let fp_new = kg.index().probe_fingerprint(&song);
+    assert_ne!(fp_new, 0);
+    assert_ne!(fp_new, fp_song, "stamps are never reused");
 }

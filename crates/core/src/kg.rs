@@ -430,7 +430,7 @@ impl KnowledgeGraph {
         self.index
             .by_type(entity_type)
             .iter()
-            .filter_map(|id| self.entities.get(id))
+            .filter_map(|id| self.entities.get(&id))
             .collect()
     }
 
@@ -443,7 +443,7 @@ impl KnowledgeGraph {
             .index
             .by_name(&name.to_lowercase())
             .iter()
-            .filter_map(|id| self.entities.get(id))
+            .filter_map(|id| self.entities.get(&id))
             .filter(|r| r.all_names().iter().any(|n| &**n == name))
             .map(|r| r.id)
             .collect();

@@ -31,6 +31,7 @@ pub mod intern;
 pub mod json;
 pub mod kg;
 pub mod meta;
+pub mod postings;
 pub mod read;
 pub mod row;
 pub mod triple;
@@ -48,10 +49,11 @@ mod write_properties;
 pub use entity::{EntityPayload, EntityRecord};
 pub use error::{Result, SagaError};
 pub use id::{EntityId, IdGenerator, Lsn, RelId, SourceId};
-pub use index::{Delta, DeltaFact, ProbeKey, TripleIndex};
+pub use index::{Delta, DeltaFact, PostingsStats, ProbeKey, TripleIndex};
 pub use intern::{intern, resolve, symbol_text, Symbol};
 pub use kg::{KgStats, KnowledgeGraph, DEFAULT_CHANGELOG_CAPACITY};
 pub use meta::{FactMeta, SourceTrust};
+pub use postings::{intersect_views, union_views, BlockPostings, PostingsCursor, PostingsView};
 pub use read::{GraphRead, OverlayRead};
 pub use row::{Dataset, Row};
 pub use triple::{ExtendedTriple, RelPart, SubjectRef, TripleKey};

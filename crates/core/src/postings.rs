@@ -1,0 +1,1816 @@
+//! Compressed block posting lists with compressed-domain intersection.
+//!
+//! Posting lists are the dominant memory cost of the unified triple index
+//! at scale, and plain sorted `Vec<EntityId>` postings are a cache-miss
+//! machine during galloping intersection (every probe touches 8 bytes per
+//! candidate). Following the compressed-adjacency-matrix result of
+//! Arroyuelo et al. (compressed representations can *speed up*
+//! graph-pattern evaluation, not just shrink it), this module replaces the
+//! flat vectors with a three-tier hybrid:
+//!
+//! * a **tiny** list (≤ [`TINY_MAX`] ids — the singleton reverse-edge and
+//!   rare-token lists that dominate list *count*) is one delta+varint
+//!   byte run over the full ids, ~2–3 bytes per id instead of 8, with an
+//!   `O(1)` append fast path for the ascending inserts replay produces;
+//! * past that, the id space is cut into **blocks** of [`BLOCK_SPAN`]
+//!   consecutive ids (`block key = id >> 12`):
+//!   * a **dense** block stores membership as a 64-word (4096-bit)
+//!     bitmap — 512 bytes regardless of cardinality;
+//!   * a **sparse** block stores its in-block offsets as
+//!     delta+varint-encoded runs — ~1 byte per id for clustered ids,
+//!     ≤2 bytes worst case;
+//! * a per-list **block directory** (`BlockMeta`: key, min/max offset,
+//!   cardinality) sits in front of the containers, so intersection can
+//!   skip whole blocks without touching container bytes.
+//!
+//! Intersection ([`intersect_views`]) operates in the compressed domain:
+//! directories are galloped to find common block keys, dense×dense blocks
+//! combine with 64-bit bitmap `AND`s, and sparse blocks decode at most
+//! [`SPARSE_MAX`] offsets into a scratch buffer that is membership-tested
+//! against the other containers. Full lists are never materialized. A
+//! conjunction involving a tiny list short-circuits to candidate testing —
+//! at most [`TINY_MAX`] point probes.
+//!
+//! # Maintenance cost model
+//!
+//! [`BlockPostings::insert`]/[`remove`](BlockPostings::remove) update one
+//! block in place: a dense bit set/clear is `O(1)`, a sparse re-encode is
+//! `O(block cardinality)` ≤ [`SPARSE_MAX`], a tiny re-encode is
+//! `O(`[`TINY_MAX`]`)` (and `O(1)` for ascending appends) — all
+//! *independent of list length*, unlike `Vec::insert`'s `O(n)` memmove.
+//! Representation switches are hysteretic at both tiers (tiny→blocks
+//! above [`TINY_MAX`], back below [`TINY_MIN`]; sparse→dense above
+//! [`SPARSE_MAX`], back below [`DENSE_MIN`]), so a run of mutations must
+//! land on a list/block between two conversions — the amortized
+//! split/merge policy that keeps write-heavy oplog replay cheap.
+//!
+//! See `docs/index.md` for the full format contract.
+
+use std::cell::RefCell;
+
+use crate::EntityId;
+
+/// Ids per block: `4096 = 2^12`, so a dense bitmap is 64 `u64` words.
+pub const BLOCK_SPAN: u64 = 4096;
+/// Bits of an id below the block key.
+const BLOCK_SHIFT: u32 = 12;
+/// `u64` words in a dense bitmap container.
+const WORDS: usize = (BLOCK_SPAN as usize) / 64;
+/// A sparse container exceeding this cardinality is promoted to dense.
+/// 512 offsets at ~1 byte each ≈ the 512-byte bitmap — past this point the
+/// bitmap is both smaller and faster.
+pub const SPARSE_MAX: usize = 512;
+/// A dense container falling below this cardinality is demoted to sparse.
+/// Strictly below [`SPARSE_MAX`] so conversions are hysteretic: a block
+/// oscillating at one threshold cannot thrash between representations.
+pub const DENSE_MIN: usize = 256;
+/// Largest list kept in the tiny (single varint run) tier. Below this
+/// size the block machinery's fixed cost (~48 B of directory + container
+/// header per block, over lists whose ids spread thinly across many
+/// blocks) exceeds the encoded ids; above it the blocks win on both
+/// memory and intersection skipping. Mutation cost in the tiny tier is a
+/// bounded `O(TINY_MAX)` re-encode (and `O(1)` for ascending appends).
+pub const TINY_MAX: usize = 256;
+/// A blocked list shrinking below this length collapses back to tiny
+/// (hysteretic against [`TINY_MAX`], like the dense/sparse pair).
+pub const TINY_MIN: usize = 128;
+
+thread_local! {
+    /// Scratch decode buffer for in-place sparse updates (one mutation
+    /// decodes at most [`SPARSE_MAX`] offsets; reused to avoid a per-write
+    /// allocation on the oplog replay path).
+    static SCRATCH_OFFSETS: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
+    /// Scratch decode buffer for tiny-tier updates (≤ [`TINY_MAX`] ids).
+    static SCRATCH_IDS: RefCell<Vec<EntityId>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Re-encode a tiny run in place, trimming pathological slack (shrinking
+/// lists would otherwise pin their peak capacity forever).
+fn reencode_tiny(ids: &[EntityId], bytes: &mut Vec<u8>) {
+    encode_tiny_into(ids, bytes);
+    if bytes.capacity() > bytes.len() * 2 {
+        bytes.shrink_to_fit();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Varint coding
+// ---------------------------------------------------------------------
+
+#[inline]
+fn push_varint16(buf: &mut Vec<u8>, mut v: u16) {
+    while v >= 0x80 {
+        buf.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+#[inline]
+fn read_varint16(bytes: &[u8], at: &mut usize) -> u16 {
+    let mut v = 0u16;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*at];
+        *at += 1;
+        v |= u16::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+#[inline]
+fn push_varint64(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+/// Encoded length of one u64 varint.
+#[inline]
+fn varint64_len(v: u64) -> usize {
+    ((64 - v.leading_zeros() as usize).max(1)).div_ceil(7)
+}
+
+#[inline]
+fn read_varint64(bytes: &[u8], at: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = bytes[*at];
+        *at += 1;
+        v |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// Delta+varint-encode sorted, deduplicated in-block offsets: the first
+/// offset is stored raw, each successor as `gap - 1` (offsets strictly
+/// increase, so gaps are ≥ 1 and runs of consecutive ids encode as zeros).
+fn encode_sparse(offsets: &[u16]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(offsets.len() + offsets.len() / 4);
+    let mut prev = 0u16;
+    for (i, &off) in offsets.iter().enumerate() {
+        if i == 0 {
+            push_varint16(&mut buf, off);
+        } else {
+            push_varint16(&mut buf, off - prev - 1);
+        }
+        prev = off;
+    }
+    buf
+}
+
+fn decode_sparse_into(bytes: &[u8], out: &mut Vec<u16>) {
+    out.clear();
+    let mut at = 0usize;
+    let mut prev = 0u16;
+    let mut first = true;
+    while at < bytes.len() {
+        let v = read_varint16(bytes, &mut at);
+        let off = if first { v } else { prev + v + 1 };
+        first = false;
+        prev = off;
+        out.push(off);
+    }
+}
+
+/// Delta+varint-encode sorted full ids (the tiny tier): first id raw,
+/// successors as `gap - 1`.
+fn encode_tiny_into(ids: &[EntityId], out: &mut Vec<u8>) {
+    out.clear();
+    let mut prev = 0u64;
+    for (i, &id) in ids.iter().enumerate() {
+        if i == 0 {
+            push_varint64(out, id.0);
+        } else {
+            push_varint64(out, id.0 - prev - 1);
+        }
+        prev = id.0;
+    }
+}
+
+fn decode_tiny_into(bytes: &[u8], out: &mut Vec<EntityId>) {
+    out.clear();
+    let mut at = 0usize;
+    let mut prev = 0u64;
+    let mut first = true;
+    while at < bytes.len() {
+        let v = read_varint64(bytes, &mut at);
+        let id = if first { v } else { prev + v + 1 };
+        first = false;
+        prev = id;
+        out.push(EntityId(id));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Containers and the block directory
+// ---------------------------------------------------------------------
+
+/// One block's membership payload.
+#[derive(Clone, Debug, PartialEq)]
+enum Container {
+    /// Delta+varint-encoded sorted offsets (cardinality ≤ [`SPARSE_MAX`]).
+    Sparse(Vec<u8>),
+    /// 4096-bit bitmap (cardinality ≥ [`DENSE_MIN`]).
+    Dense(Box<[u64; WORDS]>),
+}
+
+impl Container {
+    fn contains(&self, off: u16) -> bool {
+        match self {
+            Container::Dense(words) => words[(off >> 6) as usize] & (1u64 << (off & 63)) != 0,
+            Container::Sparse(bytes) => {
+                let mut at = 0usize;
+                let mut prev = 0u16;
+                let mut first = true;
+                while at < bytes.len() {
+                    let v = read_varint16(bytes, &mut at);
+                    let cur = if first { v } else { prev + v + 1 };
+                    first = false;
+                    if cur >= off {
+                        return cur == off;
+                    }
+                    prev = cur;
+                }
+                false
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Container::Sparse(bytes) => bytes.capacity(),
+            Container::Dense(_) => WORDS * 8,
+        }
+    }
+}
+
+/// One directory entry: everything block skipping needs without touching
+/// the container — the key, the offset bounds, and the cardinality.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct BlockMeta {
+    /// `id >> 12` of every member.
+    key: u64,
+    /// Smallest in-block offset.
+    min: u16,
+    /// Largest in-block offset.
+    max: u16,
+    /// Number of members (1..=4096).
+    card: u16,
+}
+
+#[inline]
+fn split_id(id: EntityId) -> (u64, u16) {
+    (id.0 >> BLOCK_SHIFT, (id.0 & (BLOCK_SPAN - 1)) as u16)
+}
+
+#[inline]
+fn join_id(key: u64, off: u16) -> EntityId {
+    EntityId((key << BLOCK_SHIFT) | u64::from(off))
+}
+
+/// The representation ladder of one posting list.
+#[derive(Clone, Debug)]
+enum Repr {
+    /// One delta+varint run over full ids (≤ [`TINY_MAX`] of them). `last`
+    /// caches the largest id so ascending inserts append in `O(1)` — the
+    /// hot shape during log replay, where ids arrive mostly in order.
+    Tiny {
+        /// The encoded run.
+        bytes: Vec<u8>,
+        /// Number of encoded ids (≤ [`TINY_MAX`]).
+        len: u16,
+        /// Largest encoded id (meaningless while `len == 0`).
+        last: u64,
+    },
+    /// Block directory + containers (> [`TINY_MIN`] after hysteresis).
+    Blocks {
+        /// Sorted by `key`; parallel to `containers`.
+        dir: Vec<BlockMeta>,
+        /// Per-block payloads.
+        containers: Vec<Container>,
+        /// Total cardinality across blocks.
+        len: usize,
+    },
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Tiny {
+            bytes: Vec::new(),
+            len: 0,
+            last: 0,
+        }
+    }
+}
+
+/// A sorted, deduplicated subject posting list in hybrid block-compressed
+/// form. See the module docs for the representation and cost model.
+#[derive(Clone, Debug, Default)]
+pub struct BlockPostings {
+    repr: Repr,
+    /// Mutation stamp assigned by the owning index — the per-probe
+    /// plan-cache fingerprint (0 = never stamped).
+    stamp: u64,
+}
+
+/// Equality is by content (the id set), not representation — a tiny list
+/// and a blocked list holding the same ids are equal.
+impl PartialEq for BlockPostings {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl BlockPostings {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from sorted, deduplicated ids (bulk path: one encode per
+    /// block, no incremental re-encoding).
+    pub fn from_sorted(ids: &[EntityId]) -> Self {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted + dedup");
+        if ids.len() <= TINY_MAX {
+            let mut bytes = Vec::new();
+            encode_tiny_into(ids, &mut bytes);
+            bytes.shrink_to_fit();
+            return BlockPostings {
+                repr: Repr::Tiny {
+                    bytes,
+                    len: ids.len() as u16,
+                    last: ids.last().map_or(0, |id| id.0),
+                },
+                stamp: 0,
+            };
+        }
+        BlockPostings {
+            repr: blocks_from_sorted(ids),
+            stamp: 0,
+        }
+    }
+
+    /// Number of ids in the list.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            Repr::Tiny { len, .. } => usize::from(*len),
+            Repr::Blocks { len, .. } => *len,
+        }
+    }
+
+    /// True if no ids are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of blocks (0 while the list is tiny).
+    pub fn block_count(&self) -> usize {
+        match &self.repr {
+            Repr::Tiny { .. } => 0,
+            Repr::Blocks { dir, .. } => dir.len(),
+        }
+    }
+
+    /// Number of blocks currently in dense (bitmap) form.
+    pub fn dense_block_count(&self) -> usize {
+        match &self.repr {
+            Repr::Tiny { .. } => 0,
+            Repr::Blocks { containers, .. } => containers
+                .iter()
+                .filter(|c| matches!(c, Container::Dense(_)))
+                .count(),
+        }
+    }
+
+    /// True while the list is in the tiny (single varint run) tier.
+    pub fn is_tiny(&self) -> bool {
+        matches!(self.repr, Repr::Tiny { .. })
+    }
+
+    /// The mutation stamp last assigned by the owning index (0 if never
+    /// stamped) — compared by plan caches as a per-probe fingerprint.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Assign the mutation stamp (index maintenance only).
+    pub fn set_stamp(&mut self, stamp: u64) {
+        self.stamp = stamp;
+    }
+
+    /// Approximate heap footprint of the list (encoded run, or directory +
+    /// containers once blocked).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.repr {
+            Repr::Tiny { bytes, .. } => bytes.capacity(),
+            Repr::Blocks {
+                dir, containers, ..
+            } => {
+                dir.capacity() * std::mem::size_of::<BlockMeta>()
+                    + containers.capacity() * std::mem::size_of::<Container>()
+                    + containers.iter().map(Container::heap_bytes).sum::<usize>()
+            }
+        }
+    }
+
+    /// Membership test: a bounded decode-scan (tiny), or directory binary
+    /// search plus one container probe (blocked).
+    pub fn contains(&self, id: EntityId) -> bool {
+        match &self.repr {
+            Repr::Tiny { bytes, len, last } => {
+                if *len == 0 || id.0 > *last {
+                    return false;
+                }
+                let mut at = 0usize;
+                let mut prev = 0u64;
+                let mut first = true;
+                while at < bytes.len() {
+                    let v = read_varint64(bytes, &mut at);
+                    let cur = if first { v } else { prev + v + 1 };
+                    first = false;
+                    if cur >= id.0 {
+                        return cur == id.0;
+                    }
+                    prev = cur;
+                }
+                false
+            }
+            Repr::Blocks {
+                dir, containers, ..
+            } => {
+                let (key, off) = split_id(id);
+                match dir.binary_search_by_key(&key, |m| m.key) {
+                    Err(_) => false,
+                    Ok(at) => {
+                        let meta = dir[at];
+                        off >= meta.min && off <= meta.max && containers[at].contains(off)
+                    }
+                }
+            }
+        }
+    }
+
+    /// The smallest id, if any.
+    pub fn first(&self) -> Option<EntityId> {
+        match &self.repr {
+            Repr::Tiny { bytes, len, .. } => {
+                if *len == 0 {
+                    return None;
+                }
+                let mut at = 0usize;
+                Some(EntityId(read_varint64(bytes, &mut at)))
+            }
+            Repr::Blocks { dir, .. } => dir.first().map(|m| join_id(m.key, m.min)),
+        }
+    }
+
+    /// The largest id, if any.
+    pub fn last(&self) -> Option<EntityId> {
+        match &self.repr {
+            Repr::Tiny { len, last, .. } => (*len > 0).then_some(EntityId(*last)),
+            Repr::Blocks { dir, .. } => dir.last().map(|m| join_id(m.key, m.max)),
+        }
+    }
+
+    /// Insert `id`; returns whether the list changed.
+    pub fn insert(&mut self, id: EntityId) -> bool {
+        match &mut self.repr {
+            Repr::Tiny { bytes, len, last } => {
+                // Allocations stay *exact* in this tier (singletons are
+                // the most numerous lists in any index — amortized-growth
+                // slack on them would rival the payload itself).
+                if *len == 0 {
+                    bytes.reserve_exact(varint64_len(id.0));
+                    push_varint64(bytes, id.0);
+                    *len = 1;
+                    *last = id.0;
+                    return true;
+                }
+                if id.0 > *last && usize::from(*len) < TINY_MAX {
+                    // Ascending append: one varint, no decode (replay's
+                    // dominant shape — ids arrive mostly in order). Runs
+                    // stay exactly-sized while small — the slack on
+                    // millions of near-singleton lists is what exactness
+                    // buys — and switch to amortized doubling once the
+                    // run is big enough that per-append reallocation
+                    // would make "O(1) append" a lie.
+                    let delta = id.0 - *last - 1;
+                    let need = varint64_len(delta);
+                    if bytes.capacity() - bytes.len() < need {
+                        if bytes.len() < 32 {
+                            bytes.reserve_exact(need);
+                        } else {
+                            bytes.reserve(need);
+                        }
+                    }
+                    push_varint64(bytes, delta);
+                    *len += 1;
+                    *last = id.0;
+                    return true;
+                }
+                let grown = SCRATCH_IDS.with(|scratch| {
+                    let mut decoded = scratch.borrow_mut();
+                    decode_tiny_into(bytes, &mut decoded);
+                    let pos = match decoded.binary_search(&id) {
+                        Ok(_) => return None,
+                        Err(pos) => pos,
+                    };
+                    decoded.insert(pos, id);
+                    if decoded.len() > TINY_MAX {
+                        // Split: the list outgrew the tiny tier.
+                        return Some(Some(blocks_from_sorted(&decoded)));
+                    }
+                    reencode_tiny(&decoded, bytes);
+                    *len += 1;
+                    *last = decoded.last().expect("non-empty").0;
+                    Some(None)
+                });
+                match grown {
+                    None => false,
+                    Some(Some(blocks)) => {
+                        self.repr = blocks;
+                        true
+                    }
+                    Some(None) => true,
+                }
+            }
+            Repr::Blocks {
+                dir,
+                containers,
+                len,
+            } => {
+                let changed = blocks_insert(dir, containers, id);
+                if changed {
+                    *len += 1;
+                }
+                changed
+            }
+        }
+    }
+
+    /// Remove `id`; returns whether the list changed.
+    pub fn remove(&mut self, id: EntityId) -> bool {
+        let changed = match &mut self.repr {
+            Repr::Tiny { bytes, len, last } => {
+                if *len == 0 || id.0 > *last {
+                    return false;
+                }
+                SCRATCH_IDS.with(|scratch| {
+                    let mut decoded = scratch.borrow_mut();
+                    decode_tiny_into(bytes, &mut decoded);
+                    let Ok(pos) = decoded.binary_search(&id) else {
+                        return false;
+                    };
+                    decoded.remove(pos);
+                    reencode_tiny(&decoded, bytes);
+                    *len -= 1;
+                    *last = decoded.last().map_or(0, |id| id.0);
+                    true
+                })
+            }
+            Repr::Blocks {
+                dir,
+                containers,
+                len,
+            } => {
+                if !blocks_remove(dir, containers, id) {
+                    return false;
+                }
+                *len -= 1;
+                true
+            }
+        };
+        if changed {
+            if let Repr::Blocks { len, .. } = &self.repr {
+                if *len < TINY_MIN {
+                    // Merge: collapse back to the tiny tier.
+                    let ids: Vec<EntityId> = self.iter().collect();
+                    self.repr = BlockPostings::from_sorted(&ids).repr;
+                }
+            }
+        }
+        changed
+    }
+
+    /// Iterate ids in ascending order, decoding block by block.
+    pub fn iter(&self) -> PostingsIter<'_> {
+        match &self.repr {
+            Repr::Tiny { bytes, .. } => PostingsIter(IterInner::Tiny {
+                bytes,
+                at: 0,
+                prev: 0,
+                first: true,
+            }),
+            Repr::Blocks { .. } => PostingsIter(IterInner::Blocks {
+                list: self,
+                block: 0,
+                state: BlockCursor::Unloaded,
+            }),
+        }
+    }
+
+    /// Materialize the full sorted id list (the decompression boundary —
+    /// serving paths should prefer [`iter`](Self::iter) or the
+    /// compressed-domain [`intersect_views`]).
+    pub fn to_vec(&self) -> Vec<EntityId> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.iter());
+        out
+    }
+
+    /// A borrowed view of this list.
+    pub fn as_view(&self) -> PostingsView<'_> {
+        PostingsView { list: Some(self) }
+    }
+}
+
+/// Append a block built from sorted offsets (bulk builds only; `key` must
+/// be greater than every existing key).
+fn push_block(
+    dir: &mut Vec<BlockMeta>,
+    containers: &mut Vec<Container>,
+    key: u64,
+    offsets: &[u16],
+) {
+    debug_assert!(!offsets.is_empty());
+    debug_assert!(dir.last().is_none_or(|m| m.key < key));
+    let container = if offsets.len() > SPARSE_MAX {
+        let mut words = Box::new([0u64; WORDS]);
+        for &off in offsets {
+            words[(off >> 6) as usize] |= 1u64 << (off & 63);
+        }
+        Container::Dense(words)
+    } else {
+        Container::Sparse(encode_sparse(offsets))
+    };
+    dir.push(BlockMeta {
+        key,
+        min: offsets[0],
+        max: *offsets.last().unwrap(),
+        card: offsets.len() as u16,
+    });
+    containers.push(container);
+}
+
+/// Blocked `Repr` from sorted, deduplicated ids.
+fn blocks_from_sorted(ids: &[EntityId]) -> Repr {
+    let mut dir: Vec<BlockMeta> = Vec::new();
+    let mut containers: Vec<Container> = Vec::new();
+    let mut offsets: Vec<u16> = Vec::new();
+    let mut cur_key: Option<u64> = None;
+    for &id in ids {
+        let (key, off) = split_id(id);
+        if cur_key != Some(key) {
+            if let Some(k) = cur_key {
+                push_block(&mut dir, &mut containers, k, &offsets);
+            }
+            offsets.clear();
+            cur_key = Some(key);
+        }
+        offsets.push(off);
+    }
+    if let Some(k) = cur_key {
+        push_block(&mut dir, &mut containers, k, &offsets);
+    }
+    Repr::Blocks {
+        dir,
+        containers,
+        len: ids.len(),
+    }
+}
+
+/// Insert into the blocked tier; true if membership changed.
+fn blocks_insert(dir: &mut Vec<BlockMeta>, containers: &mut Vec<Container>, id: EntityId) -> bool {
+    let (key, off) = split_id(id);
+    let at = match dir.binary_search_by_key(&key, |m| m.key) {
+        Err(at) => {
+            dir.insert(
+                at,
+                BlockMeta {
+                    key,
+                    min: off,
+                    max: off,
+                    card: 1,
+                },
+            );
+            let mut buf = Vec::with_capacity(2);
+            push_varint16(&mut buf, off);
+            containers.insert(at, Container::Sparse(buf));
+            return true;
+        }
+        Ok(at) => at,
+    };
+    match &mut containers[at] {
+        Container::Dense(words) => {
+            let slot = &mut words[(off >> 6) as usize];
+            let bit = 1u64 << (off & 63);
+            if *slot & bit != 0 {
+                return false;
+            }
+            *slot |= bit;
+        }
+        Container::Sparse(_) => {
+            // Decode, insert, re-encode in scratch; promotion to dense
+            // (the split threshold) is applied after the borrow ends.
+            let promoted = SCRATCH_OFFSETS.with(|scratch| {
+                let mut offsets = scratch.borrow_mut();
+                let Container::Sparse(bytes) = &mut containers[at] else {
+                    unreachable!("matched sparse above");
+                };
+                decode_sparse_into(bytes, &mut offsets);
+                let pos = match offsets.binary_search(&off) {
+                    Ok(_) => return None,
+                    Err(pos) => pos,
+                };
+                offsets.insert(pos, off);
+                if offsets.len() > SPARSE_MAX {
+                    let mut words = Box::new([0u64; WORDS]);
+                    for &o in offsets.iter() {
+                        words[(o >> 6) as usize] |= 1u64 << (o & 63);
+                    }
+                    Some(Some(words))
+                } else {
+                    *bytes = encode_sparse(&offsets);
+                    Some(None)
+                }
+            });
+            match promoted {
+                None => return false,
+                Some(Some(words)) => containers[at] = Container::Dense(words),
+                Some(None) => {}
+            }
+        }
+    }
+    let meta = &mut dir[at];
+    meta.card += 1;
+    meta.min = meta.min.min(off);
+    meta.max = meta.max.max(off);
+    true
+}
+
+/// Remove from the blocked tier; true if membership changed.
+fn blocks_remove(dir: &mut Vec<BlockMeta>, containers: &mut Vec<Container>, id: EntityId) -> bool {
+    let (key, off) = split_id(id);
+    let Ok(at) = dir.binary_search_by_key(&key, |m| m.key) else {
+        return false;
+    };
+    let meta = dir[at];
+    if off < meta.min || off > meta.max {
+        return false;
+    }
+    match &mut containers[at] {
+        Container::Dense(words) => {
+            let slot = &mut words[(off >> 6) as usize];
+            let bit = 1u64 << (off & 63);
+            if *slot & bit == 0 {
+                return false;
+            }
+            *slot &= !bit;
+            let card = meta.card - 1;
+            if usize::from(card) < DENSE_MIN {
+                // Demote: the block fell through the merge threshold.
+                let mut offsets = Vec::with_capacity(usize::from(card));
+                for_each_set_bit(words, |off| offsets.push(off));
+                let m = &mut dir[at];
+                m.card = card;
+                m.min = offsets[0];
+                m.max = *offsets.last().unwrap();
+                containers[at] = Container::Sparse(encode_sparse(&offsets));
+            } else {
+                let m = &mut dir[at];
+                m.card = card;
+                if off == m.min {
+                    m.min = dense_first(words);
+                }
+                if off == m.max {
+                    m.max = dense_last(words);
+                }
+            }
+            true
+        }
+        Container::Sparse(_) => {
+            let removed = SCRATCH_OFFSETS.with(|scratch| {
+                let mut offsets = scratch.borrow_mut();
+                let Container::Sparse(bytes) = &mut containers[at] else {
+                    unreachable!("matched sparse above");
+                };
+                decode_sparse_into(bytes, &mut offsets);
+                let Ok(pos) = offsets.binary_search(&off) else {
+                    return None;
+                };
+                offsets.remove(pos);
+                if offsets.is_empty() {
+                    return Some(None);
+                }
+                *bytes = encode_sparse(&offsets);
+                Some(Some((offsets[0], *offsets.last().unwrap())))
+            });
+            match removed {
+                None => false,
+                Some(None) => {
+                    dir.remove(at);
+                    containers.remove(at);
+                    true
+                }
+                Some(Some((min, max))) => {
+                    let m = &mut dir[at];
+                    m.card -= 1;
+                    m.min = min;
+                    m.max = max;
+                    true
+                }
+            }
+        }
+    }
+}
+
+/// Visit every set bit of a dense bitmap as its in-block offset, in
+/// ascending order — the one word-walk shared by every dense decode/emit
+/// path.
+#[inline]
+fn for_each_set_bit(words: &[u64; WORDS], mut f: impl FnMut(u16)) {
+    for (w, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let tz = bits.trailing_zeros();
+            f((w as u16) << 6 | tz as u16);
+            bits &= bits - 1;
+        }
+    }
+}
+
+fn dense_first(words: &[u64; WORDS]) -> u16 {
+    for (w, &word) in words.iter().enumerate() {
+        if word != 0 {
+            return (w as u16) << 6 | word.trailing_zeros() as u16;
+        }
+    }
+    unreachable!("dense container with no bits set")
+}
+
+fn dense_last(words: &[u64; WORDS]) -> u16 {
+    for (w, &word) in words.iter().enumerate().rev() {
+        if word != 0 {
+            return (w as u16) << 6 | (63 - word.leading_zeros()) as u16;
+        }
+    }
+    unreachable!("dense container with no bits set")
+}
+
+impl<'a> IntoIterator for &'a BlockPostings {
+    type Item = EntityId;
+    type IntoIter = PostingsIter<'a>;
+    fn into_iter(self) -> PostingsIter<'a> {
+        self.iter()
+    }
+}
+
+impl FromIterator<EntityId> for BlockPostings {
+    /// Collect from an id stream in any order (sorts + dedups first).
+    fn from_iter<I: IntoIterator<Item = EntityId>>(iter: I) -> Self {
+        let mut ids: Vec<EntityId> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        BlockPostings::from_sorted(&ids)
+    }
+}
+
+/// Decode state of the ordered iterator within one block.
+enum BlockCursor {
+    Unloaded,
+    Sparse { at: usize, prev: u16, first: bool },
+    Dense { word: usize, bits: u64 },
+}
+
+/// Ordered iterator over a [`BlockPostings`] (streaming decode; no full
+/// materialization).
+pub struct PostingsIter<'a>(IterInner<'a>);
+
+enum IterInner<'a> {
+    /// Tiny tier: one varint run over full ids.
+    Tiny {
+        /// Encoded run.
+        bytes: &'a [u8],
+        /// Byte position.
+        at: usize,
+        /// Previously decoded id.
+        prev: u64,
+        /// True before the first id is decoded.
+        first: bool,
+    },
+    /// Blocked tier: directory walk with per-block decode state.
+    Blocks {
+        /// The list being decoded.
+        list: &'a BlockPostings,
+        /// Current directory position.
+        block: usize,
+        /// Decode state within the current block.
+        state: BlockCursor,
+    },
+}
+
+impl PostingsIter<'_> {
+    /// An iterator over nothing.
+    fn empty() -> Self {
+        PostingsIter(IterInner::Tiny {
+            bytes: &[],
+            at: 0,
+            prev: 0,
+            first: true,
+        })
+    }
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = EntityId;
+
+    fn next(&mut self) -> Option<EntityId> {
+        let (list, block, state) = match &mut self.0 {
+            IterInner::Tiny {
+                bytes,
+                at,
+                prev,
+                first,
+            } => {
+                if *at >= bytes.len() {
+                    return None;
+                }
+                let v = read_varint64(bytes, at);
+                let id = if *first { v } else { *prev + v + 1 };
+                *first = false;
+                *prev = id;
+                return Some(EntityId(id));
+            }
+            IterInner::Blocks { list, block, state } => (*list, block, state),
+        };
+        let Repr::Blocks {
+            dir, containers, ..
+        } = &list.repr
+        else {
+            unreachable!("blocks iterator over tiny repr");
+        };
+        loop {
+            if *block >= dir.len() {
+                return None;
+            }
+            let key = dir[*block].key;
+            match state {
+                BlockCursor::Unloaded => {
+                    *state = match &containers[*block] {
+                        Container::Sparse(_) => BlockCursor::Sparse {
+                            at: 0,
+                            prev: 0,
+                            first: true,
+                        },
+                        Container::Dense(words) => BlockCursor::Dense {
+                            word: 0,
+                            bits: words[0],
+                        },
+                    };
+                }
+                BlockCursor::Sparse { at, prev, first } => {
+                    let Container::Sparse(bytes) = &containers[*block] else {
+                        unreachable!("cursor/container mismatch");
+                    };
+                    if *at >= bytes.len() {
+                        *block += 1;
+                        *state = BlockCursor::Unloaded;
+                        continue;
+                    }
+                    let v = read_varint16(bytes, at);
+                    let off = if *first { v } else { *prev + v + 1 };
+                    *first = false;
+                    *prev = off;
+                    return Some(join_id(key, off));
+                }
+                BlockCursor::Dense { word, bits } => {
+                    let Container::Dense(words) = &containers[*block] else {
+                        unreachable!("cursor/container mismatch");
+                    };
+                    while *bits == 0 {
+                        *word += 1;
+                        if *word >= WORDS {
+                            break;
+                        }
+                        *bits = words[*word];
+                    }
+                    if *word >= WORDS {
+                        *block += 1;
+                        *state = BlockCursor::Unloaded;
+                        continue;
+                    }
+                    let tz = bits.trailing_zeros();
+                    *bits &= *bits - 1;
+                    return Some(join_id(key, (*word as u16) << 6 | tz as u16));
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.0 {
+            // ≥1 byte per remaining id.
+            IterInner::Tiny { bytes, at, .. } => (0, Some(bytes.len().saturating_sub(*at))),
+            // Exact only at the start; a cheap upper bound afterwards.
+            IterInner::Blocks { list, .. } => (0, Some(list.len())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Views and cursors — the serving API surface
+// ---------------------------------------------------------------------
+
+/// A borrowed, possibly-empty view of one probe's posting list — what the
+/// [`TripleIndex`](crate::TripleIndex) hands out without copying.
+///
+/// The empty view (probe missed the index entirely) is a first-class
+/// value, so callers never branch on `Option`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PostingsView<'a> {
+    list: Option<&'a BlockPostings>,
+}
+
+impl<'a> PostingsView<'a> {
+    /// The view of a posting list that does not exist.
+    pub fn empty() -> Self {
+        PostingsView { list: None }
+    }
+
+    /// View a concrete list.
+    pub fn of(list: &'a BlockPostings) -> Self {
+        PostingsView { list: Some(list) }
+    }
+
+    /// Number of ids behind the view.
+    pub fn len(&self) -> usize {
+        self.list.map_or(0, BlockPostings::len)
+    }
+
+    /// True if the view holds no ids.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test (directory search + one container probe).
+    pub fn contains(&self, id: EntityId) -> bool {
+        self.list.is_some_and(|l| l.contains(id))
+    }
+
+    /// The owning list's mutation stamp (0 for the empty view) — the
+    /// per-probe plan-cache fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.list.map_or(0, BlockPostings::stamp)
+    }
+
+    /// Number of blocks behind the view (0 for tiny/empty lists).
+    pub fn block_count(&self) -> usize {
+        self.list.map_or(0, BlockPostings::block_count)
+    }
+
+    /// Number of dense (bitmap) blocks behind the view.
+    pub fn dense_block_count(&self) -> usize {
+        self.list.map_or(0, BlockPostings::dense_block_count)
+    }
+
+    /// Ordered id iterator (streaming decode).
+    pub fn iter(&self) -> PostingsIter<'a> {
+        match self.list {
+            Some(list) => list.iter(),
+            None => PostingsIter::empty(),
+        }
+    }
+
+    /// Materialize the sorted id list.
+    pub fn to_vec(&self) -> Vec<EntityId> {
+        self.list.map_or_else(Vec::new, BlockPostings::to_vec)
+    }
+
+    /// Snapshot into an owned [`PostingsCursor`] (clones the *compressed*
+    /// blocks — the cheap way to carry a posting list out of a lock).
+    pub fn to_cursor(&self) -> PostingsCursor {
+        PostingsCursor {
+            list: self.list.cloned().unwrap_or_default(),
+        }
+    }
+
+    /// Approximate heap bytes behind the view.
+    pub fn heap_bytes(&self) -> usize {
+        self.list.map_or(0, BlockPostings::heap_bytes)
+    }
+}
+
+impl<'a> IntoIterator for PostingsView<'a> {
+    type Item = EntityId;
+    type IntoIter = PostingsIter<'a>;
+    fn into_iter(self) -> PostingsIter<'a> {
+        self.iter()
+    }
+}
+
+impl PartialEq for PostingsView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl PartialEq<&[EntityId]> for PostingsView<'_> {
+    fn eq(&self, other: &&[EntityId]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl<const N: usize> PartialEq<&[EntityId; N]> for PostingsView<'_> {
+    fn eq(&self, other: &&[EntityId; N]) -> bool {
+        self.len() == N && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<Vec<EntityId>> for PostingsView<'_> {
+    fn eq(&self, other: &Vec<EntityId>) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+/// An owned snapshot of one probe's posting list in compressed form — the
+/// unit [`GraphRead`](crate::GraphRead) backends serve postings through.
+///
+/// Lock-striped backends cannot hand out borrowed views (the borrow would
+/// outlive the shard lock); a cursor clones the compressed blocks instead,
+/// which is far cheaper than materializing `Vec<EntityId>` on dense lists
+/// and carries the block directory along for compressed-domain
+/// intersection on the caller's side.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PostingsCursor {
+    list: BlockPostings,
+}
+
+impl PostingsCursor {
+    /// The empty cursor.
+    pub fn empty() -> Self {
+        PostingsCursor::default()
+    }
+
+    /// Wrap an owned list.
+    pub fn from_list(list: BlockPostings) -> Self {
+        PostingsCursor { list }
+    }
+
+    /// Build from sorted, deduplicated ids.
+    pub fn from_sorted(ids: Vec<EntityId>) -> Self {
+        PostingsCursor {
+            list: BlockPostings::from_sorted(&ids),
+        }
+    }
+
+    /// Number of ids.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True if no ids are present.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: EntityId) -> bool {
+        self.list.contains(id)
+    }
+
+    /// Ordered id iterator.
+    pub fn iter(&self) -> PostingsIter<'_> {
+        self.list.iter()
+    }
+
+    /// Materialize the sorted id list.
+    pub fn to_vec(&self) -> Vec<EntityId> {
+        self.list.to_vec()
+    }
+
+    /// Borrow as a view (for [`intersect_views`]).
+    pub fn as_view(&self) -> PostingsView<'_> {
+        self.list.as_view()
+    }
+
+    /// The snapshotted mutation stamp (see [`PostingsView::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.list.stamp()
+    }
+
+    /// The underlying compressed list.
+    pub fn into_list(self) -> BlockPostings {
+        self.list
+    }
+
+    /// Approximate heap bytes held by the snapshot.
+    pub fn heap_bytes(&self) -> usize {
+        self.list.heap_bytes()
+    }
+}
+
+impl<'a> IntoIterator for &'a PostingsCursor {
+    type Item = EntityId;
+    type IntoIter = PostingsIter<'a>;
+    fn into_iter(self) -> PostingsIter<'a> {
+        self.iter()
+    }
+}
+
+impl PartialEq<Vec<EntityId>> for PostingsCursor {
+    fn eq(&self, other: &Vec<EntityId>) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<&[EntityId]> for PostingsCursor {
+    fn eq(&self, other: &&[EntityId]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Compressed-domain set algebra
+// ---------------------------------------------------------------------
+
+/// First directory position in `dir[from..]` whose key is `>= key`, found
+/// by doubling steps then binary search — the "gallop into the directory"
+/// skip path of sparse intersection.
+fn gallop_dir(dir: &[BlockMeta], from: usize, key: u64) -> usize {
+    if from >= dir.len() || dir[from].key >= key {
+        return from;
+    }
+    let mut step = 1;
+    let mut lo = from;
+    let mut hi = from + 1;
+    while hi < dir.len() && dir[hi].key < key {
+        lo = hi;
+        step *= 2;
+        hi = (hi + step).min(dir.len());
+        if hi == dir.len() {
+            break;
+        }
+    }
+    lo + dir[lo..hi].partition_point(|m| m.key < key)
+}
+
+/// Intersect posting lists **in the compressed domain**: gallop the block
+/// directories to find common keys, `AND` dense×dense blocks word-wise,
+/// and decode sparse blocks (≤ [`SPARSE_MAX`] offsets) into scratch for
+/// membership tests — full lists are never materialized. A conjunction
+/// involving a tiny list short-circuits to candidate testing: at most
+/// [`TINY_MAX`] point probes against the other lists.
+///
+/// Complexity: `O(common blocks · block work)` plus
+/// `O(|smallest dir| · Σ log |other dir|)` directory galloping; block work
+/// is 64 word-`AND`s (dense) or `O(smallest block card)` probes (mixed).
+pub fn intersect_views(lists: &[PostingsView]) -> Vec<EntityId> {
+    let Some(driver_at) = (0..lists.len()).min_by_key(|&i| lists[i].len()) else {
+        return Vec::new();
+    };
+    if lists[driver_at].is_empty() {
+        return Vec::new();
+    }
+    if lists.len() == 1 {
+        return lists[driver_at].to_vec();
+    }
+    let Some(driver) = lists[driver_at].list else {
+        unreachable!("non-empty view has a list");
+    };
+    let others: Vec<&BlockPostings> = lists
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != driver_at)
+        .filter_map(|(_, v)| v.list)
+        .collect();
+    if others.len() + 1 != lists.len() {
+        // An empty view slipped in alongside non-empty ones.
+        return Vec::new();
+    }
+
+    // Any tiny participant bounds the driver at TINY_MAX candidates:
+    // point probes beat block alignment at that size.
+    if driver.is_tiny() || others.iter().any(|l| l.is_tiny()) {
+        return driver
+            .iter()
+            .filter(|&id| others.iter().all(|l| l.contains(id)))
+            .collect();
+    }
+
+    let Repr::Blocks {
+        dir: driver_dir,
+        containers: driver_containers,
+        ..
+    } = &driver.repr
+    else {
+        unreachable!("checked blocked above");
+    };
+
+    let mut out = Vec::new();
+    let mut cursors = vec![0usize; others.len()];
+    // Scratch reused across blocks: decoded offsets of the block's
+    // smallest container, per-rest-list decode buffers for mixed blocks,
+    // and the word buffer for dense ANDs.
+    let mut decoded: Vec<u16> = Vec::new();
+    let mut rest_decoded: Vec<Vec<u16>> = Vec::new();
+    let mut acc = [0u64; WORDS];
+
+    'blocks: for (bi, meta) in driver_dir.iter().enumerate() {
+        // Locate this block key in every other directory, galloping from
+        // the previous match (directories are both sorted by key).
+        let mut lo = meta.min;
+        let mut hi = meta.max;
+        let mut block_at: Vec<(&BlockPostings, usize)> = Vec::with_capacity(others.len());
+        for (other, cursor) in others.iter().zip(cursors.iter_mut()) {
+            let Repr::Blocks { dir, .. } = &other.repr else {
+                unreachable!("checked blocked above");
+            };
+            let at = gallop_dir(dir, *cursor, meta.key);
+            if at >= dir.len() {
+                // This and every later driver block miss this list.
+                break 'blocks;
+            }
+            *cursor = at;
+            if dir[at].key != meta.key {
+                continue 'blocks;
+            }
+            lo = lo.max(dir[at].min);
+            hi = hi.min(dir[at].max);
+            block_at.push((other, at));
+        }
+        if lo > hi {
+            continue; // Directory-only reject: offset ranges don't overlap.
+        }
+
+        // Pick the smallest container in this block as the in-block driver.
+        let mut smallest = (meta.card, &driver_containers[bi]);
+        let mut rest: Vec<&Container> = Vec::with_capacity(others.len());
+        for (other, at) in &block_at {
+            let Repr::Blocks {
+                dir, containers, ..
+            } = &other.repr
+            else {
+                unreachable!("checked blocked above");
+            };
+            let c = (dir[*at].card, &containers[*at]);
+            if c.0 < smallest.0 {
+                rest.push(smallest.1);
+                smallest = c;
+            } else {
+                rest.push(c.1);
+            }
+        }
+
+        if let Container::Dense(words) = smallest.1 {
+            if rest.iter().all(|c| matches!(c, Container::Dense(_))) {
+                // Dense × dense: word-wise AND, emit set bits.
+                acc.copy_from_slice(&words[..]);
+                for c in &rest {
+                    let Container::Dense(w) = c else {
+                        unreachable!()
+                    };
+                    for (a, b) in acc.iter_mut().zip(w.iter()) {
+                        *a &= *b;
+                    }
+                }
+                for_each_set_bit(&acc, |off| out.push(join_id(meta.key, off)));
+                continue;
+            }
+        }
+
+        // Mixed block: decode the smallest container once, and decode each
+        // sparse rest container once too (a linear `Container::contains`
+        // per candidate would make sparse×sparse blocks quadratic) — dense
+        // rest containers stay O(1) bit tests.
+        decode_container(smallest.1, &mut decoded);
+        while rest_decoded.len() < rest.len() {
+            rest_decoded.push(Vec::new());
+        }
+        let probes: Vec<BlockProbe> = rest
+            .iter()
+            .zip(rest_decoded.iter_mut())
+            .map(|(c, buf)| match c {
+                Container::Dense(words) => BlockProbe::Dense(words),
+                Container::Sparse(bytes) => {
+                    decode_sparse_into(bytes, buf);
+                    BlockProbe::Sorted(buf)
+                }
+            })
+            .collect();
+        'offsets: for &off in decoded.iter() {
+            if off < lo || off > hi {
+                continue;
+            }
+            for probe in &probes {
+                let hit = match probe {
+                    BlockProbe::Dense(words) => {
+                        words[(off >> 6) as usize] & (1u64 << (off & 63)) != 0
+                    }
+                    BlockProbe::Sorted(offsets) => offsets.binary_search(&off).is_ok(),
+                };
+                if !hit {
+                    continue 'offsets;
+                }
+            }
+            out.push(join_id(meta.key, off));
+        }
+    }
+    out
+}
+
+/// One rest container of a mixed block, prepared for per-candidate
+/// membership tests: dense bitmaps probe bits, sparse containers are
+/// decoded once and binary-searched.
+enum BlockProbe<'a> {
+    Dense(&'a [u64; WORDS]),
+    Sorted(&'a [u16]),
+}
+
+fn decode_container(container: &Container, out: &mut Vec<u16>) {
+    match container {
+        Container::Sparse(bytes) => decode_sparse_into(bytes, out),
+        Container::Dense(words) => {
+            out.clear();
+            for_each_set_bit(words, |off| out.push(off));
+        }
+    }
+}
+
+/// Union posting lists into one owned [`BlockPostings`] — the cross-shard
+/// merge path (shards partition the id space, so inputs are disjoint, but
+/// the merge is correct for overlapping inputs too).
+///
+/// Works per block: all blocked containers sharing a key are OR-ed
+/// through one dense scratch bitmap, then stored dense or re-encoded
+/// sparse by the steady-state thresholds. Tiny inputs are decoded once
+/// into a sorted side list that joins the block-wise merge as one more
+/// (blocked) input — the whole union is linear in total input size, with
+/// no per-id re-encoding.
+pub fn union_views(lists: &[PostingsView]) -> BlockPostings {
+    let present: Vec<&BlockPostings> = lists.iter().filter_map(|v| v.list).collect();
+    let (tiny, mut blocked): (Vec<&BlockPostings>, Vec<&BlockPostings>) =
+        present.into_iter().partition(|l| l.is_tiny());
+    let mut extra: Vec<EntityId> = tiny.iter().flat_map(|l| l.iter()).collect();
+    extra.sort_unstable();
+    extra.dedup();
+    if blocked.is_empty() {
+        return BlockPostings::from_sorted(&extra);
+    }
+    // Force the side list into blocked form so it can join the block-wise
+    // merge regardless of its size.
+    let extra_list = (!extra.is_empty()).then(|| BlockPostings {
+        repr: blocks_from_sorted(&extra),
+        stamp: 0,
+    });
+    if let Some(list) = &extra_list {
+        blocked.push(list);
+    }
+    let out = match blocked.len() {
+        1 => blocked[0].clone(),
+        _ => union_blocked(&blocked),
+    };
+    // Normalize tiny unions back to the tiny tier.
+    if out.len() <= TINY_MAX {
+        let ids = out.to_vec();
+        return BlockPostings::from_sorted(&ids);
+    }
+    out
+}
+
+fn union_blocked(lists: &[&BlockPostings]) -> BlockPostings {
+    let dirs: Vec<(&Vec<BlockMeta>, &Vec<Container>)> = lists
+        .iter()
+        .map(|l| match &l.repr {
+            Repr::Blocks {
+                dir, containers, ..
+            } => (dir, containers),
+            Repr::Tiny { .. } => unreachable!("caller partitioned tiny lists out"),
+        })
+        .collect();
+    let mut dir: Vec<BlockMeta> = Vec::new();
+    let mut containers: Vec<Container> = Vec::new();
+    let mut len = 0usize;
+    let mut cursors = vec![0usize; dirs.len()];
+    let mut acc = [0u64; WORDS];
+    let mut offsets: Vec<u16> = Vec::new();
+    // Walk block keys in ascending order across all inputs.
+    while let Some(key) = cursors
+        .iter()
+        .zip(dirs.iter())
+        .filter_map(|(&c, (d, _))| d.get(c).map(|m| m.key))
+        .min()
+    {
+        acc.fill(0);
+        for (cursor, (d, c)) in cursors.iter_mut().zip(dirs.iter()) {
+            let Some(meta) = d.get(*cursor) else {
+                continue;
+            };
+            if meta.key != key {
+                continue;
+            }
+            match &c[*cursor] {
+                Container::Dense(words) => {
+                    for (a, b) in acc.iter_mut().zip(words.iter()) {
+                        *a |= *b;
+                    }
+                }
+                Container::Sparse(bytes) => {
+                    decode_sparse_into(bytes, &mut offsets);
+                    for &off in offsets.iter() {
+                        acc[(off >> 6) as usize] |= 1u64 << (off & 63);
+                    }
+                }
+            }
+            *cursor += 1;
+        }
+        let card = acc.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+        if card == 0 {
+            continue;
+        }
+        let container = if card > SPARSE_MAX {
+            Container::Dense(Box::new(acc))
+        } else {
+            offsets.clear();
+            for_each_set_bit(&acc, |off| offsets.push(off));
+            Container::Sparse(encode_sparse(&offsets))
+        };
+        dir.push(BlockMeta {
+            key,
+            min: dense_first(&acc),
+            max: dense_last(&acc),
+            card: card as u16,
+        });
+        containers.push(container);
+        len += card;
+    }
+    BlockPostings {
+        repr: Repr::Blocks {
+            dir,
+            containers,
+            len,
+        },
+        stamp: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: impl IntoIterator<Item = u64>) -> Vec<EntityId> {
+        v.into_iter().map(EntityId).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains_roundtrip_tiny() {
+        let mut list = BlockPostings::new();
+        let sample = ids([0, 1, 63, 64, 4095, 4096, 4097, 40_000, 1 << 40]);
+        for &id in &sample {
+            assert!(list.insert(id));
+            assert!(!list.insert(id), "duplicate insert is a no-op");
+        }
+        assert!(list.is_tiny(), "9 ids stay tiny");
+        assert_eq!(list.len(), sample.len());
+        assert_eq!(list.to_vec(), sample);
+        for &id in &sample {
+            assert!(list.contains(id));
+        }
+        assert!(!list.contains(EntityId(2)));
+        assert!(!list.contains(EntityId(5000)));
+        // Tiny lists cost a few bytes per id, not 8.
+        assert!(
+            list.heap_bytes() < sample.len() * std::mem::size_of::<EntityId>(),
+            "tiny heap {} vs plain {}",
+            list.heap_bytes(),
+            sample.len() * 8
+        );
+        for &id in &sample {
+            assert!(list.remove(id));
+            assert!(!list.remove(id), "double remove is a no-op");
+        }
+        assert!(list.is_empty());
+        assert_eq!(list.block_count(), 0);
+    }
+
+    #[test]
+    fn out_of_order_tiny_inserts_re_encode() {
+        let mut list = BlockPostings::new();
+        for id in ids([500, 3, 90_000, 41, 4_096]) {
+            assert!(list.insert(id));
+        }
+        assert_eq!(list.to_vec(), ids([3, 41, 500, 4_096, 90_000]));
+        assert!(list.remove(EntityId(500)));
+        assert_eq!(list.to_vec(), ids([3, 41, 4_096, 90_000]));
+        assert_eq!(list.last(), Some(EntityId(90_000)));
+        assert!(list.remove(EntityId(90_000)));
+        assert_eq!(list.last(), Some(EntityId(4_096)));
+    }
+
+    #[test]
+    fn tiny_to_blocks_split_and_merge_are_hysteretic() {
+        let mut list = BlockPostings::new();
+        let sample = ids((0..=(TINY_MAX as u64)).map(|i| i * 1000));
+        for &id in &sample {
+            list.insert(id);
+        }
+        assert!(!list.is_tiny(), "split past TINY_MAX");
+        assert_eq!(list.to_vec(), sample);
+        // Shrinking toward TINY_MIN keeps the blocked form…
+        for &id in &sample[TINY_MIN..] {
+            list.remove(id);
+        }
+        assert!(!list.is_tiny(), "hysteresis: still blocked at TINY_MIN");
+        // …one more removal merges back to tiny.
+        assert!(list.remove(sample[0]));
+        assert!(list.is_tiny(), "merged below TINY_MIN");
+        assert_eq!(list.to_vec(), sample[1..TINY_MIN].to_vec());
+    }
+
+    #[test]
+    fn dense_promotion_and_demotion_are_hysteretic() {
+        let mut list = BlockPostings::new();
+        // Fill one block past the promote threshold.
+        for i in 0..=(SPARSE_MAX as u64) {
+            list.insert(EntityId(i * 2)); // 2·512 < 4096: one block
+        }
+        assert_eq!(list.block_count(), 1);
+        assert_eq!(list.dense_block_count(), 1, "promoted past SPARSE_MAX");
+        let expected: Vec<EntityId> = ids((0..=(SPARSE_MAX as u64)).map(|i| i * 2));
+        assert_eq!(list.to_vec(), expected);
+        // Removing back below SPARSE_MAX but above DENSE_MIN stays dense.
+        for i in (DENSE_MIN as u64 + 1)..=(SPARSE_MAX as u64) {
+            assert!(list.remove(EntityId(i * 2)));
+        }
+        assert_eq!(list.dense_block_count(), 1, "hysteresis: still dense");
+        // Exactly DENSE_MIN members is still dense; one below demotes.
+        assert!(list.remove(EntityId(0)));
+        assert_eq!(list.dense_block_count(), 1, "at DENSE_MIN: still dense");
+        assert!(list.remove(EntityId(2)));
+        assert_eq!(list.dense_block_count(), 0, "demoted below DENSE_MIN");
+        let expected: Vec<EntityId> = ids((2..=(DENSE_MIN as u64)).map(|i| i * 2));
+        assert_eq!(list.to_vec(), expected);
+    }
+
+    #[test]
+    fn from_sorted_matches_incremental_build() {
+        let sample: Vec<EntityId> = ids((0..10_000).filter(|i| i % 3 != 0));
+        let bulk = BlockPostings::from_sorted(&sample);
+        let mut incremental = BlockPostings::new();
+        for &id in &sample {
+            incremental.insert(id);
+        }
+        assert_eq!(bulk.to_vec(), sample);
+        assert_eq!(incremental.to_vec(), sample);
+        assert_eq!(bulk.len(), incremental.len());
+        assert_eq!(bulk, incremental, "content equality across build paths");
+    }
+
+    #[test]
+    fn min_max_directory_tracks_removals() {
+        let n = (TINY_MAX + 44) as u64; // blocked: past the tiny tier
+        let sample = ids((0..n).map(|i| i * 10));
+        let mut list = BlockPostings::from_sorted(&sample);
+        assert!(!list.is_tiny());
+        list.remove(EntityId(0));
+        assert_eq!(list.first(), Some(EntityId(10)));
+        list.remove(EntityId((n - 1) * 10));
+        assert_eq!(list.last(), Some(EntityId((n - 2) * 10)));
+    }
+
+    #[test]
+    fn intersect_views_matches_naive() {
+        let a = BlockPostings::from_sorted(&ids((0..30_000).step_by(3)));
+        let b = BlockPostings::from_sorted(&ids((0..30_000).step_by(5)));
+        let c = BlockPostings::from_sorted(&ids(0..30_000)); // dense blocks
+        let got = intersect_views(&[a.as_view(), b.as_view(), c.as_view()]);
+        let expected: Vec<EntityId> = ids((0..30_000).filter(|i| i % 15 == 0));
+        assert_eq!(got, expected);
+        // Empty and singleton cases.
+        assert!(intersect_views(&[]).is_empty());
+        assert!(intersect_views(&[a.as_view(), PostingsView::empty()]).is_empty());
+        assert_eq!(intersect_views(&[a.as_view()]), a.to_vec());
+    }
+
+    #[test]
+    fn intersections_with_tiny_lists_candidate_test() {
+        let tiny = BlockPostings::from_sorted(&ids([5, 4_000, 4_096, 29_999]));
+        let evens: Vec<EntityId> = ids((0..30_000).step_by(2));
+        let big = BlockPostings::from_sorted(&evens);
+        assert!(tiny.is_tiny());
+        let got = intersect_views(&[tiny.as_view(), big.as_view()]);
+        assert_eq!(got, ids([4_000, 4_096]));
+        let got = intersect_views(&[big.as_view(), tiny.as_view()]);
+        assert_eq!(got, ids([4_000, 4_096]));
+    }
+
+    #[test]
+    fn dense_by_dense_intersection_uses_bitmap_blocks() {
+        let a = BlockPostings::from_sorted(&ids((0..20_000).filter(|i| i % 2 == 0)));
+        let b = BlockPostings::from_sorted(&ids((0..20_000).filter(|i| i % 3 == 0)));
+        assert!(a.dense_block_count() > 0);
+        assert!(b.dense_block_count() > 0);
+        let got = intersect_views(&[a.as_view(), b.as_view()]);
+        let expected: Vec<EntityId> = ids((0..20_000).filter(|i| i % 6 == 0));
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn disjoint_blocks_short_circuit() {
+        let a = BlockPostings::from_sorted(&ids(0..100));
+        let b = BlockPostings::from_sorted(&ids(1_000_000..1_000_100));
+        assert!(intersect_views(&[a.as_view(), b.as_view()]).is_empty());
+        // Same block, disjoint offset ranges: directory min/max rejects.
+        let c = BlockPostings::from_sorted(&ids(0..100));
+        let d = BlockPostings::from_sorted(&ids(200..300));
+        assert!(intersect_views(&[c.as_view(), d.as_view()]).is_empty());
+    }
+
+    #[test]
+    fn union_views_merges_disjoint_shards() {
+        let shard0 = BlockPostings::from_sorted(&ids((0..10_000).filter(|i| i % 2 == 0)));
+        let shard1 = BlockPostings::from_sorted(&ids((0..10_000).filter(|i| i % 2 == 1)));
+        let merged = union_views(&[shard0.as_view(), shard1.as_view()]);
+        assert_eq!(merged.to_vec(), ids(0..10_000));
+        assert_eq!(merged.len(), 10_000);
+        // Overlapping inputs dedup.
+        let overlap = union_views(&[shard0.as_view(), shard0.as_view()]);
+        assert_eq!(overlap.to_vec(), shard0.to_vec());
+        // Tiny inputs fold in; tiny unions normalize back to tiny.
+        let tiny_a = BlockPostings::from_sorted(&ids([1, 3]));
+        let tiny_b = BlockPostings::from_sorted(&ids([2, 9_999_999]));
+        let tiny = union_views(&[tiny_a.as_view(), tiny_b.as_view()]);
+        assert!(tiny.is_tiny());
+        assert_eq!(tiny.to_vec(), ids([1, 2, 3, 9_999_999]));
+        let mixed = union_views(&[shard0.as_view(), tiny_a.as_view()]);
+        assert_eq!(mixed.len(), 5_002, "5000 evens + ids 1 and 3");
+        assert!(mixed.contains(EntityId(3)));
+    }
+
+    #[test]
+    fn compressed_footprint_beats_plain_vec() {
+        // Dense sequential list: bitmap blocks, ~64x.
+        let dense: Vec<EntityId> = ids(0..100_000);
+        let list = BlockPostings::from_sorted(&dense);
+        let plain_bytes = dense.len() * std::mem::size_of::<EntityId>();
+        assert!(
+            list.heap_bytes() * 3 <= plain_bytes,
+            "compressed {} vs plain {plain_bytes}",
+            list.heap_bytes()
+        );
+        // Tiny clustered list: varint runs, ~3x.
+        let tiny = ids([50_001, 50_007, 50_020, 50_031]);
+        let list = BlockPostings::from_sorted(&tiny);
+        let plain_bytes = tiny.len() * std::mem::size_of::<EntityId>();
+        assert!(
+            list.heap_bytes() * 3 <= plain_bytes,
+            "tiny compressed {} vs plain {plain_bytes}",
+            list.heap_bytes()
+        );
+    }
+
+    #[test]
+    fn cursor_snapshots_compare_and_roundtrip() {
+        let sample = ids([1, 5, 9000, 123_456]);
+        let cursor = PostingsCursor::from_sorted(sample.clone());
+        assert_eq!(cursor, sample);
+        assert_eq!(cursor.len(), 4);
+        assert!(cursor.contains(EntityId(9000)));
+        assert!(!cursor.contains(EntityId(2)));
+        assert_eq!(cursor.as_view().to_vec(), sample);
+        assert_eq!(PostingsCursor::empty().len(), 0);
+    }
+
+    #[test]
+    fn view_equality_is_by_content() {
+        let a = BlockPostings::from_sorted(&ids([1, 2, 3]));
+        let mut b = BlockPostings::new();
+        for id in ids([3, 2, 1]) {
+            // insertion order must not matter
+            b.insert(id);
+        }
+        assert_eq!(a.as_view(), b.as_view());
+        assert_eq!(a.as_view(), &[EntityId(1), EntityId(2), EntityId(3)]);
+        // Tiny and blocked lists with equal content compare equal.
+        let long = ids(0..=(TINY_MAX as u64));
+        let mut blocked = BlockPostings::from_sorted(&long);
+        assert!(!blocked.is_tiny());
+        // Trim the blocked list down to tiny *content* without triggering
+        // the merge (stay above TINY_MIN), then compare against a
+        // from_sorted tiny... the merge threshold makes that impossible,
+        // so compare two equal-content blocked/tiny pairs directly.
+        blocked.remove(EntityId(TINY_MAX as u64));
+        let same = BlockPostings::from_sorted(&ids(0..(TINY_MAX as u64)));
+        assert!(same.is_tiny());
+        assert_eq!(blocked, same, "cross-representation content equality");
+    }
+}

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use parking_lot::RwLock;
 
 use crate::index::intersect_sorted;
+use crate::postings::{intersect_views, PostingsCursor, PostingsView};
 use crate::{EntityId, EntityRecord, FxHashSet, KnowledgeGraph, ProbeKey};
 
 /// Uniform read access to a served knowledge graph.
@@ -33,22 +34,57 @@ use crate::{EntityId, EntityRecord, FxHashSet, KnowledgeGraph, ProbeKey};
 /// Implementations must keep posting lists **sorted and deduplicated** —
 /// the intersection and overlay-merge paths rely on it. All methods take
 /// `&self`: serving backends are concurrently readable by construction.
+///
+/// Postings are served as [`PostingsCursor`]s: owned snapshots of the
+/// block-compressed lists (see [`crate::postings`]), cheap to carry out of
+/// a lock and intersectable without decompression.
+/// [`postings`](GraphRead::postings) is the materializing convenience on
+/// top.
 pub trait GraphRead {
-    /// The sorted posting list of one probe.
-    fn postings(&self, probe: &ProbeKey) -> Vec<EntityId>;
+    /// Snapshot one probe's posting list in compressed block form — the
+    /// primary postings entry point. Implementations clone compressed
+    /// blocks (or build them from a merged layer view); they never
+    /// materialize a full `Vec<EntityId>` unless merging forces it.
+    fn postings_cursor(&self, probe: &ProbeKey) -> PostingsCursor;
+
+    /// The sorted posting list of one probe, materialized. Prefer
+    /// [`postings_cursor`](Self::postings_cursor) on hot paths — this is
+    /// the decompression boundary.
+    fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
+        self.postings_cursor(probe).to_vec()
+    }
 
     /// Posting-list length of a probe — the plan-ordering signal. May be an
     /// upper-bound estimate (the overlay reports the sum of its layers),
     /// but must be zero only when the posting is certainly empty.
     fn selectivity(&self, probe: &ProbeKey) -> usize {
-        self.postings(probe).len()
+        self.postings_cursor(probe).len()
     }
 
-    /// True if `id` is in the probe's posting list. Backends with sorted
-    /// in-memory postings should override with a binary search instead of
-    /// materializing the list.
+    /// True if `id` is in the probe's posting list. Backends with
+    /// in-memory postings should override with a direct block probe
+    /// instead of snapshotting the list.
     fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {
-        self.postings(probe).binary_search(&id).is_ok()
+        self.postings_cursor(probe).contains(id)
+    }
+
+    /// Fingerprint of one probe's posting list, for plan caches: equal
+    /// fingerprints mean the posting (and any name resolution derived
+    /// from it) is unchanged. The default is the backend's global
+    /// [`generation`](Self::generation) — always safe, maximally
+    /// conservative. Backends with per-list mutation stamps override so
+    /// unrelated writes stop invalidating hot plans.
+    fn probe_fingerprint(&self, probe: &ProbeKey) -> u64 {
+        let _ = probe;
+        self.generation()
+    }
+
+    /// Batch form of [`probe_fingerprint`](Self::probe_fingerprint) —
+    /// plan caches revalidate every dependency of a cached plan in one
+    /// call, so lock-striped backends can take each shard lock once for
+    /// the whole set instead of once per probe.
+    fn probe_fingerprints(&self, probes: &[&ProbeKey]) -> Vec<u64> {
+        probes.iter().map(|p| self.probe_fingerprint(p)).collect()
     }
 
     /// Entities whose name/alias matches `name` as a full (lowercased)
@@ -76,37 +112,34 @@ pub trait GraphRead {
     /// method's contract — implementations must drive the evaluation from
     /// the cheapest posting and short-circuit when any probe is certainly
     /// empty, so executors never need a separate selectivity pass. The
-    /// default drives from the cheapest posting and membership-tests the
-    /// rest — `O(|smallest| · Σ log |other|)` — which is also the only
-    /// evaluation that works without materializing every list. Backends
-    /// with zero-copy postings may override with a multi-list galloping
-    /// intersection (which picks its own driver).
+    /// default snapshots every probe's compressed cursor and intersects
+    /// **in the compressed domain** ([`intersect_views`]): the block
+    /// directories are galloped, dense×dense blocks combine with bitmap
+    /// `AND`s, and an empty cursor short-circuits before any block is
+    /// decoded. Backends with borrowed (zero-copy) postings override to
+    /// skip the snapshot; layered backends may instead drive candidates
+    /// through [`probe_contains`](Self::probe_contains).
     fn probe_all(&self, probes: &[ProbeKey]) -> Vec<EntityId> {
-        let Some((driver_at, driver_sel)) = probes
-            .iter()
-            .map(|p| self.selectivity(p))
-            .enumerate()
-            .min_by_key(|&(_, sel)| sel)
-        else {
-            return Vec::new();
-        };
-        if driver_sel == 0 {
+        if probes.is_empty() {
             return Vec::new();
         }
-        let candidates = self.postings(&probes[driver_at]);
-        candidates
-            .into_iter()
-            .filter(|&id| {
-                probes
-                    .iter()
-                    .enumerate()
-                    .all(|(i, probe)| i == driver_at || self.probe_contains(probe, id))
-            })
-            .collect()
+        let mut cursors: Vec<PostingsCursor> = Vec::with_capacity(probes.len());
+        for probe in probes {
+            let cursor = self.postings_cursor(probe);
+            if cursor.is_empty() {
+                return Vec::new();
+            }
+            cursors.push(cursor);
+        }
+        let views: Vec<PostingsView> = cursors.iter().map(PostingsCursor::as_view).collect();
+        intersect_views(&views)
     }
 }
 
 impl<T: GraphRead + ?Sized> GraphRead for &T {
+    fn postings_cursor(&self, probe: &ProbeKey) -> PostingsCursor {
+        (**self).postings_cursor(probe)
+    }
     fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
         (**self).postings(probe)
     }
@@ -115,6 +148,12 @@ impl<T: GraphRead + ?Sized> GraphRead for &T {
     }
     fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {
         (**self).probe_contains(probe, id)
+    }
+    fn probe_fingerprint(&self, probe: &ProbeKey) -> u64 {
+        (**self).probe_fingerprint(probe)
+    }
+    fn probe_fingerprints(&self, probes: &[&ProbeKey]) -> Vec<u64> {
+        (**self).probe_fingerprints(probes)
     }
     fn resolve_name(&self, name: &str) -> Vec<EntityId> {
         (**self).resolve_name(name)
@@ -134,6 +173,9 @@ impl<T: GraphRead + ?Sized> GraphRead for &T {
 }
 
 impl<T: GraphRead + ?Sized> GraphRead for std::sync::Arc<T> {
+    fn postings_cursor(&self, probe: &ProbeKey) -> PostingsCursor {
+        (**self).postings_cursor(probe)
+    }
     fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
         (**self).postings(probe)
     }
@@ -142,6 +184,12 @@ impl<T: GraphRead + ?Sized> GraphRead for std::sync::Arc<T> {
     }
     fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {
         (**self).probe_contains(probe, id)
+    }
+    fn probe_fingerprint(&self, probe: &ProbeKey) -> u64 {
+        (**self).probe_fingerprint(probe)
+    }
+    fn probe_fingerprints(&self, probes: &[&ProbeKey]) -> Vec<u64> {
+        (**self).probe_fingerprints(probes)
     }
     fn resolve_name(&self, name: &str) -> Vec<EntityId> {
         (**self).resolve_name(name)
@@ -161,9 +209,13 @@ impl<T: GraphRead + ?Sized> GraphRead for std::sync::Arc<T> {
 }
 
 /// The stable KG serves directly from its unified
-/// [`TripleIndex`](crate::TripleIndex)
-/// — zero-copy postings, multi-list galloping intersection.
+/// [`TripleIndex`](crate::TripleIndex) — zero-copy borrowed views,
+/// compressed-domain intersection, per-list fingerprints.
 impl GraphRead for KnowledgeGraph {
+    fn postings_cursor(&self, probe: &ProbeKey) -> PostingsCursor {
+        self.index().postings(probe).to_cursor()
+    }
+
     fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
         self.index().postings(probe).to_vec()
     }
@@ -173,7 +225,11 @@ impl GraphRead for KnowledgeGraph {
     }
 
     fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {
-        self.index().postings(probe).binary_search(&id).is_ok()
+        self.index().postings(probe).contains(id)
+    }
+
+    fn probe_fingerprint(&self, probe: &ProbeKey) -> u64 {
+        self.index().probe_fingerprint(probe)
     }
 
     fn record(&self, id: EntityId) -> Option<EntityRecord> {
@@ -189,7 +245,7 @@ impl GraphRead for KnowledgeGraph {
     }
 
     fn probe_all(&self, probes: &[ProbeKey]) -> Vec<EntityId> {
-        // Zero-copy: intersect borrowed slices, smallest list drives.
+        // Zero-copy: intersect borrowed compressed views in place.
         self.index().probe_all(probes)
     }
 }
@@ -294,6 +350,21 @@ impl<L: GraphRead, S: GraphRead> OverlayRead<L, S> {
 }
 
 impl<L: GraphRead, S: GraphRead> GraphRead for OverlayRead<L, S> {
+    /// The overlay's effective posting only exists merged: build the
+    /// cursor from the shadow-filtered union. (Per-probe fingerprints stay
+    /// on the conservative [`generation`](GraphRead::generation) default —
+    /// a live upsert can change an overlay posting *without* touching the
+    /// equally-named live or stable list, by shadowing a stable record, so
+    /// layer-combined stamps would under-invalidate.) The fingerprint is
+    /// sampled *before* the merge, so a concurrent write makes the cursor
+    /// look stale rather than fresh.
+    fn postings_cursor(&self, probe: &ProbeKey) -> PostingsCursor {
+        let fingerprint = self.probe_fingerprint(probe);
+        let mut list = crate::postings::BlockPostings::from_sorted(&self.postings(probe));
+        list.set_stamp(fingerprint);
+        PostingsCursor::from_list(list)
+    }
+
     fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
         // Shadow-filter the stable postings *before* fetching the live
         // list: the two layers lock independently, so an entity upserted
@@ -351,6 +422,35 @@ impl<L: GraphRead, S: GraphRead> GraphRead for OverlayRead<L, S> {
         self.live.generation()
             + self.stable.generation()
             + self.tombstone_gen.load(Ordering::Relaxed)
+    }
+
+    /// Candidate-driven conjunction: materializing every merged overlay
+    /// posting just to intersect would pay the two-layer merge per probe,
+    /// so the overlay instead drives the cheapest posting's candidates
+    /// through per-layer [`probe_contains`](GraphRead::probe_contains) —
+    /// `O(|smallest| · probes)` point lookups, no merged lists.
+    fn probe_all(&self, probes: &[ProbeKey]) -> Vec<EntityId> {
+        let Some((driver_at, driver_sel)) = probes
+            .iter()
+            .map(|p| self.selectivity(p))
+            .enumerate()
+            .min_by_key(|&(_, sel)| sel)
+        else {
+            return Vec::new();
+        };
+        if driver_sel == 0 {
+            return Vec::new();
+        }
+        let candidates = self.postings(&probes[driver_at]);
+        candidates
+            .into_iter()
+            .filter(|&id| {
+                probes
+                    .iter()
+                    .enumerate()
+                    .all(|(i, probe)| i == driver_at || self.probe_contains(probe, id))
+            })
+            .collect()
     }
 }
 

@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use parking_lot::{RwLock, RwLockReadGuard};
-use saga_core::{EntityId, EntityRecord, GraphRead, KnowledgeGraph, ProbeKey};
+use saga_core::{EntityId, EntityRecord, GraphRead, KnowledgeGraph, PostingsCursor, ProbeKey};
 
 /// A shared, concurrently-readable handle to the stable KG.
 pub struct StableRead {
@@ -64,6 +64,12 @@ impl StableRead {
 }
 
 impl GraphRead for StableRead {
+    fn postings_cursor(&self, probe: &ProbeKey) -> PostingsCursor {
+        // Clones the compressed blocks under the read lock — the cheap
+        // way to carry a posting list out of the lock scope.
+        self.kg.read().index().postings(probe).to_cursor()
+    }
+
     fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
         self.kg.read().index().postings(probe).to_vec()
     }
@@ -73,12 +79,11 @@ impl GraphRead for StableRead {
     }
 
     fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {
-        self.kg
-            .read()
-            .index()
-            .postings(probe)
-            .binary_search(&id)
-            .is_ok()
+        self.kg.read().index().postings(probe).contains(id)
+    }
+
+    fn probe_fingerprint(&self, probe: &ProbeKey) -> u64 {
+        self.kg.read().index().probe_fingerprint(probe)
     }
 
     fn record(&self, id: EntityId) -> Option<EntityRecord> {

@@ -112,14 +112,58 @@ fn resolve_target<G: GraphRead>(graph: &G, target: &Target) -> Option<EntityId> 
     }
 }
 
+/// One compile-time dependency of a cached plan — what the plan cache
+/// fingerprints instead of the backend's single generation counter, so a
+/// write only evicts the plans whose probes it actually touched.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanDep {
+    /// The plan reads (or resolved a name through) this probe's posting;
+    /// revalidated via [`GraphRead::probe_fingerprint`].
+    Probe(ProbeKey),
+    /// The plan depends on backend state with no per-probe fingerprint
+    /// (e.g. an id-addressed target's existence); revalidated via the
+    /// global [`GraphRead::generation`].
+    Generation,
+}
+
+/// A compiled plan together with its fingerprinted dependency set — each
+/// dependency's value was sampled *before* the compile step that consumed
+/// it, so a concurrent write between sampling and resolution shows up as
+/// a mismatch on the next lookup (never a stale hit).
+pub struct CompiledPlan {
+    /// The physical plan.
+    pub plan: Plan,
+    /// Dependencies and the fingerprint each had at compile time.
+    pub deps: Vec<(PlanDep, u64)>,
+}
+
 /// Compile a parsed query against the engine (expands virtual operators,
 /// resolves edge targets against the engine's backend).
 pub fn compile<G: GraphRead>(engine: &QueryEngine<G>, query: &Query) -> Result<Plan> {
-    match query {
-        Query::Get { start, path } => Ok(Plan::Get {
+    compile_with_deps(engine, query).map(|c| c.plan)
+}
+
+/// [`compile`], also returning the plan-cache dependency set.
+pub fn compile_with_deps<G: GraphRead>(
+    engine: &QueryEngine<G>,
+    query: &Query,
+) -> Result<CompiledPlan> {
+    let mut deps: Vec<(PlanDep, u64)> = Vec::new();
+    let graph = engine.graph();
+    let dep_probe = |deps: &mut Vec<(PlanDep, u64)>, probe: &ProbeKey| {
+        let fp = graph.probe_fingerprint(probe);
+        let dep = PlanDep::Probe(probe.clone());
+        if !deps.iter().any(|(d, _)| *d == dep) {
+            deps.push((dep, fp));
+        }
+    };
+    let plan = match query {
+        Query::Get { start, path } => Plan::Get {
+            // Start resolution happens at execute time, so GET plans carry
+            // no compile-time dependencies — they are never stale.
             start: start.clone(),
             path: path.iter().map(|p| intern(p)).collect(),
-        }),
+        },
         Query::Find {
             entity_type,
             conditions,
@@ -154,7 +198,17 @@ pub fn compile<G: GraphRead>(engine: &QueryEngine<G>, query: &Query) -> Result<P
                         probes.push(Probe::literal(intern(&pred), value))
                     }
                     Condition::RelTo { pred, target } => {
-                        match resolve_target(engine.graph(), &target) {
+                        // Fingerprint the resolution input *before*
+                        // resolving (see [`CompiledPlan`]).
+                        match &target {
+                            Target::Name(name) => {
+                                dep_probe(&mut deps, &ProbeKey::Name(name.to_lowercase()));
+                            }
+                            Target::Id(_) => {
+                                deps.push((PlanDep::Generation, graph.generation()));
+                            }
+                        }
+                        match resolve_target(graph, &target) {
                             Some(id) => probes.push(Probe::edge(intern(&pred), id)),
                             None => probes.push(Probe::Unsatisfiable),
                         }
@@ -162,12 +216,21 @@ pub fn compile<G: GraphRead>(engine: &QueryEngine<G>, query: &Query) -> Result<P
                     Condition::VirtualOp { .. } => unreachable!("expanded above"),
                 }
             }
-            Ok(Plan::Find {
+            // Every lowered probe is a dependency: execution reads live
+            // postings, but selectivity-sensitive callers still want the
+            // plan refreshed when a touched posting changes.
+            for probe in &probes {
+                if let Probe::Key(key) = probe {
+                    dep_probe(&mut deps, key);
+                }
+            }
+            Plan::Find {
                 probes,
                 limit: *limit,
-            })
+            }
         }
-    }
+    };
+    Ok(CompiledPlan { plan, deps })
 }
 
 /// Execute a compiled plan against a [`GraphRead`] backend.
@@ -395,6 +458,41 @@ mod tests {
         assert_eq!(eng.cached_plans(), 1, "identical text compiles once");
         eng.invalidate_plans();
         assert_eq!(eng.cached_plans(), 0);
+    }
+
+    #[test]
+    fn unrelated_writes_keep_plans_warm() {
+        // The ROADMAP thrash case: one live upsert used to bump the global
+        // generation and evict every cached plan. With per-probe
+        // fingerprints, a plan is invalidated only when a posting it
+        // touched (or resolved a name through) actually changes.
+        let live = LiveKg::new(4);
+        live.load_stable(&demo_kg());
+        let eng = QueryEngine::new(live.clone());
+        let q = r#"FIND song WHERE performed_by -> entity("Beyoncé")"#;
+        assert_eq!(eng.query(q).unwrap().entities(), &[EntityId(3)]);
+        assert_eq!(eng.plan_cache_stats(), (0, 1), "cold compile");
+        assert_eq!(eng.query(q).unwrap().entities(), &[EntityId(3)]);
+        assert_eq!(eng.plan_cache_stats(), (1, 1), "warm hit");
+
+        // An unrelated upsert: different name, type and predicates.
+        let mut kg = KnowledgeGraph::new();
+        kg.add_named_entity(EntityId(99), "Zed", "city", SourceId(2), 0.9);
+        live.upsert(kg.entity(EntityId(99)).unwrap().clone());
+        assert_eq!(eng.query(q).unwrap().entities(), &[EntityId(3)]);
+        assert_eq!(
+            eng.plan_cache_stats(),
+            (2, 1),
+            "unrelated write left the plan warm"
+        );
+
+        // A write that touches a fingerprinted posting (the song type
+        // probe) does invalidate.
+        let mut kg = KnowledgeGraph::new();
+        kg.add_named_entity(EntityId(98), "Encore", "song", SourceId(2), 0.9);
+        live.upsert(kg.entity(EntityId(98)).unwrap().clone());
+        assert_eq!(eng.query(q).unwrap().entities(), &[EntityId(3)]);
+        assert_eq!(eng.plan_cache_stats(), (2, 2), "touched probe recompiled");
     }
 
     #[test]

@@ -35,11 +35,12 @@ pub mod exec;
 pub mod parser;
 
 pub use builder::{FindBuilder, GetBuilder, QueryBuilder};
-pub use exec::{compile, execute, Plan, QueryResult};
+pub use exec::{compile, compile_with_deps, execute, CompiledPlan, Plan, PlanDep, QueryResult};
 pub use parser::{parse, Condition, Query, Target};
 
 use parking_lot::RwLock;
 use saga_core::{FxHashMap, GraphRead, Result, SagaError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::store::LiveKg;
@@ -48,10 +49,12 @@ use crate::store::LiveKg;
 /// compile time, "facilitating easy reuse of complex expressions".
 pub type VirtualOp = Arc<dyn Fn(&[String]) -> Result<Vec<Condition>> + Send + Sync>;
 
-/// One cached physical plan, tagged with the backend generation it was
-/// compiled at (compile-time-resolved edge targets go stale on writes).
+/// One cached physical plan, keyed by the fingerprints of the probes it
+/// touched at compile time ([`PlanDep`]): a write invalidates only the
+/// plans whose postings (or name resolutions) it actually changed, so one
+/// live upsert no longer evicts every hot plan.
 struct CachedPlan {
-    generation: u64,
+    deps: Vec<(PlanDep, u64)>,
     plan: Arc<Plan>,
 }
 
@@ -61,6 +64,10 @@ pub struct QueryEngine<G: GraphRead = LiveKg> {
     graph: G,
     virtual_ops: Arc<RwLock<FxHashMap<String, VirtualOp>>>,
     plan_cache: Arc<RwLock<FxHashMap<String, CachedPlan>>>,
+    /// Cache lookups that revalidated and executed a cached plan.
+    plan_hits: Arc<AtomicU64>,
+    /// Full compiles (cold misses plus fingerprint invalidations).
+    plan_compiles: Arc<AtomicU64>,
 }
 
 impl<G: GraphRead + Clone> Clone for QueryEngine<G> {
@@ -69,6 +76,8 @@ impl<G: GraphRead + Clone> Clone for QueryEngine<G> {
             graph: self.graph.clone(),
             virtual_ops: Arc::clone(&self.virtual_ops),
             plan_cache: Arc::clone(&self.plan_cache),
+            plan_hits: Arc::clone(&self.plan_hits),
+            plan_compiles: Arc::clone(&self.plan_compiles),
         }
     }
 }
@@ -80,6 +89,8 @@ impl<G: GraphRead> QueryEngine<G> {
             graph,
             virtual_ops: Arc::new(RwLock::new(FxHashMap::default())),
             plan_cache: Arc::new(RwLock::new(FxHashMap::default())),
+            plan_hits: Arc::new(AtomicU64::new(0)),
+            plan_compiles: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -114,25 +125,72 @@ impl<G: GraphRead> QueryEngine<G> {
         op(args)
     }
 
-    /// Parse, compile (with generation-checked plan caching) and execute a
-    /// KGQ query.
+    /// Revalidate a cached plan's dependency set. All probe dependencies
+    /// are fingerprinted in **one** batch call so lock-striped backends
+    /// take each shard lock once for the whole set, not once per probe.
+    fn deps_valid(&self, deps: &[(PlanDep, u64)]) -> bool {
+        if deps.is_empty() {
+            // GET plans resolve everything at execute time — never stale.
+            return true;
+        }
+        let probes: Vec<&saga_core::ProbeKey> = deps
+            .iter()
+            .filter_map(|(dep, _)| match dep {
+                PlanDep::Probe(probe) => Some(probe),
+                PlanDep::Generation => None,
+            })
+            .collect();
+        let fingerprints = self.graph.probe_fingerprints(&probes);
+        let mut at = 0usize;
+        for (dep, expected) in deps {
+            let current = match dep {
+                PlanDep::Probe(_) => {
+                    let fp = fingerprints[at];
+                    at += 1;
+                    fp
+                }
+                PlanDep::Generation => self.graph.generation(),
+            };
+            if current != *expected {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Parse, compile (with per-probe fingerprinted plan caching) and
+    /// execute a KGQ query. A cached plan is reused iff every probe it
+    /// touched at compile time still has the fingerprint it was compiled
+    /// against — writes to unrelated postings leave it warm.
     pub fn query(&self, text: &str) -> Result<QueryResult> {
-        let generation = self.graph.generation();
         if let Some(cached) = self.plan_cache.read().get(text) {
-            if cached.generation == generation {
+            if self.deps_valid(&cached.deps) {
+                self.plan_hits.fetch_add(1, Ordering::Relaxed);
                 return execute(&self.graph, &cached.plan);
             }
         }
         let ast = parse(text)?;
-        let plan = Arc::new(compile(self, &ast)?);
+        let compiled = compile_with_deps(self, &ast)?;
+        self.plan_compiles.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(compiled.plan);
         self.plan_cache.write().insert(
             text.to_string(),
             CachedPlan {
-                generation,
+                deps: compiled.deps,
                 plan: Arc::clone(&plan),
             },
         );
         execute(&self.graph, &plan)
+    }
+
+    /// Plan-cache telemetry: `(hits, compiles)` — cache lookups that
+    /// revalidated against their probe fingerprints and executed without
+    /// recompiling, vs. full compiles (cold misses + invalidations).
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (
+            self.plan_hits.load(Ordering::Relaxed),
+            self.plan_compiles.load(Ordering::Relaxed),
+        )
     }
 
     /// Compile and execute a programmatically built [`Query`] (see

@@ -36,6 +36,7 @@ pub mod context;
 pub mod curation;
 pub mod intent;
 pub mod kgq;
+pub mod pool;
 pub mod replica;
 pub mod store;
 
@@ -44,5 +45,6 @@ pub use context::ContextGraph;
 pub use curation::{CurationAction, CurationPipeline};
 pub use intent::{Intent, IntentHandler};
 pub use kgq::{compile, execute, parse, Plan, Query, QueryBuilder, QueryEngine, QueryResult};
+pub use pool::ProbePool;
 pub use replica::LiveReplica;
 pub use store::{LiveKg, ShardedTripleIndex, PARALLEL_PROBE_MIN_WORK};

@@ -1,0 +1,216 @@
+//! The shared probe worker pool.
+//!
+//! [`ShardedTripleIndex::probe_all`](crate::store::ShardedTripleIndex::probe_all)
+//! fans a conjunctive probe out across shards. It used to spawn scoped OS
+//! threads per call, which priced parallelism at a thread spawn each — only
+//! probes above a large driver-posting threshold could amortize it. This
+//! module replaces the per-call spawns with one lazily initialized,
+//! process-wide pool of long-lived workers, so the per-probe cost drops to
+//! a channel send/recv pair and much smaller probes parallelize profitably
+//! (see `PARALLEL_PROBE_MIN_WORK`, lowered accordingly).
+//!
+//! The API is a scoped fork-join: [`ProbePool::run`] submits a batch of
+//! closures that may borrow from the caller's stack and blocks until every
+//! one has completed, which is what makes the lifetime erasure below
+//! sound — no task can outlive the frame it borrows from. Worker panics
+//! are caught, carried back, and re-raised on the calling thread after the
+//! whole batch has drained (never leaving a stray task running).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A type-erased unit of work queued to the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// One completed task: its submission index and caught outcome.
+type TaskResult<T> = (usize, std::thread::Result<T>);
+
+/// A fixed-size pool of long-lived worker threads executing scoped batches.
+pub struct ProbePool {
+    injector: Sender<Job>,
+    workers: usize,
+}
+
+static GLOBAL: OnceLock<ProbePool> = OnceLock::new();
+
+impl ProbePool {
+    /// The process-wide pool, spawned on first use with one worker per
+    /// available core (minimum 2 — a single worker would serialize anyway).
+    pub fn global() -> &'static ProbePool {
+        GLOBAL.get_or_init(|| {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .max(2);
+            ProbePool::with_workers(workers)
+        })
+    }
+
+    /// A pool with an explicit worker count (tests; `global()` otherwise).
+    pub fn with_workers(workers: usize) -> ProbePool {
+        let workers = workers.max(1);
+        let (injector, feed): (Sender<Job>, Receiver<Job>) = channel();
+        let feed = Arc::new(Mutex::new(feed));
+        for i in 0..workers {
+            let feed = Arc::clone(&feed);
+            std::thread::Builder::new()
+                .name(format!("saga-probe-{i}"))
+                .spawn(move || loop {
+                    // Multi-consumer pop over the single mpsc receiver;
+                    // the lock is held only for the dequeue itself.
+                    let job = match feed.lock() {
+                        Ok(rx) => rx.recv(),
+                        Err(_) => return,
+                    };
+                    match job {
+                        Ok(job) => job(),
+                        Err(_) => return, // pool dropped
+                    }
+                })
+                .expect("spawn probe worker");
+        }
+        ProbePool { injector, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Execute `tasks` on the pool and return their results in submission
+    /// order, blocking until all have finished. Tasks may borrow from the
+    /// caller (the `'scope` lifetime); the blocking join is what keeps
+    /// those borrows alive for as long as any worker can touch them. If a
+    /// task panics, the panic is re-raised here — after every other task
+    /// of the batch has completed.
+    pub fn run<'scope, T: Send + 'scope>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'scope>>,
+    ) -> Vec<T> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        let count = tasks.len();
+        let (done, results): (Sender<TaskResult<T>>, Receiver<TaskResult<T>>) = channel();
+        for (at, task) in tasks.into_iter().enumerate() {
+            let done = done.clone();
+            let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                let result = catch_unwind(AssertUnwindSafe(task));
+                // The receiver outlives the batch (we drain every slot
+                // below); a send can only fail if the caller's thread is
+                // already unwinding, in which case dropping is fine.
+                let _ = done.send((at, result));
+            });
+            // SAFETY: `run` never unwinds while a submitted job can still
+            // hold a live borrow. Every job either runs to completion and
+            // sends its slot (panics are caught inside the job), or is
+            // dropped un-run — either way its captured borrows are dead by
+            // the time the `done` senders are gone. The collection loop
+            // below blocks until all `count` slots are accounted for (a
+            // recv error means every sender, and therefore every job, is
+            // already gone), and a failed submission runs the job inline
+            // rather than unwinding past queued jobs. Hence no borrow
+            // captured by `job` can outlive this frame, making the
+            // 'scope → 'static erasure sound.
+            let job: Job =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
+            if let Err(dead) = self.injector.send(job) {
+                // All workers exited (cannot happen for the global pool).
+                // Run inline: unwinding here would pop the frame while
+                // earlier-submitted jobs may still borrow from it.
+                (dead.0)();
+            }
+        }
+        drop(done);
+        let mut slots: Vec<Option<std::thread::Result<T>>> = Vec::new();
+        slots.resize_with(count, || None);
+        for _ in 0..count {
+            // A recv error means all `done` senders dropped: every job has
+            // run or been destroyed, so no borrow is outstanding and the
+            // missing-slot panic below is a plain (safe) panic.
+            let Ok((at, result)) = results.recv() else {
+                break;
+            };
+            slots[at] = Some(result);
+        }
+        // All borrows are released; now surface panics / collect values.
+        slots
+            .into_iter()
+            .map(|slot| match slot.expect("every slot filled") {
+                Ok(value) => value,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_borrowing_tasks_and_orders_results() {
+        let pool = ProbePool::with_workers(4);
+        let data: Vec<usize> = (0..64).collect();
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = data
+            .iter()
+            .map(|v| {
+                let v = v; // borrow, not move
+                Box::new(move || *v * 2) as Box<dyn FnOnce() -> usize + Send + '_>
+            })
+            .collect();
+        let out = pool.run(tasks);
+        assert_eq!(out, (0..64).map(|v| v * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_larger_than_the_pool_complete() {
+        let pool = ProbePool::with_workers(2);
+        let hits = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..100)
+            .map(|_| {
+                Box::new(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn panics_propagate_after_the_batch_drains() {
+        let pool = ProbePool::with_workers(2);
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            tasks.push(Box::new(|| panic!("boom")));
+            for _ in 0..10 {
+                tasks.push(Box::new(|| {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            pool.run(tasks);
+        }));
+        assert!(result.is_err(), "panic surfaced to the caller");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            10,
+            "batch drained before re-raising"
+        );
+        // The pool survives a panicked batch.
+        let ok: Vec<Box<dyn FnOnce() -> u32 + Send + 'static>> =
+            vec![Box::new(|| 7), Box::new(|| 8)];
+        assert_eq!(pool.run(ok), vec![7, 8]);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized() {
+        let a = ProbePool::global() as *const _;
+        let b = ProbePool::global() as *const _;
+        assert_eq!(a, b);
+        assert!(ProbePool::global().workers() >= 2);
+    }
+}

@@ -127,12 +127,24 @@ impl LiveReplica {
 /// A replica serves through the same backend-agnostic API as every other
 /// store — point a `QueryEngine` at it directly.
 impl GraphRead for LiveReplica {
+    fn postings_cursor(&self, probe: &ProbeKey) -> saga_core::PostingsCursor {
+        self.live.postings_cursor(probe)
+    }
+
     fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
         self.live.postings(probe)
     }
 
     fn selectivity(&self, probe: &ProbeKey) -> usize {
         self.live.selectivity(probe)
+    }
+
+    fn probe_fingerprint(&self, probe: &ProbeKey) -> u64 {
+        self.live.probe_fingerprint(probe)
+    }
+
+    fn probe_fingerprints(&self, probes: &[&ProbeKey]) -> Vec<u64> {
+        self.live.probe_fingerprints(probes)
     }
 
     fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {

@@ -11,21 +11,26 @@
 //! makes conjunctive probes embarrassingly parallel: each shard intersects
 //! its own sorted postings and the disjoint results concatenate in order.
 
+use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use saga_core::index::intersect_sorted;
+use saga_core::postings::{union_views, PostingsCursor, PostingsView};
 use saga_core::write::record_delta;
 use saga_core::{
     CommitReceipt, EntityId, EntityRecord, FxHashMap, GraphRead, GraphWrite, OpOutcome, ProbeKey,
     Symbol, TripleIndex, Value, WriteBatch, WriteOp,
 };
 
+use crate::pool::ProbePool;
+
 /// Driver-posting length below which [`ShardedTripleIndex::probe_all`]
-/// evaluates shards serially — spawning scoped threads costs more than the
-/// whole intersection for small postings.
-pub const PARALLEL_PROBE_MIN_WORK: usize = 2048;
+/// evaluates shards serially. With fan-out running on the shared
+/// [`ProbePool`] (no per-call thread spawns), the break-even point is a
+/// channel round-trip per shard rather than a thread spawn — roughly an
+/// order of magnitude lower than the old scoped-spawn threshold.
+pub const PARALLEL_PROBE_MIN_WORK: usize = 256;
 
 /// The unified triple index under lock striping: shard `i` indexes the
 /// entities with `id % shards == i`. Replaces the legacy single-lock
@@ -59,26 +64,53 @@ impl ShardedTripleIndex {
         self.shards[self.shard_of(id)].write().remove_entity(id);
     }
 
-    /// Merge one probe's postings across shards. Shards partition the id
-    /// space, so per-shard sorted lists concatenate into one sorted list
-    /// after a k-way merge.
-    pub fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
-        let mut per_shard: Vec<Vec<EntityId>> = self
+    /// Snapshot one probe's postings across shards as a single compressed
+    /// cursor. Shards partition the id space, so the per-shard block lists
+    /// union disjointly — the merge runs block-by-block in the compressed
+    /// domain ([`union_views`]), never materializing id vectors. Each
+    /// shard lock is taken one at a time (cloning the compressed list is
+    /// cheap) so a stream of cursor reads never stalls writers fleet-wide;
+    /// the union itself runs lock-free. The cursor carries the combined
+    /// per-shard fingerprint (the same hash
+    /// [`probe_fingerprint`](Self::probe_fingerprint) reports); each
+    /// shard's stamp is sampled under the same lock as that shard's
+    /// snapshot, and stamps are monotone, so a write racing the walk can
+    /// only make the cursor look stale — never falsely fresh.
+    pub fn postings_cursor(&self, probe: &ProbeKey) -> PostingsCursor {
+        let mut h = rustc_hash::FxHasher::default();
+        let snapshots: Vec<saga_core::BlockPostings> = self
             .shards
             .iter()
-            .map(|s| s.read().postings(probe).to_vec())
+            .map(|shard| {
+                let idx = shard.read();
+                h.write_u64(idx.probe_fingerprint(probe));
+                idx.postings(probe).to_cursor().into_list()
+            })
             .collect();
-        merge_sorted(&mut per_shard)
+        let views: Vec<PostingsView> = snapshots
+            .iter()
+            .map(saga_core::BlockPostings::as_view)
+            .collect();
+        let mut list = union_views(&views);
+        list.set_stamp(h.finish());
+        PostingsCursor::from_list(list)
     }
 
-    /// Conjunction of probes: intersect within each shard, then merge the
-    /// (disjoint) per-shard results.
+    /// Merge one probe's postings across shards into a sorted id list (the
+    /// materializing convenience over [`postings_cursor`](Self::postings_cursor)).
+    pub fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
+        self.postings_cursor(probe).to_vec()
+    }
+
+    /// Conjunction of probes: intersect within each shard **in the
+    /// compressed domain**, then merge the (disjoint) per-shard results.
     ///
     /// Shards partition the id space, so they are evaluated independently —
-    /// in parallel with scoped threads once the driving posting is large
-    /// enough ([`PARALLEL_PROBE_MIN_WORK`]) to amortize the spawns. Results
-    /// are deterministic either way: per-shard hits are disjoint and the
-    /// post-merge sort fixes one global order.
+    /// fanned out on the shared [`ProbePool`] once the driving posting is
+    /// large enough ([`PARALLEL_PROBE_MIN_WORK`]) to amortize a channel
+    /// round-trip per shard. Results are deterministic either way:
+    /// per-shard hits are disjoint and the post-merge sort fixes one
+    /// global order.
     pub fn probe_all(&self, probes: &[ProbeKey]) -> Vec<EntityId> {
         if probes.is_empty() {
             return Vec::new();
@@ -95,36 +127,32 @@ impl ShardedTripleIndex {
         }
         let intersect_shard = |shard: &RwLock<TripleIndex>| {
             let idx = shard.read();
-            let lists: Vec<&[EntityId]> = probes.iter().map(|p| idx.postings(p)).collect();
-            intersect_sorted(&lists)
+            idx.probe_all(probes)
         };
         let mut per_shard: Vec<Vec<EntityId>> =
             if self.shards.len() > 1 && driver >= PARALLEL_PROBE_MIN_WORK {
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = self
-                        .shards
-                        .iter()
-                        .map(|shard| scope.spawn(move || intersect_shard(shard)))
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("shard probe panicked"))
-                        .collect()
-                })
+                let tasks: Vec<Box<dyn FnOnce() -> Vec<EntityId> + Send + '_>> = self
+                    .shards
+                    .iter()
+                    .map(|shard| {
+                        Box::new(move || intersect_shard(shard))
+                            as Box<dyn FnOnce() -> Vec<EntityId> + Send + '_>
+                    })
+                    .collect();
+                ProbePool::global().run(tasks)
             } else {
                 self.shards.iter().map(intersect_shard).collect()
             };
         merge_sorted(&mut per_shard)
     }
 
-    /// True if `id` is in the probe's posting list — a single-shard binary
-    /// search, no cross-shard merge.
+    /// True if `id` is in the probe's posting list — a single-shard block
+    /// probe, no cross-shard merge.
     pub fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {
         self.shards[self.shard_of(id)]
             .read()
             .postings(probe)
-            .binary_search(&id)
-            .is_ok()
+            .contains(id)
     }
 
     /// Total posting length of a probe (selectivity estimation).
@@ -133,6 +161,43 @@ impl ShardedTripleIndex {
             .iter()
             .map(|s| s.read().selectivity(probe))
             .sum()
+    }
+
+    /// Combined per-shard fingerprint of one probe's posting (plan-cache
+    /// key): changes iff the posting changed in *any* shard, and is
+    /// untouched by writes to other posting lists.
+    pub fn probe_fingerprint(&self, probe: &ProbeKey) -> u64 {
+        let mut h = rustc_hash::FxHasher::default();
+        for shard in &self.shards {
+            h.write_u64(shard.read().probe_fingerprint(probe));
+        }
+        h.finish()
+    }
+
+    /// Batch fingerprints for a dependency set: one pass taking each
+    /// shard lock once for all probes, instead of once per probe — the
+    /// plan-cache revalidation path.
+    pub fn probe_fingerprints(&self, probes: &[&ProbeKey]) -> Vec<u64> {
+        if probes.is_empty() {
+            return Vec::new();
+        }
+        let mut hashers: Vec<rustc_hash::FxHasher> = probes
+            .iter()
+            .map(|_| rustc_hash::FxHasher::default())
+            .collect();
+        for shard in &self.shards {
+            let idx = shard.read();
+            for (h, probe) in hashers.iter_mut().zip(probes.iter()) {
+                h.write_u64(idx.probe_fingerprint(probe));
+            }
+        }
+        hashers.into_iter().map(|h| h.finish()).collect()
+    }
+
+    /// Compressed heap bytes of all posting lists across shards (the
+    /// postings memory gauge).
+    pub fn index_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.read().index_bytes()).sum()
     }
 
     /// Entities whose name contains token / exact phrase `needle`
@@ -467,12 +532,24 @@ impl LiveKg {
 /// KG; conjunctions fan out per shard (see
 /// [`ShardedTripleIndex::probe_all`]).
 impl GraphRead for LiveKg {
+    fn postings_cursor(&self, probe: &ProbeKey) -> PostingsCursor {
+        self.index.postings_cursor(probe)
+    }
+
     fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
         self.index.postings(probe)
     }
 
     fn selectivity(&self, probe: &ProbeKey) -> usize {
         self.index.selectivity(probe)
+    }
+
+    fn probe_fingerprint(&self, probe: &ProbeKey) -> u64 {
+        self.index.probe_fingerprint(probe)
+    }
+
+    fn probe_fingerprints(&self, probes: &[&ProbeKey]) -> Vec<u64> {
+        self.index.probe_fingerprints(probes)
     }
 
     fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {
@@ -658,6 +735,34 @@ mod tests {
         live.remove(EntityId(1));
         assert!(GraphRead::generation(&live) > g1, "removals bump too");
         assert!(!GraphRead::contains(&live, EntityId(1)));
+    }
+
+    #[test]
+    fn cursor_fingerprints_match_probe_fingerprint() {
+        let live = LiveKg::new(4);
+        live.upsert(record(1, "Alpha", "song"));
+        let probe = ProbeKey::Type(intern("song"));
+        assert_eq!(
+            live.postings_cursor(&probe).fingerprint(),
+            live.probe_fingerprint(&probe),
+            "sharded cursors carry the combined fingerprint"
+        );
+        let fp0 = live.probe_fingerprint(&probe);
+        live.upsert(record(2, "Beta", "song"));
+        assert_ne!(live.probe_fingerprint(&probe), fp0, "write moves it");
+        assert_eq!(
+            live.postings_cursor(&probe).fingerprint(),
+            live.probe_fingerprint(&probe)
+        );
+        // The batch form agrees with the per-probe form.
+        let miss = ProbeKey::Name("nope".into());
+        assert_eq!(
+            live.probe_fingerprints(&[&probe, &miss]),
+            vec![
+                live.probe_fingerprint(&probe),
+                live.probe_fingerprint(&miss)
+            ]
+        );
     }
 
     #[test]

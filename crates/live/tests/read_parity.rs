@@ -94,11 +94,18 @@ proptest! {
             let expected = kg.postings(probe);
             prop_assert_eq!(&live.postings(probe), &expected);
             prop_assert_eq!(&overlay.postings(probe), &expected);
+            // The compressed cursor path (the primary serving surface)
+            // agrees with the materialized path on every backend.
+            prop_assert_eq!(&kg.postings_cursor(probe).to_vec(), &expected);
+            prop_assert_eq!(&live.postings_cursor(probe).to_vec(), &expected);
+            prop_assert_eq!(&overlay.postings_cursor(probe).to_vec(), &expected);
+            prop_assert_eq!(kg.postings_cursor(probe).len(), expected.len());
             prop_assert_eq!(live.selectivity(probe), kg.selectivity(probe));
             prop_assert_eq!(overlay.selectivity(probe) == 0, expected.is_empty());
             for &id in expected.iter().take(4) {
                 prop_assert!(live.probe_contains(probe, id));
                 prop_assert!(overlay.probe_contains(probe, id));
+                prop_assert!(live.postings_cursor(probe).contains(id));
             }
         }
         // Pairwise conjunctions agree (including empty intersections).
@@ -363,6 +370,12 @@ proptest! {
         for probe in &probes {
             let expected = kg.postings(probe);
             prop_assert_eq!(&replica.postings(probe), &expected, "probe {:?}", probe);
+            prop_assert_eq!(
+                &replica.postings_cursor(probe).to_vec(),
+                &expected,
+                "cursor probe {:?}",
+                probe
+            );
             prop_assert_eq!(replica.selectivity(probe), kg.selectivity(probe));
             for &id in expected.iter().take(4) {
                 prop_assert!(replica.probe_contains(probe, id));
