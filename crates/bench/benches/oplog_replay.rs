@@ -1,5 +1,6 @@
 //! Oplog bench: append throughput of delta-carrying operations and
-//! replay-to-replica throughput at a ≥100k-fact corpus.
+//! replica startup at a ≥100k-fact corpus — full replay from LSN 0
+//! versus bootstrap from a published checkpoint plus log tail.
 //!
 //! Tracks the two costs the log-shipping refactor introduced on the write
 //! path (serializing delta payloads into the durable sink under different
@@ -14,7 +15,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use parking_lot::RwLock;
 use saga_bench::nerdworld::ambiguous_world;
 use saga_core::index::flatten;
-use saga_core::{Delta, DeltaFact, ExtendedTriple, KnowledgeGraph, Lsn, WriteBatch};
+use saga_core::{checkpoint, Delta, DeltaFact, ExtendedTriple, KnowledgeGraph, Lsn, WriteBatch};
 use saga_graph::{FlushPolicy, LoggedWriter, OpKind, OperationLog};
 use saga_live::LiveReplica;
 
@@ -134,26 +135,80 @@ fn bench_oplog(c: &mut Criterion) {
         });
     });
 
-    // Replay path: rebuild a serving replica from the log alone.
-    let log = Arc::new(OperationLog::in_memory());
+    // Apply cost in isolation: replay against an already-open in-memory
+    // log (no deserialization), the continuity case tracked since PR 4.
+    let mem_log = Arc::new(OperationLog::in_memory());
     for deltas in &ops {
-        log.append_op(OpKind::Upsert, deltas.clone()).unwrap();
+        mem_log.append_op(OpKind::Upsert, deltas.clone()).unwrap();
     }
-    group.bench_function("replay_to_replica_100k_facts", |b| {
+    group.bench_function("replay_apply_in_memory_100k_facts", |b| {
         b.iter(|| {
-            let mut replica = LiveReplica::new(16, Arc::clone(&log));
+            let mut replica = LiveReplica::new(16, Arc::clone(&mem_log));
             let applied = replica.catch_up().unwrap();
-            assert_eq!(replica.watermark(), log.head());
+            assert_eq!(replica.watermark(), mem_log.head());
             applied
+        });
+    });
+
+    // The startup comparison the checkpoint subsystem exists for, both
+    // sides from cold on-disk state. Prepared once, outside the timed
+    // loops: a full-history durable log; a checkpoint published at its
+    // head; and a compacted twin of the log (what retention leaves behind
+    // once the checkpoint covers the prefix).
+    let scratch = std::env::temp_dir().join(format!("saga_ckpt_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).unwrap();
+    let full_path = scratch.join("full.oplog.jsonl");
+    let compacted_path = scratch.join("compacted.oplog.jsonl");
+    let ckpt_dir = scratch.join("ckpt");
+    {
+        let log = OperationLog::durable(&full_path).unwrap();
+        for deltas in &ops {
+            log.append_op(OpKind::Upsert, deltas.clone()).unwrap();
+        }
+        log.sync().unwrap();
+        let image = checkpoint::encode(log.head(), kg.index());
+        checkpoint::publish(&ckpt_dir, &image).unwrap();
+        std::fs::copy(&full_path, &compacted_path).unwrap();
+        let compacted = OperationLog::durable(&compacted_path).unwrap();
+        compacted.compact_to(compacted.head()).unwrap();
+    }
+
+    // Replay from LSN 0: open the full log (parsing every retained op)
+    // and apply the whole history — O(all-history) startup.
+    group.bench_function("replay_from_zero_100k_facts", |b| {
+        b.iter(|| {
+            let log = Arc::new(OperationLog::durable(&full_path).unwrap());
+            let mut replica = LiveReplica::new(16, Arc::clone(&log));
+            replica.catch_up().unwrap();
+            assert_eq!(replica.watermark(), log.head());
+            replica.live().len()
+        });
+    });
+
+    // Bootstrap: open the compacted log (empty tail) and restore from the
+    // newest checkpoint — O(live-data) startup.
+    group.bench_function("bootstrap_from_checkpoint_100k_facts", |b| {
+        b.iter(|| {
+            let log = Arc::new(OperationLog::durable(&compacted_path).unwrap());
+            let replica = LiveReplica::bootstrap(16, &ckpt_dir, Arc::clone(&log)).unwrap();
+            assert_eq!(replica.watermark(), log.head());
+            replica.live().len()
         });
     });
     group.finish();
 
-    // Sanity outside the timed loops: the replica serves the same corpus.
+    // Sanity outside the timed loops: both startup paths serve the same
+    // corpus.
+    let log = Arc::new(OperationLog::durable(&full_path).unwrap());
     let mut replica = LiveReplica::new(16, Arc::clone(&log));
     replica.catch_up().unwrap();
     assert_eq!(replica.live().len(), kg.entity_count());
     assert_eq!(replica.watermark(), Lsn(ops.len() as u64));
+    let tail = Arc::new(OperationLog::durable(&compacted_path).unwrap());
+    let booted = LiveReplica::bootstrap(16, &ckpt_dir, Arc::clone(&tail)).unwrap();
+    assert_eq!(booted.live().len(), kg.entity_count());
+    assert_eq!(booted.watermark(), log.head());
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 criterion_group!(benches, bench_oplog);

@@ -1,0 +1,113 @@
+//! Phase-by-phase gauge of replica startup: where the time goes in
+//! `replay from LSN 0` versus `bootstrap from checkpoint + tail`, both
+//! from cold on-disk state. Prints the per-phase wall times and the
+//! artifact sizes backing `BENCH_bootstrap.json`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use saga_bench::nerdworld::ambiguous_world;
+use saga_core::index::flatten;
+use saga_core::{checkpoint, Delta, DeltaFact, KnowledgeGraph};
+use saga_graph::{OpKind, OperationLog};
+use saga_live::{LiveKg, LiveReplica};
+
+fn snapshot_ops(kg: &KnowledgeGraph, chunk: usize) -> Vec<Vec<Delta>> {
+    let mut deltas: Vec<Delta> = kg
+        .entities()
+        .map(|rec| Delta {
+            entity: rec.id,
+            added: rec
+                .triples
+                .iter()
+                .filter_map(flatten)
+                .map(|(predicate, object)| DeltaFact { predicate, object })
+                .collect(),
+            removed: Vec::new(),
+        })
+        .collect();
+    deltas.sort_unstable_by_key(|d| d.entity);
+    deltas.chunks(chunk).map(<[Delta]>::to_vec).collect()
+}
+
+fn main() {
+    let world = ambiguous_world(42, 1_500);
+    let kg = world.kg;
+    let ops = snapshot_ops(&kg, 100);
+    println!(
+        "corpus: {} entities, {} facts, {} ops",
+        kg.entity_count(),
+        kg.fact_count(),
+        ops.len()
+    );
+
+    let scratch = std::env::temp_dir().join(format!("saga_bootstrap_gauge_{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).unwrap();
+    let log_path = scratch.join("full.oplog.jsonl");
+    let compacted_path = scratch.join("compacted.oplog.jsonl");
+    let ckpt_dir = scratch.join("ckpt");
+
+    // Produce the on-disk state once: a full-history log, a checkpoint at
+    // its head, and a compacted twin of the log.
+    {
+        let log = OperationLog::durable(&log_path).unwrap();
+        for deltas in &ops {
+            log.append_op(OpKind::Upsert, deltas.clone()).unwrap();
+        }
+        log.sync().unwrap();
+        let image = checkpoint::encode(log.head(), kg.index());
+        let path = checkpoint::publish(&ckpt_dir, &image).unwrap();
+        std::fs::copy(&log_path, &compacted_path).unwrap();
+        let compacted = OperationLog::durable(&compacted_path).unwrap();
+        compacted.compact_to(compacted.head()).unwrap();
+        println!(
+            "artifacts: log {} KiB, compacted log {} KiB, checkpoint {} KiB",
+            std::fs::metadata(&log_path).unwrap().len() / 1024,
+            std::fs::metadata(&compacted_path).unwrap().len() / 1024,
+            std::fs::metadata(&path).unwrap().len() / 1024,
+        );
+    }
+
+    // Cold replay from zero: open the full log, apply every op.
+    let t = Instant::now();
+    let log = Arc::new(OperationLog::durable(&log_path).unwrap());
+    let open_full = t.elapsed();
+    let t = Instant::now();
+    let mut replica = LiveReplica::new(16, Arc::clone(&log));
+    replica.catch_up().unwrap();
+    let apply_full = t.elapsed();
+    println!(
+        "cold replay:    open log {:>7.1?}  apply {:>7.1?}  total {:>7.1?}",
+        open_full,
+        apply_full,
+        open_full + apply_full
+    );
+    assert_eq!(replica.live().len(), kg.entity_count());
+
+    // Cold bootstrap: open the compacted log, load + restore + empty tail.
+    let t = Instant::now();
+    let log = Arc::new(OperationLog::durable(&compacted_path).unwrap());
+    let open_tail = t.elapsed();
+    let t = Instant::now();
+    let (ckpt, _) = checkpoint::load_latest(&ckpt_dir).unwrap().unwrap();
+    let load = t.elapsed();
+    let t = Instant::now();
+    let live = LiveKg::restore(16, ckpt.index);
+    let restore = t.elapsed();
+    drop(live);
+    let t = Instant::now();
+    let booted = LiveReplica::bootstrap(16, &ckpt_dir, Arc::clone(&log)).unwrap();
+    let bootstrap_total = t.elapsed();
+    println!(
+        "cold bootstrap: open log {:>7.1?}  load {:>7.1?}  restore {:>7.1?}  bootstrap() {:>7.1?}  total {:>7.1?}",
+        open_tail,
+        load,
+        restore,
+        bootstrap_total,
+        open_tail + bootstrap_total
+    );
+    assert_eq!(booted.live().len(), kg.entity_count());
+    assert_eq!(booted.watermark(), log.head());
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -162,7 +162,7 @@ impl KnowledgeConstructor {
     /// The log-first form of [`consume`](Self::consume): every commit is
     /// appended to the writer's operation log *before* it is applied to
     /// the KG, so derived stores can follow the construction stream with
-    /// no `drain_deltas`/`append_op` pairing anywhere. Returns the report
+    /// no hand-paired changelog-drain/`append_op` anywhere. Returns the report
     /// alongside the LSNs the cycle occupied.
     pub fn consume_logged(
         &self,

@@ -1,0 +1,882 @@
+//! Checkpoint artifacts: a serialized [`TripleIndex`] snapshot at a
+//! watermark LSN.
+//!
+//! §3.1 of the paper keeps every derived store consistent by replaying one
+//! shared operation log — but replay alone makes bootstrap `O(all
+//! history)`. A checkpoint bounds that: it captures everything a
+//! `GraphRead`-serving store derives from the log *up to* a watermark, so
+//! a fresh replica loads `latest checkpoint + log tail` in time
+//! proportional to live data. See `docs/checkpoint.md` for the full
+//! contract.
+//!
+//! # Artifact format (version 1)
+//!
+//! ```text
+//! SAGACKPT 1\n                      magic + format version (text line)
+//! {"version":1,...}\n               manifest (one compact JSON line)
+//! <binary section bytes…>           concatenated, in manifest order
+//! ```
+//!
+//! The manifest names each section with its byte length and FNV-1a 64
+//! checksum (hex); the sections are `symbols` (predicate/dictionary
+//! strings), `objects` (the live object-value table), `records` (the SPO
+//! columns), and the three posting families `pos`, `osp`, `tokens`. All
+//! posting lists are written **block-wise** through
+//! [`BlockPostings::write_bytes`] — the compressed containers are copied
+//! byte-for-byte, never decompressed.
+//!
+//! # Durability and torn-write recovery
+//!
+//! [`publish`] writes to a temporary name, fsyncs, then atomically renames
+//! into `ckpt-<watermark>.sagackpt` and fsyncs the directory — mirroring
+//! the oplog's torn-tail discipline at the artifact level. A reader
+//! ([`load`]) re-verifies the magic, the manifest, every section length
+//! and checksum, and every structural invariant of the decoded postings;
+//! a torn or corrupt artifact is an error, and [`load_latest`] skips it in
+//! favor of the newest artifact that does verify.
+//!
+//! Checkpoints are pure functions of the log prefix they cover, so any
+//! number of them may coexist; retention ([`prune`]) keeps the newest N.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::index::ObjId;
+use crate::json::{self, Json};
+use crate::postings::BlockPostings;
+use crate::{intern, EntityId, FxHashMap, Lsn, Result, SagaError, Symbol, TripleIndex, Value};
+
+/// Artifact format version this module writes and understands.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Magic first line of every artifact.
+const MAGIC: &str = "SAGACKPT 1";
+
+/// File extension of a published artifact.
+const EXTENSION: &str = "sagackpt";
+
+/// Section names, in artifact order.
+const SECTIONS: [&str; 6] = ["symbols", "objects", "records", "pos", "osp", "tokens"];
+
+fn err(msg: impl Into<String>) -> SagaError {
+    SagaError::Storage(format!("checkpoint: {}", msg.into()))
+}
+
+/// FNV-1a 64 — the per-section checksum. Hand-rolled and dependency-free;
+/// collision resistance is not the goal, torn/bit-rot detection is.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Varint + value codec (section payloads)
+// ---------------------------------------------------------------------
+
+fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+fn take_varint(bytes: &[u8], at: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *bytes.get(*at).ok_or_else(|| err("truncated section"))?;
+        *at += 1;
+        if shift >= 64 {
+            return Err(err("varint overflow"));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn take_slice<'a>(bytes: &'a [u8], at: &mut usize, n: usize) -> Result<&'a [u8]> {
+    let end = at
+        .checked_add(n)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| err("truncated section"))?;
+    let s = &bytes[*at..end];
+    *at = end;
+    Ok(s)
+}
+
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    push_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn take_str<'a>(bytes: &'a [u8], at: &mut usize) -> Result<&'a str> {
+    let n = take_varint(bytes, at)? as usize;
+    std::str::from_utf8(take_slice(bytes, at, n)?).map_err(|_| err("invalid utf-8 string"))
+}
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn push_value(buf: &mut Vec<u8>, value: &Value) {
+    buf.push(value.kind_tag());
+    match value {
+        Value::Null => {}
+        Value::Bool(b) => buf.push(u8::from(*b)),
+        Value::Int(i) => push_varint(buf, zigzag(*i)),
+        Value::Float(f) => buf.extend_from_slice(&f.to_bits().to_le_bytes()),
+        Value::Str(s) => push_str(buf, s),
+        Value::Entity(e) => push_varint(buf, e.0),
+        Value::SourceRef(s) => push_str(buf, s),
+    }
+}
+
+fn take_value(bytes: &[u8], at: &mut usize) -> Result<Value> {
+    let tag = *bytes.get(*at).ok_or_else(|| err("truncated section"))?;
+    *at += 1;
+    Ok(match tag {
+        0 => Value::Null,
+        1 => Value::Bool(take_slice(bytes, at, 1)?[0] != 0),
+        2 => Value::Int(unzigzag(take_varint(bytes, at)?)),
+        3 => Value::Float(f64::from_bits(u64::from_le_bytes(
+            take_slice(bytes, at, 8)?.try_into().unwrap(),
+        ))),
+        4 => Value::str(take_str(bytes, at)?),
+        5 => Value::Entity(EntityId(take_varint(bytes, at)?)),
+        6 => Value::source_ref(take_str(bytes, at)?),
+        _ => return Err(err("unknown value tag")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Encode
+// ---------------------------------------------------------------------
+
+/// A fully rendered artifact, ready to [`publish`]. Encoding happens
+/// in-memory so a producer can snapshot under its read lock and do the
+/// file IO after releasing it.
+pub struct CheckpointImage {
+    watermark: Lsn,
+    bytes: Vec<u8>,
+}
+
+impl CheckpointImage {
+    /// The LSN this image covers (every op `<= watermark` is baked in).
+    pub fn watermark(&self) -> Lsn {
+        self.watermark
+    }
+
+    /// Rendered artifact size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if the artifact is empty (it never is — magic + manifest).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Serialize `index` as a checkpoint image at `watermark`. Pure in-memory
+/// assembly: posting lists are copied block-wise in their compressed form.
+pub fn encode(watermark: Lsn, index: &TripleIndex) -> CheckpointImage {
+    // Symbol table: every predicate appearing in a column or posting key,
+    // sorted by text so the artifact is deterministic for a given index
+    // content regardless of interning order.
+    let mut symbols: Vec<Symbol> = Vec::new();
+    {
+        let mut seen: FxHashMap<Symbol, ()> = FxHashMap::default();
+        for facts in index.spo.values() {
+            for &(pred, _) in facts {
+                seen.entry(pred).or_insert(());
+            }
+        }
+        for &(pred, _) in index.pos.keys() {
+            seen.entry(pred).or_insert(());
+        }
+        symbols.extend(seen.keys().copied());
+        symbols.sort_by_key(|s| s.text());
+    }
+    let sym_index: FxHashMap<Symbol, u64> = symbols
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u64))
+        .collect();
+
+    // Object table: live dictionary slots only, in slot order; `obj_index`
+    // maps a source slot to its dense position in the artifact.
+    let mut obj_index: Vec<u64> = vec![u64::MAX; index.obj_values.len()];
+    let mut objects: Vec<&Value> = Vec::new();
+    for (slot, refs) in index.obj_refs.iter().enumerate() {
+        if *refs > 0 {
+            obj_index[slot] = objects.len() as u64;
+            objects.push(&index.obj_values[slot]);
+        }
+    }
+
+    let mut sections: Vec<(&str, Vec<u8>)> = Vec::with_capacity(SECTIONS.len());
+
+    let mut buf = Vec::new();
+    push_varint(&mut buf, symbols.len() as u64);
+    for sym in &symbols {
+        push_str(&mut buf, &sym.text());
+    }
+    sections.push(("symbols", std::mem::take(&mut buf)));
+
+    push_varint(&mut buf, objects.len() as u64);
+    for value in &objects {
+        push_value(&mut buf, value);
+    }
+    sections.push(("objects", std::mem::take(&mut buf)));
+
+    // Records: SPO columns, entities ascending (delta-encoded ids).
+    let mut entities: Vec<EntityId> = index.spo.keys().copied().collect();
+    entities.sort_unstable();
+    push_varint(&mut buf, entities.len() as u64);
+    let mut prev = 0u64;
+    for (i, &entity) in entities.iter().enumerate() {
+        push_varint(&mut buf, if i == 0 { entity.0 } else { entity.0 - prev });
+        prev = entity.0;
+        let facts = &index.spo[&entity];
+        push_varint(&mut buf, facts.len() as u64);
+        for &(pred, obj) in facts {
+            push_varint(&mut buf, sym_index[&pred]);
+            push_varint(&mut buf, obj_index[obj.0 as usize]);
+        }
+    }
+    sections.push(("records", std::mem::take(&mut buf)));
+
+    // POS postings, sorted by (symbol index, object index).
+    let mut pos: Vec<(u64, u64, &BlockPostings)> = index
+        .pos
+        .iter()
+        .map(|(&(pred, obj), list)| (sym_index[&pred], obj_index[obj.0 as usize], list))
+        .collect();
+    pos.sort_unstable_by_key(|&(s, o, _)| (s, o));
+    push_varint(&mut buf, pos.len() as u64);
+    for (sym, obj, list) in pos {
+        push_varint(&mut buf, sym);
+        push_varint(&mut buf, obj);
+        list.write_bytes(&mut buf);
+    }
+    sections.push(("pos", std::mem::take(&mut buf)));
+
+    // OSP postings, sorted by target id.
+    let mut osp: Vec<(EntityId, &BlockPostings)> =
+        index.osp.iter().map(|(&t, list)| (t, list)).collect();
+    osp.sort_unstable_by_key(|&(t, _)| t);
+    push_varint(&mut buf, osp.len() as u64);
+    for (target, list) in osp {
+        push_varint(&mut buf, target.0);
+        list.write_bytes(&mut buf);
+    }
+    sections.push(("osp", std::mem::take(&mut buf)));
+
+    // Token postings, sorted by token text.
+    let mut tokens: Vec<(&Arc<str>, &BlockPostings)> = index.tokens.iter().collect();
+    tokens.sort_unstable_by_key(|&(t, _)| t);
+    push_varint(&mut buf, tokens.len() as u64);
+    for (token, list) in tokens {
+        push_str(&mut buf, token);
+        list.write_bytes(&mut buf);
+    }
+    sections.push(("tokens", std::mem::take(&mut buf)));
+
+    // Manifest + concatenated payload.
+    let mut section_meta = Vec::new();
+    for (name, bytes) in &sections {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("name".to_string(), Json::str(*name));
+        m.insert("len".to_string(), Json::Int(bytes.len() as i64));
+        m.insert(
+            "crc".to_string(),
+            Json::Str(format!("{:016x}", fnv1a(bytes))),
+        );
+        section_meta.push(Json::Object(m));
+    }
+    let mut manifest = std::collections::BTreeMap::new();
+    manifest.insert("version".to_string(), Json::Int(FORMAT_VERSION as i64));
+    manifest.insert("watermark".to_string(), Json::Int(watermark.0 as i64));
+    manifest.insert(
+        "entities".to_string(),
+        Json::Int(index.entity_count() as i64),
+    );
+    manifest.insert("facts".to_string(), Json::Int(index.fact_count() as i64));
+    manifest.insert("sections".to_string(), Json::Array(section_meta));
+
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC.as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(Json::Object(manifest).to_string_compact().as_bytes());
+    out.push(b'\n');
+    for (_, bytes) in sections {
+        out.extend_from_slice(&bytes);
+    }
+    CheckpointImage {
+        watermark,
+        bytes: out,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Publish / enumerate / prune
+// ---------------------------------------------------------------------
+
+/// Artifact file name for a watermark (zero-padded so lexical order is
+/// numeric order).
+fn artifact_name(watermark: Lsn) -> String {
+    format!("ckpt-{:020}.{}", watermark.0, EXTENSION)
+}
+
+/// Watermark parsed back out of an artifact file name.
+fn parse_artifact_name(name: &str) -> Option<Lsn> {
+    let rest = name.strip_prefix("ckpt-")?;
+    let digits = rest.strip_suffix(&format!(".{EXTENSION}"))?;
+    digits.parse::<u64>().ok().map(Lsn)
+}
+
+/// Atomically publish an image into `dir` (created if missing): write a
+/// temporary file, fsync it, rename into place, fsync the directory. A
+/// crash at any point leaves either no artifact or a complete one — the
+/// torn-write discipline [`load`] assumes.
+pub fn publish(dir: &Path, image: &CheckpointImage) -> Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let final_path = dir.join(artifact_name(image.watermark));
+    let tmp_path = dir.join(format!("{}.tmp", artifact_name(image.watermark)));
+    {
+        let mut f = fs::File::create(&tmp_path)?;
+        f.write_all(&image.bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp_path, &final_path)?;
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(final_path)
+}
+
+/// One published artifact, by watermark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// Watermark from the artifact file name (verified again on load).
+    pub watermark: Lsn,
+    /// Full path of the artifact.
+    pub path: PathBuf,
+}
+
+/// Enumerate published artifacts in `dir`, watermark-ascending. Temporary
+/// and foreign files are ignored; a missing directory is simply empty.
+pub fn artifacts(dir: &Path) -> Result<Vec<CheckpointInfo>> {
+    let mut out = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(watermark) = parse_artifact_name(name) {
+            out.push(CheckpointInfo {
+                watermark,
+                path: entry.path(),
+            });
+        }
+    }
+    out.sort_by_key(|info| info.watermark);
+    Ok(out)
+}
+
+/// Delete all but the newest `keep_last` artifacts; returns the removed
+/// paths. `keep_last == 0` removes everything.
+pub fn prune(dir: &Path, keep_last: usize) -> Result<Vec<PathBuf>> {
+    let all = artifacts(dir)?;
+    let cut = all.len().saturating_sub(keep_last);
+    let mut removed = Vec::with_capacity(cut);
+    for info in &all[..cut] {
+        fs::remove_file(&info.path)?;
+        removed.push(info.path.clone());
+    }
+    Ok(removed)
+}
+
+// ---------------------------------------------------------------------
+// Load
+// ---------------------------------------------------------------------
+
+/// A verified, decoded checkpoint.
+pub struct Checkpoint {
+    /// The LSN the snapshot covers: replay resumes at `watermark + 1`.
+    pub watermark: Lsn,
+    /// The restored index (stamps reset; fingerprints are process-local).
+    pub index: TripleIndex,
+}
+
+/// Load and fully verify one artifact. Every failure mode — truncation,
+/// bit rot, manifest/section disagreement, malformed postings — is a
+/// `SagaError::Storage`, never a panic or a silently wrong index.
+pub fn load(path: &Path) -> Result<Checkpoint> {
+    let mut raw = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut raw)?;
+
+    // Header: magic line + manifest line.
+    let magic_end = raw
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| err("missing magic line"))?;
+    if &raw[..magic_end] != MAGIC.as_bytes() {
+        return Err(err("bad magic (not a checkpoint or unsupported version)"));
+    }
+    let manifest_end = raw[magic_end + 1..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| magic_end + 1 + i)
+        .ok_or_else(|| err("missing manifest line"))?;
+    let manifest_text = std::str::from_utf8(&raw[magic_end + 1..manifest_end])
+        .map_err(|_| err("manifest not utf-8"))?;
+    let manifest = json::parse(manifest_text).map_err(|e| err(format!("manifest: {e}")))?;
+
+    let version = manifest
+        .get("version")
+        .and_then(Json::as_i64)
+        .ok_or_else(|| err("manifest missing version"))?;
+    if version != FORMAT_VERSION as i64 {
+        return Err(err(format!("unsupported format version {version}")));
+    }
+    let watermark = manifest
+        .get("watermark")
+        .and_then(Json::as_i64)
+        .ok_or_else(|| err("manifest missing watermark"))?;
+    let watermark = Lsn(u64::try_from(watermark).map_err(|_| err("negative watermark"))?);
+    let declared = manifest
+        .get("sections")
+        .and_then(Json::as_array)
+        .ok_or_else(|| err("manifest missing sections"))?;
+    if declared.len() != SECTIONS.len() {
+        return Err(err("unexpected section count"));
+    }
+
+    // Slice and checksum each section.
+    let mut sections: FxHashMap<&str, &[u8]> = FxHashMap::default();
+    let mut at = manifest_end + 1;
+    for (decl, &expected_name) in declared.iter().zip(SECTIONS.iter()) {
+        let name = decl
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("section missing name"))?;
+        if name != expected_name {
+            return Err(err(format!("unexpected section order: {name}")));
+        }
+        let len = decl
+            .get("len")
+            .and_then(Json::as_i64)
+            .and_then(|l| usize::try_from(l).ok())
+            .ok_or_else(|| err("section missing len"))?;
+        let crc = decl
+            .get("crc")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| err("section missing crc"))?;
+        let end = at
+            .checked_add(len)
+            .filter(|&end| end <= raw.len())
+            .ok_or_else(|| err(format!("section {expected_name} truncated")))?;
+        let bytes = &raw[at..end];
+        if fnv1a(bytes) != crc {
+            return Err(err(format!("section {expected_name} checksum mismatch")));
+        }
+        sections.insert(expected_name, bytes);
+        at = end;
+    }
+    if at != raw.len() {
+        return Err(err("trailing bytes after last section"));
+    }
+
+    // Decode into a fresh index. Interning is per-process, so symbols and
+    // object ids are rebuilt from the tables; the artifact's dense object
+    // index doubles as the restored dictionary slot.
+    let mut index = TripleIndex::new();
+
+    let bytes = sections["symbols"];
+    let mut at = 0usize;
+    let nsyms = take_varint(bytes, &mut at)? as usize;
+    let mut symbols: Vec<Symbol> = Vec::with_capacity(nsyms);
+    for _ in 0..nsyms {
+        symbols.push(intern(take_str(bytes, &mut at)?));
+    }
+    if at != bytes.len() {
+        return Err(err("symbols section length mismatch"));
+    }
+
+    let bytes = sections["objects"];
+    let mut at = 0usize;
+    let nobjs = take_varint(bytes, &mut at)? as usize;
+    if nobjs > u32::MAX as usize {
+        return Err(err("object table too large"));
+    }
+    index.obj_values.reserve(nobjs);
+    for i in 0..nobjs {
+        let value = take_value(bytes, &mut at)?;
+        index.obj_ids.insert(value.clone(), ObjId(i as u32));
+        index.obj_values.push(value);
+        index.obj_refs.push(0);
+    }
+    if index.obj_ids.len() != nobjs {
+        return Err(err("duplicate object value in table"));
+    }
+    if at != bytes.len() {
+        return Err(err("objects section length mismatch"));
+    }
+
+    let sym_at = |i: u64| -> Result<Symbol> {
+        symbols
+            .get(i as usize)
+            .copied()
+            .ok_or_else(|| err("symbol index out of range"))
+    };
+    let obj_at = |i: u64| -> Result<ObjId> {
+        if (i as usize) < nobjs {
+            Ok(ObjId(i as u32))
+        } else {
+            Err(err("object index out of range"))
+        }
+    };
+
+    let bytes = sections["records"];
+    let mut at = 0usize;
+    let nents = take_varint(bytes, &mut at)? as usize;
+    let mut prev = 0u64;
+    for i in 0..nents {
+        let delta = take_varint(bytes, &mut at)?;
+        let entity = EntityId(if i == 0 { delta } else { prev + delta });
+        prev = entity.0;
+        let nfacts = take_varint(bytes, &mut at)? as usize;
+        if nfacts == 0 {
+            return Err(err("empty record column"));
+        }
+        let mut column: Vec<(Symbol, ObjId)> = Vec::with_capacity(nfacts);
+        for _ in 0..nfacts {
+            let pred = sym_at(take_varint(bytes, &mut at)?)?;
+            let obj = obj_at(take_varint(bytes, &mut at)?)?;
+            index.obj_refs[obj.0 as usize] += 1;
+            column.push((pred, obj));
+        }
+        // Symbol/ObjId orderings are process-local — re-sort the column.
+        column.sort_unstable();
+        index.facts += column.len();
+        if index.spo.insert(entity, column).is_some() {
+            return Err(err("duplicate entity in records section"));
+        }
+    }
+    if at != bytes.len() {
+        return Err(err("records section length mismatch"));
+    }
+    if index.obj_refs.contains(&0) {
+        return Err(err("object table entry referenced by no record"));
+    }
+
+    let bytes = sections["pos"];
+    let mut at = 0usize;
+    let nlists = take_varint(bytes, &mut at)? as usize;
+    for _ in 0..nlists {
+        let pred = sym_at(take_varint(bytes, &mut at)?)?;
+        let obj = obj_at(take_varint(bytes, &mut at)?)?;
+        let list = BlockPostings::read_bytes(bytes, &mut at)?;
+        if list.is_empty() {
+            return Err(err("empty posting list in pos section"));
+        }
+        if index.pos.insert((pred, obj), list).is_some() {
+            return Err(err("duplicate pos key"));
+        }
+    }
+    if at != bytes.len() {
+        return Err(err("pos section length mismatch"));
+    }
+
+    let bytes = sections["osp"];
+    let mut at = 0usize;
+    let nlists = take_varint(bytes, &mut at)? as usize;
+    for _ in 0..nlists {
+        let target = EntityId(take_varint(bytes, &mut at)?);
+        let list = BlockPostings::read_bytes(bytes, &mut at)?;
+        if list.is_empty() || index.osp.insert(target, list).is_some() {
+            return Err(err("bad osp entry"));
+        }
+    }
+    if at != bytes.len() {
+        return Err(err("osp section length mismatch"));
+    }
+
+    let bytes = sections["tokens"];
+    let mut at = 0usize;
+    let nlists = take_varint(bytes, &mut at)? as usize;
+    for _ in 0..nlists {
+        let token: Arc<str> = Arc::from(take_str(bytes, &mut at)?);
+        let list = BlockPostings::read_bytes(bytes, &mut at)?;
+        if list.is_empty() || index.tokens.insert(token, list).is_some() {
+            return Err(err("bad token entry"));
+        }
+    }
+    if at != bytes.len() {
+        return Err(err("tokens section length mismatch"));
+    }
+
+    Ok(Checkpoint { watermark, index })
+}
+
+/// Load the newest artifact in `dir` that fully verifies, skipping torn
+/// or corrupt ones. Returns the checkpoint and its path, or `None` when
+/// no valid artifact exists (including a missing directory).
+pub fn load_latest(dir: &Path) -> Result<Option<(Checkpoint, PathBuf)>> {
+    for info in artifacts(dir)?.into_iter().rev() {
+        match load(&info.path) {
+            Ok(ckpt) => {
+                if ckpt.watermark != info.watermark {
+                    // Name/manifest disagreement: treat as corrupt.
+                    continue;
+                }
+                return Ok(Some((ckpt, info.path)));
+            }
+            Err(_) => continue,
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EntityRecord, ExtendedTriple, FactMeta, ProbeKey, SourceId};
+
+    fn meta() -> FactMeta {
+        FactMeta::from_source(SourceId(1), 0.9)
+    }
+
+    fn sample_index(n: u64) -> TripleIndex {
+        let mut idx = TripleIndex::new();
+        for i in 1..=n {
+            let mut r = EntityRecord::new(EntityId(i));
+            let mut push = |pred: &str, value: Value| {
+                r.triples.push(ExtendedTriple::simple(
+                    EntityId(i),
+                    intern(pred),
+                    value,
+                    meta(),
+                ));
+            };
+            push("name", Value::str(format!("Entity Number {i}")));
+            push(
+                "type",
+                Value::str(if i % 2 == 0 { "song" } else { "album" }),
+            );
+            push("rank", Value::Int((i % 17) as i64));
+            push("score", Value::Float(i as f64 / 3.0));
+            push("related_to", Value::Entity(EntityId(i % 50 + 1)));
+            idx.update_entity(&r);
+        }
+        idx
+    }
+
+    fn probes(idx: &TripleIndex) -> Vec<ProbeKey> {
+        let mut out = vec![
+            ProbeKey::Type(intern("song")),
+            ProbeKey::Type(intern("album")),
+            ProbeKey::Name("entity".into()),
+            ProbeKey::Name("number".into()),
+        ];
+        for i in 0..17i64 {
+            out.push(ProbeKey::Literal(intern("rank"), Value::Int(i)));
+        }
+        for t in 1..=50u64 {
+            out.push(ProbeKey::Edge(intern("related_to"), EntityId(t)));
+        }
+        assert!(!idx.is_empty());
+        out
+    }
+
+    fn assert_index_parity(a: &TripleIndex, b: &TripleIndex) {
+        assert_eq!(a.fact_count(), b.fact_count());
+        assert_eq!(a.entity_count(), b.entity_count());
+        for probe in probes(a) {
+            assert_eq!(
+                a.postings(&probe).to_vec(),
+                b.postings(&probe).to_vec(),
+                "probe {probe:?}"
+            );
+        }
+        let mut subjects: Vec<EntityId> = a.subjects().collect();
+        subjects.sort_unstable();
+        for id in subjects {
+            let mut fa: Vec<(String, Value)> = a
+                .facts_of(id)
+                .map(|(p, v)| (p.to_string(), v.clone()))
+                .collect();
+            let mut fb: Vec<(String, Value)> = b
+                .facts_of(id)
+                .map(|(p, v)| (p.to_string(), v.clone()))
+                .collect();
+            fa.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+            fb.sort_unstable_by(|x, y| x.partial_cmp(y).unwrap());
+            assert_eq!(fa, fb, "facts of {id:?}");
+        }
+    }
+
+    #[test]
+    fn encode_publish_load_roundtrip() {
+        let idx = sample_index(300);
+        let dir = std::env::temp_dir().join(format!("saga-ckpt-rt-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+
+        let image = encode(Lsn(42), &idx);
+        let path = publish(&dir, &image).unwrap();
+        assert!(path.ends_with("ckpt-00000000000000000042.sagackpt"));
+
+        let ckpt = load(&path).unwrap();
+        assert_eq!(ckpt.watermark, Lsn(42));
+        assert_index_parity(&idx, &ckpt.index);
+
+        // The restored index keeps evolving correctly.
+        let mut restored = ckpt.index;
+        let mut r = EntityRecord::new(EntityId(9999));
+        r.triples.push(ExtendedTriple::simple(
+            EntityId(9999),
+            intern("name"),
+            Value::str("Late Arrival"),
+            meta(),
+        ));
+        restored.update_entity(&r);
+        assert_eq!(restored.by_name("late").to_vec(), vec![EntityId(9999)]);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partitioned_restore_matches_source_shards() {
+        let idx = sample_index(200);
+        let image = encode(Lsn(7), &idx);
+        let dir = std::env::temp_dir().join(format!("saga-ckpt-part-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let path = publish(&dir, &image).unwrap();
+        let restored = load(&path).unwrap().index;
+        let shards = restored.partition(4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(
+            shards.iter().map(TripleIndex::fact_count).sum::<usize>(),
+            idx.fact_count()
+        );
+        for probe in probes(&idx) {
+            let mut union: Vec<EntityId> = shards
+                .iter()
+                .flat_map(|s| s.postings(&probe).to_vec())
+                .collect();
+            union.sort_unstable();
+            assert_eq!(union, idx.postings(&probe).to_vec(), "probe {probe:?}");
+        }
+        for shard in &shards {
+            for id in shard.subjects() {
+                assert_eq!(
+                    (id.0 as usize) % 4,
+                    shards.iter().position(|s| s.contains(id)).unwrap()
+                );
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_corrupt_artifacts_are_rejected_and_skipped() {
+        let dir = std::env::temp_dir().join(format!("saga-ckpt-torn-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let old = sample_index(50);
+        let old_path = publish(&dir, &encode(Lsn(10), &old)).unwrap();
+
+        // A newer artifact that was torn mid-write (truncated payload).
+        let newer = encode(Lsn(20), &sample_index(80));
+        let newer_path = publish(&dir, &newer).unwrap();
+        let full = fs::read(&newer_path).unwrap();
+        fs::write(&newer_path, &full[..full.len() - 7]).unwrap();
+        assert!(load(&newer_path).is_err(), "torn artifact must not load");
+
+        // load_latest falls back to the older valid artifact.
+        let (ckpt, path) = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(ckpt.watermark, Lsn(10));
+        assert_eq!(path, old_path);
+        assert_index_parity(&old, &ckpt.index);
+
+        // A single flipped payload byte is caught by the section checksum.
+        fs::write(&newer_path, &full).unwrap();
+        assert!(load(&newer_path).is_ok());
+        let mut corrupt = full.clone();
+        let at = corrupt.len() - 3;
+        corrupt[at] ^= 0x01;
+        fs::write(&newer_path, &corrupt).unwrap();
+        assert!(load(&newer_path).is_err(), "bit rot must not load");
+        assert_eq!(load_latest(&dir).unwrap().unwrap().0.watermark, Lsn(10));
+
+        // Garbage that is not an artifact at all.
+        fs::write(&newer_path, b"not a checkpoint").unwrap();
+        assert!(load(&newer_path).is_err());
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifacts_and_prune_enforce_retention() {
+        let dir = std::env::temp_dir().join(format!("saga-ckpt-prune-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        assert!(artifacts(&dir).unwrap().is_empty(), "missing dir is empty");
+        let idx = sample_index(10);
+        for w in [5u64, 1, 9, 3] {
+            publish(&dir, &encode(Lsn(w), &idx)).unwrap();
+        }
+        // A stray temp file and a foreign file are ignored.
+        fs::write(dir.join("ckpt-00000000000000000099.sagackpt.tmp"), b"x").unwrap();
+        fs::write(dir.join("README"), b"x").unwrap();
+        let listed: Vec<u64> = artifacts(&dir)
+            .unwrap()
+            .iter()
+            .map(|i| i.watermark.0)
+            .collect();
+        assert_eq!(listed, vec![1, 3, 5, 9], "watermark-ascending");
+
+        let removed = prune(&dir, 2).unwrap();
+        assert_eq!(removed.len(), 2);
+        let listed: Vec<u64> = artifacts(&dir)
+            .unwrap()
+            .iter()
+            .map(|i| i.watermark.0)
+            .collect();
+        assert_eq!(listed, vec![5, 9], "newest two kept");
+        assert_eq!(load_latest(&dir).unwrap().unwrap().0.watermark, Lsn(9));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_index_checkpoints_cleanly() {
+        let dir = std::env::temp_dir().join(format!("saga-ckpt-empty-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let idx = TripleIndex::new();
+        let path = publish(&dir, &encode(Lsn(0), &idx)).unwrap();
+        let ckpt = load(&path).unwrap();
+        assert_eq!(ckpt.watermark, Lsn::ZERO);
+        assert!(ckpt.index.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -50,7 +50,7 @@ use crate::{intern, EntityId, EntityRecord, ExtendedTriple, FxHashMap, Symbol, V
 
 /// Dense id of an object value in a [`TripleIndex`]'s dictionary.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
-pub struct ObjId(u32);
+pub struct ObjId(pub(crate) u32);
 
 /// Posting-storage tier breakdown (see [`TripleIndex::postings_stats`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -127,33 +127,33 @@ pub enum ProbeKey {
 #[derive(Clone, Debug, Default)]
 pub struct TripleIndex {
     /// Object-value dictionary: interning side.
-    obj_ids: FxHashMap<Value, ObjId>,
+    pub(crate) obj_ids: FxHashMap<Value, ObjId>,
     /// Object-value dictionary: resolution side. Freed slots hold
     /// `Value::Null` placeholders until reused.
-    obj_values: Vec<Value>,
+    pub(crate) obj_values: Vec<Value>,
     /// Per-slot reference counts: total fact occurrences (across all
     /// subjects) whose object resolves to this slot. A slot whose count
     /// returns to zero is evicted from `obj_ids` and recycled through
     /// `obj_free`, so high-churn volatile values stop accumulating dead
     /// dictionary entries.
-    obj_refs: Vec<u32>,
+    pub(crate) obj_refs: Vec<u32>,
     /// Recycled dictionary slots awaiting reuse.
-    obj_free: Vec<u32>,
+    pub(crate) obj_free: Vec<u32>,
     /// SPO: per-subject sorted `(predicate, object)` columns (multiset).
-    spo: FxHashMap<EntityId, Vec<(Symbol, ObjId)>>,
+    pub(crate) spo: FxHashMap<EntityId, Vec<(Symbol, ObjId)>>,
     /// POS: `(predicate, object)` block-compressed posting lists.
-    pos: FxHashMap<(Symbol, ObjId), BlockPostings>,
+    pub(crate) pos: FxHashMap<(Symbol, ObjId), BlockPostings>,
     /// OSP: reverse-edge block-compressed posting lists.
-    osp: FxHashMap<EntityId, BlockPostings>,
+    pub(crate) osp: FxHashMap<EntityId, BlockPostings>,
     /// Derived name-token postings (lowercased tokens and full phrases).
-    tokens: FxHashMap<Arc<str>, BlockPostings>,
+    pub(crate) tokens: FxHashMap<Arc<str>, BlockPostings>,
     /// Total indexed facts (with multiplicity).
-    facts: usize,
+    pub(crate) facts: usize,
     /// Monotone mutation stamp: every posting list carries the stamp of
     /// the last delta that changed it, giving plan caches a per-probe
     /// fingerprint ([`probe_fingerprint`](Self::probe_fingerprint))
     /// instead of one global generation.
-    stamp: u64,
+    pub(crate) stamp: u64,
 }
 
 /// Flatten one extended triple to its indexed `(predicate, value)` form:
@@ -630,6 +630,111 @@ impl TripleIndex {
     /// All indexed subjects, in arbitrary order.
     pub fn subjects(&self) -> impl Iterator<Item = EntityId> + '_ {
         self.spo.keys().copied()
+    }
+
+    /// Split one index into `n` shard indexes by `subject % n` — the
+    /// restore path from a checkpoint (one decoded image fans out to the
+    /// live store's lock stripes). Posting lists are partitioned in a
+    /// single decode pass and re-encoded per shard with the bulk
+    /// [`BlockPostings::from_sorted`] path; each shard re-interns only the
+    /// object values its subjects actually reference. `partition(1)` is
+    /// the identity.
+    pub fn partition(self, n: usize) -> Vec<TripleIndex> {
+        assert!(n > 0, "at least one shard");
+        if n == 1 {
+            return vec![self];
+        }
+        let mut shards: Vec<TripleIndex> = (0..n).map(|_| TripleIndex::new()).collect();
+        // Per-shard memo: source dictionary slot → shard-local ObjId
+        // (u32::MAX = not yet interned there).
+        let mut memo: Vec<Vec<u32>> = vec![vec![u32::MAX; self.obj_values.len()]; n];
+        let TripleIndex {
+            obj_values,
+            spo,
+            pos,
+            osp,
+            tokens,
+            ..
+        } = self;
+        fn map_obj(
+            shard: &mut TripleIndex,
+            memo: &mut [u32],
+            obj_values: &[Value],
+            obj: ObjId,
+        ) -> ObjId {
+            let slot = obj.0 as usize;
+            if memo[slot] != u32::MAX {
+                return ObjId(memo[slot]);
+            }
+            let local = intern_obj(
+                &mut shard.obj_ids,
+                &mut shard.obj_values,
+                &mut shard.obj_refs,
+                &mut shard.obj_free,
+                &obj_values[slot],
+            );
+            memo[slot] = local.0;
+            local
+        }
+        for (entity, facts) in spo {
+            let s = (entity.0 as usize) % n;
+            let shard = &mut shards[s];
+            let mut column: Vec<(Symbol, ObjId)> = facts
+                .into_iter()
+                .map(|(pred, obj)| {
+                    let local = map_obj(shard, &mut memo[s], &obj_values, obj);
+                    shard.obj_refs[local.0 as usize] += 1;
+                    (pred, local)
+                })
+                .collect();
+            // Shard-local ObjIds order differently than the source's.
+            column.sort_unstable();
+            shard.facts += column.len();
+            shard.spo.insert(entity, column);
+        }
+        let mut parts: Vec<Vec<EntityId>> = vec![Vec::new(); n];
+        let split = |list: &BlockPostings, parts: &mut Vec<Vec<EntityId>>| {
+            for p in parts.iter_mut() {
+                p.clear();
+            }
+            for id in list.iter() {
+                parts[(id.0 as usize) % n].push(id);
+            }
+        };
+        for ((pred, obj), list) in pos {
+            split(&list, &mut parts);
+            for (s, ids) in parts.iter().enumerate() {
+                if ids.is_empty() {
+                    continue;
+                }
+                let shard = &mut shards[s];
+                let local = map_obj(shard, &mut memo[s], &obj_values, obj);
+                shard
+                    .pos
+                    .insert((pred, local), BlockPostings::from_sorted(ids));
+            }
+        }
+        for (target, list) in osp {
+            split(&list, &mut parts);
+            for (s, ids) in parts.iter().enumerate() {
+                if !ids.is_empty() {
+                    shards[s]
+                        .osp
+                        .insert(target, BlockPostings::from_sorted(ids));
+                }
+            }
+        }
+        for (token, list) in tokens {
+            split(&list, &mut parts);
+            for (s, ids) in parts.iter().enumerate() {
+                if !ids.is_empty() {
+                    shards[s]
+                        .tokens
+                        .insert(Arc::clone(&token), BlockPostings::from_sorted(ids));
+                }
+            }
+        }
+        shards
     }
 }
 

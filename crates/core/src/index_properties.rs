@@ -8,8 +8,9 @@
 //!    index equals a naive full scan over the `KnowledgeGraph` records,
 //!    and every `probe_all` conjunction equals the naive intersection of
 //!    those scans.
-//! 2. **Replay equivalence** — the [`Delta`] change feed drained from the
-//!    KG, replayed onto an empty index, reproduces the KG's index exactly.
+//! 2. **Replay equivalence** — the [`Delta`] feed carried by commit
+//!    receipts (the payloads the oplog ships), replayed onto an empty
+//!    index, reproduces the KG's index exactly.
 //! 3. **Compression equivalence** — the block-compressed
 //!    [`BlockPostings`] behaves exactly like a plain sorted
 //!    `Vec<EntityId>` reference under churn-heavy op streams, including
@@ -71,7 +72,7 @@ fn random_triple(rng: &mut StdRng, subject: EntityId) -> ExtendedTriple {
     }
 }
 
-/// One random mutation against the KG; deltas accumulate in its changelog.
+/// One random mutation against the KG through the direct mutators.
 fn random_op(rng: &mut StdRng, kg: &mut KnowledgeGraph) {
     match rng.gen_range(0..10) {
         // Mostly upserts.
@@ -118,6 +119,54 @@ fn random_op(rng: &mut StdRng, kg: &mut KnowledgeGraph) {
             });
         }
     }
+}
+
+/// The same op distribution as [`random_op`], staged through the
+/// [`GraphWrite`](crate::GraphWrite) commit point. Returns the commit
+/// receipt's [`Delta`]s — the exact payloads the write-ahead log ships to
+/// replicas (there is no other delta channel).
+fn random_commit(rng: &mut StdRng, kg: &mut KnowledgeGraph) -> Vec<Delta> {
+    use crate::{GraphWrite, WriteBatch};
+    let batch = match rng.gen_range(0..10) {
+        0..=5 => {
+            let subject = EntityId(rng.gen_range(1..16));
+            let triple = random_triple(rng, subject);
+            WriteBatch::new()
+                .link(SourceId(1), format!("e{}", subject.0), subject)
+                .upsert(triple)
+        }
+        6 => WriteBatch::new().retract_source(SourceId(rng.gen_range(1..4))),
+        7 => {
+            let local = format!("e{}", rng.gen_range(1..16));
+            WriteBatch::new().retract_source_entity(SourceId(1), local)
+        }
+        8 => {
+            let mut volatile = FxHashSet::default();
+            volatile.insert(intern("score"));
+            let fresh: Vec<ExtendedTriple> = (0..rng.gen_range(0..4))
+                .map(|_| {
+                    let subject = EntityId(rng.gen_range(1..16));
+                    ExtendedTriple::simple(
+                        subject,
+                        intern("score"),
+                        Value::Int(rng.gen_range(0..100)),
+                        FactMeta::from_source(SourceId(2), 0.8),
+                    )
+                })
+                .collect();
+            WriteBatch::new().overwrite_volatile(SourceId(2), volatile, fresh)
+        }
+        _ => {
+            let id = EntityId(rng.gen_range(1..16));
+            let drop_at = rng.gen_range(0..4usize);
+            WriteBatch::new().mutate(id, move |rec| {
+                if drop_at < rec.triples.len() {
+                    rec.triples.remove(drop_at);
+                }
+            })
+        }
+    };
+    kg.commit(batch).deltas
 }
 
 // ---------------------------------------------------------------------
@@ -292,8 +341,7 @@ fn delta_feed_replay_reproduces_the_index() {
         let mut kg = KnowledgeGraph::new();
         let mut feed: Vec<Delta> = Vec::new();
         for _ in 0..150 {
-            random_op(&mut rng, &mut kg);
-            feed.extend(kg.drain_deltas());
+            feed.extend(random_commit(&mut rng, &mut kg));
         }
         let mut replayed = TripleIndex::new();
         for delta in &feed {

@@ -11,10 +11,14 @@
 //!   per-source retraction (on-demand deletion) and volatile-partition
 //!   overwrite (§2.4),
 //! * the unified [`TripleIndex`], maintained incrementally on every
-//!   mutation, plus the [`Delta`] changelog downstream stores drain to
-//!   stay in sync without rescanning the graph (§3.1's derived stores).
+//!   mutation.
+//!
+//! Every mutation computes a [`Delta`] and hands it to its caller — the
+//! staged commit path folds them into the
+//! [`CommitReceipt`](crate::CommitReceipt), and the write-ahead writer
+//! ships them through the durable oplog. Derived stores follow that log
+//! (§3.1); the KG itself retains no in-process changelog.
 
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::index::{Delta, TripleIndex};
@@ -22,11 +26,6 @@ use crate::well_known;
 use crate::{
     intern, EntityId, EntityRecord, ExtendedTriple, FxHashMap, FxHashSet, SourceId, Symbol, Value,
 };
-
-/// Default bound on the KG's retained [`Delta`] changelog. Long-running
-/// writers whose consumers never drain stop growing memory here; dropped
-/// deltas are counted so consumers know replay is no longer sufficient.
-pub const DEFAULT_CHANGELOG_CAPACITY: usize = 1 << 16;
 
 /// Aggregate statistics about the KG (drives the Fig. 12 growth experiment).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -46,37 +45,15 @@ pub struct KgStats {
 /// [`crate::write`]); the crate-internal mutators below are its
 /// implementation substrate and the direct path the in-crate equivalence
 /// property tests compare against.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct KnowledgeGraph {
     pub(crate) entities: FxHashMap<EntityId, EntityRecord>,
     /// `same_as` provenance: which source entity maps to which KG entity.
     pub(crate) links: FxHashMap<(SourceId, Arc<str>), EntityId>,
     /// The unified triple index, maintained incrementally by every mutator.
     index: TripleIndex,
-    /// Deltas accumulated since the last [`drain_deltas`](Self::drain_deltas),
-    /// bounded by `changelog_capacity` (oldest dropped first).
-    changelog: VecDeque<Delta>,
-    /// Retention bound for `changelog`.
-    changelog_capacity: usize,
-    /// Deltas evicted before being drained — nonzero means consumers must
-    /// rebuild from the KG instead of replaying the feed.
-    changelog_dropped: u64,
     /// Monotone read-visible-change counter (see [`generation`](Self::generation)).
     generation: u64,
-}
-
-impl Default for KnowledgeGraph {
-    fn default() -> Self {
-        KnowledgeGraph {
-            entities: FxHashMap::default(),
-            links: FxHashMap::default(),
-            index: TripleIndex::default(),
-            changelog: VecDeque::new(),
-            changelog_capacity: DEFAULT_CHANGELOG_CAPACITY,
-            changelog_dropped: 0,
-            generation: 0,
-        }
-    }
 }
 
 impl KnowledgeGraph {
@@ -112,10 +89,9 @@ impl KnowledgeGraph {
     /// Mutate an entity record in place, then reconcile the index with
     /// whatever the closure did. Returns `false` if the entity is unknown.
     ///
-    /// Crate-internal: the delta is returned to the caller only, invisible
-    /// to changelog consumers — producers stage edits through
+    /// Crate-internal: producers stage edits through
     /// [`WriteBatch::mutate`](crate::WriteBatch::mutate) instead, which
-    /// folds them into the commit receipt.
+    /// folds the resulting delta into the commit receipt.
     /// Reference semantics for the staged commit path — exercised by the
     /// in-crate equivalence property tests; production writers commit
     /// through [`GraphWrite`](crate::GraphWrite).
@@ -155,7 +131,7 @@ impl KnowledgeGraph {
             }
             None => self.index.remove_entity(id),
         };
-        self.record_delta(delta.clone());
+        self.note_delta(&delta);
         delta
     }
 
@@ -169,51 +145,6 @@ impl KnowledgeGraph {
         &mut self.index
     }
 
-    /// Drain the [`Delta`]s accumulated since the last call. Check
-    /// [`dropped_deltas`](Self::dropped_deltas) before trusting the feed:
-    /// a nonzero increase means older deltas were evicted and replay alone
-    /// cannot reconstruct the current state.
-    ///
-    /// Crate-internal since the `GraphWrite` redesign: producers fan out
-    /// the [`CommitReceipt`](crate::CommitReceipt) (whose deltas are
-    /// exactly what one commit recorded here) instead of draining a shared
-    /// feed they might race other consumers for.
-    /// Reference semantics for the staged commit path — exercised by the
-    /// in-crate equivalence property tests; production writers commit
-    /// through [`GraphWrite`](crate::GraphWrite).
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub(crate) fn drain_deltas(&mut self) -> Vec<Delta> {
-        std::mem::take(&mut self.changelog).into()
-    }
-
-    /// Cumulative count of deltas evicted from the bounded changelog before
-    /// any consumer drained them.
-    pub fn dropped_deltas(&self) -> u64 {
-        self.changelog_dropped
-    }
-
-    /// Deltas currently retained for draining.
-    pub fn changelog_len(&self) -> usize {
-        self.changelog.len()
-    }
-
-    /// The changelog retention bound
-    /// ([`DEFAULT_CHANGELOG_CAPACITY`] unless reconfigured).
-    pub fn changelog_capacity(&self) -> usize {
-        self.changelog_capacity
-    }
-
-    /// Set the changelog retention bound (minimum 1). If the retained feed
-    /// already exceeds it, the oldest deltas are evicted immediately and
-    /// counted as dropped.
-    pub fn set_changelog_capacity(&mut self, capacity: usize) {
-        self.changelog_capacity = capacity.max(1);
-        while self.changelog.len() > self.changelog_capacity {
-            self.changelog.pop_front();
-            self.changelog_dropped += 1;
-        }
-    }
-
     /// Monotone counter bumped on every mutation that changes what reads
     /// return — the [`GraphRead`](crate::GraphRead) plan-cache
     /// invalidation signal.
@@ -221,14 +152,12 @@ impl KnowledgeGraph {
         self.generation
     }
 
-    pub(crate) fn record_delta(&mut self, delta: Delta) {
+    /// Account for one computed delta: bump the generation iff it changed
+    /// anything a read can observe. The delta itself travels with the
+    /// caller (commit receipt → oplog) — the KG retains nothing.
+    pub(crate) fn note_delta(&mut self, delta: &Delta) {
         if !delta.is_empty() {
             self.generation += 1;
-            if self.changelog.len() == self.changelog_capacity {
-                self.changelog.pop_front();
-                self.changelog_dropped += 1;
-            }
-            self.changelog.push_back(delta);
         }
     }
 
@@ -317,7 +246,7 @@ impl KnowledgeGraph {
             removed: Vec::new(),
         };
         self.index.apply(&delta);
-        self.record_delta(delta);
+        self.note_delta(&delta);
         true
     }
 
@@ -349,7 +278,7 @@ impl KnowledgeGraph {
         }
         for (id, dropped) in retracted {
             let delta = self.index.remove_facts(id, dropped.iter());
-            self.record_delta(delta);
+            self.note_delta(&delta);
         }
         self.links.retain(|(s, _), _| *s != source);
         (facts_dropped, empty.len())
@@ -377,7 +306,7 @@ impl KnowledgeGraph {
         }
         if !removed.is_empty() {
             let delta = self.index.remove_facts(kg_id, removed.iter());
-            self.record_delta(delta);
+            self.note_delta(&delta);
         }
         self.links.remove(&(source, Arc::from(local_id)));
         removed.len()
@@ -409,7 +338,7 @@ impl KnowledgeGraph {
         }
         for (id, gone) in retracted {
             let delta = self.index.remove_facts(id, gone.iter());
-            self.record_delta(delta);
+            self.note_delta(&delta);
         }
         for t in fresh {
             // Volatile facts about unknown entities are skipped: the stable
@@ -703,47 +632,8 @@ mod tests {
     }
 
     #[test]
-    fn changelog_is_bounded_and_counts_drops() {
-        let mut kg = KnowledgeGraph::new();
-        assert_eq!(kg.changelog_capacity(), DEFAULT_CHANGELOG_CAPACITY);
-        kg.set_changelog_capacity(4);
-        for i in 0..10u64 {
-            kg.upsert_fact(ExtendedTriple::simple(
-                EntityId(i),
-                intern("name"),
-                Value::str(format!("E{i}")),
-                meta(1),
-            ));
-        }
-        assert_eq!(kg.changelog_len(), 4, "bounded retention");
-        assert_eq!(kg.dropped_deltas(), 6, "evictions surfaced");
-        // Newest-first retention: the drained feed is the tail.
-        let drained = kg.drain_deltas();
-        assert_eq!(drained.len(), 4);
-        assert_eq!(drained[0].entity, EntityId(6));
-        assert_eq!(kg.changelog_len(), 0);
-        // Shrinking below the retained length evicts immediately.
-        kg.upsert_fact(ExtendedTriple::simple(
-            EntityId(50),
-            intern("name"),
-            Value::str("X"),
-            meta(1),
-        ));
-        kg.upsert_fact(ExtendedTriple::simple(
-            EntityId(51),
-            intern("name"),
-            Value::str("Y"),
-            meta(1),
-        ));
-        kg.set_changelog_capacity(1);
-        assert_eq!(kg.changelog_len(), 1);
-        assert_eq!(kg.dropped_deltas(), 7);
-    }
-
-    #[test]
     fn volatile_overwrite_churn_keeps_dictionary_bounded() {
         let mut kg = KnowledgeGraph::new();
-        kg.set_changelog_capacity(8); // keep the test's memory flat
         kg.add_named_entity(EntityId(1), "Song A", "song", SourceId(1), 0.9);
         kg.add_named_entity(EntityId(2), "Song B", "song", SourceId(1), 0.9);
         let pop = intern(well_known::POPULARITY);

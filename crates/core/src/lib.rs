@@ -23,6 +23,7 @@
 //! Everything in downstream crates (ingestion, construction, the Graph
 //! Engine, the Live Graph, the ML stack) is expressed over these types.
 
+pub mod checkpoint;
 pub mod entity;
 pub mod error;
 pub mod id;
@@ -51,7 +52,7 @@ pub use error::{Result, SagaError};
 pub use id::{EntityId, IdGenerator, Lsn, RelId, SourceId};
 pub use index::{Delta, DeltaFact, PostingsStats, ProbeKey, TripleIndex};
 pub use intern::{intern, resolve, symbol_text, Symbol};
-pub use kg::{KgStats, KnowledgeGraph, DEFAULT_CHANGELOG_CAPACITY};
+pub use kg::{KgStats, KnowledgeGraph};
 pub use meta::{FactMeta, SourceTrust};
 pub use postings::{intersect_views, union_views, BlockPostings, PostingsCursor, PostingsView};
 pub use read::{GraphRead, OverlayRead};

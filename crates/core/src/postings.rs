@@ -632,6 +632,235 @@ impl BlockPostings {
     pub fn as_view(&self) -> PostingsView<'_> {
         PostingsView { list: Some(self) }
     }
+
+    /// Append this list's compressed form to `out` block-wise: tiny runs
+    /// and sparse containers are copied byte-for-byte, dense bitmaps as
+    /// little-endian words. Nothing is decompressed — a checkpoint writes
+    /// exactly the bytes the in-memory tiers already hold. Stamps are
+    /// process-local and deliberately not serialized.
+    pub fn write_bytes(&self, out: &mut Vec<u8>) {
+        match &self.repr {
+            Repr::Tiny { bytes, len, .. } => {
+                out.push(WIRE_TINY);
+                push_varint64(out, u64::from(*len));
+                push_varint64(out, bytes.len() as u64);
+                out.extend_from_slice(bytes);
+            }
+            Repr::Blocks {
+                dir,
+                containers,
+                len,
+            } => {
+                out.push(WIRE_BLOCKS);
+                push_varint64(out, dir.len() as u64);
+                push_varint64(out, *len as u64);
+                for (meta, container) in dir.iter().zip(containers) {
+                    push_varint64(out, meta.key);
+                    push_varint64(out, u64::from(meta.min));
+                    push_varint64(out, u64::from(meta.max));
+                    push_varint64(out, u64::from(meta.card));
+                    match container {
+                        Container::Sparse(bytes) => {
+                            out.push(WIRE_SPARSE);
+                            push_varint64(out, bytes.len() as u64);
+                            out.extend_from_slice(bytes);
+                        }
+                        Container::Dense(words) => {
+                            out.push(WIRE_DENSE);
+                            for w in words.iter() {
+                                out.extend_from_slice(&w.to_le_bytes());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decode one list previously appended by
+    /// [`write_bytes`](Self::write_bytes), advancing `at` past it. Every
+    /// structural invariant (tier sizes, directory order, per-block
+    /// min/max/cardinality against the container bytes) is re-verified so
+    /// a corrupt artifact surfaces as an error, never a malformed list.
+    /// The restored list carries stamp 0 — fingerprints are process-local.
+    pub fn read_bytes(bytes: &[u8], at: &mut usize) -> crate::Result<Self> {
+        match take_byte(bytes, at)? {
+            WIRE_TINY => {
+                let len = take_varint64(bytes, at)?;
+                if len > TINY_MAX as u64 {
+                    return Err(wire_err("tiny run larger than TINY_MAX"));
+                }
+                let nbytes = take_varint64(bytes, at)? as usize;
+                let run = take_slice(bytes, at, nbytes)?;
+                // Walk the run to count ids and recover `last`.
+                let mut pos = 0usize;
+                let mut prev = 0u64;
+                let mut count = 0u64;
+                while pos < run.len() {
+                    let v = take_varint64(run, &mut pos)?;
+                    prev = if count == 0 {
+                        v
+                    } else {
+                        prev.checked_add(v)
+                            .and_then(|s| s.checked_add(1))
+                            .ok_or_else(|| wire_err("tiny run id overflow"))?
+                    };
+                    count += 1;
+                }
+                if count != len {
+                    return Err(wire_err("tiny run length mismatch"));
+                }
+                Ok(BlockPostings {
+                    repr: Repr::Tiny {
+                        bytes: run.to_vec(),
+                        len: len as u16,
+                        last: prev,
+                    },
+                    stamp: 0,
+                })
+            }
+            WIRE_BLOCKS => {
+                let nblocks = take_varint64(bytes, at)? as usize;
+                let total = take_varint64(bytes, at)? as usize;
+                let mut dir: Vec<BlockMeta> = Vec::with_capacity(nblocks);
+                let mut containers: Vec<Container> = Vec::with_capacity(nblocks);
+                let mut cards = 0usize;
+                for _ in 0..nblocks {
+                    let key = take_varint64(bytes, at)?;
+                    let min = take_varint64(bytes, at)?;
+                    let max = take_varint64(bytes, at)?;
+                    let card = take_varint64(bytes, at)?;
+                    if dir.last().is_some_and(|m| m.key >= key) {
+                        return Err(wire_err("block directory out of order"));
+                    }
+                    if min > max || max >= BLOCK_SPAN || card == 0 || card > BLOCK_SPAN {
+                        return Err(wire_err("block meta out of range"));
+                    }
+                    let (min, max, card) = (min as u16, max as u16, card as u16);
+                    let container = match take_byte(bytes, at)? {
+                        WIRE_SPARSE => {
+                            let nbytes = take_varint64(bytes, at)? as usize;
+                            let payload = take_slice(bytes, at, nbytes)?;
+                            verify_sparse(payload, min, max, card)?;
+                            Container::Sparse(payload.to_vec())
+                        }
+                        WIRE_DENSE => {
+                            let raw = take_slice(bytes, at, WORDS * 8)?;
+                            let mut words = Box::new([0u64; WORDS]);
+                            for (w, chunk) in words.iter_mut().zip(raw.chunks_exact(8)) {
+                                *w = u64::from_le_bytes(chunk.try_into().unwrap());
+                            }
+                            let ones: u32 = words.iter().map(|w| w.count_ones()).sum();
+                            if ones != u32::from(card)
+                                || dense_first(&words) != min
+                                || dense_last(&words) != max
+                            {
+                                return Err(wire_err("dense bitmap disagrees with meta"));
+                            }
+                            Container::Dense(words)
+                        }
+                        _ => return Err(wire_err("unknown container tag")),
+                    };
+                    cards += usize::from(card);
+                    dir.push(BlockMeta {
+                        key,
+                        min,
+                        max,
+                        card,
+                    });
+                    containers.push(container);
+                }
+                if cards != total {
+                    return Err(wire_err("block cardinality sum mismatch"));
+                }
+                Ok(BlockPostings {
+                    repr: Repr::Blocks {
+                        dir,
+                        containers,
+                        len: total,
+                    },
+                    stamp: 0,
+                })
+            }
+            _ => Err(wire_err("unknown representation tag")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint wire form (block-wise, no decompression)
+// ---------------------------------------------------------------------
+
+/// Representation tag: tiny varint run.
+const WIRE_TINY: u8 = 0;
+/// Representation tag: block directory + containers.
+const WIRE_BLOCKS: u8 = 1;
+/// Container tag: delta+varint sparse offsets.
+const WIRE_SPARSE: u8 = 0;
+/// Container tag: 4096-bit bitmap.
+const WIRE_DENSE: u8 = 1;
+
+fn wire_err(msg: &str) -> crate::SagaError {
+    crate::SagaError::Storage(format!("postings decode: {msg}"))
+}
+
+/// Bounds-checked byte read (the panicking readers above are reserved for
+/// trusted in-memory payloads).
+fn take_byte(bytes: &[u8], at: &mut usize) -> crate::Result<u8> {
+    let b = *bytes
+        .get(*at)
+        .ok_or_else(|| wire_err("truncated payload"))?;
+    *at += 1;
+    Ok(b)
+}
+
+fn take_varint64(bytes: &[u8], at: &mut usize) -> crate::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = take_byte(bytes, at)?;
+        if shift >= 64 {
+            return Err(wire_err("varint overflow"));
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b < 0x80 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn take_slice<'a>(bytes: &'a [u8], at: &mut usize, n: usize) -> crate::Result<&'a [u8]> {
+    let end = at
+        .checked_add(n)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| wire_err("truncated payload"))?;
+    let s = &bytes[*at..end];
+    *at = end;
+    Ok(s)
+}
+
+/// Verify a sparse container's encoded offsets against its directory
+/// entry without allocating: count, first, last, and in-range.
+fn verify_sparse(payload: &[u8], min: u16, max: u16, card: u16) -> crate::Result<()> {
+    let mut at = 0usize;
+    let mut prev = 0u64;
+    let mut count = 0u64;
+    while at < payload.len() {
+        let v = take_varint64(payload, &mut at)?;
+        prev = if count == 0 { v } else { prev + v + 1 };
+        if prev >= BLOCK_SPAN {
+            return Err(wire_err("sparse offset out of range"));
+        }
+        if count == 0 && prev != u64::from(min) {
+            return Err(wire_err("sparse min disagrees with meta"));
+        }
+        count += 1;
+    }
+    if count != u64::from(card) || (count > 0 && prev != u64::from(max)) {
+        return Err(wire_err("sparse container disagrees with meta"));
+    }
+    Ok(())
 }
 
 /// Append a block built from sorted offsets (bulk builds only; `key` must
@@ -1600,6 +1829,74 @@ mod tests {
         }
         assert!(list.is_empty());
         assert_eq!(list.block_count(), 0);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_every_tier() {
+        // Tiny, sparse-only, mixed sparse+dense, and empty lists all
+        // survive write_bytes → read_bytes byte-identically.
+        let shapes: Vec<Vec<EntityId>> = vec![
+            ids([]),
+            ids([7]),
+            ids([0, 1, 63, 64, 4095, 4096, 40_000, 1 << 40]),
+            ids((0u64..600).map(|i| i * 97)), // sparse blocks
+            ids(0u64..3000),                  // one dense block
+            ids((0u64..5000).filter(|i| i % 3 != 0)), // mixed containers
+        ];
+        let mut buf = Vec::new();
+        for sample in &shapes {
+            let list = BlockPostings::from_sorted(sample);
+            buf.clear();
+            list.write_bytes(&mut buf);
+            let mut at = 0usize;
+            let back = BlockPostings::read_bytes(&buf, &mut at).unwrap();
+            assert_eq!(at, buf.len(), "decode consumes the full payload");
+            assert_eq!(back.to_vec(), *sample);
+            assert_eq!(back.len(), list.len());
+            assert_eq!(back.block_count(), list.block_count());
+            assert_eq!(back.dense_block_count(), list.dense_block_count());
+            assert_eq!(back.stamp(), 0, "stamps are process-local");
+            // Mutations still work on a restored list.
+            let mut back = back;
+            back.insert(EntityId(123_456_789));
+            assert!(back.contains(EntityId(123_456_789)));
+        }
+        // Several lists concatenated in one buffer decode in sequence.
+        buf.clear();
+        for sample in &shapes {
+            BlockPostings::from_sorted(sample).write_bytes(&mut buf);
+        }
+        let mut at = 0usize;
+        for sample in &shapes {
+            let back = BlockPostings::read_bytes(&buf, &mut at).unwrap();
+            assert_eq!(back.to_vec(), *sample);
+        }
+        assert_eq!(at, buf.len());
+    }
+
+    #[test]
+    fn wire_decode_rejects_corruption() {
+        let list = BlockPostings::from_sorted(&ids(0u64..3000));
+        let mut buf = Vec::new();
+        list.write_bytes(&mut buf);
+        // Truncation at any prefix must error, never panic.
+        for cut in [0, 1, buf.len() / 2, buf.len() - 1] {
+            let mut at = 0usize;
+            assert!(
+                BlockPostings::read_bytes(&buf[..cut], &mut at).is_err(),
+                "truncated at {cut}"
+            );
+        }
+        // A flipped byte in the container area is caught by the meta
+        // cross-checks (cardinality / bounds).
+        let mut bad = buf.clone();
+        let at_payload = bad.len() - 10;
+        bad[at_payload] ^= 0xff;
+        let mut at = 0usize;
+        assert!(BlockPostings::read_bytes(&bad, &mut at).is_err());
+        // An unknown representation tag errors.
+        let mut at = 0usize;
+        assert!(BlockPostings::read_bytes(&[9], &mut at).is_err());
     }
 
     #[test]

@@ -351,13 +351,11 @@ impl<L: GraphRead, S: GraphRead> OverlayRead<L, S> {
 
 impl<L: GraphRead, S: GraphRead> GraphRead for OverlayRead<L, S> {
     /// The overlay's effective posting only exists merged: build the
-    /// cursor from the shadow-filtered union. (Per-probe fingerprints stay
-    /// on the conservative [`generation`](GraphRead::generation) default —
-    /// a live upsert can change an overlay posting *without* touching the
-    /// equally-named live or stable list, by shadowing a stable record, so
-    /// layer-combined stamps would under-invalidate.) The fingerprint is
-    /// sampled *before* the merge, so a concurrent write makes the cursor
-    /// look stale rather than fresh.
+    /// cursor from the shadow-filtered union. The fingerprint (the
+    /// per-probe shadow-set stamp of
+    /// [`probe_fingerprint`](Self::probe_fingerprint)) is sampled *before*
+    /// the merge, so a concurrent write makes the cursor look stale rather
+    /// than fresh.
     fn postings_cursor(&self, probe: &ProbeKey) -> PostingsCursor {
         let fingerprint = self.probe_fingerprint(probe);
         let mut list = crate::postings::BlockPostings::from_sorted(&self.postings(probe));
@@ -401,6 +399,33 @@ impl<L: GraphRead, S: GraphRead> GraphRead for OverlayRead<L, S> {
         } else {
             !self.is_tombstoned(id) && self.stable.probe_contains(probe, id)
         }
+    }
+
+    /// Per-probe stamp instead of the coarse generation sum. The merged
+    /// overlay posting is `(stable \ shadowed) ∪ live`, so it changes only
+    /// when (a) the live list changes, (b) the stable list changes, or
+    /// (c) the *shadow set restricted to this posting* changes — a live
+    /// upsert or tombstone can shadow a stable posting member without
+    /// touching the equally-keyed live or stable list, which is why
+    /// layer-combined stamps alone would under-invalidate. Hashing the
+    /// per-layer stamps plus exactly the shadowed member ids covers all
+    /// three; shadow-set churn on entities outside this posting leaves the
+    /// stamp (and every cached plan probing it) untouched.
+    fn probe_fingerprint(&self, probe: &ProbeKey) -> u64 {
+        use std::hash::Hasher;
+        let mut h = rustc_hash::FxHasher::default();
+        h.write_u64(self.live.probe_fingerprint(probe));
+        h.write_u64(self.stable.probe_fingerprint(probe));
+        let stable = self.stable.postings(probe);
+        if !stable.is_empty() {
+            let tombstones = self.tombstones.read();
+            for id in stable {
+                if tombstones.contains(&id) || self.live.contains(id) {
+                    h.write_u64(id.0);
+                }
+            }
+        }
+        h.finish()
     }
 
     fn record(&self, id: EntityId) -> Option<EntityRecord> {
@@ -608,6 +633,56 @@ mod tests {
             receipt
         };
         assert!(!receipt.is_empty());
+    }
+
+    #[test]
+    fn overlay_fingerprint_tracks_only_the_probed_posting() {
+        let mut live = KnowledgeGraph::new();
+        live.add_named_entity(EntityId(7), "Live Only", "artist", SourceId(2), 0.9);
+        let overlay = OverlayRead::new(live, stable_kg());
+        let songs = ProbeKey::Type(intern("song"));
+        let artists = ProbeKey::Type(intern("artist"));
+
+        let songs_fp = overlay.probe_fingerprint(&songs);
+        let artists_fp = overlay.probe_fingerprint(&artists);
+        assert_eq!(
+            overlay.postings_cursor(&songs).fingerprint(),
+            songs_fp,
+            "cursors carry the shadow-set stamp"
+        );
+
+        // Shadow-set churn outside the probed posting leaves its stamp
+        // alone: tombstoning a live-only entity (shadows no stable record)
+        // and tombstoning an artist must not evict plans over `songs`.
+        overlay.tombstone(EntityId(7));
+        overlay.tombstone(EntityId(3));
+        assert_eq!(overlay.probe_fingerprint(&songs), songs_fp);
+        assert_ne!(
+            overlay.probe_fingerprint(&artists),
+            artists_fp,
+            "the artist posting lost a member"
+        );
+        assert!(
+            overlay.generation() > 0,
+            "the coarse fallback would have evicted everything"
+        );
+
+        // Shadowing a member of the probed posting moves the stamp, and
+        // resurrecting restores the original posting and stamp.
+        overlay.tombstone(EntityId(2));
+        let shadowed_fp = overlay.probe_fingerprint(&songs);
+        assert_ne!(shadowed_fp, songs_fp);
+        overlay.resurrect(EntityId(2));
+        assert_eq!(overlay.probe_fingerprint(&songs), songs_fp);
+
+        // The batch form agrees with the per-probe form.
+        assert_eq!(
+            overlay.probe_fingerprints(&[&songs, &artists]),
+            vec![
+                overlay.probe_fingerprint(&songs),
+                overlay.probe_fingerprint(&artists)
+            ]
+        );
     }
 
     #[test]

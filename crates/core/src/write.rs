@@ -9,8 +9,9 @@
 //! fan-out needs — the exact [`Delta`] payloads in wire-ready form, the
 //! store's new generation, and per-op outcomes. The raw `KnowledgeGraph`
 //! mutators (`upsert_fact`, `retract_source*`, `overwrite_volatile_partition`,
-//! `mutate_entity`) are crate-internal; the receipt replaces the old
-//! footgun of separately draining the changelog and appending to the oplog.
+//! `mutate_entity`) are crate-internal; the receipt is the only delta
+//! channel — there is no in-process changelog to drain, appending the
+//! receipt's deltas to the oplog is the whole fan-out.
 //!
 //! # Staging vs applying
 //!
@@ -25,8 +26,8 @@
 //! 2. **Apply** ([`KnowledgeGraph::apply_staged`]) — the staged deltas are
 //!    replayed onto the live index (the same [`TripleIndex::apply`]
 //!    path log replicas use), the shadow records and links are swapped in,
-//!    and every delta enters the bounded in-process changelog, bumping the
-//!    generation exactly as the direct mutators did.
+//!    and the generation is bumped per non-empty delta exactly as the
+//!    direct mutators do.
 //!
 //! The split is what makes **write-ahead logging** possible: the Graph
 //! Engine's `LoggedWriter` appends the staged deltas to the durable
@@ -778,10 +779,11 @@ impl KnowledgeGraph {
     /// Apply a [`StagedCommit`] produced by a [`KgTransaction`] over this
     /// graph — the single commit point every producer funnels through.
     ///
-    /// The staged deltas are replayed onto the live index, recorded in the
-    /// bounded changelog (bumping the generation per non-empty delta,
-    /// exactly like the old direct mutators), and the staged records and
-    /// links are swapped in.
+    /// The staged deltas are replayed onto the live index (bumping the
+    /// generation per non-empty delta, exactly like the direct mutators)
+    /// and the staged records and links are swapped in. The deltas leave
+    /// only through the returned receipt — producers append them to the
+    /// oplog; nothing is retained in-process.
     pub fn apply_staged(&mut self, staged: StagedCommit) -> CommitReceipt {
         let StagedCommit {
             deltas,
@@ -827,7 +829,7 @@ impl KnowledgeGraph {
         entities_changed.sort_unstable();
         entities_changed.dedup();
         for delta in &deltas {
-            self.record_delta(delta.clone());
+            self.note_delta(delta);
         }
         CommitReceipt {
             deltas,
@@ -992,14 +994,13 @@ mod tests {
     }
 
     #[test]
-    fn mutate_edits_enter_the_receipt_and_changelog() {
+    fn mutate_edits_enter_the_receipt() {
         // The old mutate_entity returned its delta to the caller only —
         // invisible to log followers. Committed through a batch, the edit
         // is a first-class delta like any other op.
         let mut kg = KnowledgeGraph::new();
         kg.commit_upsert(fact(1, "population", Value::Int(-5), 1));
         let g0 = kg.generation();
-        let len0 = kg.changelog_len();
         let pred = intern("population");
         let receipt = kg.commit_mutate(EntityId(1), move |rec| {
             for t in &mut rec.triples {
@@ -1020,7 +1021,6 @@ mod tests {
         assert_eq!(receipt.deltas[0].added[0].object, Value::Int(120_000));
         assert_eq!(receipt.deltas[0].removed[0].object, Value::Int(-5));
         assert!(kg.generation() > g0, "edit is read-visible");
-        assert_eq!(kg.changelog_len(), len0 + 1, "edit feeds the changelog");
         assert_eq!(
             kg.postings(&crate::ProbeKey::Literal(pred, Value::Int(120_000))),
             vec![EntityId(1)]

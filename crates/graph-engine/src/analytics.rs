@@ -343,7 +343,7 @@ impl AnalyticsStore {
         }
     }
 
-    /// Apply a batch of deltas (the drained KG changelog).
+    /// Apply a batch of deltas (shipped in log entries or commit receipts).
     pub fn apply_deltas(&mut self, deltas: &[saga_core::Delta]) {
         for delta in deltas {
             self.apply_delta(delta);

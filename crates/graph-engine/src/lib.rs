@@ -36,8 +36,13 @@
 //!   [`GraphWrite`](saga_core::GraphWrite) API and appends each commit to
 //!   the [`oplog`] *before* applying it, making the log the source of
 //!   truth for every derived store.
+//! * [`checkpoint_writer`] — exact-watermark checkpoint production over a
+//!   logged KG ([`saga_core::checkpoint`] artifacts) plus the
+//!   checkpoint → prune → [`OperationLog::compact_to`](oplog::OperationLog::compact_to)
+//!   retention loop that keeps bootstrap and disk `O(live data)`.
 
 pub mod analytics;
+pub mod checkpoint_writer;
 pub mod importance;
 pub mod legacy;
 pub mod metastore;
@@ -49,6 +54,7 @@ pub mod views;
 pub mod writer;
 
 pub use analytics::{AnalyticsStore, Frame, FrameCol};
+pub use checkpoint_writer::{CheckpointReceipt, CheckpointWriter, DEFAULT_KEEP_LAST};
 pub use importance::{compute_importance, ImportanceConfig, ImportanceScores};
 pub use legacy::{LegacyEngine, RowTable};
 pub use metastore::MetadataStore;

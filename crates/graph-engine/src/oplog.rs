@@ -31,7 +31,20 @@
 //! [`LogFollower`] is the cursor API derived stores replay through: it
 //! tracks a watermark LSN (everything at or below it has been consumed),
 //! polls contiguous batches, and verifies density so a replica can never
-//! silently skip an operation.
+//! silently skip an operation. Bulk replay uses
+//! [`LogFollower::poll_with`], which visits entries in place instead of
+//! cloning every delta payload out of the log.
+//!
+//! # Compaction
+//!
+//! The log grows without bound until a checkpoint
+//! ([`saga_core::checkpoint`]) durably covers a prefix;
+//! [`OperationLog::compact_to`] then drops that prefix, leaving a marker
+//! line so a reopened log still knows its first retained LSN
+//! ([`OperationLog::compacted_through`]). LSNs never restart — a follower
+//! whose watermark has fallen behind the compaction point gets a loud
+//! contiguity error and must re-bootstrap from a checkpoint. See
+//! `docs/checkpoint.md` for the retention contract.
 
 use std::fs;
 use std::io::{BufWriter, Write};
@@ -182,7 +195,12 @@ pub enum FlushPolicy {
 }
 
 struct LogInner {
+    /// Retained entries: `entries[i]` carries `Lsn(base + i + 1)`.
     entries: Vec<IngestOp>,
+    /// Operations compacted away from the front of the log: the first
+    /// retained LSN is `base + 1`. Every op `<= base` is covered by a
+    /// durable checkpoint (see [`OperationLog::compact_to`]).
+    base: u64,
     sink: Option<BufWriter<fs::File>>,
 }
 
@@ -212,6 +230,7 @@ impl OperationLog {
         OperationLog {
             inner: Mutex::new(LogInner {
                 entries: Vec::new(),
+                base: 0,
                 sink: None,
             }),
             path: None,
@@ -234,17 +253,31 @@ impl OperationLog {
     /// and any LSN gap or reordering, is a hard error.
     pub fn durable_with(path: &Path, policy: FlushPolicy) -> Result<Self> {
         let mut entries: Vec<IngestOp> = Vec::new();
+        let mut base = 0u64;
         let mut truncated_tail_bytes = 0u64;
         if path.exists() {
             let text = fs::read_to_string(path)?;
             let mut offset = 0usize; // byte offset of the current line
             let mut line_no = 0usize;
+            let mut saw_op = false;
             for line in text.split_inclusive('\n') {
                 line_no += 1;
                 let start = offset;
                 offset += line.len();
                 let trimmed = line.trim();
                 if trimmed.is_empty() {
+                    continue;
+                }
+                // A compacted log opens with a marker recording how many
+                // operations the dropped prefix held. Only valid before
+                // any op (compaction rewrites the whole file atomically).
+                if let Some(compacted) = parse_compaction_marker(trimmed) {
+                    if saw_op || base != 0 {
+                        return Err(SagaError::Storage(format!(
+                            "compaction marker at line {line_no} is not the log head"
+                        )));
+                    }
+                    base = compacted;
                     continue;
                 }
                 let op = match IngestOp::from_json(trimmed) {
@@ -269,7 +302,8 @@ impl OperationLog {
                         )));
                     }
                 };
-                let expected = Lsn(entries.len() as u64 + 1);
+                saw_op = true;
+                let expected = Lsn(base + entries.len() as u64 + 1);
                 if op.lsn != expected {
                     return Err(SagaError::Storage(format!(
                         "LSN discontinuity at line {line_no}: expected {expected:?}, found {:?} \
@@ -289,6 +323,7 @@ impl OperationLog {
         Ok(OperationLog {
             inner: Mutex::new(LogInner {
                 entries,
+                base,
                 sink: Some(sink),
             }),
             path: Some(path.to_path_buf()),
@@ -321,7 +356,7 @@ impl OperationLog {
         deltas: Vec<Delta>,
     ) -> Result<Lsn> {
         let mut inner = self.inner.lock();
-        let lsn = Lsn(inner.entries.len() as u64 + 1);
+        let lsn = Lsn(inner.base + inner.entries.len() as u64 + 1);
         let op = IngestOp {
             lsn,
             kind,
@@ -352,7 +387,17 @@ impl OperationLog {
 
     /// The LSN of the newest operation (`Lsn::ZERO` when empty).
     pub fn head(&self) -> Lsn {
-        Lsn(self.inner.lock().entries.len() as u64)
+        let inner = self.inner.lock();
+        Lsn(inner.base + inner.entries.len() as u64)
+    }
+
+    /// The highest LSN removed by [`compact_to`](Self::compact_to)
+    /// (`Lsn::ZERO` when nothing was ever compacted). Retained operations
+    /// start at `compacted_through + 1`; a follower must resume at or
+    /// above this watermark, which a checkpoint at the compaction LSN
+    /// guarantees.
+    pub fn compacted_through(&self) -> Lsn {
+        Lsn(self.inner.lock().base)
     }
 
     /// All operations with `lsn > after`, in order — what an agent replays.
@@ -360,13 +405,92 @@ impl OperationLog {
         self.read_batch(after, usize::MAX)
     }
 
-    /// At most `max` operations with `lsn > after`, in order. LSNs are
-    /// dense, so this is a direct slice of the entry array.
+    /// At most `max` operations with `lsn > after`, in order, cloned out
+    /// of the log. LSNs are dense, so this is a direct slice of the entry
+    /// array. When `after` precedes the compaction point the result
+    /// starts at the first *retained* op — followers detect the hole
+    /// through their contiguity check. Bulk replay should prefer
+    /// [`visit_batch`](Self::visit_batch), which does not clone payloads.
     pub fn read_batch(&self, after: Lsn, max: usize) -> Vec<IngestOp> {
         let inner = self.inner.lock();
-        let from = (after.0 as usize).min(inner.entries.len());
+        let from = (after.0.saturating_sub(inner.base) as usize).min(inner.entries.len());
         let to = from.saturating_add(max).min(inner.entries.len());
         inner.entries[from..to].to_vec()
+    }
+
+    /// Visit (at most `max` of) the operations with `lsn > after` in
+    /// order, **without cloning them**: `f` borrows each entry in place.
+    /// Returns how many were visited. This is the bulk-replay path — a
+    /// `read_batch` clone of every delta payload costs an allocation stampede
+    /// at 100k+ ops, all of it thrown away the moment the batch is
+    /// applied. The log's lock is held while `f` runs, so appenders block
+    /// for the duration of one batch; keep batches bounded.
+    pub fn visit_batch(&self, after: Lsn, max: usize, mut f: impl FnMut(&IngestOp)) -> usize {
+        let inner = self.inner.lock();
+        let from = (after.0.saturating_sub(inner.base) as usize).min(inner.entries.len());
+        let to = from.saturating_add(max).min(inner.entries.len());
+        for op in &inner.entries[from..to] {
+            f(op);
+        }
+        to - from
+    }
+
+    /// Drop every operation with `lsn <= upto` — the retention step after
+    /// a checkpoint at `upto` is durably published. Returns how many
+    /// operations were removed (0 when `upto` is at or below the current
+    /// compaction point). Compacting beyond the head is an error.
+    ///
+    /// Runs under the same lock as appends, so it is safe to call while
+    /// producers are writing: an appender either lands before the rewrite
+    /// (and is retained — its LSN is above `upto`) or after it. For
+    /// durable logs the file is rewritten atomically (temp + rename) with
+    /// a leading marker line recording the dropped prefix, mirroring the
+    /// checkpoint artifact discipline; a crash mid-compaction leaves the
+    /// old file intact.
+    pub fn compact_to(&self, upto: Lsn) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        if upto.0 <= inner.base {
+            return Ok(0);
+        }
+        let head = inner.base + inner.entries.len() as u64;
+        if upto.0 > head {
+            return Err(SagaError::Storage(format!(
+                "cannot compact through {upto:?}: head is {:?}",
+                Lsn(head)
+            )));
+        }
+        let drop_count = upto.0 - inner.base;
+        let new_base = upto.0;
+        if let Some(path) = &self.path {
+            // Settle buffered appends, then rewrite marker + tail beside
+            // the live file and swap it in.
+            if let Some(sink) = inner.sink.as_mut() {
+                sink.flush()?;
+            }
+            let tmp = path.with_extension("compact.tmp");
+            {
+                let mut out = BufWriter::new(fs::File::create(&tmp)?);
+                writeln!(out, "{}", compaction_marker(new_base))?;
+                for op in &inner.entries[drop_count as usize..] {
+                    writeln!(out, "{}", op.to_json())?;
+                }
+                out.flush()?;
+                out.get_ref().sync_data()?;
+            }
+            // Swap under the lock: drop the old sink first so no buffered
+            // bytes land on the unlinked file, then reopen on the new one.
+            inner.sink = None;
+            fs::rename(&tmp, path)?;
+            inner.sink = Some(BufWriter::new(
+                fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)?,
+            ));
+        }
+        inner.entries.drain(..drop_count as usize);
+        inner.base = new_base;
+        Ok(drop_count)
     }
 
     /// The backing file, if durable.
@@ -378,6 +502,28 @@ impl OperationLog {
     pub fn truncated_tail_bytes(&self) -> u64 {
         self.truncated_tail_bytes
     }
+}
+
+/// Render the first-line marker of a compacted log file.
+fn compaction_marker(compacted_through: u64) -> String {
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert(
+        "compacted_through".to_string(),
+        Json::Int(compacted_through as i64),
+    );
+    Json::Object(obj).to_string_compact()
+}
+
+/// Parse a compaction marker line; `None` for anything else (including
+/// regular op entries, which always carry an `lsn` key).
+fn parse_compaction_marker(line: &str) -> Option<u64> {
+    let v = saga_core::json::parse(line).ok()?;
+    let obj = v.as_object()?;
+    if obj.len() != 1 {
+        return None;
+    }
+    let compacted = obj.get("compacted_through")?.as_i64()?;
+    u64::try_from(compacted).ok()
 }
 
 /// A watermark-tracking cursor over an [`OperationLog`] — the follower
@@ -419,10 +565,29 @@ impl LogFollower {
         &self.log
     }
 
+    /// Errors when the watermark has fallen behind the log's compaction
+    /// point: the ops this follower still needs were dropped, so replay
+    /// cannot proceed — the caller must re-bootstrap from a checkpoint.
+    /// (The per-op contiguity check alone cannot catch this when the
+    /// retained tail is empty: there would be no op to fail on.)
+    fn ensure_prefix_retained(&self) -> Result<()> {
+        let compacted = self.log.compacted_through();
+        if self.watermark < compacted {
+            return Err(SagaError::Storage(format!(
+                "follower at {:?} has fallen behind the compaction point {compacted:?}: \
+                 the prefix is gone, re-bootstrap from a checkpoint",
+                self.watermark
+            )));
+        }
+        Ok(())
+    }
+
     /// Fetch up to `max` operations past the watermark and advance it.
     /// Returns an empty batch when caught up; errors (without advancing)
-    /// if the batch is not contiguous from the watermark.
+    /// if the batch is not contiguous from the watermark or the watermark
+    /// precedes the compaction point.
     pub fn poll(&mut self, max: usize) -> Result<Vec<IngestOp>> {
+        self.ensure_prefix_retained()?;
         let ops = self.log.read_batch(self.watermark, max);
         let mut expected = self.watermark;
         for op in &ops {
@@ -436,6 +601,42 @@ impl LogFollower {
         }
         self.watermark = expected;
         Ok(ops)
+    }
+
+    /// Like [`poll`](Self::poll) but applies `f` to each operation **in
+    /// place**, without cloning the batch out of the log — the bulk-replay
+    /// fast path (see [`OperationLog::visit_batch`]). Contiguity is
+    /// verified before any op is handed to `f`; the watermark advances
+    /// over exactly the ops `f` saw. Returns how many were applied.
+    ///
+    /// A watermark behind [`OperationLog::compacted_through`] (or a
+    /// non-contiguous first op) errors without applying anything — the
+    /// caller must re-bootstrap from a checkpoint.
+    pub fn poll_with(&mut self, max: usize, mut f: impl FnMut(&IngestOp)) -> Result<usize> {
+        self.ensure_prefix_retained()?;
+        let mut expected = self.watermark;
+        let mut gap: Option<(Lsn, Lsn)> = None;
+        self.log.visit_batch(self.watermark, max, |op| {
+            if gap.is_some() {
+                return;
+            }
+            let want = expected.next();
+            if op.lsn != want {
+                gap = Some((want, op.lsn));
+                return;
+            }
+            expected = want;
+            f(op);
+        });
+        if let Some((want, found)) = gap {
+            return Err(SagaError::Storage(format!(
+                "follower at {:?} got non-contiguous batch: expected {want:?}, found {found:?}",
+                self.watermark
+            )));
+        }
+        let applied = expected.0 - self.watermark.0;
+        self.watermark = expected;
+        Ok(applied as usize)
     }
 }
 
@@ -670,6 +871,162 @@ mod tests {
         let batch = resumed.poll(100).unwrap();
         assert_eq!(batch.first().unwrap().lsn, Lsn(7));
         assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn compaction_drops_the_prefix_and_preserves_lsns() {
+        let log = OperationLog::in_memory();
+        for i in 1..=10u64 {
+            log.append_op(OpKind::Upsert, vec![delta(i, "x", i as i64)])
+                .unwrap();
+        }
+        assert_eq!(log.compacted_through(), Lsn::ZERO);
+        assert_eq!(log.compact_to(Lsn(6)).unwrap(), 6);
+        assert_eq!(log.compacted_through(), Lsn(6));
+        assert_eq!(log.head(), Lsn(10), "head is unchanged");
+        // The tail keeps its original LSNs…
+        let tail = log.read_after(Lsn(6));
+        assert_eq!(tail.len(), 4);
+        assert_eq!(tail[0].lsn, Lsn(7));
+        // …appends continue the global sequence…
+        assert_eq!(log.append(OpKind::Upsert, vec![]).unwrap(), Lsn(11));
+        // …re-compacting at or below the point is a no-op, beyond head errors.
+        assert_eq!(log.compact_to(Lsn(3)).unwrap(), 0);
+        assert!(log.compact_to(Lsn(99)).is_err());
+        // A reader below the compaction point sees a non-contiguous batch.
+        let stale = log.read_batch(Lsn(2), 100);
+        assert_eq!(stale.first().unwrap().lsn, Lsn(7), "hole is visible");
+        let mut follower = LogFollower::resume_at(Arc::new(log), Lsn(2));
+        assert!(follower.poll(10).is_err(), "stale follower errors loudly");
+    }
+
+    #[test]
+    fn durable_compaction_survives_reopen() {
+        let path = unique_log_path();
+        let _ = fs::remove_file(&path);
+        {
+            let log = OperationLog::durable(&path).unwrap();
+            for i in 1..=8u64 {
+                log.append_op(OpKind::Upsert, vec![delta(i, "x", i as i64)])
+                    .unwrap();
+            }
+            assert_eq!(log.compact_to(Lsn(5)).unwrap(), 5);
+            // Appends after compaction land in the rewritten file.
+            log.append_op(OpKind::Upsert, vec![delta(9, "x", 9)])
+                .unwrap();
+            log.sync().unwrap();
+        }
+        let reopened = OperationLog::durable(&path).unwrap();
+        assert_eq!(reopened.compacted_through(), Lsn(5));
+        assert_eq!(reopened.head(), Lsn(9));
+        let ops = reopened.read_after(Lsn(5));
+        assert_eq!(ops.len(), 4);
+        assert_eq!(ops[0].lsn, Lsn(6));
+        assert_eq!(ops[3].deltas, vec![delta(9, "x", 9)]);
+        // Compacting again over the reopened log also works.
+        assert_eq!(reopened.compact_to(Lsn(8)).unwrap(), 3);
+        drop(reopened);
+        let third = OperationLog::durable(&path).unwrap();
+        assert_eq!(third.compacted_through(), Lsn(8));
+        assert_eq!(third.head(), Lsn(9));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_to_races_an_appender_without_losing_ops() {
+        // One thread appends while another repeatedly compacts to the
+        // current head: every op must end up either retained or covered
+        // by the compaction point, with LSNs globally dense.
+        let path = unique_log_path();
+        let _ = fs::remove_file(&path);
+        let log = Arc::new(OperationLog::durable(&path).unwrap());
+        let appender = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                for i in 1..=200u64 {
+                    log.append_op(OpKind::Upsert, vec![delta(i, "x", i as i64)])
+                        .unwrap();
+                }
+            })
+        };
+        let compactor = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                for _ in 0..20 {
+                    let head = log.head();
+                    log.compact_to(head).unwrap();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        appender.join().unwrap();
+        compactor.join().unwrap();
+        assert_eq!(log.head(), Lsn(200));
+        let base = log.compacted_through();
+        let tail = log.read_after(base);
+        assert_eq!(tail.len() as u64, 200 - base.0);
+        for (i, op) in tail.iter().enumerate() {
+            assert_eq!(op.lsn, Lsn(base.0 + i as u64 + 1), "dense tail");
+        }
+        // The durable file reopens to the same state.
+        log.sync().unwrap();
+        drop(log);
+        let reopened = OperationLog::durable(&path).unwrap();
+        assert_eq!(reopened.head(), Lsn(200));
+        assert_eq!(reopened.compacted_through(), base);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn marker_anywhere_but_the_head_is_rejected() {
+        let path = unique_log_path();
+        fs::write(
+            &path,
+            "{\"changed\":[],\"kind\":\"Upsert\",\"lsn\":1}\n{\"compacted_through\":5}\n",
+        )
+        .unwrap();
+        let err = OperationLog::durable(&path).unwrap_err();
+        assert!(err.to_string().contains("not the log head"), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn visit_batch_and_poll_with_replay_without_cloning() {
+        let log = Arc::new(OperationLog::in_memory());
+        for i in 1..=9u64 {
+            log.append_op(OpKind::Upsert, vec![delta(i, "x", i as i64)])
+                .unwrap();
+        }
+        let mut seen: Vec<Lsn> = Vec::new();
+        assert_eq!(log.visit_batch(Lsn(2), 3, |op| seen.push(op.lsn)), 3);
+        assert_eq!(seen, vec![Lsn(3), Lsn(4), Lsn(5)]);
+
+        let mut follower = LogFollower::new(Arc::clone(&log));
+        let mut applied: Vec<u64> = Vec::new();
+        assert_eq!(
+            follower.poll_with(4, |op| applied.push(op.lsn.0)).unwrap(),
+            4
+        );
+        assert_eq!(follower.watermark(), Lsn(4));
+        assert_eq!(
+            follower
+                .poll_with(100, |op| applied.push(op.lsn.0))
+                .unwrap(),
+            5
+        );
+        assert_eq!(applied, (1..=9).collect::<Vec<u64>>());
+        assert_eq!(follower.poll_with(10, |_| {}).unwrap(), 0, "caught up");
+
+        // After compaction, a stale poll_with errors without applying.
+        log.compact_to(Lsn(6)).unwrap();
+        let mut stale = LogFollower::resume_at(Arc::clone(&log), Lsn(2));
+        let mut touched = 0usize;
+        assert!(stale.poll_with(10, |_| touched += 1).is_err());
+        assert_eq!(touched, 0, "nothing applied past the hole");
+        assert_eq!(stale.watermark(), Lsn(2), "watermark unchanged on error");
+        // A follower at or above the compaction point resumes cleanly.
+        let mut fresh = LogFollower::resume_at(log, Lsn(6));
+        assert_eq!(fresh.poll_with(10, |_| {}).unwrap(), 3);
     }
 
     #[test]

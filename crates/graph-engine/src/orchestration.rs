@@ -8,8 +8,8 @@
 //!
 //! Since the log began carrying full [`Delta`](saga_core::Delta) payloads,
 //! the derived stores are true **log followers**: the analytics store and
-//! the View Manager consume the deltas shipped in each [`IngestOp`]
-//! instead of draining the producing KG's in-memory changelog. Agents that
+//! the View Manager consume the deltas shipped in each [`IngestOp`] —
+//! the log is the only delta channel out of construction. Agents that
 //! materialize full records (entity/text indexes) still read the KG —
 //! record payloads are deliberately not part of the wire form — but the
 //! index-shaped stores replay from the log alone.
@@ -302,8 +302,8 @@ impl OrchestrationAgent for AnalyticsAgent {
 
 /// View-maintenance agent: drives the [`ViewManager`]'s incremental update
 /// procedures from the log's change feed. The changed-id lists are taken
-/// from each op's delta payloads (not from the KG's in-memory changelog),
-/// so view freshness is tied to replay progress like every other store.
+/// from each op's delta payloads (never from the KG directly), so view
+/// freshness is tied to replay progress like every other store.
 pub struct ViewMaintenanceAgent {
     /// The managed view catalog and materializations.
     pub views: ViewManager,

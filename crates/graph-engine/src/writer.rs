@@ -21,10 +21,12 @@
 //! `LogFollower`-driven store (the `commit_crashing_before_apply` hook
 //! exists so tests can prove exactly that).
 //!
-//! This replaces the old footgun where every producer hand-paired
-//! `kg.drain_deltas()` with `log.append_op(...)` — forget one and you lose
-//! durability, repeat one and followers double-apply. CI now rejects new
-//! call sites of either outside the core internals.
+//! This replaces the old footgun where every producer hand-paired a
+//! changelog drain with `log.append_op(...)` — forget one and you lose
+//! durability, repeat one and followers double-apply. The in-process
+//! changelog has since been retired entirely: the commit receipt is the
+//! only delta channel, and CI rejects new `append_op` call sites outside
+//! the core internals.
 
 use std::sync::Arc;
 

@@ -156,10 +156,7 @@ mod tests {
         let data: Vec<usize> = (0..64).collect();
         let tasks: Vec<Box<dyn FnOnce() -> usize + Send + '_>> = data
             .iter()
-            .map(|v| {
-                let v = v; // borrow, not move
-                Box::new(move || *v * 2) as Box<dyn FnOnce() -> usize + Send + '_>
-            })
+            .map(|v| Box::new(move || *v * 2) as Box<dyn FnOnce() -> usize + Send + '_>)
             .collect();
         let out = pool.run(tasks);
         assert_eq!(out, (0..64).map(|v| v * 2).collect::<Vec<_>>());

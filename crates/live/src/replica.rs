@@ -22,11 +22,24 @@
 //! structure are construction-side concerns that deliberately do not ride
 //! the log (composite facets arrive pre-flattened as `pred.facet`
 //! predicates, exactly as every index stores them).
+//!
+//! # Bootstrap
+//!
+//! Replaying all history makes startup `O(everything that ever happened)`.
+//! [`LiveReplica::bootstrap`] instead loads the newest usable
+//! [`saga_core::checkpoint`] artifact — skipping torn or corrupt ones —
+//! restores its index shard-partitioned via [`LiveKg::restore`], and
+//! resumes the follower at the checkpoint watermark so only the log *tail*
+//! replays: startup proportional to live data. This is also what makes
+//! [`OperationLog::compact_to`] safe to run on the producer side — a
+//! compacted log plus a retained checkpoint reconstructs the same store.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use saga_core::{
-    Delta, EntityId, EntityRecord, ExtendedTriple, FactMeta, GraphRead, Lsn, ProbeKey, Result,
+    checkpoint, Delta, EntityId, EntityRecord, ExtendedTriple, FactMeta, GraphRead, Lsn, ProbeKey,
+    Result, SagaError,
 };
 use saga_graph::{IngestOp, LogFollower, OperationLog};
 
@@ -52,59 +65,66 @@ impl LiveReplica {
         }
     }
 
+    /// Bootstrap from the newest usable checkpoint in `dir`, then replay
+    /// only the log tail past its watermark: startup `O(live data + tail)`
+    /// instead of `O(all history)`.
+    ///
+    /// Artifacts are tried newest-first. Torn/corrupt ones (they fail
+    /// [`checkpoint::load`]'s verification) and ones the log cannot roll
+    /// forward from — watermark ahead of the log head (wrong log) or
+    /// behind its compaction point (tail gone) — are skipped in favor of
+    /// the next-newest. With no usable artifact the replica falls back to
+    /// full replay from LSN 0; if the log is compacted that history no
+    /// longer exists and bootstrap fails instead of serving a silent gap.
+    pub fn bootstrap(shards: usize, dir: &Path, log: Arc<OperationLog>) -> Result<Self> {
+        let compacted = log.compacted_through();
+        let head = log.head();
+        let mut restored = None;
+        for info in checkpoint::artifacts(dir)?.into_iter().rev() {
+            if info.watermark > head || info.watermark < compacted {
+                continue;
+            }
+            if let Ok(ckpt) = checkpoint::load(&info.path) {
+                restored = Some(ckpt);
+                break;
+            }
+        }
+        let mut replica = match restored {
+            Some(ckpt) => LiveReplica {
+                live: LiveKg::restore(shards, ckpt.index),
+                follower: LogFollower::resume_at(log, ckpt.watermark),
+            },
+            None if compacted == Lsn::ZERO => LiveReplica::new(shards, log),
+            None => {
+                return Err(SagaError::Storage(format!(
+                    "cannot bootstrap replica: log is compacted through lsn {} \
+                     and {} holds no usable checkpoint at or past it",
+                    compacted.0,
+                    dir.display()
+                )))
+            }
+        };
+        replica.catch_up()?;
+        Ok(replica)
+    }
+
     /// Replay every operation past the current watermark; returns how many
     /// were applied. Call again whenever the log advances (or drive it
     /// from a scheduler — the follower is the pace-keeping cursor).
+    ///
+    /// Replay visits ops in place under the log's read lock
+    /// ([`LogFollower::poll_with`]) — bulk catch-up clones no entries.
     pub fn catch_up(&mut self) -> Result<usize> {
         let mut applied = 0;
         loop {
-            let ops = self.follower.poll(REPLAY_BATCH)?;
-            if ops.is_empty() {
+            let live = &self.live;
+            let n = self
+                .follower
+                .poll_with(REPLAY_BATCH, |op| apply_op(live, op))?;
+            if n == 0 {
                 return Ok(applied);
             }
-            for op in &ops {
-                self.apply_op(op);
-                applied += 1;
-            }
-        }
-    }
-
-    /// Apply one operation's delta payloads. Id-only legacy entries carry
-    /// nothing replayable and are skipped — a replica of a log containing
-    /// them is incomplete, which [`lag`](Self::lag) cannot detect; produce
-    /// with [`OperationLog::append_op`] to guarantee full shipping.
-    fn apply_op(&mut self, op: &IngestOp) {
-        for delta in &op.deltas {
-            self.apply_delta(delta);
-        }
-    }
-
-    fn apply_delta(&mut self, delta: &Delta) {
-        let mut record = self
-            .live
-            .get(delta.entity)
-            .unwrap_or_else(|| EntityRecord::new(delta.entity));
-        for fact in &delta.removed {
-            if let Some(at) = record
-                .triples
-                .iter()
-                .position(|t| t.predicate == fact.predicate && t.object == fact.object)
-            {
-                record.triples.remove(at);
-            }
-        }
-        for fact in &delta.added {
-            record.triples.push(ExtendedTriple::simple(
-                delta.entity,
-                fact.predicate,
-                fact.object.clone(),
-                FactMeta::default(),
-            ));
-        }
-        if record.triples.is_empty() {
-            self.live.remove(delta.entity);
-        } else {
-            self.live.upsert(record);
+            applied += n;
         }
     }
 
@@ -121,6 +141,44 @@ impl LiveReplica {
     /// The serving store (cheaply cloneable; shares the replica's shards).
     pub fn live(&self) -> &LiveKg {
         &self.live
+    }
+}
+
+/// Apply one operation's delta payloads. Id-only legacy entries carry
+/// nothing replayable and are skipped — a replica of a log containing
+/// them is incomplete, which [`LiveReplica::lag`] cannot detect; produce
+/// with [`OperationLog::append_op`] to guarantee full shipping.
+fn apply_op(live: &LiveKg, op: &IngestOp) {
+    for delta in &op.deltas {
+        apply_delta(live, delta);
+    }
+}
+
+fn apply_delta(live: &LiveKg, delta: &Delta) {
+    let mut record = live
+        .get(delta.entity)
+        .unwrap_or_else(|| EntityRecord::new(delta.entity));
+    for fact in &delta.removed {
+        if let Some(at) = record
+            .triples
+            .iter()
+            .position(|t| t.predicate == fact.predicate && t.object == fact.object)
+        {
+            record.triples.remove(at);
+        }
+    }
+    for fact in &delta.added {
+        record.triples.push(ExtendedTriple::simple(
+            delta.entity,
+            fact.predicate,
+            fact.object.clone(),
+            FactMeta::default(),
+        ));
+    }
+    if record.triples.is_empty() {
+        live.remove(delta.entity);
+    } else {
+        live.upsert(record);
     }
 }
 

@@ -19,8 +19,8 @@ use parking_lot::RwLock;
 use saga_core::postings::{union_views, PostingsCursor, PostingsView};
 use saga_core::write::record_delta;
 use saga_core::{
-    CommitReceipt, EntityId, EntityRecord, FxHashMap, GraphRead, GraphWrite, OpOutcome, ProbeKey,
-    Symbol, TripleIndex, Value, WriteBatch, WriteOp,
+    CommitReceipt, EntityId, EntityRecord, ExtendedTriple, FactMeta, FxHashMap, GraphRead,
+    GraphWrite, OpOutcome, ProbeKey, Symbol, TripleIndex, Value, WriteBatch, WriteOp,
 };
 
 use crate::pool::ProbePool;
@@ -45,6 +45,17 @@ impl ShardedTripleIndex {
         let n = shards.clamp(1, 1024);
         ShardedTripleIndex {
             shards: (0..n).map(|_| RwLock::new(TripleIndex::new())).collect(),
+        }
+    }
+
+    /// A striped index over pre-partitioned shards: `parts[i]` must hold
+    /// exactly the entities with `id % parts.len() == i` — the contract
+    /// [`TripleIndex::partition`] produces. Postings arrive already in
+    /// their compressed form; nothing is re-indexed.
+    pub fn from_partitions(parts: Vec<TripleIndex>) -> Self {
+        assert!(!parts.is_empty(), "at least one shard required");
+        ShardedTripleIndex {
+            shards: parts.into_iter().map(RwLock::new).collect(),
         }
     }
 
@@ -267,6 +278,46 @@ impl LiveKg {
             index: Arc::new(ShardedTripleIndex::new(n)),
             shard_count: n,
             generation: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Rebuild a live KG from a checkpoint-restored [`TripleIndex`]: the
+    /// index is partitioned across `shards` stripes as-is (postings keep
+    /// their compressed containers) and entity records are synthesized
+    /// from the indexed facts — the same simple-triple records log replay
+    /// builds ([`crate::replica::LiveReplica`]), so a restored replica
+    /// serves identically to one that replayed the full history.
+    pub fn restore(shards: usize, index: TripleIndex) -> Self {
+        let n = shards.clamp(1, 1024);
+        let parts = index.partition(n);
+        let maps: Vec<RwLock<FxHashMap<EntityId, EntityRecord>>> = parts
+            .iter()
+            .map(|part| {
+                let mut map =
+                    FxHashMap::with_capacity_and_hasher(part.entity_count(), Default::default());
+                for id in part.subjects() {
+                    let mut record = EntityRecord::new(id);
+                    for (pred, value) in part.facts_of(id) {
+                        record.triples.push(ExtendedTriple::simple(
+                            id,
+                            pred,
+                            value.clone(),
+                            FactMeta::default(),
+                        ));
+                    }
+                    map.insert(id, record);
+                }
+                RwLock::new(map)
+            })
+            .collect();
+        LiveKg {
+            shards: Arc::new(maps),
+            index: Arc::new(ShardedTripleIndex::from_partitions(parts)),
+            shard_count: n,
+            // Start past the empty-store generation so plan caches built
+            // against a fresh `new()` store never validate against a
+            // restored one.
+            generation: Arc::new(AtomicU64::new(1)),
         }
     }
 

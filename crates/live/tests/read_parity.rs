@@ -245,7 +245,7 @@ use saga_live::LiveReplica;
 
 /// Build the stable KG from `facts` through a write-ahead `LoggedWriter`
 /// over `log` — the producer side of the §3.1 log-shipping loop, now with
-/// no `drain_deltas`/`append_op` pairing anywhere: every commit appends
+/// no hand-paired changelog-drain/`append_op` anywhere: every commit appends
 /// its batch to the log *before* applying it. The world deliberately
 /// includes the awkward ops: popularity facts from a second source are
 /// volatile-overwritten each "cycle", and the second source is finally

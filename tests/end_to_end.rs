@@ -199,7 +199,7 @@ fn construction_commits_write_ahead_through_the_log_to_a_replica() {
     // LoggedWriter (batch staged → deltas appended to the durable log →
     // applied to the KG), and a serving replica that never touches the
     // KnowledgeGraph catches up and answers the same KGQ queries. No
-    // drain_deltas/append_op pairing exists anywhere in this loop.
+    // hand-paired changelog-drain/append_op exists anywhere in this loop.
     let ontology = default_ontology();
     let world = MusicWorld::generate(7, 40, 2);
     let mut pipes = make_pipes();
