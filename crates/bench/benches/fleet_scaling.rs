@@ -1,0 +1,186 @@
+//! Fleet scaling: a mixed read/write workload driven through
+//! `FleetRouter` at 1/2/4/8 replicas, over a NerdWorld base corpus.
+//!
+//! # What scales on this machine
+//!
+//! The bench container exposes **one hardware thread**, so aggregate
+//! query CPU cannot scale with replica count. What does scale is the
+//! *freshness-bound* part of the workload: a session round trip (commit,
+//! then read your own write) must wait for some replica's replay worker
+//! to poll the log, and with `stagger_polls` the fleet's polls are
+//! spread evenly across the poll interval — the expected
+//! commit-to-visibility wait drops from `poll_interval / 2` with one
+//! replica to `poll_interval / 2N` with N. Since per-query CPU
+//! (~0.1 ms) is small against the 4 ms poll interval, session-heavy
+//! mixed traffic gets near-linear round-trip scaling, which is exactly
+//! the regime the paper's replicated serving tier targets (fresh reads
+//! at bounded staleness, not raw CPU fan-out).
+//!
+//! Run with `cargo bench -p saga-bench --bench fleet_scaling`; stdout is
+//! the JSON body recorded in `BENCH_fleet.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+use saga_bench::{ambiguous_world, percentile};
+use saga_core::{EntityId, KnowledgeGraph, SourceId, WriteBatch, WriteOp};
+use saga_fleet::{FleetConfig, FleetController, FleetRouter, ReplicaPool};
+use saga_graph::{LoggedWriter, OpKind, OperationLog};
+
+/// Session round trips per fleet size.
+const OPS: u64 = 250;
+/// Plain (no-session) reads interleaved after each round trip.
+const PLAIN_READS: u64 = 2;
+/// Synthetic traffic entities start far above the NerdWorld id range.
+const ID_BASE: u64 = 10_000_000;
+
+struct RunResult {
+    replicas: usize,
+    wall_ms: f64,
+    qps: f64,
+    p50_us: u128,
+    p99_us: u128,
+    lag_skips: u64,
+    session_skips: u64,
+}
+
+/// Preload the NerdWorld corpus through the write-ahead writer so every
+/// replica replays a realistic fact distribution before traffic starts.
+fn preload(writer: &LoggedWriter, corpus: &KnowledgeGraph) {
+    let mut records: Vec<&saga_core::EntityRecord> = corpus.entities().collect();
+    records.sort_unstable_by_key(|r| r.id);
+    for chunk in records.chunks(200) {
+        let mut batch = WriteBatch::new();
+        for record in chunk {
+            for t in &record.triples {
+                batch.push(WriteOp::Upsert(t.clone()));
+            }
+        }
+        writer.commit(OpKind::Upsert, batch).unwrap();
+    }
+}
+
+fn run_fleet(replicas: usize, corpus: &KnowledgeGraph) -> RunResult {
+    let writer = LoggedWriter::new(
+        Arc::new(RwLock::new(KnowledgeGraph::new())),
+        Arc::new(OperationLog::in_memory()),
+    );
+    preload(&writer, corpus);
+
+    let dir = std::env::temp_dir().join(format!(
+        "saga-fleet-bench-{}-{replicas}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = FleetConfig {
+        replicas,
+        shards: 2,
+        poll_interval: Duration::from_millis(4),
+        stagger_polls: true,
+        lag_bound: 2,
+        session_timeout: Duration::from_secs(10),
+        ..FleetConfig::default()
+    };
+    let pool = ReplicaPool::start(cfg, Arc::clone(writer.log()), &dir).unwrap();
+    let router = FleetRouter::new(Arc::clone(&pool));
+    let controller = FleetController::new(Arc::clone(&pool));
+    router
+        .wait_for_lsn(writer.log().head(), Duration::from_secs(30))
+        .unwrap();
+
+    let mut round_trip_us: Vec<u128> = Vec::with_capacity(OPS as usize);
+    let t0 = Instant::now();
+    for i in 0..OPS {
+        let id = ID_BASE + i;
+        let rt0 = Instant::now();
+        let commit = writer
+            .commit(
+                OpKind::Upsert,
+                WriteBatch::new().named_entity(
+                    EntityId(id),
+                    &format!("Fleet Track {i}"),
+                    "song",
+                    SourceId(7),
+                    0.9,
+                ),
+            )
+            .unwrap();
+        let hits = router
+            .query_with_session(
+                &format!("FIND song WHERE name = \"Fleet Track {i}\""),
+                &commit.session_token(),
+            )
+            .unwrap();
+        assert_eq!(hits.entities(), vec![EntityId(id)], "read-your-writes");
+        round_trip_us.push(rt0.elapsed().as_micros());
+
+        // Plain reads of a slightly older entity: no freshness wait, any
+        // fresh replica may answer (and may legitimately still trail it
+        // by a poll — no content assertion).
+        if i >= 5 {
+            for _ in 0..PLAIN_READS {
+                let back = i - 5;
+                router
+                    .query(&format!("FIND song WHERE name = \"Fleet Track {back}\""))
+                    .unwrap();
+            }
+        }
+    }
+    let wall = t0.elapsed();
+    let stats = controller.stats();
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let queries = OPS + (OPS - 5) * PLAIN_READS;
+    RunResult {
+        replicas,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        qps: queries as f64 / wall.as_secs_f64(),
+        p50_us: percentile(&mut round_trip_us, 50.0),
+        p99_us: percentile(&mut round_trip_us, 99.0),
+        lag_skips: stats.lag_skips,
+        session_skips: stats.session_skips,
+    }
+}
+
+fn main() {
+    let world = ambiguous_world(42, 300);
+    let corpus = world.kg;
+    let mut runs = Vec::new();
+    for replicas in [1usize, 2, 4, 8] {
+        let run = run_fleet(replicas, &corpus);
+        eprintln!(
+            "fleet_scaling: {} replica(s): {:.0} qps, p50 {} us, p99 {} us",
+            run.replicas, run.qps, run.p50_us, run.p99_us
+        );
+        runs.push(run);
+    }
+
+    let base_qps = runs[0].qps;
+    println!("{{");
+    println!(
+        "  \"workload\": {{ \"generator\": \"ambiguous_world(42, 300)\", \"corpus_entities\": {}, \"corpus_facts\": {}, \"session_round_trips\": {}, \"plain_reads_per_trip\": {}, \"poll_interval_ms\": 4, \"lag_bound\": 2 }},",
+        corpus.entity_count(),
+        corpus.fact_count(),
+        OPS,
+        PLAIN_READS
+    );
+    println!("  \"runs\": [");
+    for (at, run) in runs.iter().enumerate() {
+        let comma = if at + 1 < runs.len() { "," } else { "" };
+        println!(
+            "    {{ \"replicas\": {}, \"wall_ms\": {:.1}, \"qps\": {:.0}, \"qps_vs_single\": {:.2}, \"session_round_trip_p50_us\": {}, \"session_round_trip_p99_us\": {}, \"lag_skips\": {}, \"session_skips\": {} }}{comma}",
+            run.replicas,
+            run.wall_ms,
+            run.qps,
+            run.qps / base_qps,
+            run.p50_us,
+            run.p99_us,
+            run.lag_skips,
+            run.session_skips
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -35,6 +35,7 @@ pub mod meta;
 pub mod postings;
 pub mod read;
 pub mod row;
+pub mod session;
 pub mod triple;
 pub mod value;
 pub mod wire;
@@ -57,6 +58,7 @@ pub use meta::{FactMeta, SourceTrust};
 pub use postings::{intersect_views, union_views, BlockPostings, PostingsCursor, PostingsView};
 pub use read::{GraphRead, OverlayRead};
 pub use row::{Dataset, Row};
+pub use session::SessionToken;
 pub use triple::{ExtendedTriple, RelPart, SubjectRef, TripleKey};
 pub use value::Value;
 pub use write::{

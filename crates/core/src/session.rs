@@ -1,0 +1,73 @@
+//! Read-your-writes session tokens.
+//!
+//! §3.1 uses LSNs "as a distributed synchronization primitive": a consumer
+//! that just committed at LSN *w* must only read from stores whose replay
+//! progress is at or past *w*, or it may observe the graph as it was before
+//! its own write. A [`SessionToken`] is the client-side carrier of that
+//! constraint — the LSN of the client's newest commit, handed back by the
+//! write path and presented with every subsequent read. Routers compare it
+//! against replica watermarks: a replica satisfies the session iff its
+//! watermark is at or past the token.
+//!
+//! Tokens are deliberately tiny (one LSN) and totally ordered, so a client
+//! juggling several commits keeps exactly one token and
+//! [`observe`](SessionToken::observe)s each new commit into it — the
+//! newest LSN subsumes the guarantee of every older one.
+
+use crate::id::Lsn;
+
+/// A client's causal read constraint: reads under this token must be
+/// served at or past [`lsn`](Self::lsn). `SessionToken::default()` is the
+/// unconstrained token (any replica satisfies it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionToken {
+    lsn: Lsn,
+}
+
+impl SessionToken {
+    /// A token pinned at `lsn` — typically the LSN of the commit whose
+    /// effects the client must be able to read back.
+    pub fn at(lsn: Lsn) -> Self {
+        SessionToken { lsn }
+    }
+
+    /// The minimum watermark a replica needs to serve this session.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    /// Fold a newer commit into the session. Monotone: observing an older
+    /// LSN leaves the token unchanged, so a client can feed every commit
+    /// receipt through without ordering them first.
+    pub fn observe(&mut self, lsn: Lsn) {
+        if lsn > self.lsn {
+            self.lsn = lsn;
+        }
+    }
+
+    /// True if a replica at `watermark` can serve this session's reads.
+    pub fn satisfied_by(&self, watermark: Lsn) -> bool {
+        watermark >= self.lsn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_order_and_observe_monotonically() {
+        let mut token = SessionToken::default();
+        assert_eq!(token.lsn(), Lsn::ZERO);
+        assert!(token.satisfied_by(Lsn::ZERO), "unconstrained");
+
+        token.observe(Lsn(5));
+        token.observe(Lsn(3)); // older commit: ignored
+        assert_eq!(token.lsn(), Lsn(5));
+        assert!(!token.satisfied_by(Lsn(4)));
+        assert!(token.satisfied_by(Lsn(5)));
+        assert!(token.satisfied_by(Lsn(9)));
+
+        assert!(SessionToken::at(Lsn(7)) > token, "newer token subsumes");
+    }
+}

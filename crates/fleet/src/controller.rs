@@ -1,0 +1,303 @@
+//! The fleet's control plane: health, failure detection, respawn,
+//! checkpoint cadence.
+//!
+//! [`FleetController::tick`] is one supervision pass — deliberately a
+//! plain method, so tests and schedulers drive it deterministically:
+//!
+//! 1. **checkpoint cadence** — once the log head has advanced
+//!    [`checkpoint_every`](crate::FleetConfig::checkpoint_every) ops past
+//!    the last artifact,
+//!    [`checkpoint_and_compact`](CheckpointWriter::checkpoint_and_compact)
+//!    writes a new artifact and prunes the replayed prefix — keeping
+//!    respawn `O(live data + tail)` and the log bounded;
+//! 2. **death detection** — slots whose worker exited (panic, replay
+//!    error, kill) are `Down` via their drop guard and are respawned from
+//!    the newest checkpoint;
+//! 3. **wedge detection** — a slot whose heartbeat *and* watermark have
+//!    both been frozen for longer than
+//!    [`wedge_timeout`](crate::FleetConfig::wedge_timeout) while the log
+//!    is ahead of it is stuck, not idle: it is drained (in-flight reads
+//!    finish) and respawned.
+//!
+//! [`FleetController::spawn_ticker`] runs the same pass on a fixed
+//! interval for long-lived deployments.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use saga_core::{checkpoint, Lsn, Result};
+use saga_graph::CheckpointWriter;
+
+use crate::pool::{ReplicaPool, ReplicaState};
+
+/// Last-observed progress of one slot, for wedge detection.
+struct Observed {
+    heartbeat: u64,
+    watermark: u64,
+    since: Instant,
+}
+
+/// The supervisor: owns failure detection and the checkpoint cadence for
+/// one [`ReplicaPool`].
+pub struct FleetController {
+    pool: Arc<ReplicaPool>,
+    ckpt: Option<CheckpointWriter>,
+    /// Watermark of the newest checkpoint artifact (0 when none).
+    last_ckpt: AtomicU64,
+    /// Checkpoints taken by this controller.
+    checkpoints: AtomicU64,
+    observed: Mutex<Vec<Observed>>,
+}
+
+impl FleetController {
+    /// A controller that supervises workers but never checkpoints (no
+    /// producer-side writer available — e.g. a read-only serving tier).
+    pub fn new(pool: Arc<ReplicaPool>) -> Self {
+        let observed = pool
+            .slots()
+            .iter()
+            .map(|s| Observed {
+                heartbeat: s.heartbeat.load(Ordering::Relaxed),
+                watermark: s.watermark.load(Ordering::SeqCst),
+                since: Instant::now(),
+            })
+            .collect();
+        FleetController {
+            pool,
+            ckpt: None,
+            last_ckpt: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            observed: Mutex::new(observed),
+        }
+    }
+
+    /// A controller that also owns the checkpoint cadence. `writer` must
+    /// target the pool's checkpoint directory so respawns find the
+    /// artifacts it writes. The cadence resumes from the newest existing
+    /// artifact's watermark.
+    pub fn with_checkpointer(pool: Arc<ReplicaPool>, writer: CheckpointWriter) -> Self {
+        let mut controller = Self::new(pool);
+        let newest = checkpoint::artifacts(controller.pool.checkpoint_dir())
+            .ok()
+            .and_then(|infos| infos.last().map(|i| i.watermark))
+            .unwrap_or(Lsn::ZERO);
+        controller.last_ckpt = AtomicU64::new(newest.0);
+        controller.ckpt = Some(writer);
+        controller
+    }
+
+    /// The supervised pool.
+    pub fn pool(&self) -> &Arc<ReplicaPool> {
+        &self.pool
+    }
+
+    /// One supervision pass; see the module docs for the three steps.
+    pub fn tick(&self) -> Result<TickReport> {
+        let mut report = TickReport::default();
+
+        // 1. Checkpoint cadence — before respawns, so a respawn in the
+        // same tick bootstraps from the freshest possible artifact.
+        if let Some(writer) = &self.ckpt {
+            let head = self.pool.log().head().0;
+            if head.saturating_sub(self.last_ckpt.load(Ordering::Relaxed))
+                >= self.pool.config().checkpoint_every
+            {
+                let receipt = writer.checkpoint_and_compact()?;
+                self.last_ckpt.store(receipt.watermark.0, Ordering::Relaxed);
+                self.checkpoints.fetch_add(1, Ordering::Relaxed);
+                report.checkpointed = Some(receipt.watermark);
+            }
+        }
+
+        // 2 + 3. Death and wedge detection.
+        let head = self.pool.log().head().0;
+        for (id, slot) in self.pool.slots().iter().enumerate() {
+            match slot.state() {
+                ReplicaState::Down => {
+                    self.pool.respawn(id)?;
+                    self.reset_observed(id);
+                    report.respawned.push(id);
+                }
+                ReplicaState::Serving => {
+                    let heartbeat = slot.heartbeat.load(Ordering::Relaxed);
+                    let watermark = slot.watermark.load(Ordering::SeqCst);
+                    let wedged = {
+                        let mut observed = self.observed.lock();
+                        let o = &mut observed[id];
+                        if o.heartbeat != heartbeat || o.watermark != watermark {
+                            *o = Observed {
+                                heartbeat,
+                                watermark,
+                                since: Instant::now(),
+                            };
+                            false
+                        } else {
+                            o.since.elapsed() >= self.pool.config().wedge_timeout
+                                && head > watermark
+                        }
+                    };
+                    if wedged {
+                        self.pool.drain(id)?;
+                        self.pool.respawn(id)?;
+                        self.reset_observed(id);
+                        report.respawned.push(id);
+                    }
+                }
+                ReplicaState::Draining => {}
+            }
+        }
+        Ok(report)
+    }
+
+    fn reset_observed(&self, id: usize) {
+        let mut observed = self.observed.lock();
+        observed[id] = Observed {
+            heartbeat: self.pool.slots()[id].heartbeat.load(Ordering::Relaxed),
+            watermark: self.pool.slots()[id].watermark.load(Ordering::SeqCst),
+            since: Instant::now(),
+        };
+    }
+
+    /// A point-in-time health snapshot of the whole fleet.
+    pub fn stats(&self) -> FleetStats {
+        let head = self.pool.log().head();
+        let replicas: Vec<ReplicaHealth> = self
+            .pool
+            .slots()
+            .iter()
+            .map(|s| {
+                let watermark = Lsn(s.watermark.load(Ordering::SeqCst));
+                ReplicaHealth {
+                    replica: s.id,
+                    state: s.state(),
+                    watermark,
+                    lag: head.0.saturating_sub(watermark.0),
+                    inflight: s.inflight.load(Ordering::SeqCst),
+                    served: s.served.load(Ordering::Relaxed),
+                    errors: s.errors.load(Ordering::Relaxed),
+                    respawns: s.respawns.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
+        let mut serving: Vec<u64> = replicas
+            .iter()
+            .filter(|r| r.state == ReplicaState::Serving)
+            .map(|r| r.watermark.0)
+            .collect();
+        serving.sort_unstable();
+        FleetStats {
+            head,
+            median_watermark: serving.get(serving.len() / 2).copied().map(Lsn),
+            lag_skips: self.pool.lag_skips.load(Ordering::Relaxed),
+            session_skips: self.pool.session_skips.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            last_checkpoint: Lsn(self.last_ckpt.load(Ordering::Relaxed)),
+            replicas,
+        }
+    }
+
+    /// Run [`tick`](Self::tick) every `interval` on a supervisor thread
+    /// until the returned handle is dropped. Tick errors are counted on
+    /// the handle, not fatal — a transient checkpoint failure must not
+    /// kill supervision.
+    pub fn spawn_ticker(self: &Arc<Self>, interval: Duration) -> TickerHandle {
+        let controller = Arc::clone(self);
+        let stop = Arc::new(AtomicBool::new(false));
+        let errors = Arc::new(AtomicU64::new(0));
+        let stop_flag = Arc::clone(&stop);
+        let error_count = Arc::clone(&errors);
+        let handle = std::thread::Builder::new()
+            .name("fleet-controller".into())
+            .spawn(move || {
+                while !stop_flag.load(Ordering::SeqCst) {
+                    if controller.tick().is_err() {
+                        error_count.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .expect("spawn fleet controller ticker");
+        TickerHandle {
+            stop,
+            errors,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// What one [`FleetController::tick`] did.
+#[derive(Debug, Default)]
+pub struct TickReport {
+    /// Slots respawned this pass (dead or wedged).
+    pub respawned: Vec<usize>,
+    /// Watermark of the checkpoint taken this pass, if any.
+    pub checkpointed: Option<Lsn>,
+}
+
+/// Health of one serving slot.
+#[derive(Clone, Debug)]
+pub struct ReplicaHealth {
+    /// Slot index.
+    pub replica: usize,
+    /// Lifecycle state.
+    pub state: ReplicaState,
+    /// Highest LSN fully applied and published.
+    pub watermark: Lsn,
+    /// Ops between the log head and this replica.
+    pub lag: u64,
+    /// Reads currently pinned here.
+    pub inflight: u64,
+    /// Queries served.
+    pub served: u64,
+    /// Query errors plus worker deaths.
+    pub errors: u64,
+    /// Times respawned.
+    pub respawns: u64,
+}
+
+/// Point-in-time fleet health.
+#[derive(Clone, Debug)]
+pub struct FleetStats {
+    /// The shared log's head.
+    pub head: Lsn,
+    /// Median watermark across serving replicas (the router's freshness
+    /// anchor); `None` when nothing serves.
+    pub median_watermark: Option<Lsn>,
+    /// Routing decisions that skipped a replica for trailing the median
+    /// beyond the lag bound.
+    pub lag_skips: u64,
+    /// Routing decisions that skipped a replica for trailing a session
+    /// token.
+    pub session_skips: u64,
+    /// Checkpoints taken by this controller.
+    pub checkpoints: u64,
+    /// Watermark of the newest checkpoint artifact.
+    pub last_checkpoint: Lsn,
+    /// Per-slot health.
+    pub replicas: Vec<ReplicaHealth>,
+}
+
+/// Stops and joins the supervisor thread on drop.
+pub struct TickerHandle {
+    stop: Arc<AtomicBool>,
+    errors: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TickerHandle {
+    /// Tick errors swallowed so far (supervision keeps running).
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for TickerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! # saga-fleet
+//!
+//! The replicated serving fleet (§3.1 log shipping + §4.1 "the indexes are
+//! sharded and can be replicated to support scale-out"): N log-shipped
+//! [`LiveReplica`](saga_live::LiveReplica)s behind one lag-aware router,
+//! supervised by a control plane that checkpoints the log and respawns
+//! failed replicas from those checkpoints.
+//!
+//! * [`pool`] — the data plane: a [`ReplicaPool`] of serving slots, each
+//!   owning a replica tailed by its own replay worker thread (bounded
+//!   [`catch_up_batch`](saga_live::LiveReplica::catch_up_batch) polls with
+//!   staggered phases, lock-free health publication).
+//! * [`router`] — [`FleetRouter`]: the single external query surface. It
+//!   routes each read to a *fresh* replica — never one trailing the fleet
+//!   median watermark by more than [`FleetConfig::lag_bound`] — preferring
+//!   the least-loaded among the fresh, and honors
+//!   [`SessionToken`](saga_core::SessionToken)s so a client's reads are
+//!   served only by replicas that have replayed the client's own commits
+//!   (read-your-writes).
+//! * [`controller`] — the control plane: [`FleetController`] observes
+//!   per-slot heartbeats and watermarks, detects panicked and wedged
+//!   workers, drains and respawns them via checkpoint bootstrap, and runs
+//!   [`checkpoint_and_compact`](saga_graph::CheckpointWriter::checkpoint_and_compact)
+//!   on a log-growth cadence so respawn stays `O(live data + tail)`.
+//!
+//! The fleet is deliberately single-process here (threads, not boxes), but
+//! every boundary mirrors the paper's deployment shape: replicas see only
+//! the shared [`OperationLog`](saga_graph::OperationLog) and checkpoint
+//! artifacts, never the construction-side graph.
+
+pub mod controller;
+pub mod pool;
+pub mod router;
+
+use std::time::Duration;
+
+pub use controller::{FleetController, FleetStats, ReplicaHealth, TickReport};
+pub use pool::{ReplicaFault, ReplicaPool, ReplicaState};
+pub use router::{FleetRouter, RoutedRead};
+
+/// Tuning knobs for a serving fleet. `Default` is sized for tests and
+/// single-machine serving; production fleets raise `replicas` and
+/// `checkpoint_every`.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Number of serving replicas (slots). Clamped to at least 1.
+    pub replicas: usize,
+    /// Lock stripes per replica store (see [`saga_live::LiveKg`]).
+    pub shards: usize,
+    /// Max operations one replay poll applies before re-checking health
+    /// and shutdown flags — bounds how long a worker holds the log lock.
+    pub replay_batch: usize,
+    /// How long a caught-up worker sleeps before polling the log again.
+    /// This is the fleet's freshness floor: a commit becomes visible on
+    /// some replica within one poll interval (divided by `replicas` when
+    /// `stagger_polls` is on).
+    pub poll_interval: Duration,
+    /// Offset each worker's poll phase by `i/N` of the interval so the
+    /// fleet's polls are spread evenly in time instead of stampeding
+    /// together — the expected commit-to-visibility wait drops from
+    /// `poll_interval / 2` to `poll_interval / 2N`.
+    pub stagger_polls: bool,
+    /// Max operations a replica may trail the fleet **median** watermark
+    /// and still receive routed reads. The median (not the max) anchors
+    /// the bound so one far-ahead replica cannot starve the rest.
+    pub lag_bound: u64,
+    /// How long a session read waits for some replica to reach the
+    /// session's LSN before failing with a timeout error.
+    pub session_timeout: Duration,
+    /// A worker whose heartbeat and watermark both freeze for this long
+    /// while the log is ahead of it is declared wedged and respawned.
+    pub wedge_timeout: Duration,
+    /// How long a drain waits for in-flight reads to finish before the
+    /// slot is respawned anyway.
+    pub drain_timeout: Duration,
+    /// Checkpoint-and-compact once the log head has advanced this many
+    /// operations past the last checkpoint watermark.
+    pub checkpoint_every: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            replicas: 2,
+            shards: 8,
+            replay_batch: 1024,
+            poll_interval: Duration::from_millis(2),
+            stagger_polls: true,
+            lag_bound: 512,
+            session_timeout: Duration::from_secs(2),
+            wedge_timeout: Duration::from_millis(250),
+            drain_timeout: Duration::from_millis(100),
+            checkpoint_every: 4096,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// The default config with `replicas` slots.
+    pub fn with_replicas(replicas: usize) -> Self {
+        FleetConfig {
+            replicas,
+            ..FleetConfig::default()
+        }
+    }
+
+    pub(crate) fn validated(mut self) -> Self {
+        self.replicas = self.replicas.max(1);
+        self.shards = self.shards.max(1);
+        self.replay_batch = self.replay_batch.max(1);
+        self
+    }
+}

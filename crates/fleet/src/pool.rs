@@ -1,0 +1,398 @@
+//! The fleet's data plane: serving slots and their replay workers.
+//!
+//! Each slot owns one [`LiveReplica`] tailing the shared
+//! [`OperationLog`] on its own worker thread — bounded
+//! [`catch_up_batch`](LiveReplica::catch_up_batch) polls so the log lock
+//! is never held long, a per-worker phase offset so the fleet's polls are
+//! spread across the poll interval, and a heartbeat/watermark pair
+//! published with plain atomics so routing and health checks never take a
+//! lock on the serving path.
+//!
+//! # The no-stale-pin protocol
+//!
+//! A routed read pins a slot's engine (increments `inflight`, clones the
+//! engine `Arc`), then **re-checks** state and watermark. Draining stores
+//! `DRAINING` *before* waiting for `inflight == 0`; both sides use
+//! `SeqCst`, so if the reader's re-check still observes `SERVING`, the
+//! drain had not started and must subsequently wait for this pin to drop —
+//! the engine swap cannot happen under a pinned read, and a session read
+//! that re-verified `watermark >= token` keeps that guarantee for the
+//! engine it actually holds. A re-check that observes anything else
+//! releases the pin and re-routes.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use saga_core::{GraphRead, Lsn, Result, SagaError};
+use saga_graph::OperationLog;
+use saga_live::{LiveKg, LiveReplica, QueryEngine};
+
+use crate::FleetConfig;
+
+/// Slot lifecycle, published as one atomic byte.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Caught up enough to serve (subject to the router's lag bound).
+    Serving,
+    /// Excluded from new reads; in-flight reads are finishing.
+    Draining,
+    /// Worker dead (panicked, wedged-and-killed, or shut down).
+    Down,
+}
+
+const STATE_SERVING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_DOWN: u8 = 2;
+
+/// Externally injectable worker failures, for fault drills and tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplicaFault {
+    /// The worker panics at its next loop iteration — the crashed-replica
+    /// drill. The slot's drop guard records the death as `Down`.
+    Panic,
+    /// The worker stops replaying and stops heartbeating but stays alive —
+    /// the stuck-I/O drill a liveness check must catch, since the thread
+    /// never exits on its own.
+    Wedge,
+}
+
+const FAULT_NONE: u8 = 0;
+const FAULT_PANIC: u8 = 1;
+const FAULT_WEDGE: u8 = 2;
+
+/// One serving slot: a query engine over a replica store, plus the
+/// atomics its worker publishes and its supervisor reads.
+pub(crate) struct Slot {
+    pub(crate) id: usize,
+    /// The serving engine. Swapped only on respawn, and only while no
+    /// read pins it (see the module docs); readers clone the `Arc` out
+    /// under a brief read lock.
+    engine: RwLock<Arc<QueryEngine<LiveKg>>>,
+    /// Mirror of the replica's applied watermark, stored `Release` by the
+    /// worker after each applied batch — routing reads this, never the
+    /// replica.
+    pub(crate) watermark: AtomicU64,
+    /// Sum of the generations of this slot's *previous* engines: added to
+    /// the live engine's generation it keeps the slot (and fleet)
+    /// generation monotone across respawns, so plan caches keyed on it
+    /// can never revalidate against a reborn store.
+    pub(crate) gen_floor: AtomicU64,
+    state: AtomicU8,
+    fault: AtomicU8,
+    kill: AtomicBool,
+    /// Reads currently pinned to this slot's engine.
+    pub(crate) inflight: AtomicU64,
+    /// Queries served (successfully) by this slot.
+    pub(crate) served: AtomicU64,
+    /// Query errors plus worker panics attributed to this slot.
+    pub(crate) errors: AtomicU64,
+    /// Times this slot has been respawned.
+    pub(crate) respawns: AtomicU64,
+    /// Bumped every worker loop iteration; a frozen heartbeat is the
+    /// wedge signal.
+    pub(crate) heartbeat: AtomicU64,
+    worker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Slot {
+    fn new(id: usize, engine: QueryEngine<LiveKg>, watermark: Lsn) -> Arc<Self> {
+        Arc::new(Slot {
+            id,
+            engine: RwLock::new(Arc::new(engine)),
+            watermark: AtomicU64::new(watermark.0),
+            gen_floor: AtomicU64::new(0),
+            state: AtomicU8::new(STATE_SERVING),
+            fault: AtomicU8::new(FAULT_NONE),
+            kill: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            heartbeat: AtomicU64::new(0),
+            worker: Mutex::new(None),
+        })
+    }
+
+    pub(crate) fn state(&self) -> ReplicaState {
+        match self.state.load(Ordering::SeqCst) {
+            STATE_SERVING => ReplicaState::Serving,
+            STATE_DRAINING => ReplicaState::Draining,
+            _ => ReplicaState::Down,
+        }
+    }
+
+    pub(crate) fn is_serving(&self) -> bool {
+        self.state.load(Ordering::SeqCst) == STATE_SERVING
+    }
+
+    /// Clone the serving engine out (brief read lock, no contention with
+    /// the worker, which never touches the engine lock).
+    pub(crate) fn engine(&self) -> Arc<QueryEngine<LiveKg>> {
+        Arc::clone(&self.engine.read())
+    }
+
+    /// This slot's generation: the floor accumulated over dead engines
+    /// plus the live engine's own counter.
+    pub(crate) fn generation(&self) -> u64 {
+        self.gen_floor.load(Ordering::Relaxed) + self.engine().graph().generation()
+    }
+
+    /// Exclude the slot from new reads and wait (bounded) for pinned
+    /// reads to finish. `SeqCst` pairs with the router's pin re-check.
+    fn drain(&self, timeout: Duration) {
+        self.state.store(STATE_DRAINING, Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + timeout;
+        while self.inflight.load(Ordering::SeqCst) > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Tell the worker to exit and join it. Panicked workers were already
+    /// recorded by their drop guard; the join result is irrelevant.
+    fn stop_worker(&self) {
+        self.kill.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+        self.state.store(STATE_DOWN, Ordering::SeqCst);
+    }
+}
+
+/// Sets the slot `Down` when the worker exits for *any* reason — clean
+/// kill or panic — so the controller sees every death the same way.
+struct DownOnExit(Arc<Slot>);
+
+impl Drop for DownOnExit {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.0.state.store(STATE_DOWN, Ordering::SeqCst);
+    }
+}
+
+/// The fleet's slots plus the shared log and checkpoint directory they
+/// bootstrap from. Construct with [`ReplicaPool::start`]; route through
+/// [`FleetRouter`](crate::FleetRouter) — the pool itself exposes no
+/// per-replica query surface.
+pub struct ReplicaPool {
+    cfg: FleetConfig,
+    log: Arc<OperationLog>,
+    ckpt_dir: PathBuf,
+    slots: Vec<Arc<Slot>>,
+    /// Reads not routed to some replica because it trailed the fleet
+    /// median by more than the lag bound.
+    pub(crate) lag_skips: AtomicU64,
+    /// Reads not routed to some replica because it had not reached the
+    /// session token's LSN.
+    pub(crate) session_skips: AtomicU64,
+    /// Rotates the tie-break among equally-loaded fresh replicas.
+    pub(crate) rr: AtomicU64,
+}
+
+impl ReplicaPool {
+    /// Boot `cfg.replicas` slots against `log`, each bootstrapping from
+    /// the newest usable checkpoint in `ckpt_dir` (created if missing)
+    /// and then tailing the log on its own worker thread.
+    pub fn start(
+        cfg: FleetConfig,
+        log: Arc<OperationLog>,
+        ckpt_dir: impl Into<PathBuf>,
+    ) -> Result<Arc<Self>> {
+        let cfg = cfg.validated();
+        let ckpt_dir = ckpt_dir.into();
+        std::fs::create_dir_all(&ckpt_dir)?;
+        let mut slots = Vec::with_capacity(cfg.replicas);
+        for id in 0..cfg.replicas {
+            let replica = LiveReplica::bootstrap(cfg.shards, &ckpt_dir, Arc::clone(&log))?;
+            let slot = Slot::new(
+                id,
+                QueryEngine::new(replica.live().clone()),
+                replica.watermark(),
+            );
+            let offset = if cfg.stagger_polls {
+                cfg.poll_interval * id as u32 / cfg.replicas as u32
+            } else {
+                Duration::ZERO
+            };
+            let handle = spawn_worker(Arc::clone(&slot), replica, cfg.clone(), offset);
+            *slot.worker.lock() = Some(handle);
+            slots.push(slot);
+        }
+        Ok(Arc::new(ReplicaPool {
+            cfg,
+            log,
+            ckpt_dir,
+            slots,
+            lag_skips: AtomicU64::new(0),
+            session_skips: AtomicU64::new(0),
+            rr: AtomicU64::new(0),
+        }))
+    }
+
+    /// Number of slots (fixed for the pool's lifetime).
+    pub fn replicas(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The fleet's tuning knobs.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// The shared log every replica tails.
+    pub fn log(&self) -> &Arc<OperationLog> {
+        &self.log
+    }
+
+    /// Where respawns look for checkpoint artifacts.
+    pub fn checkpoint_dir(&self) -> &Path {
+        &self.ckpt_dir
+    }
+
+    pub(crate) fn slots(&self) -> &[Arc<Slot>] {
+        &self.slots
+    }
+
+    fn slot(&self, id: usize) -> Result<&Arc<Slot>> {
+        self.slots.get(id).ok_or_else(|| {
+            SagaError::Storage(format!(
+                "no replica {id} in a fleet of {}",
+                self.slots.len()
+            ))
+        })
+    }
+
+    /// Inject a worker failure into replica `id` (fault drills).
+    pub fn inject_fault(&self, id: usize, fault: ReplicaFault) -> Result<()> {
+        let byte = match fault {
+            ReplicaFault::Panic => FAULT_PANIC,
+            ReplicaFault::Wedge => FAULT_WEDGE,
+        };
+        self.slot(id)?.fault.store(byte, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Clear an injected fault; a wedged (but not panicked) worker
+    /// resumes replaying on its own.
+    pub fn clear_fault(&self, id: usize) -> Result<()> {
+        self.slot(id)?.fault.store(FAULT_NONE, Ordering::SeqCst);
+        Ok(())
+    }
+
+    /// Hard-stop replica `id`: drain briefly, kill its worker, mark it
+    /// `Down`. The slot serves nothing until [`respawn`](Self::respawn).
+    pub fn kill(&self, id: usize) -> Result<()> {
+        let slot = self.slot(id)?;
+        slot.drain(self.cfg.drain_timeout);
+        slot.stop_worker();
+        Ok(())
+    }
+
+    /// Drain replica `id` (used by the controller before respawning a
+    /// wedged worker, so pinned reads finish first).
+    pub(crate) fn drain(&self, id: usize) -> Result<()> {
+        self.slot(id)?.drain(self.cfg.drain_timeout);
+        Ok(())
+    }
+
+    /// Rebuild replica `id` from the newest usable checkpoint plus the
+    /// log tail, swap it into the slot and restart its worker. The dead
+    /// engine's generation folds into the slot's floor first, so the
+    /// slot-level generation stays monotone across the swap.
+    pub fn respawn(&self, id: usize) -> Result<()> {
+        let slot = self.slot(id)?;
+        slot.stop_worker();
+        let dead_gen = slot.engine().graph().generation();
+        slot.gen_floor.fetch_add(dead_gen, Ordering::Relaxed);
+        let replica =
+            LiveReplica::bootstrap(self.cfg.shards, &self.ckpt_dir, Arc::clone(&self.log))?;
+        slot.watermark
+            .store(replica.watermark().0, Ordering::SeqCst);
+        *slot.engine.write() = Arc::new(QueryEngine::new(replica.live().clone()));
+        slot.fault.store(FAULT_NONE, Ordering::SeqCst);
+        slot.kill.store(false, Ordering::SeqCst);
+        slot.respawns.fetch_add(1, Ordering::Relaxed);
+        // Serving from here on; the router's lag bound keeps routed reads
+        // away until the fresh replica is within bound of the median.
+        slot.state.store(STATE_SERVING, Ordering::SeqCst);
+        let handle = spawn_worker(Arc::clone(slot), replica, self.cfg.clone(), Duration::ZERO);
+        *slot.worker.lock() = Some(handle);
+        Ok(())
+    }
+
+    /// Stop every worker. Also runs on drop; explicit shutdown just makes
+    /// the join point visible.
+    pub fn shutdown(&self) {
+        for slot in &self.slots {
+            slot.kill.store(true, Ordering::SeqCst);
+        }
+        for slot in &self.slots {
+            slot.stop_worker();
+        }
+    }
+}
+
+impl Drop for ReplicaPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The replay worker: applies log batches to its replica, publishes the
+/// watermark, heartbeats, sleeps one poll interval when caught up.
+fn spawn_worker(
+    slot: Arc<Slot>,
+    mut replica: LiveReplica,
+    cfg: FleetConfig,
+    phase_offset: Duration,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("fleet-replica-{}", slot.id))
+        .spawn(move || {
+            let guard = DownOnExit(Arc::clone(&slot));
+            if !phase_offset.is_zero() {
+                std::thread::sleep(phase_offset);
+            }
+            loop {
+                if slot.kill.load(Ordering::SeqCst) {
+                    break;
+                }
+                match slot.fault.load(Ordering::SeqCst) {
+                    FAULT_PANIC => panic!("injected fault: replica {} worker panic", slot.id),
+                    FAULT_WEDGE => {
+                        // Alive but not replaying and not heartbeating;
+                        // short naps keep the kill flag responsive.
+                        std::thread::sleep(Duration::from_micros(200));
+                        continue;
+                    }
+                    _ => {}
+                }
+                slot.heartbeat.fetch_add(1, Ordering::Relaxed);
+                match replica.catch_up_batch(cfg.replay_batch) {
+                    Ok(0) => std::thread::sleep(cfg.poll_interval),
+                    Ok(_) => {
+                        // Publish *after* the batch is applied: a router
+                        // that observes watermark >= w is guaranteed the
+                        // engine serves every op <= w.
+                        slot.watermark
+                            .store(replica.watermark().0, Ordering::SeqCst);
+                    }
+                    Err(_) => {
+                        // Replay failure (e.g. the prefix was compacted
+                        // away under us): this replica can no longer
+                        // converge — die and let the controller respawn
+                        // it from a checkpoint.
+                        slot.errors.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            drop(guard);
+        })
+        .expect("spawn fleet replica worker")
+}

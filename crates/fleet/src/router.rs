@@ -1,0 +1,294 @@
+//! Lag-aware routing with read-your-writes sessions.
+//!
+//! [`FleetRouter`] is the fleet's only external query surface. Every read
+//! picks a replica in three lock-free steps over the slots' published
+//! watermarks:
+//!
+//! 1. **freshness** — compute the median watermark of the serving slots
+//!    and drop any slot trailing it by more than
+//!    [`FleetConfig::lag_bound`](crate::FleetConfig::lag_bound) (counted
+//!    in [`FleetStats::lag_skips`](crate::FleetStats));
+//! 2. **session** — with a [`SessionToken`], drop slots whose watermark
+//!    is below the token's LSN (counted in `session_skips`), so a client
+//!    never observes a store missing its own committed writes;
+//! 3. **load** — among the survivors, pick the fewest in-flight reads,
+//!    rotating the tie-break so equal loads spread round-robin.
+//!
+//! A session read with *no* eligible replica waits (bounded by
+//! [`FleetConfig::session_timeout`](crate::FleetConfig::session_timeout))
+//! for some replica's replay worker to reach the LSN — commits become
+//! visible within about one poll interval, so the wait is short unless
+//! the fleet is down or wedged.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use saga_core::{
+    EntityId, EntityRecord, GraphRead, Lsn, PostingsCursor, ProbeKey, Result, SagaError,
+    SessionToken,
+};
+use saga_live::{LiveKg, QueryEngine, QueryResult};
+
+use crate::pool::{ReplicaPool, Slot};
+
+/// How often a blocked session read re-checks the fleet's watermarks.
+const WAIT_POLL: Duration = Duration::from_micros(100);
+
+/// The fleet's query front door. Cheap to clone (a handle over the shared
+/// pool); all clones share routing counters.
+#[derive(Clone)]
+pub struct FleetRouter {
+    pool: Arc<ReplicaPool>,
+}
+
+impl FleetRouter {
+    /// A router over `pool`.
+    pub fn new(pool: Arc<ReplicaPool>) -> Self {
+        FleetRouter { pool }
+    }
+
+    /// The routed pool.
+    pub fn pool(&self) -> &Arc<ReplicaPool> {
+        &self.pool
+    }
+
+    /// Route one KGQ query to a fresh replica.
+    pub fn query(&self, text: &str) -> Result<QueryResult> {
+        self.read()?.query(text)
+    }
+
+    /// Route one KGQ query for a session: served only by a replica that
+    /// has replayed at least the session's LSN (read-your-writes).
+    pub fn query_with_session(&self, text: &str, token: &SessionToken) -> Result<QueryResult> {
+        self.read_with_session(token)?.query(text)
+    }
+
+    /// Pin a fresh replica for a sequence of reads (see [`RoutedRead`]).
+    pub fn read(&self) -> Result<RoutedRead> {
+        self.pick_pinned(None).ok_or_else(|| {
+            SagaError::Storage("fleet has no serving replica within the lag bound".into())
+        })
+    }
+
+    /// Pin a replica at or past the session's LSN, waiting up to the
+    /// configured session timeout for one to catch up.
+    pub fn read_with_session(&self, token: &SessionToken) -> Result<RoutedRead> {
+        let deadline = Instant::now() + self.pool.config().session_timeout;
+        loop {
+            if let Some(read) = self.pick_pinned(Some(token.lsn())) {
+                return Ok(read);
+            }
+            if Instant::now() >= deadline {
+                return Err(SagaError::Storage(format!(
+                    "session read timed out: no replica reached lsn {} within {:?}",
+                    token.lsn().0,
+                    self.pool.config().session_timeout
+                )));
+            }
+            std::thread::sleep(WAIT_POLL);
+        }
+    }
+
+    /// Block until some serving replica has replayed `lsn` (or time out).
+    /// The freshness primitive under session reads, usable standalone for
+    /// barrier-style "wait until the fleet has my write" coordination.
+    pub fn wait_for_lsn(&self, lsn: Lsn, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let reached = self
+                .pool
+                .slots()
+                .iter()
+                .any(|s| s.is_serving() && s.watermark.load(Ordering::SeqCst) >= lsn.0);
+            if reached {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(SagaError::Storage(format!(
+                    "no serving replica reached lsn {} within {timeout:?}",
+                    lsn.0
+                )));
+            }
+            std::thread::sleep(WAIT_POLL);
+        }
+    }
+
+    /// One routing decision: filter by freshness (median − lag bound) and
+    /// session LSN over the published watermarks, then pick the least
+    /// loaded survivor and pin it. Returns `None` when no serving slot
+    /// qualifies.
+    fn pick_pinned(&self, min_lsn: Option<Lsn>) -> Option<RoutedRead> {
+        'route: loop {
+            let slots = self.pool.slots();
+            let mut fresh: Vec<(&Arc<Slot>, u64)> = slots
+                .iter()
+                .filter(|s| s.is_serving())
+                .map(|s| (s, s.watermark.load(Ordering::SeqCst)))
+                .collect();
+            if fresh.is_empty() {
+                return None;
+            }
+            let mut marks: Vec<u64> = fresh.iter().map(|(_, w)| *w).collect();
+            marks.sort_unstable();
+            let median = marks[marks.len() / 2];
+            let bound = self.pool.config().lag_bound;
+            let before = fresh.len();
+            fresh.retain(|(_, w)| median.saturating_sub(*w) <= bound);
+            self.pool
+                .lag_skips
+                .fetch_add((before - fresh.len()) as u64, Ordering::Relaxed);
+            if let Some(min) = min_lsn {
+                let before = fresh.len();
+                fresh.retain(|(_, w)| *w >= min.0);
+                self.pool
+                    .session_skips
+                    .fetch_add((before - fresh.len()) as u64, Ordering::Relaxed);
+            }
+            if fresh.is_empty() {
+                return None;
+            }
+            // Least-loaded, with a rotating start so ties round-robin.
+            let rot = self.pool.rr.fetch_add(1, Ordering::Relaxed) as usize;
+            let n = fresh.len();
+            let mut best: Option<&Arc<Slot>> = None;
+            let mut best_load = u64::MAX;
+            for k in 0..n {
+                let (slot, _) = fresh[(rot + k) % n];
+                let load = slot.inflight.load(Ordering::Relaxed);
+                if load < best_load {
+                    best_load = load;
+                    best = Some(slot);
+                }
+            }
+            let slot = Arc::clone(best?);
+
+            // Pin, then re-check: see the pool module docs. A slot that
+            // was drained or respawned between the scan and the pin is
+            // released and routing retries from scratch.
+            slot.inflight.fetch_add(1, Ordering::SeqCst);
+            let still_fresh = min_lsn
+                .map(|min| slot.watermark.load(Ordering::SeqCst) >= min.0)
+                .unwrap_or(true);
+            if !slot.is_serving() || !still_fresh {
+                slot.inflight.fetch_sub(1, Ordering::SeqCst);
+                continue 'route;
+            }
+            let engine = slot.engine();
+            return Some(RoutedRead { slot, engine });
+        }
+    }
+
+    /// The engine routing would pick right now, with a best-effort
+    /// fallback to the freshest slot regardless of state — `GraphRead`
+    /// has no error channel, and a raw read against a draining store is
+    /// merely conservative, never wrong.
+    fn route_engine(&self) -> Arc<QueryEngine<LiveKg>> {
+        if let Some(read) = self.pick_pinned(None) {
+            return Arc::clone(&read.engine);
+        }
+        let slots = self.pool.slots();
+        let freshest = slots
+            .iter()
+            .max_by_key(|s| s.watermark.load(Ordering::SeqCst))
+            .expect("a fleet has at least one replica");
+        freshest.engine()
+    }
+}
+
+/// `GraphRead` over the fleet: each call routes like a query. The fleet
+/// generation is the sum of the slot generations (each monotone across
+/// respawns via its floor), so cached plans can never revalidate against
+/// a store that was rebuilt under them.
+impl GraphRead for FleetRouter {
+    fn postings_cursor(&self, probe: &ProbeKey) -> PostingsCursor {
+        self.route_engine().graph().postings_cursor(probe)
+    }
+
+    fn postings(&self, probe: &ProbeKey) -> Vec<EntityId> {
+        self.route_engine().graph().postings(probe)
+    }
+
+    fn selectivity(&self, probe: &ProbeKey) -> usize {
+        self.route_engine().graph().selectivity(probe)
+    }
+
+    fn probe_contains(&self, probe: &ProbeKey, id: EntityId) -> bool {
+        self.route_engine().graph().probe_contains(probe, id)
+    }
+
+    fn probe_fingerprint(&self, probe: &ProbeKey) -> u64 {
+        self.route_engine().graph().probe_fingerprint(probe)
+    }
+
+    fn probe_fingerprints(&self, probes: &[&ProbeKey]) -> Vec<u64> {
+        self.route_engine().graph().probe_fingerprints(probes)
+    }
+
+    fn resolve_name(&self, name: &str) -> Vec<EntityId> {
+        self.route_engine().graph().resolve_name(name)
+    }
+
+    fn record(&self, id: EntityId) -> Option<EntityRecord> {
+        self.route_engine().graph().record(id)
+    }
+
+    fn contains(&self, id: EntityId) -> bool {
+        self.route_engine().graph().contains(id)
+    }
+
+    fn generation(&self) -> u64 {
+        self.pool.slots().iter().map(|s| s.generation()).sum()
+    }
+
+    fn probe_all(&self, probes: &[ProbeKey]) -> Vec<EntityId> {
+        self.route_engine().graph().probe_all(probes)
+    }
+}
+
+/// A read pinned to one replica: holds the slot's engine (so a respawn
+/// can never swap the store mid-read) and an in-flight count (so drains
+/// wait for it). Drop to release.
+pub struct RoutedRead {
+    slot: Arc<Slot>,
+    engine: Arc<QueryEngine<LiveKg>>,
+}
+
+impl RoutedRead {
+    /// Which replica this read landed on.
+    pub fn replica(&self) -> usize {
+        self.slot.id
+    }
+
+    /// The pinned replica's applied watermark at pin time or later.
+    pub fn watermark(&self) -> Lsn {
+        Lsn(self.slot.watermark.load(Ordering::SeqCst))
+    }
+
+    /// The pinned engine (plan cache included).
+    pub fn engine(&self) -> &QueryEngine<LiveKg> {
+        &self.engine
+    }
+
+    /// The pinned serving store.
+    pub fn graph(&self) -> &LiveKg {
+        self.engine.graph()
+    }
+
+    /// Run one KGQ query on the pinned replica, attributing the outcome
+    /// to its served/error counters.
+    pub fn query(&self, text: &str) -> Result<QueryResult> {
+        let out = self.engine.query(text);
+        match &out {
+            Ok(_) => self.slot.served.fetch_add(1, Ordering::Relaxed),
+            Err(_) => self.slot.errors.fetch_add(1, Ordering::Relaxed),
+        };
+        out
+    }
+}
+
+impl Drop for RoutedRead {
+    fn drop(&mut self) {
+        self.slot.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}

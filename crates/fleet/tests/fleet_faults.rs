@@ -1,0 +1,352 @@
+//! Fleet fault drills: kill and wedge replicas under traffic and prove
+//! the routing, session and respawn contracts hold.
+//!
+//! * session reads never observe pre-commit state, even while replicas
+//!   lag or die (read-your-writes);
+//! * a panicked replica is detected, respawned from the newest
+//!   checkpoint and converges back to parity with a directly-built
+//!   replica of the same log;
+//! * a wedged replica is excluded from routing by the lag bound, then
+//!   detected by the controller, drained and respawned;
+//! * an all-stale fleet fails session reads with a timeout instead of a
+//!   stale answer.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+use saga_core::{EntityId, GraphRead, KnowledgeGraph, Lsn, SourceId, WriteBatch};
+use saga_fleet::{
+    FleetConfig, FleetController, FleetRouter, ReplicaFault, ReplicaPool, ReplicaState,
+};
+use saga_graph::{CheckpointWriter, LoggedCommit, LoggedWriter, OpKind, OperationLog};
+use saga_live::LiveReplica;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "saga-fleet-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn producer() -> LoggedWriter {
+    LoggedWriter::new(
+        Arc::new(RwLock::new(KnowledgeGraph::new())),
+        Arc::new(OperationLog::in_memory()),
+    )
+}
+
+fn commit_person(w: &LoggedWriter, i: u64) -> LoggedCommit {
+    w.commit(
+        OpKind::Upsert,
+        WriteBatch::new().named_entity(
+            EntityId(i),
+            &format!("Fleet Person {i}"),
+            "person",
+            SourceId(1),
+            0.9,
+        ),
+    )
+    .unwrap()
+}
+
+/// A fast-polling test config: short enough that convergence waits are
+/// milliseconds, long enough that nothing busy-spins.
+fn fast_config(replicas: usize) -> FleetConfig {
+    FleetConfig {
+        replicas,
+        shards: 2,
+        poll_interval: Duration::from_micros(500),
+        lag_bound: 4,
+        session_timeout: Duration::from_secs(5),
+        wedge_timeout: Duration::from_millis(50),
+        drain_timeout: Duration::from_millis(50),
+        ..FleetConfig::default()
+    }
+}
+
+fn wait_until(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    check()
+}
+
+#[test]
+fn session_reads_never_observe_pre_commit_state() {
+    let w = producer();
+    let dir = temp_dir("sessions");
+    let pool = ReplicaPool::start(fast_config(3), Arc::clone(w.log()), &dir).unwrap();
+    let router = FleetRouter::new(Arc::clone(&pool));
+
+    // Commit → token → read, back to back: every read must see the
+    // client's own write no matter which replica has caught up.
+    for i in 1..=100u64 {
+        let commit = commit_person(&w, i);
+        let token = commit.session_token();
+        let hits = router
+            .query_with_session(
+                &format!("FIND person WHERE name = \"Fleet Person {i}\""),
+                &token,
+            )
+            .unwrap();
+        assert_eq!(
+            hits.entities(),
+            vec![EntityId(i)],
+            "session read {i} missed its own committed write"
+        );
+        // The pinned replica really was at-or-past the token.
+        let read = router.read_with_session(&token).unwrap();
+        assert!(read.watermark() >= token.lsn());
+    }
+
+    let controller = FleetController::new(Arc::clone(&pool));
+    let stats = controller.stats();
+    assert_eq!(stats.head, Lsn(100));
+    let served: u64 = stats.replicas.iter().map(|r| r.served).sum();
+    assert_eq!(served, 100, "every query was served by some replica");
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_replica_respawns_from_checkpoint_and_converges_to_parity() {
+    let w = producer();
+    let dir = temp_dir("respawn");
+    // Reference replica: tails the same log from the very beginning.
+    let mut reference = LiveReplica::new(2, Arc::clone(w.log()));
+    for i in 1..=40u64 {
+        commit_person(&w, i);
+    }
+    reference.catch_up().unwrap();
+
+    // Checkpoint and compact: the log prefix is gone, so any respawn
+    // from here on *must* go through the checkpoint artifact.
+    let ckpt = CheckpointWriter::new(&w, &dir);
+    ckpt.checkpoint_and_compact().unwrap();
+    assert!(w.log().compacted_through() >= Lsn(40));
+
+    let pool = ReplicaPool::start(fast_config(2), Arc::clone(w.log()), &dir).unwrap();
+    let router = FleetRouter::new(Arc::clone(&pool));
+    let controller = FleetController::new(Arc::clone(&pool));
+
+    // Panic replica 0 mid-traffic.
+    pool.inject_fault(0, ReplicaFault::Panic).unwrap();
+    for i in 41..=60u64 {
+        let commit = commit_person(&w, i);
+        let hits = router
+            .query_with_session(
+                &format!("FIND person WHERE name = \"Fleet Person {i}\""),
+                &commit.session_token(),
+            )
+            .unwrap();
+        assert_eq!(
+            hits.entities(),
+            vec![EntityId(i)],
+            "fleet served through the crash"
+        );
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            controller.stats().replicas[0].state == ReplicaState::Down
+        }),
+        "panicked worker was never marked down"
+    );
+
+    // One controller pass respawns it from the checkpoint + log tail.
+    let report = controller.tick().unwrap();
+    assert_eq!(report.respawned, vec![0]);
+    router
+        .wait_for_lsn(w.log().head(), Duration::from_secs(5))
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            controller
+                .stats()
+                .replicas
+                .iter()
+                .all(|r| r.state == ReplicaState::Serving && r.lag == 0)
+        }),
+        "respawned replica never converged"
+    );
+
+    // Parity with the directly-built replica of the same log. The pin is
+    // scoped: a held RoutedRead counts as load and would (correctly)
+    // steer the round-robin check below away from its replica.
+    reference.catch_up().unwrap();
+    {
+        let read = router.read().unwrap();
+        assert_eq!(read.graph().len(), reference.live().len());
+    }
+    for i in [1u64, 20, 40, 41, 60] {
+        let hits = router
+            .query(&format!("FIND person WHERE name = \"Fleet Person {i}\""))
+            .unwrap();
+        assert_eq!(
+            hits.entities(),
+            reference.resolve_name(&format!("Fleet Person {i}"))
+        );
+    }
+
+    // The reborn replica rejoins routing: sequential queries round-robin
+    // across equally-loaded fresh replicas, so both serve.
+    let before: Vec<u64> = controller
+        .stats()
+        .replicas
+        .iter()
+        .map(|r| r.served)
+        .collect();
+    for _ in 0..10 {
+        router
+            .query("FIND person WHERE name = \"Fleet Person 1\"")
+            .unwrap();
+    }
+    let after = controller.stats();
+    for (replica, served_before) in before.iter().enumerate() {
+        assert!(
+            after.replicas[replica].served > *served_before,
+            "replica {replica} took no traffic after the respawn"
+        );
+    }
+    assert_eq!(after.replicas[0].respawns, 1);
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wedged_replica_is_skipped_then_detected_and_respawned() {
+    let w = producer();
+    let dir = temp_dir("wedge");
+    let pool = ReplicaPool::start(fast_config(2), Arc::clone(w.log()), &dir).unwrap();
+    let router = FleetRouter::new(Arc::clone(&pool));
+    let controller = FleetController::new(Arc::clone(&pool));
+
+    for i in 1..=10u64 {
+        commit_person(&w, i);
+    }
+    router
+        .wait_for_lsn(Lsn(10), Duration::from_secs(5))
+        .unwrap();
+
+    // Wedge replica 0, then advance the log well past the lag bound (4).
+    pool.inject_fault(0, ReplicaFault::Wedge).unwrap();
+    for i in 11..=30u64 {
+        commit_person(&w, i);
+    }
+    // Wait until the healthy replica is visibly ahead of the wedged one.
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            let stats = controller.stats();
+            stats.replicas[1].lag == 0 && stats.replicas[0].lag > 4
+        }),
+        "healthy replica never pulled ahead"
+    );
+
+    // Routed reads must all land on the healthy replica now.
+    let skips_before = controller.stats().lag_skips;
+    for _ in 0..20 {
+        let read = router.read().unwrap();
+        assert_eq!(
+            read.replica(),
+            1,
+            "router picked a replica beyond the lag bound"
+        );
+    }
+    assert!(
+        controller.stats().lag_skips > skips_before,
+        "lag-bound skips were not counted"
+    );
+
+    // The controller notices the frozen heartbeat and respawns the slot.
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            controller.tick().unwrap();
+            controller.stats().replicas[0].respawns == 1
+        }),
+        "wedged replica was never respawned"
+    );
+    router
+        .wait_for_lsn(Lsn(30), Duration::from_secs(5))
+        .unwrap();
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            controller.stats().replicas.iter().all(|r| r.lag == 0)
+        }),
+        "fleet never reconverged after the wedge respawn"
+    );
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_stale_session_reads_time_out_rather_than_serve_stale() {
+    let w = producer();
+    let dir = temp_dir("stale");
+    let mut cfg = fast_config(1);
+    cfg.session_timeout = Duration::from_millis(50);
+    let pool = ReplicaPool::start(cfg, Arc::clone(w.log()), &dir).unwrap();
+    let router = FleetRouter::new(Arc::clone(&pool));
+
+    commit_person(&w, 1);
+    router.wait_for_lsn(Lsn(1), Duration::from_secs(5)).unwrap();
+
+    // Wedge the only replica, then commit: nothing can reach the token.
+    pool.inject_fault(0, ReplicaFault::Wedge).unwrap();
+    std::thread::sleep(Duration::from_millis(5)); // let the worker park
+    let commit = commit_person(&w, 2);
+    let token = commit.session_token();
+    let err = router
+        .query_with_session("FIND person WHERE name = \"Fleet Person 2\"", &token)
+        .unwrap_err();
+    assert!(err.to_string().contains("timed out"), "{err}");
+
+    // Un-wedge: the worker resumes on its own and the read goes through.
+    pool.clear_fault(0).unwrap();
+    let hits = router
+        .query_with_session("FIND person WHERE name = \"Fleet Person 2\"", &token)
+        .unwrap();
+    assert_eq!(hits.entities(), vec![EntityId(2)]);
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_generation_is_monotone_across_respawns() {
+    let w = producer();
+    let dir = temp_dir("gen");
+    let pool = ReplicaPool::start(fast_config(2), Arc::clone(w.log()), &dir).unwrap();
+    let router = FleetRouter::new(Arc::clone(&pool));
+
+    for i in 1..=20u64 {
+        commit_person(&w, i);
+    }
+    router
+        .wait_for_lsn(Lsn(20), Duration::from_secs(5))
+        .unwrap();
+    let before = router.generation();
+
+    // A respawn rebuilds the store from replay; without the generation
+    // floor the reborn engine would restart its counter and cached plans
+    // could revalidate against the wrong store.
+    pool.kill(0).unwrap();
+    pool.respawn(0).unwrap();
+    router
+        .wait_for_lsn(Lsn(20), Duration::from_secs(5))
+        .unwrap();
+    assert!(
+        router.generation() >= before,
+        "fleet generation went backwards across a respawn"
+    );
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

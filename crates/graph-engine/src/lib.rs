@@ -58,7 +58,7 @@ pub use checkpoint_writer::{CheckpointReceipt, CheckpointWriter, DEFAULT_KEEP_LA
 pub use importance::{compute_importance, ImportanceConfig, ImportanceScores};
 pub use legacy::{LegacyEngine, RowTable};
 pub use metastore::MetadataStore;
-pub use oplog::{FlushPolicy, IngestOp, LogFollower, OpKind, OperationLog};
+pub use oplog::{FlushPolicy, IngestOp, LogFollower, OpKind, OperationLog, WatermarkHandle};
 pub use orchestration::{
     AgentRunner, AnalyticsAgent, EntityIndexAgent, OrchestrationAgent, TextIndexAgent,
     ViewMaintenanceAgent,

@@ -5,32 +5,108 @@
 //! replayed on that store. This information allows a consumer to determine
 //! the freshness of a store, ie., that a store is serving at least some
 //! minimum version of the KG."
+//!
+//! # Durability
+//!
+//! A [`MetadataStore::durable`] store persists the progress map as a tiny
+//! JSON file (atomic temp + rename, like checkpoint artifacts and log
+//! compaction), so a restarted orchestration process resumes every agent
+//! at its recorded watermark instead of replaying from LSN 0 — the same
+//! `resume_at` discipline serving replicas get from checkpoints. Combined
+//! with [`OperationLog::compact_to`](crate::OperationLog::compact_to)'s
+//! retention contract, an agent whose persisted watermark has fallen
+//! behind the compaction point is detected loudly at replay time (see
+//! [`AgentRunner::run_once`](crate::AgentRunner::run_once)) instead of
+//! silently skipping the dropped prefix.
+
+use std::fs;
+use std::path::{Path, PathBuf};
 
 use parking_lot::RwLock;
-use saga_core::{FxHashMap, Lsn};
+use saga_core::json::Json;
+use saga_core::{FxHashMap, Lsn, Result, SagaError};
 
-/// Replay progress per orchestration agent / store.
-#[derive(Default)]
+/// Replay progress per orchestration agent / store, optionally persisted.
+#[derive(Debug, Default)]
 pub struct MetadataStore {
     progress: RwLock<FxHashMap<String, Lsn>>,
+    path: Option<PathBuf>,
 }
 
 impl MetadataStore {
-    /// An empty metadata store.
+    /// An empty in-memory metadata store (progress dies with the process).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A durable metadata store backed by a JSON file at `path`, loading
+    /// any previously persisted progress — the restart path: agents
+    /// resume at their recorded watermarks.
+    pub fn durable(path: impl Into<PathBuf>) -> Result<Self> {
+        let path = path.into();
+        let mut progress: FxHashMap<String, Lsn> = FxHashMap::default();
+        if path.exists() {
+            let text = fs::read_to_string(&path)?;
+            if !text.trim().is_empty() {
+                let bad = |m: &str| SagaError::Storage(format!("bad metadata store file: {m}"));
+                let v = saga_core::json::parse(text.trim()).map_err(|e| bad(&e.to_string()))?;
+                let obj = v.as_object().ok_or_else(|| bad("expected an object"))?;
+                for (store, lsn) in obj {
+                    let lsn = lsn
+                        .as_i64()
+                        .and_then(|i| u64::try_from(i).ok())
+                        .ok_or_else(|| bad(&format!("progress of {store:?} is not an LSN")))?;
+                    progress.insert(store.clone(), Lsn(lsn));
+                }
+            }
+        }
+        Ok(MetadataStore {
+            progress: RwLock::new(progress),
+            path: Some(path),
+        })
+    }
+
+    /// The backing file, if durable.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
     }
 
     /// Record that `store` has replayed everything up to `lsn`.
     ///
     /// Progress is monotone: attempts to move backwards are ignored (a
     /// retried replay must not make a store look staler than it is).
-    pub fn record_progress(&self, store: &str, lsn: Lsn) {
-        let mut map = self.progress.write();
-        let entry = map.entry(store.to_string()).or_insert(Lsn::ZERO);
-        if lsn > *entry {
+    /// Durable stores persist the updated map before returning, so a
+    /// crash after this call can never lose the watermark.
+    pub fn record_progress(&self, store: &str, lsn: Lsn) -> Result<()> {
+        let map = {
+            let mut map = self.progress.write();
+            let entry = map.entry(store.to_string()).or_insert(Lsn::ZERO);
+            if lsn <= *entry {
+                return Ok(()); // no change, nothing to persist
+            }
             *entry = lsn;
+            self.path.is_some().then(|| map.clone())
+        };
+        if let Some(map) = map {
+            self.persist(&map)?;
         }
+        Ok(())
+    }
+
+    /// Write the progress map to the backing file via temp + rename, so a
+    /// crash mid-write leaves the previous file intact.
+    fn persist(&self, map: &FxHashMap<String, Lsn>) -> Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let obj: std::collections::BTreeMap<String, Json> = map
+            .iter()
+            .map(|(store, lsn)| (store.clone(), Json::Int(lsn.0 as i64)))
+            .collect();
+        let tmp = path.with_extension("meta.tmp");
+        fs::write(&tmp, Json::Object(obj).to_string_compact())?;
+        fs::rename(&tmp, path)?;
+        Ok(())
     }
 
     /// The newest LSN `store` has fully replayed.
@@ -74,20 +150,30 @@ impl MetadataStore {
 mod tests {
     use super::*;
 
+    fn temp_path(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "saga-metastore-{tag}-{}-{}.json",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
     #[test]
     fn progress_is_monotone() {
         let m = MetadataStore::new();
-        m.record_progress("analytics", Lsn(5));
-        m.record_progress("analytics", Lsn(3)); // ignored
+        m.record_progress("analytics", Lsn(5)).unwrap();
+        m.record_progress("analytics", Lsn(3)).unwrap(); // ignored
         assert_eq!(m.progress_of("analytics"), Lsn(5));
-        m.record_progress("analytics", Lsn(9));
+        m.record_progress("analytics", Lsn(9)).unwrap();
         assert_eq!(m.progress_of("analytics"), Lsn(9));
     }
 
     #[test]
     fn freshness_and_unknown_stores() {
         let m = MetadataStore::new();
-        m.record_progress("text", Lsn(4));
+        m.record_progress("text", Lsn(4)).unwrap();
         assert!(m.is_fresh("text", Lsn(4)));
         assert!(m.is_fresh("text", Lsn(2)));
         assert!(!m.is_fresh("text", Lsn(5)));
@@ -98,10 +184,43 @@ mod tests {
     #[test]
     fn consistent_lsn_is_the_minimum() {
         let m = MetadataStore::new();
-        m.record_progress("analytics", Lsn(10));
-        m.record_progress("text", Lsn(7));
-        m.record_progress("vector", Lsn(9));
+        m.record_progress("analytics", Lsn(10)).unwrap();
+        m.record_progress("text", Lsn(7)).unwrap();
+        m.record_progress("vector", Lsn(9)).unwrap();
         assert_eq!(m.consistent_lsn(&["analytics", "text", "vector"]), Lsn(7));
         assert_eq!(m.consistent_lsn(&[]), Lsn::ZERO);
+    }
+
+    #[test]
+    fn durable_progress_survives_reopen() {
+        let path = temp_path("reopen");
+        {
+            let m = MetadataStore::durable(&path).unwrap();
+            assert_eq!(m.progress_of("analytics"), Lsn::ZERO, "fresh file");
+            m.record_progress("analytics", Lsn(12)).unwrap();
+            m.record_progress("views", Lsn(9)).unwrap();
+            m.record_progress("analytics", Lsn(7)).unwrap(); // regression ignored
+        }
+        let reopened = MetadataStore::durable(&path).unwrap();
+        assert_eq!(reopened.progress_of("analytics"), Lsn(12));
+        assert_eq!(reopened.progress_of("views"), Lsn(9));
+        assert_eq!(
+            reopened.snapshot(),
+            vec![("analytics".into(), Lsn(12)), ("views".into(), Lsn(9))]
+        );
+        assert_eq!(reopened.path(), Some(path.as_path()));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_metadata_file_is_a_hard_error() {
+        let path = temp_path("corrupt");
+        fs::write(&path, "{\"analytics\": \"not a number\"}").unwrap();
+        let err = MetadataStore::durable(&path).unwrap_err();
+        assert!(err.to_string().contains("not an LSN"), "{err}");
+        fs::write(&path, "[1,2,3]").unwrap();
+        let err = MetadataStore::durable(&path).unwrap_err();
+        assert!(err.to_string().contains("expected an object"), "{err}");
+        let _ = fs::remove_file(&path);
     }
 }

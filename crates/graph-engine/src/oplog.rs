@@ -526,6 +526,46 @@ fn parse_compaction_marker(line: &str) -> Option<u64> {
     u64::try_from(compacted).ok()
 }
 
+/// A lock-free, cheaply cloneable view of one follower's replay progress.
+///
+/// The replay loop owns its [`LogFollower`] mutably (often on a dedicated
+/// thread), which used to make freshness unobservable from outside without
+/// a lock around the whole follower. The handle shares the follower's
+/// watermark through an atomic cell instead: health probes, routers and
+/// gauges read [`lsn`](Self::lsn)/[`lag`](Self::lag) with a single atomic
+/// load — nothing on the replay or serving path blocks.
+///
+/// The cell is published with `Release` ordering after a poll advances the
+/// follower and read with `Acquire`. Under [`LogFollower::poll_with`] —
+/// the in-place replay path — the batch is applied *before* the publish,
+/// so an observer that sees watermark `w` is guaranteed the effects of
+/// every op `<= w` are visible too. (Plain [`LogFollower::poll`] hands the
+/// batch back for the caller to apply, so there the handle tracks fetch
+/// progress, not apply progress.)
+#[derive(Clone)]
+pub struct WatermarkHandle {
+    cell: Arc<std::sync::atomic::AtomicU64>,
+    log: Arc<OperationLog>,
+}
+
+impl WatermarkHandle {
+    /// The highest LSN the follower has fully consumed.
+    pub fn lsn(&self) -> Lsn {
+        Lsn(self.cell.load(std::sync::atomic::Ordering::Acquire))
+    }
+
+    /// Operations appended to the log but not yet consumed by the
+    /// follower.
+    pub fn lag(&self) -> u64 {
+        self.log.head().0.saturating_sub(self.lsn().0)
+    }
+
+    /// The followed log.
+    pub fn log(&self) -> &Arc<OperationLog> {
+        &self.log
+    }
+}
+
 /// A watermark-tracking cursor over an [`OperationLog`] — the follower
 /// protocol log-shipped stores replay through.
 ///
@@ -536,6 +576,8 @@ fn parse_compaction_marker(line: &str) -> Option<u64> {
 pub struct LogFollower {
     log: Arc<OperationLog>,
     watermark: Lsn,
+    /// Mirror of `watermark` shared with [`WatermarkHandle`]s.
+    shared: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl LogFollower {
@@ -547,7 +589,11 @@ impl LogFollower {
     /// A follower resuming after `watermark` (e.g. from a metadata-store
     /// checkpoint).
     pub fn resume_at(log: Arc<OperationLog>, watermark: Lsn) -> Self {
-        LogFollower { log, watermark }
+        LogFollower {
+            log,
+            watermark,
+            shared: Arc::new(std::sync::atomic::AtomicU64::new(watermark.0)),
+        }
     }
 
     /// The highest LSN this follower has consumed.
@@ -563,6 +609,23 @@ impl LogFollower {
     /// The followed log.
     pub fn log(&self) -> &Arc<OperationLog> {
         &self.log
+    }
+
+    /// A lock-free progress view other threads can poll while the replay
+    /// loop owns this follower mutably. See [`WatermarkHandle`].
+    pub fn watermark_handle(&self) -> WatermarkHandle {
+        WatermarkHandle {
+            cell: Arc::clone(&self.shared),
+            log: Arc::clone(&self.log),
+        }
+    }
+
+    /// Publish the advanced watermark to the shared cell — called after a
+    /// batch is fully applied so handle readers never observe a watermark
+    /// ahead of the applied state.
+    fn publish_watermark(&self) {
+        self.shared
+            .store(self.watermark.0, std::sync::atomic::Ordering::Release);
     }
 
     /// Errors when the watermark has fallen behind the log's compaction
@@ -600,6 +663,7 @@ impl LogFollower {
             }
         }
         self.watermark = expected;
+        self.publish_watermark();
         Ok(ops)
     }
 
@@ -636,6 +700,7 @@ impl LogFollower {
         }
         let applied = expected.0 - self.watermark.0;
         self.watermark = expected;
+        self.publish_watermark();
         Ok(applied as usize)
     }
 }
@@ -1027,6 +1092,43 @@ mod tests {
         // A follower at or above the compaction point resumes cleanly.
         let mut fresh = LogFollower::resume_at(log, Lsn(6));
         assert_eq!(fresh.poll_with(10, |_| {}).unwrap(), 3);
+    }
+
+    #[test]
+    fn watermark_handle_tracks_progress_without_the_follower() {
+        let log = Arc::new(OperationLog::in_memory());
+        for i in 1..=6u64 {
+            log.append_op(OpKind::Upsert, vec![delta(i, "x", i as i64)])
+                .unwrap();
+        }
+        let mut follower = LogFollower::resume_at(Arc::clone(&log), Lsn(2));
+        let handle = follower.watermark_handle();
+        assert_eq!(handle.lsn(), Lsn(2), "handle starts at the resume point");
+        assert_eq!(handle.lag(), 4);
+
+        // The handle observes poll_with progress while the follower is
+        // owned elsewhere — e.g. from a monitoring thread.
+        let watcher = {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                while handle.lag() > 0 {
+                    std::thread::yield_now();
+                }
+                handle.lsn()
+            })
+        };
+        follower.poll_with(2, |_| {}).unwrap();
+        assert_eq!(handle.lsn(), Lsn(4));
+        follower.poll_with(100, |_| {}).unwrap();
+        assert_eq!(watcher.join().unwrap(), Lsn(6));
+        assert_eq!(handle.lag(), 0);
+
+        // Plain poll publishes too.
+        log.append_op(OpKind::Upsert, vec![delta(7, "x", 7)])
+            .unwrap();
+        follower.poll(10).unwrap();
+        assert_eq!(handle.lsn(), Lsn(7));
+        assert!(Arc::ptr_eq(handle.log(), follower.log()));
     }
 
     #[test]

@@ -64,19 +64,41 @@ impl AgentRunner {
     /// registration order before the next op — which also guarantees that
     /// agents reading another agent's store (views over analytics) see it
     /// at the same LSN.
+    ///
+    /// Like [`LogFollower`](crate::LogFollower), an agent whose recorded
+    /// progress has fallen behind the log's compaction point is a hard
+    /// error: the ops it still needs were dropped, and replaying the
+    /// retained suffix alone would silently skip the hole. Rebuild that
+    /// agent's store from a snapshot (or re-register it against an
+    /// uncompacted log) instead.
     pub fn run_once(&mut self, kg: &KnowledgeGraph) -> Result<usize> {
         let mut replayed = 0;
-        let oldest = self
+        let Some(oldest) = self
             .agents
             .iter()
             .map(|a| self.meta.progress_of(a.name()))
             .min()
-            .unwrap_or_else(saga_core::Lsn::default);
+        else {
+            return Ok(0); // no agents registered
+        };
+        let compacted = self.log.compacted_through();
+        if oldest < compacted {
+            let lagging: Vec<&str> = self
+                .agents
+                .iter()
+                .map(|a| a.name())
+                .filter(|name| self.meta.progress_of(name) < compacted)
+                .collect();
+            return Err(saga_core::SagaError::Storage(format!(
+                "agents {lagging:?} at {oldest:?} have fallen behind the compaction point \
+                 {compacted:?}: the prefix is gone, rebuild their stores from a snapshot"
+            )));
+        }
         for op in self.log.read_after(oldest) {
             for agent in &mut self.agents {
                 if self.meta.progress_of(agent.name()) < op.lsn {
                     agent.apply(kg, &op)?;
-                    self.meta.record_progress(agent.name(), op.lsn);
+                    self.meta.record_progress(agent.name(), op.lsn)?;
                     replayed += 1;
                 }
             }
@@ -346,7 +368,9 @@ mod tests {
     use super::*;
     use crate::oplog::OpKind;
     use crate::writer::LoggedWriter;
-    use saga_core::{intern, ExtendedTriple, FactMeta, GraphWriteExt, SourceId, Value, WriteBatch};
+    use saga_core::{
+        intern, ExtendedTriple, FactMeta, GraphWriteExt, Lsn, SourceId, Value, WriteBatch,
+    };
 
     fn setup() -> (KnowledgeGraph, Arc<OperationLog>, Arc<MetadataStore>) {
         (
@@ -553,6 +577,71 @@ mod tests {
         assert_eq!(store.entities_of_type(intern("music_artist")), &[1u64]);
         let pop = store.table(intern("popularity")).unwrap();
         assert_eq!(pop.int_rows.1, vec![99], "overwrite replayed from log");
+    }
+
+    /// Restart path: a runner rebuilt over a *durable* metadata store
+    /// resumes every agent at its persisted watermark — ops replayed
+    /// before the "crash" are not replayed again.
+    #[test]
+    fn agents_resume_from_durable_metastore_after_restart() {
+        let meta_path =
+            std::env::temp_dir().join(format!("saga-orch-resume-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&meta_path);
+        let (mut kg, log, _) = setup();
+
+        // First process lifetime: replay two ops, then "crash".
+        {
+            let meta = Arc::new(MetadataStore::durable(&meta_path).unwrap());
+            let mut runner = AgentRunner::new(Arc::clone(&log), meta);
+            runner.register(Box::new(AnalyticsAgent::new()));
+            for i in 1..=2u64 {
+                kg.add_named_entity(EntityId(i), &format!("E{i}"), "person", SourceId(1), 0.9);
+                log.append(OpKind::Upsert, vec![EntityId(i)]).unwrap();
+            }
+            assert_eq!(runner.run_once(&kg).unwrap(), 2);
+        }
+
+        // One more op lands while the orchestrator is down.
+        kg.add_named_entity(EntityId(3), "E3", "person", SourceId(1), 0.9);
+        log.append(OpKind::Upsert, vec![EntityId(3)]).unwrap();
+
+        // Second lifetime: the reloaded store resumes at Lsn(2), so only
+        // the one pending op replays.
+        let meta = Arc::new(MetadataStore::durable(&meta_path).unwrap());
+        assert_eq!(meta.progress_of("analytics"), Lsn(2), "watermark survived");
+        let mut runner = AgentRunner::new(Arc::clone(&log), Arc::clone(&meta));
+        runner.register(Box::new(AnalyticsAgent::new()));
+        assert_eq!(runner.run_once(&kg).unwrap(), 1, "suffix only");
+        assert_eq!(meta.progress_of("analytics"), log.head());
+        let _ = std::fs::remove_file(&meta_path);
+    }
+
+    /// An agent whose watermark predates the compaction point hard-errors
+    /// instead of silently replaying only the retained suffix — mirroring
+    /// the `LogFollower` contract.
+    #[test]
+    fn agent_behind_compaction_point_errors_loudly() {
+        let (mut kg, log, meta) = setup();
+        let mut runner = AgentRunner::new(Arc::clone(&log), Arc::clone(&meta));
+        runner.register(Box::new(EntityIndexAgent::new()));
+        for i in 1..=4u64 {
+            kg.add_named_entity(EntityId(i), &format!("E{i}"), "person", SourceId(1), 0.9);
+            log.append(OpKind::Upsert, vec![EntityId(i)]).unwrap();
+        }
+        assert_eq!(runner.run_once(&kg).unwrap(), 4);
+
+        // Compact past the agent's recorded progress, then register a new
+        // agent (progress 0 < compaction point): loud failure.
+        log.compact_to(Lsn(3)).unwrap();
+        assert_eq!(runner.run_once(&kg).unwrap(), 0, "at the point is fine");
+        runner.register(Box::new(TextIndexAgent::new()));
+        let err = runner.run_once(&kg).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("fallen behind the compaction point"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("text_index"), "{err}");
     }
 
     /// Analytics + view maintenance run as one log-follower pipeline: the

@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use parking_lot::{RwLock, RwLockReadGuard};
 use saga_core::{
-    CommitReceipt, GraphWrite, KgTransaction, KnowledgeGraph, Lsn, Result, WriteBatch,
+    CommitReceipt, GraphWrite, KgTransaction, KnowledgeGraph, Lsn, Result, SessionToken, WriteBatch,
 };
 
 use crate::oplog::{OpKind, OperationLog};
@@ -46,6 +46,16 @@ pub struct LoggedCommit {
     pub lsn: Lsn,
     /// The commit receipt — deltas, outcomes, generation, removal set.
     pub receipt: CommitReceipt,
+}
+
+impl LoggedCommit {
+    /// The read-your-writes token for this commit: hand it to a
+    /// replica router (`saga_fleet::FleetRouter`) so the client's
+    /// subsequent reads are served only by replicas that have replayed at
+    /// least this commit.
+    pub fn session_token(&self) -> SessionToken {
+        SessionToken::at(self.lsn)
+    }
 }
 
 /// The write-ahead writer over a shared stable KG and the operation log.

@@ -41,7 +41,7 @@ use saga_core::{
     checkpoint, Delta, EntityId, EntityRecord, ExtendedTriple, FactMeta, GraphRead, Lsn, ProbeKey,
     Result, SagaError,
 };
-use saga_graph::{IngestOp, LogFollower, OperationLog};
+use saga_graph::{IngestOp, LogFollower, OperationLog, WatermarkHandle};
 
 use crate::store::LiveKg;
 
@@ -128,6 +128,17 @@ impl LiveReplica {
         }
     }
 
+    /// Replay at most `max` operations past the current watermark in a
+    /// single bounded poll; returns how many were applied (0 when caught
+    /// up). This is the pace-controlled variant of
+    /// [`catch_up`](Self::catch_up) for replay loops that interleave
+    /// other work — shutdown checks, health publication — between
+    /// batches: one call holds the log's lock for at most `max` ops.
+    pub fn catch_up_batch(&mut self, max: usize) -> Result<usize> {
+        let live = &self.live;
+        self.follower.poll_with(max, |op| apply_op(live, op))
+    }
+
     /// The highest LSN fully applied to this replica.
     pub fn watermark(&self) -> Lsn {
         self.follower.watermark()
@@ -136,6 +147,16 @@ impl LiveReplica {
     /// Operations appended to the log but not yet applied here.
     pub fn lag(&self) -> u64 {
         self.follower.lag()
+    }
+
+    /// A lock-free freshness view other threads can poll while a replay
+    /// loop owns this replica mutably — what fleet controllers and gauges
+    /// read instead of locking the replica. Because replicas apply ops
+    /// in-place under [`LogFollower::poll_with`], an observer that sees
+    /// watermark `w` here is guaranteed the replica's store reflects
+    /// every op `<= w`.
+    pub fn watermark_handle(&self) -> WatermarkHandle {
+        self.follower.watermark_handle()
     }
 
     /// The serving store (cheaply cloneable; shares the replica's shards).
@@ -367,6 +388,33 @@ mod tests {
         assert_eq!(replica.catch_up().unwrap(), 0);
         assert_eq!(replica.live().len(), 10);
         assert_eq!(replica.watermark(), w.log().head());
+    }
+
+    #[test]
+    fn bounded_catch_up_and_watermark_handle_track_progress() {
+        let w = producer();
+        let mut replica = LiveReplica::new(2, Arc::clone(w.log()));
+        let health = replica.watermark_handle();
+        for i in 1..=5u64 {
+            w.commit(
+                OpKind::Upsert,
+                WriteBatch::new().named_entity(
+                    EntityId(i),
+                    &format!("E{i}"),
+                    "person",
+                    SourceId(1),
+                    0.9,
+                ),
+            )
+            .unwrap();
+        }
+        assert_eq!(health.lag(), 5, "handle sees the backlog");
+        assert_eq!(replica.catch_up_batch(2).unwrap(), 2);
+        assert_eq!(health.lsn(), Lsn(2), "handle tracks bounded replay");
+        assert_eq!(replica.live().len(), 2, "only the polled prefix is applied");
+        assert_eq!(replica.catch_up_batch(100).unwrap(), 3);
+        assert_eq!(replica.catch_up_batch(100).unwrap(), 0, "caught up");
+        assert_eq!(health.lag(), 0);
     }
 
     #[test]

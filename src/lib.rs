@@ -19,6 +19,8 @@
 //!   embeddings with external-memory training (§5).
 //! * [`live`] — the Live Graph: streaming construction, KGQ query engine,
 //!   intents, multi-turn context, curation (§4).
+//! * [`fleet`] — the replicated serving fleet: lag-aware routing,
+//!   read-your-writes sessions, checkpoint-backed respawn (§3.1, §4.1).
 //!
 //! See `examples/quickstart.rs` for a guided tour, DESIGN.md for the system
 //! inventory, and EXPERIMENTS.md for the paper-reproduction results.
@@ -26,6 +28,7 @@
 pub use saga_bench as bench;
 pub use saga_construct as construct;
 pub use saga_core as core;
+pub use saga_fleet as fleet;
 pub use saga_graph as graph;
 pub use saga_ingest as ingest;
 pub use saga_live as live;

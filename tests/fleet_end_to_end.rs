@@ -1,0 +1,80 @@
+//! Umbrella smoke test for the serving fleet: writer → log → fleet of
+//! replicas → lag-aware router, with a checkpointing controller in the
+//! loop and a kill/respawn cycle mid-traffic.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use saga::core::{EntityId, KnowledgeGraph, SourceId, WriteBatch};
+use saga::fleet::{FleetConfig, FleetController, FleetRouter, ReplicaPool};
+use saga::graph::{CheckpointWriter, LoggedWriter, OpKind, OperationLog};
+
+#[test]
+fn fleet_serves_sessions_checkpoints_and_survives_a_kill() {
+    let dir = std::env::temp_dir().join(format!("saga-fleet-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let w = LoggedWriter::new(
+        Arc::new(RwLock::new(KnowledgeGraph::new())),
+        Arc::new(OperationLog::in_memory()),
+    );
+    let cfg = FleetConfig {
+        replicas: 2,
+        poll_interval: Duration::from_micros(500),
+        checkpoint_every: 25,
+        ..FleetConfig::default()
+    };
+    let pool = ReplicaPool::start(cfg, Arc::clone(w.log()), &dir).unwrap();
+    let router = FleetRouter::new(Arc::clone(&pool));
+    let controller =
+        FleetController::with_checkpointer(Arc::clone(&pool), CheckpointWriter::new(&w, &dir));
+
+    let mut checkpointed = false;
+    for i in 1..=60u64 {
+        let commit = w
+            .commit(
+                OpKind::Upsert,
+                WriteBatch::new().named_entity(
+                    EntityId(i),
+                    &format!("Song {i}"),
+                    "song",
+                    SourceId(1),
+                    0.9,
+                ),
+            )
+            .unwrap();
+        let hits = router
+            .query_with_session(
+                &format!("FIND song WHERE name = \"Song {i}\""),
+                &commit.session_token(),
+            )
+            .unwrap();
+        assert_eq!(
+            hits.entities(),
+            vec![EntityId(i)],
+            "read-your-writes at {i}"
+        );
+        if i == 30 {
+            // Hard-kill a replica mid-traffic; the controller brings it
+            // back from the checkpoint its own cadence produced.
+            pool.kill(0).unwrap();
+        }
+        checkpointed |= controller.tick().unwrap().checkpointed.is_some();
+    }
+
+    assert!(checkpointed, "the checkpoint cadence never fired");
+    router
+        .wait_for_lsn(w.log().head(), Duration::from_secs(5))
+        .unwrap();
+    let stats = controller.stats();
+    assert_eq!(stats.replicas[0].respawns, 1, "killed replica respawned");
+    assert!(stats.checkpoints >= 1);
+    assert!(
+        w.log().compacted_through().0 > 0,
+        "checkpoint_and_compact pruned the replayed prefix"
+    );
+
+    pool.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
