@@ -1,0 +1,184 @@
+//! Experiment E3′ — §3.2: incremental view maintenance vs full recompute.
+//!
+//! Replaces the retired `view_reuse` gauge (dependency-reuse ablation; its
+//! numbers predate the stateful maintenance path). This gauge measures the
+//! thing the View Manager now optimizes: the per-commit cost of keeping
+//! registered views fresh as the graph churns, against the cost of
+//! recomputing them from scratch — swept at 1%, 5% and 20% churn so the
+//! residual-mass fallback threshold is visible in the numbers.
+//!
+//! Also gauges the columnar aggregate path: COUNT / GROUP-BY served from
+//! the compressed per-predicate runs vs the row-wise analytics frame scan.
+//!
+//! Results are recorded in `crates/bench/BENCH_views.json`.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use saga_bench::measure::time_it;
+use saga_bench::workload::{media_world, MediaWorldConfig};
+use saga_core::{intern, well_known, EntityId, KnowledgeGraph, Value, WriteBatch};
+use saga_graph::views::ViewManager;
+use saga_graph::{AnalyticsStore, FactCountView, ImportanceConfig, ImportanceView};
+use saga_live::MaterializedKgqView;
+
+/// ≥100k-fact scale (the acceptance bar's floor).
+fn big_world() -> KnowledgeGraph {
+    media_world(&MediaWorldConfig {
+        seed: 7,
+        persons: 6_000,
+        artists: 1_500,
+        songs_per_artist: 8,
+        playlists: 1_000,
+        tracks_per_playlist: 12,
+        movies: 2_000,
+        cast_per_movie: 10,
+    })
+}
+
+fn registered_manager() -> ViewManager {
+    let mut vm = ViewManager::new();
+    vm.register(
+        Box::new(ImportanceView::new(ImportanceConfig::default())),
+        1,
+    )
+    .unwrap();
+    vm.register(Box::new(FactCountView), 1).unwrap();
+    vm.register(
+        Box::new(
+            MaterializedKgqView::new(
+                "city0_people",
+                r#"FIND person WHERE birthplace -> entity("City 0")"#,
+            )
+            .unwrap(),
+        ),
+        1,
+    )
+    .unwrap();
+    vm
+}
+
+/// Entities of one ontology type, in id order.
+fn of_type(kg: &KnowledgeGraph, ty: &str) -> Vec<EntityId> {
+    let sym = intern(ty);
+    let mut ids: Vec<EntityId> = kg
+        .entities()
+        .filter(|r| r.types().contains(&sym))
+        .map(|r| r.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Commit one churn batch: rewire `targets.len()` birthplace edges to a
+/// round-dependent city, returning the receipt's changed-entity list.
+fn churn_commit(
+    kg: &mut KnowledgeGraph,
+    targets: &[EntityId],
+    cities: &[EntityId],
+    round: usize,
+) -> Vec<EntityId> {
+    let birthplace = intern("birthplace");
+    let mut batch = WriteBatch::new();
+    for (i, &p) in targets.iter().enumerate() {
+        let city = cities[(i + round) % cities.len()];
+        batch = batch.mutate(p, move |rec| {
+            for t in &mut rec.triples {
+                if t.predicate == birthplace {
+                    t.object = Value::Entity(city);
+                }
+            }
+        });
+    }
+    let receipt = batch.commit(kg);
+    let mut changed: Vec<EntityId> = receipt.deltas.iter().map(|d| d.entity).collect();
+    changed.sort_unstable();
+    changed.dedup();
+    changed
+}
+
+fn main() {
+    let mut kg = big_world();
+    println!(
+        "# §3.2 — per-commit view maintenance vs full recompute ({} entities, {} facts)",
+        kg.entity_count(),
+        kg.fact_count()
+    );
+    assert!(kg.fact_count() >= 100_000, "acceptance floor");
+
+    let persons = of_type(&kg, "person");
+    let cities = of_type(&kg, "city");
+    let n = kg.entity_count();
+
+    // Full-recompute baseline: materialize every registered view from
+    // scratch (best of 3).
+    let mut store = AnalyticsStore::build(&kg);
+    let (full_us, _) = time_it(3, || {
+        let mut vm = registered_manager();
+        vm.refresh_all(&kg, &store).unwrap()
+    });
+    println!("full recompute of all views: {full_us} us");
+
+    // Incremental sweep. One warm manager per churn level; each round is a
+    // real commit followed by the maintenance pass the orchestration agent
+    // runs (analytics delta + update_changed). Median-ish via best-of-R on
+    // distinct commits.
+    let mut rng = StdRng::seed_from_u64(42);
+    for churn_pct in [1usize, 5, 20] {
+        let k = (n * churn_pct) / 100;
+        let mut vm = registered_manager();
+        vm.refresh_all(&kg, &store).unwrap();
+        let mut best = u128::MAX;
+        let mut kinds = (0usize, 0usize); // (incremental, full) computations
+        for round in 0..5 {
+            let start = rng.gen_range(0..persons.len().saturating_sub(k).max(1));
+            let targets = &persons[start..(start + k).min(persons.len())];
+            let changed = churn_commit(&mut kg, targets, &cities, round);
+            store.update(&kg, &changed);
+            let t0 = std::time::Instant::now();
+            let report = vm.update_changed(&kg, &store, &changed).unwrap();
+            best = best.min(t0.elapsed().as_micros().max(1));
+            kinds.0 += report.incremental_count();
+            kinds.1 += report.full_count();
+        }
+        let speedup = full_us as f64 / best as f64;
+        println!(
+            "churn {churn_pct:>2}% ({k} entities): per-commit refresh {best} us \
+             ({} incremental / {} full computations) — {speedup:.1}x vs full recompute",
+            kinds.0, kinds.1
+        );
+    }
+
+    // Columnar aggregates vs the row-wise frame scan.
+    let store = AnalyticsStore::build(&kg);
+    let track_of = intern("track_of");
+    let ty = intern(well_known::TYPE);
+    let (col_count_us, col_count) = time_it(20, || store.aggregates().count(track_of));
+    let (row_count_us, row_count) = time_it(20, || store.frame_ents(track_of, "song").len() as u64);
+    assert_eq!(col_count, row_count);
+    let (col_group_us, col_groups) = time_it(20, || {
+        store.aggregates().group_counts_filtered(ty, None).len()
+    });
+    let (row_group_us, row_groups) = time_it(20, || {
+        // Row-wise GROUP BY: materialize the frame, scan every row.
+        let frame = store.frame_strs(ty, "ty");
+        let col = frame.col("ty").expect("ty column");
+        let mut counts: saga_core::FxHashMap<String, u64> = saga_core::FxHashMap::default();
+        for i in 0..frame.len() {
+            *counts
+                .entry(col.str_at(i).expect("string row").to_string())
+                .or_insert(0) += 1;
+        }
+        counts.len()
+    });
+    assert_eq!(col_groups, row_groups);
+    println!("\n# columnar aggregate runs vs row-wise frame scan");
+    println!(
+        "COUNT(track_of):         columnar {col_count_us} us vs row-wise {row_count_us} us \
+         ({:.1}x, {col_count} rows)",
+        row_count_us as f64 / col_count_us as f64
+    );
+    println!(
+        "GROUP BY type:           columnar {col_group_us} us vs row-wise {row_group_us} us \
+         ({:.1}x, {col_groups} groups)",
+        row_group_us as f64 / col_group_us as f64
+    );
+}

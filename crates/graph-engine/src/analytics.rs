@@ -17,6 +17,8 @@ use std::sync::Arc;
 
 use saga_core::{intern, EntityId, FxHashMap, KnowledgeGraph, Symbol, Value};
 
+use crate::columnar::ColumnarAggregates;
+
 /// Typed-column discriminator for the subject→row index.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum RowKind {
@@ -249,6 +251,9 @@ pub struct AnalyticsStore {
     /// Mirror of each subject's materialized `(predicate, value)` rows —
     /// the old state a changed-id update diffs against.
     by_subject: FxHashMap<u64, Vec<(Symbol, Value)>>,
+    /// Per-predicate aggregate runs (COUNT / COUNT-DISTINCT / GROUP-BY
+    /// without scanning), maintained fact-by-fact from the same deltas.
+    aggregates: ColumnarAggregates,
 }
 
 impl AnalyticsStore {
@@ -296,6 +301,8 @@ impl AnalyticsStore {
             if let Some(table) = self.tables.get_mut(&fact.predicate) {
                 table.remove_row(subject, &fact.object);
             }
+            self.aggregates
+                .remove(subject, fact.predicate, &fact.object);
             if fact.predicate == type_sym {
                 if let Value::Str(name) = &fact.object {
                     let last_of_type = !self.by_subject.get(&subject).is_some_and(|facts| {
@@ -333,6 +340,7 @@ impl AnalyticsStore {
                 .entry(fact.predicate)
                 .or_default()
                 .push(subject, &fact.object);
+            self.aggregates.add(subject, fact.predicate, &fact.object);
             self.by_subject
                 .entry(subject)
                 .or_default()
@@ -385,6 +393,13 @@ impl AnalyticsStore {
     /// The columnar partition of a predicate (empty table if absent).
     pub fn table(&self, predicate: Symbol) -> Option<&PredTable> {
         self.tables.get(&predicate)
+    }
+
+    /// The per-predicate aggregate runs: COUNT / COUNT-DISTINCT /
+    /// GROUP-BY-predicate served from compressed column runs instead of
+    /// row scans.
+    pub fn aggregates(&self) -> &ColumnarAggregates {
+        &self.aggregates
     }
 
     /// Subjects having ontology type `ty`.
@@ -933,6 +948,47 @@ mod tests {
         // Only the first-loop survivors' Int(s) rows remain.
         assert_eq!(table.int_rows.0.len(), n as usize - n.div_ceil(3) as usize);
         assert_eq!(table.ent_rows.0.len(), n as usize - n.div_ceil(2) as usize);
+    }
+
+    #[test]
+    fn aggregate_runs_follow_the_delta_stream() {
+        let mut g = kg();
+        let mut store = AnalyticsStore::build(&g);
+        let agg = store.aggregates();
+        assert_eq!(agg.count(intern("performed_by")), 2);
+        assert_eq!(agg.count_distinct_subjects(intern("performed_by")), 2);
+        // GROUP BY type without scanning: the `type` partition's runs.
+        let type_col = agg.column(intern(saga_core::well_known::TYPE)).unwrap();
+        let mut groups: Vec<(Value, u64)> = type_col
+            .group_counts()
+            .map(|(v, n)| (v.clone(), n))
+            .collect();
+        groups.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(
+            groups,
+            vec![(Value::str("music_artist"), 1), (Value::str("song"), 2),]
+        );
+        // Conjunction count in the compressed domain.
+        assert_eq!(
+            agg.count_conjunction(&[intern("performed_by"), intern("duration_s")]),
+            1
+        );
+
+        // A receipt-carried retraction updates the runs in lockstep.
+        let receipt = WriteBatch::new()
+            .link(SourceId(1), "s2", EntityId(2))
+            .retract_source_entity(SourceId(1), "s2")
+            .commit(&mut g);
+        store.apply_deltas(&receipt.deltas);
+        let agg = store.aggregates();
+        assert_eq!(agg.count(intern("performed_by")), 1);
+        assert_eq!(agg.count(intern("duration_s")), 0);
+        let type_col = agg.column(intern(saga_core::well_known::TYPE)).unwrap();
+        assert_eq!(
+            type_col.group_subjects(&Value::str("song")).len(),
+            1,
+            "one song remains"
+        );
     }
 
     #[test]

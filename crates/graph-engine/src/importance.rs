@@ -5,17 +5,30 @@
 //! PageRank … We then aggregate these metrics into a single score."
 //! Registered as a view so it is automatically maintained as the graph
 //! changes (see [`ImportanceView`]).
+//!
+//! Maintenance is incremental: the view keeps a push-based PageRank model
+//! (`PrState`) and, per commit, re-derives only the rows of the changed
+//! entities (point reads) plus the rows of entities referencing an
+//! appeared/departed node (reverse edges through the OSP postings),
+//! propagating the injected residual mass until it falls below
+//! [`ImportanceConfig::push_tolerance`]. When the affected set exceeds
+//! [`ImportanceConfig::max_churn_fraction`] of the node set the view falls
+//! back to a full rebuild and says so in the refresh report.
 
-use saga_core::{EntityId, FxHashMap, KnowledgeGraph, Result};
+use std::collections::VecDeque;
 
-use crate::views::{View, ViewContext, ViewData};
+use parking_lot::Mutex;
+use saga_core::{EntityId, FxHashMap, FxHashSet, KnowledgeGraph, Result};
+
+use crate::views::{Maintained, View, ViewContext, ViewData};
 
 /// Weights and PageRank parameters for the aggregate score.
 #[derive(Clone, Copy, Debug)]
 pub struct ImportanceConfig {
     /// PageRank damping factor.
     pub damping: f64,
-    /// PageRank iterations.
+    /// PageRank iterations (reference power-iteration path only; the
+    /// incremental path iterates to `push_tolerance` instead).
     pub iterations: usize,
     /// Weight of (log) in-degree.
     pub w_in: f64,
@@ -25,6 +38,11 @@ pub struct ImportanceConfig {
     pub w_identities: f64,
     /// Weight of normalized PageRank.
     pub w_pagerank: f64,
+    /// Incremental maintenance falls back to a full rebuild when a commit's
+    /// affected entity set exceeds this fraction of the node set.
+    pub max_churn_fraction: f64,
+    /// Absolute residual tolerance of the push solver.
+    pub push_tolerance: f64,
 }
 
 impl Default for ImportanceConfig {
@@ -36,6 +54,8 @@ impl Default for ImportanceConfig {
             w_out: 0.15,
             w_identities: 0.2,
             w_pagerank: 0.4,
+            max_churn_fraction: 0.1,
+            push_tolerance: 1e-9,
         }
     }
 }
@@ -57,7 +77,7 @@ pub struct ImportanceScores {
 
 /// Compute all four structural metrics plus the aggregate score.
 pub fn compute_importance(kg: &KnowledgeGraph, config: &ImportanceConfig) -> ImportanceScores {
-    let adjacency = kg.adjacency();
+    let adjacency = kg.adjacency(); // fallback: reference full recompute
     let n = adjacency.len().max(1);
 
     let mut scores = ImportanceScores::default();
@@ -67,7 +87,8 @@ pub fn compute_importance(kg: &KnowledgeGraph, config: &ImportanceConfig) -> Imp
             *scores.in_degree.entry(*d).or_insert(0) += 1;
         }
     }
-    for record in kg.entities() {
+    let records = kg.entities(); // fallback: reference full recompute
+    for record in records {
         scores.identities.insert(record.id, record.identity_count());
         scores.in_degree.entry(record.id).or_insert(0);
         scores.out_degree.entry(record.id).or_insert(0);
@@ -129,12 +150,399 @@ pub fn compute_importance(kg: &KnowledgeGraph, config: &ImportanceConfig) -> Imp
     scores
 }
 
+/// The incremental PageRank model behind [`ImportanceView`].
+///
+/// The reference PageRank satisfies, at its fixed point,
+/// `π(v) = c + d·Σ_{u→v} π(u)·m(u,v)/deg(u)` where edges are filtered to
+/// live targets, `m` is edge multiplicity, and `c` bundles the teleport
+/// term with the uniformly-redistributed dangling mass — a constant that is
+/// the same for every node. By linearity `π` is therefore a scalar multiple
+/// of the solution `x` of `x = (1−d)·1 + d·Âᵀx` (dangling rows zeroed),
+/// whose teleport term is independent of the node count. The aggregate
+/// score only consumes `pr/max_pr = x/max_x`, so the scalar never needs to
+/// be known and node appearance/departure never forces a global rescale of
+/// the model — that is what makes per-commit maintenance sound.
+///
+/// Maintenance keeps the residual invariant `r = (1−d)·1 + d·Âᵀx − x`: a
+/// changed out-edge row subtracts the row's old contributions from `r` and
+/// adds the new ones, then Gauss–Southwell pushes (`x(v) += r(v)`, forward
+/// `d·r(v)·m/deg` to live out-neighbours) drain the injected residual mass
+/// below `push_tolerance`. Reverse edges of appeared/departed nodes come
+/// from the OSP postings via [`TripleIndex::referencing`] — no full scan.
+///
+/// [`TripleIndex::referencing`]: saga_core::TripleIndex::referencing
+struct PrState {
+    /// Raw out-edge row (with multiplicity, sorted) per live node. Keys are
+    /// the node set `N`.
+    out_edges: FxHashMap<EntityId, Vec<EntityId>>,
+    /// Unnormalized PageRank `x` per live node.
+    x: FxHashMap<EntityId, f64>,
+    /// Residual per live node.
+    r: FxHashMap<EntityId, f64>,
+    /// Raw in-degree (edges to dead targets included), for every live
+    /// entity and every referenced target — the score-map key set.
+    in_degree: FxHashMap<EntityId, i64>,
+    /// Identity (source) count per live entity.
+    identities: FxHashMap<EntityId, usize>,
+    /// Cached `max(x)` and the node attaining it.
+    max_x: f64,
+    argmax: EntityId,
+}
+
+/// Outcome of one incremental maintenance attempt.
+enum Applied {
+    /// The delta was absorbed; rescore `rescore` ids (or everything when
+    /// `rescore_all` — the max-x normalizer moved), drop `removed` ids.
+    Incremental {
+        rescore: FxHashSet<EntityId>,
+        removed: Vec<EntityId>,
+        rescore_all: bool,
+    },
+    /// The affected set crossed the churn threshold: rebuild instead.
+    TooBroad,
+}
+
+impl PrState {
+    /// Build the model from scratch and solve to tolerance.
+    fn build(kg: &KnowledgeGraph, config: &ImportanceConfig) -> PrState {
+        let base = 1.0 - config.damping;
+        let mut st = PrState {
+            out_edges: FxHashMap::default(),
+            x: FxHashMap::default(),
+            r: FxHashMap::default(),
+            in_degree: FxHashMap::default(),
+            identities: FxHashMap::default(),
+            max_x: f64::MIN_POSITIVE,
+            argmax: EntityId(0),
+        };
+        let records = kg.entities(); // fallback: full rebuild seeds the model
+        for record in records {
+            let mut row: Vec<EntityId> = record.out_edges().map(|(_, d)| d).collect();
+            row.sort_unstable();
+            for &t in &row {
+                *st.in_degree.entry(t).or_insert(0) += 1;
+            }
+            st.in_degree.entry(record.id).or_insert(0);
+            st.identities.insert(record.id, record.identity_count());
+            st.x.insert(record.id, 0.0);
+            st.r.insert(record.id, base);
+            st.out_edges.insert(record.id, row);
+        }
+        let seed: Vec<EntityId> = st.x.keys().copied().collect();
+        st.push(seed, config);
+        st.refresh_max();
+        st
+    }
+
+    /// Gauss–Southwell push loop: drain residuals above tolerance, forward
+    /// damped shares along live out-edges. Returns the nodes whose `x`
+    /// changed. Terminates because every push removes `(1−d)·|r(v)|` of
+    /// total residual mass.
+    fn push(&mut self, seed: Vec<EntityId>, config: &ImportanceConfig) -> FxHashSet<EntityId> {
+        let tol = config.push_tolerance.max(f64::EPSILON);
+        let d = config.damping;
+        let mut queue: VecDeque<EntityId> = VecDeque::new();
+        let mut queued: FxHashSet<EntityId> = FxHashSet::default();
+        let mut touched: FxHashSet<EntityId> = FxHashSet::default();
+        for v in seed {
+            if self.r.get(&v).is_some_and(|r| r.abs() > tol) && queued.insert(v) {
+                queue.push_back(v);
+            }
+        }
+        let PrState {
+            out_edges, x, r, ..
+        } = self;
+        while let Some(v) = queue.pop_front() {
+            queued.remove(&v);
+            let Some(&rv) = r.get(&v) else { continue };
+            if rv.abs() <= tol {
+                continue;
+            }
+            *x.get_mut(&v).expect("node has x") += rv;
+            r.insert(v, 0.0);
+            touched.insert(v);
+            let row = out_edges.get(&v).expect("node has row");
+            let deg = row.iter().filter(|t| x.contains_key(t)).count();
+            if deg == 0 {
+                continue; // dangling row: mass handled by the shared constant
+            }
+            let share = d * rv / deg as f64;
+            for t in row {
+                let Some(rt) = r.get_mut(t) else { continue };
+                *rt += share;
+                if rt.abs() > tol && queued.insert(*t) {
+                    queue.push_back(*t);
+                }
+            }
+        }
+        touched
+    }
+
+    /// Recompute the cached maximum of `x` from scratch.
+    fn refresh_max(&mut self) {
+        self.max_x = f64::MIN_POSITIVE;
+        self.argmax = EntityId(0);
+        for (&id, &v) in &self.x {
+            if v > self.max_x {
+                self.max_x = v;
+                self.argmax = id;
+            }
+        }
+    }
+
+    /// The aggregate score of one id (same formula as the reference path).
+    fn score_one(&self, id: EntityId, config: &ImportanceConfig) -> f64 {
+        let pr = self.x.get(&id).copied().unwrap_or(0.0) / self.max_x;
+        let ind = (1.0 + self.in_degree.get(&id).copied().unwrap_or(0).max(0) as f64).ln();
+        let outd = (1.0 + self.out_edges.get(&id).map_or(0, Vec::len) as f64).ln();
+        let idents = self.identities.get(&id).copied().unwrap_or(0) as f64;
+        config.w_in * ind
+            + config.w_out * outd
+            + config.w_identities * idents
+            + config.w_pagerank * pr
+    }
+
+    /// Score every id in the score-map key set.
+    fn score_all(&self, config: &ImportanceConfig) -> FxHashMap<EntityId, f64> {
+        self.in_degree
+            .keys()
+            .map(|&id| (id, self.score_one(id, config)))
+            .collect()
+    }
+
+    /// Absorb one commit's changed-entity set. `changed` must cover every
+    /// subject whose facts were touched since the last refresh — exactly
+    /// what [`CommitReceipt`](saga_core::CommitReceipt) and the oplog's
+    /// `changed_entities` provide.
+    ///
+    /// Provenance-only merges (the same fact re-asserted from a new
+    /// source) emit no delta by design, so they are invisible here — the
+    /// identity signal lags such a merge until the entity next changes
+    /// visibly or the view is fully rebuilt. Every log-derived store
+    /// shares this bound.
+    fn apply(
+        &mut self,
+        ctx: &ViewContext<'_>,
+        changed: &[EntityId],
+        config: &ImportanceConfig,
+    ) -> Applied {
+        let base = 1.0 - config.damping;
+        let d = config.damping;
+        let mut uniq: Vec<EntityId> = changed.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+
+        // Classify each changed id against the model's node set and pull
+        // its new out-edge row / identity count via point reads.
+        let mut appeared: Vec<EntityId> = Vec::new();
+        let mut departed: Vec<EntityId> = Vec::new();
+        let mut new_rows: FxHashMap<EntityId, Vec<EntityId>> = FxHashMap::default();
+        let mut new_idents: FxHashMap<EntityId, usize> = FxHashMap::default();
+        for &e in &uniq {
+            let existed = self.out_edges.contains_key(&e);
+            match ctx.kg.entity(e) {
+                Some(record) => {
+                    let mut row: Vec<EntityId> = record.out_edges().map(|(_, t)| t).collect();
+                    row.sort_unstable();
+                    new_rows.insert(e, row);
+                    new_idents.insert(e, record.identity_count());
+                    if !existed {
+                        appeared.push(e);
+                    }
+                }
+                None => {
+                    if existed {
+                        departed.push(e);
+                    }
+                }
+            }
+        }
+
+        // Contribution-affected subjects: changed rows that actually differ,
+        // plus everything referencing a node whose liveness flipped (their
+        // live-filtered degree changes even though their raw row does not).
+        let mut ca: FxHashSet<EntityId> = FxHashSet::default();
+        for &e in &uniq {
+            let old = self.out_edges.get(&e);
+            let new = new_rows.get(&e);
+            match (old, new) {
+                (Some(o), Some(n)) if o == n => {} // row unchanged; liveness handled below
+                (None, None) => {}
+                _ => {
+                    ca.insert(e);
+                }
+            }
+        }
+        for &e in appeared.iter().chain(departed.iter()) {
+            for s in ctx.index.referencing(e).iter() {
+                ca.insert(s);
+            }
+        }
+
+        let n = self.x.len().max(1);
+        if ca.len() as f64 > config.max_churn_fraction * n as f64 {
+            return Applied::TooBroad;
+        }
+
+        let mut r_touched: FxHashSet<EntityId> = FxHashSet::default();
+        let mut degree_touched: FxHashSet<EntityId> = FxHashSet::default();
+
+        // Pass 1: retract the old contributions (and raw in-degree) of every
+        // affected row, live-filtered against the *old* node set.
+        {
+            let PrState {
+                out_edges,
+                x,
+                r,
+                in_degree,
+                ..
+            } = &mut *self;
+            for &u in &ca {
+                let Some(row) = out_edges.get(&u) else {
+                    continue;
+                };
+                for t in row {
+                    *in_degree.entry(*t).or_insert(0) -= 1;
+                    degree_touched.insert(*t);
+                }
+                let xu = x.get(&u).copied().unwrap_or(0.0);
+                let deg = row.iter().filter(|t| x.contains_key(t)).count();
+                if deg == 0 || xu == 0.0 {
+                    continue;
+                }
+                let share = d * xu / deg as f64;
+                for t in row {
+                    if let Some(rt) = r.get_mut(t) {
+                        *rt -= share;
+                        r_touched.insert(*t);
+                    }
+                }
+            }
+        }
+
+        // Mutate the node set and swap in the new rows / identity counts.
+        for &e in &appeared {
+            self.out_edges
+                .insert(e, new_rows.get(&e).cloned().unwrap_or_default());
+            self.x.insert(e, 0.0);
+            self.r.insert(e, base);
+            self.in_degree.entry(e).or_insert(0);
+            r_touched.insert(e);
+        }
+        for &e in &departed {
+            self.out_edges.remove(&e);
+            self.x.remove(&e);
+            self.r.remove(&e);
+            self.identities.remove(&e);
+        }
+        for (&e, idents) in &new_idents {
+            self.identities.insert(e, *idents);
+        }
+        for &e in &ca {
+            if let Some(row) = new_rows.get(&e) {
+                if self.out_edges.contains_key(&e) {
+                    self.out_edges.insert(e, row.clone());
+                }
+            }
+        }
+
+        // Pass 2: add the new contributions (and raw in-degree) of every
+        // affected row, live-filtered against the *new* node set.
+        {
+            let PrState {
+                out_edges,
+                x,
+                r,
+                in_degree,
+                ..
+            } = &mut *self;
+            for &u in &ca {
+                let Some(row) = out_edges.get(&u) else {
+                    continue;
+                };
+                for t in row {
+                    *in_degree.entry(*t).or_insert(0) += 1;
+                    degree_touched.insert(*t);
+                }
+                let xu = x.get(&u).copied().unwrap_or(0.0);
+                let deg = row.iter().filter(|t| x.contains_key(t)).count();
+                if deg == 0 || xu == 0.0 {
+                    continue;
+                }
+                let share = d * xu / deg as f64;
+                for t in row {
+                    if let Some(rt) = r.get_mut(t) {
+                        *rt += share;
+                        r_touched.insert(*t);
+                    }
+                }
+            }
+        }
+
+        // Drop score-map entries for ids that are neither live nor
+        // referenced any more.
+        let mut removed: Vec<EntityId> = Vec::new();
+        for &t in degree_touched.iter().chain(uniq.iter()) {
+            if self.in_degree.get(&t).copied().unwrap_or(0) <= 0 && !self.x.contains_key(&t) {
+                self.in_degree.remove(&t);
+                removed.push(t);
+            }
+        }
+
+        // Drain the injected residual mass.
+        let seed: Vec<EntityId> = r_touched.iter().copied().collect();
+        let touched_x = self.push(seed, config);
+
+        // Maintain the cached max without a full walk when possible.
+        let old_max = self.max_x;
+        if !self.x.contains_key(&self.argmax) || touched_x.contains(&self.argmax) {
+            self.refresh_max();
+        } else {
+            for &t in &touched_x {
+                let v = self.x.get(&t).copied().unwrap_or(0.0);
+                if v > self.max_x {
+                    self.max_x = v;
+                    self.argmax = t;
+                }
+            }
+        }
+        let rescore_all = self.max_x != old_max;
+
+        let mut rescore = touched_x;
+        rescore.extend(degree_touched);
+        rescore.extend(uniq);
+        Applied::Incremental {
+            rescore,
+            removed,
+            rescore_all,
+        }
+    }
+}
+
 /// The entity-importance view registered with the view automation (§3.3:
 /// "The computation of entity importance is modelled as a view over the
 /// KG … and is automatically maintained as the graph changes").
+///
+/// `create` builds the push-based model from scratch; `update` absorbs the
+/// commit's changed-id set incrementally (declaring
+/// [`RefreshKind::Incremental`](crate::views::RefreshKind::Incremental))
+/// and falls back to a full rebuild — declared as such in the refresh
+/// report — when the churn threshold is crossed or the model is missing.
 pub struct ImportanceView {
     /// Score configuration.
     pub config: ImportanceConfig,
+    state: Mutex<Option<PrState>>,
+}
+
+impl ImportanceView {
+    /// A view with the given configuration and no model yet (built on the
+    /// first `create`).
+    pub fn new(config: ImportanceConfig) -> Self {
+        ImportanceView {
+            config,
+            state: Mutex::new(None),
+        }
+    }
 }
 
 impl View for ImportanceView {
@@ -143,9 +551,50 @@ impl View for ImportanceView {
     }
 
     fn create(&self, ctx: &ViewContext<'_>) -> Result<ViewData> {
-        Ok(ViewData::Scores(
-            compute_importance(ctx.kg, &self.config).score,
-        ))
+        let st = PrState::build(ctx.kg, &self.config);
+        let scores = st.score_all(&self.config);
+        *self.state.lock() = Some(st);
+        Ok(ViewData::Scores(scores))
+    }
+
+    fn update(
+        &self,
+        ctx: &ViewContext<'_>,
+        current: ViewData,
+        changed: &[EntityId],
+    ) -> Result<Maintained> {
+        let mut guard = self.state.lock();
+        let (Some(st), ViewData::Scores(mut scores)) = (guard.as_mut(), current) else {
+            drop(guard);
+            return Ok(Maintained::full(self.create(ctx)?));
+        };
+        match st.apply(ctx, changed, &self.config) {
+            Applied::TooBroad => {
+                drop(guard);
+                Ok(Maintained::full(self.create(ctx)?))
+            }
+            Applied::Incremental {
+                rescore,
+                removed,
+                rescore_all,
+            } => {
+                if rescore_all {
+                    let scores = st.score_all(&self.config);
+                    return Ok(Maintained::incremental(ViewData::Scores(scores)));
+                }
+                for id in removed {
+                    scores.remove(&id);
+                }
+                for id in rescore {
+                    if st.in_degree.contains_key(&id) {
+                        scores.insert(id, st.score_one(id, &self.config));
+                    } else {
+                        scores.remove(&id);
+                    }
+                }
+                Ok(Maintained::incremental(ViewData::Scores(scores)))
+            }
+        }
     }
 }
 
@@ -214,9 +663,7 @@ mod tests {
         let store = crate::analytics::AnalyticsStore::build(&kg);
         let mut vm = ViewManager::new();
         vm.register(
-            Box::new(ImportanceView {
-                config: ImportanceConfig::default(),
-            }),
+            Box::new(ImportanceView::new(ImportanceConfig::default())),
             1,
         )
         .unwrap();
@@ -231,5 +678,127 @@ mod tests {
         let kg = KnowledgeGraph::new();
         let s = compute_importance(&kg, &ImportanceConfig::default());
         assert!(s.score.is_empty());
+    }
+
+    /// Scores from the incremental path must match a from-scratch rebuild
+    /// of the same view (both sides use the push solver, so the comparison
+    /// is exact up to float noise) and the reference power iteration run to
+    /// convergence (epsilon-close).
+    fn assert_view_matches_fresh(kg: &KnowledgeGraph, vm: &crate::views::ViewManager) {
+        let scores = vm.get("entity_importance").unwrap().as_scores().unwrap();
+        let fresh_view = ImportanceView::new(ImportanceConfig::default());
+        let store = crate::analytics::AnalyticsStore::build(kg);
+        let deps = FxHashMap::default();
+        let ctx = ViewContext {
+            kg,
+            index: kg.index(),
+            analytics: &store,
+            deps: &deps,
+        };
+        let fresh = fresh_view.create(&ctx).unwrap();
+        let fresh = fresh.as_scores().unwrap();
+        assert_eq!(scores.len(), fresh.len(), "score key sets diverged");
+        for (id, s) in fresh {
+            let got = scores.get(id).copied().unwrap_or(f64::NAN);
+            assert!(
+                (got - s).abs() < 1e-6,
+                "score of {id:?}: incremental {got} vs fresh {s}"
+            );
+        }
+        let reference = compute_importance(
+            kg,
+            &ImportanceConfig {
+                iterations: 300,
+                ..ImportanceConfig::default()
+            },
+        );
+        for (id, s) in &reference.score {
+            let got = scores.get(id).copied().unwrap_or(f64::NAN);
+            assert!(
+                (got - s).abs() < 1e-6,
+                "score of {id:?}: incremental {got} vs reference {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_full_recompute() {
+        use crate::views::{RefreshKind, ViewManager};
+        let mut kg = star_kg(8);
+        let store = crate::analytics::AnalyticsStore::build(&kg);
+        let mut vm = ViewManager::new();
+        vm.register(
+            Box::new(ImportanceView::new(ImportanceConfig::default())),
+            1,
+        )
+        .unwrap();
+        vm.refresh_all(&kg, &store).unwrap();
+
+        // A new spoke→hub edge plus a spoke→spoke edge.
+        let meta = || FactMeta::from_source(SourceId(2), 0.9);
+        kg.commit_upsert(ExtendedTriple::simple(
+            EntityId(10),
+            intern("knows"),
+            Value::Entity(EntityId(11)),
+            meta(),
+        ));
+        let report = vm.update_changed(&kg, &store, &[EntityId(10)]).unwrap();
+        assert_eq!(
+            report.kind_of("entity_importance"),
+            Some(RefreshKind::Incremental),
+            "single-entity churn stays incremental"
+        );
+        assert_view_matches_fresh(&kg, &vm);
+
+        // A brand-new entity referencing the hub (node appears).
+        kg.add_named_entity(EntityId(200), "Newcomer", "person", SourceId(1), 0.9);
+        kg.commit_upsert(ExtendedTriple::simple(
+            EntityId(200),
+            intern("member_of"),
+            Value::Entity(EntityId(1)),
+            meta(),
+        ));
+        vm.update_changed(&kg, &store, &[EntityId(200)]).unwrap();
+        assert_view_matches_fresh(&kg, &vm);
+
+        // Retract a spoke entirely (node departs; hub loses an in-edge and
+        // entity 10 keeps a dangling reference to it).
+        saga_core::WriteBatch::new()
+            .link(SourceId(1), "spoke11", EntityId(11))
+            .retract_source_entity(SourceId(1), "spoke11")
+            .commit(&mut kg);
+        vm.update_changed(&kg, &store, &[EntityId(11), EntityId(10)])
+            .unwrap();
+        assert_view_matches_fresh(&kg, &vm);
+    }
+
+    #[test]
+    fn broad_churn_falls_back_to_full_rebuild() {
+        use crate::views::{RefreshKind, ViewManager};
+        let mut kg = star_kg(8);
+        let store = crate::analytics::AnalyticsStore::build(&kg);
+        let mut vm = ViewManager::new();
+        vm.register(
+            Box::new(ImportanceView::new(ImportanceConfig {
+                max_churn_fraction: 0.0,
+                ..ImportanceConfig::default()
+            })),
+            1,
+        )
+        .unwrap();
+        vm.refresh_all(&kg, &store).unwrap();
+        kg.commit_upsert(ExtendedTriple::simple(
+            EntityId(10),
+            intern("knows"),
+            Value::Entity(EntityId(12)),
+            FactMeta::from_source(SourceId(2), 0.9),
+        ));
+        let report = vm.update_changed(&kg, &store, &[EntityId(10)]).unwrap();
+        assert_eq!(
+            report.kind_of("entity_importance"),
+            Some(RefreshKind::Full),
+            "zero churn budget forces the declared fallback"
+        );
+        assert_view_matches_fresh(&kg, &vm);
     }
 }

@@ -19,6 +19,9 @@
 //!   extended triples (predicate-partitioned columns, Fx hash joins,
 //!   group-bys): the engine whose optimized join processing produces the
 //!   Fig. 8 speedups.
+//! * [`columnar`] — per-predicate aggregate runs over the compressed
+//!   posting blocks: COUNT / COUNT-DISTINCT / GROUP-BY-predicate served
+//!   without decompression or row scans, maintained as a log follower.
 //! * [`legacy`] — the row-at-a-time baseline view executor standing in for
 //!   the paper's legacy Spark jobs (DESIGN.md §2).
 //! * [`views`] — the view catalog, dependency DAG and View Manager with
@@ -43,6 +46,7 @@
 
 pub mod analytics;
 pub mod checkpoint_writer;
+pub mod columnar;
 pub mod importance;
 pub mod legacy;
 pub mod metastore;
@@ -55,7 +59,8 @@ pub mod writer;
 
 pub use analytics::{AnalyticsStore, Frame, FrameCol};
 pub use checkpoint_writer::{CheckpointReceipt, CheckpointWriter, DEFAULT_KEEP_LAST};
-pub use importance::{compute_importance, ImportanceConfig, ImportanceScores};
+pub use columnar::{ColumnarAggregates, PredColumn};
+pub use importance::{compute_importance, ImportanceConfig, ImportanceScores, ImportanceView};
 pub use legacy::{LegacyEngine, RowTable};
 pub use metastore::MetadataStore;
 pub use oplog::{FlushPolicy, IngestOp, LogFollower, OpKind, OperationLog, WatermarkHandle};
@@ -64,5 +69,8 @@ pub use orchestration::{
     ViewMaintenanceAgent,
 };
 pub use serving::StableRead;
-pub use views::{View, ViewData, ViewManager, ViewRegistration};
+pub use views::{
+    Computation, FactCountView, Maintained, RefreshKind, RefreshReport, View, ViewData,
+    ViewManager, ViewRegistration,
+};
 pub use writer::{LoggedCommit, LoggedWriter};

@@ -26,6 +26,8 @@ pub enum ViewData {
     Scores(FxHashMap<EntityId, f64>),
     /// Generic rows (legacy engine / exports).
     Rows(Vec<(u64, Value, Value)>),
+    /// A sorted entity set (materialized KGQ conjunctions).
+    Entities(Vec<EntityId>),
 }
 
 impl ViewData {
@@ -45,12 +47,21 @@ impl ViewData {
         }
     }
 
+    /// The entity set, if this is an entity-set view.
+    pub fn as_entities(&self) -> Option<&[EntityId]> {
+        match self {
+            ViewData::Entities(e) => Some(e),
+            _ => None,
+        }
+    }
+
     /// Row count of the materialization.
     pub fn len(&self) -> usize {
         match self {
             ViewData::Frame(f) => f.len(),
             ViewData::Scores(s) => s.len(),
             ViewData::Rows(r) => r.len(),
+            ViewData::Entities(e) => e.len(),
         }
     }
 
@@ -84,6 +95,50 @@ impl ViewContext<'_> {
     }
 }
 
+/// How a view satisfied a maintenance request: by consuming the changed-id
+/// set (touching work proportional to churn) or by falling back to a full
+/// re-materialization (work proportional to graph size).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RefreshKind {
+    /// The view rebuilt from scratch (initial create, fallback, or a view
+    /// with no incremental procedure).
+    Full,
+    /// The view consumed the changed-id / delta information and touched
+    /// only affected state.
+    Incremental,
+}
+
+/// The result of a maintenance call: the new materialization plus the
+/// view's own declaration of whether it actually consumed the change set.
+/// `ViewManager` surfaces the declaration in [`RefreshReport`] so callers
+/// (and the freshness gauges) can tell incremental refreshes from silent
+/// full recomputes — the hazard that motivated this contract.
+#[derive(Clone, Debug)]
+pub struct Maintained {
+    /// The new materialization.
+    pub data: ViewData,
+    /// Whether the change set was consumed.
+    pub kind: RefreshKind,
+}
+
+impl Maintained {
+    /// An incremental maintenance result.
+    pub fn incremental(data: ViewData) -> Self {
+        Maintained {
+            data,
+            kind: RefreshKind::Incremental,
+        }
+    }
+
+    /// A full-recompute maintenance result.
+    pub fn full(data: ViewData) -> Self {
+        Maintained {
+            data,
+            kind: RefreshKind::Full,
+        }
+    }
+}
+
 /// A view definition: name, dependencies, create/update procedures.
 pub trait View: Send + Sync {
     /// Unique view name.
@@ -97,15 +152,17 @@ pub trait View: Send + Sync {
     /// Materialize from scratch.
     fn create(&self, ctx: &ViewContext<'_>) -> Result<ViewData>;
 
-    /// Incrementally maintain given changed entity ids. The default is a
-    /// full re-create (always correct; views override when profitable).
+    /// Incrementally maintain given changed entity ids, declaring in the
+    /// returned [`Maintained`] whether the change set was consumed. The
+    /// default is a full re-create (always correct; views override when
+    /// profitable).
     fn update(
         &self,
         ctx: &ViewContext<'_>,
         _current: ViewData,
         _changed: &[EntityId],
-    ) -> Result<ViewData> {
-        self.create(ctx)
+    ) -> Result<Maintained> {
+        Ok(Maintained::full(self.create(ctx)?))
     }
 }
 
@@ -122,7 +179,8 @@ impl View for FactCountView {
 
     fn create(&self, ctx: &ViewContext<'_>) -> Result<ViewData> {
         let mut scores: FxHashMap<EntityId, f64> = FxHashMap::default();
-        for id in ctx.index.subjects() {
+        let subjects = ctx.index.subjects(); // fallback: full rebuild of the count map
+        for id in subjects {
             scores.insert(id, ctx.index.facts_of(id).count() as f64);
         }
         Ok(ViewData::Scores(scores))
@@ -133,9 +191,9 @@ impl View for FactCountView {
         ctx: &ViewContext<'_>,
         current: ViewData,
         changed: &[EntityId],
-    ) -> Result<ViewData> {
+    ) -> Result<Maintained> {
         let ViewData::Scores(mut scores) = current else {
-            return self.create(ctx); // shape drifted: rebuild
+            return Ok(Maintained::full(self.create(ctx)?)); // shape drifted: rebuild
         };
         for &id in changed {
             let count = ctx.index.facts_of(id).count();
@@ -145,7 +203,7 @@ impl View for FactCountView {
                 scores.insert(id, count as f64);
             }
         }
-        Ok(ViewData::Scores(scores))
+        Ok(Maintained::incremental(ViewData::Scores(scores)))
     }
 }
 
@@ -158,12 +216,24 @@ pub struct ViewRegistration {
     pub freshness_cycles: u64,
 }
 
+/// One view computation inside a refresh: which view, how long, and whether
+/// it was incremental or a full recompute.
+#[derive(Clone, Debug)]
+pub struct Computation {
+    /// The view name.
+    pub view: String,
+    /// Microseconds spent.
+    pub micros: u128,
+    /// How the view satisfied the request.
+    pub kind: RefreshKind,
+}
+
 /// Per-refresh timing report.
 #[derive(Clone, Debug, Default)]
 pub struct RefreshReport {
-    /// Microseconds spent per view computation, in execution order. A view
-    /// recomputed k times (reuse off) appears k times.
-    pub computations: Vec<(String, u128)>,
+    /// Per-view computations, in execution order. A view recomputed k times
+    /// (reuse off) appears k times.
+    pub computations: Vec<Computation>,
     /// Total wall-clock microseconds.
     pub total_us: u128,
 }
@@ -173,9 +243,36 @@ impl RefreshReport {
     pub fn time_of(&self, name: &str) -> u128 {
         self.computations
             .iter()
-            .filter(|(n, _)| n == name)
-            .map(|(_, t)| t)
+            .filter(|c| c.view == name)
+            .map(|c| c.micros)
             .sum()
+    }
+
+    /// How the named view satisfied its most recent computation in this
+    /// refresh, if it ran.
+    pub fn kind_of(&self, name: &str) -> Option<RefreshKind> {
+        self.computations
+            .iter()
+            .rev()
+            .find(|c| c.view == name)
+            .map(|c| c.kind)
+    }
+
+    /// Number of computations that consumed the change set.
+    pub fn incremental_count(&self) -> usize {
+        self.computations
+            .iter()
+            .filter(|c| c.kind == RefreshKind::Incremental)
+            .count()
+    }
+
+    /// Number of computations that fell back to (or started as) a full
+    /// recompute.
+    pub fn full_count(&self) -> usize {
+        self.computations
+            .iter()
+            .filter(|c| c.kind == RefreshKind::Full)
+            .count()
     }
 }
 
@@ -316,9 +413,11 @@ impl ViewManager {
                 };
                 let t0 = Instant::now();
                 let data = reg.view.create(&ctx)?;
-                report
-                    .computations
-                    .push((reg.view.name().to_string(), t0.elapsed().as_micros()));
+                report.computations.push(Computation {
+                    view: reg.view.name().to_string(),
+                    micros: t0.elapsed().as_micros(),
+                    kind: RefreshKind::Full,
+                });
                 fresh.insert(reg.view.name().to_string(), data);
             }
             self.materialized = fresh;
@@ -360,10 +459,11 @@ impl ViewManager {
         };
         let t0 = Instant::now();
         let data = self.catalog[i].view.create(&ctx)?;
-        report.computations.push((
-            self.catalog[i].view.name().to_string(),
-            t0.elapsed().as_micros(),
-        ));
+        report.computations.push(Computation {
+            view: self.catalog[i].view.name().to_string(),
+            micros: t0.elapsed().as_micros(),
+            kind: RefreshKind::Full,
+        });
         Ok(data)
     }
 
@@ -388,14 +488,16 @@ impl ViewManager {
                 deps: &fresh,
             };
             let t0 = Instant::now();
-            let data = match self.materialized.remove(&name) {
+            let maintained = match self.materialized.remove(&name) {
                 Some(current) => reg.view.update(&ctx, current, changed)?,
-                None => reg.view.create(&ctx)?,
+                None => Maintained::full(reg.view.create(&ctx)?),
             };
-            report
-                .computations
-                .push((name.clone(), t0.elapsed().as_micros()));
-            fresh.insert(name, data);
+            report.computations.push(Computation {
+                view: name.clone(),
+                micros: t0.elapsed().as_micros(),
+                kind: maintained.kind,
+            });
+            fresh.insert(name, maintained.data);
         }
         self.materialized = fresh;
         report.total_us = start.elapsed().as_micros();
@@ -556,8 +658,14 @@ mod tests {
             Value::str("Ace"),
             FactMeta::from_source(SourceId(1), 0.9),
         ));
-        vm.update_changed(&kg, &store, &[saga_core::EntityId(1)])
+        let report = vm
+            .update_changed(&kg, &store, &[saga_core::EntityId(1)])
             .unwrap();
+        assert_eq!(
+            report.kind_of("entity_fact_counts"),
+            Some(RefreshKind::Incremental),
+            "fact-count view declares it consumed the change set"
+        );
         let scores = vm.get("entity_fact_counts").unwrap().as_scores().unwrap();
         assert_eq!(scores[&saga_core::EntityId(1)], 3.0);
         assert_eq!(scores[&saga_core::EntityId(2)], 2.0);
@@ -588,9 +696,13 @@ mod tests {
             .unwrap();
         assert_eq!(report.computations.len(), 2);
         assert_eq!(
-            report.computations[0].0, "base",
+            report.computations[0].view, "base",
             "dependencies update first"
         );
+        // CountingView has no incremental procedure: both fall back to Full
+        // and the report says so.
+        assert_eq!(report.full_count(), 2);
+        assert_eq!(report.incremental_count(), 0);
         let _ = intern("x");
     }
 }

@@ -32,10 +32,12 @@
 
 pub mod builder;
 pub mod exec;
+pub mod materialized;
 pub mod parser;
 
 pub use builder::{FindBuilder, GetBuilder, QueryBuilder};
 pub use exec::{compile, compile_with_deps, execute, CompiledPlan, Plan, PlanDep, QueryResult};
+pub use materialized::MaterializedKgqView;
 pub use parser::{parse, Condition, Query, Target};
 
 use parking_lot::RwLock;

@@ -44,7 +44,10 @@ pub use construction::{LiveEvent, LiveGraphBuilder};
 pub use context::ContextGraph;
 pub use curation::{CurationAction, CurationPipeline};
 pub use intent::{Intent, IntentHandler};
-pub use kgq::{compile, execute, parse, Plan, Query, QueryBuilder, QueryEngine, QueryResult};
+pub use kgq::{
+    compile, execute, parse, MaterializedKgqView, Plan, Query, QueryBuilder, QueryEngine,
+    QueryResult,
+};
 pub use pool::ProbePool;
 pub use replica::LiveReplica;
 pub use store::{LiveKg, ShardedTripleIndex, PARALLEL_PROBE_MIN_WORK};
