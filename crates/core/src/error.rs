@@ -20,6 +20,12 @@ pub enum SagaError {
     View(String),
     /// The operation log or an orchestration agent failed.
     Storage(String),
+    /// The serving tier could not satisfy the request *right now* —
+    /// freshness wait timed out, no replica within the lag bound, or
+    /// admission control shed the request. Unlike [`Storage`](Self::Storage)
+    /// this is a *retryable* condition: the caller (or a network server
+    /// mapping errors to wire responses) may safely retry after a backoff.
+    Unavailable(String),
     /// An ML component was misconfigured or fed invalid shapes.
     Model(String),
     /// Underlying IO error.
@@ -35,9 +41,18 @@ impl fmt::Display for SagaError {
             SagaError::Query(m) => write!(f, "query error: {m}"),
             SagaError::View(m) => write!(f, "view error: {m}"),
             SagaError::Storage(m) => write!(f, "storage error: {m}"),
+            SagaError::Unavailable(m) => write!(f, "unavailable: {m}"),
             SagaError::Model(m) => write!(f, "model error: {m}"),
             SagaError::Io(e) => write!(f, "io error: {e}"),
         }
+    }
+}
+
+impl SagaError {
+    /// True for transient serving-tier conditions a caller may retry
+    /// (after a backoff) without changing the request.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SagaError::Unavailable(_))
     }
 }
 
@@ -66,6 +81,16 @@ mod tests {
         assert_eq!(e.to_string(), "integrity violation: duplicate entity id");
         let q = SagaError::Query("unexpected token".into());
         assert!(q.to_string().starts_with("query error"));
+    }
+
+    #[test]
+    fn only_unavailable_is_retryable() {
+        assert!(SagaError::Unavailable("fleet catching up".into()).is_retryable());
+        assert!(!SagaError::Storage("log corrupt".into()).is_retryable());
+        assert!(!SagaError::Query("parse".into()).is_retryable());
+        assert!(SagaError::Unavailable("x".into())
+            .to_string()
+            .starts_with("unavailable"));
     }
 
     #[test]

@@ -36,7 +36,7 @@ use std::time::Duration;
 
 pub use controller::{FleetController, FleetStats, ReplicaHealth, TickReport};
 pub use pool::{ReplicaFault, ReplicaPool, ReplicaState};
-pub use router::{FleetRouter, RoutedRead};
+pub use router::{FleetRouter, RoutedRead, SessionWaitConfig};
 
 /// Tuning knobs for a serving fleet. `Default` is sized for tests and
 /// single-machine serving; production fleets raise `replicas` and
@@ -102,6 +102,15 @@ impl FleetConfig {
             replicas,
             ..FleetConfig::default()
         }
+    }
+
+    /// The fleet's default bounded-wait policy for session reads, derived
+    /// from [`session_timeout`](Self::session_timeout). Callers that need a
+    /// per-request deadline (e.g. a network server mapping the wait to a
+    /// retryable wire response) build their own [`SessionWaitConfig`] and
+    /// use [`FleetRouter::read_with_session_wait`](crate::FleetRouter::read_with_session_wait).
+    pub fn session_wait(&self) -> SessionWaitConfig {
+        SessionWaitConfig::with_timeout(self.session_timeout)
     }
 
     pub(crate) fn validated(mut self) -> Self {

@@ -35,6 +35,49 @@ use crate::pool::{ReplicaPool, Slot};
 /// How often a blocked session read re-checks the fleet's watermarks.
 const WAIT_POLL: Duration = Duration::from_micros(100);
 
+/// Bounded-wait policy for session-constrained reads: how long a read may
+/// block waiting for some replica to reach the session's LSN, and how
+/// often it re-checks the published watermarks while blocked. The fleet's
+/// default comes from [`FleetConfig::session_timeout`](crate::FleetConfig);
+/// per-request policies (a network server giving each wire request its own
+/// deadline, a latency-sensitive caller preferring fail-fast) construct
+/// their own and call the `*_wait` router entry points. A timeout
+/// surfaces as the *typed*, retryable
+/// [`SagaError::Unavailable`] — never a generic storage error — so
+/// callers can distinguish "try again shortly" from "broken".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionWaitConfig {
+    /// Maximum total wait for a replica to reach the session LSN.
+    pub timeout: Duration,
+    /// How often the blocked read re-checks the watermarks.
+    pub poll: Duration,
+}
+
+impl Default for SessionWaitConfig {
+    fn default() -> Self {
+        SessionWaitConfig {
+            timeout: Duration::from_secs(2),
+            poll: WAIT_POLL,
+        }
+    }
+}
+
+impl SessionWaitConfig {
+    /// The default poll cadence with a caller-chosen total timeout.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        SessionWaitConfig {
+            timeout,
+            ..SessionWaitConfig::default()
+        }
+    }
+
+    /// Fail immediately when no replica satisfies the session — the
+    /// routing filters still run once, but nothing blocks.
+    pub fn no_wait() -> Self {
+        SessionWaitConfig::with_timeout(Duration::ZERO)
+    }
+}
+
 /// The fleet's query front door. Cheap to clone (a handle over the shared
 /// pool); all clones share routing counters.
 #[derive(Clone)]
@@ -59,34 +102,59 @@ impl FleetRouter {
     }
 
     /// Route one KGQ query for a session: served only by a replica that
-    /// has replayed at least the session's LSN (read-your-writes).
+    /// has replayed at least the session's LSN (read-your-writes), with
+    /// the fleet's default bounded wait.
     pub fn query_with_session(&self, text: &str, token: &SessionToken) -> Result<QueryResult> {
         self.read_with_session(token)?.query(text)
+    }
+
+    /// [`query_with_session`](Self::query_with_session) with an explicit
+    /// per-request wait policy.
+    pub fn query_with_session_wait(
+        &self,
+        text: &str,
+        token: &SessionToken,
+        wait: &SessionWaitConfig,
+    ) -> Result<QueryResult> {
+        self.read_with_session_wait(token, wait)?.query(text)
     }
 
     /// Pin a fresh replica for a sequence of reads (see [`RoutedRead`]).
     pub fn read(&self) -> Result<RoutedRead> {
         self.pick_pinned(None).ok_or_else(|| {
-            SagaError::Storage("fleet has no serving replica within the lag bound".into())
+            SagaError::Unavailable("fleet has no serving replica within the lag bound".into())
         })
     }
 
     /// Pin a replica at or past the session's LSN, waiting up to the
-    /// configured session timeout for one to catch up.
+    /// fleet's configured session timeout for one to catch up.
     pub fn read_with_session(&self, token: &SessionToken) -> Result<RoutedRead> {
-        let deadline = Instant::now() + self.pool.config().session_timeout;
+        self.read_with_session_wait(token, &self.pool.config().session_wait())
+    }
+
+    /// Pin a replica at or past the session's LSN under an explicit
+    /// [`SessionWaitConfig`]. Exhausting the wait yields the typed,
+    /// retryable [`SagaError::Unavailable`] — the caller (or a network
+    /// server translating it into a retryable wire response) knows the
+    /// fleet is merely behind, not broken.
+    pub fn read_with_session_wait(
+        &self,
+        token: &SessionToken,
+        wait: &SessionWaitConfig,
+    ) -> Result<RoutedRead> {
+        let deadline = Instant::now() + wait.timeout;
         loop {
             if let Some(read) = self.pick_pinned(Some(token.lsn())) {
                 return Ok(read);
             }
             if Instant::now() >= deadline {
-                return Err(SagaError::Storage(format!(
+                return Err(SagaError::Unavailable(format!(
                     "session read timed out: no replica reached lsn {} within {:?}",
                     token.lsn().0,
-                    self.pool.config().session_timeout
+                    wait.timeout
                 )));
             }
-            std::thread::sleep(WAIT_POLL);
+            std::thread::sleep(wait.poll.max(Duration::from_micros(1)));
         }
     }
 
@@ -105,7 +173,7 @@ impl FleetRouter {
                 return Ok(());
             }
             if Instant::now() >= deadline {
-                return Err(SagaError::Storage(format!(
+                return Err(SagaError::Unavailable(format!(
                     "no serving replica reached lsn {} within {timeout:?}",
                     lsn.0
                 )));

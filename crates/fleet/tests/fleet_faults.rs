@@ -19,6 +19,7 @@ use parking_lot::RwLock;
 use saga_core::{EntityId, GraphRead, KnowledgeGraph, Lsn, SourceId, WriteBatch};
 use saga_fleet::{
     FleetConfig, FleetController, FleetRouter, ReplicaFault, ReplicaPool, ReplicaState,
+    SessionWaitConfig,
 };
 use saga_graph::{CheckpointWriter, LoggedCommit, LoggedWriter, OpKind, OperationLog};
 use saga_live::LiveReplica;
@@ -309,6 +310,29 @@ fn all_stale_session_reads_time_out_rather_than_serve_stale() {
         .query_with_session("FIND person WHERE name = \"Fleet Person 2\"", &token)
         .unwrap_err();
     assert!(err.to_string().contains("timed out"), "{err}");
+    assert!(
+        err.is_retryable(),
+        "session timeout must be the typed retryable error, got {err:?}"
+    );
+
+    // A per-request wait policy overrides the fleet default: no_wait
+    // fails immediately (well under the configured 50 ms) and is equally
+    // typed-retryable — this is what a network server maps to a
+    // retryable wire response.
+    let t0 = std::time::Instant::now();
+    let err = router
+        .query_with_session_wait(
+            "FIND person WHERE name = \"Fleet Person 2\"",
+            &token,
+            &SessionWaitConfig::no_wait(),
+        )
+        .unwrap_err();
+    assert!(err.is_retryable(), "{err}");
+    assert!(
+        t0.elapsed() < Duration::from_millis(40),
+        "no_wait blocked for {:?}",
+        t0.elapsed()
+    );
 
     // Un-wedge: the worker resumes on its own and the read goes through.
     pool.clear_fault(0).unwrap();

@@ -1,0 +1,299 @@
+//! The client: blocking calls, explicit pipelining, session threading.
+//!
+//! [`SagaClient`] speaks the [`protocol`](crate::protocol) over one TCP
+//! connection. Two styles compose:
+//!
+//! * **Blocking** — [`call`](SagaClient::call) and the typed helpers
+//!   ([`query`](SagaClient::query), [`commit`](SagaClient::commit), ...)
+//!   send one request and wait for its response.
+//! * **Pipelined** — [`send`](SagaClient::send) returns the request id
+//!   immediately; any number may be in flight, and
+//!   [`recv_by_id`](SagaClient::recv_by_id) /
+//!   [`recv_any`](SagaClient::recv_any) collect responses in whatever
+//!   order the server produced them (out-of-order responses for other
+//!   ids are parked, never lost).
+//!
+//! The client carries a [`SessionToken`] that every [`commit`] advances
+//! and every [`query_with_session`](SagaClient::query_with_session)
+//! threads into the request — read-your-writes over the wire. The token
+//! survives [`reconnect`](SagaClient::reconnect) (and serializes via
+//! `saga_core::wire` for hand-off across processes), so a client that
+//! reconnects mid-session still refuses stale serves.
+//!
+//! [`commit`]: SagaClient::commit
+
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::TcpStream;
+
+use saga_core::{EntityId, EntityRecord, ProbeKey, Result, SagaError, SessionToken, Value};
+use saga_live::QueryResult;
+
+use crate::protocol::{
+    decode_response, read_frame, Committed, ErrorKind, Request, Response, WireBatch,
+};
+
+fn net_err(context: &str, err: impl std::fmt::Display) -> SagaError {
+    SagaError::Storage(format!("net: {context}: {err}"))
+}
+
+/// A connection to a [`SagaServer`](crate::SagaServer).
+pub struct SagaClient {
+    addr: String,
+    writer: BufWriter<TcpStream>,
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+    /// Responses that arrived while waiting for a different id.
+    parked: HashMap<u64, Response>,
+    session: SessionToken,
+}
+
+impl SagaClient {
+    /// Connect to a server. The address is kept for
+    /// [`reconnect`](Self::reconnect).
+    pub fn connect(addr: impl Into<String>) -> Result<SagaClient> {
+        let addr = addr.into();
+        let (writer, reader) = Self::open(&addr)?;
+        Ok(SagaClient {
+            addr,
+            writer,
+            reader,
+            next_id: 1,
+            parked: HashMap::new(),
+            session: SessionToken::default(),
+        })
+    }
+
+    fn open(addr: &str) -> Result<(BufWriter<TcpStream>, BufReader<TcpStream>)> {
+        let stream = TcpStream::connect(addr).map_err(|e| net_err("connect", e))?;
+        let _ = stream.set_nodelay(true);
+        let read_half = stream.try_clone().map_err(|e| net_err("clone stream", e))?;
+        Ok((BufWriter::new(stream), BufReader::new(read_half)))
+    }
+
+    /// Drop the connection and dial the same address again. The session
+    /// token is *kept*: queries after a reconnect still demand every
+    /// write this client has observed. Parked responses from the old
+    /// connection are discarded (their requests died with it).
+    pub fn reconnect(&mut self) -> Result<()> {
+        let (writer, reader) = Self::open(&self.addr)?;
+        self.writer = writer;
+        self.reader = reader;
+        self.parked.clear();
+        Ok(())
+    }
+
+    /// This client's read-your-writes token.
+    pub fn session(&self) -> SessionToken {
+        self.session
+    }
+
+    /// Replace the session token (e.g. one deserialized from
+    /// `SessionToken::from_wire` to resume another process's session).
+    pub fn set_session(&mut self, token: SessionToken) {
+        self.session = token;
+    }
+
+    // -- pipelined API ----------------------------------------------------
+
+    /// Send one request without waiting; returns its request id. Any
+    /// number of requests may be in flight on the connection.
+    pub fn send(&mut self, request: &Request) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer
+            .write_all(&request.encode(id))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| net_err("send", e))?;
+        Ok(id)
+    }
+
+    /// Send without flushing — for batching many sends into few syscalls;
+    /// pair with [`flush`](Self::flush) (or any `recv_*`, which flushes).
+    pub fn send_buffered(&mut self, request: &Request) -> Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.writer
+            .write_all(&request.encode(id))
+            .map_err(|e| net_err("send", e))?;
+        Ok(id)
+    }
+
+    /// Flush buffered sends to the socket.
+    pub fn flush(&mut self) -> Result<()> {
+        self.writer.flush().map_err(|e| net_err("flush", e))
+    }
+
+    /// Receive the response for a specific request id, parking any
+    /// responses for other in-flight ids along the way.
+    pub fn recv_by_id(&mut self, id: u64) -> Result<Response> {
+        if let Some(found) = self.parked.remove(&id) {
+            return Ok(found);
+        }
+        self.flush()?;
+        loop {
+            let (got_id, response) = self.read_one()?;
+            if got_id == id {
+                return Ok(response);
+            }
+            self.parked.insert(got_id, response);
+        }
+    }
+
+    /// Receive whichever response arrives next (parked ones first).
+    pub fn recv_any(&mut self) -> Result<(u64, Response)> {
+        if let Some(id) = self.parked.keys().next().copied() {
+            let response = self.parked.remove(&id).expect("key just observed");
+            return Ok((id, response));
+        }
+        self.flush()?;
+        self.read_one()
+    }
+
+    fn read_one(&mut self) -> Result<(u64, Response)> {
+        let frame = read_frame(&mut self.reader)
+            .map_err(|e| net_err("read frame", e))?
+            .ok_or_else(|| SagaError::Unavailable("server closed the connection".to_string()))?;
+        let response = decode_response(&frame)?;
+        Ok((frame.request_id, response))
+    }
+
+    // -- blocking API -----------------------------------------------------
+
+    /// Send one request and wait for its response. Returns the raw
+    /// [`Response`] — including typed `Overloaded` / `Unavailable` /
+    /// `Error` variants — so callers owning their retry policy can see
+    /// exactly what the server said.
+    pub fn call(&mut self, request: &Request) -> Result<Response> {
+        let id = self.send(request)?;
+        self.recv_by_id(id)
+    }
+
+    /// Liveness round trip.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping { delay_ms: 0 })? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// One KGQ query with no freshness constraint.
+    pub fn query(&mut self, text: &str) -> Result<QueryResult> {
+        let request = Request::Query {
+            text: text.to_string(),
+            session: None,
+        };
+        match self.call(&request)? {
+            Response::Result(result) => Ok(result),
+            other => Err(response_error(other)),
+        }
+    }
+
+    /// One KGQ query constrained by this client's session token: the
+    /// server must serve it from a replica at or past every commit this
+    /// client has made (read-your-writes over the wire).
+    pub fn query_with_session(&mut self, text: &str) -> Result<QueryResult> {
+        let request = Request::Query {
+            text: text.to_string(),
+            session: Some(self.session),
+        };
+        match self.call(&request)? {
+            Response::Result(result) => Ok(result),
+            other => Err(response_error(other)),
+        }
+    }
+
+    /// Commit a batch through the server's write-ahead log. On success
+    /// the client's session token advances to the commit's LSN, so
+    /// subsequent [`query_with_session`](Self::query_with_session) calls
+    /// observe the write.
+    pub fn commit(&mut self, batch: WireBatch) -> Result<Committed> {
+        match self.call(&Request::Commit(batch))? {
+            Response::Committed(committed) => {
+                self.session.observe(committed.lsn);
+                Ok(committed)
+            }
+            other => Err(response_error(other)),
+        }
+    }
+
+    /// `GraphRead::postings` over the wire.
+    pub fn postings(&mut self, probe: &ProbeKey) -> Result<Vec<EntityId>> {
+        match self.call(&Request::Postings(probe.clone()))? {
+            Response::Entities(ids) => Ok(ids),
+            other => Err(response_error(other)),
+        }
+    }
+
+    /// `GraphRead::selectivity` over the wire.
+    pub fn selectivity(&mut self, probe: &ProbeKey) -> Result<u64> {
+        match self.call(&Request::Selectivity(probe.clone()))? {
+            Response::Count(n) => Ok(n),
+            other => Err(response_error(other)),
+        }
+    }
+
+    /// `GraphRead::probe_contains` over the wire.
+    pub fn probe_contains(&mut self, probe: &ProbeKey, id: EntityId) -> Result<bool> {
+        match self.call(&Request::ProbeContains(probe.clone(), id))? {
+            Response::Bool(b) => Ok(b),
+            other => Err(response_error(other)),
+        }
+    }
+
+    /// `GraphRead::resolve_name` over the wire.
+    pub fn resolve_name(&mut self, name: &str) -> Result<Vec<EntityId>> {
+        match self.call(&Request::ResolveName(name.to_string()))? {
+            Response::Entities(ids) => Ok(ids),
+            other => Err(response_error(other)),
+        }
+    }
+
+    /// `GraphRead::record` over the wire.
+    pub fn record(&mut self, id: EntityId) -> Result<Option<EntityRecord>> {
+        match self.call(&Request::Record(id))? {
+            Response::Record(record) => Ok(record),
+            other => Err(response_error(other)),
+        }
+    }
+
+    /// The fleet's generation counter over the wire.
+    pub fn generation(&mut self) -> Result<u64> {
+        match self.call(&Request::Generation)? {
+            Response::Count(n) => Ok(n),
+            other => Err(response_error(other)),
+        }
+    }
+
+    /// Convenience: the string values of a `GET` query.
+    pub fn query_values(&mut self, text: &str) -> Result<Vec<Value>> {
+        match self.query(text)? {
+            QueryResult::Values(values) => Ok(values),
+            QueryResult::Entities(_) => Err(SagaError::Query(
+                "query returned entities where values were expected".to_string(),
+            )),
+        }
+    }
+}
+
+/// Lift a non-success wire response into the typed error a blocking
+/// helper reports: shed/stale conditions become the retryable
+/// [`SagaError::Unavailable`], query failures stay [`SagaError::Query`].
+fn response_error(response: Response) -> SagaError {
+    match response {
+        Response::Overloaded { message } => {
+            SagaError::Unavailable(format!("server overloaded: {message}"))
+        }
+        Response::Unavailable { message } => SagaError::Unavailable(message),
+        Response::Error { kind, message } => match kind {
+            ErrorKind::Query => SagaError::Query(message),
+            ErrorKind::BadRequest => SagaError::Storage(format!("bad request: {message}")),
+            ErrorKind::Internal => SagaError::Storage(format!("server error: {message}")),
+        },
+        other => unexpected("success response", &other),
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> SagaError {
+    SagaError::Storage(format!("net: expected {wanted}, got {got:?}"))
+}

@@ -1,0 +1,341 @@
+//! Fault injection against a live [`SagaServer`]: torn frames, oversized
+//! length prefixes, garbage magic and opcodes, pipelined interleaving,
+//! reconnect-with-session, and saturation. The invariant under test is
+//! always the same: a hostile or unlucky connection hurts only itself —
+//! the acceptor, the worker pool, and every other connection keep
+//! serving.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use saga_core::{EntityId, KnowledgeGraph, SourceId, WriteBatch};
+use saga_fleet::{FleetConfig, FleetRouter, ReplicaFault, ReplicaPool, SessionWaitConfig};
+use saga_graph::{LoggedWriter, OpKind, OperationLog};
+use saga_net::protocol::{self, opcode, read_frame, MAGIC, MAX_PAYLOAD, VERSION};
+use saga_net::{ErrorKind, Request, Response, SagaClient, SagaServer, ServerConfig, WireBatch};
+
+struct Harness {
+    server: SagaServer,
+    _writer: Arc<LoggedWriter>,
+    pool: Arc<ReplicaPool>,
+    dir: std::path::PathBuf,
+}
+
+impl Harness {
+    fn addr(&self) -> String {
+        self.server.local_addr().to_string()
+    }
+
+    fn client(&self) -> SagaClient {
+        SagaClient::connect(self.addr()).expect("connect")
+    }
+}
+
+impl Drop for Harness {
+    fn drop(&mut self) {
+        self.server.shutdown();
+        self.pool.shutdown();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn boot(tag: &str, tune: impl FnOnce(&mut ServerConfig)) -> Harness {
+    let dir = std::env::temp_dir().join(format!("saga-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let writer = Arc::new(LoggedWriter::new(
+        Arc::new(RwLock::new(KnowledgeGraph::new())),
+        Arc::new(OperationLog::in_memory()),
+    ));
+    writer
+        .commit(
+            OpKind::Upsert,
+            WriteBatch::new().named_entity(EntityId(1), "Seed Song", "song", SourceId(1), 0.9),
+        )
+        .expect("seed");
+    let fleet_cfg = FleetConfig {
+        replicas: 2,
+        poll_interval: Duration::from_micros(200),
+        ..FleetConfig::default()
+    };
+    let pool = ReplicaPool::start(fleet_cfg, Arc::clone(writer.log()), &dir).expect("start fleet");
+    let router = Arc::new(FleetRouter::new(Arc::clone(&pool)));
+    let mut cfg = ServerConfig {
+        session_wait: SessionWaitConfig::with_timeout(Duration::from_secs(5)),
+        ..ServerConfig::default()
+    };
+    tune(&mut cfg);
+    let server = SagaServer::start(router, Arc::clone(&writer), cfg).expect("start server");
+    Harness {
+        server,
+        _writer: writer,
+        pool,
+        dir,
+    }
+}
+
+/// A healthy request on a fresh connection — the canary proving the
+/// server survived whatever the test just did to it.
+fn assert_serving(h: &Harness) {
+    let mut client = h.client();
+    client.ping().expect("server no longer serving");
+    let hits = client.resolve_name("seed song").expect("resolve over wire");
+    assert_eq!(hits, vec![EntityId(1)]);
+}
+
+#[test]
+fn torn_mid_frame_disconnect_kills_only_that_connection() {
+    let h = boot("torn", |_| {});
+    // A long-lived healthy connection that must outlive the abuse.
+    let mut bystander = h.client();
+    bystander.ping().expect("bystander ping");
+
+    for cut in [3usize, 10, protocol::HEADER_LEN + 2] {
+        let bytes = Request::ResolveName("seed song".into()).encode(7);
+        let mut raw = TcpStream::connect(h.addr()).expect("connect raw");
+        raw.write_all(&bytes[..cut]).expect("write partial frame");
+        drop(raw); // disconnect mid-frame
+    }
+
+    // The torn connections are gone; everyone else is unaffected.
+    bystander.ping().expect("bystander survived torn peers");
+    assert_serving(&h);
+    assert!(
+        h.server.stats().frame_rejects >= 3,
+        "torn frames should be counted as frame rejects"
+    );
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_then_disconnected() {
+    let h = boot("oversized", |_| {});
+    let mut raw = TcpStream::connect(h.addr()).expect("connect raw");
+
+    // A hand-built header declaring a payload far over MAX_PAYLOAD.
+    let mut frame = Vec::new();
+    frame.extend_from_slice(&MAGIC);
+    frame.push(VERSION);
+    frame.push(opcode::PING);
+    frame.extend_from_slice(&99u64.to_le_bytes());
+    frame.extend_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+    raw.write_all(&frame).expect("write oversized header");
+
+    // The server answers the offending request id with a typed error...
+    let reply = read_frame(&mut raw)
+        .expect("read reject")
+        .expect("reject frame");
+    assert_eq!(reply.request_id, 99);
+    match protocol::decode_response(&reply).expect("decode reject") {
+        Response::Error { kind, message } => {
+            assert_eq!(kind, ErrorKind::BadRequest);
+            assert!(message.contains("oversized"), "{message}");
+        }
+        other => panic!("expected BadRequest error, got {other:?}"),
+    }
+    // ...then closes the connection (the stream cannot be resynced).
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).expect("read to close");
+    assert!(
+        rest.is_empty(),
+        "no further frames after an oversized reject"
+    );
+
+    assert_serving(&h);
+}
+
+#[test]
+fn garbage_magic_closes_the_connection_silently() {
+    let h = boot("magic", |_| {});
+    let mut raw = TcpStream::connect(h.addr()).expect("connect raw");
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n")
+        .expect("write garbage");
+    let mut rest = Vec::new();
+    raw.read_to_end(&mut rest).expect("read to close");
+    assert!(rest.is_empty(), "no response frames to a non-saga client");
+    assert_serving(&h);
+}
+
+#[test]
+fn garbage_opcode_errors_but_keeps_the_connection() {
+    let h = boot("opcode", |_| {});
+    let mut raw = TcpStream::connect(h.addr()).expect("connect raw");
+
+    // Unknown opcode in a perfectly framed message: payload-level error.
+    raw.write_all(&protocol::encode_frame(5, 0x6F, b"{}"))
+        .expect("write garbage opcode");
+    let reply = read_frame(&mut raw)
+        .expect("read error")
+        .expect("error frame");
+    assert_eq!(reply.request_id, 5);
+    assert!(matches!(
+        protocol::decode_response(&reply).expect("decode"),
+        Response::Error {
+            kind: ErrorKind::BadRequest,
+            ..
+        }
+    ));
+
+    // Same connection, next request: still served.
+    raw.write_all(&Request::Ping { delay_ms: 0 }.encode(6))
+        .expect("write ping after garbage");
+    let reply = read_frame(&mut raw)
+        .expect("read pong")
+        .expect("pong frame");
+    assert_eq!(reply.request_id, 6);
+    assert!(matches!(
+        protocol::decode_response(&reply).expect("decode"),
+        Response::Pong
+    ));
+}
+
+#[test]
+fn pipelined_responses_interleave_across_request_ids() {
+    let h = boot("pipeline", |cfg| cfg.workers = 4);
+    let mut client = h.client();
+
+    // Slow request first, fast request second: the fast response must
+    // overtake the slow one on the same connection.
+    let slow = client
+        .send(&Request::Ping { delay_ms: 300 })
+        .expect("send slow");
+    let fast = client
+        .send(&Request::ResolveName("seed song".into()))
+        .expect("send fast");
+    let (first_id, first) = client.recv_any().expect("first response");
+    assert_eq!(
+        first_id, fast,
+        "fast pipelined response should overtake the slow one"
+    );
+    assert!(matches!(first, Response::Entities(ids) if ids == vec![EntityId(1)]));
+
+    // The slow response is still delivered, addressed by its own id.
+    let slow_reply = client.recv_by_id(slow).expect("slow response");
+    assert!(matches!(slow_reply, Response::Pong));
+
+    // recv_by_id parks out-of-order arrivals instead of dropping them.
+    let a = client
+        .send(&Request::Ping { delay_ms: 150 })
+        .expect("send a");
+    let b = client.send(&Request::Generation).expect("send b");
+    let a_reply = client.recv_by_id(a).expect("a");
+    assert!(matches!(a_reply, Response::Pong));
+    let b_reply = client.recv_by_id(b).expect("b parked and recovered");
+    assert!(matches!(b_reply, Response::Count(_)));
+}
+
+#[test]
+fn client_reconnect_keeps_read_your_writes() {
+    let h = boot("reconnect", |_| {});
+    let mut client = h.client();
+
+    let committed = client
+        .commit(WireBatch::new().named_entity(
+            EntityId(50),
+            "Reconnect Song",
+            "song",
+            SourceId(2),
+            0.9,
+        ))
+        .expect("commit over wire");
+    assert!(committed.lsn.0 > 0);
+    assert_eq!(client.session().lsn(), committed.lsn);
+
+    // Drop the TCP connection entirely; the session token survives.
+    client.reconnect().expect("reconnect");
+    assert_eq!(client.session().lsn(), committed.lsn);
+    let hits = client
+        .query_with_session("FIND song WHERE name = \"Reconnect Song\"")
+        .expect("session query after reconnect");
+    assert_eq!(hits.entities(), vec![EntityId(50)]);
+}
+
+#[test]
+fn saturation_sheds_with_typed_overloaded_and_recovers() {
+    // A deliberately tiny server: one worker, two queue slots, three
+    // admitted requests total.
+    let h = boot("saturate", |cfg| {
+        cfg.workers = 1;
+        cfg.queue_depth = 2;
+        cfg.max_inflight = 3;
+    });
+    let mut client = h.client();
+
+    // Flood with slow pings far past capacity, all pipelined.
+    let ids: Vec<u64> = (0..24)
+        .map(|_| {
+            client
+                .send_buffered(&Request::Ping { delay_ms: 40 })
+                .expect("send ping")
+        })
+        .collect();
+    client.flush().expect("flush flood");
+
+    let mut pongs = 0u32;
+    let mut shed = 0u32;
+    for id in ids {
+        match client.recv_by_id(id).expect("flood response") {
+            Response::Pong => pongs += 1,
+            Response::Overloaded { message } => {
+                shed += 1;
+                assert!(
+                    message.contains("queue full") || message.contains("in-flight"),
+                    "{message}"
+                );
+            }
+            other => panic!("unexpected flood response {other:?}"),
+        }
+    }
+    assert!(shed > 0, "saturation must shed with typed Overloaded");
+    assert!(pongs > 0, "admitted requests still complete");
+    assert_eq!(h.server.stats().requests_shed, u64::from(shed));
+
+    // Overload is transient: once drained, the same connection serves.
+    client.ping().expect("ping after drain");
+    assert_serving(&h);
+    assert_eq!(h.server.inflight(), 0, "admission slots all released");
+}
+
+#[test]
+fn session_wait_timeout_maps_to_typed_unavailable_on_the_wire() {
+    let h = boot("stale", |cfg| {
+        cfg.session_wait = SessionWaitConfig::with_timeout(Duration::from_millis(50));
+    });
+    let mut client = h.client();
+
+    // Wedge every replica, then commit: no replica can reach the
+    // commit's LSN, so a session read must time out with the retryable
+    // response.
+    for i in 0..2 {
+        h.pool
+            .inject_fault(i, ReplicaFault::Wedge)
+            .expect("wedge replica");
+    }
+    std::thread::sleep(Duration::from_millis(5)); // let the workers park
+    client
+        .commit(WireBatch::new().named_entity(
+            EntityId(60),
+            "Unreplicated Song",
+            "song",
+            SourceId(2),
+            0.9,
+        ))
+        .expect("commit");
+    let err = client
+        .query_with_session("FIND song WHERE name = \"Unreplicated Song\"")
+        .expect_err("stale fleet must not serve the session");
+    assert!(
+        err.is_retryable(),
+        "wire Unavailable stays retryable: {err}"
+    );
+
+    // Un-wedge; the same session query now succeeds.
+    for i in 0..2 {
+        h.pool.clear_fault(i).expect("clear fault");
+    }
+    let hits = client
+        .query_with_session("FIND song WHERE name = \"Unreplicated Song\"")
+        .expect("session query after resume");
+    assert_eq!(hits.entities(), vec![EntityId(60)]);
+}

@@ -21,6 +21,9 @@
 //!   intents, multi-turn context, curation (§4).
 //! * [`fleet`] — the replicated serving fleet: lag-aware routing,
 //!   read-your-writes sessions, checkpoint-backed respawn (§3.1, §4.1).
+//! * [`net`] — saga as a server: the length-prefixed TCP protocol,
+//!   thread-pool serving endpoint with pipelining and admission control,
+//!   and the session-threading client (see `docs/network.md`).
 //!
 //! See `examples/quickstart.rs` for a guided tour, DESIGN.md for the system
 //! inventory, and EXPERIMENTS.md for the paper-reproduction results.
@@ -33,5 +36,6 @@ pub use saga_graph as graph;
 pub use saga_ingest as ingest;
 pub use saga_live as live;
 pub use saga_ml as ml;
+pub use saga_net as net;
 pub use saga_ontology as ontology;
 pub use saga_vector as vector;
