@@ -158,6 +158,7 @@ fn overload_drill(router: Arc<FleetRouter>, writer: Arc<LoggedWriter>) -> (u64, 
             workers: 1,
             queue_depth: 2,
             max_inflight: 3,
+            max_ping_delay_ms: 1_000,
             ..ServerConfig::default()
         },
     )

@@ -830,11 +830,14 @@ fn parse_ids_payload(payload: &[u8], key: &str) -> Option<Vec<EntityId>> {
     for &b in body {
         match b {
             b'0'..=b'9' => {
-                // 20 digits can overflow u64; such a payload is not ours.
+                // A value over u64::MAX is not ours; the checked math
+                // catches 20-digit overflows the length guard can't.
                 if len >= 20 {
                     return None;
                 }
-                cur = cur.wrapping_mul(10).wrapping_add(u64::from(b - b'0'));
+                cur = cur
+                    .checked_mul(10)?
+                    .checked_add(u64::from(b - b'0'))?;
                 len += 1;
             }
             b',' if len > 0 => {
@@ -1383,6 +1386,7 @@ mod tests {
                 EntityId(42),
                 EntityId(u64::from(u32::MAX)),
                 EntityId(1 << 60),
+                EntityId(i64::MAX as u64), // largest wire-representable id
             ],
             (0..777).map(EntityId).collect(),
         ] {
@@ -1410,6 +1414,8 @@ mod tests {
             "{\"entities\":[1,,2]}",
             "{\"entities\":[1,2,]}",
             "{\"entities\":[99999999999999999999999]}",
+            // Exactly 20 digits, one past u64::MAX: must not wrap to 0.
+            "{\"entities\":[18446744073709551616]}",
             "{\"entities\":[1 ,2]}",
         ] {
             assert!(

@@ -26,7 +26,7 @@
 //! torn frames) closes the offending connection only — see the policy in
 //! [`protocol`](crate::protocol).
 
-use std::collections::VecDeque;
+use std::collections::HashMap;
 use std::io::{BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -58,6 +58,11 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Per-request wait policy for session-constrained queries.
     pub session_wait: SessionWaitConfig,
+    /// Upper bound on the drill-aid `Ping { delay_ms }` sleep. The
+    /// default of 0 disables delayed pings entirely: an unauthenticated
+    /// client must not be able to park worker threads at will. Fault
+    /// tests and the overload bench raise it explicitly.
+    pub max_ping_delay_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +74,7 @@ impl Default for ServerConfig {
             max_inflight: 512,
             max_connections: 256,
             session_wait: SessionWaitConfig::default(),
+            max_ping_delay_ms: 0,
         }
     }
 }
@@ -127,9 +133,13 @@ struct Inner {
     open_conns: AtomicUsize,
     counters: Counters,
     shutdown: AtomicBool,
-    /// Read halves of live connections, kept so shutdown can unblock
-    /// their reader threads with a socket shutdown.
-    conns: Mutex<VecDeque<TcpStream>>,
+    /// Read halves of live connections keyed by connection id, kept so
+    /// shutdown can unblock their reader threads with a socket shutdown.
+    /// Each connection thread deregisters itself on exit; otherwise a
+    /// long-running server would leak one duplicated fd per connection
+    /// ever accepted.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
 }
 
 impl Inner {
@@ -160,8 +170,12 @@ impl Inner {
     fn execute(&self, request: Request) -> Response {
         let result = match request {
             Request::Ping { delay_ms } => {
-                if delay_ms > 0 {
-                    std::thread::sleep(Duration::from_millis(delay_ms.min(10_000)));
+                // The delay is a drill aid for tests and benches; on a
+                // production config (max_ping_delay_ms = 0) it clamps to
+                // nothing so clients cannot park worker threads.
+                let delay = delay_ms.min(self.cfg.max_ping_delay_ms);
+                if delay > 0 {
+                    std::thread::sleep(Duration::from_millis(delay));
                 }
                 Ok(Response::Pong)
             }
@@ -250,7 +264,8 @@ impl SagaServer {
             open_conns: AtomicUsize::new(0),
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
-            conns: Mutex::new(VecDeque::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
         });
 
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -302,6 +317,12 @@ impl SagaServer {
         self.inner.inflight.load(Ordering::Relaxed)
     }
 
+    /// Currently open connections (each reader thread deregisters itself
+    /// on exit, so closed connections do not accumulate here).
+    pub fn open_connections(&self) -> usize {
+        self.inner.conns.lock().len()
+    }
+
     /// Stop accepting, unblock every connection, drain the workers, and
     /// join all threads. Idempotent.
     pub fn shutdown(&mut self) {
@@ -309,7 +330,7 @@ impl SagaServer {
             return;
         }
         // Unblock reader threads stuck in read_frame.
-        for conn in self.inner.conns.lock().drain(..) {
+        for (_, conn) in self.inner.conns.lock().drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         // Unblock the acceptor with a throwaway connection; it re-checks
@@ -351,17 +372,29 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
             .connections_accepted
             .fetch_add(1, Ordering::Relaxed);
         // Registration is best-effort — it only exists so shutdown can
-        // unblock reader threads with a socket shutdown.
+        // unblock reader threads with a socket shutdown. The connection
+        // thread removes its own entry on exit so the registry (and its
+        // duplicated fd) never outlives the connection.
+        let conn_id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = read_half.try_clone() {
-            inner.conns.lock().push_back(clone);
+            inner.conns.lock().insert(conn_id, clone);
         }
-        let inner = Arc::clone(inner);
-        let _ = std::thread::Builder::new()
-            .name("saga-net-conn".to_string())
-            .spawn(move || {
-                connection_loop(&inner, read_half, stream);
-                inner.open_conns.fetch_sub(1, Ordering::AcqRel);
-            });
+        let spawned = {
+            let inner = Arc::clone(inner);
+            std::thread::Builder::new()
+                .name("saga-net-conn".to_string())
+                .spawn(move || {
+                    connection_loop(&inner, read_half, stream);
+                    inner.conns.lock().remove(&conn_id);
+                    inner.open_conns.fetch_sub(1, Ordering::AcqRel);
+                })
+        };
+        if spawned.is_err() {
+            // The thread never ran, so its epilogue never will: give back
+            // the capacity taken above or the slot leaks forever.
+            inner.conns.lock().remove(&conn_id);
+            inner.open_conns.fetch_sub(1, Ordering::AcqRel);
+        }
     }
 }
 

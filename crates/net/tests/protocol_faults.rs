@@ -192,7 +192,10 @@ fn garbage_opcode_errors_but_keeps_the_connection() {
 
 #[test]
 fn pipelined_responses_interleave_across_request_ids() {
-    let h = boot("pipeline", |cfg| cfg.workers = 4);
+    let h = boot("pipeline", |cfg| {
+        cfg.workers = 4;
+        cfg.max_ping_delay_ms = 1_000;
+    });
     let mut client = h.client();
 
     // Slow request first, fast request second: the fast response must
@@ -259,6 +262,7 @@ fn saturation_sheds_with_typed_overloaded_and_recovers() {
         cfg.workers = 1;
         cfg.queue_depth = 2;
         cfg.max_inflight = 3;
+        cfg.max_ping_delay_ms = 1_000;
     });
     let mut client = h.client();
 
@@ -295,6 +299,47 @@ fn saturation_sheds_with_typed_overloaded_and_recovers() {
     client.ping().expect("ping after drain");
     assert_serving(&h);
     assert_eq!(h.server.inflight(), 0, "admission slots all released");
+}
+
+#[test]
+fn closed_connections_are_deregistered_not_leaked() {
+    let h = boot("churn", |_| {});
+    // Churn: connect, serve one request, disconnect — repeatedly. Every
+    // closed connection must leave the server's registry (it holds a
+    // duplicated fd), or a reconnect loop exhausts the fd limit.
+    for _ in 0..20 {
+        let mut client = h.client();
+        client.ping().expect("ping on churn connection");
+    }
+    // Deregistration runs in each reader thread's epilogue; give the
+    // last of them a moment to observe the close.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while h.server.open_connections() > 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connection registry should drain after disconnects, still {}",
+            h.server.open_connections()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(h.server.stats().connections_accepted >= 20);
+    assert_serving(&h);
+}
+
+#[test]
+fn delayed_pings_are_clamped_on_a_default_config() {
+    let h = boot("clamp", |_| {}); // default: max_ping_delay_ms = 0
+    let mut client = h.client();
+    let t0 = std::time::Instant::now();
+    let id = client
+        .send(&Request::Ping { delay_ms: 10_000 })
+        .expect("send hostile ping");
+    let reply = client.recv_by_id(id).expect("pong");
+    assert!(matches!(reply, Response::Pong));
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "default config must not honor client-requested worker sleeps"
+    );
 }
 
 #[test]
