@@ -364,6 +364,10 @@ pub fn publish(dir: &Path, image: &CheckpointImage) -> Result<PathBuf> {
         f.write_all(&image.bytes)?;
         f.sync_all()?;
     }
+    // Fires after the temp write but before the rename: an injected
+    // failure leaves a `.tmp` straggler and no new artifact — the torn
+    // publish that discovery must skip.
+    crate::failpoint!(crate::fail::sites::CHECKPOINT_PUBLISH);
     fs::rename(&tmp_path, &final_path)?;
     if let Ok(d) = fs::File::open(dir) {
         let _ = d.sync_all();

@@ -21,11 +21,30 @@ pub enum SagaError {
     /// The operation log or an orchestration agent failed.
     Storage(String),
     /// The serving tier could not satisfy the request *right now* —
-    /// freshness wait timed out, no replica within the lag bound, or
-    /// admission control shed the request. Unlike [`Storage`](Self::Storage)
-    /// this is a *retryable* condition: the caller (or a network server
-    /// mapping errors to wire responses) may safely retry after a backoff.
+    /// freshness wait timed out, no replica within the lag bound, a dead
+    /// or silent endpoint, or a read/connect timeout. Unlike
+    /// [`Storage`](Self::Storage) this is a *retryable* condition: the
+    /// caller (or a network server mapping errors to wire responses) may
+    /// safely retry after a backoff.
     Unavailable(String),
+    /// Admission control shed the request *before executing it* (job
+    /// queue full or the in-flight cap reached). Retryable like
+    /// [`Unavailable`](Self::Unavailable) — and because the server
+    /// guarantees nothing ran, even non-idempotent requests may be
+    /// re-sent. Carries the shedding side's backoff hint (see
+    /// [`backoff_hint_ms`](Self::backoff_hint_ms)).
+    Overloaded {
+        /// Which limit tripped, human-readable.
+        message: String,
+        /// Suggested minimum backoff before retrying, in milliseconds.
+        backoff_hint_ms: u64,
+    },
+    /// A non-idempotent request (a commit) was sent but its outcome is
+    /// unknown: the acknowledgement was lost after the request may have
+    /// executed. **Not** retryable — a blind re-send could apply the
+    /// batch twice. The caller must reconcile (read back the intended
+    /// write, or re-issue only ops that are semantically idempotent).
+    MaybeCommitted(String),
     /// An ML component was misconfigured or fed invalid shapes.
     Model(String),
     /// Underlying IO error.
@@ -42,6 +61,14 @@ impl fmt::Display for SagaError {
             SagaError::View(m) => write!(f, "view error: {m}"),
             SagaError::Storage(m) => write!(f, "storage error: {m}"),
             SagaError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            SagaError::Overloaded {
+                message,
+                backoff_hint_ms,
+            } => write!(
+                f,
+                "overloaded: {message} (retry after {backoff_hint_ms} ms)"
+            ),
+            SagaError::MaybeCommitted(m) => write!(f, "commit outcome unknown: {m}"),
             SagaError::Model(m) => write!(f, "model error: {m}"),
             SagaError::Io(e) => write!(f, "io error: {e}"),
         }
@@ -51,8 +78,26 @@ impl fmt::Display for SagaError {
 impl SagaError {
     /// True for transient serving-tier conditions a caller may retry
     /// (after a backoff) without changing the request.
+    /// [`MaybeCommitted`](Self::MaybeCommitted) is deliberately *not*
+    /// retryable: the request may already have executed.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, SagaError::Unavailable(_))
+        matches!(
+            self,
+            SagaError::Unavailable(_) | SagaError::Overloaded { .. }
+        )
+    }
+
+    /// The server-suggested minimum backoff before a retry, when the
+    /// error carries one ([`Overloaded`](Self::Overloaded) does — the
+    /// shedding side knows how congested it is better than the caller's
+    /// exponential schedule).
+    pub fn backoff_hint_ms(&self) -> Option<u64> {
+        match self {
+            SagaError::Overloaded {
+                backoff_hint_ms, ..
+            } => Some(*backoff_hint_ms),
+            _ => None,
+        }
     }
 }
 
@@ -84,13 +129,39 @@ mod tests {
     }
 
     #[test]
-    fn only_unavailable_is_retryable() {
+    fn only_transient_serving_conditions_are_retryable() {
         assert!(SagaError::Unavailable("fleet catching up".into()).is_retryable());
+        assert!(SagaError::Overloaded {
+            message: "queue full".into(),
+            backoff_hint_ms: 25,
+        }
+        .is_retryable());
         assert!(!SagaError::Storage("log corrupt".into()).is_retryable());
         assert!(!SagaError::Query("parse".into()).is_retryable());
+        assert!(
+            !SagaError::MaybeCommitted("ack lost".into()).is_retryable(),
+            "a blind commit retry could double-apply"
+        );
         assert!(SagaError::Unavailable("x".into())
             .to_string()
             .starts_with("unavailable"));
+    }
+
+    #[test]
+    fn overloaded_carries_its_backoff_hint() {
+        let e = SagaError::Overloaded {
+            message: "in-flight cap".into(),
+            backoff_hint_ms: 40,
+        };
+        assert_eq!(e.backoff_hint_ms(), Some(40));
+        assert!(e.to_string().contains("40 ms"), "{e}");
+        assert_eq!(
+            SagaError::Unavailable("x".into()).backoff_hint_ms(),
+            None,
+            "only the shedding side hints"
+        );
+        let m = SagaError::MaybeCommitted("recv failed after send".into());
+        assert!(m.to_string().starts_with("commit outcome unknown"));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 pub mod checkpoint;
 pub mod entity;
 pub mod error;
+pub mod fail;
 pub mod id;
 pub mod index;
 pub mod intern;

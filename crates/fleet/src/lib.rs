@@ -76,6 +76,11 @@ pub struct FleetConfig {
     /// Checkpoint-and-compact once the log head has advanced this many
     /// operations past the last checkpoint watermark.
     pub checkpoint_every: u64,
+    /// Failpoint scope for this fleet's workers: chaos drills running
+    /// several fleets in one process arm `fleet::worker_poll` for one
+    /// fleet by matching this label (see `saga_core::fail`). Empty —
+    /// the default — matches only unscoped configurations.
+    pub fail_scope: String,
 }
 
 impl Default for FleetConfig {
@@ -91,6 +96,7 @@ impl Default for FleetConfig {
             wedge_timeout: Duration::from_millis(250),
             drain_timeout: Duration::from_millis(100),
             checkpoint_every: 4096,
+            fail_scope: String::new(),
         }
     }
 }

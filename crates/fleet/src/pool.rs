@@ -372,6 +372,20 @@ fn spawn_worker(
                     }
                     _ => {}
                 }
+                // Failpoint drills: an injected error kills this worker
+                // exactly like a replay failure (the controller respawns
+                // it from a checkpoint), an injected panic exercises the
+                // drop-guard death path, an injected delay wedges the
+                // worker for the wedge detector to catch.
+                if saga_core::fail::check_scoped(
+                    saga_core::fail::sites::FLEET_WORKER_POLL,
+                    &cfg.fail_scope,
+                )
+                .is_err()
+                {
+                    slot.errors.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
                 slot.heartbeat.fetch_add(1, Ordering::Relaxed);
                 match replica.catch_up_batch(cfg.replay_batch) {
                     Ok(0) => std::thread::sleep(cfg.poll_interval),

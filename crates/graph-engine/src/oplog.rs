@@ -356,6 +356,9 @@ impl OperationLog {
         deltas: Vec<Delta>,
     ) -> Result<Lsn> {
         let mut inner = self.inner.lock();
+        // Fires before any byte lands: an injected failure here is the
+        // clean "append never happened" fault.
+        saga_core::failpoint!(saga_core::fail::sites::OPLOG_APPEND_WRITE);
         let lsn = Lsn(inner.base + inner.entries.len() as u64 + 1);
         let op = IngestOp {
             lsn,
@@ -367,6 +370,9 @@ impl OperationLog {
             writeln!(sink, "{}", op.to_json())?;
             sink.flush()?;
             if self.policy == FlushPolicy::Fsync {
+                // Fires after the line is written but before it is made
+                // durable — the power-loss-window fault.
+                saga_core::failpoint!(saga_core::fail::sites::OPLOG_APPEND_FSYNC);
                 sink.get_ref().sync_data()?;
             }
         }
@@ -378,6 +384,7 @@ impl OperationLog {
     /// for producers running [`FlushPolicy::Flush`]).
     pub fn sync(&self) -> Result<()> {
         let mut inner = self.inner.lock();
+        saga_core::failpoint!(saga_core::fail::sites::OPLOG_APPEND_FSYNC);
         if let Some(sink) = inner.sink.as_mut() {
             sink.flush()?;
             sink.get_ref().sync_data()?;
@@ -459,6 +466,9 @@ impl OperationLog {
                 Lsn(head)
             )));
         }
+        // Fires before the rewrite starts: an injected failure leaves the
+        // old file intact, exactly like a crash mid-compaction.
+        saga_core::failpoint!(saga_core::fail::sites::OPLOG_COMPACT);
         let drop_count = upto.0 - inner.base;
         let new_base = upto.0;
         if let Some(path) = &self.path {

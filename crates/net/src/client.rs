@@ -24,7 +24,8 @@
 
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use saga_core::{EntityId, EntityRecord, ProbeKey, Result, SagaError, SessionToken, Value};
 use saga_live::QueryResult;
@@ -33,13 +34,54 @@ use crate::protocol::{
     decode_response, read_frame, Committed, ErrorKind, Request, Response, WireBatch,
 };
 
+/// Transport failures are *unavailability of this endpoint*, not data
+/// corruption: connect refusals, resets, and socket timeouts all mean
+/// "this server cannot answer right now" — the retryable condition a
+/// pool fails over on. Payload-level garbage stays `Storage`.
 fn net_err(context: &str, err: impl std::fmt::Display) -> SagaError {
-    SagaError::Storage(format!("net: {context}: {err}"))
+    SagaError::Unavailable(format!("net: {context}: {err}"))
+}
+
+/// Socket behavior for a [`SagaClient`].
+///
+/// Every timeout is *bounded by default*: a server that accepts the
+/// connection and then goes silent (wedged reader, paused VM, half-dead
+/// NIC) surfaces as a typed [`SagaError::Unavailable`] after
+/// `read_timeout` instead of hanging the caller forever. A zero
+/// duration disables that bound (blocks indefinitely) — only drills
+/// should want it.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Bound on any single socket read while waiting for a response.
+    pub read_timeout: Duration,
+    /// Bound on any single socket write while sending a request.
+    pub write_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(2),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+fn opt(d: Duration) -> Option<Duration> {
+    if d.is_zero() {
+        None
+    } else {
+        Some(d)
+    }
 }
 
 /// A connection to a [`SagaServer`](crate::SagaServer).
 pub struct SagaClient {
     addr: String,
+    cfg: ClientConfig,
     writer: BufWriter<TcpStream>,
     reader: BufReader<TcpStream>,
     next_id: u64,
@@ -49,13 +91,19 @@ pub struct SagaClient {
 }
 
 impl SagaClient {
-    /// Connect to a server. The address is kept for
-    /// [`reconnect`](Self::reconnect).
+    /// Connect to a server with default (bounded) timeouts. The address
+    /// is kept for [`reconnect`](Self::reconnect).
     pub fn connect(addr: impl Into<String>) -> Result<SagaClient> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit socket behavior.
+    pub fn connect_with(addr: impl Into<String>, cfg: ClientConfig) -> Result<SagaClient> {
         let addr = addr.into();
-        let (writer, reader) = Self::open(&addr)?;
+        let (writer, reader) = Self::open(&addr, &cfg)?;
         Ok(SagaClient {
             addr,
+            cfg,
             writer,
             reader,
             next_id: 1,
@@ -64,9 +112,40 @@ impl SagaClient {
         })
     }
 
-    fn open(addr: &str) -> Result<(BufWriter<TcpStream>, BufReader<TcpStream>)> {
-        let stream = TcpStream::connect(addr).map_err(|e| net_err("connect", e))?;
+    fn open(
+        addr: &str,
+        cfg: &ClientConfig,
+    ) -> Result<(BufWriter<TcpStream>, BufReader<TcpStream>)> {
+        let stream = match opt(cfg.connect_timeout) {
+            None => TcpStream::connect(addr).map_err(|e| net_err("connect", e))?,
+            Some(bound) => {
+                // `connect_timeout` needs resolved addresses; try each
+                // and keep the last failure for the error message.
+                let addrs = addr.to_socket_addrs().map_err(|e| net_err("resolve", e))?;
+                let mut last: Option<std::io::Error> = None;
+                let mut connected = None;
+                for sock_addr in addrs {
+                    match TcpStream::connect_timeout(&sock_addr, bound) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| match last {
+                    Some(e) => net_err("connect", e),
+                    None => net_err("resolve", "address resolved to nothing"),
+                })?
+            }
+        };
         let _ = stream.set_nodelay(true);
+        stream
+            .set_read_timeout(opt(cfg.read_timeout))
+            .map_err(|e| net_err("set read timeout", e))?;
+        stream
+            .set_write_timeout(opt(cfg.write_timeout))
+            .map_err(|e| net_err("set write timeout", e))?;
         let read_half = stream.try_clone().map_err(|e| net_err("clone stream", e))?;
         Ok((BufWriter::new(stream), BufReader::new(read_half)))
     }
@@ -76,11 +155,16 @@ impl SagaClient {
     /// write this client has observed. Parked responses from the old
     /// connection are discarded (their requests died with it).
     pub fn reconnect(&mut self) -> Result<()> {
-        let (writer, reader) = Self::open(&self.addr)?;
+        let (writer, reader) = Self::open(&self.addr, &self.cfg)?;
         self.writer = writer;
         self.reader = reader;
         self.parked.clear();
         Ok(())
+    }
+
+    /// The address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
     }
 
     /// This client's read-your-writes token.
@@ -277,13 +361,18 @@ impl SagaClient {
 }
 
 /// Lift a non-success wire response into the typed error a blocking
-/// helper reports: shed/stale conditions become the retryable
+/// helper reports: sheds become the retryable [`SagaError::Overloaded`]
+/// (hint included), freshness misses the retryable
 /// [`SagaError::Unavailable`], query failures stay [`SagaError::Query`].
-fn response_error(response: Response) -> SagaError {
+pub(crate) fn response_error(response: Response) -> SagaError {
     match response {
-        Response::Overloaded { message } => {
-            SagaError::Unavailable(format!("server overloaded: {message}"))
-        }
+        Response::Overloaded {
+            message,
+            backoff_hint_ms,
+        } => SagaError::Overloaded {
+            message,
+            backoff_hint_ms,
+        },
         Response::Unavailable { message } => SagaError::Unavailable(message),
         Response::Error { kind, message } => match kind {
             ErrorKind::Query => SagaError::Query(message),
@@ -296,4 +385,86 @@ fn response_error(response: Response) -> SagaError {
 
 fn unexpected(wanted: &str, got: &Response) -> SagaError {
     SagaError::Storage(format!("net: expected {wanted}, got {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_frame, opcode};
+
+    /// The retry contract, checked over *every* error-range opcode and
+    /// through the real codec: each response is encoded to wire bytes,
+    /// read back as a frame, decoded, and lifted by [`response_error`].
+    /// Retryability must survive the round trip — a client deciding to
+    /// retry sees exactly what the server sent, nothing typed is lost.
+    #[test]
+    fn retryability_matrix_over_every_wire_error_opcode() {
+        let cases: Vec<(Response, bool, Option<u64>)> = vec![
+            (
+                Response::Overloaded {
+                    message: "job queue full".into(),
+                    backoff_hint_ms: 40,
+                },
+                true,
+                Some(40),
+            ),
+            (
+                Response::Unavailable {
+                    message: "session wait timed out".into(),
+                },
+                true,
+                None,
+            ),
+            (
+                Response::Error {
+                    kind: ErrorKind::Query,
+                    message: "parse error".into(),
+                },
+                false,
+                None,
+            ),
+            (
+                Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message: "unknown opcode".into(),
+                },
+                false,
+                None,
+            ),
+            (
+                Response::Error {
+                    kind: ErrorKind::Internal,
+                    message: "replay failed".into(),
+                },
+                false,
+                None,
+            ),
+        ];
+        let mut opcodes_seen = std::collections::BTreeSet::new();
+        for (resp, retryable, hint) in cases {
+            opcodes_seen.insert(resp.opcode());
+            let bytes = resp.encode(7);
+            let frame = read_frame(&mut bytes.as_slice()).unwrap().unwrap();
+            let err = response_error(decode_response(&frame).unwrap());
+            assert_eq!(err.is_retryable(), retryable, "{err}");
+            assert_eq!(err.backoff_hint_ms(), hint, "{err}");
+        }
+        // The matrix covers the whole error range (0xE0..): if a new
+        // error opcode is added without a row here, this fails.
+        assert_eq!(
+            opcodes_seen.into_iter().collect::<Vec<_>>(),
+            vec![opcode::ERROR, opcode::OVERLOADED, opcode::UNAVAILABLE],
+        );
+    }
+
+    /// An `Overloaded` frame from a peer that predates the hint field
+    /// still decodes — hint 0 means "no hint, client schedule applies".
+    #[test]
+    fn hintless_overloaded_from_an_older_peer_still_decodes() {
+        let bytes = encode_frame(3, opcode::OVERLOADED, br#"{"message":"queue full"}"#);
+        let frame = read_frame(&mut bytes.as_slice()).unwrap().unwrap();
+        let err = response_error(decode_response(&frame).unwrap());
+        assert!(err.is_retryable());
+        assert_eq!(err.backoff_hint_ms(), Some(0));
+    }
 }

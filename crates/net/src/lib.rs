@@ -38,9 +38,11 @@
 //! backpressure policy.
 
 pub mod client;
+pub mod pool;
 pub mod protocol;
 pub mod server;
 
-pub use client::SagaClient;
+pub use client::{ClientConfig, SagaClient};
+pub use pool::{BreakerConfig, BreakerState, EndpointStats, PoolConfig, RetryPolicy, SagaPool};
 pub use protocol::{Committed, ErrorKind, Frame, FrameError, Request, Response, WireBatch, WireOp};
 pub use server::{SagaServer, ServerConfig, ServerStats};

@@ -835,9 +835,7 @@ fn parse_ids_payload(payload: &[u8], key: &str) -> Option<Vec<EntityId>> {
                 if len >= 20 {
                     return None;
                 }
-                cur = cur
-                    .checked_mul(10)?
-                    .checked_add(u64::from(b - b'0'))?;
+                cur = cur.checked_mul(10)?.checked_add(u64::from(b - b'0'))?;
                 len += 1;
             }
             b',' if len > 0 => {
@@ -979,6 +977,10 @@ pub enum Response {
     Overloaded {
         /// Human-readable detail (which limit tripped).
         message: String,
+        /// Server-suggested minimum backoff in milliseconds. The
+        /// shedding side knows its congestion better than any client
+        /// schedule; pools floor their exponential backoff at this.
+        backoff_hint_ms: u64,
     },
     /// Retryable freshness/capacity miss — the wire form of
     /// [`SagaError::Unavailable`] (e.g. a session wait that timed out
@@ -1060,9 +1062,17 @@ impl Response {
                 ("kind", Json::str(kind.as_str())),
                 ("message", Json::str(message)),
             ]),
-            Response::Overloaded { message } | Response::Unavailable { message } => {
-                obj([("message", Json::str(message))])
-            }
+            Response::Overloaded {
+                message,
+                backoff_hint_ms,
+            } => obj([
+                ("message", Json::str(message)),
+                (
+                    "backoff_hint_ms",
+                    Json::Int(i64::try_from(*backoff_hint_ms).expect("hint exceeds wire range")),
+                ),
+            ]),
+            Response::Unavailable { message } => obj([("message", Json::str(message))]),
         }
     }
 
@@ -1156,6 +1166,9 @@ pub fn decode_response(frame: &Frame) -> Result<Response> {
         }),
         opcode::OVERLOADED => Ok(Response::Overloaded {
             message: get_str(&json, "message")?,
+            // Optional on decode: version-1 peers without the field get
+            // hint 0 (meaning "no hint", client schedule applies).
+            backoff_hint_ms: get_u64(&json, "backoff_hint_ms").unwrap_or(0),
         }),
         opcode::UNAVAILABLE => Ok(Response::Unavailable {
             message: get_str(&json, "message")?,
@@ -1258,6 +1271,7 @@ mod tests {
             },
             Response::Overloaded {
                 message: "queue full".into(),
+                backoff_hint_ms: 25,
             },
             Response::Unavailable {
                 message: "session wait timed out".into(),

@@ -63,6 +63,16 @@ pub struct ServerConfig {
     /// client must not be able to park worker threads at will. Fault
     /// tests and the overload bench raise it explicitly.
     pub max_ping_delay_ms: u64,
+    /// Minimum backoff hint (milliseconds) attached to `Overloaded`
+    /// sheds, so retrying clients pace themselves off the server's own
+    /// estimate instead of guessing.
+    pub shed_backoff_hint_ms: u64,
+    /// Failpoint scope for this server's socket loops: chaos drills
+    /// running several in-process servers arm `net::server_read` /
+    /// `net::server_write` for one server by matching this label (see
+    /// `saga_core::fail`). Empty — the default — matches only unscoped
+    /// configurations.
+    pub fail_scope: String,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +85,8 @@ impl Default for ServerConfig {
             max_connections: 256,
             session_wait: SessionWaitConfig::default(),
             max_ping_delay_ms: 0,
+            shed_backoff_hint_ms: 25,
+            fail_scope: String::new(),
         }
     }
 }
@@ -111,10 +123,20 @@ struct Job {
 /// a single `write_all`, so responses never interleave mid-frame.
 struct ConnHandle {
     stream: Mutex<TcpStream>,
+    /// Failpoint scope, copied from `ServerConfig::fail_scope`.
+    fail_scope: String,
 }
 
 impl ConnHandle {
     fn respond(&self, request_id: u64, response: &Response) {
+        // The write-loop failpoint: an injected error here drops the
+        // response *after* the request executed — the lost-ack fault
+        // that makes a commit's outcome ambiguous to its client.
+        if saga_core::fail::check_scoped(saga_core::fail::sites::NET_SERVER_WRITE, &self.fail_scope)
+            .is_err()
+        {
+            return;
+        }
         let frame = response.encode(request_id);
         let mut stream = self.stream.lock();
         // A dead peer surfaces as a write error; the reader thread owns
@@ -404,6 +426,7 @@ fn accept_loop(inner: &Arc<Inner>, listener: &TcpListener) {
 fn connection_loop(inner: &Arc<Inner>, read_half: TcpStream, write_half: TcpStream) {
     let conn = Arc::new(ConnHandle {
         stream: Mutex::new(write_half),
+        fail_scope: inner.cfg.fail_scope.clone(),
     });
     let mut reader = BufReader::new(read_half);
     loop {
@@ -413,12 +436,26 @@ fn connection_loop(inner: &Arc<Inner>, read_half: TcpStream, write_half: TcpStre
         match crate::protocol::read_frame(&mut reader) {
             Ok(None) => break, // clean close
             Ok(Some(frame)) => {
+                // The read-loop failpoint, checked per decoded frame
+                // before admission: an injected error drops the whole
+                // connection with the request unexecuted (what a killed
+                // process looks like from the client), an injected delay
+                // wedges the reader mid-pipeline.
+                if saga_core::fail::check_scoped(
+                    saga_core::fail::sites::NET_SERVER_READ,
+                    &inner.cfg.fail_scope,
+                )
+                .is_err()
+                {
+                    break;
+                }
                 if !inner.admit() {
                     inner.counters.requests_shed.fetch_add(1, Ordering::Relaxed);
                     conn.respond(
                         frame.request_id,
                         &Response::Overloaded {
                             message: format!("in-flight cap reached ({})", inner.cfg.max_inflight),
+                            backoff_hint_ms: inner.cfg.shed_backoff_hint_ms,
                         },
                     );
                     continue;
@@ -436,6 +473,7 @@ fn connection_loop(inner: &Arc<Inner>, read_half: TcpStream, write_half: TcpStre
                             job.frame.request_id,
                             &Response::Overloaded {
                                 message: format!("job queue full ({})", inner.cfg.queue_depth),
+                                backoff_hint_ms: inner.cfg.shed_backoff_hint_ms,
                             },
                         );
                     }

@@ -15,7 +15,9 @@ use saga_core::{EntityId, KnowledgeGraph, SourceId, WriteBatch};
 use saga_fleet::{FleetConfig, FleetRouter, ReplicaFault, ReplicaPool, SessionWaitConfig};
 use saga_graph::{LoggedWriter, OpKind, OperationLog};
 use saga_net::protocol::{self, opcode, read_frame, MAGIC, MAX_PAYLOAD, VERSION};
-use saga_net::{ErrorKind, Request, Response, SagaClient, SagaServer, ServerConfig, WireBatch};
+use saga_net::{
+    ClientConfig, ErrorKind, Request, Response, SagaClient, SagaServer, ServerConfig, WireBatch,
+};
 
 struct Harness {
     server: SagaServer,
@@ -281,12 +283,16 @@ fn saturation_sheds_with_typed_overloaded_and_recovers() {
     for id in ids {
         match client.recv_by_id(id).expect("flood response") {
             Response::Pong => pongs += 1,
-            Response::Overloaded { message } => {
+            Response::Overloaded {
+                message,
+                backoff_hint_ms,
+            } => {
                 shed += 1;
                 assert!(
                     message.contains("queue full") || message.contains("in-flight"),
                     "{message}"
                 );
+                assert!(backoff_hint_ms > 0, "sheds carry the server's hint");
             }
             other => panic!("unexpected flood response {other:?}"),
         }
@@ -298,6 +304,13 @@ fn saturation_sheds_with_typed_overloaded_and_recovers() {
     // Overload is transient: once drained, the same connection serves.
     client.ping().expect("ping after drain");
     assert_serving(&h);
+    // Workers respond *before* releasing their admission slot, so the
+    // client can observe the last response a beat ahead of the release;
+    // wait out that window instead of racing it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while h.server.inflight() != 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
     assert_eq!(h.server.inflight(), 0, "admission slots all released");
 }
 
@@ -383,4 +396,60 @@ fn session_wait_timeout_maps_to_typed_unavailable_on_the_wire() {
         .query_with_session("FIND song WHERE name = \"Unreplicated Song\"")
         .expect("session query after resume");
     assert_eq!(hits.entities(), vec![EntityId(60)]);
+}
+
+/// A server that accepts the connection and then goes silent must not
+/// hang the client forever: the bounded read timeout surfaces a typed,
+/// retryable `Unavailable` — the signal a pool needs to fail over.
+#[test]
+fn silent_server_times_out_with_typed_unavailable() {
+    // Not a SagaServer at all: a bare listener that accepts and reads
+    // nothing — the TCP half of a wedged process or a dead VM.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind mute listener");
+    let addr = listener.local_addr().expect("mute addr").to_string();
+    let mute = std::thread::spawn(move || {
+        // Hold the accepted sockets open so the client sees an
+        // established-but-silent peer, not a reset.
+        let mut held = Vec::new();
+        while let Ok((sock, _)) = listener.accept() {
+            held.push(sock);
+            if held.len() >= 2 {
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_secs(2));
+    });
+
+    let mut client = SagaClient::connect_with(
+        &addr,
+        ClientConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("connect to mute listener");
+    let t0 = std::time::Instant::now();
+    let err = client.ping().expect_err("mute server must not pong");
+    assert!(
+        err.is_retryable(),
+        "socket timeout should surface as retryable unavailability: {err}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(1),
+        "the bounded read timeout must fire, not block: {:?}",
+        t0.elapsed()
+    );
+
+    // Second connection, same contract — proves the timeout setting
+    // survives the connect path, not just one lucky socket.
+    let mut again = SagaClient::connect_with(
+        &addr,
+        ClientConfig {
+            read_timeout: Duration::from_millis(100),
+            ..ClientConfig::default()
+        },
+    )
+    .expect("reconnect to mute listener");
+    assert!(again.ping().is_err());
+    mute.join().expect("mute listener thread");
 }
